@@ -1,0 +1,101 @@
+// Ablations of design choices the paper discusses but does not plot:
+//  1. per-channel vs single token counters (Section IV-B: "negligible
+//     difference");
+//  2. decoupled way-partitioning (Hydrogen) vs decoupled set-partitioning
+//     (Section IV-F discussion);
+//  3. Footprint-style sub-blocking on top of Hydrogen (Section IV-B cites it
+//     as orthogonal);
+//  4. cache mode vs flat mode (Section IV-F).
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace h2;
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const auto combos = args.quick ? std::vector<std::string>{"C1", "C5"}
+                                 : std::vector<std::string>{"C1", "C3", "C5", "C11"};
+
+  // ---- 1. single vs per-channel token counters ---------------------------
+  TablePrinter t1("Ablation: single vs per-channel token counters (speedup vs baseline)",
+                  {"combo", "single counter", "per-channel counters"});
+  std::vector<double> single_su, perch_su;
+  for (const auto& combo : combos) {
+    const auto base = bench::run_verbose(bench::bench_config(combo, DesignSpec::baseline(), args));
+    DesignSpec per = DesignSpec::hydrogen_full();
+    per.label = "hydrogen-perch";
+    per.hydrogen.per_channel_tokens = true;
+    const auto rs = bench::run_verbose(bench::bench_config(combo, DesignSpec::hydrogen_full(), args));
+    const auto rp = bench::run_verbose(bench::bench_config(combo, per, args));
+    single_su.push_back(weighted_speedup(base, rs));
+    perch_su.push_back(weighted_speedup(base, rp));
+    t1.row({combo, fmt(single_su.back()), fmt(perch_su.back())});
+  }
+  t1.row({"geomean", fmt(geomean(single_su)), fmt(geomean(perch_su))});
+  t1.print(std::cout);
+  print_check(std::cout, "per-channel / single (paper: ~1.00, 'negligible')", 1.0,
+              geomean(perch_su) / geomean(single_su));
+
+  // ---- 2. way- vs set-partitioning ----------------------------------------
+  TablePrinter t2("Ablation: decoupled way- vs set-partitioning (speedup vs baseline)",
+                  {"combo", "hydrogen (way, DP+token)", "hydrogen-setpart"});
+  std::vector<double> way_su, set_su;
+  for (const auto& combo : combos) {
+    const auto base = bench::run_verbose(bench::bench_config(combo, DesignSpec::baseline(), args));
+    const auto rw = bench::run_verbose(
+        bench::bench_config(combo, DesignSpec::hydrogen_dp_token(), args));
+    const auto rs = bench::run_verbose(
+        bench::bench_config(combo, DesignSpec::hydrogen_setpart(), args));
+    way_su.push_back(weighted_speedup(base, rw));
+    set_su.push_back(weighted_speedup(base, rs));
+    t2.row({combo, fmt(way_su.back()), fmt(set_su.back())});
+  }
+  t2.row({"geomean", fmt(geomean(way_su)), fmt(geomean(set_su))});
+  t2.print(std::cout);
+  std::cout << "  expected shape: set-partitioning works but trails the way-"
+               "partitioned design\n  (coupled per-set channel mapping, Section"
+               " IV-F drawbacks).\n";
+
+  // ---- 3. sub-blocking on top of Hydrogen ----------------------------------
+  TablePrinter t3("Ablation: Footprint-style sub-blocking (speedup vs baseline, slow GB moved)",
+                  {"combo", "hydrogen", "hydrogen+subblock", "slow MB (full)",
+                   "slow MB (subblock)"});
+  for (const auto& combo : combos) {
+    const auto base = bench::run_verbose(bench::bench_config(combo, DesignSpec::baseline(), args));
+    ExperimentConfig full_cfg = bench::bench_config(combo, DesignSpec::hydrogen_full(), args);
+    ExperimentConfig sb_cfg = full_cfg;
+    sb_cfg.sys.hybrid.subblock = true;
+    sb_cfg.design.label = "hydrogen-subblock";
+    const auto rf = bench::run_verbose(full_cfg);
+    const auto rs = bench::run_verbose(sb_cfg);
+    t3.row({combo, fmt(weighted_speedup(base, rf)), fmt(weighted_speedup(base, rs)),
+            fmt(rf.slow_bytes / 1048576.0, 1), fmt(rs.slow_bytes / 1048576.0, 1)});
+  }
+  t3.print(std::cout);
+  std::cout << "  expected shape: sub-blocking cuts slow-tier traffic; end"
+               " performance shifts only\n  where that traffic was the"
+               " bottleneck (it is orthogonal to Hydrogen).\n";
+
+  // ---- 4. cache vs flat mode ------------------------------------------------
+  TablePrinter t4("Ablation: cache vs flat mode (Hydrogen speedup vs same-mode baseline)",
+                  {"combo", "cache mode", "flat mode"});
+  for (const auto& combo : combos) {
+    ExperimentConfig bc = bench::bench_config(combo, DesignSpec::baseline(), args);
+    ExperimentConfig hc = bench::bench_config(combo, DesignSpec::hydrogen_full(), args);
+    ExperimentConfig bf = bc;
+    bf.mode = HybridMode::Flat;
+    ExperimentConfig hf = hc;
+    hf.mode = HybridMode::Flat;
+    const auto rbc = bench::run_verbose(bc);
+    const auto rhc = bench::run_verbose(hc);
+    const auto rbf = bench::run_verbose(bf);
+    const auto rhf = bench::run_verbose(hf);
+    t4.row({combo, fmt(weighted_speedup(rbc, rhc)), fmt(weighted_speedup(rbf, rhf))});
+  }
+  t4.print(std::cout);
+  std::cout << "  expected shape: Hydrogen helps in both modes (Section IV-F:"
+               " \"most of our designs\n  directly apply to the flat mode\").\n";
+  bench::maybe_csv(t4, args);
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Shared plumbing for the figure/table benches: argument parsing, the
+// standard bench-sized experiment configuration, and small run helpers.
+//
+// Every bench accepts:
+//   --quick        smaller combo subset / shorter runs (CI-friendly)
+//   --full         all 12 combos where the default uses a subset
+//   --csv <path>   additionally dump the printed table as CSV
+#pragma once
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "harness/report.h"
+
+namespace h2::bench {
+
+struct BenchArgs {
+  bool quick = false;
+  bool full = false;
+  bool hbm3 = false;
+  std::string csv_path;
+
+  static BenchArgs parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (a == "--quick") {
+        args.quick = true;
+      } else if (a == "--full") {
+        args.full = true;
+      } else if (a == "--hbm3") {
+        args.hbm3 = true;
+      } else if (a == "--csv" && i + 1 < argc) {
+        args.csv_path = argv[++i];
+      } else {
+        std::cerr << "unknown argument: " << a
+                  << " (supported: --quick --full --hbm3 --csv <path>)\n";
+        std::exit(2);
+      }
+    }
+    return args;
+  }
+};
+
+/// The bench-default experiment: Table I system at footprint scale 8,
+/// instruction targets sized so one run takes a couple of seconds.
+inline ExperimentConfig bench_config(const std::string& combo, DesignSpec design,
+                                     const BenchArgs& args) {
+  ExperimentConfig cfg;
+  cfg.combo = combo;
+  cfg.design = std::move(design);
+  cfg.sys = args.hbm3 ? SystemConfig::table1_hbm3(8) : SystemConfig::table1(8);
+  cfg.cpu_target_instructions = args.quick ? 60'000 : 120'000;
+  cfg.gpu_target_instructions = args.quick ? 600'000 : 1'200'000;
+  cfg.epoch_cycles = 40'000;
+  cfg.max_cycles = 400'000'000;
+  return cfg;
+}
+
+/// Combo subsets used by geomean figures.
+inline std::vector<std::string> combo_names(const BenchArgs& args, bool subset_default) {
+  std::vector<std::string> all;
+  for (const auto& c : table2_combos()) all.push_back(c.name);
+  if (args.quick) return {"C1", "C5", "C11"};
+  if (subset_default && !args.full) return {"C1", "C3", "C5", "C7", "C9", "C11"};
+  return all;
+}
+
+/// The Fig. 5 design roster, in paper order.
+inline std::vector<DesignSpec> fig5_designs() {
+  return {DesignSpec::hashcache(),        DesignSpec::profess(),
+          DesignSpec::waypart(),          DesignSpec::hydrogen_dp(),
+          DesignSpec::hydrogen_dp_token(), DesignSpec::hydrogen_full()};
+}
+
+/// Runs and prints a short progress marker (stderr, so CSV stays clean).
+inline ExperimentResult run_verbose(const ExperimentConfig& cfg) {
+  std::cerr << "  [" << cfg.combo << " / " << cfg.design.label
+            << (cfg.cpu_only ? " cpu-only" : cfg.gpu_only ? " gpu-only" : "")
+            << "] ..." << std::flush;
+  const ExperimentResult r = run_experiment(cfg);
+  std::cerr << " done (" << fmt(static_cast<double>(r.end_cycle) / 1e6, 1)
+            << "M cycles)\n";
+  return r;
+}
+
+inline void maybe_csv(const TablePrinter& table, const BenchArgs& args) {
+  if (!args.csv_path.empty()) {
+    table.write_csv(args.csv_path);
+    std::cerr << "wrote " << args.csv_path << "\n";
+  }
+}
+
+}  // namespace h2::bench

@@ -1,0 +1,78 @@
+// Fig. 5: the headline comparison. Weighted speedups (CPU:GPU = 12:1) of
+// HAShCache, ProFess, WayPart and the Hydrogen variants (DP, DP+Token, Full)
+// over the non-partitioned baseline, for C1..C12.
+//   (a) HBM2E + DDR4   (default)
+//   (b) HBM3 + DDR4    (--hbm3)
+#include <iostream>
+#include <map>
+
+#include "bench_common.h"
+
+using namespace h2;
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const auto combos = bench::combo_names(args, /*subset_default=*/false);
+  const auto designs = bench::fig5_designs();
+
+  std::vector<std::string> cols = {"combo"};
+  for (const auto& d : designs) cols.push_back(d.label);
+  TablePrinter table(std::string("Fig. 5") + (args.hbm3 ? "(b): HBM3" : "(a): HBM2E") +
+                         " weighted speedups over the non-partitioned baseline",
+                     cols);
+
+  std::map<std::string, std::vector<double>> speedups;
+  std::map<std::string, ExperimentResult> hydro_results;
+  std::vector<double> vs_profess;
+
+  for (const auto& combo : combos) {
+    const auto base = bench::run_verbose(bench::bench_config(combo, DesignSpec::baseline(), args));
+    std::vector<std::string> row = {combo};
+    double profess_su = 1.0, hydrogen_su = 1.0;
+    for (const auto& d : designs) {
+      const auto r = bench::run_verbose(bench::bench_config(combo, d, args));
+      const double su = weighted_speedup(base, r);
+      speedups[d.label].push_back(su);
+      row.push_back(fmt(su));
+      if (d.label == "profess") profess_su = su;
+      if (d.label == "hydrogen") {
+        hydrogen_su = su;
+        hydro_results[combo] = r;
+      }
+    }
+    vs_profess.push_back(hydrogen_su / profess_su);
+    table.row(std::move(row));
+  }
+
+  std::vector<std::string> gm_row = {"geomean"};
+  for (const auto& d : designs) gm_row.push_back(fmt(geomean(speedups[d.label])));
+  table.row(std::move(gm_row));
+  table.print(std::cout);
+  bench::maybe_csv(table, args);
+
+  const double hydro_gm = geomean(speedups["hydrogen"]);
+  const double dp_gm = geomean(speedups["hydrogen-dp"]);
+  const double dpt_gm = geomean(speedups["hydrogen-dp+token"]);
+  double hydro_max = 0, vs_profess_max = 0;
+  for (double s : speedups["hydrogen"]) hydro_max = std::max(hydro_max, s);
+  for (double s : vs_profess) vs_profess_max = std::max(vs_profess_max, s);
+
+  std::cout << "\nSummary (paper Section VI-A / VI-B):\n";
+  if (!args.hbm3) {
+    print_check(std::cout, "Hydrogen vs baseline (avg)", 1.24, hydro_gm);
+    print_check(std::cout, "Hydrogen vs baseline (max)", 1.48, hydro_max);
+    print_check(std::cout, "Hydrogen vs ProFess (avg)", 1.16, geomean(vs_profess));
+    print_check(std::cout, "Hydrogen vs ProFess (max)", 1.31, vs_profess_max);
+    print_check(std::cout, "Hydrogen vs HAShCache (avg)", 1.47,
+                hydro_gm / geomean(speedups["hashcache"]));
+    print_check(std::cout, "DP-only contribution (avg)", 1.10, dp_gm);
+    print_check(std::cout, "+Token over DP", 1.044, dpt_gm / dp_gm);
+    print_check(std::cout, "+search over DP+Token", 1.086, hydro_gm / dpt_gm);
+  } else {
+    print_check(std::cout, "Hydrogen vs ProFess with HBM3 (avg)", 1.12,
+                geomean(vs_profess));
+    std::cout << "  expected shape: gains shrink vs HBM2E (bandwidth partitioning"
+                 " matters less when fast bandwidth doubles).\n";
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Fig. 6: memory energy (dynamic + static, both tiers) of HAShCache, ProFess
+// and Hydrogen, normalised to HAShCache, for C1..C12. Energy follows the
+// Table I device parameters (RD/WR pJ/bit, ACT/PRE nJ, background power).
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace h2;
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const auto combos = bench::combo_names(args, /*subset_default=*/false);
+
+  TablePrinter table("Fig. 6: memory energy normalised to HAShCache",
+                     {"combo", "hashcache", "profess", "hydrogen"});
+  std::vector<double> profess_norm, hydrogen_norm;
+
+  for (const auto& combo : combos) {
+    // Energy must be compared over the same amount of work: all runs retire
+    // the same instruction targets, so total energy per run is comparable.
+    const auto rh = bench::run_verbose(bench::bench_config(combo, DesignSpec::hashcache(), args));
+    const auto rp = bench::run_verbose(bench::bench_config(combo, DesignSpec::profess(), args));
+    const auto ry = bench::run_verbose(bench::bench_config(combo, DesignSpec::hydrogen_full(), args));
+    const double p = rp.energy_pj / rh.energy_pj;
+    const double y = ry.energy_pj / rh.energy_pj;
+    profess_norm.push_back(p);
+    hydrogen_norm.push_back(y);
+    table.row({combo, "1.00", fmt(p), fmt(y)});
+  }
+  table.row({"geomean", "1.00", fmt(geomean(profess_norm)), fmt(geomean(hydrogen_norm))});
+  table.print(std::cout);
+  bench::maybe_csv(table, args);
+
+  double best = 1.0;
+  for (double y : hydrogen_norm) best = std::min(best, y);
+  std::cout << "\nSummary:\n";
+  print_check(std::cout, "Hydrogen energy vs HAShCache (avg reduction)", 0.69,
+              geomean(hydrogen_norm));
+  print_check(std::cout, "best-case reduction (paper: C11, -50%)", 0.50, best);
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Fig. 7: overhead analysis (geomeans over the combo set).
+//  (a) fast-memory swap methods: Ideal (free swaps), Hydrogen (default),
+//      Prob (bypass half), NoSwap;
+//  (b) reconfiguration: Hydrogen's consistent-hashing + lazy updates vs an
+//      ideal instant (free) reconfiguration.
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace h2;
+
+namespace {
+
+DesignSpec with_swap(SwapMode mode, bool ideal_cost = false) {
+  DesignSpec d = DesignSpec::hydrogen_full();
+  d.hydrogen.swap = mode;
+  d.ideal_swap = ideal_cost;
+  switch (mode) {
+    case SwapMode::On: d.label = ideal_cost ? "ideal" : "hydrogen"; break;
+    case SwapMode::Prob: d.label = "prob"; break;
+    case SwapMode::Off: d.label = "noswap"; break;
+  }
+  return d;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const auto combos = bench::combo_names(args, /*subset_default=*/true);
+
+  // ---- (a) swap methods -------------------------------------------------
+  const std::vector<DesignSpec> swap_designs = {
+      with_swap(SwapMode::On, /*ideal_cost=*/true),  // Ideal: zero-cost swaps
+      with_swap(SwapMode::On),                       // Hydrogen default
+      with_swap(SwapMode::Prob),                     // bypass half the swaps
+      with_swap(SwapMode::Off),                      // no swaps at all
+  };
+
+  TablePrinter ta("Fig. 7(a): fast-memory swap methods (weighted speedup vs baseline)",
+                  {"combo", "ideal", "hydrogen", "prob", "noswap"});
+  std::map<std::string, std::vector<double>> su;
+  for (const auto& combo : combos) {
+    const auto base = bench::run_verbose(bench::bench_config(combo, DesignSpec::baseline(), args));
+    std::vector<std::string> row = {combo};
+    for (const auto& d : swap_designs) {
+      const auto r = bench::run_verbose(bench::bench_config(combo, d, args));
+      const double s = weighted_speedup(base, r);
+      su[d.label].push_back(s);
+      row.push_back(fmt(s));
+    }
+    ta.row(std::move(row));
+  }
+  ta.row({"geomean", fmt(geomean(su["ideal"])), fmt(geomean(su["hydrogen"])),
+          fmt(geomean(su["prob"])), fmt(geomean(su["noswap"]))});
+  ta.print(std::cout);
+  bench::maybe_csv(ta, args);
+
+  const double hyd = geomean(su["hydrogen"]);
+  std::cout << "\nSummary (paper Section VI-B):\n";
+  print_check(std::cout, "Ideal over Hydrogen", 1.045, geomean(su["ideal"]) / hyd);
+  print_check(std::cout, "Prob vs Hydrogen", 0.988, geomean(su["prob"]) / hyd);
+  print_check(std::cout, "NoSwap vs Hydrogen", 0.96, geomean(su["noswap"]) / hyd);
+
+  // ---- (b) reconfiguration overheads -------------------------------------
+  TablePrinter tb("Fig. 7(b): reconfiguration overhead (weighted speedup vs baseline)",
+                  {"combo", "hydrogen (lazy)", "ideal reconfig"});
+  std::vector<double> lazy_su, ideal_su;
+  for (const auto& combo : combos) {
+    const auto base = bench::run_verbose(bench::bench_config(combo, DesignSpec::baseline(), args));
+    // Force frequent exploration so reconfiguration costs are visible.
+    ExperimentConfig lazy_cfg = bench::bench_config(combo, DesignSpec::hydrogen_full(), args);
+    lazy_cfg.phase_cycles = 800'000;
+    ExperimentConfig ideal_cfg = lazy_cfg;
+    ideal_cfg.design.instant_reconfig = true;
+    ideal_cfg.design.label = "hydrogen-instant";
+    const auto rl = bench::run_verbose(lazy_cfg);
+    const auto ri = bench::run_verbose(ideal_cfg);
+    lazy_su.push_back(weighted_speedup(base, rl));
+    ideal_su.push_back(weighted_speedup(base, ri));
+    tb.row({combo, fmt(lazy_su.back()), fmt(ideal_su.back())});
+  }
+  tb.row({"geomean", fmt(geomean(lazy_su)), fmt(geomean(ideal_su))});
+  tb.print(std::cout);
+
+  std::cout << "\nSummary:\n";
+  print_check(std::cout, "lazy reconfig vs ideal (paper: -3.2%)", 0.968,
+              geomean(lazy_su) / geomean(ideal_su));
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Fig. 8: effectiveness of the online search on C5. Exhaustively evaluates
+// (cap, bw, tok) configurations with the search disabled, then compares
+// Hydrogen's online hill-climbing choice against the offline optimum.
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace h2;
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const std::string combo = "C5";
+
+  const auto base = bench::run_verbose(bench::bench_config(combo, DesignSpec::baseline(), args));
+
+  struct Point {
+    ParamPoint p;
+    double speedup;
+  };
+  std::vector<Point> grid;
+  const std::vector<u32> tok_levels = args.quick ? std::vector<u32>{1, 3, 5}
+                                                 : std::vector<u32>{0, 2, 3, 5, 7};
+
+  for (u32 cap = 1; cap <= 3; ++cap) {
+    for (u32 bw = 1; bw <= 3; ++bw) {
+      for (u32 tok : tok_levels) {
+        DesignSpec d = DesignSpec::hydrogen_dp_token();  // fixed config, no search
+        d.hydrogen.fixed_cpu_capacity_frac = cap / 4.0;
+        d.hydrogen.fixed_cpu_bw_frac = bw / 4.0;
+        d.hydrogen.fixed_tok_frac = d.hydrogen.tok_levels[tok];
+        d.label = "cap" + std::to_string(cap) + "-bw" + std::to_string(bw) +
+                  "-tok" + std::to_string(tok);
+        const auto r = bench::run_verbose(bench::bench_config(combo, d, args));
+        grid.push_back({ParamPoint{cap, bw, tok}, weighted_speedup(base, r)});
+      }
+    }
+  }
+
+  std::sort(grid.begin(), grid.end(),
+            [](const Point& a, const Point& b) { return a.speedup > b.speedup; });
+
+  const auto online = bench::run_verbose(bench::bench_config(combo, DesignSpec::hydrogen_full(), args));
+  const double online_su = weighted_speedup(base, online);
+
+  TablePrinter t("Fig. 8: exhaustive configurations vs Hydrogen's online choice (C5)",
+                 {"rank", "cap (CPU ways)", "bw (CPU channels)", "tok level",
+                  "speedup vs baseline"});
+  for (size_t i = 0; i < grid.size(); ++i) {
+    t.row({std::to_string(i + 1), std::to_string(grid[i].p.cap),
+           std::to_string(grid[i].p.bw), std::to_string(grid[i].p.tok),
+           fmt(grid[i].speedup)});
+  }
+  t.row({"online", std::to_string(online.final_point.cap),
+         std::to_string(online.final_point.bw), std::to_string(online.final_point.tok),
+         fmt(online_su)});
+  t.print(std::cout);
+  bench::maybe_csv(t, args);
+
+  const double best = grid.front().speedup;
+  const double median = grid[grid.size() / 2].speedup;
+  std::cout << "\nSummary (paper Section VI-B):\n";
+  print_check(std::cout, "best exhaustive / median exhaustive", 1.73, best / median);
+  print_check(std::cout, "online within fraction of optimum (paper: 96.1%)", 0.961,
+              online_su / best);
+  print_check(std::cout, "offline best over online (paper: +5.1%)", 1.051,
+              best / online_su);
+  return 0;
+}

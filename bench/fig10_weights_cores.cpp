@@ -1,0 +1,83 @@
+// Fig. 10:
+//  (a) impact of the user-specified CPU:GPU IPC weights (C6): higher CPU
+//      weight trades GPU slowdown for CPU slowdown;
+//  (b) impact of the CPU core count (with weights following the core ratio).
+#include <iostream>
+
+#include "bench_common.h"
+
+using namespace h2;
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+
+  // ---- (a) IPC weights -----------------------------------------------
+  // The paper sweeps C6. At this simulation scale C6's GPU kernel sits at
+  // its intrinsic hit ceiling and offers the search little to trade, so the
+  // bench additionally sweeps C5 (streamcluster), where the token dimension
+  // trades CPU vs GPU throughput directly.
+  double first_cpu = 0, last_cpu = 0, first_gpu = 0, last_gpu = 0;
+  for (const std::string combo : {"C6", "C5"}) {
+    TablePrinter ta("Fig. 10(a): CPU:GPU IPC weight sweep (" + combo + ", Hydrogen full)",
+                    {"weights", "CPU slowdown vs alone", "GPU slowdown vs alone",
+                     "chosen (cap,bw,tok)"});
+    ExperimentConfig solo_c = bench::bench_config(combo, DesignSpec::baseline(), args);
+    solo_c.cpu_only = true;
+    ExperimentConfig solo_g = bench::bench_config(combo, DesignSpec::baseline(), args);
+    solo_g.gpu_only = true;
+    const auto rc = bench::run_verbose(solo_c);
+    const auto rg = bench::run_verbose(solo_g);
+
+    const std::vector<std::pair<double, std::string>> weights = {
+        {1, "1:1"}, {4, "4:1"}, {12, "12:1"}, {32, "32:1"}};
+    for (const auto& [w, label] : weights) {
+      ExperimentConfig cfg = bench::bench_config(combo, DesignSpec::hydrogen_full(), args);
+      cfg.weight_cpu = w;
+      cfg.weight_gpu = 1.0;
+      const auto r = bench::run_verbose(cfg);
+      const double sc = side_slowdown(rc, r, Requestor::Cpu);
+      const double sg = side_slowdown(rg, r, Requestor::Gpu);
+      if (combo == "C6") {
+        if (first_cpu == 0) {
+          first_cpu = sc;
+          first_gpu = sg;
+        }
+        last_cpu = sc;
+        last_gpu = sg;
+      }
+      ta.row({label, fmt(sc) + "x", fmt(sg) + "x",
+              "(" + std::to_string(r.final_point.cap) + "," +
+                  std::to_string(r.final_point.bw) + "," +
+                  std::to_string(r.final_point.tok) + ")"});
+    }
+    ta.print(std::cout);
+    if (combo == "C6") bench::maybe_csv(ta, args);
+  }
+  std::cout << "\nSummary (paper: CPU slowdown 1.61x -> 1.30x, GPU 1.06x -> 1.18x"
+               " from 1:1 to 32:1):\n";
+  print_check(std::cout, "CPU slowdown shrinks (1:1 / 32:1)", 1.61 / 1.30,
+              first_cpu / last_cpu);
+  print_check(std::cout, "GPU slowdown grows (32:1 / 1:1)", 1.18 / 1.06,
+              last_gpu / first_gpu);
+
+  // ---- (b) CPU core counts ------------------------------------------------
+  TablePrinter tb("Fig. 10(b): CPU core count sweep (C1, weights = core ratio)",
+                  {"CPU cores", "hydrogen speedup vs baseline"});
+  for (u32 cores : {4u, 8u, 16u}) {
+    ExperimentConfig bcfg = bench::bench_config("C1", DesignSpec::baseline(), args);
+    bcfg.sys.cpu_cores = cores;
+    bcfg.weight_cpu = 96.0 / cores;  // weights follow the core-count ratio
+    ExperimentConfig hcfg = bench::bench_config("C1", DesignSpec::hydrogen_full(), args);
+    hcfg.sys.cpu_cores = cores;
+    hcfg.weight_cpu = 96.0 / cores;
+    const auto rb = bench::run_verbose(bcfg);
+    const auto rh = bench::run_verbose(hcfg);
+    tb.row({std::to_string(cores),
+            fmt(weighted_speedup(rb, rh, hcfg.weight_cpu, 1.0))});
+  }
+  tb.print(std::cout);
+  std::cout << "  expected shape: partitioning keeps helping across core counts;"
+               " more CPU cores\n  raise contention but also dilute the GPU's"
+               " impact (paper Section VI-C).\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+// google-benchmark microbenchmarks of the simulator substrates themselves:
+// how fast the building blocks run on the host. Useful when extending the
+// simulator — the event loop must stay cheap for the figure benches to
+// remain interactive.
+#include <benchmark/benchmark.h>
+
+#include "cache/cache.h"
+#include "hybridmem/hybrid_memory.h"
+#include "hydrogen/consistent_hash.h"
+#include "hydrogen/hydrogen_policy.h"
+#include "mem/channel.h"
+#include "policies/baseline.h"
+#include "trace/workloads.h"
+
+namespace h2 {
+namespace {
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(42);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_SyntheticGenerator(benchmark::State& state) {
+  SyntheticGenerator gen(cpu_workload_spec("mcf"), 42);
+  for (auto _ : state) benchmark::DoNotOptimize(gen.next());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SyntheticGenerator);
+
+void BM_ChannelRequest(benchmark::State& state) {
+  Channel ch(ddr4_3200_timing(), 3.2, 0);
+  Cycle t = 0;
+  Addr a = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ch.request(t, a, 64, false));
+    t += 4;
+    a += 4096;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChannelRequest);
+
+void BM_CacheAccess(benchmark::State& state) {
+  Cache cache(CacheConfig{.name = "bm", .size_bytes = 1 << 20, .ways = 16});
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(rng.next_below(1 << 24) * 64, false));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void BM_HrwRank(benchmark::State& state) {
+  u32 set = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hrw_rank(0x5eed, set++, set % 4, 4));
+  }
+}
+BENCHMARK(BM_HrwRank);
+
+void BM_DecoupledChannelOfWay(benchmark::State& state) {
+  DecoupledPartition p(4, 4);
+  p.set_config(3, 1);
+  u32 set = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.channel_of_way(set++, set % 4));
+  }
+}
+BENCHMARK(BM_DecoupledChannelOfWay);
+
+void BM_HybridAccess(benchmark::State& state) {
+  MemorySystem mem(MemSystemConfig::table1_default());
+  const bool hydrogen = state.range(0) != 0;
+  BaselinePolicy base_pol;
+  HydrogenPolicy hydro_pol;
+  HybridMemConfig cfg;
+  cfg.fast_capacity_bytes = 4 << 20;
+  cfg.slow_capacity_bytes = 32 << 20;
+  HybridMemory hm(cfg, &mem,
+                  hydrogen ? static_cast<PartitionPolicy*>(&hydro_pol) : &base_pol);
+  Rng rng(3);
+  Cycle t = 0;
+  for (auto _ : state) {
+    const Requestor cls = rng.chance(0.5) ? Requestor::Cpu : Requestor::Gpu;
+    benchmark::DoNotOptimize(
+        hm.access(t, cls, rng.next_below(cfg.slow_capacity_bytes / 64) * 64,
+                  rng.chance(0.3)));
+    t += 3;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HybridAccess)->Arg(0)->Arg(1)->ArgName("hydrogen");
+
+}  // namespace
+}  // namespace h2

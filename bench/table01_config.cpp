@@ -1,0 +1,49 @@
+// Table I: the simulated system configuration. Prints the built system and
+// asserts that the constructed models match the paper's parameters.
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/assert.h"
+#include "mem/memory_system.h"
+#include "sysconfig/system_config.h"
+
+using namespace h2;
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  (void)args;
+
+  std::cout << "==============================================================\n";
+  std::cout << " Table I: system configurations (paper parameters + scaling)\n";
+  std::cout << "==============================================================\n\n";
+
+  std::cout << "Native Table I parameters:\n";
+  SystemConfig native = SystemConfig::table1(/*scale=*/1);
+  native.hybrid.fast_capacity_bytes = 2ull << 30;   // illustrative 1/8 of 16 GB
+  native.hybrid.slow_capacity_bytes = 16ull << 30;
+  native.print(std::cout);
+
+  std::cout << "\nBench configuration (footprint scale 1/8, SRAM scale 1/64):\n";
+  SystemConfig bench_sys = SystemConfig::table1(/*scale=*/8);
+  bench_sys.hybrid.fast_capacity_bytes = 8ull << 20;
+  bench_sys.hybrid.slow_capacity_bytes = 64ull << 20;
+  bench_sys.print(std::cout);
+
+  // ---- cross-check the derived models against the paper's numbers --------
+  MemorySystem mem(MemSystemConfig::table1_default());
+  const double fast = mem.fast_peak_gbps();
+  const double slow = mem.slow_peak_gbps();
+  std::cout << "\nDerived bandwidths:\n";
+  std::cout << "  fast tier (16ch HBM2E): " << fmt(fast, 1) << " GB/s\n";
+  std::cout << "  slow tier (4ch DDR4)  : " << fmt(slow, 1) << " GB/s\n";
+  print_check(std::cout, "fast:slow bandwidth ratio", 8.0, fast / slow);
+  H2_ASSERT(fast / slow > 7.5 && fast / slow < 8.5, "bandwidth ratio drifted");
+
+  MemorySystem hbm3(MemSystemConfig::table1_hbm3());
+  print_check(std::cout, "HBM3 / HBM2E bandwidth", 2.0, hbm3.fast_peak_gbps() / fast);
+
+  std::cout << "\nHybrid-memory defaults: 256 B blocks, 4-way cache mode, "
+               "fast = slow/8, 256 kB remap cache (scaled), alloc-bit overhead "
+            << fmt_pct(1.0 / (8.0 * 256.0), 3) << " (paper: 0.049%)\n";
+  return 0;
+}

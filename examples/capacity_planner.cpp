@@ -1,0 +1,65 @@
+// Capacity planner: sweep the static (cap, bw) partitioning grid for a
+// workload combination and print the landscape — the offline version of what
+// Hydrogen's hill climbing explores online. Useful for provisioning studies:
+// "how much fast memory do the CPUs of this mix actually need?"
+//
+//   $ ./capacity_planner [combo]        (default C6)
+#include <iostream>
+#include <string>
+
+#include "harness/experiment.h"
+#include "harness/report.h"
+
+using namespace h2;
+
+int main(int argc, char** argv) {
+  const std::string combo_name = argc > 1 ? argv[1] : "C6";
+
+  ExperimentConfig base_cfg;
+  base_cfg.combo = combo_name;
+  base_cfg.sys = SystemConfig::table1(8);
+  base_cfg.cpu_target_instructions = 80'000;
+  base_cfg.gpu_target_instructions = 320'000;
+  base_cfg.epoch_cycles = 100'000;
+  base_cfg.design = DesignSpec::baseline();
+  std::cout << "running " << combo_name << " baseline ...\n";
+  const ExperimentResult base = run_experiment(base_cfg);
+
+  TablePrinter grid("static (cap, bw) landscape — weighted speedup vs baseline",
+                    {"CPU ways \\ CPU channels", "bw=1", "bw=2", "bw=3"});
+  ParamPoint best{1, 1, 3};
+  double best_su = 0;
+  for (u32 cap = 1; cap <= 3; ++cap) {
+    std::vector<std::string> row = {"cap=" + std::to_string(cap)};
+    for (u32 bw = 1; bw <= 3; ++bw) {
+      ExperimentConfig cfg = base_cfg;
+      cfg.design = DesignSpec::hydrogen_dp_token();
+      cfg.design.hydrogen.fixed_cpu_capacity_frac = cap / 4.0;
+      cfg.design.hydrogen.fixed_cpu_bw_frac = bw / 4.0;
+      cfg.design.label = "cap" + std::to_string(cap) + "bw" + std::to_string(bw);
+      std::cout << "running cap=" << cap << " bw=" << bw << " ...\n";
+      const ExperimentResult r = run_experiment(cfg);
+      const double su = weighted_speedup(base, r);
+      if (su > best_su) {
+        best_su = su;
+        best = ParamPoint{cap, bw, 3};
+      }
+      row.push_back(fmt(su));
+    }
+    grid.row(std::move(row));
+  }
+  grid.print(std::cout);
+
+  std::cout << "\nbest static point: cap=" << best.cap << ", bw=" << best.bw
+            << " at " << fmt(best_su) << "x\n";
+
+  // Compare with what the online search finds on its own.
+  ExperimentConfig online = base_cfg;
+  online.design = DesignSpec::hydrogen_full();
+  std::cout << "running online hydrogen ...\n";
+  const ExperimentResult r = run_experiment(online);
+  std::cout << "online hydrogen: " << fmt(weighted_speedup(base, r)) << "x, converged to cap="
+            << r.final_point.cap << ", bw=" << r.final_point.bw << ", tok level "
+            << r.final_point.tok << "\n";
+  return 0;
+}

@@ -1,0 +1,146 @@
+// Phase adaptation: a workload whose behaviour flips between a
+// capacity-hungry pointer-chasing phase and a bandwidth-hungry streaming
+// phase, run under Hydrogen with and without phase-based re-exploration
+// (paper Section IV-C: a new exploration phase every 500 M cycles).
+//
+// With restarts enabled, the hill climber re-opens its search when the
+// programme's behaviour shifts and re-tunes (cap, bw, tok); without them it
+// stays at whatever the first phase favoured.
+#include <iostream>
+#include <memory>
+
+#include "harness/experiment.h"
+#include "harness/report.h"
+#include "hydrogen/hydrogen_policy.h"
+#include "proc/core.h"
+#include "sim/engine.h"
+
+using namespace h2;
+
+namespace {
+
+PhasedGenerator::Phase make_phase(const WorkloadSpec& base, u64 accesses) {
+  return PhasedGenerator::Phase{base, accesses};
+}
+
+/// Builds the two-phase CPU workload: mcf-like chasing, then lbm-like
+/// streaming.
+std::unique_ptr<PhasedGenerator> phased_cpu(u64 seed) {
+  WorkloadSpec chase = with_scaled_footprint(cpu_workload_spec("mcf"), 1, 8);
+  WorkloadSpec stream = with_scaled_footprint(cpu_workload_spec("lbm"), 1, 8);
+  chase.name = "phase-chase";
+  stream.name = "phase-stream";
+  return std::make_unique<PhasedGenerator>(
+      "phased-cpu",
+      std::vector<PhasedGenerator::Phase>{make_phase(chase, 60'000),
+                                          make_phase(stream, 60'000)},
+      seed);
+}
+
+struct Model final : MemoryPort {
+  Model(const SystemConfig& sys, PartitionPolicy* policy, u64 fast, u64 slow)
+      : hierarchy(sys.hierarchy), mem(sys.mem) {
+    HybridMemConfig hm_cfg = sys.hybrid;
+    hm_cfg.fast_capacity_bytes = fast;
+    hm_cfg.slow_capacity_bytes = slow;
+    hm = std::make_unique<HybridMemory>(hm_cfg, &mem, policy);
+  }
+  Cycle access(Cycle now, Requestor cls, u32 unit, Addr addr, bool write) override {
+    const HierarchyResult hr = cls == Requestor::Cpu
+                                   ? hierarchy.cpu_access(unit, addr, write)
+                                   : hierarchy.gpu_access(unit, addr, write);
+    const Cycle t = now + hr.latency;
+    if (!hr.memory_needed) return t;
+    if (hr.writeback) hm->writeback(t, cls, hr.writeback_addr);
+    return hm->access(t, cls, addr, write);
+  }
+  CacheHierarchy hierarchy;
+  MemorySystem mem;
+  std::unique_ptr<HybridMemory> hm;
+};
+
+/// Runs the phased mix under Hydrogen; returns cycles to finish.
+Cycle run(bool phase_restarts) {
+  SystemConfig sys = SystemConfig::table1(8);
+  sys.hierarchy.cpu_cores = 2;
+  sys.hierarchy.gpu_clusters = 2;
+
+  HydrogenConfig hc;
+  hc.search = true;
+  hc.phase_length = phase_restarts ? 600'000 : 0;
+  HydrogenPolicy policy(hc);
+
+  const u64 slow = 96ull << 20;
+  Model model(sys, &policy, slow / 8, slow);
+
+  Engine engine;
+  std::vector<std::unique_ptr<AccessGenerator>> gens;
+  std::vector<std::unique_ptr<Core>> cores;
+
+  for (u32 i = 0; i < 2; ++i) {
+    gens.push_back(phased_cpu(17 + i));
+    CoreParams p;
+    p.cls = Requestor::Cpu;
+    p.unit = i;
+    p.addr_base = static_cast<Addr>(i) * (12ull << 20);
+    p.mlp = 8;
+    p.target_instructions = 1'200'000;
+    cores.push_back(std::make_unique<Core>(p, gens.back().get(), &model));
+    engine.add_actor(cores.back().get(), i);
+  }
+  WorkloadSpec gpu = with_scaled_footprint(gpu_workload_spec("backprop"), 1, 8);
+  gpu.footprint_bytes /= 2;
+  for (u32 i = 0; i < 2; ++i) {
+    gens.push_back(std::make_unique<SyntheticGenerator>(gpu, 99 + i));
+    CoreParams p;
+    p.cls = Requestor::Gpu;
+    p.unit = i;
+    p.addr_base = (32ull << 20) + static_cast<Addr>(i) * (16ull << 20);
+    p.mlp = 32;
+    p.target_instructions = 2'000'000;
+    cores.push_back(std::make_unique<Core>(p, gens.back().get(), &model));
+    engine.add_actor(cores.back().get(), 10 + i);
+  }
+
+  u64 prev_cpu = 0, prev_gpu = 0;
+  engine.add_periodic(40'000, [&](Cycle now) {
+    u64 cpu = 0, gpu = 0;
+    bool all = true;
+    for (const auto& c : cores) {
+      (c->cls() == Requestor::Cpu ? cpu : gpu) += c->retired_instructions();
+      all = all && c->finished();
+    }
+    EpochFeedback fb;
+    fb.now = now;
+    fb.epoch_cycles = 40'000;
+    fb.cpu_instructions = cpu - prev_cpu;
+    fb.gpu_instructions = gpu - prev_gpu;
+    fb.weighted_ipc = (12.0 * fb.cpu_instructions + fb.gpu_instructions) / 40'000.0;
+    prev_cpu = cpu;
+    prev_gpu = gpu;
+    policy.on_epoch(fb);
+    if (all) engine.stop();
+  });
+  engine.run(400'000'000);
+  std::cout << "  reconfigurations: " << policy.reconfigurations()
+            << ", final point (cap,bw,tok) = (" << policy.active_point().cap << ","
+            << policy.active_point().bw << "," << policy.active_point().tok << ")\n";
+  return engine.now();
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "phase-adaptive workload under Hydrogen\n\n";
+  std::cout << "without phase restarts (phase_length = 0):\n";
+  const Cycle frozen = run(false);
+  std::cout << "  finished in " << fmt(frozen / 1e6, 2) << "M cycles\n\n";
+  std::cout << "with phase restarts (paper Section IV-C):\n";
+  const Cycle adaptive = run(true);
+  std::cout << "  finished in " << fmt(adaptive / 1e6, 2) << "M cycles\n\n";
+  std::cout << "restart benefit: " << fmt(static_cast<double>(frozen) / adaptive, 3)
+            << "x\n";
+  std::cout << "\n(The paper's evaluated mixes are stable, so there it sets a long"
+               " 500 M-cycle phase;\nthis example shows why the mechanism exists.)\n";
+  return 0;
+}

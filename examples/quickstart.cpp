@@ -1,0 +1,63 @@
+// Quickstart: build a Table I system, run one workload combination under the
+// non-partitioned baseline and under Hydrogen, and print what changed.
+//
+//   $ ./quickstart [combo]        (default C1)
+#include <iostream>
+#include <string>
+
+#include "harness/experiment.h"
+#include "harness/report.h"
+
+using namespace h2;
+
+int main(int argc, char** argv) {
+  const std::string combo_name = argc > 1 ? argv[1] : "C1";
+  const ComboSpec& cb = combo(combo_name);
+
+  std::cout << "Hydrogen quickstart — combo " << cb.name << " (CPU: ";
+  for (size_t i = 0; i < cb.cpu.size(); ++i) std::cout << (i ? ", " : "") << cb.cpu[i];
+  std::cout << "; GPU: " << cb.gpu << ")\n\n";
+
+  // 1. Describe the experiment: Table I system, scaled for interactive runs.
+  ExperimentConfig cfg;
+  cfg.combo = combo_name;
+  cfg.sys = SystemConfig::table1(/*scale=*/8);
+  cfg.cpu_target_instructions = 120'000;  // per CPU core
+  cfg.gpu_target_instructions = 480'000;  // per GPU cluster
+  cfg.epoch_cycles = 100'000;
+
+  cfg.sys.print(std::cout);
+
+  // 2. Run the baseline (no partitioning), then full Hydrogen.
+  cfg.design = DesignSpec::baseline();
+  std::cout << "\nrunning baseline ...\n";
+  const ExperimentResult base = run_experiment(cfg);
+
+  cfg.design = DesignSpec::hydrogen_full();
+  std::cout << "running hydrogen ...\n";
+  const ExperimentResult hydro = run_experiment(cfg);
+
+  // 3. Compare.
+  TablePrinter t("baseline vs Hydrogen", {"metric", "baseline", "hydrogen"});
+  auto mcyc = [](Cycle c) { return fmt(static_cast<double>(c) / 1e6, 2) + "M"; };
+  t.row({"CPU cycles to target", mcyc(base.cpu_cycles), mcyc(hydro.cpu_cycles)});
+  t.row({"GPU cycles to target", mcyc(base.gpu_cycles), mcyc(hydro.gpu_cycles)});
+  t.row({"CPU fast-memory hit rate", fmt_pct(base.fast_hit_rate[0]),
+         fmt_pct(hydro.fast_hit_rate[0])});
+  t.row({"GPU fast-memory hit rate", fmt_pct(base.fast_hit_rate[1]),
+         fmt_pct(hydro.fast_hit_rate[1])});
+  t.row({"GPU migrations", std::to_string(base.hmstats[1].migrations),
+         std::to_string(hydro.hmstats[1].migrations)});
+  t.row({"slow-tier traffic amplification", fmt(base.slow_amplification),
+         fmt(hydro.slow_amplification)});
+  t.row({"memory energy (mJ)", fmt(base.energy_pj / 1e9, 2), fmt(hydro.energy_pj / 1e9, 2)});
+  t.print(std::cout);
+
+  std::cout << "\nweighted speedup (CPU:GPU = 12:1): "
+            << fmt(weighted_speedup(base, hydro)) << "x\n";
+  std::cout << "Hydrogen converged to cap=" << hydro.final_point.cap
+            << " CPU ways, bw=" << hydro.final_point.bw
+            << " dedicated channels, tok level " << hydro.final_point.tok << " after "
+            << hydro.reconfigurations << " reconfigurations.\n";
+  return 0;
+}

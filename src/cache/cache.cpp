@@ -1,0 +1,82 @@
+#include "cache/cache.h"
+
+#include "common/assert.h"
+
+namespace h2 {
+
+Cache::Cache(const CacheConfig& cfg) : cfg_(cfg), sets_(cfg.num_sets()) {
+  H2_ASSERT(sets_ >= 1, "cache %s too small for %u ways", cfg.name.c_str(), cfg.ways);
+  lines_.resize(static_cast<size_t>(sets_) * cfg_.ways);
+}
+
+Cache::Line* Cache::find(Addr tag, u32 set) {
+  Line* base = &lines_[static_cast<size_t>(set) * cfg_.ways];
+  for (u32 w = 0; w < cfg_.ways; ++w) {
+    if (base[w].valid && base[w].tag == tag) return &base[w];
+  }
+  return nullptr;
+}
+
+Cache::AccessResult Cache::access(Addr addr, bool is_write) {
+  const Addr line = addr / cfg_.line_bytes;
+  const u32 set = static_cast<u32>(line % sets_);
+  const Addr tag = line / sets_;
+
+  AccessResult res;
+  if (Line* hit = find(tag, set)) {
+    hit->lru = ++stamp_;
+    hit->dirty |= is_write;
+    hits_++;
+    res.hit = true;
+    return res;
+  }
+
+  misses_++;
+  // Choose LRU victim (invalid lines first).
+  Line* base = &lines_[static_cast<size_t>(set) * cfg_.ways];
+  Line* victim = &base[0];
+  for (u32 w = 0; w < cfg_.ways; ++w) {
+    if (!base[w].valid) {
+      victim = &base[w];
+      break;
+    }
+    if (base[w].lru < victim->lru) victim = &base[w];
+  }
+  if (victim->valid) {
+    res.victim_valid = true;
+    res.victim_dirty = victim->dirty;
+    res.victim_addr = (victim->tag * sets_ + set) * cfg_.line_bytes;
+    if (victim->dirty) writebacks_++;
+  }
+  victim->valid = true;
+  victim->dirty = is_write;
+  victim->tag = tag;
+  victim->lru = ++stamp_;
+  return res;
+}
+
+bool Cache::probe(Addr addr) const {
+  const Addr line = addr / cfg_.line_bytes;
+  const u32 set = static_cast<u32>(line % sets_);
+  const Addr tag = line / sets_;
+  const Line* base = &lines_[static_cast<size_t>(set) * cfg_.ways];
+  for (u32 w = 0; w < cfg_.ways; ++w) {
+    if (base[w].valid && base[w].tag == tag) return true;
+  }
+  return false;
+}
+
+bool Cache::invalidate(Addr addr) {
+  const Addr line = addr / cfg_.line_bytes;
+  const u32 set = static_cast<u32>(line % sets_);
+  const Addr tag = line / sets_;
+  if (Line* l = find(tag, set)) {
+    const bool was_dirty = l->dirty;
+    l->valid = false;
+    l->dirty = false;
+    return was_dirty;
+  }
+  return false;
+}
+
+}  // namespace h2

@@ -1,0 +1,76 @@
+// Generic set-associative SRAM cache model (functional hit/miss + fixed
+// latency). Used for CPU L1/L2, GPU L1, and the shared LLC. The model tracks
+// dirty state so that LLC evictions generate memory writebacks, which matter
+// for slow-memory traffic amplification (paper Section IV-B).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace h2 {
+
+struct CacheConfig {
+  std::string name = "cache";
+  u64 size_bytes = 64 * 1024;
+  u32 ways = 8;
+  u32 line_bytes = 64;
+  u32 latency = 4;  ///< hit latency in core cycles
+
+  u32 num_sets() const { return static_cast<u32>(size_bytes / (static_cast<u64>(ways) * line_bytes)); }
+};
+
+class Cache {
+ public:
+  struct AccessResult {
+    bool hit = false;
+    bool victim_valid = false;  ///< a line was evicted on miss-fill
+    bool victim_dirty = false;
+    Addr victim_addr = 0;       ///< byte address of the evicted line
+  };
+
+  explicit Cache(const CacheConfig& cfg);
+
+  /// Looks up `addr`; on miss, allocates the line (write-allocate) and
+  /// reports the victim. `is_write` marks the line dirty.
+  AccessResult access(Addr addr, bool is_write);
+
+  /// Looks up without allocation (for bypassing designs).
+  bool probe(Addr addr) const;
+
+  /// Drops a line if present; returns true if it was dirty.
+  bool invalidate(Addr addr);
+
+  const CacheConfig& config() const { return cfg_; }
+  u32 latency() const { return cfg_.latency; }
+
+  u64 hits() const { return hits_; }
+  u64 misses() const { return misses_; }
+  u64 writebacks() const { return writebacks_; }
+  double hit_rate() const {
+    const u64 total = hits_ + misses_;
+    return total ? static_cast<double>(hits_) / static_cast<double>(total) : 0.0;
+  }
+  void reset_stats() { hits_ = misses_ = writebacks_ = 0; }
+
+ private:
+  struct Line {
+    Addr tag = 0;
+    u64 lru = 0;
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  Line* find(Addr tag, u32 set);
+
+  CacheConfig cfg_;
+  std::vector<Line> lines_;
+  u32 sets_;
+  u64 stamp_ = 0;
+  u64 hits_ = 0;
+  u64 misses_ = 0;
+  u64 writebacks_ = 0;
+};
+
+}  // namespace h2

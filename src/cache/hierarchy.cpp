@@ -1,0 +1,91 @@
+#include "cache/hierarchy.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace h2 {
+
+HierarchyConfig HierarchyConfig::scaled(u32 factor) const {
+  H2_ASSERT(factor >= 1, "scale factor must be >= 1");
+  HierarchyConfig cfg = *this;
+  auto shrink = [&](CacheConfig& c) {
+    c.size_bytes = std::max<u64>(c.size_bytes / factor,
+                                 static_cast<u64>(c.ways) * c.line_bytes);
+  };
+  shrink(cfg.cpu_l1);
+  shrink(cfg.cpu_l2);
+  shrink(cfg.gpu_l1);
+  shrink(cfg.llc);
+  return cfg;
+}
+
+CacheHierarchy::CacheHierarchy(const HierarchyConfig& cfg) : cfg_(cfg) {
+  for (u32 i = 0; i < cfg.cpu_cores; ++i) {
+    cpu_l1_.push_back(std::make_unique<Cache>(cfg.cpu_l1));
+    cpu_l2_.push_back(std::make_unique<Cache>(cfg.cpu_l2));
+  }
+  for (u32 i = 0; i < cfg.gpu_clusters; ++i) {
+    gpu_l1_.push_back(std::make_unique<Cache>(cfg.gpu_l1));
+  }
+  llc_ = std::make_unique<Cache>(cfg.llc);
+}
+
+HierarchyResult CacheHierarchy::llc_fill(Addr addr, bool is_write, u32 latency_so_far) {
+  HierarchyResult res;
+  res.latency = latency_so_far + llc_->latency();
+  const Cache::AccessResult llc = llc_->access(addr, is_write);
+  if (!llc.hit) {
+    res.memory_needed = true;
+    if (llc.victim_valid && llc.victim_dirty) {
+      res.writeback = true;
+      res.writeback_addr = llc.victim_addr;
+    }
+  }
+  return res;
+}
+
+HierarchyResult CacheHierarchy::cpu_access(u32 core, Addr addr, bool is_write) {
+  H2_ASSERT(core < cpu_l1_.size(), "cpu core %u out of range", core);
+  u32 latency = cpu_l1_[core]->latency();
+  if (cpu_l1_[core]->access(addr, is_write).hit) {
+    return HierarchyResult{latency, false, false, 0};
+  }
+  latency += cpu_l2_[core]->latency();
+  if (cpu_l2_[core]->access(addr, is_write).hit) {
+    return HierarchyResult{latency, false, false, 0};
+  }
+  llc_accesses_[0]++;
+  HierarchyResult res = llc_fill(addr, is_write, latency);
+  if (!res.memory_needed) llc_hits_[0]++;
+  return res;
+}
+
+HierarchyResult CacheHierarchy::gpu_access(u32 cluster, Addr addr, bool is_write) {
+  H2_ASSERT(cluster < gpu_l1_.size(), "gpu cluster %u out of range", cluster);
+  u32 latency = gpu_l1_[cluster]->latency();
+  if (gpu_l1_[cluster]->access(addr, is_write).hit) {
+    return HierarchyResult{latency, false, false, 0};
+  }
+  llc_accesses_[1]++;
+  HierarchyResult res = llc_fill(addr, is_write, latency);
+  if (!res.memory_needed) llc_hits_[1]++;
+  return res;
+}
+
+double CacheHierarchy::llc_hit_rate(Requestor r) const {
+  const u32 i = static_cast<u32>(r);
+  return llc_accesses_[i]
+             ? static_cast<double>(llc_hits_[i]) / static_cast<double>(llc_accesses_[i])
+             : 0.0;
+}
+
+void CacheHierarchy::reset_stats() {
+  for (auto& c : cpu_l1_) c->reset_stats();
+  for (auto& c : cpu_l2_) c->reset_stats();
+  for (auto& c : gpu_l1_) c->reset_stats();
+  llc_->reset_stats();
+  llc_hits_[0] = llc_hits_[1] = llc_accesses_[0] = llc_accesses_[1] = 0;
+}
+
+}  // namespace h2

@@ -1,0 +1,67 @@
+// The on-chip cache hierarchy of the heterogeneous processor (paper Table I):
+// per-CPU-core L1 + L2, per-GPU-cluster L1 (one cluster = 16 EUs sharing
+// 128 kB), and a shared LLC in front of the hybrid memory. The hierarchy is
+// purely functional + fixed latency; everything below the LLC is handled by
+// the hybrid memory controller.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cache/cache.h"
+#include "common/types.h"
+
+namespace h2 {
+
+struct HierarchyConfig {
+  u32 cpu_cores = 8;
+  u32 gpu_clusters = 6;  ///< 96 EUs / 16 per cluster
+
+  CacheConfig cpu_l1{.name = "cpu_l1", .size_bytes = 64 * 1024, .ways = 8, .line_bytes = 64, .latency = 4};
+  CacheConfig cpu_l2{.name = "cpu_l2", .size_bytes = 1024 * 1024, .ways = 8, .line_bytes = 64, .latency = 9};
+  CacheConfig gpu_l1{.name = "gpu_l1", .size_bytes = 128 * 1024, .ways = 8, .line_bytes = 64, .latency = 6};
+  CacheConfig llc{.name = "llc", .size_bytes = 16 * 1024 * 1024, .ways = 16, .line_bytes = 64, .latency = 38};
+
+  /// Divides all capacities by `factor` (footprint-scaled simulation; the
+  /// relative geometry of Table I is preserved).
+  HierarchyConfig scaled(u32 factor) const;
+};
+
+/// Outcome of walking the on-chip hierarchy for one access.
+struct HierarchyResult {
+  u32 latency = 0;          ///< cycles spent in SRAM levels
+  bool memory_needed = false;  ///< LLC miss: the demand line must come from memory
+  bool writeback = false;      ///< a dirty LLC victim must be written to memory
+  Addr writeback_addr = 0;
+};
+
+class CacheHierarchy {
+ public:
+  explicit CacheHierarchy(const HierarchyConfig& cfg);
+
+  HierarchyResult cpu_access(u32 core, Addr addr, bool is_write);
+  HierarchyResult gpu_access(u32 cluster, Addr addr, bool is_write);
+
+  const HierarchyConfig& config() const { return cfg_; }
+  Cache& llc() { return *llc_; }
+  const Cache& cpu_l1(u32 core) const { return *cpu_l1_[core]; }
+  const Cache& cpu_l2(u32 core) const { return *cpu_l2_[core]; }
+  const Cache& gpu_l1(u32 cluster) const { return *gpu_l1_[cluster]; }
+
+  /// Aggregate LLC hit rate split by requestor.
+  double llc_hit_rate(Requestor r) const;
+  void reset_stats();
+
+ private:
+  HierarchyResult llc_fill(Addr addr, bool is_write, u32 latency_so_far);
+
+  HierarchyConfig cfg_;
+  std::vector<std::unique_ptr<Cache>> cpu_l1_;
+  std::vector<std::unique_ptr<Cache>> cpu_l2_;
+  std::vector<std::unique_ptr<Cache>> gpu_l1_;
+  std::unique_ptr<Cache> llc_;
+  u64 llc_hits_[2] = {0, 0};
+  u64 llc_accesses_[2] = {0, 0};
+};
+
+}  // namespace h2

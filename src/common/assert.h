@@ -1,0 +1,20 @@
+// Lightweight always-on assertion macro used across the simulator.
+//
+// Simulator invariants guard against silent mis-modelling (a wrong channel
+// index corrupts results, it does not crash), so they stay enabled in release
+// builds. The cost is negligible relative to the event loop.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#define H2_ASSERT(cond, ...)                                          \
+  do {                                                                \
+    if (!(cond)) [[unlikely]] {                                       \
+      std::fprintf(stderr, "H2_ASSERT failed at %s:%d: %s\n",         \
+                   __FILE__, __LINE__, #cond);                        \
+      std::fprintf(stderr, "  " __VA_ARGS__);                         \
+      std::fprintf(stderr, "\n");                                     \
+      std::abort();                                                   \
+    }                                                                 \
+  } while (0)

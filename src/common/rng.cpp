@@ -1,0 +1,70 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace h2 {
+
+namespace {
+constexpr u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+void Rng::reseed(u64 seed) {
+  u64 x = seed;
+  for (auto& word : s_) {
+    x = splitmix64(x);
+    word = x;
+  }
+  // xoshiro must not start from the all-zero state.
+  if (s_[0] == 0 && s_[1] == 0 && s_[2] == 0 && s_[3] == 0) s_[0] = 1;
+}
+
+u64 Rng::next() {
+  const u64 result = rotl(s_[1] * 5, 7) * 9;
+  const u64 t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+u64 Rng::next_below(u64 bound) {
+  H2_ASSERT(bound != 0, "next_below(0)");
+  // Lemire-style multiply-shift; bias is negligible for simulator purposes.
+  return static_cast<u64>((static_cast<unsigned __int128>(next()) * bound) >> 64);
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+u64 Rng::next_gap(double mean, u64 min_value) {
+  if (mean <= static_cast<double>(min_value)) return min_value;
+  // Exponential with the residual mean, floored.
+  const double residual = mean - static_cast<double>(min_value);
+  const double u = 1.0 - next_double();  // avoid log(0)
+  const double e = -residual * std::log(u);
+  return min_value + static_cast<u64>(e);
+}
+
+u64 Rng::next_zipf(u64 n, double s) {
+  H2_ASSERT(n != 0, "next_zipf(0)");
+  if (n == 1) return 0;
+  // Approximate inversion of the Zipf CDF via the continuous bounding
+  // distribution (Gray et al. style). Accurate enough for locality modelling.
+  if (s == 1.0) s = 1.0001;  // avoid the harmonic special case
+  const double nd = static_cast<double>(n);
+  const double exp1 = 1.0 - s;
+  const double norm = (std::pow(nd, exp1) - 1.0) / exp1;
+  const double u = next_double();
+  const double x = std::pow(u * norm * exp1 + 1.0, 1.0 / exp1);
+  u64 rank = static_cast<u64>(x) - (x >= 1.0 ? 1 : 0);
+  if (rank >= n) rank = n - 1;
+  return rank;
+}
+
+}  // namespace h2

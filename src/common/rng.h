@@ -1,0 +1,60 @@
+// Deterministic pseudo-random number generation.
+//
+// The whole simulator is seed-reproducible: every workload generator and
+// stochastic policy owns its own Rng so that module-level changes never
+// perturb unrelated random streams. xoshiro256** is used for speed; seeding
+// goes through splitmix64 as recommended by the xoshiro authors.
+#pragma once
+
+#include <array>
+
+#include "common/types.h"
+
+namespace h2 {
+
+/// splitmix64 step; also useful as a cheap 64-bit mixing/hash function.
+constexpr u64 splitmix64(u64 x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Mixes several values into one hash; used by consistent hashing and
+/// set-index scrambling.
+constexpr u64 mix_hash(u64 a, u64 b, u64 c = 0) {
+  return splitmix64(splitmix64(a ^ 0x517cc1b727220a95ull) + splitmix64(b) * 0x2545f4914f6cdd1dull + c);
+}
+
+/// xoshiro256** generator (public-domain algorithm by Blackman & Vigna).
+class Rng {
+ public:
+  explicit Rng(u64 seed = 0x5eed5eed5eedull) { reseed(seed); }
+
+  void reseed(u64 seed);
+
+  /// Uniform 64-bit value.
+  u64 next();
+
+  /// Uniform in [0, bound); bound must be non-zero.
+  u64 next_below(u64 bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial.
+  bool chance(double p) { return next_double() < p; }
+
+  /// Geometric-ish integer gap with the given mean (>= min_value).
+  /// Used for instruction gaps between memory accesses.
+  u64 next_gap(double mean, u64 min_value = 0);
+
+  /// Zipf-distributed rank in [0, n) with skew `s` (approximate, via
+  /// rejection-inversion-lite; adequate for workload hot-set modelling).
+  u64 next_zipf(u64 n, double s);
+
+ private:
+  std::array<u64, 4> s_{};
+};
+
+}  // namespace h2

@@ -1,0 +1,111 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace h2 {
+
+void Histogram::record(u64 value) {
+  const u32 b = value == 0 ? 0 : std::min<u32>(kBuckets - 1, static_cast<u32>(std::bit_width(value)));
+  buckets_[b]++;
+  count_++;
+  sum_ += value;
+  max_ = std::max(max_, value);
+}
+
+u64 Histogram::percentile(double p) const {
+  if (count_ == 0) return 0;
+  const u64 target = static_cast<u64>(std::ceil(p / 100.0 * static_cast<double>(count_)));
+  u64 seen = 0;
+  for (u32 i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= target) return i == 0 ? 0 : (1ull << i) - 1;  // bucket upper bound
+  }
+  return max_;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b = 0;
+  count_ = sum_ = max_ = 0;
+}
+
+Counter& StatGroup::counter(const std::string& key) { return counters_[key]; }
+
+void StatGroup::set_gauge(const std::string& key, double value) { gauges_[key] = value; }
+
+double StatGroup::gauge(const std::string& key) const {
+  auto it = gauges_.find(key);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+u64 StatGroup::counter_value(const std::string& key) const {
+  auto it = counters_.find(key);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+void StatGroup::reset() {
+  for (auto& [_, c] : counters_) c.reset();
+  gauges_.clear();
+}
+
+void StatGroup::print(std::ostream& os) const {
+  os << "[" << name_ << "]\n";
+  for (const auto& [k, c] : counters_) os << "  " << k << " = " << c.value() << "\n";
+  for (const auto& [k, g] : gauges_) os << "  " << k << " = " << g << "\n";
+}
+
+namespace {
+bool needs_quotes(const std::string& s) {
+  return s.find_first_of(",\"\n") != std::string::npos;
+}
+}  // namespace
+
+CsvWriter& CsvWriter::cell(const std::string& s) {
+  if (row_started_) os_ << ",";
+  row_started_ = true;
+  if (needs_quotes(s)) {
+    os_ << '"';
+    for (char c : s) {
+      if (c == '"') os_ << '"';
+      os_ << c;
+    }
+    os_ << '"';
+  } else {
+    os_ << s;
+  }
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(double v) {
+  if (row_started_) os_ << ",";
+  row_started_ = true;
+  os_ << v;
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(u64 v) {
+  if (row_started_) os_ << ",";
+  row_started_ = true;
+  os_ << v;
+  return *this;
+}
+
+void CsvWriter::end_row() {
+  os_ << "\n";
+  row_started_ = false;
+}
+
+double geomean(const std::vector<double>& xs) {
+  H2_ASSERT(!xs.empty(), "geomean of empty vector");
+  double log_sum = 0.0;
+  for (double x : xs) {
+    H2_ASSERT(x > 0.0, "geomean needs positive values");
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+}  // namespace h2

@@ -1,0 +1,92 @@
+// Statistics collection: named counters, scalar gauges, histograms, and a
+// registry that can render itself as a table or CSV. Every simulator
+// component exposes its measurements through a StatGroup so the harness can
+// dump uniform reports (mirrors the paper artifact's extract_performance.py).
+#pragma once
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace h2 {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void inc(u64 by = 1) { value_ += by; }
+  u64 value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  u64 value_ = 0;
+};
+
+/// Power-of-two bucketed histogram (bucket i holds values in [2^i, 2^(i+1))).
+/// Used for latency and reuse-distance distributions.
+class Histogram {
+ public:
+  static constexpr u32 kBuckets = 40;
+
+  void record(u64 value);
+  u64 count() const { return count_; }
+  u64 total() const { return sum_; }
+  double mean() const { return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0; }
+  u64 max() const { return max_; }
+  /// Approximate p-th percentile (p in [0,100]) from bucket boundaries.
+  u64 percentile(double p) const;
+  u64 bucket(u32 i) const { return buckets_[i]; }
+  void reset();
+
+ private:
+  u64 buckets_[kBuckets] = {};
+  u64 count_ = 0;
+  u64 sum_ = 0;
+  u64 max_ = 0;
+};
+
+/// A named bundle of counters/gauges with stable iteration order.
+class StatGroup {
+ public:
+  explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+  Counter& counter(const std::string& key);
+  void set_gauge(const std::string& key, double value);
+  double gauge(const std::string& key) const;
+  u64 counter_value(const std::string& key) const;
+  bool has_counter(const std::string& key) const { return counters_.count(key) != 0; }
+
+  const std::string& name() const { return name_; }
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, double>& gauges() const { return gauges_; }
+
+  void reset();
+  void print(std::ostream& os) const;
+
+ private:
+  std::string name_;
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, double> gauges_;
+};
+
+/// Writes rows of (string|double) cells as CSV; quotes only when needed.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  CsvWriter& cell(const std::string& s);
+  CsvWriter& cell(double v);
+  CsvWriter& cell(u64 v);
+  void end_row();
+
+ private:
+  std::ostream& os_;
+  bool row_started_ = false;
+};
+
+/// Geometric mean of a non-empty vector of positive values.
+double geomean(const std::vector<double>& xs);
+
+}  // namespace h2

@@ -1,0 +1,50 @@
+// Fundamental type aliases shared by every Hydrogen subsystem.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <limits>
+
+namespace h2 {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Global simulated time, counted in core clock cycles (3.2 GHz by default).
+using Cycle = u64;
+
+/// Byte address in the unified physical address space.
+using Addr = u64;
+
+/// Sentinel for "never" / "no pending event".
+inline constexpr Cycle kNever = std::numeric_limits<Cycle>::max();
+
+/// Which side of the heterogeneous processor issued a request.
+enum class Requestor : u8 { Cpu = 0, Gpu = 1 };
+
+inline constexpr u32 kNumRequestors = 2;
+
+inline constexpr const char* to_string(Requestor r) {
+  return r == Requestor::Cpu ? "cpu" : "gpu";
+}
+
+/// Memory tier of the hybrid memory.
+enum class Tier : u8 { Fast = 0, Slow = 1 };
+
+inline constexpr const char* to_string(Tier t) {
+  return t == Tier::Fast ? "fast" : "slow";
+}
+
+/// Organisation mode of the hybrid memory (Section II-A of the paper).
+enum class HybridMode : u8 {
+  Cache,  ///< fast memory is a hardware-managed cache in front of slow memory
+  Flat,   ///< both tiers form one flat physical space; migration swaps blocks
+};
+
+}  // namespace h2

@@ -1,0 +1,164 @@
+#include "config/config_file.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/assert.h"
+
+namespace h2 {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) b++;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) e--;
+  return s.substr(b, e - b);
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+/// Strips a trailing comment that is not inside quotes.
+std::string strip_comment(const std::string& s) {
+  bool quoted = false;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '"') quoted = !quoted;
+    if (!quoted && (s[i] == '#' || s[i] == ';')) return s.substr(0, i);
+  }
+  return s;
+}
+
+}  // namespace
+
+bool ConfigFile::load(const std::string& path) {
+  std::ifstream f(path);
+  if (!f.good()) return false;
+  std::stringstream ss;
+  ss << f.rdbuf();
+  parse(ss.str(), path);
+  return true;
+}
+
+void ConfigFile::parse(const std::string& text, const std::string& origin) {
+  std::istringstream in(text);
+  std::string line;
+  std::string section;
+  u32 lineno = 0;
+  while (std::getline(in, line)) {
+    lineno++;
+    line = trim(strip_comment(line));
+    if (line.empty()) continue;
+
+    if (line.front() == '[') {
+      H2_ASSERT(line.back() == ']', "%s:%u: unterminated section header", origin.c_str(),
+                lineno);
+      section = trim(line.substr(1, line.size() - 2));
+      continue;
+    }
+
+    const size_t eq = line.find('=');
+    H2_ASSERT(eq != std::string::npos, "%s:%u: expected key = value", origin.c_str(),
+              lineno);
+    std::string key = trim(line.substr(0, eq));
+    std::string value = trim(line.substr(eq + 1));
+    H2_ASSERT(!key.empty(), "%s:%u: empty key", origin.c_str(), lineno);
+    if (!value.empty() && value.front() == '"' && value.back() == '"' && value.size() >= 2) {
+      value = value.substr(1, value.size() - 2);
+    }
+    const std::string full = section.empty() ? key : section + "." + key;
+    if (!values_.count(full)) order_.push_back(full);
+    values_[full] = value;  // later assignments win, like the artifact's cfg
+    used_[full] = false;
+  }
+}
+
+const std::string* ConfigFile::find(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return nullptr;
+  used_[key] = true;
+  return &it->second;
+}
+
+bool ConfigFile::has(const std::string& key) const { return find(key) != nullptr; }
+
+std::string ConfigFile::get_string(const std::string& key, const std::string& def) const {
+  const std::string* v = find(key);
+  return v ? *v : def;
+}
+
+i64 ConfigFile::get_int(const std::string& key, i64 def) const {
+  const std::string* v = find(key);
+  if (!v) return def;
+  char* end = nullptr;
+  const i64 out = std::strtoll(v->c_str(), &end, 0);
+  H2_ASSERT(end && *end == '\0', "config key %s: '%s' is not an integer", key.c_str(),
+            v->c_str());
+  return out;
+}
+
+u64 ConfigFile::get_u64(const std::string& key, u64 def) const {
+  const std::string* v = find(key);
+  if (!v) return def;
+  return parse_size(*v);
+}
+
+double ConfigFile::get_double(const std::string& key, double def) const {
+  const std::string* v = find(key);
+  if (!v) return def;
+  char* end = nullptr;
+  const double out = std::strtod(v->c_str(), &end);
+  H2_ASSERT(end && *end == '\0', "config key %s: '%s' is not a number", key.c_str(),
+            v->c_str());
+  return out;
+}
+
+bool ConfigFile::get_bool(const std::string& key, bool def) const {
+  const std::string* v = find(key);
+  if (!v) return def;
+  const std::string s = lower(*v);
+  if (s == "true" || s == "yes" || s == "on" || s == "1") return true;
+  if (s == "false" || s == "no" || s == "off" || s == "0") return false;
+  H2_ASSERT(false, "config key %s: '%s' is not a boolean", key.c_str(), v->c_str());
+  return def;
+}
+
+std::vector<std::string> ConfigFile::unused_keys() const {
+  std::vector<std::string> out;
+  for (const auto& k : order_) {
+    auto it = used_.find(k);
+    if (it != used_.end() && !it->second) out.push_back(k);
+  }
+  return out;
+}
+
+std::vector<std::string> ConfigFile::keys() const { return order_; }
+
+u64 ConfigFile::parse_size(const std::string& text) {
+  const std::string s = trim(text);
+  H2_ASSERT(!s.empty(), "empty size value");
+  char* end = nullptr;
+  const double base = std::strtod(s.c_str(), &end);
+  H2_ASSERT(end != s.c_str(), "'%s' is not a size", s.c_str());
+  const std::string suffix = lower(trim(end));
+  double mult = 1;
+  if (suffix == "" || suffix == "b") {
+    mult = 1;
+  } else if (suffix == "kb" || suffix == "k" || suffix == "kib") {
+    mult = 1024;
+  } else if (suffix == "mb" || suffix == "m" || suffix == "mib") {
+    mult = 1024.0 * 1024;
+  } else if (suffix == "gb" || suffix == "g" || suffix == "gib") {
+    mult = 1024.0 * 1024 * 1024;
+  } else {
+    H2_ASSERT(false, "unknown size suffix '%s'", suffix.c_str());
+  }
+  return static_cast<u64>(base * mult);
+}
+
+}  // namespace h2

@@ -1,0 +1,63 @@
+// A small INI-style configuration-file reader for the simulator driver
+// (tools/h2sim). The paper's artifact drives zsim with libconfig files
+// (sims/<design>/zsim.cfg); this is the equivalent interface for this
+// reproduction, so experiments are reproducible from checked-in text files.
+//
+// Format:
+//   # comment / ; comment
+//   [section]
+//   key = value            # values: string, integer, double, bool
+//   other.key = 12         # dots allowed inside key names
+//
+// Keys are addressed as "section.key". Unknown keys are detectable via
+// unused_keys() so drivers can reject typos instead of silently ignoring
+// them (a classic simulator footgun).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace h2 {
+
+class ConfigFile {
+ public:
+  ConfigFile() = default;
+
+  /// Parses a file; aborts with a message naming the offending line on
+  /// malformed input. Returns false if the file cannot be opened.
+  bool load(const std::string& path);
+
+  /// Parses configuration text directly (used by tests).
+  void parse(const std::string& text, const std::string& origin = "<string>");
+
+  bool has(const std::string& key) const;
+
+  /// Typed getters with defaults; abort on un-convertible values.
+  std::string get_string(const std::string& key, const std::string& def = "") const;
+  i64 get_int(const std::string& key, i64 def = 0) const;
+  u64 get_u64(const std::string& key, u64 def = 0) const;
+  double get_double(const std::string& key, double def = 0.0) const;
+  bool get_bool(const std::string& key, bool def = false) const;
+
+  /// Keys present in the file but never read — for strict drivers.
+  std::vector<std::string> unused_keys() const;
+
+  /// All keys, in file order.
+  std::vector<std::string> keys() const;
+
+  /// Size suffix parser: "64MB", "256kB", "2GB", plain bytes otherwise.
+  static u64 parse_size(const std::string& text);
+
+ private:
+  const std::string* find(const std::string& key) const;
+
+  std::vector<std::string> order_;
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> used_;
+};
+
+}  // namespace h2

@@ -1,0 +1,99 @@
+#include "harness/config_loader.h"
+
+#include <iostream>
+
+#include "common/assert.h"
+
+namespace h2 {
+
+DesignSpec design_from_name(const std::string& name) {
+  if (name == "baseline") return DesignSpec::baseline();
+  if (name == "waypart") return DesignSpec::waypart();
+  if (name == "hashcache") return DesignSpec::hashcache();
+  if (name == "profess") return DesignSpec::profess();
+  if (name == "hydrogen") return DesignSpec::hydrogen_full();
+  if (name == "hydrogen-dp") return DesignSpec::hydrogen_dp();
+  if (name == "hydrogen-dp+token") return DesignSpec::hydrogen_dp_token();
+  if (name == "hydrogen-setpart") return DesignSpec::hydrogen_setpart();
+  H2_ASSERT(false, "unknown design '%s'", name.c_str());
+  return DesignSpec::baseline();
+}
+
+ExperimentConfig experiment_from_config(const ConfigFile& cfg) {
+  ExperimentConfig ec;
+
+  // --- system -------------------------------------------------------------
+  const u32 scale = static_cast<u32>(cfg.get_int("system.scale", 8));
+  ec.sys = cfg.get_bool("system.hbm3", false) ? SystemConfig::table1_hbm3(scale)
+                                              : SystemConfig::table1(scale);
+  ec.sys.cpu_cores = static_cast<u32>(cfg.get_int("system.cpu_cores", ec.sys.cpu_cores));
+
+  // --- simulation ----------------------------------------------------------
+  ec.combo = cfg.get_string("sim.combo", "C1");
+  ec.design = design_from_name(cfg.get_string("sim.design", "hydrogen"));
+  ec.seed = cfg.get_u64("sim.seed", 42);
+  const std::string mode = cfg.get_string("sim.mode", "cache");
+  H2_ASSERT(mode == "cache" || mode == "flat", "sim.mode must be cache or flat");
+  ec.mode = mode == "cache" ? HybridMode::Cache : HybridMode::Flat;
+  ec.cpu_target_instructions =
+      cfg.get_u64("sim.cpu_target_instructions", 120'000);
+  ec.gpu_target_instructions =
+      cfg.get_u64("sim.gpu_target_instructions", 1'200'000);
+  ec.epoch_cycles = cfg.get_u64("sim.epoch_cycles", 40'000);
+  ec.phase_cycles = cfg.get_u64("sim.phase_cycles", 0);
+  ec.max_cycles = cfg.get_u64("sim.max_cycles", 400'000'000);
+  ec.weight_cpu = cfg.get_double("sim.weight_cpu", 12.0);
+  ec.weight_gpu = cfg.get_double("sim.weight_gpu", 1.0);
+  ec.cpu_only = cfg.get_bool("sim.cpu_only", false);
+  ec.gpu_only = cfg.get_bool("sim.gpu_only", false);
+  ec.trace_dir = cfg.get_string("sim.trace_dir", "");
+
+  // --- hybrid memory geometry ----------------------------------------------
+  ec.assoc = static_cast<u32>(cfg.get_int("hybrid.assoc", 4));
+  ec.block_bytes = cfg.get_u64("hybrid.block_bytes", 256);
+  ec.fast_capacity_frac = cfg.get_double("hybrid.fast_capacity_frac", 0.125);
+  ec.fast_capacity_override = cfg.get_u64("hybrid.fast_capacity", 0);
+  ec.fast_channels = static_cast<u32>(cfg.get_int("hybrid.fast_channels", 0));
+  ec.slow_channels = static_cast<u32>(cfg.get_int("hybrid.slow_channels", 0));
+
+  // --- Hydrogen-specific knobs ----------------------------------------------
+  if (ec.design.kind == DesignSpec::Kind::Hydrogen) {
+    HydrogenConfig& h = ec.design.hydrogen;
+    h.decoupled = cfg.get_bool("hydrogen.decoupled", h.decoupled);
+    h.token = cfg.get_bool("hydrogen.token", h.token);
+    h.search = cfg.get_bool("hydrogen.search", h.search);
+    h.fixed_cpu_capacity_frac =
+        cfg.get_double("hydrogen.cpu_capacity_frac", h.fixed_cpu_capacity_frac);
+    h.fixed_cpu_bw_frac = cfg.get_double("hydrogen.cpu_bw_frac", h.fixed_cpu_bw_frac);
+    h.fixed_tok_frac = cfg.get_double("hydrogen.tok_frac", h.fixed_tok_frac);
+    h.faucet_period = cfg.get_u64("hydrogen.faucet_period", h.faucet_period);
+    const std::string swap = cfg.get_string("hydrogen.swap", "on");
+    if (swap == "on") {
+      h.swap = SwapMode::On;
+    } else if (swap == "prob") {
+      h.swap = SwapMode::Prob;
+    } else if (swap == "off") {
+      h.swap = SwapMode::Off;
+    } else {
+      H2_ASSERT(false, "hydrogen.swap must be on|prob|off, got '%s'", swap.c_str());
+    }
+  }
+  return ec;
+}
+
+ExperimentConfig experiment_from_file(const std::string& path, bool strict) {
+  ConfigFile cfg;
+  H2_ASSERT(cfg.load(path), "cannot open config file %s", path.c_str());
+  ExperimentConfig ec = experiment_from_config(cfg);
+  if (strict) {
+    const auto unused = cfg.unused_keys();
+    for (const auto& k : unused) {
+      std::cerr << "error: unknown config key '" << k << "' in " << path << "\n";
+    }
+    H2_ASSERT(unused.empty(), "config file %s has %zu unknown keys", path.c_str(),
+              unused.size());
+  }
+  return ec;
+}
+
+}  // namespace h2

@@ -1,0 +1,38 @@
+// Builds an ExperimentConfig from an INI-style configuration file — the
+// equivalent of the artifact's per-design zsim.cfg files (sims/baseline,
+// sims/hashcache, sims/profess, sims/hydrogen). Checked-in examples live in
+// configs/.
+#pragma once
+
+#include <string>
+
+#include "config/config_file.h"
+#include "harness/experiment.h"
+
+namespace h2 {
+
+/// Resolves a design name ("baseline", "waypart", "hashcache", "profess",
+/// "hydrogen", "hydrogen-dp", "hydrogen-dp+token", "hydrogen-setpart")
+/// to its DesignSpec. Aborts on unknown names.
+DesignSpec design_from_name(const std::string& name);
+
+/// Builds an experiment from a parsed config. Recognised keys (all optional,
+/// defaults are the bench-standard Table I setup):
+///   sim.combo, sim.design, sim.seed, sim.mode (cache|flat)
+///   sim.cpu_target_instructions, sim.gpu_target_instructions, sim.trace_dir
+///   sim.epoch_cycles, sim.phase_cycles, sim.max_cycles
+///   sim.weight_cpu, sim.weight_gpu, sim.cpu_only, sim.gpu_only
+///   system.scale, system.cpu_cores, system.hbm3
+///   hybrid.assoc, hybrid.block_bytes, hybrid.fast_capacity_frac,
+///   hybrid.fast_capacity (size with suffix), hybrid.fast_channels,
+///   hybrid.slow_channels
+///   hydrogen.decoupled, hydrogen.token, hydrogen.search,
+///   hydrogen.cpu_capacity_frac, hydrogen.cpu_bw_frac, hydrogen.tok_frac,
+///   hydrogen.faucet_period, hydrogen.swap (on|prob|off)
+ExperimentConfig experiment_from_config(const ConfigFile& cfg);
+
+/// Convenience: load + build; aborts if the file is missing or has unknown
+/// keys (strict mode guards against typos).
+ExperimentConfig experiment_from_file(const std::string& path, bool strict = true);
+
+}  // namespace h2

@@ -1,0 +1,114 @@
+// The experiment harness: builds a complete system (cores + caches + hybrid
+// memory + DRAM) for one (workload combo, design) pair, runs it to
+// completion, and reports the metrics the paper's figures are built from.
+// This mirrors the artifact's T2 (simulate) + T3 (extract) stages.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hybridmem/hybrid_memory.h"
+#include "hydrogen/hydrogen_policy.h"
+#include "sysconfig/system_config.h"
+#include "trace/workloads.h"
+
+namespace h2 {
+
+/// A named design under evaluation (one bar group of Fig. 5).
+struct DesignSpec {
+  std::string label = "baseline";
+  enum class Kind : u8 { Baseline, WayPart, HAShCache, Profess, Hydrogen, SetPart } kind =
+      Kind::Baseline;
+  HydrogenConfig hydrogen;  ///< used when kind == Hydrogen
+  bool ideal_swap = false;        ///< Fig. 7(a) Ideal
+  bool instant_reconfig = false;  ///< Fig. 7(b) ideal reconfiguration
+  /// HAShCache's native organisation is direct-mapped + chaining; Fig. 11
+  /// scales it to other associativities with chaining disabled and extra tag
+  /// latency, which this flag selects.
+  bool hashcache_native_geometry = true;
+
+  static DesignSpec baseline();
+  static DesignSpec waypart(double cpu_way_fraction = 0.75);
+  static DesignSpec hashcache();
+  static DesignSpec profess();
+  /// Hydrogen variants of Fig. 5: DP only, DP+Token, and the full design.
+  static DesignSpec hydrogen_dp();
+  static DesignSpec hydrogen_dp_token();
+  static DesignSpec hydrogen_full();
+  /// The decoupled set-partitioning alternative of Section IV-F.
+  static DesignSpec hydrogen_setpart();
+};
+
+struct ExperimentConfig {
+  std::string combo = "C1";
+  DesignSpec design = DesignSpec::hydrogen_full();
+  SystemConfig sys = SystemConfig::table1();
+  HybridMode mode = HybridMode::Cache;
+
+  u32 assoc = 4;
+  u64 block_bytes = 256;
+  double fast_capacity_frac = 0.125;  ///< fast = frac * slow (paper: 1/8)
+  u64 fast_capacity_override = 0;     ///< explicit fast capacity (0 = derive)
+  u32 fast_channels = 0;              ///< physical channels; 0 = Table I default
+  u32 slow_channels = 0;
+
+  u64 cpu_target_instructions = 2'000'000;  ///< per CPU core
+  u64 gpu_target_instructions = 1'500'000;  ///< per GPU cluster
+  double weight_cpu = 12.0;  ///< IPC weights (paper default 12:1)
+  double weight_gpu = 1.0;
+
+  Cycle epoch_cycles = 250'000;  ///< sampling epoch (paper: 10 M, scaled)
+  Cycle phase_cycles = 0;        ///< exploration phase restart (0 = off)
+  Cycle max_cycles = 300'000'000;
+
+  bool cpu_only = false;  ///< Fig. 2(a) "running alone" runs
+  bool gpu_only = false;
+  u64 seed = 42;
+
+  /// If non-empty, cores replay recorded traces from
+  /// `<trace_dir>/<workload>.trace` (written by tools/h2trace) instead of
+  /// running the synthetic generators — the artifact's T1 -> T2 pipeline.
+  std::string trace_dir;
+};
+
+struct ExperimentResult {
+  std::string combo;
+  std::string design;
+  Cycle cpu_cycles = 0;  ///< cycle at which the CPU side reached its target
+  Cycle gpu_cycles = 0;
+  Cycle end_cycle = 0;
+  bool cpu_finished = false;
+  bool gpu_finished = false;
+  u64 cpu_instructions = 0;
+  u64 gpu_instructions = 0;
+  double cpu_ipc = 0.0;
+  double gpu_ipc = 0.0;
+  double weighted_ipc = 0.0;
+  double energy_pj = 0.0;
+  u64 fast_bytes = 0;
+  u64 slow_bytes = 0;
+  HybridStats hmstats[2];
+  double fast_hit_rate[2] = {0.0, 0.0};
+  double llc_hit_rate[2] = {0.0, 0.0};
+  double remap_cache_hit_rate = 0.0;
+  double slow_amplification = 0.0;  ///< slow-tier bytes per demand byte
+  double read_latency_mean[2] = {0.0, 0.0};  ///< per side, cycles
+  u64 read_latency_p99[2] = {0, 0};
+  ParamPoint final_point;           ///< Hydrogen only
+  u64 reconfigurations = 0;
+  u64 epochs = 0;
+};
+
+/// Builds and runs one experiment. Deterministic for a given config.
+ExperimentResult run_experiment(const ExperimentConfig& cfg);
+
+/// Weighted speedup of `x` over `base` (paper T3: per-side cycle ratios,
+/// combined with normalised weights).
+double weighted_speedup(const ExperimentResult& base, const ExperimentResult& x,
+                        double weight_cpu = 12.0, double weight_gpu = 1.0);
+
+/// Per-side slowdown of a shared run vs. a solo run (Fig. 2(a)).
+double side_slowdown(const ExperimentResult& solo, const ExperimentResult& shared,
+                     Requestor side);
+
+}  // namespace h2

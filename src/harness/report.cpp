@@ -1,0 +1,74 @@
+#include "harness/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "common/assert.h"
+#include "common/stats.h"
+
+namespace h2 {
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_pct(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, v * 100.0);
+  return buf;
+}
+
+TablePrinter::TablePrinter(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void TablePrinter::row(std::vector<std::string> cells) {
+  H2_ASSERT(cells.size() == columns_.size(), "row width %zu != header width %zu",
+            cells.size(), columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<size_t> width(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) width[c] = columns_[c].size();
+  for (const auto& r : rows_) {
+    for (size_t c = 0; c < r.size(); ++c) width[c] = std::max(width[c], r[c].size());
+  }
+
+  os << "\n== " << title_ << " ==\n";
+  auto emit_row = [&](const std::vector<std::string>& r) {
+    for (size_t c = 0; c < r.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os << r[c];
+      for (size_t pad = r[c].size(); pad < width[c]; ++pad) os << ' ';
+    }
+    os << "\n";
+  };
+  emit_row(columns_);
+  size_t total = columns_.size() - 1;
+  for (size_t w : width) total += w + 1;
+  os << std::string(total, '-') << "\n";
+  for (const auto& r : rows_) emit_row(r);
+}
+
+void TablePrinter::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  H2_ASSERT(f.good(), "cannot write %s", path.c_str());
+  CsvWriter csv(f);
+  for (const auto& c : columns_) csv.cell(c);
+  csv.end_row();
+  for (const auto& r : rows_) {
+    for (const auto& c : r) csv.cell(c);
+    csv.end_row();
+  }
+}
+
+void print_check(std::ostream& os, const std::string& what, double paper,
+                 double measured, int precision) {
+  os << "  [paper vs measured] " << what << ": paper=" << fmt(paper, precision)
+     << " measured=" << fmt(measured, precision) << "\n";
+}
+
+}  // namespace h2

@@ -1,0 +1,40 @@
+// Table / CSV reporting helpers shared by the figure benches and examples.
+// Each bench prints the same rows/series its paper figure reports, plus a
+// paper-vs-measured summary line where the paper states a headline number.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace h2 {
+
+/// Fixed-precision formatting for table cells.
+std::string fmt(double v, int precision = 2);
+std::string fmt_pct(double v, int precision = 1);  ///< 0.317 -> "31.7%"
+
+/// Aligned text table accumulated row by row.
+class TablePrinter {
+ public:
+  TablePrinter(std::string title, std::vector<std::string> columns);
+
+  void row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+  /// Also dumps the table as CSV (artifact-style perf.csv companions).
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// One "paper vs measured" check line, printed by every figure bench.
+void print_check(std::ostream& os, const std::string& what, double paper,
+                 double measured, int precision = 2);
+
+}  // namespace h2

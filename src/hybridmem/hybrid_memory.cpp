@@ -1,0 +1,397 @@
+#include "hybridmem/hybrid_memory.h"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+#include "common/assert.h"
+
+namespace h2 {
+
+namespace {
+constexpr u32 kLineBytes = 64;
+/// Metadata lives in a reserved region of fast memory; the offset only
+/// influences bank mapping inside the channel model.
+constexpr Addr kMetaBase = 1ull << 40;
+}  // namespace
+
+HybridMemory::HybridMemory(const HybridMemConfig& cfg, MemorySystem* mem,
+                           PartitionPolicy* policy)
+    : cfg_(cfg),
+      mem_(mem),
+      policy_(policy),
+      table_(cfg.num_sets(), cfg.assoc),
+      remap_cache_(cfg.remap_cache_bytes, /*bytes_per_set=*/cfg.assoc * 8) {
+  H2_ASSERT(mem != nullptr && policy != nullptr, "hybrid memory needs mem + policy");
+  H2_ASSERT(cfg.num_sets() >= 1, "fast capacity too small for geometry");
+  H2_ASSERT(!cfg.chaining || cfg.assoc == 1, "chaining requires a direct-mapped layout");
+  policy_->bind(mem->num_fast_superchannels(), cfg.assoc, cfg.num_sets());
+  policy_->attach_table(&table_);
+}
+
+HybridMemory::Lookup HybridMemory::lookup(Cycle now, Requestor cls, Addr addr,
+                                          u64 tag, u32 set) {
+  (void)addr;
+  Cycle t = now + cfg_.mc_overhead;
+  if (remap_cache_.probe(set)) {
+    t += remap_cache_.hit_latency();
+  } else {
+    // Metadata fill: one 64 B read from the fast tier.
+    const u32 meta_ch = set % mem_->num_fast_superchannels();
+    const auto res = mem_->fast_access(now, meta_ch, kMetaBase + static_cast<Addr>(set) * 64,
+                                       kLineBytes, /*is_write=*/false, cls, /*earliest=*/t);
+    st(cls).meta_misses++;
+    st(cls).meta_wait_cycles += res.first_data - t;
+    t = res.first_data;
+  }
+
+  i32 way = table_.find(set, tag);
+  bool chained = false;
+  u32 eff_set = set;
+  if (way < 0 && cfg_.chaining) {
+    // Chaining probes are sequential: the partner-set walk costs extra
+    // latency whether it hits or not (HAShCache's pseudo-associativity).
+    t += cfg_.chain_latency;
+    const u32 partner = set ^ 1u;
+    if (partner < table_.num_sets()) {
+      const i32 cw = table_.find(partner, tag);
+      if (cw >= 0) {
+        way = cw;
+        eff_set = partner;
+        chained = true;
+      }
+    }
+  }
+  return Lookup{t, way, eff_set, chained};
+}
+
+i32 HybridMemory::pick_victim(u32 set, Requestor cls) const {
+  i32 best = -1;
+  u64 best_lru = ~0ull;
+  for (u32 w = 0; w < table_.assoc(); ++w) {
+    if (!policy_->way_allowed(set, w, cls)) continue;
+    const RemapWay& rw = table_.way(set, w);
+    if (!rw.valid) return static_cast<i32>(w);
+    if (rw.lru < best_lru) {
+      best_lru = rw.lru;
+      best = static_cast<i32>(w);
+    }
+  }
+  return best;
+}
+
+void HybridMemory::fill_way(u32 set, u32 way, u64 tag, bool dirty, Requestor cls,
+                            u32 present_mask) {
+  RemapWay& rw = table_.way(set, way);
+  rw.tag = tag;
+  rw.hits = 0;
+  rw.valid = true;
+  rw.dirty = dirty;
+  rw.present = present_mask & full_mask();
+  rw.channel = static_cast<u8>(policy_->channel_of_way(set, way));
+  rw.owner_cpu = policy_->way_owner(set, way) == Requestor::Cpu;
+  (void)cls;
+  table_.touch(set, way);
+}
+
+void HybridMemory::do_fast_swap(const PolicyContext& ctx, u32 set, u32 way_a, u32 way_b) {
+  RemapWay& a = table_.way(set, way_a);
+  RemapWay& b = table_.way(set, way_b);
+  if (!cfg_.ideal_swap) {
+    // Read both blocks and write them back to the opposite ways' channels;
+    // off the critical path but consuming fast-tier bandwidth.
+    const Addr addr_a = a.valid ? a.tag * cfg_.block_bytes : kMetaBase;
+    const Addr addr_b = b.valid ? b.tag * cfg_.block_bytes : kMetaBase;
+    const u32 bytes = static_cast<u32>(cfg_.block_bytes);
+    mem_->fast_access(ctx.now, a.channel, addr_a, bytes, false, ctx.cls);
+    mem_->fast_access(ctx.now, b.channel, addr_b, bytes, false, ctx.cls);
+    mem_->fast_access(ctx.now, b.channel, addr_a, bytes, true, ctx.cls);
+    mem_->fast_access(ctx.now, a.channel, addr_b, bytes, true, ctx.cls);
+  }
+  std::swap(a.tag, b.tag);
+  std::swap(a.valid, b.valid);
+  std::swap(a.dirty, b.dirty);
+  std::swap(a.hits, b.hits);
+  std::swap(a.present, b.present);  // sub-block residency follows the block
+  // Channels and owner bits stay attached to the ways; both entries now sit
+  // on their way's configured channel.
+  a.channel = static_cast<u8>(policy_->channel_of_way(set, way_a));
+  b.channel = static_cast<u8>(policy_->channel_of_way(set, way_b));
+  st(ctx.cls).fast_swaps++;
+}
+
+void HybridMemory::lazy_fixups(const PolicyContext& ctx, u32 set, u32 way, Cycle t) {
+  RemapWay& rw = table_.way(set, way);
+  const bool want_cpu = policy_->way_owner(set, way) == Requestor::Cpu;
+  if (rw.owner_cpu != want_cpu) {
+    // Misplaced after a reconfiguration: invalidate after the access (paper
+    // Section IV-D). Dirty data must be written back to the slow tier first.
+    if (rw.dirty && cfg_.mode == HybridMode::Cache) {
+      const u32 wb_bytes =
+          cfg_.subblock
+              ? std::max<u32>(64, 64 * std::popcount(rw.present & full_mask()))
+              : static_cast<u32>(cfg_.block_bytes);
+      mem_->slow_access(ctx.now, rw.tag * cfg_.block_bytes, wb_bytes,
+                        /*is_write=*/true, ctx.cls, /*earliest=*/t);
+      st(ctx.cls).dirty_writebacks++;
+    }
+    if (cfg_.mode == HybridMode::Cache) {
+      rw.valid = false;
+      rw.dirty = false;
+      rw.tag = kInvalidTag;
+    }
+    rw.owner_cpu = want_cpu;
+    st(ctx.cls).lazy_invalidations++;
+    return;
+  }
+  const u8 want_ch = static_cast<u8>(policy_->channel_of_way(set, way));
+  if (rw.channel != want_ch && rw.valid) {
+    // Same owner but the way moved to a different channel: relocate the
+    // block lazily (one fast read + one fast write, off the critical path).
+    const Addr a = rw.tag * cfg_.block_bytes;
+    const u32 bytes = static_cast<u32>(cfg_.block_bytes);
+    mem_->fast_access(ctx.now, rw.channel, a, bytes, false, ctx.cls, /*earliest=*/t);
+    mem_->fast_access(ctx.now, want_ch, a, bytes, true, ctx.cls, /*earliest=*/t);
+    rw.channel = want_ch;
+    st(ctx.cls).lazy_moves++;
+  }
+}
+
+Cycle HybridMemory::serve_hit(const PolicyContext& ctx, const Lookup& lk, Addr addr) {
+  const u32 set = lk.set;
+  const u32 way = static_cast<u32>(lk.way);
+  HybridStats& s = st(ctx.cls);
+  s.fast_hits++;
+  if (lk.chained) s.chain_hits++;
+
+  lazy_fixups(ctx, set, way, lk.ready);
+  RemapWay& rw = table_.way(set, way);
+  if (!rw.valid) {
+    // The lazy fixup invalidated the block; fall back to the slow tier for
+    // the demand line (it will be re-migrated on a future miss).
+    const auto res = mem_->slow_access(ctx.now, addr, kLineBytes, ctx.is_write,
+                                       ctx.cls, /*earliest=*/lk.ready);
+    return res.first_data;
+  }
+
+  // Sub-blocking: a hit to an absent 64 B sub-block fills it from the slow
+  // tier on demand (Footprint-cache behaviour).
+  Cycle served;
+  const u32 sub = static_cast<u32>((addr % cfg_.block_bytes) / 64);
+  if (cfg_.subblock && cfg_.mode == HybridMode::Cache &&
+      (rw.present & (1u << sub)) == 0) {
+    const auto res = mem_->slow_access(ctx.now, addr, kLineBytes, ctx.is_write,
+                                       ctx.cls, /*earliest=*/lk.ready);
+    mem_->fast_access(ctx.now, rw.channel, addr, kLineBytes, /*is_write=*/true,
+                      ctx.cls, /*earliest=*/lk.ready);
+    rw.present |= 1u << sub;
+    s.subfills++;
+    served = res.first_data;
+  } else {
+    const auto res = mem_->fast_access(ctx.now, rw.channel, addr, kLineBytes,
+                                       ctx.is_write, ctx.cls, /*earliest=*/lk.ready);
+    served = res.first_data;
+  }
+  if (ctx.is_write) rw.dirty = true;
+  if (rw.hits < std::numeric_limits<u16>::max()) rw.hits++;
+  table_.touch(set, way);
+  policy_->note_hit(ctx, way);
+
+  const i32 swap_with = policy_->pick_swap_way(ctx, way);
+  if (swap_with >= 0 && static_cast<u32>(swap_with) != way) {
+    do_fast_swap(ctx, set, way, static_cast<u32>(swap_with));
+  }
+  return served;
+}
+
+Cycle HybridMemory::serve_miss_cache(const PolicyContext& ctx, const Lookup& lk, Addr addr) {
+  HybridStats& s = st(ctx.cls);
+  s.misses++;
+
+  // Chaining insertion (HAShCache pseudo-associativity): when the home way
+  // holds a hotter block than the chain partner's, fill into the partner set
+  // instead of evicting hot data.
+  PolicyContext fill_ctx = ctx;
+  if (cfg_.chaining) {
+    const u32 partner = ctx.set ^ 1u;
+    if (partner < table_.num_sets()) {
+      const i32 home = pick_victim(ctx.set, ctx.cls);
+      const i32 alt = pick_victim(partner, ctx.cls);
+      if (home >= 0 && alt >= 0) {
+        const RemapWay& h = table_.way(ctx.set, static_cast<u32>(home));
+        const RemapWay& a = table_.way(partner, static_cast<u32>(alt));
+        if (h.valid && (!a.valid || a.lru < h.lru)) fill_ctx.set = partner;
+      }
+    }
+  }
+
+  const i32 victim = pick_victim(fill_ctx.set, ctx.cls);
+  bool victim_dirty = false;
+  if (victim >= 0) {
+    const RemapWay& rw = table_.way(fill_ctx.set, static_cast<u32>(victim));
+    victim_dirty = rw.valid && rw.dirty;
+  }
+  const bool migrate = victim >= 0 && policy_->allow_migration(ctx, victim_dirty);
+  policy_->note_miss(ctx, migrate);
+
+  if (!migrate) {
+    s.bypasses++;
+    const auto res = mem_->slow_access(ctx.now, addr, kLineBytes, ctx.is_write,
+                                       ctx.cls, /*earliest=*/lk.ready);
+    return res.first_data;
+  }
+
+  // Refill: read the block from the slow tier; the demand line is the
+  // critical first transfer (Fig. 4). With sub-blocking, only the demanded
+  // sub-block plus spatial neighbours are fetched.
+  s.migrations++;
+  const u32 block_bytes = static_cast<u32>(cfg_.block_bytes);
+  const Addr block_addr = ctx.tag * cfg_.block_bytes;
+  u32 fetch_bytes = block_bytes;
+  Addr fetch_addr = block_addr;
+  u32 present_mask = ~0u;
+  if (cfg_.subblock) {
+    const u32 nsub = sub_blocks();
+    const u32 demanded = static_cast<u32>((addr % cfg_.block_bytes) / 64);
+    const u32 fetch = std::min(cfg_.subblock_fetch, nsub);
+    present_mask = 0;
+    for (u32 i = 0; i < fetch; ++i) present_mask |= 1u << ((demanded + i) % nsub);
+    fetch_bytes = fetch * 64;
+    fetch_addr = block_addr + demanded * 64;  // demand-first order
+  }
+  const auto refill = mem_->slow_access(ctx.now, fetch_addr, fetch_bytes,
+                                        /*is_write=*/false, ctx.cls, /*earliest=*/lk.ready);
+
+  // Off-critical-path transfers (dirty writeback, fast fill) are charged at
+  // the issue cycle rather than chained behind the refill completion: a real
+  // controller would service interleaving demand traffic first, but our
+  // cursor-based reservation cannot reorder, so far-future reservations
+  // would punch schedule holes that later same-channel demands spuriously
+  // wait behind. Charging at issue keeps bandwidth accounting exact and
+  // cursors monotone with simulation time.
+  const u32 vway = static_cast<u32>(victim);
+  RemapWay& rw = table_.way(fill_ctx.set, vway);
+  if (rw.valid && rw.dirty) {
+    // Dirty writebacks transfer only resident sub-blocks.
+    const u32 wb_bytes =
+        cfg_.subblock ? std::max<u32>(64, 64 * std::popcount(rw.present & full_mask()))
+                      : block_bytes;
+    mem_->slow_access(ctx.now, rw.tag * cfg_.block_bytes, wb_bytes,
+                      /*is_write=*/true, ctx.cls, /*earliest=*/lk.ready);
+    s.dirty_writebacks++;
+  }
+  const u32 ch = policy_->channel_of_way(fill_ctx.set, vway);
+  mem_->fast_access(ctx.now, ch, fetch_addr, fetch_bytes, /*is_write=*/true, ctx.cls,
+                    /*earliest=*/lk.ready);
+  fill_way(fill_ctx.set, vway, ctx.tag, ctx.is_write, ctx.cls, present_mask);
+
+  return refill.first_data;
+}
+
+Cycle HybridMemory::serve_miss_flat(const PolicyContext& ctx, const Lookup& lk, Addr addr) {
+  HybridStats& s = st(ctx.cls);
+  s.misses++;
+
+  // First-touch placement: while the set has free allowed ways, new blocks
+  // materialise directly in fast memory.
+  const i32 victim = pick_victim(ctx.set, ctx.cls);
+  if (victim >= 0 && !table_.way(ctx.set, static_cast<u32>(victim)).valid) {
+    const u32 vway = static_cast<u32>(victim);
+    fill_way(ctx.set, vway, ctx.tag, false, ctx.cls);
+    s.first_touches++;
+    policy_->note_miss(ctx, true);
+    const auto res = mem_->fast_access(ctx.now, table_.way(ctx.set, vway).channel,
+                                       addr, kLineBytes, ctx.is_write, ctx.cls,
+                                       /*earliest=*/lk.ready);
+    return res.first_data;
+  }
+
+  // Resident in the slow tier: serve the demand line from there.
+  const auto demand = mem_->slow_access(ctx.now, addr, kLineBytes, ctx.is_write,
+                                        ctx.cls, /*earliest=*/lk.ready);
+
+  // Optionally swap the block with a fast-tier victim. A flat-mode swap
+  // always moves two blocks in both tiers (paper Section IV-F).
+  const bool migrate = victim >= 0 && policy_->allow_migration(ctx, /*victim_dirty=*/true);
+  policy_->note_miss(ctx, migrate);
+  if (migrate) {
+    s.migrations++;
+    const u32 vway = static_cast<u32>(victim);
+    RemapWay& rw = table_.way(ctx.set, vway);
+    const u32 block_bytes = static_cast<u32>(cfg_.block_bytes);
+    const Addr in_addr = ctx.tag * cfg_.block_bytes;
+    const Addr out_addr = rw.tag * cfg_.block_bytes;
+    // All four swap transfers are charged at issue time (see the comment in
+    // serve_miss_cache about future-reservation holes).
+    mem_->slow_access(ctx.now, in_addr, block_bytes, false, ctx.cls, /*earliest=*/lk.ready);
+    mem_->fast_access(ctx.now, rw.channel, out_addr, block_bytes, false, ctx.cls,
+                      /*earliest=*/lk.ready);
+    mem_->fast_access(ctx.now, policy_->channel_of_way(ctx.set, vway), in_addr,
+                      block_bytes, true, ctx.cls, /*earliest=*/lk.ready);
+    mem_->slow_access(ctx.now, out_addr, block_bytes, true, ctx.cls, /*earliest=*/lk.ready);
+    s.dirty_writebacks++;  // the displaced block always transfers out
+    fill_way(ctx.set, vway, ctx.tag, false, ctx.cls);
+  } else {
+    s.bypasses++;
+  }
+  return demand.first_data;
+}
+
+Cycle HybridMemory::access(Cycle now, Requestor cls, Addr addr, bool is_write) {
+  policy_->tick(now);
+  const u64 tag = block_of(addr);
+  const u32 set = policy_->remap_set(set_of(addr), cls);
+  HybridStats& s = st(cls);
+  s.demand++;
+
+  PolicyContext ctx{now, cls, set, tag, is_write, mem_->slow_channel_of(addr)};
+  Lookup lk = lookup(now, cls, addr, tag, set);
+  if (lk.way >= 0) {
+    ctx.set = lk.set;
+    return serve_hit(ctx, lk, addr);
+  }
+  return cfg_.mode == HybridMode::Cache ? serve_miss_cache(ctx, lk, addr)
+                                        : serve_miss_flat(ctx, lk, addr);
+}
+
+void HybridMemory::writeback(Cycle now, Requestor cls, Addr addr) {
+  const u64 tag = block_of(addr);
+  const u32 set = policy_->remap_set(set_of(addr), cls);
+  st(cls).llc_writebacks++;
+  i32 way = table_.find(set, tag);
+  u32 eff_set = set;
+  if (way < 0 && cfg_.chaining) {
+    const u32 partner = set ^ 1u;
+    if (partner < table_.num_sets()) {
+      way = table_.find(partner, tag);
+      if (way >= 0) eff_set = partner;
+    }
+  }
+  if (way >= 0) {
+    RemapWay& rw = table_.way(eff_set, static_cast<u32>(way));
+    mem_->fast_access(now, rw.channel, addr, kLineBytes, /*is_write=*/true, cls);
+    if (cfg_.mode == HybridMode::Cache) rw.dirty = true;
+  } else {
+    mem_->slow_access(now, addr, kLineBytes, /*is_write=*/true, cls);
+  }
+}
+
+void HybridMemory::run_instant_reconfig() {
+  for (u32 set = 0; set < table_.num_sets(); ++set) {
+    for (u32 w = 0; w < table_.assoc(); ++w) {
+      RemapWay& rw = table_.way(set, w);
+      const bool want_cpu = policy_->way_owner(set, w) == Requestor::Cpu;
+      if (rw.owner_cpu != want_cpu) {
+        rw.owner_cpu = want_cpu;
+        if (cfg_.mode == HybridMode::Cache) {
+          rw.valid = false;
+          rw.dirty = false;
+          rw.tag = kInvalidTag;
+        }
+      }
+      rw.channel = static_cast<u8>(policy_->channel_of_way(set, w));
+    }
+  }
+}
+
+}  // namespace h2

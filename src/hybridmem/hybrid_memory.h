@@ -1,0 +1,140 @@
+// The hybrid memory controller: the mechanism layer shared by every design.
+//
+// It owns the set-associative layout over the fast tier (remap table), the
+// on-chip remap cache, and the migration engine, and it charges every data
+// and metadata movement to the DRAM channel models. All design-specific
+// decisions (mapping, allocation rights, migration gating, swaps,
+// adaptation) are delegated to a PartitionPolicy.
+//
+// Cache mode: the slow tier backs the whole physical space; fast-memory ways
+// cache 256 B blocks; a miss may *migrate* (refill) the block, costing a
+// 256 B slow read (+ a 256 B slow write if the victim is dirty) — the traffic
+// amplification of paper Fig. 4. Flat mode: blocks initially fill fast
+// memory (first touch); a migration swaps the missed block with a fast-tier
+// victim, costing two block transfers in each tier.
+#pragma once
+
+#include <memory>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "hybridmem/policy.h"
+#include "hybridmem/remap_cache.h"
+#include "hybridmem/remap_table.h"
+#include "mem/memory_system.h"
+
+namespace h2 {
+
+struct HybridMemConfig {
+  HybridMode mode = HybridMode::Cache;
+  u64 block_bytes = 256;
+  u32 assoc = 4;
+  u64 fast_capacity_bytes = 32ull << 20;
+  u64 slow_capacity_bytes = 256ull << 20;
+  u64 remap_cache_bytes = 256 * 1024;
+  u32 mc_overhead = 10;      ///< fixed controller cycles per demand access
+  bool chaining = false;     ///< HAShCache pseudo-associativity (assoc == 1)
+  u32 chain_latency = 18;    ///< extra probe latency for a chained hit
+  bool ideal_swap = false;   ///< Fig. 7(a) "Ideal": fast-memory swaps are free
+  bool instant_reconfig = false;  ///< Fig. 7(b): reconfiguration applies instantly, free
+
+  /// Footprint-cache-style sub-blocking (paper Section IV-B cites it as an
+  /// orthogonal migration-cost optimisation [33][41]): migrations fetch only
+  /// `subblock_fetch` 64 B sub-blocks (the demanded one plus spatial
+  /// neighbours); absent sub-blocks are filled on demand from the slow tier,
+  /// and dirty writebacks transfer only resident sub-blocks. Cache mode only.
+  bool subblock = false;
+  u32 subblock_fetch = 2;
+
+  u32 num_sets() const {
+    return static_cast<u32>(fast_capacity_bytes / (static_cast<u64>(assoc) * block_bytes));
+  }
+};
+
+/// Per-requestor counters exposed for analysis and epoch feedback.
+struct HybridStats {
+  u64 demand = 0;        ///< demand accesses from the LLC miss path
+  u64 fast_hits = 0;
+  u64 chain_hits = 0;
+  u64 misses = 0;
+  u64 migrations = 0;    ///< block refills/swaps into fast memory
+  u64 bypasses = 0;      ///< misses served from slow memory without migration
+  u64 first_touches = 0; ///< flat mode: blocks placed in fast memory for free
+  u64 dirty_writebacks = 0;  ///< 256 B victim blocks written to slow memory
+  u64 fast_swaps = 0;    ///< Hydrogen fast-memory swaps performed
+  u64 lazy_invalidations = 0;
+  u64 lazy_moves = 0;
+  u64 llc_writebacks = 0;
+  u64 meta_misses = 0;      ///< remap-cache misses (fast-tier metadata reads)
+  u64 meta_wait_cycles = 0; ///< cycles spent on those metadata reads
+  u64 subfills = 0;         ///< on-demand fetches of absent sub-blocks
+};
+
+class HybridMemory {
+ public:
+  HybridMemory(const HybridMemConfig& cfg, MemorySystem* mem, PartitionPolicy* policy);
+
+  /// Demand access (LLC miss) for a 64 B line. Returns the cycle at which
+  /// the demanded data are available.
+  Cycle access(Cycle now, Requestor cls, Addr addr, bool is_write);
+
+  /// Dirty 64 B LLC victim arriving at the memory controller.
+  void writeback(Cycle now, Requestor cls, Addr addr);
+
+  /// Applies the policy's current mapping to all resident blocks at zero
+  /// cost (the idealised reconfiguration of Fig. 7(b)).
+  void run_instant_reconfig();
+
+  // --- geometry helpers --------------------------------------------------
+  u32 num_sets() const { return table_.num_sets(); }
+  u32 assoc() const { return table_.assoc(); }
+  u64 block_of(Addr addr) const { return addr / cfg_.block_bytes; }
+  u32 set_of(Addr addr) const { return static_cast<u32>(block_of(addr) % table_.num_sets()); }
+
+  const HybridStats& stats(Requestor r) const { return stats_[static_cast<u32>(r)]; }
+  const RemapTable& table() const { return table_; }
+  RemapCache& remap_cache() { return remap_cache_; }
+  const HybridMemConfig& config() const { return cfg_; }
+  PartitionPolicy& policy() { return *policy_; }
+  MemorySystem& memory() { return *mem_; }
+
+  /// Hit rate over demand accesses for one side.
+  double hit_rate(Requestor r) const {
+    const HybridStats& s = stats(r);
+    return s.demand ? static_cast<double>(s.fast_hits) / static_cast<double>(s.demand) : 0.0;
+  }
+
+ private:
+  struct Lookup {
+    Cycle ready;   ///< when metadata resolution completed
+    i32 way;       ///< hit way or -1
+    u32 set;       ///< set after chain resolution
+    bool chained;  ///< hit found in the chain partner set
+  };
+
+  Lookup lookup(Cycle now, Requestor cls, Addr addr, u64 tag, u32 set);
+  i32 pick_victim(u32 set, Requestor cls) const;
+  Cycle serve_hit(const PolicyContext& ctx, const Lookup& lk, Addr addr);
+  Cycle serve_miss_cache(const PolicyContext& ctx, const Lookup& lk, Addr addr);
+  Cycle serve_miss_flat(const PolicyContext& ctx, const Lookup& lk, Addr addr);
+  void do_fast_swap(const PolicyContext& ctx, u32 set, u32 way_a, u32 way_b);
+  void lazy_fixups(const PolicyContext& ctx, u32 set, u32 way, Cycle t);
+  void fill_way(u32 set, u32 way, u64 tag, bool dirty, Requestor cls,
+                u32 present_mask = ~0u);
+  u32 sub_blocks() const { return static_cast<u32>(cfg_.block_bytes / 64); }
+  u32 full_mask() const {
+    const u32 n = sub_blocks();
+    return n >= 32 ? ~0u : (1u << n) - 1;
+  }
+
+  HybridStats& st(Requestor r) { return stats_[static_cast<u32>(r)]; }
+
+  HybridMemConfig cfg_;
+  MemorySystem* mem_;
+  PartitionPolicy* policy_;
+  RemapTable table_;
+  RemapCache remap_cache_;
+  HybridStats stats_[2];
+};
+
+}  // namespace h2

@@ -1,0 +1,119 @@
+// The partitioning-policy interface: the seam between the hybrid-memory
+// *mechanism* (remap table, migration engine, DRAM accesses — owned by
+// HybridMemory) and a partitioning *design* (Baseline, WayPart, HAShCache,
+// ProFess, Hydrogen). A policy decides
+//   - where each (set, way) physically lives (fast superchannel mapping),
+//   - which ways each requestor may allocate into,
+//   - whether a miss is allowed to migrate its block to fast memory,
+//   - whether a hit should trigger a fast-memory swap (Hydrogen IV-A),
+// and it adapts at epoch boundaries from aggregate feedback.
+#pragma once
+
+#include "common/types.h"
+#include "hybridmem/remap_table.h"
+
+namespace h2 {
+
+class HybridMemory;
+
+/// Per-access context handed to policy decision points.
+struct PolicyContext {
+  Cycle now = 0;
+  Requestor cls = Requestor::Cpu;
+  u32 set = 0;
+  u64 tag = 0;
+  bool is_write = false;
+  u32 slow_channel = 0;  ///< slow channel the block's address maps to
+};
+
+/// Aggregate measurements over one sampling epoch, used for online
+/// adaptation (paper Section IV-C).
+struct EpochFeedback {
+  Cycle now = 0;
+  Cycle epoch_cycles = 0;
+  u64 cpu_instructions = 0;  ///< retired this epoch
+  u64 gpu_instructions = 0;
+  double weighted_ipc = 0.0;  ///< user-weighted throughput objective
+  u64 cpu_misses = 0;         ///< fast-memory misses this epoch
+  u64 gpu_misses = 0;
+  u64 gpu_migrations = 0;
+  Cycle slow_backlog = 0;  ///< congestion signal from the slow channels
+};
+
+class PartitionPolicy {
+ public:
+  virtual ~PartitionPolicy() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Called once when attached; `num_channels`, `assoc` and `num_sets` give
+  /// the geometry the mapping functions must cover.
+  virtual void bind(u32 num_channels, u32 assoc, u32 num_sets) {
+    num_channels_ = num_channels;
+    assoc_ = assoc;
+    num_sets_ = num_sets;
+  }
+
+  /// Gives the policy read access to the remap table (for swap-candidate
+  /// selection and occupancy inspection). Called by HybridMemory.
+  void attach_table(const RemapTable* table) { table_ = table; }
+
+  /// Page-coloring hook (decoupled *set*-partitioning, paper Section IV-F):
+  /// maps a block's natural set to the set the OS/GPU-runtime would have
+  /// coloured its page into. Way-partitioning designs keep the identity.
+  virtual u32 remap_set(u32 natural_set, Requestor cls) const {
+    (void)cls;
+    return natural_set;
+  }
+
+  /// Fast superchannel serving (set, way). Must be < num_channels.
+  virtual u32 channel_of_way(u32 set, u32 way) const = 0;
+
+  /// Whether `cls` may allocate (choose a victim) in (set, way).
+  virtual bool way_allowed(u32 set, u32 way, Requestor cls) const = 0;
+
+  /// The side the current configuration assigns this way to. Used by lazy
+  /// reconfiguration: a resident block whose recorded owner differs is
+  /// misplaced and gets invalidated/moved on its next access.
+  virtual Requestor way_owner(u32 set, u32 way) const = 0;
+
+  /// Gate on migrating a missed block into fast memory. `victim_dirty`
+  /// reports whether the migration would also cost a dirty writeback.
+  virtual bool allow_migration(const PolicyContext& ctx, bool victim_dirty) = 0;
+
+  /// Hydrogen's fast-memory swap: promote a CPU block that hit in a shared
+  /// channel into a CPU-dedicated channel. Returns the way to swap with, or
+  /// -1 for no swap.
+  virtual i32 pick_swap_way(const PolicyContext& ctx, u32 hit_way) {
+    (void)ctx;
+    (void)hit_way;
+    return -1;
+  }
+
+  /// Cheap per-access tick (token faucet refill checks etc.).
+  virtual void tick(Cycle now) { (void)now; }
+
+  /// Epoch-boundary adaptation. Returns true if the configuration changed
+  /// (the mechanism then performs lazy — or instant, if configured —
+  /// reconfiguration).
+  virtual bool on_epoch(const EpochFeedback& fb) {
+    (void)fb;
+    return false;
+  }
+
+  /// Bookkeeping notifications.
+  virtual void note_hit(const PolicyContext& ctx, u32 way) { (void)ctx; (void)way; }
+  virtual void note_miss(const PolicyContext& ctx, bool migrated) { (void)ctx; (void)migrated; }
+
+  u32 num_channels() const { return num_channels_; }
+  u32 assoc() const { return assoc_; }
+  u32 num_sets() const { return num_sets_; }
+
+ protected:
+  u32 num_channels_ = 4;
+  u32 assoc_ = 4;
+  u32 num_sets_ = 1;
+  const RemapTable* table_ = nullptr;
+};
+
+}  // namespace h2

@@ -1,0 +1,28 @@
+#include "hybridmem/remap_cache.h"
+
+namespace h2 {
+
+namespace {
+CacheConfig remap_cache_config(u64 capacity_bytes) {
+  CacheConfig cfg;
+  cfg.name = "remap_cache";
+  cfg.size_bytes = capacity_bytes;
+  cfg.ways = 8;
+  cfg.line_bytes = 64;
+  cfg.latency = 2;
+  return cfg;
+}
+}  // namespace
+
+RemapCache::RemapCache(u64 capacity_bytes, u32 bytes_per_set, u32 hit_latency)
+    : bytes_per_set_(bytes_per_set),
+      hit_latency_(hit_latency),
+      cache_(remap_cache_config(capacity_bytes)) {}
+
+bool RemapCache::probe(u32 set) {
+  return cache_.access(set_addr(set), /*is_write=*/false).hit;
+}
+
+void RemapCache::invalidate(u32 set) { cache_.invalidate(set_addr(set)); }
+
+}  // namespace h2

@@ -1,0 +1,39 @@
+// On-chip SRAM remap cache (paper Section III-A): caches remap-table entries
+// so that most metadata probes avoid touching fast memory. Modelled as a
+// set-associative cache over set-IDs; a miss costs one 64 B fast-memory read
+// (charged by the hybrid memory controller).
+#pragma once
+
+#include "cache/cache.h"
+#include "common/types.h"
+
+namespace h2 {
+
+class RemapCache {
+ public:
+  /// `capacity_bytes` on-chip SRAM; each hybrid-memory set's metadata is
+  /// `bytes_per_set` (assoc * ~8 B packed entries).
+  RemapCache(u64 capacity_bytes, u32 bytes_per_set, u32 hit_latency = 2);
+
+  /// Probes the metadata for `set`. Returns true on SRAM hit; on miss the
+  /// entry is installed (the fast-memory fill is charged by the caller).
+  bool probe(u32 set);
+
+  /// Invalidate the cached metadata of a set (after reconfiguration sweeps).
+  void invalidate(u32 set);
+
+  u32 hit_latency() const { return hit_latency_; }
+  u64 hits() const { return cache_.hits(); }
+  u64 misses() const { return cache_.misses(); }
+  double hit_rate() const { return cache_.hit_rate(); }
+  void reset_stats() { cache_.reset_stats(); }
+
+ private:
+  Addr set_addr(u32 set) const { return static_cast<Addr>(set) * bytes_per_set_; }
+
+  u32 bytes_per_set_;
+  u32 hit_latency_;
+  Cache cache_;
+};
+
+}  // namespace h2

@@ -1,0 +1,85 @@
+// The remap table: per-set, per-way metadata of the set-associative hybrid
+// memory layout (paper Section III-A). Both tiers are divided into the same
+// number of sets; each set has `assoc` fast-memory ways. The table is the
+// ground truth for which blocks currently reside in fast memory, where they
+// physically sit (superchannel), and which side each way is allocated to
+// (the paper's one-bit-per-way `alloc` metadata for lazy reconfiguration).
+#pragma once
+
+#include <vector>
+
+#include "common/assert.h"
+#include "common/types.h"
+
+namespace h2 {
+
+inline constexpr u64 kInvalidTag = ~0ull;
+
+struct RemapWay {
+  u64 tag = kInvalidTag;  ///< global block id cached in this way
+  u64 lru = 0;            ///< recency stamp
+  u32 present = 0;        ///< bitmask of resident 64 B sub-blocks (sub-blocking)
+  u16 hits = 0;           ///< hits since fill (re-reference hotness)
+  u8 channel = 0;         ///< fast superchannel where the data physically live
+  bool valid = false;
+  bool dirty = false;
+  bool owner_cpu = false;  ///< the `alloc` bit: which side this way served
+};
+
+class RemapTable {
+ public:
+  RemapTable(u32 num_sets, u32 assoc)
+      : num_sets_(num_sets), assoc_(assoc),
+        ways_(static_cast<size_t>(num_sets) * assoc) {
+    H2_ASSERT(num_sets >= 1 && assoc >= 1, "bad remap geometry");
+  }
+
+  u32 num_sets() const { return num_sets_; }
+  u32 assoc() const { return assoc_; }
+
+  RemapWay& way(u32 set, u32 w) {
+    H2_ASSERT(set < num_sets_ && w < assoc_, "remap index out of range");
+    return ways_[static_cast<size_t>(set) * assoc_ + w];
+  }
+  const RemapWay& way(u32 set, u32 w) const {
+    return const_cast<RemapTable*>(this)->way(set, w);
+  }
+
+  /// Index of the way holding `tag`, or -1.
+  i32 find(u32 set, u64 tag) const {
+    for (u32 w = 0; w < assoc_; ++w) {
+      const RemapWay& rw = way(set, w);
+      if (rw.valid && rw.tag == tag) return static_cast<i32>(w);
+    }
+    return -1;
+  }
+
+  /// Number of valid ways in a set.
+  u32 occupancy(u32 set) const {
+    u32 n = 0;
+    for (u32 w = 0; w < assoc_; ++w) n += way(set, w).valid ? 1 : 0;
+    return n;
+  }
+
+  u64 touch(u32 set, u32 w) {
+    RemapWay& rw = way(set, w);
+    rw.lru = ++stamp_;
+    return rw.lru;
+  }
+
+  /// Metadata storage overhead of the alloc bits, as a fraction of data
+  /// capacity (paper Section IV-F reports 0.049 %).
+  double alloc_bit_overhead(u64 block_bytes) const {
+    // One bit per way; a remap entry additionally holds tag+state, but only
+    // the alloc bit is Hydrogen-specific.
+    return 1.0 / (8.0 * static_cast<double>(block_bytes));
+  }
+
+ private:
+  u32 num_sets_;
+  u32 assoc_;
+  std::vector<RemapWay> ways_;
+  u64 stamp_ = 0;
+};
+
+}  // namespace h2

@@ -1,0 +1,43 @@
+#include "hydrogen/consistent_hash.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "common/rng.h"
+
+namespace h2 {
+
+u64 hrw_score(u64 salt, u32 set, u32 item) {
+  return mix_hash(salt, (static_cast<u64>(set) << 20) | item, 0x48325748ull);
+}
+
+std::vector<u32> hrw_top(u64 salt, u32 set, u32 k, u32 n) {
+  H2_ASSERT(k <= n, "hrw_top: k=%u > n=%u", k, n);
+  std::vector<u32> items(n);
+  for (u32 i = 0; i < n; ++i) items[i] = i;
+  std::sort(items.begin(), items.end(), [&](u32 a, u32 b) {
+    const u64 sa = hrw_score(salt, set, a);
+    const u64 sb = hrw_score(salt, set, b);
+    return sa != sb ? sa > sb : a < b;
+  });
+  items.resize(k);
+  return items;
+}
+
+u32 hrw_rank(u64 salt, u32 set, u32 item, u32 n) {
+  H2_ASSERT(item < n, "hrw_rank: item out of range");
+  const u64 mine = hrw_score(salt, set, item);
+  u32 rank = 0;
+  for (u32 i = 0; i < n; ++i) {
+    if (i == item) continue;
+    const u64 s = hrw_score(salt, set, i);
+    if (s > mine || (s == mine && i < item)) rank++;
+  }
+  return rank;
+}
+
+bool hrw_selected(u64 salt, u32 set, u32 item, u32 k, u32 n) {
+  return hrw_rank(salt, set, item, n) < k;
+}
+
+}  // namespace h2

@@ -1,0 +1,32 @@
+// Consistent selection via rendezvous (highest-random-weight, HRW) hashing
+// (paper Section IV-D, citing Karger et al.).
+//
+// Hydrogen must pick `k` of `n` ways per set for the CPU (and `b` of `N`
+// channels as CPU-dedicated) such that changing `k` by one changes the
+// selected subset by exactly one element — that is what keeps
+// reconfiguration data movement minimal. Rendezvous hashing gives this
+// property for free: score every candidate with a set-keyed hash and select
+// the top-k; the top-k and top-(k±1) sets differ by exactly one element,
+// and different sets get independent selections (diverse way->channel
+// spreading, Section IV-A).
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace h2 {
+
+/// Deterministic score of candidate `item` under key (`salt`, `set`).
+u64 hrw_score(u64 salt, u32 set, u32 item);
+
+/// The `k` highest-scored items of [0, n), ordered by descending score.
+std::vector<u32> hrw_top(u64 salt, u32 set, u32 k, u32 n);
+
+/// True iff `item` is among the `k` highest-scored items of [0, n).
+bool hrw_selected(u64 salt, u32 set, u32 item, u32 k, u32 n);
+
+/// Rank of `item` by descending score among all n items (0 = highest).
+u32 hrw_rank(u64 salt, u32 set, u32 item, u32 n);
+
+}  // namespace h2

@@ -1,0 +1,91 @@
+#include "hydrogen/decoupled_partition.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "hydrogen/consistent_hash.h"
+
+namespace h2 {
+
+namespace {
+// Channel selection uses a fixed pseudo-set key so it is global (the same
+// dedicated channels for every set), while way selection is per set.
+constexpr u32 kChannelKey = 0xC0FFEEu;
+}  // namespace
+
+DecoupledPartition::DecoupledPartition(u32 num_channels, u32 assoc, u64 salt)
+    : channels_(num_channels), assoc_(assoc), salt_(salt) {
+  H2_ASSERT(num_channels >= 1 && assoc >= 1, "bad partition geometry");
+  set_config(assoc >= 2 ? assoc - 1 : assoc, 1);
+}
+
+void DecoupledPartition::set_config(u32 cap, u32 bw) {
+  cap_ = std::clamp(cap, cap_min(), cap_max());
+  bw_ = std::clamp(bw, bw_min(), bw_max());
+}
+
+bool DecoupledPartition::is_cpu_way(u32 set, u32 way) const {
+  if (assoc_ < 2) return true;  // degenerate: the single way is shared
+  return hrw_rank(salt_, set, way, assoc_) < cap_;
+}
+
+u32 DecoupledPartition::way_rank(u32 set, u32 way) const {
+  return hrw_rank(salt_, set, way, assoc_);
+}
+
+bool DecoupledPartition::is_dedicated_channel(u32 ch) const {
+  if (channels_ < 2) return true;
+  return hrw_rank(salt_ ^ 1, kChannelKey, ch, channels_) < bw_;
+}
+
+u32 DecoupledPartition::nth_dedicated(u32 idx) const {
+  u32 seen = 0;
+  for (u32 ch = 0; ch < channels_; ++ch) {
+    if (is_dedicated_channel(ch)) {
+      if (seen == idx) return ch;
+      seen++;
+    }
+  }
+  H2_ASSERT(false, "nth_dedicated(%u) with bw=%u", idx, bw_);
+  return 0;
+}
+
+u32 DecoupledPartition::nth_shared(u32 idx) const {
+  u32 seen = 0;
+  for (u32 ch = 0; ch < channels_; ++ch) {
+    if (!is_dedicated_channel(ch)) {
+      if (seen == idx) return ch;
+      seen++;
+    }
+  }
+  H2_ASSERT(false, "nth_shared(%u) with bw=%u", idx, bw_);
+  return 0;
+}
+
+u32 DecoupledPartition::channel_of_way(u32 set, u32 way) const {
+  if (channels_ < 2) return 0;
+  const u32 n_shared = channels_ - bw_;
+  const u32 rank = way_rank(set, way);
+
+  if (assoc_ >= 2 && rank < cap_) {
+    // CPU way: the first `bw` ranks live in the dedicated channels, the
+    // remaining spill ways rotate across the shared channels.
+    if (rank < bw_) return nth_dedicated((set + rank) % bw_);
+    if (n_shared == 0) return nth_dedicated((set + rank) % bw_);
+    return nth_shared((set + (rank - bw_)) % n_shared);
+  }
+
+  // GPU way (or degenerate single-way set): rotate across all shared
+  // channels per set so GPU streams touch every shared channel.
+  const u32 gpu_idx = assoc_ >= 2 ? rank - cap_ : way;
+  if (n_shared == 0) return nth_dedicated((set + gpu_idx) % bw_);
+  return nth_shared((set + gpu_idx) % n_shared);
+}
+
+bool DecoupledPartition::is_cpu_spill_way(u32 set, u32 way) const {
+  if (assoc_ < 2 || channels_ < 2) return false;
+  const u32 rank = way_rank(set, way);
+  return rank < cap_ && rank >= bw_ && channels_ - bw_ > 0;
+}
+
+}  // namespace h2

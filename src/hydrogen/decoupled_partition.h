@@ -1,0 +1,67 @@
+// Decoupled capacity/bandwidth partitioning of the fast memory
+// (paper Section IV-A + Fig. 3(b)).
+//
+// Two independent knobs:
+//   cap — how many ways per set belong to the CPU (capacity split);
+//   bw  — how many superchannels are CPU-dedicated (bandwidth split).
+// CPU ways are chosen per set by rendezvous hashing (consistent across cap
+// changes); dedicated channels are chosen globally the same way. The mapping
+// places the highest-ranked CPU ways in the dedicated channels (where the
+// hot CPU data live, maintained by fast-memory swaps) and spills the rest
+// into the shared channels; GPU ways rotate across all shared channels per
+// set so GPU streams enjoy the full shared bandwidth.
+#pragma once
+
+#include "common/types.h"
+
+namespace h2 {
+
+class DecoupledPartition {
+ public:
+  DecoupledPartition(u32 num_channels, u32 assoc, u64 salt = 0x4879647267656eull);
+
+  /// Sets the configuration. `cap` is clamped to [1, assoc-1] and `bw` to
+  /// [1, channels-1] where the geometry allows a real split; degenerate
+  /// geometries (assoc or channels == 1) collapse gracefully.
+  void set_config(u32 cap, u32 bw);
+
+  u32 cap() const { return cap_; }
+  u32 bw() const { return bw_; }
+  u32 num_channels() const { return channels_; }
+  u32 assoc() const { return assoc_; }
+
+  /// Whether (set, way) is a CPU way under the current cap.
+  bool is_cpu_way(u32 set, u32 way) const;
+
+  /// Rank of `way` among the set's ways by HRW score (0 = first CPU pick).
+  u32 way_rank(u32 set, u32 way) const;
+
+  /// Whether a channel is CPU-dedicated under the current bw.
+  bool is_dedicated_channel(u32 ch) const;
+
+  /// The channel serving (set, way); the core of the decoupled mapping.
+  u32 channel_of_way(u32 set, u32 way) const;
+
+  /// True when the CPU way `way` of `set` is mapped to a *shared* channel —
+  /// i.e. it is a spill way whose hot blocks should be swapped into the
+  /// dedicated channels (fast-memory swap, Section IV-A).
+  bool is_cpu_spill_way(u32 set, u32 way) const;
+
+  /// Clamped legal ranges for the search (used by the hill climber).
+  u32 cap_min() const { return assoc_ >= 2 ? 1 : assoc_; }
+  u32 cap_max() const { return assoc_ >= 2 ? assoc_ - 1 : assoc_; }
+  u32 bw_min() const { return channels_ >= 2 ? 1 : channels_; }
+  u32 bw_max() const { return channels_ >= 2 ? channels_ - 1 : channels_; }
+
+ private:
+  u32 nth_dedicated(u32 idx) const;  ///< idx-th dedicated channel (HRW order)
+  u32 nth_shared(u32 idx) const;     ///< idx-th shared channel (HRW order)
+
+  u32 channels_;
+  u32 assoc_;
+  u64 salt_;
+  u32 cap_ = 1;
+  u32 bw_ = 1;
+};
+
+}  // namespace h2

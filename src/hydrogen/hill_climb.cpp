@@ -1,0 +1,117 @@
+#include "hydrogen/hill_climb.h"
+
+#include "common/assert.h"
+
+namespace h2 {
+
+namespace {
+constexpr u32 kDims = 3;
+constexpr u32 kNeighbourhood = kDims * 2;  // each dim, both directions
+}  // namespace
+
+HillClimber::HillClimber(ParamPoint start, ParamRanges ranges, double improve_eps)
+    : ranges_(ranges), eps_(improve_eps), best_(start), current_(start) {
+  H2_ASSERT(ranges.cap_min <= ranges.cap_max && ranges.bw_min <= ranges.bw_max &&
+                ranges.tok_min <= ranges.tok_max,
+            "empty parameter ranges");
+}
+
+u32 HillClimber::get_dim(const ParamPoint& p, u32 dim) const {
+  switch (dim) {
+    case 0: return p.cap;
+    case 1: return p.bw;
+    default: return p.tok;
+  }
+}
+
+ParamPoint HillClimber::with_dim(ParamPoint p, u32 dim, u32 value) const {
+  switch (dim) {
+    case 0: p.cap = value; break;
+    case 1: p.bw = value; break;
+    default: p.tok = value; break;
+  }
+  return p;
+}
+
+bool HillClimber::dim_in_range(u32 dim, i64 value) const {
+  switch (dim) {
+    case 0: return value >= ranges_.cap_min && value <= ranges_.cap_max;
+    case 1: return value >= ranges_.bw_min && value <= ranges_.bw_max;
+    default: return value >= ranges_.tok_min && value <= ranges_.tok_max;
+  }
+}
+
+ParamPoint HillClimber::propose_next() {
+  // Try neighbours in (dim, dir) order, skipping out-of-range steps. The
+  // failure counter covers the full neighbourhood; once it wraps with no
+  // improvement, the search has converged on a local optimum.
+  for (u32 attempt = 0; attempt < kNeighbourhood; ++attempt) {
+    const i64 value = static_cast<i64>(get_dim(best_, dim_)) + dir_;
+    const u32 this_dim = dim_;
+    const i32 this_dir = dir_;
+    // Advance the cursor for next time.
+    if (dir_ == +1) {
+      dir_ = -1;
+    } else {
+      dir_ = +1;
+      dim_ = (dim_ + 1) % kDims;
+    }
+    if (dim_in_range(this_dim, value)) {
+      (void)this_dir;
+      return with_dim(best_, this_dim, static_cast<u32>(value));
+    }
+    failures_++;
+    if (failures_ >= kNeighbourhood) {
+      converged_ = true;
+      return best_;
+    }
+  }
+  converged_ = true;
+  return best_;
+}
+
+ParamPoint HillClimber::observe(double objective) {
+  steps_++;
+  if (converged_) {
+    // Track slow drift of the incumbent's score so a later restart compares
+    // against fresh conditions rather than a stale optimum.
+    best_score_ = objective;
+    current_ = best_;
+    return current_;
+  }
+
+  if (!have_baseline_) {
+    have_baseline_ = true;
+    best_score_ = objective;
+    current_ = propose_next();
+    return current_;
+  }
+
+  if (objective > best_score_ * (1.0 + eps_)) {
+    // Accept: the proposal becomes the incumbent; reset the neighbourhood
+    // sweep so all directions are retried around the new point.
+    best_ = current_;
+    best_score_ = objective;
+    failures_ = 0;
+  } else {
+    failures_++;
+    if (failures_ >= kNeighbourhood) {
+      converged_ = true;
+      current_ = best_;
+      return current_;
+    }
+  }
+  current_ = propose_next();
+  return current_;
+}
+
+void HillClimber::restart() {
+  converged_ = false;
+  have_baseline_ = false;
+  failures_ = 0;
+  dim_ = 0;
+  dir_ = +1;
+  current_ = best_;
+}
+
+}  // namespace h2

@@ -1,0 +1,69 @@
+// Epoch-based online hill climbing over the three partitioning parameters
+// (paper Section IV-C): cap (CPU ways), bw (CPU-dedicated channels) and tok
+// (GPU migration budget level). Each sampling epoch measures the weighted
+// IPC of the currently-active point; the climber proposes single-step
+// neighbours and greedily ascends, converging after a full neighbourhood
+// sweep without improvement (the paper reports ~20 steps). Every phase
+// (e.g. 500 M cycles) the search restarts from the incumbent to track
+// program behaviour changes.
+#pragma once
+
+#include "common/types.h"
+
+namespace h2 {
+
+struct ParamPoint {
+  u32 cap = 3;  ///< CPU ways per set
+  u32 bw = 1;   ///< CPU-dedicated channels
+  u32 tok = 3;  ///< index into the token-budget level table
+
+  bool operator==(const ParamPoint&) const = default;
+};
+
+struct ParamRanges {
+  u32 cap_min = 1, cap_max = 3;
+  u32 bw_min = 1, bw_max = 3;
+  u32 tok_min = 0, tok_max = 7;
+};
+
+class HillClimber {
+ public:
+  HillClimber(ParamPoint start, ParamRanges ranges, double improve_eps = 0.005);
+
+  /// The point that should be active for the current epoch.
+  const ParamPoint& current() const { return current_; }
+
+  /// Reports the measured objective (higher is better) of current().
+  /// Returns the point to activate for the next epoch.
+  ParamPoint observe(double objective);
+
+  bool converged() const { return converged_; }
+  const ParamPoint& best() const { return best_; }
+  double best_objective() const { return best_score_; }
+  u32 steps() const { return steps_; }
+
+  /// Begins a new exploration phase from the incumbent best point.
+  void restart();
+
+ private:
+  /// Advances (dim_, dir_) to the next untried neighbour and returns it;
+  /// sets converged_ when the whole neighbourhood has been exhausted.
+  ParamPoint propose_next();
+  u32 get_dim(const ParamPoint& p, u32 dim) const;
+  ParamPoint with_dim(ParamPoint p, u32 dim, u32 value) const;
+  bool dim_in_range(u32 dim, i64 value) const;
+
+  ParamRanges ranges_;
+  double eps_;
+  ParamPoint best_;
+  ParamPoint current_;
+  double best_score_ = -1.0;
+  bool have_baseline_ = false;
+  bool converged_ = false;
+  u32 dim_ = 0;       ///< dimension currently being explored
+  i32 dir_ = +1;      ///< step direction
+  u32 failures_ = 0;  ///< consecutive non-improving proposals
+  u32 steps_ = 0;
+};
+
+}  // namespace h2

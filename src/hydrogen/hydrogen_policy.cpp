@@ -1,0 +1,189 @@
+#include "hydrogen/hydrogen_policy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "common/assert.h"
+
+namespace h2 {
+
+HydrogenPolicy::HydrogenPolicy(const HydrogenConfig& cfg)
+    : cfg_(cfg),
+      partition_(4, 4),
+      tokens_(/*budget=*/1'000'000'000, cfg.faucet_period),
+      rng_(cfg.seed) {
+  H2_ASSERT(!cfg.tok_levels.empty(), "need at least one token level");
+}
+
+void HydrogenPolicy::bind(u32 num_channels, u32 assoc, u32 num_sets) {
+  PartitionPolicy::bind(num_channels, assoc, num_sets);
+  partition_ = DecoupledPartition(num_channels, assoc, cfg_.seed);
+
+  // Fixed heuristic starting point (also the DP / DP+Token configuration).
+  const u32 cap = static_cast<u32>(std::lround(cfg_.fixed_cpu_capacity_frac * assoc));
+  const u32 bw = static_cast<u32>(std::lround(cfg_.fixed_cpu_bw_frac * num_channels));
+  partition_.set_config(cap, bw);
+
+  u32 tok_idx = 0;
+  double best_delta = 1e9;
+  for (u32 i = 0; i < cfg_.tok_levels.size(); ++i) {
+    const double d = std::abs(cfg_.tok_levels[i] - cfg_.fixed_tok_frac);
+    if (d < best_delta) {
+      best_delta = d;
+      tok_idx = i;
+    }
+  }
+  active_ = ParamPoint{partition_.cap(), partition_.bw(), tok_idx};
+
+  if (cfg_.search) {
+    ParamRanges ranges;
+    ranges.cap_min = partition_.cap_min();
+    ranges.cap_max = partition_.cap_max();
+    ranges.bw_min = partition_.bw_min();
+    ranges.bw_max = partition_.bw_max();
+    ranges.tok_min = 0;
+    ranges.tok_max = static_cast<u32>(cfg_.tok_levels.size()) - 1;
+    climber_ = std::make_unique<HillClimber>(active_, ranges);
+  }
+  next_phase_ = cfg_.phase_length;
+
+  // Until the first epoch establishes a GPU miss rate, leave the bucket
+  // effectively unthrottled (the paper initialises conservatively too).
+  tokens_.set_budget(cfg_.token ? 1'000'000'000 : ~0ull);
+}
+
+u32 HydrogenPolicy::channel_of_way(u32 set, u32 way) const {
+  if (!cfg_.decoupled) return way % num_channels_;  // coupled mapping
+  return partition_.channel_of_way(set, way);
+}
+
+bool HydrogenPolicy::way_allowed(u32 set, u32 way, Requestor cls) const {
+  if (assoc_ < 2) return true;
+  const bool cpu_way = partition_.is_cpu_way(set, way);
+  return cls == Requestor::Cpu ? cpu_way : !cpu_way;
+}
+
+Requestor HydrogenPolicy::way_owner(u32 set, u32 way) const {
+  if (assoc_ < 2) return Requestor::Cpu;
+  return partition_.is_cpu_way(set, way) ? Requestor::Cpu : Requestor::Gpu;
+}
+
+bool HydrogenPolicy::allow_migration(const PolicyContext& ctx, bool victim_dirty) {
+  if (ctx.cls == Requestor::Cpu) return true;
+  if (!cfg_.token) return true;
+  // 1 token per refill, 2 when a dirty writeback (or flat-mode swap, which
+  // the mechanism reports as victim_dirty) doubles the slow traffic.
+  const u64 cost = victim_dirty ? 2 : 1;
+  if (cfg_.per_channel_tokens) {
+    // Lazily sized: one bucket per observed slow channel, each with an even
+    // share of the global budget.
+    while (channel_tokens_.size() <= ctx.slow_channel) {
+      channel_tokens_.emplace_back(tokens_.budget(), cfg_.faucet_period);
+    }
+    return channel_tokens_[ctx.slow_channel].try_consume(ctx.now, cost);
+  }
+  return tokens_.try_consume(ctx.now, cost);
+}
+
+i32 HydrogenPolicy::pick_swap_way(const PolicyContext& ctx, u32 hit_way) {
+  if (cfg_.swap == SwapMode::Off || !cfg_.decoupled) return -1;
+  if (ctx.cls != Requestor::Cpu) return -1;
+  if (!partition_.is_cpu_spill_way(ctx.set, hit_way)) return -1;
+  if (cfg_.swap == SwapMode::Prob && rng_.chance(cfg_.swap_prob)) return -1;
+  H2_ASSERT(table_ != nullptr, "policy not attached to a remap table");
+
+  // Only promote blocks with demonstrated re-reference ("the hottest CPU
+  // data", Section IV-A) — a single hit is not evidence of hotness and
+  // swapping on it would churn the dedicated channels.
+  if (table_->way(ctx.set, hit_way).hits < 2) return -1;
+
+  // Promote the hot block: swap with the LRU CPU block that sits in a
+  // dedicated channel. Only swap if that block is colder (older stamp) than
+  // the hit block.
+  const u64 hit_lru = table_->way(ctx.set, hit_way).lru;
+  i32 best = -1;
+  u64 best_lru = hit_lru;
+  for (u32 w = 0; w < assoc_; ++w) {
+    if (w == hit_way) continue;
+    if (!partition_.is_cpu_way(ctx.set, w)) continue;
+    if (partition_.is_cpu_spill_way(ctx.set, w)) continue;  // not dedicated
+    const RemapWay& rw = table_->way(ctx.set, w);
+    if (!rw.valid) return static_cast<i32>(w);  // free dedicated slot: take it
+    if (rw.lru < best_lru) {
+      best_lru = rw.lru;
+      best = static_cast<i32>(w);
+    }
+  }
+  return best;
+}
+
+u64 HydrogenPolicy::token_budget_for(double frac) const {
+  // Budget = frac x (GPU misses expected per faucet period).
+  const double per_period = gpu_miss_rate_ * static_cast<double>(cfg_.faucet_period);
+  return std::max<u64>(1, static_cast<u64>(frac * per_period));
+}
+
+bool HydrogenPolicy::apply_point(const ParamPoint& p) {
+  const bool changed = !(p == active_);
+  active_ = p;
+  partition_.set_config(p.cap, p.bw);
+  if (cfg_.token) {
+    const u64 budget = token_budget_for(
+        cfg_.tok_levels[std::min<size_t>(p.tok, cfg_.tok_levels.size() - 1)]);
+    tokens_.set_budget(budget);
+    // Per-channel buckets split the budget evenly.
+    if (!channel_tokens_.empty()) {
+      const u64 share = std::max<u64>(1, budget / channel_tokens_.size());
+      for (auto& tb : channel_tokens_) tb.set_budget(share);
+    }
+  }
+  return changed;
+}
+
+bool HydrogenPolicy::on_epoch(const EpochFeedback& fb) {
+  // Refresh the GPU miss-rate estimate used to size token budgets.
+  if (fb.epoch_cycles > 0) {
+    const double rate =
+        static_cast<double>(fb.gpu_misses) / static_cast<double>(fb.epoch_cycles);
+    gpu_miss_rate_ = gpu_miss_rate_ == 0.0 ? rate : 0.5 * gpu_miss_rate_ + 0.5 * rate;
+  }
+
+  if (!cfg_.token && !cfg_.search) return false;
+
+  if (!cfg_.search) {
+    // DP+Token: keep the fixed token fraction but re-size the absolute
+    // budget as the miss rate moves.
+    const u64 budget = token_budget_for(cfg_.fixed_tok_frac);
+    tokens_.set_budget(budget);
+    if (!channel_tokens_.empty()) {
+      const u64 share = std::max<u64>(1, budget / channel_tokens_.size());
+      for (auto& tb : channel_tokens_) tb.set_budget(share);
+    }
+    return false;
+  }
+
+  // Phase restart (paper: every 500 M cycles start a fresh exploration).
+  if (cfg_.phase_length > 0 && fb.now >= next_phase_) {
+    climber_->restart();
+    next_phase_ += cfg_.phase_length;
+  }
+
+  // The epoch right after a reconfiguration is polluted by lazy fixups and
+  // cold partitions; discard it so the climber compares steady-state
+  // throughput, not transition noise.
+  if (settling_) {
+    settling_ = false;
+    return false;
+  }
+
+  const ParamPoint next = climber_->observe(fb.weighted_ipc);
+  const bool changed = apply_point(next);
+  if (changed) {
+    settling_ = true;
+    reconfigurations_++;
+  }
+  return changed;
+}
+
+}  // namespace h2

@@ -1,0 +1,105 @@
+// The full Hydrogen partitioning policy (paper Section IV), combining
+//  - decoupled fast-memory capacity/bandwidth partitioning (IV-A),
+//  - token-based GPU migration throttling (IV-B),
+//  - epoch-based hill-climbing search over (cap, bw, tok) with phase
+//    restarts (IV-C),
+//  - consistent-hashing way selection + lazy reconfiguration (IV-D; the
+//    lazy mechanics live in HybridMemory, driven by this policy's
+//    way_owner/channel_of_way functions).
+//
+// Variants (paper Fig. 5): `DP` enables only decoupled partitioning with the
+// fixed heuristic split; `DP+Token` adds the migration throttle at a fixed
+// 15 % level; `Full` adds the online search.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "hybridmem/policy.h"
+#include "hydrogen/decoupled_partition.h"
+#include "hydrogen/hill_climb.h"
+#include "hydrogen/token_bucket.h"
+
+namespace h2 {
+
+/// Fast-memory swap variants evaluated in Fig. 7(a). (The `Ideal` variant is
+/// a mechanism knob: HybridMemConfig::ideal_swap.)
+enum class SwapMode : u8 {
+  On,    ///< Hydrogen default: promote hot CPU blocks into dedicated channels
+  Prob,  ///< probabilistically bypass half of the swaps
+  Off,   ///< never swap
+};
+
+struct HydrogenConfig {
+  bool decoupled = true;  ///< IV-A (off = coupled WayPart-style mapping)
+  bool token = true;      ///< IV-B
+  bool search = true;     ///< IV-C
+  /// Separate token counters per slow channel instead of one global counter.
+  /// The paper tried this and found "negligible difference" (Section IV-B);
+  /// the ablation bench verifies that claim.
+  bool per_channel_tokens = false;
+
+  // Fixed heuristic configuration used when `search` is off: 75 % capacity
+  // to the CPU, 25 % of the channels CPU-dedicated, 15 % migration budget.
+  double fixed_cpu_capacity_frac = 0.75;
+  double fixed_cpu_bw_frac = 0.25;
+  double fixed_tok_frac = 0.15;
+
+  /// Token budget levels as fractions of the recent GPU miss rate (the tok
+  /// search dimension indexes this table).
+  std::vector<double> tok_levels = {0.025, 0.05, 0.10, 0.15, 0.25, 0.40, 0.70, 1.0};
+
+  Cycle faucet_period = 100'000;  ///< token faucet period (paper: 1 M cycles)
+  Cycle phase_length = 0;         ///< 0 = no phase restarts (paper: 500 M cycles)
+
+  SwapMode swap = SwapMode::On;
+  double swap_prob = 0.5;  ///< bypass probability in Prob mode
+
+  u64 seed = 0x48796472ull;
+};
+
+class HydrogenPolicy final : public PartitionPolicy {
+ public:
+  explicit HydrogenPolicy(const HydrogenConfig& cfg = {});
+
+  const char* name() const override { return "hydrogen"; }
+
+  void bind(u32 num_channels, u32 assoc, u32 num_sets) override;
+
+  u32 channel_of_way(u32 set, u32 way) const override;
+  bool way_allowed(u32 set, u32 way, Requestor cls) const override;
+  Requestor way_owner(u32 set, u32 way) const override;
+  bool allow_migration(const PolicyContext& ctx, bool victim_dirty) override;
+  i32 pick_swap_way(const PolicyContext& ctx, u32 hit_way) override;
+  void tick(Cycle now) override { tokens_.advance(now); }
+  bool on_epoch(const EpochFeedback& fb) override;
+
+  const DecoupledPartition& partition() const { return partition_; }
+  const TokenBucket& tokens() const { return tokens_; }
+  const HillClimber* climber() const { return climber_.get(); }
+  const HydrogenConfig& config() const { return cfg_; }
+  ParamPoint active_point() const { return active_; }
+  u64 reconfigurations() const { return reconfigurations_; }
+
+  /// Applies an explicit parameter point (used by the exhaustive-search
+  /// bench of Fig. 8 and by tests). Returns true if anything changed.
+  bool apply_point(const ParamPoint& p);
+
+ private:
+  u64 token_budget_for(double frac) const;
+
+  HydrogenConfig cfg_;
+  DecoupledPartition partition_;
+  TokenBucket tokens_;
+  std::vector<TokenBucket> channel_tokens_;  ///< used when per_channel_tokens
+  std::unique_ptr<HillClimber> climber_;
+  Rng rng_;
+  ParamPoint active_;
+  double gpu_miss_rate_ = 0.0;  ///< misses per cycle, exponentially smoothed
+  Cycle next_phase_ = 0;
+  bool settling_ = false;  ///< discard the epoch right after a reconfiguration
+  u64 reconfigurations_ = 0;
+};
+
+}  // namespace h2

@@ -1,0 +1,111 @@
+#include "hydrogen/setpart_policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+#include "common/rng.h"
+#include "hydrogen/consistent_hash.h"
+
+namespace h2 {
+
+namespace {
+constexpr u32 kHashSpace = 1u << 16;
+}
+
+SetPartPolicy::SetPartPolicy(const SetPartConfig& cfg)
+    : cfg_(cfg), tokens_(~0ull, cfg.faucet_period) {}
+
+bool SetPartPolicy::channel_dedicated(u32 ch) const {
+  if (num_channels_ < 2) return true;
+  const u32 ded = std::clamp<u32>(
+      static_cast<u32>(std::lround(cfg_.cpu_bw_frac * num_channels_)), 1,
+      num_channels_ - 1);
+  return hrw_rank(cfg_.seed ^ 1, 0xC01u, ch, num_channels_) < ded;
+}
+
+void SetPartPolicy::bind(u32 num_channels, u32 assoc, u32 num_sets) {
+  PartitionPolicy::bind(num_channels, assoc, num_sets);
+  set_partition(cfg_.cpu_set_frac);
+  tokens_.set_budget(cfg_.token ? ~0ull : ~0ull);
+}
+
+bool SetPartPolicy::set_partition(double cpu_set_frac) {
+  cpu_set_frac = std::clamp(cpu_set_frac, 0.05, 0.95);
+  // Dedicated-channel sets are always CPU; top up on the shared channels to
+  // reach the requested overall fraction. The threshold hash makes the
+  // selection consistent: raising the fraction only adds sets.
+  double ded_frac = 0;
+  for (u32 ch = 0; ch < num_channels_; ++ch) ded_frac += channel_dedicated(ch) ? 1 : 0;
+  ded_frac /= std::max(1u, num_channels_);
+  const double extra =
+      ded_frac < 1.0 ? std::clamp((cpu_set_frac - ded_frac) / (1.0 - ded_frac), 0.0, 1.0)
+                     : 0.0;
+  const u32 new_threshold = static_cast<u32>(extra * kHashSpace);
+  const bool changed = new_threshold != threshold_ || cpu_sets_.empty();
+  threshold_ = new_threshold;
+  cfg_.cpu_set_frac = cpu_set_frac;
+  rebuild_side_lists();
+  return changed;
+}
+
+Requestor SetPartPolicy::set_owner(u32 set) const {
+  if (channel_dedicated(set % std::max(1u, num_channels_))) return Requestor::Cpu;
+  const u32 h = static_cast<u32>(mix_hash(cfg_.seed, set) % kHashSpace);
+  return h < threshold_ ? Requestor::Cpu : Requestor::Gpu;
+}
+
+void SetPartPolicy::rebuild_side_lists() {
+  cpu_sets_.clear();
+  gpu_sets_.clear();
+  for (u32 s = 0; s < num_sets_; ++s) {
+    (set_owner(s) == Requestor::Cpu ? cpu_sets_ : gpu_sets_).push_back(s);
+  }
+  // Degenerate guard: both sides always get at least one set.
+  if (cpu_sets_.empty()) cpu_sets_.push_back(0);
+  if (gpu_sets_.empty()) gpu_sets_.push_back(num_sets_ - 1);
+}
+
+u32 SetPartPolicy::remap_set(u32 natural_set, Requestor cls) const {
+  if (set_owner(natural_set) == cls) return natural_set;
+  // Page colouring: the OS would have placed this page in one of the
+  // requestor's own sets; pick deterministically by address hash.
+  const auto& own = cls == Requestor::Cpu ? cpu_sets_ : gpu_sets_;
+  return own[mix_hash(cfg_.seed ^ 2, natural_set) % own.size()];
+}
+
+u32 SetPartPolicy::channel_of_way(u32 set, u32 way) const {
+  (void)way;
+  // Whole sets are interleaved across channels; all ways of a set live on
+  // the set's channel (this coupling is the variant's inherent limitation).
+  return set % std::max(1u, num_channels_);
+}
+
+bool SetPartPolicy::way_allowed(u32 set, u32 way, Requestor cls) const {
+  (void)way;
+  return set_owner(set) == cls;
+}
+
+Requestor SetPartPolicy::way_owner(u32 set, u32 way) const {
+  (void)way;
+  return set_owner(set);
+}
+
+bool SetPartPolicy::allow_migration(const PolicyContext& ctx, bool victim_dirty) {
+  if (ctx.cls == Requestor::Cpu || !cfg_.token) return true;
+  return tokens_.try_consume(ctx.now, victim_dirty ? 2 : 1);
+}
+
+bool SetPartPolicy::on_epoch(const EpochFeedback& fb) {
+  if (!cfg_.token) return false;
+  if (fb.epoch_cycles > 0) {
+    const double rate =
+        static_cast<double>(fb.gpu_misses) / static_cast<double>(fb.epoch_cycles);
+    gpu_miss_rate_ = gpu_miss_rate_ == 0.0 ? rate : 0.5 * gpu_miss_rate_ + 0.5 * rate;
+  }
+  const double per_period = gpu_miss_rate_ * static_cast<double>(cfg_.faucet_period);
+  tokens_.set_budget(std::max<u64>(1, static_cast<u64>(cfg_.tok_frac * per_period)));
+  return false;
+}
+
+}  // namespace h2

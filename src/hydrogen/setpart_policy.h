@@ -1,0 +1,68 @@
+// Decoupled set-partitioning (paper Section IV-F "Discussion").
+//
+// The alternative to Hydrogen's way-partitioning: cache sets are statically
+// interleaved across the fast channels; the sets living on `bw` dedicated
+// channels hold CPU data only, and OS page colouring steers each side's
+// pages into its designated sets (modelled by the remap_set hook). Capacity
+// decoupling picks additional CPU sets on the shared channels by a
+// consistent threshold hash, so — like the way-partitioned design — stepping
+// the capacity knob only flips an incremental slice of sets.
+//
+// The paper notes this variant "inherits the typical drawbacks such as high
+// repartitioning overheads and OS-level modifications": repartitioning flips
+// whole sets (every resident block in a flipped set is misplaced at once),
+// which the ablation bench quantifies against way-partitioned Hydrogen.
+#pragma once
+
+#include <vector>
+
+#include "hybridmem/policy.h"
+#include "hydrogen/token_bucket.h"
+
+namespace h2 {
+
+struct SetPartConfig {
+  double cpu_set_frac = 0.75;  ///< capacity share (fraction of all sets)
+  double cpu_bw_frac = 0.25;   ///< fraction of channels dedicated to CPU sets
+  bool token = true;           ///< reuse Hydrogen's migration throttle
+  double tok_frac = 0.15;
+  Cycle faucet_period = 100'000;
+  u64 seed = 0x5e7ca57ull;
+};
+
+class SetPartPolicy final : public PartitionPolicy {
+ public:
+  explicit SetPartPolicy(const SetPartConfig& cfg = {});
+
+  const char* name() const override { return "hydrogen-setpart"; }
+
+  void bind(u32 num_channels, u32 assoc, u32 num_sets) override;
+
+  u32 remap_set(u32 natural_set, Requestor cls) const override;
+  u32 channel_of_way(u32 set, u32 way) const override;
+  bool way_allowed(u32 set, u32 way, Requestor cls) const override;
+  Requestor way_owner(u32 set, u32 way) const override;
+  bool allow_migration(const PolicyContext& ctx, bool victim_dirty) override;
+  void tick(Cycle now) override { tokens_.advance(now); }
+  bool on_epoch(const EpochFeedback& fb) override;
+
+  /// Which side owns a set under the current configuration.
+  Requestor set_owner(u32 set) const;
+  /// Re-partitions the set space (the expensive operation the paper warns
+  /// about). Returns true if ownership changed anywhere.
+  bool set_partition(double cpu_set_frac);
+  u32 cpu_set_count() const { return static_cast<u32>(cpu_sets_.size()); }
+
+ private:
+  bool channel_dedicated(u32 ch) const;
+  void rebuild_side_lists();
+
+  SetPartConfig cfg_;
+  TokenBucket tokens_;
+  u32 threshold_ = 0;  ///< shared-channel sets with hash < threshold are CPU
+  std::vector<u32> cpu_sets_;
+  std::vector<u32> gpu_sets_;
+  double gpu_miss_rate_ = 0.0;
+};
+
+}  // namespace h2

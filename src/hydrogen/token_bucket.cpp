@@ -1,0 +1,3 @@
+#include "hydrogen/token_bucket.h"
+
+// TokenBucket is header-only; this TU anchors the library target.

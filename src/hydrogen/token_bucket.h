@@ -1,0 +1,69 @@
+// Token-based migration throttling for the slow-memory bandwidth
+// (paper Section IV-B).
+//
+// A hardware counter holds migration tokens. Each GPU-induced migration
+// consumes 1 token for the refill and 1 more when it also causes a dirty
+// writeback or a flat-mode swap. When the counter is empty, further GPU
+// migrations are suppressed (the demand line is served from slow memory
+// without refill). A "token faucet" re-fills the counter to the period
+// budget every `period` cycles; the budget is the knob (`tok`) tuned by the
+// epoch-based search.
+#pragma once
+
+#include "common/types.h"
+
+namespace h2 {
+
+class TokenBucket {
+ public:
+  TokenBucket(u64 budget_per_period, Cycle period)
+      : budget_(budget_per_period), period_(period), tokens_(budget_per_period) {}
+
+  /// Changes the per-period budget (applies from the next faucet refill;
+  /// the paper notes a new `tok` takes effect in the next epoch).
+  void set_budget(u64 budget) { budget_ = budget; }
+  u64 budget() const { return budget_; }
+  Cycle period() const { return period_; }
+
+  /// Advances the faucet to `now` (refilling on period boundaries).
+  void advance(Cycle now) {
+    while (now >= next_refill_) {
+      tokens_ = budget_;
+      next_refill_ += period_;
+      refills_++;
+    }
+  }
+
+  /// Consumes `n` tokens if available; returns whether the migration may
+  /// proceed. Call advance(now) first (or use try_consume(now, n)).
+  bool try_consume(u64 n) {
+    if (tokens_ < n) {
+      suppressed_++;
+      return false;
+    }
+    tokens_ -= n;
+    consumed_ += n;
+    return true;
+  }
+
+  bool try_consume(Cycle now, u64 n) {
+    advance(now);
+    return try_consume(n);
+  }
+
+  u64 tokens() const { return tokens_; }
+  u64 consumed() const { return consumed_; }
+  u64 suppressed() const { return suppressed_; }
+  u64 refills() const { return refills_; }
+
+ private:
+  u64 budget_;
+  Cycle period_;
+  u64 tokens_;
+  Cycle next_refill_ = 0;
+  u64 consumed_ = 0;
+  u64 suppressed_ = 0;
+  u64 refills_ = 0;
+};
+
+}  // namespace h2

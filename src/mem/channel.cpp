@@ -1,0 +1,128 @@
+#include "mem/channel.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace h2 {
+
+Channel::Channel(const DramTiming& timing, double core_ghz, u32 id)
+    : timing_(timing), id_(id), core_ghz_(core_ghz) {
+  H2_ASSERT(timing.device_mhz > 0 && core_ghz > 0, "bad clocks");
+  core_cycles_per_device_cycle_ = core_ghz * 1000.0 / timing.device_mhz;
+  bytes_per_core_cycle_ =
+      timing.bus_bytes_per_device_cycle / core_cycles_per_device_cycle_;
+  auto to_core = [&](u32 dev) {
+    return static_cast<u32>(std::lround(dev * core_cycles_per_device_cycle_));
+  };
+  c_rcd_ = to_core(timing.t_rcd);
+  c_cas_ = to_core(timing.t_cas);
+  c_rp_ = to_core(timing.t_rp);
+  c_refi_ = to_core(timing.t_refi);
+  c_rfc_ = to_core(timing.t_rfc);
+  controller_overhead_ = 16;  // queue + PHY + arbitration, core cycles
+  banks_.resize(timing.total_banks());
+  next_refresh_ = c_refi_;
+}
+
+void Channel::apply_refresh(Cycle now) {
+  // All-bank refresh: once per tREFI the channel is unavailable for tRFC.
+  // The stall is charged to both bus queues (no data can move), modelled as
+  // work-queue inflation at the refresh deadline.
+  while (now >= next_refresh_) {
+    read_busy_until_ = std::max(read_busy_until_, next_refresh_) + c_rfc_;
+    write_busy_until_ = std::max(write_busy_until_, next_refresh_) + c_rfc_;
+    next_refresh_ += c_refi_;
+    refreshes_++;
+    dynamic_energy_pj_ += timing_.act_nj * 1000.0 * banks_.size() / 4.0;
+  }
+}
+
+Channel::Result Channel::request(Cycle now, Addr addr, u32 bytes, bool is_write,
+                                 bool high_priority, Cycle earliest) {
+  H2_ASSERT(bytes > 0, "zero-byte DRAM request");
+  requests_++;
+  if (c_refi_ > 0) apply_refresh(now);
+
+  const u64 row_global = addr / timing_.row_bytes;
+  const u32 bank_idx = static_cast<u32>(row_global % banks_.size());
+  const i64 row = static_cast<i64>(row_global / banks_.size());
+  Bank& bank = banks_[bank_idx];
+
+  const Cycle issue = std::max(now, earliest);
+  Cycle t = std::max<Cycle>(issue + controller_overhead_, bank.busy_until);
+
+  const u32 transfer =
+      std::max<u32>(1, static_cast<u32>(std::ceil(bytes / bytes_per_core_cycle_)));
+  const u32 critical =
+      std::max<u32>(1, static_cast<u32>(std::ceil(std::min<u32>(bytes, 64) /
+                                                  bytes_per_core_cycle_)));
+
+  u32 cmd_lat;
+  if (bank.open_row == row) {
+    cmd_lat = c_cas_;
+    row_hits_++;
+    // Column commands pipeline: the bank can accept the next command after
+    // roughly one burst, not after the full CAS latency.
+    bank.busy_until = t + transfer;
+  } else {
+    cmd_lat = (bank.open_row >= 0 ? c_rp_ : 0) + c_rcd_ + c_cas_;
+    row_misses_++;
+    dynamic_energy_pj_ += timing_.act_nj * 1000.0;
+    bank.open_row = row;
+    // The bank is occupied through precharge + activate; afterwards column
+    // commands pipeline as above.
+    bank.busy_until = t + cmd_lat - c_cas_ + transfer;
+  }
+
+  const Cycle data_ready = t + cmd_lat;
+
+  // Work-conserving bus queues: each cursor accumulates pure transfer work
+  // from a now-clamped base. A request whose data is only ready in the
+  // future (bank latency, chained metadata->data hops) starts then, but does
+  // NOT push the shared cursor to that future time — the bus slot it skipped
+  // is left usable by later-issued requests (hole filling). This keeps
+  // bandwidth accounting exact while avoiding spurious serialisation behind
+  // schedule holes.
+  //
+  // Read-over-write scheduling (see the class comment): reads queue behind
+  // the read queue only; each write adds half its transfer time to the read
+  // queue (drain interference) and writes queue behind everything.
+  const Cycle read_base = std::max(read_busy_until_, now);
+  const Cycle write_base = std::max({write_busy_until_, read_base, now});
+  Cycle queue_from = is_write ? write_base : read_base;
+
+  // CPU-priority model: high-priority requests may jump part of the queue
+  // (bounded credit), modelling reordering in the controller queue.
+  if (priority_enabled_ && high_priority) {
+    const Cycle credit = std::min<Cycle>(backlog(now) / 2, 150);
+    queue_from = queue_from > now + credit ? queue_from - credit : std::min(queue_from, now);
+  }
+  const Cycle data_start = std::max(data_ready, queue_from);
+  if (is_write) {
+    write_busy_until_ = write_base + transfer;
+    read_busy_until_ = read_base + transfer / 2;
+  } else {
+    read_busy_until_ = read_base + transfer;
+  }
+
+  class_bytes_[static_cast<u32>(current_requestor_)] += bytes;
+  const double pj_per_bit = is_write ? timing_.wr_pj_per_bit : timing_.rd_pj_per_bit;
+  dynamic_energy_pj_ += pj_per_bit * 8.0 * bytes;
+
+  return Result{t, data_start + critical, data_start + transfer, data_start + transfer};
+}
+
+double Channel::static_energy_pj(Cycle now) const {
+  const double ns = static_cast<double>(now) / core_ghz_;
+  return timing_.static_mw_per_channel * 1e-3 * ns * 1e3;  // mW * ns -> pJ
+}
+
+void Channel::reset_stats() {
+  class_bytes_[0] = class_bytes_[1] = 0;
+  row_hits_ = row_misses_ = requests_ = refreshes_ = 0;
+  dynamic_energy_pj_ = 0.0;
+}
+
+}  // namespace h2

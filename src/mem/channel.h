@@ -1,0 +1,112 @@
+// Single DRAM channel timing model.
+//
+// Requests reserve bank and data-bus slots in arrival order via busy-until
+// cursors. A request pays the row-buffer-dependent command latency on its
+// bank, then queues for the shared data bus. This captures the three DRAM
+// effects the paper's insights depend on: bank-level parallelism, row-buffer
+// locality, and data-bus bandwidth saturation — at a tiny fraction of the
+// cost of a cycle-accurate controller.
+//
+// Reads are prioritised over writes, as in real controllers (write buffering
+// with opportunistic drain): reads queue only behind reads plus a bounded
+// share of write traffic, while writes yield to the read stream. This keeps
+// latency-critical demand reads from spuriously serialising behind bulk
+// fill/writeback traffic, while still charging that traffic's bandwidth.
+//
+// Priority classes: when enabled (HAShCache-style CPU prioritisation),
+// high-priority requests additionally receive a bounded queue-jump credit
+// against the current backlog.
+#pragma once
+
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "mem/dram_timing.h"
+
+namespace h2 {
+
+class Channel {
+ public:
+  struct Result {
+    Cycle start;       ///< when the command began service at the bank
+    Cycle first_data;  ///< when the critical first 64 B arrive (incl. priority penalty)
+    Cycle done;        ///< when the last byte has transferred (incl. priority penalty)
+    Cycle done_sched;  ///< physical transfer end, without the priority penalty —
+                       ///< use this to schedule dependent transfers
+  };
+
+  Channel(const DramTiming& timing, double core_ghz, u32 id);
+
+  /// Reserves bank + bus resources for a `bytes`-sized transfer. `now` is
+  /// the true issue time (used for queue-backlog accounting); `earliest`
+  /// optionally delays the start for chained dependencies (e.g. a data
+  /// access that must follow a metadata read) WITHOUT pushing the shared
+  /// queue cursors into the future. `high_priority` only matters when the
+  /// priority model is enabled.
+  Result request(Cycle now, Addr addr, u32 bytes, bool is_write,
+                 bool high_priority = true, Cycle earliest = 0);
+
+  /// Enables the two-class priority model (CPU over GPU).
+  void set_priority_enabled(bool on) { priority_enabled_ = on; }
+
+  /// Read-visible backlog on the data bus at `now` (queueing-delay estimate).
+  Cycle backlog(Cycle now) const {
+    return read_busy_until_ > now ? read_busy_until_ - now : 0;
+  }
+
+  u32 id() const { return id_; }
+  const DramTiming& timing() const { return timing_; }
+
+  // --- statistics ------------------------------------------------------
+  u64 bytes_transferred(Requestor r) const { return class_bytes_[static_cast<u32>(r)]; }
+  u64 total_bytes() const { return class_bytes_[0] + class_bytes_[1]; }
+  u64 row_hits() const { return row_hits_; }
+  u64 row_misses() const { return row_misses_; }
+  u64 requests() const { return requests_; }
+  u64 refreshes() const { return refreshes_; }
+  /// Dynamic energy in picojoules (RD/WR per bit + ACT/PRE per activation).
+  double dynamic_energy_pj() const { return dynamic_energy_pj_; }
+  /// Static (background) energy accumulated up to `now`.
+  double static_energy_pj(Cycle now) const;
+  void reset_stats();
+
+  /// Tags the bytes of the next request with a requestor for accounting.
+  void set_requestor(Requestor r) { current_requestor_ = r; }
+
+ private:
+  struct Bank {
+    Cycle busy_until = 0;
+    i64 open_row = -1;
+  };
+
+  DramTiming timing_;
+  u32 id_;
+  double core_cycles_per_device_cycle_;
+  double bytes_per_core_cycle_;
+  u32 c_rcd_, c_cas_, c_rp_;
+  u32 controller_overhead_;  ///< fixed queue/PHY cycles per request
+
+  /// Applies any refresh windows due by `now` (all-bank refresh: both bus
+  /// queues stall for tRFC once per tREFI).
+  void apply_refresh(Cycle now);
+
+  std::vector<Bank> banks_;
+  Cycle read_busy_until_ = 0;
+  Cycle write_busy_until_ = 0;
+  Cycle next_refresh_ = 0;
+  u32 c_refi_ = 0;
+  u32 c_rfc_ = 0;
+  u64 refreshes_ = 0;
+  bool priority_enabled_ = false;
+
+  Requestor current_requestor_ = Requestor::Cpu;
+  u64 class_bytes_[2] = {0, 0};
+  u64 row_hits_ = 0;
+  u64 row_misses_ = 0;
+  u64 requests_ = 0;
+  double dynamic_energy_pj_ = 0.0;
+  double core_ghz_;
+};
+
+}  // namespace h2

@@ -1,0 +1,54 @@
+// DRAM device timing and energy parameters (paper Table I), plus presets for
+// HBM2E, HBM3 and DDR4-3200. All latencies are stored in device command-clock
+// cycles and converted to core cycles by the channel model.
+#pragma once
+
+#include <string>
+
+#include "common/types.h"
+
+namespace h2 {
+
+struct DramTiming {
+  std::string name;
+  double device_mhz = 1600.0;  ///< command clock frequency
+  u32 t_rcd = 22;              ///< ACT -> column command, device cycles
+  u32 t_cas = 22;              ///< column command -> first data
+  u32 t_rp = 22;               ///< precharge
+  u32 bus_bytes_per_device_cycle = 16;  ///< DDR: 2 transfers x width/8
+  u32 banks_per_rank = 16;
+  u32 ranks = 1;
+  u64 row_bytes = 2048;        ///< row buffer size per bank
+  double rd_pj_per_bit = 6.4;  ///< read energy
+  double wr_pj_per_bit = 6.4;  ///< write energy
+  double act_nj = 15.0;        ///< ACT+PRE energy per activation
+  double static_mw_per_channel = 110.0;  ///< background power
+
+  u32 t_refi = 12480;  ///< average refresh interval (device cycles, ~7.8 us)
+  u32 t_rfc = 560;     ///< refresh cycle time (device cycles, ~350 ns)
+
+  u32 total_banks() const { return banks_per_rank * ranks; }
+  /// Peak bandwidth in bytes per nanosecond (== GB/s).
+  double peak_gbps() const {
+    return bus_bytes_per_device_cycle * device_mhz / 1000.0;
+  }
+};
+
+/// HBM2E channel: 128-bit bus @ 3.2 GT/s -> 51.2 GB/s, RCD-CAS-RP 23-23-23,
+/// RD/WR 6.4 pJ/bit (Table I).
+DramTiming hbm2e_timing();
+
+/// HBM3: doubled per-channel bandwidth, scaled timing (paper Section VI-A).
+DramTiming hbm3_timing();
+
+/// DDR4-3200 channel: 64-bit bus -> 25.6 GB/s, RCD-CAS-RP 22-22-22,
+/// RD/WR 33 pJ/bit (Table I).
+DramTiming ddr4_3200_timing();
+
+/// Groups `group` physical channels into one logical superchannel that
+/// supplies a whole data block per access (paper Section IV-A: 4 HBM channels
+/// x 64 B cachelines feed one 256 B block). Bandwidth and bank count scale by
+/// `group`; latencies are unchanged.
+DramTiming grouped(const DramTiming& base, u32 group);
+
+}  // namespace h2

@@ -1,0 +1,127 @@
+#include "mem/memory_system.h"
+
+#include "common/assert.h"
+
+namespace h2 {
+
+MemSystemConfig MemSystemConfig::table1_default() {
+  MemSystemConfig cfg;
+  cfg.fast_channel_timing = hbm2e_timing();
+  cfg.slow_channel_timing = ddr4_3200_timing();
+  cfg.fast_channels = 16;
+  cfg.fast_group = 4;
+  cfg.slow_channels = 4;
+  return cfg;
+}
+
+MemSystemConfig MemSystemConfig::table1_hbm3() {
+  MemSystemConfig cfg = table1_default();
+  cfg.fast_channel_timing = hbm3_timing();
+  return cfg;
+}
+
+MemorySystem::MemorySystem(const MemSystemConfig& cfg) : cfg_(cfg) {
+  H2_ASSERT(cfg.fast_channels % cfg.fast_group == 0,
+            "fast channels (%u) must be divisible by the group size (%u)",
+            cfg.fast_channels, cfg.fast_group);
+  const u32 n_super = cfg.fast_channels / cfg.fast_group;
+  H2_ASSERT(n_super >= 1 && cfg.slow_channels >= 1, "need at least one channel per tier");
+  const DramTiming super = grouped(cfg.fast_channel_timing, cfg.fast_group);
+  for (u32 i = 0; i < n_super; ++i) {
+    fast_.push_back(std::make_unique<Channel>(super, cfg.core_ghz, i));
+    fast_.back()->set_priority_enabled(cfg.cpu_priority);
+  }
+  for (u32 i = 0; i < cfg.slow_channels; ++i) {
+    slow_.push_back(std::make_unique<Channel>(cfg.slow_channel_timing, cfg.core_ghz, i));
+    slow_.back()->set_priority_enabled(cfg.cpu_priority);
+  }
+}
+
+Channel::Result MemorySystem::fast_access(Cycle now, u32 superchannel, Addr addr,
+                                          u32 bytes, bool is_write, Requestor who,
+                                          Cycle earliest) {
+  H2_ASSERT(superchannel < fast_.size(), "fast superchannel %u out of range", superchannel);
+  Channel& ch = *fast_[superchannel];
+  ch.set_requestor(who);
+  return ch.request(now, addr, bytes, is_write,
+                    /*high_priority=*/who == Requestor::Cpu, earliest);
+}
+
+Channel::Result MemorySystem::slow_access(Cycle now, Addr addr, u32 bytes,
+                                          bool is_write, Requestor who,
+                                          Cycle earliest) {
+  Channel& ch = *slow_[slow_channel_of(addr)];
+  ch.set_requestor(who);
+  return ch.request(now, addr, bytes, is_write,
+                    /*high_priority=*/who == Requestor::Cpu, earliest);
+}
+
+Cycle MemorySystem::slow_backlog(Cycle now) const {
+  Cycle total = 0;
+  for (const auto& ch : slow_) total += ch->backlog(now);
+  return total;
+}
+
+Cycle MemorySystem::fast_backlog(Cycle now) const {
+  Cycle total = 0;
+  for (const auto& ch : fast_) total += ch->backlog(now);
+  return total;
+}
+
+u64 MemorySystem::tier_bytes(Tier t) const {
+  return tier_bytes(t, Requestor::Cpu) + tier_bytes(t, Requestor::Gpu);
+}
+
+u64 MemorySystem::tier_bytes(Tier t, Requestor r) const {
+  u64 total = 0;
+  for (const auto& ch : (t == Tier::Fast ? fast_ : slow_)) total += ch->bytes_transferred(r);
+  return total;
+}
+
+double MemorySystem::dynamic_energy_pj(Tier t) const {
+  double total = 0;
+  for (const auto& ch : (t == Tier::Fast ? fast_ : slow_)) total += ch->dynamic_energy_pj();
+  return total;
+}
+
+double MemorySystem::static_energy_pj(Tier t, Cycle now) const {
+  double total = 0;
+  for (const auto& ch : (t == Tier::Fast ? fast_ : slow_)) total += ch->static_energy_pj(now);
+  return total;
+}
+
+double MemorySystem::total_energy_pj(Cycle now) const {
+  return dynamic_energy_pj(Tier::Fast) + dynamic_energy_pj(Tier::Slow) +
+         static_energy_pj(Tier::Fast, now) + static_energy_pj(Tier::Slow, now);
+}
+
+u64 MemorySystem::tier_row_hits(Tier t) const {
+  u64 total = 0;
+  for (const auto& ch : (t == Tier::Fast ? fast_ : slow_)) total += ch->row_hits();
+  return total;
+}
+
+u64 MemorySystem::tier_row_misses(Tier t) const {
+  u64 total = 0;
+  for (const auto& ch : (t == Tier::Fast ? fast_ : slow_)) total += ch->row_misses();
+  return total;
+}
+
+void MemorySystem::reset_stats() {
+  for (auto& ch : fast_) ch->reset_stats();
+  for (auto& ch : slow_) ch->reset_stats();
+}
+
+double MemorySystem::fast_peak_gbps() const {
+  double total = 0;
+  for (const auto& ch : fast_) total += ch->timing().peak_gbps();
+  return total;
+}
+
+double MemorySystem::slow_peak_gbps() const {
+  double total = 0;
+  for (const auto& ch : slow_) total += ch->timing().peak_gbps();
+  return total;
+}
+
+}  // namespace h2

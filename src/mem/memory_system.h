@@ -1,0 +1,82 @@
+// The two-tier physical memory: fast superchannels (HBM) + slow channels
+// (DDR). Owns all Channel objects, performs address-to-channel mapping for
+// the slow tier, and aggregates traffic/energy statistics per tier and per
+// requestor. The hybrid memory controller decides *which* fast superchannel
+// a block lives on (that mapping is the heart of Hydrogen's decoupled
+// partitioning), so fast accesses name their superchannel explicitly.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "mem/channel.h"
+
+namespace h2 {
+
+struct MemSystemConfig {
+  DramTiming fast_channel_timing;   ///< per physical fast channel
+  DramTiming slow_channel_timing;   ///< per physical slow channel
+  u32 fast_channels = 16;           ///< physical fast channels
+  u32 fast_group = 4;               ///< physical channels per superchannel
+  u32 slow_channels = 4;
+  double core_ghz = 3.2;
+  bool cpu_priority = false;        ///< HAShCache-style CPU prioritisation
+  u64 block_bytes = 256;            ///< hybrid-memory block (slow-tier interleave unit)
+
+  static MemSystemConfig table1_default();
+  static MemSystemConfig table1_hbm3();
+};
+
+class MemorySystem {
+ public:
+  explicit MemorySystem(const MemSystemConfig& cfg);
+
+  u32 num_fast_superchannels() const { return static_cast<u32>(fast_.size()); }
+  u32 num_slow_channels() const { return static_cast<u32>(slow_.size()); }
+
+  /// Access `bytes` at `addr` on a specific fast superchannel. `now` is the
+  /// true issue time; `earliest` optionally delays the start for chained
+  /// dependencies (see Channel::request).
+  Channel::Result fast_access(Cycle now, u32 superchannel, Addr addr, u32 bytes,
+                              bool is_write, Requestor who, Cycle earliest = 0);
+
+  /// Access `bytes` at `addr` in the slow tier; the channel is derived from
+  /// the address (block-interleaved).
+  Channel::Result slow_access(Cycle now, Addr addr, u32 bytes, bool is_write,
+                              Requestor who, Cycle earliest = 0);
+
+  u32 slow_channel_of(Addr addr) const {
+    return static_cast<u32>((addr / cfg_.block_bytes) % slow_.size());
+  }
+
+  /// Current queueing backlog (cycles) summed over the slow channels — used
+  /// by adaptive policies as a congestion signal.
+  Cycle slow_backlog(Cycle now) const;
+  Cycle fast_backlog(Cycle now) const;
+
+  // --- statistics ------------------------------------------------------
+  u64 tier_bytes(Tier t) const;
+  u64 tier_bytes(Tier t, Requestor r) const;
+  double dynamic_energy_pj(Tier t) const;
+  double static_energy_pj(Tier t, Cycle now) const;
+  double total_energy_pj(Cycle now) const;
+  u64 tier_row_hits(Tier t) const;
+  u64 tier_row_misses(Tier t) const;
+  void reset_stats();
+
+  const MemSystemConfig& config() const { return cfg_; }
+  Channel& fast_channel(u32 i) { return *fast_[i]; }
+  Channel& slow_channel(u32 i) { return *slow_[i]; }
+
+  /// Peak bandwidths in GB/s (for reports and sanity checks).
+  double fast_peak_gbps() const;
+  double slow_peak_gbps() const;
+
+ private:
+  MemSystemConfig cfg_;
+  std::vector<std::unique_ptr<Channel>> fast_;  ///< one per superchannel
+  std::vector<std::unique_ptr<Channel>> slow_;
+};
+
+}  // namespace h2

@@ -1,0 +1,3 @@
+#include "policies/baseline.h"
+
+// BaselinePolicy is header-only; this TU anchors the library target.

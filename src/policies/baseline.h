@@ -1,0 +1,37 @@
+// The non-partitioned baseline (paper Section V "Baselines"): CPU and GPU
+// share every way and every channel, and every miss migrates. This is the
+// normalisation reference for all speedups.
+#pragma once
+
+#include "hybridmem/policy.h"
+
+namespace h2 {
+
+class BaselinePolicy final : public PartitionPolicy {
+ public:
+  const char* name() const override { return "baseline"; }
+
+  u32 channel_of_way(u32 set, u32 way) const override {
+    // Interleave ways across channels per set so both sides spread over the
+    // whole fast-tier bandwidth (and contend everywhere).
+    return (set + way) % num_channels_;
+  }
+
+  bool way_allowed(u32 set, u32 way, Requestor cls) const override {
+    (void)set; (void)way; (void)cls;
+    return true;
+  }
+
+  Requestor way_owner(u32 set, u32 way) const override {
+    (void)set; (void)way;
+    // Unpartitioned: ways have no side assignment, so no lazy mismatches.
+    return Requestor::Cpu;
+  }
+
+  bool allow_migration(const PolicyContext& ctx, bool victim_dirty) override {
+    (void)ctx; (void)victim_dirty;
+    return true;
+  }
+};
+
+}  // namespace h2

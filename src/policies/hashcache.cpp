@@ -1,0 +1,22 @@
+#include "policies/hashcache.h"
+
+#include "common/rng.h"
+
+namespace h2 {
+
+bool HAShCachePolicy::allow_migration(const PolicyContext& ctx, bool victim_dirty) {
+  (void)victim_dirty;
+  if (ctx.cls == Requestor::Cpu) return true;
+  // GPU blocks migrate only on a repeated miss: streaming blocks with no
+  // reuse stay in the slow tier (HAShCache's bypass).
+  const u64 h = mix_hash(ctx.tag, 0x9a5cafe5ull);
+  const size_t slot = static_cast<size_t>(h % filter_.size());
+  if (filter_[slot] == ctx.tag) {
+    filter_hits_++;
+    return true;
+  }
+  filter_[slot] = ctx.tag;
+  return false;
+}
+
+}  // namespace h2

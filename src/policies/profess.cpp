@@ -1,0 +1,70 @@
+#include "policies/profess.h"
+
+#include <algorithm>
+
+namespace h2 {
+
+ProfessPolicy::ProfessPolicy(const ProfessConfig& cfg) : cfg_(cfg), rng_(cfg.seed) {
+  p_[0] = p_[1] = cfg.p_init;
+}
+
+bool ProfessPolicy::allow_migration(const PolicyContext& ctx, bool victim_dirty) {
+  // Dirty victims double the migration cost; MDM is correspondingly more
+  // reluctant (one extra coin flip at the same probability).
+  const double p = p_[static_cast<u32>(ctx.cls)];
+  if (!rng_.chance(p)) return false;
+  if (victim_dirty && !rng_.chance(std::min(1.0, p + 0.2))) return false;
+  return true;
+}
+
+void ProfessPolicy::note_hit(const PolicyContext& ctx, u32 way) {
+  (void)way;
+  hits_[static_cast<u32>(ctx.cls)]++;
+  accesses_[static_cast<u32>(ctx.cls)]++;
+}
+
+void ProfessPolicy::note_miss(const PolicyContext& ctx, bool migrated) {
+  (void)migrated;
+  accesses_[static_cast<u32>(ctx.cls)]++;
+}
+
+bool ProfessPolicy::on_epoch(const EpochFeedback& fb) {
+  const double congested_threshold =
+      cfg_.backlog_per_channel_hi * std::max<u32>(1, num_channels_);
+  const bool congested = static_cast<double>(fb.slow_backlog) > congested_threshold;
+
+  for (u32 r = 0; r < 2; ++r) {
+    const double hr = accesses_[r]
+                          ? static_cast<double>(hits_[r]) / static_cast<double>(accesses_[r])
+                          : prev_hit_rate_[r];
+    // Benefit: a rising (or high) hit rate means migrations are paying off.
+    const bool improving = hr >= prev_hit_rate_[r] - 0.01;
+    double p = p_[r];
+    if (congested && !improving) {
+      p -= cfg_.step;  // migrations amplify traffic without return
+    } else if (improving && hr > 0.3) {
+      p += cfg_.step / 2;
+    }
+    const double floor = r == 0 ? cfg_.p_min_cpu : cfg_.p_min;
+    p_[r] = std::clamp(p, floor, cfg_.p_max);
+    prev_hit_rate_[r] = hr;
+    hits_[r] = 0;
+    accesses_[r] = 0;
+  }
+
+  // Fairness: nudge migration budget toward the side with the lower
+  // weighted throughput share.
+  const double cpu_share = cfg_.weight_cpu * static_cast<double>(fb.cpu_instructions);
+  const double gpu_share = cfg_.weight_gpu * static_cast<double>(fb.gpu_instructions);
+  if (cpu_share + gpu_share > 0) {
+    const u32 loser = cpu_share < gpu_share ? 0u : 1u;
+    const u32 winner = 1u - loser;
+    const double loser_floor = loser == 0 ? cfg_.p_min_cpu : cfg_.p_min;
+    const double winner_floor = winner == 0 ? cfg_.p_min_cpu : cfg_.p_min;
+    p_[loser] = std::clamp(p_[loser] + cfg_.step / 2, loser_floor, cfg_.p_max);
+    p_[winner] = std::clamp(p_[winner] - cfg_.step / 4, winner_floor, cfg_.p_max);
+  }
+  return false;  // mapping never changes; no reconfiguration needed
+}
+
+}  // namespace h2

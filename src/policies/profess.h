@@ -1,0 +1,78 @@
+// ProFess model (Knyaginin et al., HPCA 2018; paper Section V).
+//
+// ProFess is a probabilistic hybrid-main-memory management framework aiming
+// at multi-process fairness. Its migration-decision mechanism (MDM) gates
+// migrations per process by their estimated benefit vs. cost, and a fairness
+// controller boosts the process suffering the most. As in the paper, the
+// model is ported to cache mode / 4-way associativity on the shared
+// HBM+DDR configuration.
+//
+// Modelled decision structure:
+//  - per-requestor migration probability p[r] in [p_min, 1];
+//  - benefit estimate = fraction of recent migrations that produced at least
+//    the expected hit-rate return (proxied by the requestor's fast-memory
+//    hit rate trend across epochs);
+//  - cost estimate = slow-tier congestion (backlog) attributable to
+//    migration amplification;
+//  - fairness: the side with the lower per-weight IPC gets its probability
+//    nudged up, the other down.
+// It does NOT decouple capacity/bandwidth partitioning — the way->channel
+// mapping is the shared interleaved one — which is exactly the gap Hydrogen
+// exploits (paper Section VI-A).
+#pragma once
+
+#include "common/rng.h"
+#include "hybridmem/policy.h"
+
+namespace h2 {
+
+struct ProfessConfig {
+  double p_init = 0.7;
+  double p_min = 0.05;      ///< floor for the GPU (streaming) side
+  double p_min_cpu = 0.4;   ///< the CPU side keeps a substantial migration share
+  double p_max = 1.0;
+  double step = 0.1;             ///< adaptation step per epoch
+  double backlog_per_channel_hi = 2000.0;  ///< cycles of slow backlog deemed congested
+  double weight_cpu = 12.0;      ///< fairness weights (match the IPC objective)
+  double weight_gpu = 1.0;
+  u64 seed = 0x9f0f355;
+};
+
+class ProfessPolicy final : public PartitionPolicy {
+ public:
+  explicit ProfessPolicy(const ProfessConfig& cfg = {});
+
+  const char* name() const override { return "profess"; }
+
+  u32 channel_of_way(u32 set, u32 way) const override {
+    return (set + way) % num_channels_;
+  }
+
+  bool way_allowed(u32 set, u32 way, Requestor cls) const override {
+    (void)set; (void)way; (void)cls;
+    return true;
+  }
+
+  Requestor way_owner(u32 set, u32 way) const override {
+    (void)set; (void)way;
+    return Requestor::Cpu;
+  }
+
+  bool allow_migration(const PolicyContext& ctx, bool victim_dirty) override;
+  void note_hit(const PolicyContext& ctx, u32 way) override;
+  void note_miss(const PolicyContext& ctx, bool migrated) override;
+  bool on_epoch(const EpochFeedback& fb) override;
+
+  double probability(Requestor r) const { return p_[static_cast<u32>(r)]; }
+
+ private:
+  ProfessConfig cfg_;
+  Rng rng_;
+  double p_[2];
+  // epoch-local counters for the benefit estimate
+  u64 hits_[2] = {0, 0};
+  u64 accesses_[2] = {0, 0};
+  double prev_hit_rate_[2] = {0.0, 0.0};
+};
+
+}  // namespace h2

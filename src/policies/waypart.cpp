@@ -1,0 +1,19 @@
+#include "policies/waypart.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace h2 {
+
+void WayPartPolicy::bind(u32 num_channels, u32 assoc, u32 num_sets) {
+  PartitionPolicy::bind(num_channels, assoc, num_sets);
+  if (assoc < 2) {
+    cpu_ways_ = assoc;
+    return;
+  }
+  // Round to the nearest way count, but leave at least one way per side.
+  const u32 raw = static_cast<u32>(std::lround(cpu_way_fraction_ * assoc));
+  cpu_ways_ = std::clamp<u32>(raw, 1, assoc - 1);
+}
+
+}  // namespace h2

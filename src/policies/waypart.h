@@ -1,0 +1,51 @@
+// WayPart (paper Section V): a simple static way-partitioning scheme without
+// Hydrogen's decoupling. 75 % of the ways are dedicated to the CPU, and the
+// way->channel mapping is *coupled* (way w lives on channel w % N), so the
+// capacity split forces the same bandwidth split: the GPU is starved of fast
+// bandwidth even though it barely needs capacity.
+#pragma once
+
+#include "hybridmem/policy.h"
+
+namespace h2 {
+
+class WayPartPolicy final : public PartitionPolicy {
+ public:
+  /// `cpu_way_fraction` of the ways go to the CPU (default 75 %).
+  explicit WayPartPolicy(double cpu_way_fraction = 0.75)
+      : cpu_way_fraction_(cpu_way_fraction) {}
+
+  const char* name() const override { return "waypart"; }
+
+  void bind(u32 num_channels, u32 assoc, u32 num_sets) override;
+
+  u32 channel_of_way(u32 set, u32 way) const override {
+    (void)set;
+    return way % num_channels_;  // coupled mapping
+  }
+
+  bool way_allowed(u32 set, u32 way, Requestor cls) const override {
+    (void)set;
+    if (assoc_ < 2) return true;  // degenerate: nothing to partition
+    return cls == Requestor::Cpu ? way < cpu_ways_ : way >= cpu_ways_;
+  }
+
+  Requestor way_owner(u32 set, u32 way) const override {
+    (void)set;
+    if (assoc_ < 2) return Requestor::Cpu;
+    return way < cpu_ways_ ? Requestor::Cpu : Requestor::Gpu;
+  }
+
+  bool allow_migration(const PolicyContext& ctx, bool victim_dirty) override {
+    (void)ctx; (void)victim_dirty;
+    return true;
+  }
+
+  u32 cpu_ways() const { return cpu_ways_; }
+
+ private:
+  double cpu_way_fraction_;
+  u32 cpu_ways_ = 3;
+};
+
+}  // namespace h2

@@ -1,0 +1,81 @@
+#include "proc/core.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace h2 {
+
+Core::Core(const CoreParams& params, AccessGenerator* gen, MemoryPort* port)
+    : params_(params), gen_(gen), port_(port) {
+  H2_ASSERT(gen != nullptr && port != nullptr, "core needs a generator and a port");
+  H2_ASSERT(params.base_ipc > 0 && params.mlp > 0, "bad core parameters");
+}
+
+void Core::drain(Cycle now) {
+  while (!reads_.empty() && reads_.top() <= now) reads_.pop();
+  while (!writes_.empty() && writes_.top() <= now) writes_.pop();
+}
+
+Cycle Core::step(Engine& engine, Cycle now) {
+  (void)engine;
+  // Issue as many accesses as are ready at `now`; return the next stall/ready
+  // point. Bounded per step to keep single steps short.
+  for (u32 issued = 0; issued < 64; ++issued) {
+    drain(now);
+
+    if (!has_pending_) {
+      pending_ = gen_->next();
+      pending_.addr = params_.addr_base + pending_.addr;
+      const Cycle gap_cycles = static_cast<Cycle>(
+          std::ceil(pending_.gap / params_.base_ipc));
+      compute_done_ += gap_cycles;
+      if (compute_done_ < now) compute_done_ = now;  // idle catch-up
+      has_pending_ = true;
+    }
+
+    Cycle ready = std::max(now, compute_done_);
+    if (pending_.dependent && last_read_done_ > ready) ready = last_read_done_;
+    if (!pending_.write && reads_.size() >= params_.mlp) {
+      ready = std::max(ready, reads_.top());
+    }
+    if (pending_.write && writes_.size() >= params_.write_buffer) {
+      ready = std::max(ready, writes_.top());
+    }
+
+    if (ready > now) {
+      stall_cycles_ += ready - std::max(now, compute_done_) > 0
+                           ? ready - std::max(now, compute_done_)
+                           : 0;
+      return ready;
+    }
+
+    // Issue at `now`.
+    const Cycle done = port_->access(now, params_.cls, params_.unit,
+                                     pending_.addr, pending_.write);
+    H2_ASSERT(done > now, "memory access must take time");
+    if (pending_.write) {
+      writes_.push(done);
+      writes_issued_++;
+    } else {
+      reads_.push(done);
+      last_read_done_ = done;
+      reads_issued_++;
+      read_latency_.record(done - now);
+    }
+
+    retired_ += pending_.gap + 1;
+    compute_done_ = now;
+    has_pending_ = false;
+
+    if (done_cycle_ == kNever && retired_ >= params_.target_instructions) {
+      done_cycle_ = now;
+      // Keep running (replaying) to preserve contention for the other side;
+      // the harness decides when the whole simulation stops.
+    }
+  }
+  return now + 1;
+}
+
+}  // namespace h2

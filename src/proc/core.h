@@ -1,0 +1,93 @@
+// Trace-driven processor models.
+//
+// One Core object models either a CPU core or a GPU cluster (16 EUs); the
+// difference is parameterisation: CPU cores have few MSHRs and frequent
+// dependent loads (latency-sensitive), GPU clusters keep dozens of requests
+// in flight and almost never stall on a single load (bandwidth-sensitive,
+// latency-tolerant). This contrast is precisely the property the paper's
+// Insights 1 & 2 build on.
+//
+// A core consumes its AccessGenerator sequentially: each entry executes
+// `gap` instructions (gap / base_ipc cycles) and then issues the access
+// through a MemoryPort. Issue stalls when (a) the MSHRs are full, (b) the
+// entry is dependent and the previous load has not returned, or (c) the
+// write buffer is full (for stores). Instructions are credited at issue, so
+// IPC directly reflects memory stalls.
+#pragma once
+
+#include <queue>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "sim/engine.h"
+#include "trace/generators.h"
+
+namespace h2 {
+
+/// How a core reaches memory. Implemented by the system model in the harness
+/// (cache hierarchy + hybrid memory + DRAM).
+class MemoryPort {
+ public:
+  virtual ~MemoryPort() = default;
+
+  /// Issues an access at `now`; returns the cycle at which the demanded data
+  /// are available (for writes: when the store is accepted). `unit` names the
+  /// issuing CPU core or GPU cluster for private-cache lookup.
+  virtual Cycle access(Cycle now, Requestor cls, u32 unit, Addr addr, bool write) = 0;
+};
+
+struct CoreParams {
+  Requestor cls = Requestor::Cpu;
+  u32 unit = 0;            ///< core index (CPU) or cluster index (GPU)
+  Addr addr_base = 0;      ///< address-space offset for this core's footprint
+  double base_ipc = 2.0;   ///< retire rate when not memory-stalled
+  u32 mlp = 8;             ///< max outstanding demand reads (MSHRs)
+  u32 write_buffer = 16;   ///< max outstanding stores
+  u64 target_instructions = 1'000'000;  ///< when this core is "finished"
+};
+
+class Core final : public Actor {
+ public:
+  Core(const CoreParams& params, AccessGenerator* gen, MemoryPort* port);
+
+  Cycle step(Engine& engine, Cycle now) override;
+  const char* name() const override { return gen_->name().c_str(); }
+
+  u64 retired_instructions() const { return retired_; }
+  bool finished() const { return done_cycle_ != kNever; }
+  /// Cycle at which the target instruction count was first reached.
+  Cycle done_cycle() const { return done_cycle_; }
+  Requestor cls() const { return params_.cls; }
+
+  u64 reads_issued() const { return reads_issued_; }
+  u64 writes_issued() const { return writes_issued_; }
+  u64 stall_cycles() const { return stall_cycles_; }
+  /// Distribution of demand-read completion latencies (issue to data).
+  const Histogram& read_latency() const { return read_latency_; }
+  const CoreParams& params() const { return params_; }
+
+ private:
+  void drain(Cycle now);
+
+  CoreParams params_;
+  AccessGenerator* gen_;
+  MemoryPort* port_;
+
+  std::priority_queue<Cycle, std::vector<Cycle>, std::greater<>> reads_;
+  std::priority_queue<Cycle, std::vector<Cycle>, std::greater<>> writes_;
+  Cycle last_read_done_ = 0;
+
+  bool has_pending_ = false;
+  Access pending_{};
+  Cycle compute_done_ = 0;  ///< when the gap preceding `pending_` finishes
+
+  u64 retired_ = 0;
+  Cycle done_cycle_ = kNever;
+  u64 reads_issued_ = 0;
+  u64 writes_issued_ = 0;
+  u64 stall_cycles_ = 0;
+  Histogram read_latency_;
+};
+
+}  // namespace h2

@@ -1,0 +1,58 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+
+namespace h2 {
+
+void Engine::add_actor(Actor* actor, Cycle start) {
+  H2_ASSERT(actor != nullptr, "null actor");
+  queue_.push(Entry{start, seq_++, actor});
+}
+
+void Engine::add_periodic(Cycle period, std::function<void(Cycle)> fn) {
+  H2_ASSERT(period > 0, "periodic hook needs period > 0");
+  hooks_.push_back(PeriodicHook{period, std::move(fn)});
+  hook_next_.push_back(period);
+}
+
+void Engine::wake(Actor* actor, Cycle when) {
+  H2_ASSERT(when >= now_, "wake in the past (%llu < %llu)",
+            static_cast<unsigned long long>(when),
+            static_cast<unsigned long long>(now_));
+  queue_.push(Entry{when, seq_++, actor});
+}
+
+Cycle Engine::run(Cycle max_cycles) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty()) {
+    Entry e = queue_.top();
+    queue_.pop();
+    if (e.when > max_cycles) {
+      // Past the horizon: leave the entry consumed; the caller decided this
+      // run is over. Remaining actors can be re-added for a follow-up run.
+      now_ = max_cycles;
+      break;
+    }
+
+    // Fire any periodic hooks scheduled strictly before this event.
+    for (size_t i = 0; i < hooks_.size(); ++i) {
+      while (hook_next_[i] <= e.when) {
+        now_ = hook_next_[i];
+        hooks_[i].fn(now_);
+        hook_next_[i] += hooks_[i].period;
+        if (stopped_) return now_;
+      }
+    }
+
+    now_ = e.when;
+    steps_++;
+    const Cycle next = e.actor->step(*this, now_);
+    if (next != kNever) {
+      H2_ASSERT(next > now_, "actor %s scheduled non-advancing step", e.actor->name());
+      queue_.push(Entry{next, seq_++, e.actor});
+    }
+  }
+  return now_;
+}
+
+}  // namespace h2

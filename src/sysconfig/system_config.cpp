@@ -1,0 +1,63 @@
+#include "sysconfig/system_config.h"
+
+#include <iomanip>
+
+namespace h2 {
+
+SystemConfig SystemConfig::table1(u32 scale) {
+  SystemConfig cfg;
+  cfg.scale = scale;
+  // On-chip caches shrink 4x harder than the workload footprints: the
+  // footprints are already scaled-down representations (tens of MB instead
+  // of GBs), so preserving the paper's fast-memory : LLC capacity ratio
+  // (~128x) requires compressing the SRAM hierarchy much further than the
+  // footprint scale alone would.
+  cfg.hierarchy = HierarchyConfig{}.scaled(scale * 8);
+  cfg.mem = MemSystemConfig::table1_default();
+  cfg.hybrid = HybridMemConfig{};
+  cfg.hybrid.remap_cache_bytes = std::max<u64>(256 * 1024 / scale, 16 * 1024);
+  return cfg;
+}
+
+SystemConfig SystemConfig::table1_hbm3(u32 scale) {
+  SystemConfig cfg = table1(scale);
+  cfg.mem = MemSystemConfig::table1_hbm3();
+  return cfg;
+}
+
+void SystemConfig::print(std::ostream& os) const {
+  const auto mb = [](u64 bytes) { return static_cast<double>(bytes) / (1 << 20); };
+  os << "System configuration (Table I, scale 1/" << scale << "):\n";
+  os << "  CPU         : " << cpu_cores << " cores, base IPC " << cpu_base_ipc
+     << ", " << cpu_mlp << " MSHRs\n";
+  os << "  CPU L1      : " << hierarchy.cpu_l1.ways << "-way, " << std::fixed
+     << std::setprecision(2) << mb(hierarchy.cpu_l1.size_bytes) << " MB/core, "
+     << hierarchy.cpu_l1.line_bytes << " B lines, LRU\n";
+  os << "  CPU L2      : " << hierarchy.cpu_l2.ways << "-way, "
+     << mb(hierarchy.cpu_l2.size_bytes) << " MB/core, " << hierarchy.cpu_l2.latency
+     << "-cycle latency, LRU\n";
+  os << "  GPU         : " << gpu_eus << " execution units (" << gpu_clusters()
+     << " clusters), " << gpu_mlp << " outstanding/cluster\n";
+  os << "  GPU L1      : " << mb(hierarchy.gpu_l1.size_bytes) << " MB per "
+     << gpu_eus_per_cluster << " units\n";
+  os << "  Shared LLC  : " << hierarchy.llc.ways << "-way, " << mb(hierarchy.llc.size_bytes)
+     << " MB shared, " << hierarchy.llc.latency << "-cycle latency, LRU\n";
+  os << "  Fast memory : " << mem.fast_channel_timing.name << ", " << mem.fast_channels
+     << " channels (" << mem.fast_channels / mem.fast_group << " superchannels), "
+     << mem.fast_channel_timing.device_mhz << " MHz, RCD-CAS-RP "
+     << mem.fast_channel_timing.t_rcd << "-" << mem.fast_channel_timing.t_cas << "-"
+     << mem.fast_channel_timing.t_rp << ", RD/WR "
+     << mem.fast_channel_timing.rd_pj_per_bit << " pJ/bit\n";
+  os << "  Slow memory : " << mem.slow_channel_timing.name << ", " << mem.slow_channels
+     << " channels x " << mem.slow_channel_timing.ranks << " ranks x "
+     << mem.slow_channel_timing.banks_per_rank << " banks, RCD-CAS-RP "
+     << mem.slow_channel_timing.t_rcd << "-" << mem.slow_channel_timing.t_cas << "-"
+     << mem.slow_channel_timing.t_rp << ", RD/WR "
+     << mem.slow_channel_timing.rd_pj_per_bit << " pJ/bit\n";
+  os << "  Hybrid      : " << (hybrid.mode == HybridMode::Cache ? "cache" : "flat")
+     << " mode, " << hybrid.block_bytes << " B blocks, " << hybrid.assoc
+     << "-way, fast capacity " << mb(hybrid.fast_capacity_bytes) << " MB, slow capacity "
+     << mb(hybrid.slow_capacity_bytes) << " MB\n";
+}
+
+}  // namespace h2

@@ -1,0 +1,50 @@
+// The full simulated system of paper Table I: an 8-core CPU + 96-EU GPU
+// heterogeneous processor with its cache hierarchy, attached to a
+// HBM2E + DDR4 hybrid memory. `table1()` builds the default; the harness
+// derives capacities from the workload footprints (fast = slow / 8, as in
+// the paper's methodology).
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "cache/hierarchy.h"
+#include "hybridmem/hybrid_memory.h"
+#include "mem/memory_system.h"
+
+namespace h2 {
+
+struct SystemConfig {
+  // --- processor ---------------------------------------------------------
+  u32 cpu_cores = 8;
+  u32 gpu_eus = 96;
+  u32 gpu_eus_per_cluster = 16;
+  double cpu_base_ipc = 2.0;
+  u32 cpu_mlp = 8;          ///< MSHRs per CPU core (latency-sensitive)
+  u32 cpu_write_buffer = 16;
+  double gpu_base_ipc = 2.0;  ///< warp-instructions per cycle per cluster
+  u32 gpu_mlp = 32;         ///< outstanding requests per cluster (latency-tolerant)
+  u32 gpu_write_buffer = 64;
+  double core_ghz = 3.2;
+
+  // --- memory ------------------------------------------------------------
+  HierarchyConfig hierarchy;
+  MemSystemConfig mem = MemSystemConfig::table1_default();
+  HybridMemConfig hybrid;
+
+  /// Footprint/cache scale divisor applied relative to native Table I sizes
+  /// (1 = native). All evaluation numbers are ratios, so the scaled system
+  /// preserves the contention phenomena at a fraction of the cost.
+  u32 scale = 8;
+
+  u32 gpu_clusters() const { return gpu_eus / gpu_eus_per_cluster; }
+
+  /// Table I system with caches scaled by `scale`.
+  static SystemConfig table1(u32 scale = 8);
+  /// Same, with HBM3 as the fast tier (paper Fig. 5(b)).
+  static SystemConfig table1_hbm3(u32 scale = 8);
+
+  void print(std::ostream& os) const;
+};
+
+}  // namespace h2

@@ -1,0 +1,15 @@
+// A single memory access in a workload trace.
+#pragma once
+
+#include "common/types.h"
+
+namespace h2 {
+
+struct Access {
+  Addr addr = 0;       ///< byte address (within the generator's footprint base)
+  u32 gap = 0;         ///< instructions executed since the previous access
+  bool write = false;
+  bool dependent = false;  ///< must wait for the previous load (pointer chase)
+};
+
+}  // namespace h2

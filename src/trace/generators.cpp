@@ -1,0 +1,160 @@
+#include "trace/generators.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace h2 {
+
+namespace {
+constexpr u32 kLineBytes = 64;
+}
+
+SyntheticGenerator::SyntheticGenerator(WorkloadSpec spec, u64 seed)
+    : spec_(std::move(spec)), seed_(seed), rng_(seed) {
+  H2_ASSERT(spec_.footprint_bytes >= kLineBytes * 16, "footprint too small: %s",
+            spec_.name.c_str());
+  const double w[5] = {spec_.mix.stream, spec_.mix.stride, spec_.mix.random,
+                       spec_.mix.chase, spec_.mix.stencil};
+  double total = 0;
+  for (double x : w) {
+    H2_ASSERT(x >= 0.0, "negative pattern weight in %s", spec_.name.c_str());
+    total += x;
+  }
+  H2_ASSERT(total > 0.0, "all-zero pattern mix in %s", spec_.name.c_str());
+  double acc = 0;
+  for (u32 i = 0; i < 5; ++i) {
+    acc += w[i] / total;
+    cum_[i] = acc;
+  }
+  reset();
+}
+
+void SyntheticGenerator::reset() {
+  rng_.reseed(seed_);
+  // Seed-dependent stream phase: parallel instances of the same workload
+  // (e.g. GPU clusters decomposing one kernel) start at different offsets.
+  stream_pos_ = rng_.next_below(spec_.footprint_bytes / kLineBytes) * kLineBytes;
+  stride_pos_ = rng_.next_below(spec_.footprint_bytes / kLineBytes) * kLineBytes;
+  chase_pos_ = 0;
+  stencil_pos_.assign(spec_.stencil_streams, 0);
+  const u64 lane =
+      (spec_.footprint_bytes / std::max<u32>(1, spec_.stencil_streams)) & ~static_cast<u64>(kLineBytes - 1);
+  for (u32 i = 0; i < spec_.stencil_streams; ++i) stencil_pos_[i] = lane * i;
+  stencil_next_ = 0;
+}
+
+SyntheticGenerator::Pattern SyntheticGenerator::pick_pattern() {
+  const double u = rng_.next_double();
+  for (u32 i = 0; i < 5; ++i) {
+    if (u < cum_[i]) return static_cast<Pattern>(i);
+  }
+  return Pattern::Stencil;
+}
+
+Addr SyntheticGenerator::gen_addr(Pattern p, bool& dependent) {
+  const u64 fp = spec_.footprint_bytes;
+  switch (p) {
+    case Pattern::Stream: {
+      const Addr a = stream_pos_;
+      stream_pos_ = (stream_pos_ + kLineBytes) % fp;
+      return a;
+    }
+    case Pattern::Stride: {
+      const Addr a = stride_pos_;
+      stride_pos_ = (stride_pos_ + spec_.stride_bytes) % fp;
+      return a;
+    }
+    case Pattern::Random: {
+      const bool hot = rng_.chance(spec_.hot_prob);
+      const u64 region = hot ? std::max<u64>(kLineBytes * 16,
+                                             static_cast<u64>(fp * spec_.hot_frac))
+                             : fp;
+      const u64 lines = region / kLineBytes;
+      const u64 line = spec_.zipf_s > 0.0 ? rng_.next_zipf(lines, spec_.zipf_s)
+                                          : rng_.next_below(lines);
+      if (hot) {
+        // The hot working set is a contiguous region at the base of the
+        // footprint (a table, frontier or tile in real workloads), so its
+        // blocks spread one-per-set over consecutive hybrid-memory sets.
+        return line * kLineBytes;
+      }
+      // Cold accesses scatter uniformly over the whole footprint.
+      const u64 scrambled = splitmix64(line) % lines;
+      return scrambled * kLineBytes;
+    }
+    case Pattern::Chase: {
+      dependent = true;
+      // A pseudo-random walk confined to the hot region: the next address is
+      // a deterministic hash of the current one, modelling linked structures.
+      const u64 region = std::max<u64>(kLineBytes * 64,
+                                       static_cast<u64>(fp * spec_.hot_frac));
+      const u64 lines = region / kLineBytes;
+      chase_pos_ = splitmix64(chase_pos_ + 0x9e37) % lines;
+      return chase_pos_ * kLineBytes;
+    }
+    case Pattern::Stencil: {
+      Addr& pos = stencil_pos_[stencil_next_];
+      stencil_next_ = (stencil_next_ + 1) % static_cast<u32>(stencil_pos_.size());
+      const Addr a = pos;
+      pos = (pos + kLineBytes) % fp;
+      return a;
+    }
+  }
+  return 0;
+}
+
+Access SyntheticGenerator::next() {
+  Access acc;
+  bool dependent = false;
+  const Pattern p = pick_pattern();
+  acc.addr = gen_addr(p, dependent);
+  acc.gap = static_cast<u32>(rng_.next_gap(spec_.mean_gap, 1));
+  acc.write = rng_.chance(spec_.write_frac);
+  acc.dependent = dependent || rng_.chance(spec_.dep_prob);
+  return acc;
+}
+
+PhasedGenerator::PhasedGenerator(std::string name, std::vector<Phase> phases, u64 seed)
+    : name_(std::move(name)), phase_specs_(std::move(phases)) {
+  H2_ASSERT(!phase_specs_.empty(), "phased workload %s needs phases", name_.c_str());
+  for (size_t i = 0; i < phase_specs_.size(); ++i) {
+    H2_ASSERT(phase_specs_[i].accesses > 0, "phase %zu of %s has zero length", i,
+              name_.c_str());
+    gens_.push_back(std::make_unique<SyntheticGenerator>(
+        phase_specs_[i].spec, splitmix64(seed + i)));
+    footprint_ = std::max(footprint_, phase_specs_[i].spec.footprint_bytes);
+  }
+  reset();
+}
+
+void PhasedGenerator::reset() {
+  for (auto& g : gens_) g->reset();
+  current_ = 0;
+  remaining_ = phase_specs_[0].accesses;
+  switches_ = 0;
+}
+
+Access PhasedGenerator::next() {
+  if (remaining_ == 0) {
+    current_ = (current_ + 1) % static_cast<u32>(gens_.size());
+    remaining_ = phase_specs_[current_].accesses;
+    switches_++;
+  }
+  remaining_--;
+  return gens_[current_]->next();
+}
+
+ReplayGenerator::ReplayGenerator(std::string name, std::vector<Access> accesses,
+                                 u64 footprint)
+    : name_(std::move(name)), accesses_(std::move(accesses)), footprint_(footprint) {
+  H2_ASSERT(!accesses_.empty(), "empty replay trace %s", name_.c_str());
+}
+
+Access ReplayGenerator::next() {
+  const Access a = accesses_[pos_];
+  pos_ = (pos_ + 1) % accesses_.size();
+  return a;
+}
+
+}  // namespace h2

@@ -1,0 +1,94 @@
+#include "trace/trace_io.h"
+
+#include <cstdio>
+#include <memory>
+
+#include "common/assert.h"
+
+namespace h2 {
+
+namespace {
+
+constexpr u32 kMagic = 0x48325452;  // "H2TR"
+constexpr u32 kVersion = 1;
+
+struct Header {
+  u32 magic;
+  u32 version;
+  u64 count;
+  u64 footprint;
+};
+
+#pragma pack(push, 1)
+struct Record {
+  u64 addr;
+  u32 gap;
+  u8 flags;  // bit0 = write, bit1 = dependent
+};
+#pragma pack(pop)
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+u64 record_trace(AccessGenerator& gen, u64 count, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  H2_ASSERT(f != nullptr, "cannot open %s for writing", path.c_str());
+  Header h{kMagic, kVersion, count, gen.footprint_bytes()};
+  H2_ASSERT(std::fwrite(&h, sizeof(h), 1, f.get()) == 1, "header write failed");
+  u64 bytes = sizeof(h);
+  // Buffered in chunks to keep the write fast without holding the whole trace.
+  constexpr u64 kChunk = 1 << 14;
+  std::vector<Record> buf;
+  buf.reserve(kChunk);
+  for (u64 i = 0; i < count; ++i) {
+    const Access a = gen.next();
+    buf.push_back(Record{a.addr, a.gap,
+                         static_cast<u8>((a.write ? 1u : 0u) | (a.dependent ? 2u : 0u))});
+    if (buf.size() == kChunk || i + 1 == count) {
+      H2_ASSERT(std::fwrite(buf.data(), sizeof(Record), buf.size(), f.get()) == buf.size(),
+                "record write failed");
+      bytes += buf.size() * sizeof(Record);
+      buf.clear();
+    }
+  }
+  return bytes;
+}
+
+std::vector<Access> load_trace(const std::string& path, u64* footprint_out) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  H2_ASSERT(f != nullptr, "cannot open %s for reading", path.c_str());
+  Header h{};
+  H2_ASSERT(std::fread(&h, sizeof(h), 1, f.get()) == 1, "header read failed");
+  H2_ASSERT(h.magic == kMagic, "%s is not a Hydrogen trace", path.c_str());
+  H2_ASSERT(h.version == kVersion, "unsupported trace version %u", h.version);
+  if (footprint_out) *footprint_out = h.footprint;
+  std::vector<Access> out;
+  out.reserve(h.count);
+  std::vector<Record> buf(1 << 14);
+  u64 remaining = h.count;
+  while (remaining > 0) {
+    const u64 want = std::min<u64>(remaining, buf.size());
+    const u64 got = std::fread(buf.data(), sizeof(Record), want, f.get());
+    H2_ASSERT(got == want, "trace truncated: %s", path.c_str());
+    for (u64 i = 0; i < got; ++i) {
+      out.push_back(Access{buf[i].addr, buf[i].gap, (buf[i].flags & 1) != 0,
+                           (buf[i].flags & 2) != 0});
+    }
+    remaining -= got;
+  }
+  return out;
+}
+
+ReplayGenerator replay_from_file(const std::string& name, const std::string& path) {
+  u64 footprint = 0;
+  std::vector<Access> accesses = load_trace(path, &footprint);
+  return ReplayGenerator(name, std::move(accesses), footprint);
+}
+
+}  // namespace h2

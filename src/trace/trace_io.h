@@ -1,0 +1,25 @@
+// Binary trace recording and replay (mirrors the artifact's T1 stage, where
+// traces are generated once and fed to many simulations). Format: a small
+// header followed by packed fixed-width records; fully deterministic.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/access.h"
+#include "trace/generators.h"
+
+namespace h2 {
+
+/// Writes `count` accesses drawn from `gen` to `path`. Returns bytes written.
+u64 record_trace(AccessGenerator& gen, u64 count, const std::string& path);
+
+/// Loads a trace file previously written by record_trace. If `footprint_out`
+/// is non-null, receives the recorded footprint. Aborts on malformed files.
+std::vector<Access> load_trace(const std::string& path, u64* footprint_out = nullptr);
+
+/// Convenience: load a recorded trace as a ReplayGenerator; the footprint is
+/// taken from the file header.
+ReplayGenerator replay_from_file(const std::string& name, const std::string& path);
+
+}  // namespace h2

@@ -1,0 +1,184 @@
+#include "trace/workloads.h"
+
+#include <map>
+
+#include "common/assert.h"
+
+namespace h2 {
+
+namespace {
+
+constexpr u64 MB = 1ull << 20;
+
+// CPU workloads: latency-sensitive, locality-rich, capacity-loving.
+// mix = {stream, stride, random, chase, stencil}
+std::map<std::string, WorkloadSpec> make_cpu_specs() {
+  std::map<std::string, WorkloadSpec> m;
+  auto add = [&](WorkloadSpec s) { m[s.name] = std::move(s); };
+
+  add({.name = "gcc", .footprint_bytes = 24 * MB,
+       .mix = {0.30, 0.20, 0.40, 0.10, 0.0}, .stride_bytes = 512,
+       .write_frac = 0.25, .hot_frac = 0.22, .hot_prob = 0.85, .zipf_s = 0.9,
+       .mean_gap = 25, .dep_prob = 0.15});
+  add({.name = "mcf", .footprint_bytes = 48 * MB,
+       .mix = {0.0, 0.0, 0.50, 0.50, 0.0}, .stride_bytes = 256,
+       .write_frac = 0.20, .hot_frac = 0.18, .hot_prob = 0.70, .zipf_s = 0.7,
+       .mean_gap = 12, .dep_prob = 0.35});
+  add({.name = "lbm", .footprint_bytes = 48 * MB,
+       .mix = {0.90, 0.10, 0.0, 0.0, 0.0}, .stride_bytes = 1024,
+       .write_frac = 0.45, .hot_frac = 0.10, .hot_prob = 0.5, .zipf_s = 0.0,
+       .mean_gap = 10, .dep_prob = 0.02});
+  add({.name = "roms", .footprint_bytes = 40 * MB,
+       .mix = {0.70, 0.20, 0.10, 0.0, 0.0}, .stride_bytes = 2048,
+       .write_frac = 0.35, .hot_frac = 0.20, .hot_prob = 0.7, .zipf_s = 0.6,
+       .mean_gap = 12, .dep_prob = 0.05});
+  add({.name = "omnetpp", .footprint_bytes = 20 * MB,
+       .mix = {0.0, 0.10, 0.50, 0.40, 0.0}, .stride_bytes = 256,
+       .write_frac = 0.30, .hot_frac = 0.28, .hot_prob = 0.85, .zipf_s = 1.0,
+       .mean_gap = 18, .dep_prob = 0.30});
+  add({.name = "xz", .footprint_bytes = 32 * MB,
+       .mix = {0.30, 0.10, 0.60, 0.0, 0.0}, .stride_bytes = 512,
+       .write_frac = 0.30, .hot_frac = 0.30, .hot_prob = 0.90, .zipf_s = 1.1,
+       .mean_gap = 16, .dep_prob = 0.10});
+  add({.name = "deepsjeng", .footprint_bytes = 12 * MB,
+       .mix = {0.0, 0.0, 0.80, 0.20, 0.0}, .stride_bytes = 256,
+       .write_frac = 0.25, .hot_frac = 0.40, .hot_prob = 0.92, .zipf_s = 1.0,
+       .mean_gap = 22, .dep_prob = 0.20});
+  add({.name = "cactusBSSN", .footprint_bytes = 36 * MB,
+       .mix = {0.20, 0.0, 0.10, 0.0, 0.70}, .stencil_streams = 9,
+       .write_frac = 0.35, .hot_frac = 0.15, .hot_prob = 0.6, .zipf_s = 0.5,
+       .mean_gap = 14, .dep_prob = 0.05});
+  add({.name = "fotonik3d", .footprint_bytes = 40 * MB,
+       .mix = {0.60, 0.0, 0.10, 0.0, 0.30}, .stencil_streams = 7,
+       .write_frac = 0.30, .hot_frac = 0.15, .hot_prob = 0.6, .zipf_s = 0.5,
+       .mean_gap = 11, .dep_prob = 0.04});
+  add({.name = "bwaves", .footprint_bytes = 44 * MB,
+       .mix = {0.50, 0.0, 0.10, 0.0, 0.40}, .stencil_streams = 5,
+       .write_frac = 0.30, .hot_frac = 0.15, .hot_prob = 0.6, .zipf_s = 0.5,
+       .mean_gap = 10, .dep_prob = 0.04});
+  return m;
+}
+
+// Fixups applied to each spec to mark workload class conventions.
+std::map<std::string, WorkloadSpec> make_gpu_specs() {
+  std::map<std::string, WorkloadSpec> m;
+  auto add = [&](WorkloadSpec s) { m[s.name] = std::move(s); };
+
+  // GPU kernels: bandwidth-hungry and latency-tolerant (dep ~ 0). Most
+  // kernels iterate over a small hot working window (tiles, frontiers,
+  // weight blocks) on top of compulsory streaming — so their fast-tier hit
+  // rate is high and nearly capacity-independent (paper Insight 2), while
+  // their access *rate* taxes fast-memory bandwidth (Insight 1).
+  // streamcluster is the exception: a pure large stream with almost no
+  // reuse, whose migrations flood the slow tier (the paper's Section VI-B
+  // token case study on C5).
+  add({.name = "backprop", .footprint_bytes = 96 * MB,
+       .mix = {0.15, 0.10, 0.75, 0.0, 0.0}, .stride_bytes = 64,
+       .write_frac = 0.22, .hot_frac = 0.004, .hot_prob = 0.95, .zipf_s = 0.6,
+       .mean_gap = 24, .dep_prob = 0.0});
+  add({.name = "hotspot", .footprint_bytes = 80 * MB,
+       .mix = {0.0, 0.0, 0.75, 0.0, 0.25}, .stencil_streams = 5,
+       .write_frac = 0.22, .hot_frac = 0.004, .hot_prob = 0.95, .zipf_s = 0.6,
+       .mean_gap = 24, .dep_prob = 0.0});
+  add({.name = "lud", .footprint_bytes = 48 * MB,
+       .mix = {0.0, 0.20, 0.80, 0.0, 0.0}, .stride_bytes = 64,
+       .write_frac = 0.20, .hot_frac = 0.005, .hot_prob = 0.95, .zipf_s = 0.7,
+       .mean_gap = 26, .dep_prob = 0.0});
+  add({.name = "streamcluster", .footprint_bytes = 192 * MB,
+       .mix = {0.75, 0.0, 0.25, 0.0, 0.0}, .stride_bytes = 1024,
+       .write_frac = 0.10, .hot_frac = 0.02, .hot_prob = 0.45, .zipf_s = 0.0,
+       .mean_gap = 36, .dep_prob = 0.0});
+  add({.name = "pathfinder", .footprint_bytes = 96 * MB,
+       .mix = {0.25, 0.0, 0.75, 0.0, 0.0}, .stride_bytes = 64,
+       .write_frac = 0.22, .hot_frac = 0.004, .hot_prob = 0.95, .zipf_s = 0.6,
+       .mean_gap = 24, .dep_prob = 0.0});
+  add({.name = "needle", .footprint_bytes = 64 * MB,
+       .mix = {0.0, 0.25, 0.75, 0.0, 0.0}, .stride_bytes = 64,
+       .write_frac = 0.20, .hot_frac = 0.005, .hot_prob = 0.90, .zipf_s = 0.6,
+       .mean_gap = 26, .dep_prob = 0.0});
+  add({.name = "bfs", .footprint_bytes = 168 * MB,
+       .mix = {0.20, 0.0, 0.80, 0.0, 0.0}, .stride_bytes = 256,
+       .write_frac = 0.20, .hot_frac = 0.005, .hot_prob = 0.88, .zipf_s = 1.0,
+       .mean_gap = 26, .dep_prob = 0.0});
+  add({.name = "srad", .footprint_bytes = 80 * MB,
+       .mix = {0.0, 0.0, 0.72, 0.0, 0.28}, .stencil_streams = 6,
+       .write_frac = 0.22, .hot_frac = 0.004, .hot_prob = 0.95, .zipf_s = 0.6,
+       .mean_gap = 24, .dep_prob = 0.0});
+  add({.name = "bert", .footprint_bytes = 160 * MB,
+       .mix = {0.15, 0.15, 0.70, 0.0, 0.0}, .stride_bytes = 64,
+       .write_frac = 0.22, .hot_frac = 0.005, .hot_prob = 0.95, .zipf_s = 0.6,
+       .mean_gap = 22, .dep_prob = 0.0});
+  return m;
+}
+
+const std::map<std::string, WorkloadSpec>& cpu_specs() {
+  static const std::map<std::string, WorkloadSpec> m = make_cpu_specs();
+  return m;
+}
+
+const std::map<std::string, WorkloadSpec>& gpu_specs() {
+  static const std::map<std::string, WorkloadSpec> m = make_gpu_specs();
+  return m;
+}
+
+}  // namespace
+
+const WorkloadSpec& cpu_workload_spec(const std::string& name) {
+  auto it = cpu_specs().find(name);
+  H2_ASSERT(it != cpu_specs().end(), "unknown CPU workload: %s", name.c_str());
+  return it->second;
+}
+
+const WorkloadSpec& gpu_workload_spec(const std::string& name) {
+  auto it = gpu_specs().find(name);
+  H2_ASSERT(it != gpu_specs().end(), "unknown GPU workload: %s", name.c_str());
+  return it->second;
+}
+
+std::vector<std::string> cpu_workload_names() {
+  std::vector<std::string> names;
+  for (const auto& [k, _] : cpu_specs()) names.push_back(k);
+  return names;
+}
+
+std::vector<std::string> gpu_workload_names() {
+  std::vector<std::string> names;
+  for (const auto& [k, _] : gpu_specs()) names.push_back(k);
+  return names;
+}
+
+const std::vector<ComboSpec>& table2_combos() {
+  static const std::vector<ComboSpec> combos = {
+      {"C1", {"gcc", "mcf", "lbm", "roms"}, "backprop"},
+      {"C2", {"omnetpp", "lbm", "gcc", "xz"}, "backprop"},
+      {"C3", {"roms", "mcf", "deepsjeng", "cactusBSSN"}, "hotspot"},
+      {"C4", {"lbm", "fotonik3d", "deepsjeng", "omnetpp"}, "lud"},
+      {"C5", {"roms", "lbm", "deepsjeng", "fotonik3d"}, "streamcluster"},
+      {"C6", {"omnetpp", "xz", "roms", "deepsjeng"}, "pathfinder"},
+      {"C7", {"bwaves", "gcc", "xz", "fotonik3d"}, "needle"},
+      {"C8", {"fotonik3d", "gcc", "omnetpp", "deepsjeng"}, "bfs"},
+      {"C9", {"mcf", "cactusBSSN", "roms", "deepsjeng"}, "srad"},
+      {"C10", {"deepsjeng", "xz", "roms", "bwaves"}, "pathfinder"},
+      {"C11", {"omnetpp", "gcc", "fotonik3d", "lbm"}, "bert"},
+      {"C12", {"mcf", "gcc", "cactusBSSN", "omnetpp"}, "bert"},
+  };
+  return combos;
+}
+
+const ComboSpec& combo(const std::string& name) {
+  for (const auto& c : table2_combos()) {
+    if (c.name == name) return c;
+  }
+  H2_ASSERT(false, "unknown combo: %s", name.c_str());
+  return table2_combos().front();  // unreachable
+}
+
+WorkloadSpec with_scaled_footprint(const WorkloadSpec& spec, u64 num, u64 den) {
+  H2_ASSERT(num > 0 && den > 0, "bad footprint scale %llu/%llu",
+            static_cast<unsigned long long>(num), static_cast<unsigned long long>(den));
+  WorkloadSpec s = spec;
+  s.footprint_bytes = std::max<u64>(64 * 1024, s.footprint_bytes * num / den);
+  return s;
+}
+
+}  // namespace h2

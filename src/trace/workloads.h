@@ -1,0 +1,40 @@
+// Named workload models and the paper's Table II workload combinations.
+//
+// CPU workloads model the memory-intensive SPEC CPU2017 subset used by the
+// paper; GPU workloads model the Rodinia kernels and MLPerf BERT inference.
+// Each is a WorkloadSpec tuned to the workload's published memory character
+// (footprint, pattern mix, write ratio, intensity, dependence). Footprints
+// are scaled-down from native sizes; all evaluation numbers are ratios, so
+// only the relative geometry matters (see DESIGN.md Section 1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/generators.h"
+
+namespace h2 {
+
+/// Lookup by name; aborts on unknown names (the test suite enumerates all).
+const WorkloadSpec& cpu_workload_spec(const std::string& name);
+const WorkloadSpec& gpu_workload_spec(const std::string& name);
+
+std::vector<std::string> cpu_workload_names();
+std::vector<std::string> gpu_workload_names();
+
+/// One row of Table II: four CPU workloads (run rate-2 on 8 cores) plus one
+/// GPU kernel.
+struct ComboSpec {
+  std::string name;                 ///< "C1" .. "C12"
+  std::vector<std::string> cpu;     ///< four CPU workload names
+  std::string gpu;                  ///< one GPU workload name
+};
+
+const std::vector<ComboSpec>& table2_combos();
+const ComboSpec& combo(const std::string& name);
+
+/// Returns a copy of `spec` with the footprint multiplied by num/den
+/// (used by sensitivity sweeps and fast test configurations).
+WorkloadSpec with_scaled_footprint(const WorkloadSpec& spec, u64 num, u64 den);
+
+}  // namespace h2

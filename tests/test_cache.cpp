@@ -1,0 +1,142 @@
+#include "cache/cache.h"
+#include "cache/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+namespace h2 {
+namespace {
+
+CacheConfig small_cache() {
+  return CacheConfig{.name = "t", .size_bytes = 4096, .ways = 4, .line_bytes = 64, .latency = 3};
+}
+
+TEST(Cache, MissThenHit) {
+  Cache c(small_cache());
+  EXPECT_FALSE(c.access(0x100, false).hit);
+  EXPECT_TRUE(c.access(0x100, false).hit);
+  EXPECT_TRUE(c.access(0x13F, false).hit);   // same line
+  EXPECT_FALSE(c.access(0x140, false).hit);  // next line
+  EXPECT_EQ(c.hits(), 2u);
+  EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(Cache, LruEviction) {
+  Cache c(small_cache());  // 16 sets, 4 ways
+  const u32 sets = c.config().num_sets();
+  // Fill one set with 4 distinct tags.
+  for (u64 t = 0; t < 4; ++t) c.access(t * sets * 64, false);
+  // Touch tag 0 so tag 1 becomes LRU.
+  c.access(0, false);
+  // Insert a 5th tag; tag 1 must be the victim.
+  const auto r = c.access(4 * sets * 64, false);
+  EXPECT_FALSE(r.hit);
+  EXPECT_TRUE(r.victim_valid);
+  EXPECT_EQ(r.victim_addr, 1 * sets * 64);
+  EXPECT_TRUE(c.access(0, false).hit);        // still resident
+  EXPECT_FALSE(c.access(1 * sets * 64, false).hit);  // evicted
+}
+
+TEST(Cache, DirtyVictimReported) {
+  Cache c(small_cache());
+  const u32 sets = c.config().num_sets();
+  c.access(0, true);  // dirty
+  for (u64 t = 1; t < 5; ++t) c.access(t * sets * 64, false);
+  // tag 0 was LRU and dirty
+  EXPECT_EQ(c.writebacks(), 1u);
+}
+
+TEST(Cache, InvalidateReturnsDirtiness) {
+  Cache c(small_cache());
+  c.access(0x200, true);
+  EXPECT_TRUE(c.invalidate(0x200));
+  EXPECT_FALSE(c.probe(0x200));
+  c.access(0x200, false);
+  EXPECT_FALSE(c.invalidate(0x200));
+  EXPECT_FALSE(c.invalidate(0x999000));  // absent
+}
+
+TEST(Cache, ProbeDoesNotAllocate) {
+  Cache c(small_cache());
+  EXPECT_FALSE(c.probe(0x300));
+  EXPECT_FALSE(c.access(0x300, false).hit);  // still a miss
+}
+
+TEST(Cache, HitRate) {
+  Cache c(small_cache());
+  c.access(0, false);
+  c.access(0, false);
+  c.access(0, false);
+  c.access(64, false);
+  EXPECT_DOUBLE_EQ(c.hit_rate(), 0.5);
+}
+
+TEST(Hierarchy, ScaledPreservesGeometry) {
+  const HierarchyConfig base;
+  const HierarchyConfig s = base.scaled(8);
+  EXPECT_EQ(s.llc.size_bytes, base.llc.size_bytes / 8);
+  EXPECT_EQ(s.llc.ways, base.llc.ways);
+  EXPECT_EQ(s.cpu_l1.line_bytes, 64u);
+}
+
+TEST(Hierarchy, CpuPathFiltersThroughLevels) {
+  CacheHierarchy h(HierarchyConfig{}.scaled(16));
+  // First touch: miss everywhere -> memory needed, latency = L1+L2+LLC.
+  const auto r1 = h.cpu_access(0, 0x10000, false);
+  EXPECT_TRUE(r1.memory_needed);
+  const u32 full = HierarchyConfig{}.cpu_l1.latency + HierarchyConfig{}.cpu_l2.latency +
+                   HierarchyConfig{}.llc.latency;
+  EXPECT_EQ(r1.latency, full);
+  // Second touch: L1 hit.
+  const auto r2 = h.cpu_access(0, 0x10000, false);
+  EXPECT_FALSE(r2.memory_needed);
+  EXPECT_EQ(r2.latency, HierarchyConfig{}.cpu_l1.latency);
+}
+
+TEST(Hierarchy, PrivateCachesAreIsolatedPerCore) {
+  CacheHierarchy h(HierarchyConfig{}.scaled(16));
+  h.cpu_access(0, 0x20000, false);
+  // Another core touching the same line misses its private levels but hits
+  // the shared LLC.
+  const auto r = h.cpu_access(1, 0x20000, false);
+  EXPECT_FALSE(r.memory_needed);
+  EXPECT_GT(r.latency, HierarchyConfig{}.cpu_l1.latency);
+}
+
+TEST(Hierarchy, GpuPathSkipsL2) {
+  CacheHierarchy h(HierarchyConfig{}.scaled(16));
+  const auto r1 = h.gpu_access(0, 0x30000, false);
+  EXPECT_TRUE(r1.memory_needed);
+  EXPECT_EQ(r1.latency, HierarchyConfig{}.gpu_l1.latency + HierarchyConfig{}.llc.latency);
+  const auto r2 = h.gpu_access(0, 0x30000, false);
+  EXPECT_EQ(r2.latency, HierarchyConfig{}.gpu_l1.latency);
+}
+
+TEST(Hierarchy, DirtyLlcVictimTriggersWriteback) {
+  HierarchyConfig cfg = HierarchyConfig{}.scaled(16);
+  // Shrink the LLC so evictions are easy to force.
+  cfg.llc.size_bytes = 16 * 1024;
+  cfg.cpu_l1.size_bytes = 1024;
+  cfg.cpu_l2.size_bytes = 2048;
+  CacheHierarchy h(cfg);
+  h.cpu_access(0, 0, true);  // dirty line in LLC path
+  bool saw_writeback = false;
+  // Stream enough lines through the same LLC set to evict line 0.
+  const u32 llc_sets = cfg.llc.num_sets();
+  for (u64 i = 1; i <= cfg.llc.ways + 4; ++i) {
+    const auto r = h.cpu_access(0, i * llc_sets * 64, true);
+    if (r.writeback && r.writeback_addr == 0) saw_writeback = true;
+  }
+  EXPECT_TRUE(saw_writeback);
+}
+
+TEST(Hierarchy, LlcHitRateSplitByRequestor) {
+  CacheHierarchy h(HierarchyConfig{}.scaled(16));
+  h.cpu_access(0, 0x40000, false);
+  h.cpu_access(1, 0x40000, false);  // LLC hit for CPU
+  h.gpu_access(0, 0x50000, false);  // LLC miss for GPU
+  EXPECT_DOUBLE_EQ(h.llc_hit_rate(Requestor::Cpu), 0.5);
+  EXPECT_DOUBLE_EQ(h.llc_hit_rate(Requestor::Gpu), 0.0);
+}
+
+}  // namespace
+}  // namespace h2

@@ -1,0 +1,127 @@
+// Parameterised DRAM channel properties across all device presets: the
+// timing model must conserve bandwidth, respect bank-level parallelism and
+// row-buffer locality, and keep its scheduling invariants under load.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+
+#include "common/rng.h"
+#include "mem/channel.h"
+
+namespace h2 {
+namespace {
+
+constexpr double kGhz = 3.2;
+
+struct PresetCase {
+  std::string name;
+  std::function<DramTiming()> make;
+};
+
+class ChannelProperty : public ::testing::TestWithParam<PresetCase> {};
+
+TEST_P(ChannelProperty, StreamingApproachesPeakBandwidth) {
+  const DramTiming t = GetParam().make();
+  Channel ch(t, kGhz, 0);
+  const u32 n = 4000;
+  Cycle done = 0;
+  for (u32 i = 0; i < n; ++i) {
+    done = ch.request(0, static_cast<Addr>(i) * 64, 64, false).done;
+  }
+  const double gbps = 64.0 * n / static_cast<double>(done) * kGhz;
+  EXPECT_GT(gbps, 0.75 * t.peak_gbps()) << t.name;
+  EXPECT_LT(gbps, 1.05 * t.peak_gbps()) << "cannot exceed peak";
+}
+
+TEST_P(ChannelProperty, RandomTrafficCannotExceedPeak) {
+  const DramTiming t = GetParam().make();
+  Channel ch(t, kGhz, 0);
+  Rng rng(3);
+  const u32 n = 4000;
+  Cycle done = 0;
+  u64 bytes = 0;
+  for (u32 i = 0; i < n; ++i) {
+    const u32 sz = rng.chance(0.5) ? 64 : 256;
+    done = std::max(done, ch.request(0, rng.next_below(1u << 28) & ~63ull, sz,
+                                     rng.chance(0.3))
+                              .done);
+    bytes += sz;
+  }
+  const double gbps = static_cast<double>(bytes) / static_cast<double>(done) * kGhz;
+  EXPECT_LT(gbps, 1.6 * t.peak_gbps())
+      << "read+write overcommit must stay bounded (" << t.name << ")";
+}
+
+TEST_P(ChannelProperty, BankParallelismBeatsBankConflicts) {
+  const DramTiming t = GetParam().make();
+  // Same number of random-row requests: spread over banks vs single bank.
+  Channel spread(t, kGhz, 0);
+  Channel conflict(t, kGhz, 1);
+  const u32 n = 256;
+  Cycle spread_done = 0, conflict_done = 0;
+  const u64 bank_stride = t.row_bytes;       // next bank
+  const u64 row_stride = t.row_bytes * t.total_banks();  // same bank, next row
+  for (u32 i = 0; i < n; ++i) {
+    spread_done = std::max(spread_done,
+                           spread.request(0, (i % t.total_banks()) * bank_stride +
+                                                 (i / t.total_banks()) * row_stride * 7,
+                                          64, false)
+                               .done);
+    conflict_done =
+        std::max(conflict_done, conflict.request(0, i * row_stride, 64, false).done);
+  }
+  EXPECT_LT(spread_done, conflict_done) << t.name;
+  EXPECT_GT(conflict.row_misses(), spread.row_misses() / 2) << "both pay activations";
+}
+
+TEST_P(ChannelProperty, RowHitRateReflectsLocality) {
+  const DramTiming t = GetParam().make();
+  Channel seq(t, kGhz, 0);
+  Channel rnd(t, kGhz, 1);
+  Rng rng(17);
+  Cycle ts = 0, tr = 0;
+  for (u32 i = 0; i < 2000; ++i) {
+    ts = seq.request(ts, static_cast<Addr>(i) * 64, 64, false).done;
+    tr = rnd.request(tr, rng.next_below(1u << 28) & ~63ull, 64, false).done;
+  }
+  const double seq_hits = static_cast<double>(seq.row_hits()) /
+                          static_cast<double>(seq.row_hits() + seq.row_misses());
+  const double rnd_hits = static_cast<double>(rnd.row_hits()) /
+                          static_cast<double>(rnd.row_hits() + rnd.row_misses());
+  EXPECT_GT(seq_hits, rnd_hits + 0.3) << t.name;
+}
+
+TEST_P(ChannelProperty, EnergyScalesWithTraffic) {
+  const DramTiming t = GetParam().make();
+  Channel a(t, kGhz, 0), b(t, kGhz, 1);
+  for (u32 i = 0; i < 100; ++i) a.request(0, i * 64, 64, false);
+  for (u32 i = 0; i < 400; ++i) b.request(0, i * 64, 64, false);
+  EXPECT_GT(b.dynamic_energy_pj(), 2.0 * a.dynamic_energy_pj()) << t.name;
+}
+
+TEST_P(ChannelProperty, CompletionNeverBeforeIssue) {
+  const DramTiming t = GetParam().make();
+  Channel ch(t, kGhz, 0);
+  Rng rng(7);
+  Cycle now = 0;
+  for (u32 i = 0; i < 2000; ++i) {
+    now += rng.next_below(20);
+    const auto r = ch.request(now, rng.next_below(1u << 26) & ~63ull,
+                              rng.chance(0.5) ? 64 : 256, rng.chance(0.4));
+    ASSERT_GE(r.first_data, now);
+    ASSERT_GE(r.done, r.first_data);
+    ASSERT_GE(r.done_sched, r.first_data);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Presets, ChannelProperty,
+    ::testing::Values(PresetCase{"hbm2e", hbm2e_timing},
+                      PresetCase{"hbm3", hbm3_timing},
+                      PresetCase{"ddr4", ddr4_3200_timing},
+                      PresetCase{"hbm2e_super", [] { return grouped(hbm2e_timing(), 4); }}),
+    [](const auto& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace h2

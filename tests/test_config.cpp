@@ -1,0 +1,120 @@
+#include "config/config_file.h"
+#include "harness/config_loader.h"
+
+#include <gtest/gtest.h>
+
+namespace h2 {
+namespace {
+
+TEST(ConfigFile, ParsesSectionsAndTypes) {
+  ConfigFile cfg;
+  cfg.parse(
+      "# comment\n"
+      "top = 1\n"
+      "[sim]\n"
+      "combo = C3        ; trailing comment\n"
+      "epoch_cycles = 40000\n"
+      "weight_cpu = 12.5\n"
+      "cpu_only = true\n"
+      "label = \"with spaces # not a comment\"\n");
+  EXPECT_EQ(cfg.get_int("top"), 1);
+  EXPECT_EQ(cfg.get_string("sim.combo"), "C3");
+  EXPECT_EQ(cfg.get_u64("sim.epoch_cycles"), 40'000u);
+  EXPECT_DOUBLE_EQ(cfg.get_double("sim.weight_cpu"), 12.5);
+  EXPECT_TRUE(cfg.get_bool("sim.cpu_only"));
+  EXPECT_EQ(cfg.get_string("sim.label"), "with spaces # not a comment");
+}
+
+TEST(ConfigFile, DefaultsForMissingKeys) {
+  ConfigFile cfg;
+  cfg.parse("[a]\nx = 1\n");
+  EXPECT_EQ(cfg.get_int("a.missing", 7), 7);
+  EXPECT_EQ(cfg.get_string("b.y", "dflt"), "dflt");
+  EXPECT_FALSE(cfg.has("a.missing"));
+  EXPECT_TRUE(cfg.has("a.x"));
+}
+
+TEST(ConfigFile, LaterAssignmentsWin) {
+  ConfigFile cfg;
+  cfg.parse("[s]\nk = 1\nk = 2\n");
+  EXPECT_EQ(cfg.get_int("s.k"), 2);
+}
+
+TEST(ConfigFile, UnusedKeysDetected) {
+  ConfigFile cfg;
+  cfg.parse("[s]\nused = 1\ntypo_key = 2\n");
+  (void)cfg.get_int("s.used");
+  const auto unused = cfg.unused_keys();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "s.typo_key");
+}
+
+TEST(ConfigFile, SizeSuffixes) {
+  EXPECT_EQ(ConfigFile::parse_size("1024"), 1024u);
+  EXPECT_EQ(ConfigFile::parse_size("4kB"), 4096u);
+  EXPECT_EQ(ConfigFile::parse_size("2MB"), 2u << 20);
+  EXPECT_EQ(ConfigFile::parse_size("1GB"), 1ull << 30);
+  EXPECT_EQ(ConfigFile::parse_size("1.5kb"), 1536u);
+}
+
+TEST(ConfigFile, BooleanSpellings) {
+  ConfigFile cfg;
+  cfg.parse("a = yes\nb = off\nc = 1\nd = FALSE\n");
+  EXPECT_TRUE(cfg.get_bool("a"));
+  EXPECT_FALSE(cfg.get_bool("b"));
+  EXPECT_TRUE(cfg.get_bool("c"));
+  EXPECT_FALSE(cfg.get_bool("d"));
+}
+
+TEST(ConfigLoader, BuildsExperimentFromText) {
+  ConfigFile cfg;
+  cfg.parse(
+      "[sim]\n"
+      "combo = C5\n"
+      "design = hydrogen-dp+token\n"
+      "mode = flat\n"
+      "weight_cpu = 4\n"
+      "[system]\n"
+      "scale = 16\n"
+      "[hybrid]\n"
+      "assoc = 8\n"
+      "block_bytes = 128\n"
+      "[hydrogen]\n"
+      "tok_frac = 0.25\n");
+  const ExperimentConfig ec = experiment_from_config(cfg);
+  EXPECT_EQ(ec.combo, "C5");
+  EXPECT_EQ(ec.design.label, "hydrogen-dp+token");
+  EXPECT_EQ(ec.mode, HybridMode::Flat);
+  EXPECT_EQ(ec.assoc, 8u);
+  EXPECT_EQ(ec.block_bytes, 128u);
+  EXPECT_DOUBLE_EQ(ec.weight_cpu, 4.0);
+  EXPECT_EQ(ec.sys.scale, 16u);
+  EXPECT_DOUBLE_EQ(ec.design.hydrogen.fixed_tok_frac, 0.25);
+}
+
+TEST(ConfigLoader, AllDesignNamesResolve) {
+  for (const char* name : {"baseline", "waypart", "hashcache", "profess", "hydrogen",
+                           "hydrogen-dp", "hydrogen-dp+token", "hydrogen-setpart"}) {
+    const DesignSpec d = design_from_name(name);
+    EXPECT_EQ(d.label, name);
+  }
+}
+
+TEST(ConfigLoader, CheckedInConfigsAreValidAndStrict) {
+  for (const char* path :
+       {"configs/baseline.cfg", "configs/hydrogen.cfg", "configs/hashcache.cfg",
+        "configs/profess.cfg", "configs/hydrogen_flat.cfg"}) {
+    ConfigFile cfg;
+    // ctest may run from build/ or build/tests/; probe upward.
+    if (!cfg.load(path) && !cfg.load(std::string("../") + path) &&
+        !cfg.load(std::string("../../") + path)) {
+      GTEST_SKIP() << "configs/ not reachable from the test cwd";
+    }
+    const ExperimentConfig ec = experiment_from_config(cfg);
+    EXPECT_FALSE(ec.combo.empty());
+    EXPECT_TRUE(cfg.unused_keys().empty()) << path;
+  }
+}
+
+}  // namespace
+}  // namespace h2

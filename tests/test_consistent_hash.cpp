@@ -1,0 +1,91 @@
+#include "hydrogen/consistent_hash.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace h2 {
+namespace {
+
+constexpr u64 kSalt = 0xabcdef;
+
+TEST(ConsistentHash, TopKHasKDistinctItems) {
+  for (u32 k = 1; k <= 8; ++k) {
+    const auto top = hrw_top(kSalt, 17, k, 8);
+    EXPECT_EQ(top.size(), k);
+    std::set<u32> uniq(top.begin(), top.end());
+    EXPECT_EQ(uniq.size(), k);
+    for (u32 item : top) EXPECT_LT(item, 8u);
+  }
+}
+
+TEST(ConsistentHash, IncrementalGrowthAddsExactlyOne) {
+  // The heart of Section IV-D: growing the selection by one changes exactly
+  // one element, so reconfiguration relocates minimal data.
+  for (u32 set = 0; set < 200; ++set) {
+    for (u32 k = 1; k < 8; ++k) {
+      const auto a = hrw_top(kSalt, set, k, 8);
+      const auto b = hrw_top(kSalt, set, k + 1, 8);
+      std::set<u32> sa(a.begin(), a.end()), sb(b.begin(), b.end());
+      // a must be a strict subset of b.
+      for (u32 x : sa) EXPECT_TRUE(sb.count(x)) << "set=" << set << " k=" << k;
+      EXPECT_EQ(sb.size(), sa.size() + 1);
+    }
+  }
+}
+
+TEST(ConsistentHash, RankConsistentWithTop) {
+  for (u32 set = 0; set < 50; ++set) {
+    const auto order = hrw_top(kSalt, set, 8, 8);
+    for (u32 pos = 0; pos < 8; ++pos) {
+      EXPECT_EQ(hrw_rank(kSalt, set, order[pos], 8), pos);
+    }
+  }
+}
+
+TEST(ConsistentHash, SelectedMatchesRank) {
+  for (u32 set = 0; set < 50; ++set) {
+    for (u32 item = 0; item < 8; ++item) {
+      for (u32 k = 0; k <= 8; ++k) {
+        EXPECT_EQ(hrw_selected(kSalt, set, item, k, 8),
+                  hrw_rank(kSalt, set, item, 8) < k);
+      }
+    }
+  }
+}
+
+TEST(ConsistentHash, SelectionsDifferAcrossSets) {
+  // Section IV-A requires diverse way selection across sets so GPU accesses
+  // spread over channels. Verify the top-1 pick is not constant.
+  std::set<u32> picks;
+  for (u32 set = 0; set < 64; ++set) picks.insert(hrw_top(kSalt, set, 1, 4)[0]);
+  EXPECT_GE(picks.size(), 3u);
+}
+
+TEST(ConsistentHash, SelectionsRoughlyBalanced) {
+  // Each item should be picked as top-1 for roughly 1/n of the sets.
+  constexpr u32 kN = 4;
+  u32 counts[kN] = {};
+  const u32 sets = 4000;
+  for (u32 set = 0; set < sets; ++set) counts[hrw_top(kSalt, set, 1, kN)[0]]++;
+  for (u32 i = 0; i < kN; ++i) {
+    EXPECT_NEAR(counts[i] / static_cast<double>(sets), 0.25, 0.05);
+  }
+}
+
+TEST(ConsistentHash, DifferentSaltsGiveDifferentSelections) {
+  u32 differs = 0;
+  for (u32 set = 0; set < 100; ++set) {
+    if (hrw_top(1, set, 2, 8) != hrw_top(2, set, 2, 8)) differs++;
+  }
+  EXPECT_GT(differs, 50u);
+}
+
+TEST(ConsistentHash, ScoreIsDeterministic) {
+  EXPECT_EQ(hrw_score(1, 2, 3), hrw_score(1, 2, 3));
+  EXPECT_NE(hrw_score(1, 2, 3), hrw_score(1, 2, 4));
+}
+
+}  // namespace
+}  // namespace h2

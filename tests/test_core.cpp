@@ -1,0 +1,162 @@
+#include "proc/core.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.h"
+#include "trace/generators.h"
+
+namespace h2 {
+namespace {
+
+/// Memory with a fixed latency and unlimited bandwidth.
+class FixedLatencyPort final : public MemoryPort {
+ public:
+  explicit FixedLatencyPort(Cycle latency) : latency_(latency) {}
+  Cycle access(Cycle now, Requestor, u32, Addr addr, bool write) override {
+    accesses++;
+    last_addr = addr;
+    writes += write;
+    return now + latency_;
+  }
+  Cycle latency_;
+  u64 accesses = 0;
+  u64 writes = 0;
+  Addr last_addr = 0;
+};
+
+WorkloadSpec simple_spec(double gap, double dep = 0.0, double wf = 0.0) {
+  WorkloadSpec s;
+  s.name = "t";
+  s.footprint_bytes = 1 << 20;
+  s.mix = {1.0, 0.0, 0.0, 0.0, 0.0};
+  s.mean_gap = gap;
+  s.dep_prob = dep;
+  s.write_frac = wf;
+  return s;
+}
+
+CoreParams cpu_params(u64 target) {
+  CoreParams p;
+  p.cls = Requestor::Cpu;
+  p.base_ipc = 2.0;
+  p.mlp = 8;
+  p.target_instructions = target;
+  return p;
+}
+
+TEST(Core, RetiresTargetInstructions) {
+  SyntheticGenerator gen(simple_spec(10), 1);
+  FixedLatencyPort port(50);
+  Core core(cpu_params(10'000), &gen, &port);
+  Engine e;
+  e.add_actor(&core, 0);
+  e.run(1'000'000);
+  EXPECT_TRUE(core.finished());
+  EXPECT_GE(core.retired_instructions(), 10'000u);
+  EXPECT_GT(core.done_cycle(), 0u);
+}
+
+TEST(Core, HigherLatencyLowersIpcWhenDependent) {
+  // With heavy dependence, the core serialises on memory latency.
+  auto run_with = [](Cycle lat) {
+    SyntheticGenerator gen(simple_spec(10, /*dep=*/1.0), 1);
+    FixedLatencyPort port(lat);
+    Core core(cpu_params(20'000), &gen, &port);
+    Engine e;
+    e.add_actor(&core, 0);
+    e.run(10'000'000);
+    return core.done_cycle();
+  };
+  const Cycle fast = run_with(20);
+  const Cycle slow = run_with(200);
+  EXPECT_GT(slow, fast * 3);
+}
+
+TEST(Core, LatencyToleranceWithHighMlp) {
+  // Independent accesses + many MSHRs: latency barely matters (the GPU
+  // property of Insight 1).
+  auto run_with = [](Cycle lat, u32 mlp) {
+    SyntheticGenerator gen(simple_spec(5), 1);
+    FixedLatencyPort port(lat);
+    CoreParams p = cpu_params(20'000);
+    p.mlp = mlp;
+    Core core(p, &gen, &port);
+    Engine e;
+    e.add_actor(&core, 0);
+    e.run(10'000'000);
+    return core.done_cycle();
+  };
+  const Cycle fast = run_with(20, 48);
+  const Cycle slow = run_with(200, 48);
+  EXPECT_LT(static_cast<double>(slow) / fast, 1.8);
+  // With a single MSHR the same latency increase is devastating.
+  const Cycle fast1 = run_with(20, 1);
+  const Cycle slow1 = run_with(200, 1);
+  EXPECT_GT(static_cast<double>(slow1) / fast1, 3.0);
+}
+
+TEST(Core, AppliesAddressBase) {
+  SyntheticGenerator gen(simple_spec(10), 1);
+  FixedLatencyPort port(10);
+  CoreParams p = cpu_params(100);
+  p.addr_base = 1ull << 32;
+  Core core(p, &gen, &port);
+  Engine e;
+  e.add_actor(&core, 0);
+  e.run(100'000);
+  EXPECT_GE(port.last_addr, 1ull << 32);
+}
+
+TEST(Core, WritesGoThroughWriteBuffer) {
+  SyntheticGenerator gen(simple_spec(10, 0.0, /*writes=*/1.0), 1);
+  FixedLatencyPort port(50);
+  Core core(cpu_params(5'000), &gen, &port);
+  Engine e;
+  e.add_actor(&core, 0);
+  e.run(1'000'000);
+  EXPECT_EQ(port.writes, port.accesses);
+  EXPECT_EQ(core.writes_issued(), port.writes);
+  EXPECT_EQ(core.reads_issued(), 0u);
+}
+
+TEST(Core, KeepsRunningAfterTarget) {
+  SyntheticGenerator gen(simple_spec(10), 1);
+  FixedLatencyPort port(10);
+  Core core(cpu_params(1'000), &gen, &port);
+  Engine e;
+  e.add_actor(&core, 0);
+  e.run(50'000);
+  // The core preserves contention by continuing past its target.
+  EXPECT_GT(core.retired_instructions(), 2'000u);
+  EXPECT_LT(core.done_cycle(), e.now());
+}
+
+TEST(Core, MlpBoundsOutstandingRequests) {
+  // A port that records the max number of in-flight requests.
+  class TrackingPort final : public MemoryPort {
+   public:
+    Cycle access(Cycle now, Requestor, u32, Addr, bool) override {
+      // Requests complete 1000 cycles later; count overlap by arrival time.
+      inflight_ends.push_back(now + 1000);
+      u32 live = 0;
+      for (Cycle end : inflight_ends) live += end > now;
+      max_live = std::max(max_live, live);
+      return now + 1000;
+    }
+    std::vector<Cycle> inflight_ends;
+    u32 max_live = 0;
+  };
+  SyntheticGenerator gen(simple_spec(2), 1);
+  TrackingPort port;
+  CoreParams p = cpu_params(50'000);
+  p.mlp = 4;
+  p.write_buffer = 1;
+  Core core(p, &gen, &port);
+  Engine e;
+  e.add_actor(&core, 0);
+  e.run(2'000'000);
+  EXPECT_LE(port.max_live, 5u + 1u);  // mlp reads + 1 write slot
+}
+
+}  // namespace
+}  // namespace h2

@@ -1,0 +1,174 @@
+#include "hydrogen/decoupled_partition.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace h2 {
+namespace {
+
+TEST(DecoupledPartition, ConfigClampedToLegalRange) {
+  DecoupledPartition p(4, 4);
+  p.set_config(0, 0);
+  EXPECT_EQ(p.cap(), 1u);
+  EXPECT_EQ(p.bw(), 1u);
+  p.set_config(100, 100);
+  EXPECT_EQ(p.cap(), 3u);
+  EXPECT_EQ(p.bw(), 3u);
+}
+
+TEST(DecoupledPartition, CpuWayCountMatchesCap) {
+  DecoupledPartition p(4, 4);
+  for (u32 cap = 1; cap <= 3; ++cap) {
+    p.set_config(cap, 1);
+    for (u32 set = 0; set < 128; ++set) {
+      u32 cpu_ways = 0;
+      for (u32 w = 0; w < 4; ++w) cpu_ways += p.is_cpu_way(set, w);
+      EXPECT_EQ(cpu_ways, cap) << "set " << set;
+    }
+  }
+}
+
+TEST(DecoupledPartition, DedicatedChannelCountMatchesBw) {
+  DecoupledPartition p(4, 4);
+  for (u32 bw = 1; bw <= 3; ++bw) {
+    p.set_config(2, bw);
+    u32 ded = 0;
+    for (u32 ch = 0; ch < 4; ++ch) ded += p.is_dedicated_channel(ch);
+    EXPECT_EQ(ded, bw);
+  }
+}
+
+TEST(DecoupledPartition, CpuDedicatedChannelsServeOnlyCpuWays) {
+  // Strong bandwidth isolation (Fig. 3(b)): GPU ways must never be mapped to
+  // a CPU-dedicated channel as long as shared channels exist.
+  DecoupledPartition p(4, 4);
+  for (u32 cap = 1; cap <= 3; ++cap) {
+    for (u32 bw = 1; bw <= 3; ++bw) {
+      p.set_config(cap, bw);
+      for (u32 set = 0; set < 256; ++set) {
+        for (u32 w = 0; w < 4; ++w) {
+          if (!p.is_cpu_way(set, w)) {
+            EXPECT_FALSE(p.is_dedicated_channel(p.channel_of_way(set, w)))
+                << "cap=" << cap << " bw=" << bw << " set=" << set << " way=" << w;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(DecoupledPartition, GpuWaysCoverAllSharedChannels) {
+  // Section IV-A: GPU accesses to different sets go to different channels
+  // and enjoy the full shared bandwidth.
+  DecoupledPartition p(4, 4);
+  p.set_config(3, 1);  // 1 GPU way per set, 3 shared channels
+  std::set<u32> used;
+  for (u32 set = 0; set < 64; ++set) {
+    for (u32 w = 0; w < 4; ++w) {
+      if (!p.is_cpu_way(set, w)) used.insert(p.channel_of_way(set, w));
+    }
+  }
+  EXPECT_EQ(used.size(), 3u);
+}
+
+TEST(DecoupledPartition, GpuChannelLoadIsBalanced) {
+  DecoupledPartition p(4, 4);
+  p.set_config(3, 1);
+  std::map<u32, u32> load;
+  const u32 sets = 3000;
+  for (u32 set = 0; set < sets; ++set) {
+    for (u32 w = 0; w < 4; ++w) {
+      if (!p.is_cpu_way(set, w)) load[p.channel_of_way(set, w)]++;
+    }
+  }
+  for (const auto& [ch, n] : load) {
+    (void)ch;
+    EXPECT_NEAR(n / static_cast<double>(sets), 1.0 / 3, 0.05);
+  }
+}
+
+TEST(DecoupledPartition, CapChangeMovesOneWayPerSet) {
+  // Consistent hashing: stepping cap from 2 to 3 changes each set's CPU way
+  // selection by exactly one way (minimal reconfiguration, Fig. 3(c)).
+  DecoupledPartition p(4, 4);
+  for (u32 set = 0; set < 512; ++set) {
+    p.set_config(2, 1);
+    std::set<u32> before;
+    for (u32 w = 0; w < 4; ++w) {
+      if (p.is_cpu_way(set, w)) before.insert(w);
+    }
+    p.set_config(3, 1);
+    u32 newly_cpu = 0;
+    for (u32 w = 0; w < 4; ++w) {
+      if (p.is_cpu_way(set, w)) {
+        if (!before.count(w)) newly_cpu++;
+      } else {
+        EXPECT_FALSE(before.count(w));  // no way flipped CPU->GPU
+      }
+    }
+    EXPECT_EQ(newly_cpu, 1u);
+  }
+}
+
+TEST(DecoupledPartition, BwChangeKeepsDedicatedSubsetNested) {
+  DecoupledPartition p(4, 4);
+  p.set_config(2, 1);
+  std::set<u32> ded1;
+  for (u32 ch = 0; ch < 4; ++ch) {
+    if (p.is_dedicated_channel(ch)) ded1.insert(ch);
+  }
+  p.set_config(2, 2);
+  for (u32 ch : ded1) EXPECT_TRUE(p.is_dedicated_channel(ch));
+}
+
+TEST(DecoupledPartition, SpillWaysAreCpuWaysOnSharedChannels) {
+  DecoupledPartition p(4, 4);
+  p.set_config(3, 1);  // ranks 1,2 spill to shared channels
+  for (u32 set = 0; set < 128; ++set) {
+    u32 spills = 0;
+    for (u32 w = 0; w < 4; ++w) {
+      if (p.is_cpu_spill_way(set, w)) {
+        EXPECT_TRUE(p.is_cpu_way(set, w));
+        EXPECT_FALSE(p.is_dedicated_channel(p.channel_of_way(set, w)));
+        spills++;
+      }
+    }
+    EXPECT_EQ(spills, 2u);  // cap(3) - bw(1)
+  }
+}
+
+TEST(DecoupledPartition, DegenerateGeometries) {
+  // Single channel: everything maps to channel 0.
+  DecoupledPartition p1(1, 4);
+  p1.set_config(2, 1);
+  for (u32 set = 0; set < 16; ++set) {
+    for (u32 w = 0; w < 4; ++w) EXPECT_EQ(p1.channel_of_way(set, w), 0u);
+  }
+  // Single way: shared by both sides, never a spill.
+  DecoupledPartition p2(4, 1);
+  p2.set_config(1, 2);
+  for (u32 set = 0; set < 16; ++set) {
+    EXPECT_TRUE(p2.is_cpu_way(set, 0));
+    EXPECT_FALSE(p2.is_cpu_spill_way(set, 0));
+    EXPECT_LT(p2.channel_of_way(set, 0), 4u);
+  }
+}
+
+TEST(DecoupledPartition, SixteenWayGeometry) {
+  // Fig. 11 scales associativity to 16; the mapping must stay legal.
+  DecoupledPartition p(4, 16);
+  p.set_config(12, 2);
+  for (u32 set = 0; set < 64; ++set) {
+    u32 cpu = 0;
+    for (u32 w = 0; w < 16; ++w) {
+      cpu += p.is_cpu_way(set, w);
+      EXPECT_LT(p.channel_of_way(set, w), 4u);
+    }
+    EXPECT_EQ(cpu, 12u);
+  }
+}
+
+}  // namespace
+}  // namespace h2

@@ -1,0 +1,134 @@
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace h2 {
+namespace {
+
+/// Records its step cycles; steps `count` times with the given stride.
+class RecordingActor final : public Actor {
+ public:
+  RecordingActor(Cycle stride, u32 count) : stride_(stride), remaining_(count) {}
+
+  Cycle step(Engine&, Cycle now) override {
+    visits.push_back(now);
+    if (--remaining_ == 0) return kNever;
+    return now + stride_;
+  }
+
+  std::vector<Cycle> visits;
+
+ private:
+  Cycle stride_;
+  u32 remaining_;
+};
+
+TEST(Engine, RunsActorAtScheduledTimes) {
+  Engine e;
+  RecordingActor a(10, 4);
+  e.add_actor(&a, 5);
+  e.run();
+  EXPECT_EQ(a.visits, (std::vector<Cycle>{5, 15, 25, 35}));
+  EXPECT_EQ(e.now(), 35u);
+  EXPECT_EQ(e.steps_executed(), 4u);
+}
+
+TEST(Engine, InterleavesActorsInTimeOrder) {
+  Engine e;
+  RecordingActor a(10, 3);  // 0, 10, 20
+  RecordingActor b(7, 3);   // 3, 10, 17
+  e.add_actor(&a, 0);
+  e.add_actor(&b, 3);
+  std::vector<std::pair<Cycle, char>> order;
+  e.run();
+  // Merge expectation: time never goes backwards.
+  Cycle prev = 0;
+  for (Cycle c : a.visits) EXPECT_GE(c, 0u);
+  for (size_t i = 1; i < b.visits.size(); ++i) EXPECT_GT(b.visits[i], b.visits[i - 1]);
+  (void)prev;
+  (void)order;
+}
+
+TEST(Engine, DeterministicTieBreakBySubmissionOrder) {
+  Engine e;
+  std::vector<int> log;
+  class TieActor final : public Actor {
+   public:
+    TieActor(std::vector<int>* log, int id) : log_(log), id_(id) {}
+    Cycle step(Engine&, Cycle) override {
+      log_->push_back(id_);
+      return kNever;
+    }
+   private:
+    std::vector<int>* log_;
+    int id_;
+  };
+  TieActor a(&log, 1), b(&log, 2), c(&log, 3);
+  e.add_actor(&a, 10);
+  e.add_actor(&b, 10);
+  e.add_actor(&c, 10);
+  e.run();
+  EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, StopsAtMaxCycles) {
+  Engine e;
+  RecordingActor a(100, 1000);
+  e.add_actor(&a, 0);
+  e.run(450);
+  EXPECT_LE(e.now(), 450u);
+  EXPECT_EQ(a.visits.size(), 5u);  // 0,100,200,300,400
+}
+
+TEST(Engine, PeriodicHookFiresOnSchedule) {
+  Engine e;
+  RecordingActor a(10, 20);  // runs to cycle 190
+  e.add_actor(&a, 0);
+  std::vector<Cycle> fires;
+  e.add_periodic(50, [&](Cycle now) { fires.push_back(now); });
+  e.run();
+  EXPECT_EQ(fires, (std::vector<Cycle>{50, 100, 150}));
+}
+
+TEST(Engine, StopFromHookTerminatesRun) {
+  Engine e;
+  RecordingActor a(1, 100000);
+  e.add_actor(&a, 0);
+  e.add_periodic(100, [&](Cycle now) {
+    if (now >= 300) e.stop();
+  });
+  e.run();
+  EXPECT_LE(e.now(), 301u);
+}
+
+TEST(Engine, WakeReschedulesIdleActor) {
+  Engine e;
+  RecordingActor a(10, 1);  // steps once then idles
+  e.add_actor(&a, 0);
+  e.run();
+  EXPECT_EQ(a.visits.size(), 1u);
+  // Re-arm and run again.
+  a.visits.clear();
+  class OneShot final : public Actor {
+   public:
+    explicit OneShot(RecordingActor* target) : target_(target) {}
+    Cycle step(Engine& e, Cycle now) override {
+      e.wake(target_, now + 5);
+      return kNever;
+    }
+   private:
+    RecordingActor* target_;
+  };
+  // A stepped RecordingActor with remaining_ == 0 would underflow; use a fresh one.
+  RecordingActor fresh(10, 2);
+  OneShot shot(&fresh);
+  Engine e2;
+  e2.add_actor(&shot, 7);
+  e2.run();
+  EXPECT_EQ(fresh.visits, (std::vector<Cycle>{12, 22}));
+}
+
+}  // namespace
+}  // namespace h2

@@ -1,0 +1,143 @@
+#include "harness/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace h2 {
+namespace {
+
+/// Small, fast experiment configuration for tests.
+ExperimentConfig quick(const std::string& combo, DesignSpec design) {
+  ExperimentConfig cfg;
+  cfg.combo = combo;
+  cfg.design = std::move(design);
+  cfg.sys = SystemConfig::table1(/*scale=*/16);
+  cfg.cpu_target_instructions = 150'000;
+  cfg.gpu_target_instructions = 120'000;
+  cfg.epoch_cycles = 50'000;
+  cfg.max_cycles = 60'000'000;
+  return cfg;
+}
+
+TEST(Experiment, BaselineRunsToCompletion) {
+  const ExperimentResult r = run_experiment(quick("C1", DesignSpec::baseline()));
+  EXPECT_TRUE(r.cpu_finished);
+  EXPECT_TRUE(r.gpu_finished);
+  EXPECT_GT(r.cpu_cycles, 0u);
+  EXPECT_GT(r.gpu_cycles, 0u);
+  EXPECT_GT(r.cpu_ipc, 0.0);
+  EXPECT_GT(r.gpu_ipc, 0.0);
+  EXPECT_GT(r.energy_pj, 0.0);
+  EXPECT_GT(r.slow_bytes, 0u);
+  EXPECT_GT(r.epochs, 0u);
+}
+
+TEST(Experiment, DeterministicAcrossRuns) {
+  const ExperimentResult a = run_experiment(quick("C3", DesignSpec::baseline()));
+  const ExperimentResult b = run_experiment(quick("C3", DesignSpec::baseline()));
+  EXPECT_EQ(a.cpu_cycles, b.cpu_cycles);
+  EXPECT_EQ(a.gpu_cycles, b.gpu_cycles);
+  EXPECT_EQ(a.slow_bytes, b.slow_bytes);
+  EXPECT_DOUBLE_EQ(a.energy_pj, b.energy_pj);
+}
+
+TEST(Experiment, SoloRunsOnlyExerciseOneSide) {
+  ExperimentConfig cfg = quick("C1", DesignSpec::baseline());
+  cfg.cpu_only = true;
+  const ExperimentResult cpu = run_experiment(cfg);
+  EXPECT_GT(cpu.cpu_cycles, 0u);
+  EXPECT_EQ(cpu.gpu_cycles, 0u);
+  EXPECT_EQ(cpu.gpu_instructions, 0u);
+
+  ExperimentConfig gcfg = quick("C1", DesignSpec::baseline());
+  gcfg.gpu_only = true;
+  const ExperimentResult gpu = run_experiment(gcfg);
+  EXPECT_EQ(gpu.cpu_cycles, 0u);
+  EXPECT_GT(gpu.gpu_cycles, 0u);
+}
+
+TEST(Experiment, ContentionSlowsBothSides) {
+  // Fig. 2(a): running together is slower than running alone.
+  ExperimentConfig together = quick("C1", DesignSpec::baseline());
+  ExperimentConfig cpu_solo = together;
+  cpu_solo.cpu_only = true;
+  ExperimentConfig gpu_solo = together;
+  gpu_solo.gpu_only = true;
+  const ExperimentResult rt = run_experiment(together);
+  const ExperimentResult rc = run_experiment(cpu_solo);
+  const ExperimentResult rg = run_experiment(gpu_solo);
+  // The CPU suffers clearly; the GPU (latency-tolerant) may be unaffected at
+  // this small test scale but must never speed up from contention.
+  EXPECT_GT(side_slowdown(rc, rt, Requestor::Cpu), 1.05);
+  EXPECT_GE(side_slowdown(rg, rt, Requestor::Gpu), 1.0);
+}
+
+TEST(Experiment, AllDesignsRun) {
+  for (const DesignSpec& d :
+       {DesignSpec::baseline(), DesignSpec::waypart(), DesignSpec::hashcache(),
+        DesignSpec::profess(), DesignSpec::hydrogen_dp(),
+        DesignSpec::hydrogen_dp_token(), DesignSpec::hydrogen_full()}) {
+    const ExperimentResult r = run_experiment(quick("C2", d));
+    EXPECT_TRUE(r.cpu_finished) << d.label;
+    EXPECT_TRUE(r.gpu_finished) << d.label;
+  }
+}
+
+TEST(Experiment, WeightedSpeedupIdentityAndOrdering) {
+  const ExperimentResult base = run_experiment(quick("C1", DesignSpec::baseline()));
+  EXPECT_DOUBLE_EQ(weighted_speedup(base, base), 1.0);
+  // A result with half the CPU cycles at equal GPU cycles must win.
+  ExperimentResult faster = base;
+  faster.cpu_cycles = base.cpu_cycles / 2;
+  EXPECT_GT(weighted_speedup(base, faster), 1.0);
+  EXPECT_LT(weighted_speedup(faster, base), 1.0);
+}
+
+TEST(Experiment, WeightsShiftTheObjective) {
+  ExperimentResult base;
+  base.cpu_cycles = 1000;
+  base.gpu_cycles = 1000;
+  ExperimentResult x;
+  x.cpu_cycles = 500;   // CPU 2x faster
+  x.gpu_cycles = 2000;  // GPU 2x slower
+  EXPECT_GT(weighted_speedup(base, x, 12, 1), 1.5);  // CPU-heavy weights
+  EXPECT_LT(weighted_speedup(base, x, 1, 12), 0.8);  // GPU-heavy weights
+}
+
+TEST(Experiment, FlatModeRuns) {
+  ExperimentConfig cfg = quick("C4", DesignSpec::hydrogen_full());
+  cfg.mode = HybridMode::Flat;
+  const ExperimentResult r = run_experiment(cfg);
+  EXPECT_TRUE(r.cpu_finished);
+  EXPECT_TRUE(r.gpu_finished);
+}
+
+TEST(Experiment, HBM3SpeedsUpTheBaseline) {
+  ExperimentConfig hbm2 = quick("C1", DesignSpec::baseline());
+  ExperimentConfig hbm3 = hbm2;
+  hbm3.sys = SystemConfig::table1_hbm3(/*scale=*/16);
+  const ExperimentResult r2 = run_experiment(hbm2);
+  const ExperimentResult r3 = run_experiment(hbm3);
+  // HBM3 never hurts; whether it helps depends on how fast-bandwidth-bound
+  // the mix is (paper Fig. 5(b) reports shrinking, not vanishing, gains).
+  EXPECT_GE(weighted_speedup(r2, r3), 0.97);
+}
+
+TEST(Experiment, HydrogenReportsSearchState) {
+  const ExperimentResult r = run_experiment(quick("C5", DesignSpec::hydrogen_full()));
+  EXPECT_GE(r.final_point.cap, 1u);
+  EXPECT_LE(r.final_point.cap, 3u);
+  EXPECT_GE(r.final_point.bw, 1u);
+  EXPECT_LE(r.final_point.bw, 3u);
+}
+
+TEST(Experiment, HashcacheUsesDirectMappedNativeGeometry) {
+  const ExperimentResult r = run_experiment(quick("C1", DesignSpec::hashcache()));
+  // Direct-mapped organisation has lower hit rates than 4-way designs
+  // (the paper's main criticism of HAShCache).
+  const ExperimentResult b = run_experiment(quick("C1", DesignSpec::baseline()));
+  EXPECT_LT(r.fast_hit_rate[0] + r.fast_hit_rate[1],
+            b.fast_hit_rate[0] + b.fast_hit_rate[1] + 0.05);
+}
+
+}  // namespace
+}  // namespace h2

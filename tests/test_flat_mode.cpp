@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "hybridmem/hybrid_memory.h"
+#include "hydrogen/hydrogen_policy.h"
+#include "policies/baseline.h"
+
+namespace h2 {
+namespace {
+
+HybridMemConfig flat_cfg() {
+  HybridMemConfig h;
+  h.mode = HybridMode::Flat;
+  h.fast_capacity_bytes = 64 * 1024;
+  h.slow_capacity_bytes = 1 << 20;
+  h.remap_cache_bytes = 16 * 1024;
+  return h;
+}
+
+TEST(FlatMode, FirstTouchFillsFastForFree) {
+  MemorySystem mem(MemSystemConfig::table1_default());
+  BaselinePolicy pol;
+  HybridMemory hm(flat_cfg(), &mem, &pol);
+  // First touch: no slow-tier traffic at all (the block materialises fast).
+  hm.access(0, Requestor::Cpu, 0x1000, false);
+  EXPECT_EQ(mem.tier_bytes(Tier::Slow), 0u);
+  EXPECT_EQ(hm.stats(Requestor::Cpu).misses, 1u);
+  // Re-access hits.
+  hm.access(1000, Requestor::Cpu, 0x1000, false);
+  EXPECT_EQ(hm.stats(Requestor::Cpu).fast_hits, 1u);
+}
+
+TEST(FlatMode, OverflowGoesToSlowTier) {
+  MemorySystem mem(MemSystemConfig::table1_default());
+  BaselinePolicy pol;
+  HybridMemory hm(flat_cfg(), &mem, &pol);
+  const u64 set_stride = 256ull * hm.num_sets();
+  Cycle t = 0;
+  // Fill all 4 ways of set 0, then access a 5th conflicting block.
+  for (u64 i = 0; i < 4; ++i) t = hm.access(t, Requestor::Cpu, i * set_stride, false);
+  EXPECT_EQ(mem.tier_bytes(Tier::Slow), 0u);
+  t = hm.access(t, Requestor::Cpu, 4 * set_stride, false);
+  EXPECT_GT(mem.tier_bytes(Tier::Slow), 0u);  // served (and swapped) from slow
+}
+
+TEST(FlatMode, SwapMovesTwoBlocksBothTiers) {
+  MemorySystem mem(MemSystemConfig::table1_default());
+  BaselinePolicy pol;
+  HybridMemory hm(flat_cfg(), &mem, &pol);
+  const u64 set_stride = 256ull * hm.num_sets();
+  Cycle t = 0;
+  for (u64 i = 0; i < 4; ++i) t = hm.access(t, Requestor::Cpu, i * set_stride, false);
+  const u64 slow_before = mem.tier_bytes(Tier::Slow);
+  const u64 fast_before = mem.tier_bytes(Tier::Fast);
+  t = hm.access(t, Requestor::Cpu, 4 * set_stride, false);
+  // Swap: 64 B demand + 256 B block in from slow, 256 B victim out to slow;
+  // 256 B victim read + 256 B fill in fast.
+  EXPECT_EQ(mem.tier_bytes(Tier::Slow) - slow_before, 64u + 256u + 256u);
+  EXPECT_GE(mem.tier_bytes(Tier::Fast) - fast_before, 512u);
+  // First touches are free placements, not migrations; only the swap counts.
+  EXPECT_EQ(hm.stats(Requestor::Cpu).migrations, 1u);
+  // The swapped-in block now hits.
+  const u64 hits_before = hm.stats(Requestor::Cpu).fast_hits;
+  hm.access(t, Requestor::Cpu, 4 * set_stride, false);
+  EXPECT_EQ(hm.stats(Requestor::Cpu).fast_hits, hits_before + 1);
+}
+
+TEST(FlatMode, TokensChargeTwoPerSwap) {
+  // Section IV-F: flat-mode migrations always decrement the counter by 2.
+  MemorySystem mem(MemSystemConfig::table1_default());
+  HydrogenConfig hc;
+  hc.decoupled = true;
+  hc.token = true;
+  hc.search = false;
+  hc.faucet_period = 1'000'000;
+  HydrogenPolicy pol(hc);
+  HybridMemory hm(flat_cfg(), &mem, &pol);
+
+  // Prime the miss-rate estimate: budget = 15% x 200 = 30 tokens/period.
+  EpochFeedback fb;
+  fb.epoch_cycles = 1'000'000;
+  fb.gpu_misses = 200;
+  pol.on_epoch(fb);
+
+  const u64 set_stride = 256ull * hm.num_sets();
+  Cycle t = 1;
+  // Fill set 0's GPU way (first touch is free of tokens? it passes through
+  // allow_migration only when swapping; first touches land in free ways).
+  for (u64 i = 0; i < 8; ++i) t = hm.access(t, Requestor::Gpu, i * set_stride, false);
+  // Stream conflicting GPU blocks: each swap costs 2 tokens -> at most ~15
+  // swaps this period.
+  const u64 migr_before = hm.stats(Requestor::Gpu).migrations;
+  for (u64 i = 8; i < 100; ++i) t = hm.access(t, Requestor::Gpu, i * set_stride, false);
+  const u64 swaps = hm.stats(Requestor::Gpu).migrations - migr_before;
+  EXPECT_LE(swaps, 16u);
+}
+
+TEST(FlatMode, WritebackWritesResidentTier) {
+  MemorySystem mem(MemSystemConfig::table1_default());
+  BaselinePolicy pol;
+  HybridMemory hm(flat_cfg(), &mem, &pol);
+  hm.access(0, Requestor::Cpu, 0x2000, false);  // fast-resident
+  const u64 fast_before = mem.tier_bytes(Tier::Fast);
+  hm.writeback(100, Requestor::Cpu, 0x2000);
+  EXPECT_EQ(mem.tier_bytes(Tier::Fast) - fast_before, 64u);
+}
+
+}  // namespace
+}  // namespace h2

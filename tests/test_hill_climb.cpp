@@ -1,0 +1,131 @@
+#include "hydrogen/hill_climb.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+namespace h2 {
+namespace {
+
+ParamRanges default_ranges() {
+  ParamRanges r;
+  r.cap_min = 1;
+  r.cap_max = 3;
+  r.bw_min = 1;
+  r.bw_max = 3;
+  r.tok_min = 0;
+  r.tok_max = 7;
+  return r;
+}
+
+/// Drives the climber against a closed-form objective until convergence.
+ParamPoint run_to_convergence(HillClimber& hc,
+                              const std::function<double(const ParamPoint&)>& f,
+                              u32 max_steps = 200) {
+  for (u32 i = 0; i < max_steps && !hc.converged(); ++i) {
+    hc.observe(f(hc.current()));
+  }
+  return hc.best();
+}
+
+TEST(HillClimb, FindsUnimodalOptimum) {
+  // Concave separable objective with optimum at (2, 3, 5).
+  auto f = [](const ParamPoint& p) {
+    auto d = [](double x, double opt) { return -(x - opt) * (x - opt); };
+    return 100.0 + d(p.cap, 2) + d(p.bw, 3) + d(p.tok, 5);
+  };
+  HillClimber hc(ParamPoint{1, 1, 0}, default_ranges());
+  const ParamPoint best = run_to_convergence(hc, f);
+  EXPECT_EQ(best.cap, 2u);
+  EXPECT_EQ(best.bw, 3u);
+  EXPECT_EQ(best.tok, 5u);
+  EXPECT_TRUE(hc.converged());
+}
+
+TEST(HillClimb, ConvergesWithinTensOfSteps) {
+  // Paper Section VI-C: ~20 optimisation steps to convergence.
+  auto f = [](const ParamPoint& p) {
+    return -std::abs(static_cast<double>(p.cap) - 3) -
+           std::abs(static_cast<double>(p.bw) - 1) -
+           std::abs(static_cast<double>(p.tok) - 3) + 10.0;
+  };
+  HillClimber hc(ParamPoint{2, 2, 4}, default_ranges());
+  run_to_convergence(hc, f);
+  EXPECT_TRUE(hc.converged());
+  EXPECT_LE(hc.steps(), 30u);
+}
+
+TEST(HillClimb, StaysAtOptimumWhenStartedThere) {
+  auto f = [](const ParamPoint& p) {
+    return -(std::abs(static_cast<double>(p.cap) - 2.0) +
+             std::abs(static_cast<double>(p.bw) - 2.0) +
+             std::abs(static_cast<double>(p.tok) - 2.0));
+  };
+  HillClimber hc(ParamPoint{2, 2, 2}, default_ranges());
+  const ParamPoint best = run_to_convergence(hc, f);
+  EXPECT_EQ(best, (ParamPoint{2, 2, 2}));
+}
+
+TEST(HillClimb, RespectsRangeBounds) {
+  // Objective pushes toward larger values; the best point must clamp at the
+  // range maxima and proposals must never leave the ranges.
+  auto f = [](const ParamPoint& p) {
+    return static_cast<double>(p.cap + p.bw + p.tok);
+  };
+  const ParamRanges r = default_ranges();
+  HillClimber hc(ParamPoint{1, 1, 0}, r);
+  for (u32 i = 0; i < 300 && !hc.converged(); ++i) {
+    const ParamPoint& c = hc.current();
+    EXPECT_GE(c.cap, r.cap_min);
+    EXPECT_LE(c.cap, r.cap_max);
+    EXPECT_GE(c.bw, r.bw_min);
+    EXPECT_LE(c.bw, r.bw_max);
+    EXPECT_LE(c.tok, r.tok_max);
+    hc.observe(f(c));
+  }
+  EXPECT_EQ(hc.best().cap, 3u);
+  EXPECT_EQ(hc.best().bw, 3u);
+  EXPECT_EQ(hc.best().tok, 7u);
+}
+
+TEST(HillClimb, IgnoresSubThresholdNoise) {
+  // Tiny fluctuations below eps must not be chased.
+  HillClimber hc(ParamPoint{2, 2, 4}, default_ranges(), /*eps=*/0.01);
+  double base = 100.0;
+  int flips = 0;
+  for (u32 i = 0; i < 40 && !hc.converged(); ++i) {
+    const ParamPoint before = hc.best();
+    hc.observe(base * (1.0 + ((i % 2) ? 0.004 : -0.004)));
+    if (!(hc.best() == before)) flips++;
+  }
+  EXPECT_EQ(flips, 0);
+  EXPECT_TRUE(hc.converged());
+}
+
+TEST(HillClimb, RestartReopensSearch) {
+  auto f1 = [](const ParamPoint& p) { return -std::abs(static_cast<double>(p.cap) - 1.0); };
+  auto f2 = [](const ParamPoint& p) { return -std::abs(static_cast<double>(p.cap) - 3.0); };
+  HillClimber hc(ParamPoint{2, 2, 4}, default_ranges());
+  run_to_convergence(hc, f1);
+  EXPECT_EQ(hc.best().cap, 1u);
+  // Phase change: the optimum moved; restart must rediscover it.
+  hc.restart();
+  EXPECT_FALSE(hc.converged());
+  run_to_convergence(hc, f2);
+  EXPECT_EQ(hc.best().cap, 3u);
+}
+
+TEST(HillClimb, SingletonRangesConvergeImmediately) {
+  ParamRanges r;
+  r.cap_min = r.cap_max = 2;
+  r.bw_min = r.bw_max = 1;
+  r.tok_min = r.tok_max = 3;
+  HillClimber hc(ParamPoint{2, 1, 3}, r);
+  for (u32 i = 0; i < 10 && !hc.converged(); ++i) hc.observe(1.0);
+  EXPECT_TRUE(hc.converged());
+  EXPECT_EQ(hc.best(), (ParamPoint{2, 1, 3}));
+}
+
+}  // namespace
+}  // namespace h2

@@ -1,0 +1,183 @@
+#include "hybridmem/hybrid_memory.h"
+
+#include <gtest/gtest.h>
+
+#include "policies/baseline.h"
+#include "policies/waypart.h"
+
+namespace h2 {
+namespace {
+
+MemSystemConfig small_mem() {
+  MemSystemConfig m = MemSystemConfig::table1_default();
+  return m;
+}
+
+HybridMemConfig small_hybrid() {
+  HybridMemConfig h;
+  h.fast_capacity_bytes = 64 * 1024;   // 64 sets of 4x256 B
+  h.slow_capacity_bytes = 1 << 20;
+  h.remap_cache_bytes = 16 * 1024;
+  return h;
+}
+
+TEST(HybridMemory, GeometryFromConfig) {
+  MemorySystem mem(small_mem());
+  BaselinePolicy pol;
+  HybridMemory hm(small_hybrid(), &mem, &pol);
+  EXPECT_EQ(hm.num_sets(), 64u);
+  EXPECT_EQ(hm.assoc(), 4u);
+  EXPECT_EQ(hm.set_of(0), 0u);
+  EXPECT_EQ(hm.set_of(256), 1u);
+  EXPECT_EQ(hm.set_of(64u * 256), 0u);  // wraps at num_sets
+}
+
+TEST(HybridMemory, MissMigratesThenHits) {
+  MemorySystem mem(small_mem());
+  BaselinePolicy pol;
+  HybridMemory hm(small_hybrid(), &mem, &pol);
+
+  const Cycle t1 = hm.access(0, Requestor::Cpu, 0x1000, false);
+  EXPECT_GT(t1, 0u);
+  EXPECT_EQ(hm.stats(Requestor::Cpu).misses, 1u);
+  EXPECT_EQ(hm.stats(Requestor::Cpu).migrations, 1u);
+
+  const Cycle t2 = hm.access(t1, Requestor::Cpu, 0x1000, false);
+  EXPECT_EQ(hm.stats(Requestor::Cpu).fast_hits, 1u);
+  // A fast hit must be served faster than the cold miss took.
+  EXPECT_LT(t2 - t1, t1);
+}
+
+TEST(HybridMemory, MigrationAmplifiesSlowTraffic) {
+  // Fig. 4: a miss refill moves a whole 256 B block from the slow tier for a
+  // 64 B demand.
+  MemorySystem mem(small_mem());
+  BaselinePolicy pol;
+  HybridMemory hm(small_hybrid(), &mem, &pol);
+  hm.access(0, Requestor::Gpu, 0x2000, false);
+  EXPECT_EQ(mem.tier_bytes(Tier::Slow), 256u);
+  EXPECT_GE(mem.tier_bytes(Tier::Fast), 256u);  // fill write (+ metadata)
+}
+
+TEST(HybridMemory, DirtyVictimCausesWriteback) {
+  MemorySystem mem(small_mem());
+  BaselinePolicy pol;
+  HybridMemConfig cfg = small_hybrid();
+  HybridMemory hm(cfg, &mem, &pol);
+  const u32 sets = hm.num_sets();
+  const u64 set_stride = 256ull * sets;
+
+  // Fill set 0's four ways with dirty blocks.
+  Cycle t = 0;
+  for (u64 i = 0; i < 4; ++i) t = hm.access(t, Requestor::Cpu, i * set_stride, true);
+  // Fifth block in the same set evicts a dirty victim.
+  const u64 slow_before = mem.tier_bytes(Tier::Slow);
+  hm.access(t, Requestor::Cpu, 4 * set_stride, false);
+  EXPECT_EQ(hm.stats(Requestor::Cpu).dirty_writebacks, 1u);
+  // Refill read (256) + dirty writeback (256).
+  EXPECT_EQ(mem.tier_bytes(Tier::Slow) - slow_before, 512u);
+}
+
+TEST(HybridMemory, LruVictimSelection) {
+  MemorySystem mem(small_mem());
+  BaselinePolicy pol;
+  HybridMemory hm(small_hybrid(), &mem, &pol);
+  const u64 set_stride = 256ull * hm.num_sets();
+  Cycle t = 0;
+  for (u64 i = 0; i < 4; ++i) t = hm.access(t, Requestor::Cpu, i * set_stride, false);
+  // Touch block 0 so block 1 is LRU.
+  t = hm.access(t, Requestor::Cpu, 0, false);
+  t = hm.access(t, Requestor::Cpu, 4 * set_stride, false);  // evicts block 1
+  t = hm.access(t, Requestor::Cpu, 0, false);               // still a hit
+  EXPECT_EQ(hm.stats(Requestor::Cpu).fast_hits, 2u);
+  hm.access(t, Requestor::Cpu, 1 * set_stride, false);  // miss again
+  EXPECT_EQ(hm.stats(Requestor::Cpu).misses, 6u);
+}
+
+TEST(HybridMemory, WritebackHitsFastOrSlow) {
+  MemorySystem mem(small_mem());
+  BaselinePolicy pol;
+  HybridMemory hm(small_hybrid(), &mem, &pol);
+  const Cycle t = hm.access(0, Requestor::Cpu, 0x4000, false);
+  const u64 fast_before = mem.tier_bytes(Tier::Fast);
+  hm.writeback(t, Requestor::Cpu, 0x4000);  // resident -> fast write
+  EXPECT_EQ(mem.tier_bytes(Tier::Fast) - fast_before, 64u);
+  const u64 slow_before = mem.tier_bytes(Tier::Slow);
+  hm.writeback(t, Requestor::Cpu, 0x90000);  // absent -> slow write
+  EXPECT_EQ(mem.tier_bytes(Tier::Slow) - slow_before, 64u);
+  EXPECT_EQ(hm.stats(Requestor::Cpu).llc_writebacks, 2u);
+}
+
+TEST(HybridMemory, RemapCacheMissChargesFastRead) {
+  MemorySystem mem(small_mem());
+  BaselinePolicy pol;
+  HybridMemConfig cfg = small_hybrid();
+  cfg.remap_cache_bytes = 1024;  // tiny: most probes miss
+  HybridMemory hm(cfg, &mem, &pol);
+  // Stream across many sets (stride 2 so each probe is a fresh metadata
+  // line); metadata misses add fast-tier reads.
+  Cycle t = 0;
+  for (u64 i = 0; i < 32; ++i) t = hm.access(t, Requestor::Cpu, i * 2 * 256, false);
+  EXPECT_LT(hm.remap_cache().hit_rate(), 0.5);
+  EXPECT_GT(mem.tier_bytes(Tier::Fast), 32u * 256u);  // fills + metadata reads
+}
+
+TEST(HybridMemory, ChainingFindsPartnerSetBlock) {
+  MemorySystem mem(small_mem());
+  BaselinePolicy pol;
+  HybridMemConfig cfg = small_hybrid();
+  cfg.assoc = 1;
+  cfg.chaining = true;
+  HybridMemory hm(cfg, &mem, &pol);
+  const u32 sets = hm.num_sets();
+  const u64 set_stride = 256;
+
+  // Two blocks mapping to sets 2 and 3 (chain partners 2^1=3).
+  Cycle t = hm.access(0, Requestor::Cpu, 2 * set_stride, false);
+  t = hm.access(t, Requestor::Cpu, 3 * set_stride, false);
+  // A block that maps to set 2 but was displaced... instead verify a lookup
+  // in set 2 for the block resident in set 3 reports a chained hit: displace
+  // set 2's block with a conflicting one, then re-access the original.
+  t = hm.access(t, Requestor::Cpu, (2 + sets) * set_stride, false);  // evicts set 2
+  const HybridStats before = hm.stats(Requestor::Cpu);
+  t = hm.access(t, Requestor::Cpu, 3 * set_stride, false);  // still in set 3
+  EXPECT_EQ(hm.stats(Requestor::Cpu).fast_hits, before.fast_hits + 1);
+}
+
+TEST(HybridMemory, WayPartKeepsSidesApart) {
+  MemorySystem mem(small_mem());
+  WayPartPolicy pol(0.75);
+  HybridMemory hm(small_hybrid(), &mem, &pol);
+  const u64 set_stride = 256ull * hm.num_sets();
+  Cycle t = 0;
+  // CPU fills its 3 ways; GPU fills its 1 way; neither evicts the other.
+  for (u64 i = 0; i < 3; ++i) t = hm.access(t, Requestor::Cpu, i * set_stride, false);
+  t = hm.access(t, Requestor::Gpu, 10 * set_stride, false);
+  // All four still resident:
+  for (u64 i = 0; i < 3; ++i) t = hm.access(t, Requestor::Cpu, i * set_stride, false);
+  t = hm.access(t, Requestor::Gpu, 10 * set_stride, false);
+  EXPECT_EQ(hm.stats(Requestor::Cpu).fast_hits, 3u);
+  EXPECT_EQ(hm.stats(Requestor::Gpu).fast_hits, 1u);
+  // GPU streaming through many blocks cannot displace CPU blocks.
+  for (u64 i = 0; i < 32; ++i) t = hm.access(t, Requestor::Gpu, (20 + i) * set_stride, false);
+  for (u64 i = 0; i < 3; ++i) t = hm.access(t, Requestor::Cpu, i * set_stride, false);
+  EXPECT_EQ(hm.stats(Requestor::Cpu).fast_hits, 6u);
+}
+
+TEST(HybridMemory, InstantReconfigRewritesOwnership) {
+  MemorySystem mem(small_mem());
+  WayPartPolicy pol(0.75);
+  HybridMemory hm(small_hybrid(), &mem, &pol);
+  hm.access(0, Requestor::Cpu, 0, false);
+  hm.run_instant_reconfig();
+  // Owners must match the policy everywhere after the sweep.
+  for (u32 s = 0; s < hm.num_sets(); ++s) {
+    for (u32 w = 0; w < hm.assoc(); ++w) {
+      EXPECT_EQ(hm.table().way(s, w).owner_cpu,
+                pol.way_owner(s, w) == Requestor::Cpu);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace h2

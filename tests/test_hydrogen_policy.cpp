@@ -1,0 +1,255 @@
+#include "hydrogen/hydrogen_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hybridmem/hybrid_memory.h"
+
+namespace h2 {
+namespace {
+
+PolicyContext gctx(Requestor cls, Cycle now = 0, u32 set = 0, u64 tag = 0) {
+  PolicyContext c;
+  c.cls = cls;
+  c.now = now;
+  c.set = set;
+  c.tag = tag;
+  return c;
+}
+
+HydrogenConfig dp_only() {
+  HydrogenConfig c;
+  c.decoupled = true;
+  c.token = false;
+  c.search = false;
+  return c;
+}
+
+TEST(HydrogenPolicy, FixedHeuristicPoint) {
+  // DP default: 75% capacity and 25% of the channels to the CPU.
+  HydrogenPolicy p(dp_only());
+  p.bind(4, 4, 256);
+  EXPECT_EQ(p.partition().cap(), 3u);
+  EXPECT_EQ(p.partition().bw(), 1u);
+}
+
+TEST(HydrogenPolicy, WayRightsFollowPartition) {
+  HydrogenPolicy p(dp_only());
+  p.bind(4, 4, 256);
+  for (u32 s = 0; s < 64; ++s) {
+    u32 cpu_ways = 0;
+    for (u32 w = 0; w < 4; ++w) {
+      const bool cpu = p.way_allowed(s, w, Requestor::Cpu);
+      const bool gpu = p.way_allowed(s, w, Requestor::Gpu);
+      EXPECT_NE(cpu, gpu);  // exactly one side owns each way
+      EXPECT_EQ(p.way_owner(s, w), cpu ? Requestor::Cpu : Requestor::Gpu);
+      cpu_ways += cpu;
+    }
+    EXPECT_EQ(cpu_ways, 3u);
+  }
+}
+
+TEST(HydrogenPolicy, DecoupledVsCoupledMapping) {
+  HydrogenConfig coupled = dp_only();
+  coupled.decoupled = false;
+  HydrogenPolicy pc(coupled);
+  pc.bind(4, 4, 256);
+  // Coupled: way w -> channel w regardless of set.
+  for (u32 s = 0; s < 16; ++s) {
+    for (u32 w = 0; w < 4; ++w) EXPECT_EQ(pc.channel_of_way(s, w), w);
+  }
+  // Decoupled: GPU ways spread across the shared channels over sets.
+  HydrogenPolicy pd(dp_only());
+  pd.bind(4, 4, 256);
+  std::set<u32> gpu_channels;
+  for (u32 s = 0; s < 64; ++s) {
+    for (u32 w = 0; w < 4; ++w) {
+      if (pd.way_owner(s, w) == Requestor::Gpu) gpu_channels.insert(pd.channel_of_way(s, w));
+    }
+  }
+  EXPECT_EQ(gpu_channels.size(), 3u);
+}
+
+TEST(HydrogenPolicy, TokensThrottleGpuOnly) {
+  HydrogenConfig c = dp_only();
+  c.token = true;
+  c.faucet_period = 1000;
+  HydrogenPolicy p(c);
+  p.bind(4, 4, 256);
+  // Establish a miss rate so the budget becomes finite.
+  EpochFeedback fb;
+  fb.epoch_cycles = 1000;
+  fb.gpu_misses = 1000;  // 1 miss/cycle
+  fb.now = 1000;
+  p.on_epoch(fb);
+  // Budget = 15% x 1000 = 150 tokens per 1000-cycle period.
+  u32 allowed = 0;
+  for (u32 i = 0; i < 1000; ++i) {
+    allowed += p.allow_migration(gctx(Requestor::Gpu, 2000, 0, i), false);
+  }
+  EXPECT_LE(allowed, 160u);
+  EXPECT_GE(allowed, 100u);
+  // CPU is never throttled.
+  for (u32 i = 0; i < 100; ++i) {
+    EXPECT_TRUE(p.allow_migration(gctx(Requestor::Cpu, 2000, 0, i), true));
+  }
+}
+
+TEST(HydrogenPolicy, DirtyMigrationCostsTwoTokens) {
+  HydrogenConfig c = dp_only();
+  c.token = true;
+  c.faucet_period = 1000;
+  HydrogenPolicy p(c);
+  p.bind(4, 4, 256);
+  EpochFeedback fb;
+  fb.epoch_cycles = 1000;
+  fb.gpu_misses = 100;
+  p.on_epoch(fb);  // budget = 15 tokens
+  u32 clean = 0, dirty = 0;
+  HydrogenPolicy q(c);
+  q.bind(4, 4, 256);
+  q.on_epoch(fb);
+  for (u32 i = 0; i < 100; ++i) clean += p.allow_migration(gctx(Requestor::Gpu, 2000), false);
+  for (u32 i = 0; i < 100; ++i) dirty += q.allow_migration(gctx(Requestor::Gpu, 2000), true);
+  EXPECT_NEAR(clean, 2 * dirty, 2);
+}
+
+TEST(HydrogenPolicy, SearchMovesTheActivePoint) {
+  HydrogenConfig c;
+  c.search = true;
+  HydrogenPolicy p(c);
+  p.bind(4, 4, 256);
+  const ParamPoint start = p.active_point();
+  // Feed an objective that grows with cap: the climber must move cap.
+  for (int e = 0; e < 10; ++e) {
+    EpochFeedback fb;
+    fb.epoch_cycles = 1000;
+    fb.now = 1000 * (e + 1);
+    fb.weighted_ipc = 1.0 + 0.1 * p.active_point().cap - 0.01 * p.active_point().bw;
+    p.on_epoch(fb);
+  }
+  EXPECT_GT(p.reconfigurations(), 0u);
+  (void)start;
+}
+
+TEST(HydrogenPolicy, ApplyPointReconfiguresPartition) {
+  HydrogenPolicy p(dp_only());
+  p.bind(4, 4, 256);
+  EXPECT_TRUE(p.apply_point(ParamPoint{2, 2, 0}));
+  EXPECT_EQ(p.partition().cap(), 2u);
+  EXPECT_EQ(p.partition().bw(), 2u);
+  EXPECT_FALSE(p.apply_point(ParamPoint{2, 2, 0}));  // no change
+}
+
+TEST(HydrogenPolicy, SwapPromotesReReferencedSpillBlocks) {
+  // Drive real CPU traffic with reuse through the hybrid memory: blocks that
+  // hit repeatedly in spill ways must get promoted into dedicated channels
+  // via fast-memory swaps; blocks touched once must not.
+  MemSystemConfig mcfg = MemSystemConfig::table1_default();
+  MemorySystem mem(mcfg);
+  HydrogenConfig c = dp_only();
+  c.swap = SwapMode::On;
+  HydrogenPolicy p(c);
+  HybridMemConfig hcfg;
+  hcfg.fast_capacity_bytes = 64 * 1024;
+  hcfg.slow_capacity_bytes = 1 << 20;
+  HybridMemory hm(hcfg, &mem, &p);
+
+  const u64 set_stride = 256ull * hm.num_sets();
+  Cycle t = 0;
+  // Fill set 0's three CPU ways, then re-reference all blocks repeatedly:
+  // whichever landed in a spill way becomes hot and must be swapped inward.
+  for (int round = 0; round < 6; ++round) {
+    for (u64 i = 0; i < 3; ++i) {
+      t = hm.access(t, Requestor::Cpu, i * set_stride, false) + 1;
+    }
+  }
+  EXPECT_GT(hm.stats(Requestor::Cpu).fast_swaps, 0u);
+  // After promotion, every resident CPU block with high reuse should sit on
+  // its way's configured channel (swap maintained the mapping invariant).
+  for (u32 w = 0; w < hm.assoc(); ++w) {
+    const RemapWay& rw = hm.table().way(0, w);
+    if (rw.valid) EXPECT_EQ(rw.channel, p.channel_of_way(0, w));
+  }
+}
+
+TEST(HydrogenPolicy, NoSwapWithoutReReference) {
+  MemSystemConfig mcfg = MemSystemConfig::table1_default();
+  MemorySystem mem(mcfg);
+  HydrogenConfig c = dp_only();
+  HydrogenPolicy p(c);
+  HybridMemConfig hcfg;
+  hcfg.fast_capacity_bytes = 64 * 1024;
+  hcfg.slow_capacity_bytes = 1 << 20;
+  HybridMemory hm(hcfg, &mem, &p);
+  // Stream CPU blocks touched exactly once: no block earns a promotion.
+  Cycle t = 0;
+  for (u64 i = 0; i < 256; ++i) {
+    t = hm.access(t, Requestor::Cpu, i * 256, false) + 1;
+  }
+  EXPECT_EQ(hm.stats(Requestor::Cpu).fast_swaps, 0u);
+}
+
+TEST(HydrogenPolicy, NoSwapForGpuOrNonSpillWays) {
+  MemSystemConfig mcfg = MemSystemConfig::table1_default();
+  MemorySystem mem(mcfg);
+  HydrogenConfig c = dp_only();
+  HydrogenPolicy p(c);
+  HybridMemConfig hcfg;
+  hcfg.fast_capacity_bytes = 64 * 1024;
+  hcfg.slow_capacity_bytes = 1 << 20;
+  HybridMemory hm(hcfg, &mem, &p);
+
+  for (u32 w = 0; w < 4; ++w) {
+    if (!p.partition().is_cpu_spill_way(0, w)) {
+      EXPECT_EQ(p.pick_swap_way(gctx(Requestor::Cpu, 0, 0), w), -1);
+    }
+    EXPECT_EQ(p.pick_swap_way(gctx(Requestor::Gpu, 0, 0), w), -1);
+  }
+}
+
+TEST(HydrogenPolicy, SwapModeOffDisablesSwaps) {
+  MemSystemConfig mcfg = MemSystemConfig::table1_default();
+  MemorySystem mem(mcfg);
+  HydrogenConfig c = dp_only();
+  c.swap = SwapMode::Off;
+  HydrogenPolicy p(c);
+  HybridMemConfig hcfg;
+  hcfg.fast_capacity_bytes = 64 * 1024;
+  hcfg.slow_capacity_bytes = 1 << 20;
+  HybridMemory hm(hcfg, &mem, &p);
+  for (u32 s = 0; s < 8; ++s) {
+    for (u32 w = 0; w < 4; ++w) {
+      EXPECT_EQ(p.pick_swap_way(gctx(Requestor::Cpu, 0, s), w), -1);
+    }
+  }
+}
+
+TEST(HydrogenPolicy, PhaseRestartReopensConvergedSearch) {
+  HydrogenConfig c;
+  c.search = true;
+  c.phase_length = 50'000;
+  HydrogenPolicy p(c);
+  p.bind(4, 4, 256);
+  // Flat objective -> converges quickly.
+  for (int e = 0; e < 12; ++e) {
+    EpochFeedback fb;
+    fb.epoch_cycles = 1000;
+    fb.now = 1000 * (e + 1);
+    fb.weighted_ipc = 1.0;
+    p.on_epoch(fb);
+  }
+  ASSERT_NE(p.climber(), nullptr);
+  EXPECT_TRUE(p.climber()->converged());
+  // Cross the phase boundary: search must reopen.
+  EpochFeedback fb;
+  fb.epoch_cycles = 1000;
+  fb.now = 60'000;
+  fb.weighted_ipc = 1.0;
+  p.on_epoch(fb);
+  EXPECT_FALSE(p.climber()->converged());
+}
+
+}  // namespace
+}  // namespace h2

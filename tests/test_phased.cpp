@@ -1,0 +1,108 @@
+// PhasedGenerator: cyclic behaviour changes for the phase-adaptation story
+// (paper Section IV-C), plus DRAM refresh (tREFI/tRFC) checks.
+#include <gtest/gtest.h>
+
+#include "mem/channel.h"
+#include "trace/generators.h"
+#include "trace/workloads.h"
+
+namespace h2 {
+namespace {
+
+WorkloadSpec stream_like() {
+  WorkloadSpec s;
+  s.name = "p-stream";
+  s.footprint_bytes = 1 << 20;
+  s.mix = {1.0, 0.0, 0.0, 0.0, 0.0};
+  s.mean_gap = 5;
+  s.dep_prob = 0.0;
+  return s;
+}
+
+WorkloadSpec chase_like() {
+  WorkloadSpec s;
+  s.name = "p-chase";
+  s.footprint_bytes = 2 << 20;
+  s.mix = {0.0, 0.0, 0.0, 1.0, 0.0};
+  s.mean_gap = 20;
+  s.dep_prob = 0.5;
+  return s;
+}
+
+TEST(PhasedGenerator, SwitchesAtPhaseBoundaries) {
+  PhasedGenerator g("p", {{stream_like(), 100}, {chase_like(), 50}}, 1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(g.current_phase(), 0u);
+    g.next();
+  }
+  g.next();
+  EXPECT_EQ(g.current_phase(), 1u);
+  for (int i = 0; i < 49; ++i) g.next();
+  g.next();
+  EXPECT_EQ(g.current_phase(), 0u);  // wrapped
+  EXPECT_EQ(g.phase_switches(), 2u);
+}
+
+TEST(PhasedGenerator, PhaseBehaviourMatchesSpecs) {
+  PhasedGenerator g("p", {{stream_like(), 1000}, {chase_like(), 1000}}, 3);
+  int dep_first = 0, dep_second = 0;
+  for (int i = 0; i < 1000; ++i) dep_first += g.next().dependent;
+  for (int i = 0; i < 1000; ++i) dep_second += g.next().dependent;
+  EXPECT_EQ(dep_first, 0);
+  EXPECT_GT(dep_second, 900);  // chase accesses are dependent
+}
+
+TEST(PhasedGenerator, FootprintIsMaxOverPhases) {
+  PhasedGenerator g("p", {{stream_like(), 10}, {chase_like(), 10}}, 5);
+  EXPECT_EQ(g.footprint_bytes(), 2u << 20);
+}
+
+TEST(PhasedGenerator, ResetRestartsEverything) {
+  PhasedGenerator g("p", {{stream_like(), 64}, {chase_like(), 64}}, 7);
+  std::vector<Addr> first;
+  for (int i = 0; i < 200; ++i) first.push_back(g.next().addr);
+  g.reset();
+  EXPECT_EQ(g.current_phase(), 0u);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(g.next().addr, first[i]);
+}
+
+TEST(PhasedGenerator, DeterministicForSeed) {
+  PhasedGenerator a("p", {{stream_like(), 32}, {chase_like(), 32}}, 9);
+  PhasedGenerator b("p", {{stream_like(), 32}, {chase_like(), 32}}, 9);
+  for (int i = 0; i < 500; ++i) EXPECT_EQ(a.next().addr, b.next().addr);
+}
+
+// --- DRAM refresh ---------------------------------------------------------
+
+TEST(Refresh, PeriodicRefreshAddsStallTime) {
+  DramTiming with = ddr4_3200_timing();
+  DramTiming without = ddr4_3200_timing();
+  without.t_refi = 0;  // disables refresh
+  Channel a(with, 3.2, 0), b(without, 3.2, 1);
+  // Stream for a while; the refreshing channel must finish later.
+  Cycle ta = 0, tb = 0;
+  for (u32 i = 0; i < 20'000; ++i) {
+    ta = a.request(ta, static_cast<Addr>(i) * 64, 64, false).done;
+    tb = b.request(tb, static_cast<Addr>(i) * 64, 64, false).done;
+  }
+  EXPECT_GT(a.refreshes(), 0u);
+  EXPECT_EQ(b.refreshes(), 0u);
+  EXPECT_GT(ta, tb);
+  // tRFC/tREFI = 560/12480 ~ 4.5%: the slowdown must be in that ballpark.
+  const double overhead = static_cast<double>(ta - tb) / static_cast<double>(tb);
+  EXPECT_GT(overhead, 0.01);
+  EXPECT_LT(overhead, 0.12);
+}
+
+TEST(Refresh, RefreshCountTracksElapsedTime) {
+  DramTiming t = ddr4_3200_timing();
+  Channel ch(t, 3.2, 0);
+  // One request far in the future: all overdue refreshes are applied.
+  const Cycle now = 1'000'000;
+  ch.request(now, 0, 64, false);
+  const u64 c_refi = static_cast<u64>(t.t_refi * 2);  // 1600 MHz -> x2 core cycles
+  EXPECT_NEAR(static_cast<double>(ch.refreshes()), now / static_cast<double>(c_refi), 2.0);
+}
+
+}  // namespace
+}  // namespace h2

@@ -1,0 +1,162 @@
+#include "policies/baseline.h"
+#include "policies/hashcache.h"
+#include "policies/profess.h"
+#include "policies/waypart.h"
+
+#include <gtest/gtest.h>
+
+namespace h2 {
+namespace {
+
+PolicyContext ctx(Requestor cls, u32 set = 0, u64 tag = 0) {
+  PolicyContext c;
+  c.cls = cls;
+  c.set = set;
+  c.tag = tag;
+  return c;
+}
+
+TEST(Baseline, SharesEverything) {
+  BaselinePolicy p;
+  p.bind(4, 4, 64);
+  for (u32 s = 0; s < 8; ++s) {
+    for (u32 w = 0; w < 4; ++w) {
+      EXPECT_TRUE(p.way_allowed(s, w, Requestor::Cpu));
+      EXPECT_TRUE(p.way_allowed(s, w, Requestor::Gpu));
+      EXPECT_LT(p.channel_of_way(s, w), 4u);
+    }
+  }
+  EXPECT_TRUE(p.allow_migration(ctx(Requestor::Gpu), true));
+}
+
+TEST(Baseline, InterleavesWaysAcrossChannels) {
+  BaselinePolicy p;
+  p.bind(4, 4, 64);
+  // Within a set, the 4 ways cover all 4 channels.
+  for (u32 s = 0; s < 8; ++s) {
+    u32 mask = 0;
+    for (u32 w = 0; w < 4; ++w) mask |= 1u << p.channel_of_way(s, w);
+    EXPECT_EQ(mask, 0xFu);
+  }
+}
+
+TEST(WayPart, SplitsWays75_25) {
+  WayPartPolicy p(0.75);
+  p.bind(4, 4, 64);
+  EXPECT_EQ(p.cpu_ways(), 3u);
+  for (u32 w = 0; w < 3; ++w) {
+    EXPECT_TRUE(p.way_allowed(0, w, Requestor::Cpu));
+    EXPECT_FALSE(p.way_allowed(0, w, Requestor::Gpu));
+    EXPECT_EQ(p.way_owner(0, w), Requestor::Cpu);
+  }
+  EXPECT_TRUE(p.way_allowed(0, 3, Requestor::Gpu));
+  EXPECT_FALSE(p.way_allowed(0, 3, Requestor::Cpu));
+  EXPECT_EQ(p.way_owner(0, 3), Requestor::Gpu);
+}
+
+TEST(WayPart, CoupledMappingStarvesGpuBandwidth) {
+  // The defining drawback (Fig. 3(a)): the GPU's single way always maps to a
+  // single channel, i.e. 25% of the bandwidth for 25% of the capacity.
+  WayPartPolicy p(0.75);
+  p.bind(4, 4, 64);
+  std::set<u32> gpu_channels;
+  for (u32 s = 0; s < 64; ++s) gpu_channels.insert(p.channel_of_way(s, 3));
+  EXPECT_EQ(gpu_channels.size(), 1u);
+}
+
+TEST(WayPart, AlwaysLeavesOneWayPerSide) {
+  WayPartPolicy hi(0.99), lo(0.01);
+  hi.bind(4, 4, 64);
+  lo.bind(4, 4, 64);
+  EXPECT_EQ(hi.cpu_ways(), 3u);
+  EXPECT_EQ(lo.cpu_ways(), 1u);
+  WayPartPolicy direct(0.75);
+  direct.bind(4, 1, 64);  // direct-mapped degenerates to shared
+  EXPECT_TRUE(direct.way_allowed(0, 0, Requestor::Gpu));
+}
+
+TEST(HAShCache, CpuAlwaysMigrates) {
+  HAShCachePolicy p;
+  p.bind(4, 1, 64);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(p.allow_migration(ctx(Requestor::Cpu, 0, i), false));
+  }
+}
+
+TEST(HAShCache, GpuMigratesOnlyOnRepeatedMiss) {
+  HAShCachePolicy p;
+  p.bind(4, 1, 64);
+  // First miss of a streaming tag: bypass. Second miss of the same tag:
+  // migrate (reuse detected).
+  EXPECT_FALSE(p.allow_migration(ctx(Requestor::Gpu, 0, 1234), false));
+  EXPECT_TRUE(p.allow_migration(ctx(Requestor::Gpu, 0, 1234), false));
+  EXPECT_EQ(p.filter_hits(), 1u);
+  // Pure streaming (all distinct tags) never migrates.
+  u32 migrated = 0;
+  for (u64 t = 100'000; t < 100'200; ++t) {
+    migrated += p.allow_migration(ctx(Requestor::Gpu, 0, t), false);
+  }
+  EXPECT_LT(migrated, 4u);  // only accidental filter collisions
+}
+
+TEST(Profess, ProbabilityGatesMigrations) {
+  ProfessConfig cfg;
+  cfg.p_init = 0.5;
+  ProfessPolicy p(cfg);
+  p.bind(4, 4, 64);
+  u32 allowed = 0;
+  const u32 n = 4000;
+  for (u32 i = 0; i < n; ++i) allowed += p.allow_migration(ctx(Requestor::Gpu, 0, i), false);
+  EXPECT_NEAR(allowed / static_cast<double>(n), 0.5, 0.05);
+}
+
+TEST(Profess, CongestionWithoutBenefitLowersProbability) {
+  ProfessPolicy p;
+  p.bind(4, 4, 64);
+  const double before = p.probability(Requestor::Gpu);
+  // Feed epochs: heavy slow backlog, falling hit rate, GPU ahead on weighted
+  // throughput (so fairness also pushes GPU down).
+  for (int e = 0; e < 10; ++e) {
+    // Declining hit-rate signal: many misses, no hits.
+    for (int i = 0; i < 100; ++i) p.note_miss(ctx(Requestor::Gpu, 0, i), true);
+    for (int i = 0; i < 100; ++i) p.note_hit(ctx(Requestor::Cpu, 0, i), 0);
+    EpochFeedback fb;
+    fb.epoch_cycles = 100'000;
+    fb.cpu_instructions = 1'000;     // weighted 12k
+    fb.gpu_instructions = 1'000'000; // weighted 1M -> GPU is the "winner"
+    fb.slow_backlog = 1'000'000;     // congested
+    p.on_epoch(fb);
+  }
+  EXPECT_LT(p.probability(Requestor::Gpu), before);
+}
+
+TEST(Profess, FairnessBoostsTheLoser) {
+  ProfessConfig cfg;
+  cfg.p_init = 0.5;
+  ProfessPolicy p(cfg);
+  p.bind(4, 4, 64);
+  for (int e = 0; e < 6; ++e) {
+    for (int i = 0; i < 50; ++i) p.note_hit(ctx(Requestor::Cpu, 0, i), 0);
+    EpochFeedback fb;
+    fb.epoch_cycles = 100'000;
+    fb.cpu_instructions = 100;       // CPU weighted share is tiny: the loser
+    fb.gpu_instructions = 1'000'000;
+    fb.slow_backlog = 0;
+    p.on_epoch(fb);
+  }
+  EXPECT_GT(p.probability(Requestor::Cpu), p.probability(Requestor::Gpu));
+}
+
+TEST(Profess, NeverChangesMapping) {
+  ProfessPolicy p;
+  p.bind(4, 4, 64);
+  EpochFeedback fb;
+  fb.epoch_cycles = 1000;
+  EXPECT_FALSE(p.on_epoch(fb));  // no reconfiguration ever
+  for (u32 s = 0; s < 8; ++s) {
+    for (u32 w = 0; w < 4; ++w) EXPECT_EQ(p.way_owner(s, w), Requestor::Cpu);
+  }
+}
+
+}  // namespace
+}  // namespace h2

@@ -1,0 +1,255 @@
+// Parameterised property suites: invariants that must hold across the whole
+// configuration space (geometries, policies, modes), in the spirit of
+// property-based testing with explicit sweeps.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <tuple>
+
+#include "hybridmem/hybrid_memory.h"
+#include "hydrogen/decoupled_partition.h"
+#include "hydrogen/hydrogen_policy.h"
+#include "policies/baseline.h"
+#include "policies/profess.h"
+#include "policies/waypart.h"
+
+namespace h2 {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Property: for every (channels, assoc, cap, bw), the decoupled partition is
+// a well-formed mapping — counts match, channels in range, dedication
+// respected, and consistency under single-step changes.
+// ---------------------------------------------------------------------------
+class PartitionProperty
+    : public ::testing::TestWithParam<std::tuple<u32 /*channels*/, u32 /*assoc*/>> {};
+
+TEST_P(PartitionProperty, MappingIsWellFormed) {
+  const auto [channels, assoc] = GetParam();
+  DecoupledPartition p(channels, assoc);
+  for (u32 cap = p.cap_min(); cap <= p.cap_max(); ++cap) {
+    for (u32 bw = p.bw_min(); bw <= p.bw_max(); ++bw) {
+      p.set_config(cap, bw);
+      u32 ded = 0;
+      for (u32 ch = 0; ch < channels; ++ch) ded += p.is_dedicated_channel(ch);
+      if (channels >= 2) EXPECT_EQ(ded, bw);
+      for (u32 set = 0; set < 97; ++set) {
+        u32 cpu_ways = 0;
+        for (u32 w = 0; w < assoc; ++w) {
+          const u32 ch = p.channel_of_way(set, w);
+          EXPECT_LT(ch, channels);
+          if (p.is_cpu_way(set, w)) {
+            cpu_ways++;
+          } else if (channels >= 2 && bw < channels) {
+            EXPECT_FALSE(p.is_dedicated_channel(ch))
+                << "GPU way on dedicated channel: ch=" << channels << " a=" << assoc
+                << " cap=" << cap << " bw=" << bw;
+          }
+        }
+        if (assoc >= 2) EXPECT_EQ(cpu_ways, cap);
+      }
+    }
+  }
+}
+
+TEST_P(PartitionProperty, SingleStepChangesAreMinimal) {
+  const auto [channels, assoc] = GetParam();
+  if (assoc < 3) GTEST_SKIP() << "needs at least two cap values";
+  DecoupledPartition p(channels, assoc);
+  for (u32 cap = p.cap_min(); cap < p.cap_max(); ++cap) {
+    for (u32 set = 0; set < 64; ++set) {
+      p.set_config(cap, p.bw_min());
+      std::set<u32> before;
+      for (u32 w = 0; w < assoc; ++w) {
+        if (p.is_cpu_way(set, w)) before.insert(w);
+      }
+      p.set_config(cap + 1, p.bw_min());
+      u32 added = 0;
+      for (u32 w = 0; w < assoc; ++w) {
+        if (p.is_cpu_way(set, w) && !before.count(w)) added++;
+        if (!p.is_cpu_way(set, w)) EXPECT_FALSE(before.count(w));
+      }
+      EXPECT_EQ(added, 1u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, PartitionProperty,
+    ::testing::Values(std::make_tuple(4u, 4u), std::make_tuple(4u, 8u),
+                      std::make_tuple(4u, 16u), std::make_tuple(2u, 4u),
+                      std::make_tuple(8u, 4u), std::make_tuple(4u, 2u),
+                      std::make_tuple(1u, 4u), std::make_tuple(4u, 1u)),
+    [](const auto& info) {
+      return "ch" + std::to_string(std::get<0>(info.param)) + "_a" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Property: under every policy and both modes, the hybrid memory conserves
+// blocks — a migrated block hits until evicted, stats balance, and the
+// mechanism never serves stale ways after reconfiguration.
+// ---------------------------------------------------------------------------
+struct PolicyCase {
+  const char* name;
+  std::function<std::unique_ptr<PartitionPolicy>()> make;
+  HybridMode mode;
+};
+
+class HybridProperty : public ::testing::TestWithParam<PolicyCase> {};
+
+TEST_P(HybridProperty, StatsBalanceUnderRandomTraffic) {
+  const PolicyCase& pc = GetParam();
+  MemorySystem mem(MemSystemConfig::table1_default());
+  auto pol = pc.make();
+  HybridMemConfig cfg;
+  cfg.mode = pc.mode;
+  cfg.fast_capacity_bytes = 32 * 1024;
+  cfg.slow_capacity_bytes = 512 * 1024;
+  cfg.remap_cache_bytes = 8 * 1024;
+  HybridMemory hm(cfg, &mem, pol.get());
+
+  Rng rng(99);
+  Cycle t = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const Requestor cls = rng.chance(0.5) ? Requestor::Cpu : Requestor::Gpu;
+    const Addr a = rng.next_below(cfg.slow_capacity_bytes / 64) * 64;
+    const Cycle done = hm.access(t, cls, a, rng.chance(0.3));
+    EXPECT_GT(done, t);
+    t += 1 + rng.next_below(20);
+  }
+  for (u32 r = 0; r < 2; ++r) {
+    const HybridStats& s = hm.stats(static_cast<Requestor>(r));
+    EXPECT_EQ(s.demand, s.fast_hits + s.misses) << pc.name;
+    EXPECT_EQ(s.misses, s.migrations + s.bypasses + s.first_touches) << pc.name;
+    if (pc.mode == HybridMode::Cache) EXPECT_EQ(s.first_touches, 0u) << pc.name;
+  }
+  // Every valid remap entry must reference a channel inside the geometry and
+  // hold a unique tag within its set.
+  for (u32 set = 0; set < hm.num_sets(); ++set) {
+    std::set<u64> tags;
+    for (u32 w = 0; w < hm.assoc(); ++w) {
+      const RemapWay& rw = hm.table().way(set, w);
+      if (!rw.valid) continue;
+      EXPECT_LT(rw.channel, mem.num_fast_superchannels());
+      EXPECT_TRUE(tags.insert(rw.tag).second) << "duplicate tag in set " << set;
+      EXPECT_EQ(hm.set_of(rw.tag * 256), set) << "tag in wrong set";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PoliciesAndModes, HybridProperty,
+    ::testing::Values(
+        PolicyCase{"baseline_cache", [] { return std::make_unique<BaselinePolicy>(); },
+                   HybridMode::Cache},
+        PolicyCase{"baseline_flat", [] { return std::make_unique<BaselinePolicy>(); },
+                   HybridMode::Flat},
+        PolicyCase{"waypart_cache", [] { return std::make_unique<WayPartPolicy>(); },
+                   HybridMode::Cache},
+        PolicyCase{"profess_cache", [] { return std::make_unique<ProfessPolicy>(); },
+                   HybridMode::Cache},
+        PolicyCase{"hydrogen_cache",
+                   [] { return std::make_unique<HydrogenPolicy>(); }, HybridMode::Cache},
+        PolicyCase{"hydrogen_flat",
+                   [] { return std::make_unique<HydrogenPolicy>(); }, HybridMode::Flat}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+// ---------------------------------------------------------------------------
+// Property: reconfiguration safety. After arbitrary sequences of parameter
+// points, lazily-fixed state converges to the active configuration and no
+// access ever fails.
+// ---------------------------------------------------------------------------
+class ReconfigProperty : public ::testing::TestWithParam<u64 /*seed*/> {};
+
+TEST_P(ReconfigProperty, LazyFixupsConvergeToActiveConfig) {
+  MemorySystem mem(MemSystemConfig::table1_default());
+  HydrogenConfig hc;
+  hc.decoupled = true;
+  hc.token = false;
+  hc.search = false;
+  HydrogenPolicy pol(hc);
+  HybridMemConfig cfg;
+  cfg.fast_capacity_bytes = 16 * 1024;  // 16 sets
+  cfg.slow_capacity_bytes = 256 * 1024;
+  HybridMemory hm(cfg, &mem, &pol);
+
+  Rng rng(GetParam());
+  Cycle t = 0;
+  for (int round = 0; round < 8; ++round) {
+    pol.apply_point(ParamPoint{1 + static_cast<u32>(rng.next_below(3)),
+                               1 + static_cast<u32>(rng.next_below(3)), 0});
+    for (int i = 0; i < 2000; ++i) {
+      const Requestor cls = rng.chance(0.5) ? Requestor::Cpu : Requestor::Gpu;
+      const Addr a = rng.next_below(cfg.slow_capacity_bytes / 64) * 64;
+      t = hm.access(t, cls, a, rng.chance(0.3)) + 1;
+    }
+  }
+  // After sustained traffic under the final config, touch every resident
+  // block once more; afterwards every valid entry's owner bit and channel
+  // match the active configuration.
+  for (u32 set = 0; set < hm.num_sets(); ++set) {
+    for (u32 w = 0; w < hm.assoc(); ++w) {
+      const RemapWay rw = hm.table().way(set, w);
+      if (rw.valid) t = hm.access(t, rw.owner_cpu ? Requestor::Cpu : Requestor::Gpu,
+                                  rw.tag * 256, false) + 1;
+    }
+  }
+  for (u32 set = 0; set < hm.num_sets(); ++set) {
+    for (u32 w = 0; w < hm.assoc(); ++w) {
+      const RemapWay& rw = hm.table().way(set, w);
+      if (!rw.valid) continue;
+      EXPECT_EQ(rw.owner_cpu, pol.way_owner(set, w) == Requestor::Cpu);
+      EXPECT_EQ(rw.channel, pol.channel_of_way(set, w));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReconfigProperty, ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------------------------------------------------------------------------
+// Property: token accounting. Migration counts never exceed the token budget
+// across a sweep of budgets.
+// ---------------------------------------------------------------------------
+class TokenProperty : public ::testing::TestWithParam<u32 /*tok level idx*/> {};
+
+TEST_P(TokenProperty, GpuMigrationsBoundedByBudget) {
+  MemorySystem mem(MemSystemConfig::table1_default());
+  HydrogenConfig hc;
+  hc.token = true;
+  hc.search = false;
+  hc.faucet_period = 10'000;
+  HydrogenPolicy pol(hc);
+  HybridMemConfig cfg;
+  cfg.fast_capacity_bytes = 32 * 1024;
+  cfg.slow_capacity_bytes = 512 * 1024;
+  HybridMemory hm(cfg, &mem, &pol);
+
+  // Establish a miss-rate estimate, then pin the token level via apply_point.
+  EpochFeedback fb;
+  fb.epoch_cycles = 10'000;
+  fb.gpu_misses = 10'000;  // 1/cycle -> budget = level * 10'000
+  pol.on_epoch(fb);
+  const u32 level = GetParam();
+  pol.apply_point(ParamPoint{3, 1, level});
+
+  // One faucet period of pure GPU streaming misses.
+  Rng rng(7);
+  Cycle t = 20'000;  // aligned after refills
+  const u64 migr_before = hm.stats(Requestor::Gpu).migrations;
+  for (int i = 0; i < 3000; ++i) {
+    const Addr a = rng.next_below(cfg.slow_capacity_bytes / 256) * 256;
+    hm.access(t, Requestor::Gpu, a, false);
+    t += 3;  // stays within one period
+  }
+  const u64 migrations = hm.stats(Requestor::Gpu).migrations - migr_before;
+  const double frac = pol.config().tok_levels[level];
+  const u64 budget = static_cast<u64>(frac * 10'000);
+  EXPECT_LE(migrations, budget + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, TokenProperty, ::testing::Values(0u, 1u, 3u, 5u, 7u));
+
+}  // namespace
+}  // namespace h2

@@ -1,0 +1,198 @@
+// Reconfiguration mechanics (paper Section IV-D): consistent-hashing way
+// selection bounds the number of relocated blocks; lazy fixups and instant
+// reconfiguration reach the same steady state; the alloc-bit bookkeeping
+// stays coherent through arbitrary parameter changes.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hybridmem/hybrid_memory.h"
+#include "hydrogen/hydrogen_policy.h"
+
+namespace h2 {
+namespace {
+
+HybridMemConfig small_cfg() {
+  HybridMemConfig h;
+  h.fast_capacity_bytes = 32 * 1024;  // 32 sets
+  h.slow_capacity_bytes = 512 * 1024;
+  h.remap_cache_bytes = 16 * 1024;
+  return h;
+}
+
+HydrogenConfig static_cfg() {
+  HydrogenConfig c;
+  c.decoupled = true;
+  c.token = false;
+  c.search = false;
+  return c;
+}
+
+/// Fills all CPU ways of every set with CPU blocks.
+Cycle warm_cpu(HybridMemory& hm, Cycle t) {
+  const u64 stride = 256ull * hm.num_sets();
+  for (u32 set = 0; set < hm.num_sets(); ++set) {
+    for (u64 blk = 0; blk < 3; ++blk) {
+      t = hm.access(t, Requestor::Cpu, set * 256 + blk * stride, false) + 1;
+    }
+  }
+  return t;
+}
+
+TEST(Reconfiguration, CapStepInvalidatesAtMostOneWayPerSet) {
+  MemorySystem mem(MemSystemConfig::table1_default());
+  HydrogenPolicy pol(static_cfg());
+  HybridMemory hm(small_cfg(), &mem, &pol);
+  Cycle t = warm_cpu(hm, 0);
+
+  // cap 3 -> 2: exactly one way per set changes owner (HRW consistency).
+  pol.apply_point(ParamPoint{2, 1, 0});
+  u32 mismatched_total = 0;
+  for (u32 set = 0; set < hm.num_sets(); ++set) {
+    u32 mismatched = 0;
+    for (u32 w = 0; w < hm.assoc(); ++w) {
+      const RemapWay& rw = hm.table().way(set, w);
+      if (rw.valid &&
+          rw.owner_cpu != (pol.way_owner(set, w) == Requestor::Cpu)) {
+        mismatched++;
+      }
+    }
+    EXPECT_LE(mismatched, 1u) << "set " << set;
+    mismatched_total += mismatched;
+  }
+  EXPECT_GT(mismatched_total, 0u);  // something must actually change
+  (void)t;
+}
+
+TEST(Reconfiguration, LazyAndInstantConvergeToSameOwnership) {
+  MemorySystem mem_a(MemSystemConfig::table1_default());
+  MemorySystem mem_b(MemSystemConfig::table1_default());
+  HydrogenPolicy pol_a(static_cfg());
+  HydrogenPolicy pol_b(static_cfg());
+  HybridMemory lazy(small_cfg(), &mem_a, &pol_a);
+  HybridMemory instant(small_cfg(), &mem_b, &pol_b);
+
+  Cycle t = warm_cpu(lazy, 0);
+  warm_cpu(instant, 0);
+
+  pol_a.apply_point(ParamPoint{2, 2, 0});
+  pol_b.apply_point(ParamPoint{2, 2, 0});
+  instant.run_instant_reconfig();
+
+  // Touch every (set, way 0..3) block once in the lazy copy to trigger the
+  // fixups, then ownership bits must agree everywhere with the instant copy.
+  for (u32 set = 0; set < lazy.num_sets(); ++set) {
+    for (u32 w = 0; w < lazy.assoc(); ++w) {
+      const RemapWay rw = lazy.table().way(set, w);
+      if (rw.valid) {
+        t = lazy.access(t, rw.owner_cpu ? Requestor::Cpu : Requestor::Gpu,
+                        rw.tag * 256, false) + 1;
+      }
+    }
+  }
+  for (u32 set = 0; set < lazy.num_sets(); ++set) {
+    for (u32 w = 0; w < lazy.assoc(); ++w) {
+      EXPECT_EQ(lazy.table().way(set, w).owner_cpu,
+                instant.table().way(set, w).owner_cpu)
+          << "set " << set << " way " << w;
+    }
+  }
+}
+
+TEST(Reconfiguration, LazyInvalidationWritesBackDirtyBlocks) {
+  MemorySystem mem(MemSystemConfig::table1_default());
+  HydrogenPolicy pol(static_cfg());
+  HybridMemory hm(small_cfg(), &mem, &pol);
+  // Fill CPU ways with dirty blocks.
+  const u64 stride = 256ull * hm.num_sets();
+  Cycle t = 0;
+  for (u64 blk = 0; blk < 3; ++blk) t = hm.access(t, Requestor::Cpu, blk * stride, true) + 1;
+
+  pol.apply_point(ParamPoint{1, 1, 0});  // shrink CPU share: 2 ways flip to GPU
+  const u64 wb_before = hm.stats(Requestor::Cpu).dirty_writebacks +
+                        hm.stats(Requestor::Gpu).dirty_writebacks;
+  // GPU touches its newly-owned ways' blocks: misplaced dirty CPU blocks must
+  // be written back before invalidation.
+  for (u64 blk = 0; blk < 3; ++blk) t = hm.access(t, Requestor::Gpu, blk * stride, false) + 1;
+  const u64 wb_after = hm.stats(Requestor::Cpu).dirty_writebacks +
+                       hm.stats(Requestor::Gpu).dirty_writebacks;
+  EXPECT_GT(wb_after, wb_before);
+  EXPECT_GT(hm.stats(Requestor::Gpu).lazy_invalidations, 0u);
+}
+
+TEST(Reconfiguration, BwChangeRelocatesViaLazyMoves) {
+  MemorySystem mem(MemSystemConfig::table1_default());
+  HydrogenPolicy pol(static_cfg());
+  HybridMemory hm(small_cfg(), &mem, &pol);
+  Cycle t = warm_cpu(hm, 0);
+
+  // Changing bw remaps some CPU ways to different channels; owners stay CPU,
+  // so re-touching the blocks must use lazy *moves*, not invalidations.
+  pol.apply_point(ParamPoint{3, 2, 0});
+  const u64 moves_before = hm.stats(Requestor::Cpu).lazy_moves;
+  for (u32 set = 0; set < hm.num_sets(); ++set) {
+    for (u32 w = 0; w < hm.assoc(); ++w) {
+      const RemapWay rw = hm.table().way(set, w);
+      if (rw.valid && rw.owner_cpu) {
+        t = hm.access(t, Requestor::Cpu, rw.tag * 256, false) + 1;
+      }
+    }
+  }
+  EXPECT_GT(hm.stats(Requestor::Cpu).lazy_moves, moves_before);
+  // After the touches, every valid entry sits on its configured channel.
+  for (u32 set = 0; set < hm.num_sets(); ++set) {
+    for (u32 w = 0; w < hm.assoc(); ++w) {
+      const RemapWay& rw = hm.table().way(set, w);
+      if (rw.valid) EXPECT_EQ(rw.channel, pol.channel_of_way(set, w));
+    }
+  }
+}
+
+TEST(Reconfiguration, InstantReconfigIsIdempotent) {
+  MemorySystem mem(MemSystemConfig::table1_default());
+  HydrogenPolicy pol(static_cfg());
+  HybridMemory hm(small_cfg(), &mem, &pol);
+  warm_cpu(hm, 0);
+  pol.apply_point(ParamPoint{2, 2, 0});
+  hm.run_instant_reconfig();
+  // Snapshot, run again, compare: nothing should change.
+  std::vector<RemapWay> snap;
+  for (u32 s = 0; s < hm.num_sets(); ++s) {
+    for (u32 w = 0; w < hm.assoc(); ++w) snap.push_back(hm.table().way(s, w));
+  }
+  hm.run_instant_reconfig();
+  size_t i = 0;
+  for (u32 s = 0; s < hm.num_sets(); ++s) {
+    for (u32 w = 0; w < hm.assoc(); ++w, ++i) {
+      EXPECT_EQ(hm.table().way(s, w).valid, snap[i].valid);
+      EXPECT_EQ(hm.table().way(s, w).tag, snap[i].tag);
+      EXPECT_EQ(hm.table().way(s, w).channel, snap[i].channel);
+    }
+  }
+}
+
+TEST(Reconfiguration, TokenOnlyChangesNeedNoDataMovement) {
+  // Paper IV-D: applying a new tok value is free — no lazy fixups follow.
+  MemorySystem mem(MemSystemConfig::table1_default());
+  HydrogenConfig cfg = static_cfg();
+  cfg.token = true;
+  HydrogenPolicy pol(cfg);
+  HybridMemory hm(small_cfg(), &mem, &pol);
+  Cycle t = warm_cpu(hm, 0);
+
+  const ParamPoint p = pol.active_point();
+  pol.apply_point(ParamPoint{p.cap, p.bw, (p.tok + 1) % 8});
+  for (u32 set = 0; set < hm.num_sets(); ++set) {
+    for (u32 w = 0; w < hm.assoc(); ++w) {
+      const RemapWay rw = hm.table().way(set, w);
+      if (rw.valid && rw.owner_cpu) {
+        t = hm.access(t, Requestor::Cpu, rw.tag * 256, false) + 1;
+      }
+    }
+  }
+  EXPECT_EQ(hm.stats(Requestor::Cpu).lazy_invalidations, 0u);
+  EXPECT_EQ(hm.stats(Requestor::Cpu).lazy_moves, 0u);
+}
+
+}  // namespace
+}  // namespace h2

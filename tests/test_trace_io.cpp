@@ -1,0 +1,76 @@
+#include "trace/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "trace/workloads.h"
+
+namespace h2 {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(TraceIo, RoundTripPreservesAccesses) {
+  const std::string path = temp_path("h2_trace_roundtrip.bin");
+  WorkloadSpec s = cpu_workload_spec("gcc");
+  SyntheticGenerator gen(s, 42);
+  const u64 n = 5000;
+  const u64 bytes = record_trace(gen, n, path);
+  EXPECT_GT(bytes, n * 12);
+
+  u64 footprint = 0;
+  const auto loaded = load_trace(path, &footprint);
+  ASSERT_EQ(loaded.size(), n);
+  EXPECT_EQ(footprint, s.footprint_bytes);
+
+  gen.reset();
+  for (u64 i = 0; i < n; ++i) {
+    const Access a = gen.next();
+    EXPECT_EQ(loaded[i].addr, a.addr);
+    EXPECT_EQ(loaded[i].gap, a.gap);
+    EXPECT_EQ(loaded[i].write, a.write);
+    EXPECT_EQ(loaded[i].dependent, a.dependent);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, ReplayFromFileUsesHeaderFootprint) {
+  const std::string path = temp_path("h2_trace_replay.bin");
+  WorkloadSpec s = gpu_workload_spec("bfs");
+  SyntheticGenerator gen(s, 7);
+  record_trace(gen, 100, path);
+
+  ReplayGenerator replay = replay_from_file("bfs-replay", path);
+  EXPECT_EQ(replay.footprint_bytes(), s.footprint_bytes);
+  EXPECT_EQ(replay.size(), 100u);
+
+  gen.reset();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(replay.next().addr, gen.next().addr);
+  // wraps around
+  gen.reset();
+  EXPECT_EQ(replay.next().addr, gen.next().addr);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, FlagsPackBothBits) {
+  const std::string path = temp_path("h2_trace_flags.bin");
+  std::vector<Access> t = {{0, 1, true, true}, {64, 1, false, true}, {128, 1, true, false}};
+  ReplayGenerator src("flags", t, 256);
+  record_trace(src, 3, path);
+  const auto loaded = load_trace(path);
+  ASSERT_EQ(loaded.size(), 3u);
+  EXPECT_TRUE(loaded[0].write);
+  EXPECT_TRUE(loaded[0].dependent);
+  EXPECT_FALSE(loaded[1].write);
+  EXPECT_TRUE(loaded[1].dependent);
+  EXPECT_TRUE(loaded[2].write);
+  EXPECT_FALSE(loaded[2].dependent);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace h2

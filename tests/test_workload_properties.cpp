@@ -1,0 +1,100 @@
+// Parameterised per-workload property suite: every named workload model must
+// be a well-formed, deterministic generator whose measured character matches
+// its spec. One instantiation per Table II workload (19 total).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "trace/workloads.h"
+
+namespace h2 {
+namespace {
+
+struct WorkloadCase {
+  std::string name;
+  bool gpu;
+};
+
+const WorkloadSpec& spec_of(const WorkloadCase& wc) {
+  return wc.gpu ? gpu_workload_spec(wc.name) : cpu_workload_spec(wc.name);
+}
+
+class WorkloadProperty : public ::testing::TestWithParam<WorkloadCase> {};
+
+TEST_P(WorkloadProperty, AddressesInFootprint) {
+  const WorkloadSpec& s = spec_of(GetParam());
+  SyntheticGenerator g(s, 11);
+  for (int i = 0; i < 20'000; ++i) {
+    const Access a = g.next();
+    ASSERT_LT(a.addr, s.footprint_bytes);
+    ASSERT_EQ(a.addr % 64, 0u) << "accesses are line-aligned";
+  }
+}
+
+TEST_P(WorkloadProperty, DeterministicAndResettable) {
+  const WorkloadSpec& s = spec_of(GetParam());
+  SyntheticGenerator a(s, 5), b(s, 5);
+  std::vector<Access> first;
+  for (int i = 0; i < 512; ++i) {
+    const Access x = a.next();
+    const Access y = b.next();
+    ASSERT_EQ(x.addr, y.addr);
+    ASSERT_EQ(x.gap, y.gap);
+    first.push_back(x);
+  }
+  a.reset();
+  for (int i = 0; i < 512; ++i) ASSERT_EQ(a.next().addr, first[i].addr);
+}
+
+TEST_P(WorkloadProperty, MeasuredWriteFractionMatchesSpec) {
+  const WorkloadSpec& s = spec_of(GetParam());
+  SyntheticGenerator g(s, 23);
+  const int n = 30'000;
+  int writes = 0;
+  for (int i = 0; i < n; ++i) writes += g.next().write;
+  EXPECT_NEAR(writes / static_cast<double>(n), s.write_frac, 0.02) << s.name;
+}
+
+TEST_P(WorkloadProperty, MeasuredGapMatchesSpec) {
+  const WorkloadSpec& s = spec_of(GetParam());
+  SyntheticGenerator g(s, 29);
+  const int n = 30'000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += g.next().gap;
+  EXPECT_NEAR(sum / n, s.mean_gap, s.mean_gap * 0.1) << s.name;
+}
+
+TEST_P(WorkloadProperty, GpuModelsAreLatencyTolerant) {
+  const WorkloadCase& wc = GetParam();
+  if (!wc.gpu) GTEST_SKIP();
+  SyntheticGenerator g(spec_of(wc), 31);
+  int dependent = 0;
+  for (int i = 0; i < 10'000; ++i) dependent += g.next().dependent;
+  EXPECT_EQ(dependent, 0) << "GPU kernels must not serialise on loads";
+}
+
+TEST_P(WorkloadProperty, ReuseExists) {
+  // Every workload model must show *some* block-level reuse (otherwise the
+  // fast tier would be useless and the design space degenerate).
+  const WorkloadSpec& s = spec_of(GetParam());
+  SyntheticGenerator g(s, 37);
+  std::set<Addr> blocks;
+  const int n = 30'000;
+  for (int i = 0; i < n; ++i) blocks.insert(g.next().addr / 256);
+  EXPECT_LT(blocks.size(), static_cast<size_t>(n)) << s.name;
+}
+
+std::vector<WorkloadCase> all_cases() {
+  std::vector<WorkloadCase> cases;
+  for (const auto& n : cpu_workload_names()) cases.push_back({n, false});
+  for (const auto& n : gpu_workload_names()) cases.push_back({n, true});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadProperty,
+                         ::testing::ValuesIn(all_cases()),
+                         [](const auto& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace h2

@@ -1,0 +1,100 @@
+#include "trace/workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace h2 {
+namespace {
+
+TEST(Workloads, AllTable2NamesResolve) {
+  for (const auto& c : table2_combos()) {
+    EXPECT_EQ(c.cpu.size(), 4u) << c.name;
+    for (const auto& w : c.cpu) {
+      EXPECT_NO_FATAL_FAILURE(cpu_workload_spec(w)) << w;
+    }
+    EXPECT_NO_FATAL_FAILURE(gpu_workload_spec(c.gpu)) << c.gpu;
+  }
+}
+
+TEST(Workloads, TwelveCombosWithPaperNames) {
+  const auto& combos = table2_combos();
+  ASSERT_EQ(combos.size(), 12u);
+  EXPECT_EQ(combos[0].name, "C1");
+  EXPECT_EQ(combos[11].name, "C12");
+  // Spot-check Table II rows.
+  EXPECT_EQ(combos[0].gpu, "backprop");
+  EXPECT_EQ(combos[4].gpu, "streamcluster");
+  EXPECT_EQ(combos[10].gpu, "bert");
+  EXPECT_EQ(combos[2].cpu[3], "cactusBSSN");
+}
+
+TEST(Workloads, ComboLookupByName) {
+  EXPECT_EQ(combo("C5").gpu, "streamcluster");
+  EXPECT_EQ(combo("C7").cpu[0], "bwaves");
+}
+
+TEST(Workloads, TenCpuAndNineGpuWorkloads) {
+  EXPECT_EQ(cpu_workload_names().size(), 10u);
+  EXPECT_EQ(gpu_workload_names().size(), 9u);
+}
+
+TEST(Workloads, CpuWorkloadsAreLatencySensitive) {
+  // CPU workloads have dependence; GPU kernels essentially none (Insight 1/2
+  // prerequisites).
+  double cpu_dep = 0, gpu_dep = 0;
+  for (const auto& n : cpu_workload_names()) {
+    const auto& s = cpu_workload_spec(n);
+    cpu_dep += s.dep_prob + s.mix.chase;
+  }
+  for (const auto& n : gpu_workload_names()) gpu_dep += gpu_workload_spec(n).dep_prob;
+  EXPECT_GT(cpu_dep / 10.0, 0.1);
+  EXPECT_LT(gpu_dep / 9.0, 0.01);
+}
+
+TEST(Workloads, GpuSideIssuesMoreAggregateTraffic) {
+  // Memory intensity is a property of the whole side: 6 GPU clusters at
+  // high MLP vs 8 latency-bound CPU cores. Compare aggregate issue
+  // potential: units * base_ipc / mean_gap (accesses per cycle at full tilt).
+  double cpu_rate = 0, gpu_rate = 0;
+  for (const auto& n : cpu_workload_names()) {
+    cpu_rate += 2.0 / cpu_workload_spec(n).mean_gap;  // per core
+  }
+  cpu_rate = cpu_rate / 10.0 * 8;  // average workload x 8 cores
+  for (const auto& n : gpu_workload_names()) {
+    gpu_rate += 2.0 / gpu_workload_spec(n).mean_gap;  // per cluster
+  }
+  gpu_rate = gpu_rate / 9.0 * 6;  // average kernel x 6 clusters
+  // The GPU side's issue potential is comparable; what makes it the
+  // bandwidth hog is its MLP (latency tolerance), covered by proc tests.
+  EXPECT_GT(gpu_rate, 0.2);
+  EXPECT_GT(cpu_rate, 0.2);
+}
+
+TEST(Workloads, SpecsAreValidGeneratorInputs) {
+  for (const auto& n : cpu_workload_names()) {
+    const auto& s = cpu_workload_spec(n);
+    SyntheticGenerator g(s, 1);
+    for (int i = 0; i < 256; ++i) {
+      EXPECT_LT(g.next().addr, s.footprint_bytes) << n;
+    }
+  }
+  for (const auto& n : gpu_workload_names()) {
+    const auto& s = gpu_workload_spec(n);
+    SyntheticGenerator g(s, 1);
+    for (int i = 0; i < 256; ++i) {
+      EXPECT_LT(g.next().addr, s.footprint_bytes) << n;
+    }
+  }
+}
+
+TEST(Workloads, ScaledFootprint) {
+  const auto& s = cpu_workload_spec("mcf");
+  const WorkloadSpec half = with_scaled_footprint(s, 1, 2);
+  EXPECT_EQ(half.footprint_bytes, s.footprint_bytes / 2);
+  const WorkloadSpec floor = with_scaled_footprint(s, 1, 1 << 30);
+  EXPECT_GE(floor.footprint_bytes, 64u * 1024);  // clamped
+}
+
+}  // namespace
+}  // namespace h2

@@ -1,0 +1,126 @@
+// h2report — aggregates h2sim result CSVs into the paper's perf.csv-style
+// summary (artifact T3 / extract_performance.py): per (combo, design) rows
+// plus weighted speedups against a chosen baseline design.
+//
+//   h2report <results.csv> [--baseline baseline] [--wc 12] [--wg 1]
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "harness/report.h"
+
+using namespace h2;
+
+namespace {
+
+struct Row {
+  std::string combo;
+  std::string design;
+  double cpu_cycles = 0;
+  double gpu_cycles = 0;
+  double energy_pj = 0;
+};
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  bool quoted = false;
+  for (char c : line) {
+    if (c == '"') {
+      quoted = !quoted;
+    } else if (c == ',' && !quoted) {
+      cells.push_back(cell);
+      cell.clear();
+    } else {
+      cell += c;
+    }
+  }
+  cells.push_back(cell);
+  return cells;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::string baseline = "baseline";
+  double wc = 12.0, wg = 1.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--baseline" && i + 1 < argc) {
+      baseline = argv[++i];
+    } else if (a == "--wc" && i + 1 < argc) {
+      wc = std::stod(argv[++i]);
+    } else if (a == "--wg" && i + 1 < argc) {
+      wg = std::stod(argv[++i]);
+    } else {
+      path = a;
+    }
+  }
+  if (path.empty()) {
+    std::cerr << "usage: h2report <results.csv> [--baseline <design>] [--wc N] [--wg N]\n";
+    return 2;
+  }
+
+  std::ifstream f(path);
+  if (!f.good()) {
+    std::cerr << "cannot open " << path << "\n";
+    return 1;
+  }
+  std::string line;
+  std::getline(f, line);
+  const auto header = split_csv_line(line);
+  std::map<std::string, size_t> col;
+  for (size_t i = 0; i < header.size(); ++i) col[header[i]] = i;
+  for (const char* need : {"combo", "design", "cpu_cycles", "gpu_cycles", "energy_pj"}) {
+    if (!col.count(need)) {
+      std::cerr << path << ": missing column '" << need << "'\n";
+      return 1;
+    }
+  }
+
+  std::vector<Row> rows;
+  while (std::getline(f, line)) {
+    if (line.empty()) continue;
+    const auto cells = split_csv_line(line);
+    Row r;
+    r.combo = cells[col["combo"]];
+    r.design = cells[col["design"]];
+    r.cpu_cycles = std::stod(cells[col["cpu_cycles"]]);
+    r.gpu_cycles = std::stod(cells[col["gpu_cycles"]]);
+    r.energy_pj = std::stod(cells[col["energy_pj"]]);
+    rows.push_back(r);
+  }
+
+  // Index baselines per combo.
+  std::map<std::string, Row> base;
+  for (const auto& r : rows) {
+    if (r.design == baseline) base[r.combo] = r;
+  }
+
+  TablePrinter t("perf summary (weighted speedups vs '" + baseline + "', CPU:GPU = " +
+                     fmt(wc, 0) + ":" + fmt(wg, 0) + ")",
+                 {"combo", "design", "cpu speedup", "gpu speedup", "weighted",
+                  "energy vs base"});
+  std::map<std::string, std::vector<double>> per_design;
+  for (const auto& r : rows) {
+    auto it = base.find(r.combo);
+    if (it == base.end() || r.design == baseline) continue;
+    const Row& b = it->second;
+    const double sc = b.cpu_cycles > 0 && r.cpu_cycles > 0 ? b.cpu_cycles / r.cpu_cycles : 1.0;
+    const double sg = b.gpu_cycles > 0 && r.gpu_cycles > 0 ? b.gpu_cycles / r.gpu_cycles : 1.0;
+    const double weighted = (wc * sc + wg * sg) / (wc + wg);
+    per_design[r.design].push_back(weighted);
+    t.row({r.combo, r.design, fmt(sc), fmt(sg), fmt(weighted),
+           fmt(r.energy_pj / b.energy_pj)});
+  }
+  for (const auto& [design, sus] : per_design) {
+    t.row({"geomean", design, "-", "-", fmt(geomean(sus)), "-"});
+  }
+  t.print(std::cout);
+  return 0;
+}

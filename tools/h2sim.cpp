@@ -1,0 +1,126 @@
+// h2sim — the config-file-driven simulator front end, mirroring the paper
+// artifact's T2 stage (`sims/build/opt/zsim sims/<design>/zsim.cfg`).
+//
+//   h2sim <config.cfg> [more.cfg ...] [--out results.csv] [--print-config]
+//
+// Each config file describes one experiment (see configs/*.cfg and
+// harness/config_loader.h for the key reference). Results are printed as a
+// table and optionally appended to a CSV compatible with h2report.
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "harness/config_loader.h"
+#include "harness/report.h"
+
+using namespace h2;
+
+namespace {
+
+void usage() {
+  std::cerr << "usage: h2sim <config.cfg> [more.cfg ...] [--out results.csv]"
+               " [--print-config]\n";
+}
+
+void append_csv(const std::string& path, const ExperimentResult& r,
+                const ExperimentConfig& cfg) {
+  const bool fresh = !std::ifstream(path).good();
+  std::ofstream f(path, std::ios::app);
+  if (!f.good()) {
+    std::cerr << "cannot open " << path << " for writing\n";
+    std::exit(1);
+  }
+  CsvWriter csv(f);
+  if (fresh) {
+    for (const char* col :
+         {"combo", "design", "mode", "cpu_cycles", "gpu_cycles", "cpu_instructions",
+          "gpu_instructions", "cpu_ipc", "gpu_ipc", "weighted_ipc", "energy_pj",
+          "fast_bytes", "slow_bytes", "cpu_hit_rate", "gpu_hit_rate",
+          "slow_amplification", "gpu_migrations", "reconfigurations"}) {
+      csv.cell(std::string(col));
+    }
+    csv.end_row();
+  }
+  csv.cell(r.combo)
+      .cell(r.design)
+      .cell(std::string(cfg.mode == HybridMode::Cache ? "cache" : "flat"))
+      .cell(r.cpu_cycles)
+      .cell(r.gpu_cycles)
+      .cell(r.cpu_instructions)
+      .cell(r.gpu_instructions)
+      .cell(r.cpu_ipc)
+      .cell(r.gpu_ipc)
+      .cell(r.weighted_ipc)
+      .cell(r.energy_pj)
+      .cell(r.fast_bytes)
+      .cell(r.slow_bytes)
+      .cell(r.fast_hit_rate[0])
+      .cell(r.fast_hit_rate[1])
+      .cell(r.slow_amplification)
+      .cell(r.hmstats[1].migrations)
+      .cell(r.reconfigurations);
+  csv.end_row();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> config_paths;
+  std::string out_path;
+  bool print_config = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (a == "--print-config") {
+      print_config = true;
+    } else if (a == "--help" || a == "-h") {
+      usage();
+      return 0;
+    } else {
+      config_paths.push_back(a);
+    }
+  }
+  if (config_paths.empty()) {
+    usage();
+    return 2;
+  }
+
+  for (const auto& path : config_paths) {
+    const ExperimentConfig cfg = experiment_from_file(path);
+    if (print_config) {
+      std::cout << "# " << path << ": combo=" << cfg.combo
+                << " design=" << cfg.design.label
+                << " mode=" << (cfg.mode == HybridMode::Cache ? "cache" : "flat")
+                << " assoc=" << cfg.assoc << " block=" << cfg.block_bytes << "\n";
+      cfg.sys.print(std::cout);
+    }
+
+    std::cerr << "running " << path << " (" << cfg.combo << " / " << cfg.design.label
+              << ") ...\n";
+    const ExperimentResult r = run_experiment(cfg);
+
+    TablePrinter t(path, {"metric", "value"});
+    t.row({"combo", r.combo});
+    t.row({"design", r.design});
+    t.row({"cpu cycles", std::to_string(r.cpu_cycles)});
+    t.row({"gpu cycles", std::to_string(r.gpu_cycles)});
+    t.row({"cpu IPC", fmt(r.cpu_ipc, 3)});
+    t.row({"gpu IPC", fmt(r.gpu_ipc, 3)});
+    t.row({"weighted IPC", fmt(r.weighted_ipc, 3)});
+    t.row({"cpu fast hit rate", fmt_pct(r.fast_hit_rate[0])});
+    t.row({"gpu fast hit rate", fmt_pct(r.fast_hit_rate[1])});
+    t.row({"gpu migrations", std::to_string(r.hmstats[1].migrations)});
+    t.row({"slow amplification", fmt(r.slow_amplification)});
+    t.row({"memory energy (mJ)", fmt(r.energy_pj / 1e9, 3)});
+    t.row({"epochs", std::to_string(r.epochs)});
+    t.row({"reconfigurations", std::to_string(r.reconfigurations)});
+    t.print(std::cout);
+
+    if (!out_path.empty()) append_csv(out_path, r, cfg);
+  }
+  if (!out_path.empty()) std::cerr << "appended results to " << out_path << "\n";
+  return 0;
+}

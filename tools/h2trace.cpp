@@ -1,0 +1,140 @@
+// h2trace — workload trace generation and inspection, mirroring the paper
+// artifact's T1 stage (traces/generate_overall_*_workload).
+//
+//   h2trace generate <workload> <count> <out.trace> [--seed N] [--scale N]
+//   h2trace generate-all <count> <out-dir> [--seed N] [--scale N]
+//   h2trace info <trace-file>
+//   h2trace list
+//
+// Traces are the binary format of trace/trace_io.h and can be replayed with
+// ReplayGenerator (see examples and tests).
+#include <filesystem>
+#include <iostream>
+#include <map>
+#include <set>
+#include <string>
+
+#include "harness/report.h"
+#include "trace/trace_io.h"
+#include "trace/workloads.h"
+
+using namespace h2;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage:\n"
+               "  h2trace generate <workload> <count> <out.trace> [--seed N] [--scale N]\n"
+               "  h2trace generate-all <count> <out-dir> [--seed N] [--scale N]\n"
+               "  h2trace info <trace-file>\n"
+               "  h2trace list\n";
+  return 2;
+}
+
+const WorkloadSpec* find_spec(const std::string& name) {
+  for (const auto& n : cpu_workload_names()) {
+    if (n == name) return &cpu_workload_spec(name);
+  }
+  for (const auto& n : gpu_workload_names()) {
+    if (n == name) return &gpu_workload_spec(name);
+  }
+  return nullptr;
+}
+
+u64 write_one(const WorkloadSpec& spec, u64 count, const std::string& path, u64 seed,
+              u32 scale) {
+  SyntheticGenerator gen(with_scaled_footprint(spec, 1, scale), seed);
+  const u64 bytes = record_trace(gen, count, path);
+  std::cerr << "wrote " << path << " (" << count << " accesses, " << bytes
+            << " bytes)\n";
+  return bytes;
+}
+
+int cmd_info(const std::string& path) {
+  u64 footprint = 0;
+  const auto accesses = load_trace(path, &footprint);
+  u64 writes = 0, dependent = 0, gap_sum = 0;
+  std::set<Addr> lines, blocks;
+  for (const auto& a : accesses) {
+    writes += a.write;
+    dependent += a.dependent;
+    gap_sum += a.gap;
+    lines.insert(a.addr / 64);
+    blocks.insert(a.addr / 256);
+  }
+  TablePrinter t("trace " + path, {"metric", "value"});
+  t.row({"accesses", std::to_string(accesses.size())});
+  t.row({"footprint (declared)", fmt(footprint / 1048576.0, 2) + " MB"});
+  t.row({"distinct 64B lines", std::to_string(lines.size())});
+  t.row({"distinct 256B blocks", std::to_string(blocks.size())});
+  t.row({"write fraction", fmt_pct(writes / static_cast<double>(accesses.size()))});
+  t.row({"dependent fraction", fmt_pct(dependent / static_cast<double>(accesses.size()))});
+  t.row({"mean gap (instructions)", fmt(gap_sum / static_cast<double>(accesses.size()), 1)});
+  t.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+
+  u64 seed = 42;
+  u32 scale = 8;
+  std::vector<std::string> pos;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--seed" && i + 1 < argc) {
+      seed = std::stoull(argv[++i]);
+    } else if (a == "--scale" && i + 1 < argc) {
+      scale = static_cast<u32>(std::stoul(argv[++i]));
+    } else {
+      pos.push_back(a);
+    }
+  }
+
+  if (cmd == "list") {
+    TablePrinter t("available workload models", {"name", "side", "footprint MB"});
+    for (const auto& n : cpu_workload_names()) {
+      t.row({n, "cpu", fmt(cpu_workload_spec(n).footprint_bytes / 1048576.0, 0)});
+    }
+    for (const auto& n : gpu_workload_names()) {
+      t.row({n, "gpu", fmt(gpu_workload_spec(n).footprint_bytes / 1048576.0, 0)});
+    }
+    t.print(std::cout);
+    return 0;
+  }
+
+  if (cmd == "info") {
+    if (pos.size() != 1) return usage();
+    return cmd_info(pos[0]);
+  }
+
+  if (cmd == "generate") {
+    if (pos.size() != 3) return usage();
+    const WorkloadSpec* spec = find_spec(pos[0]);
+    if (!spec) {
+      std::cerr << "unknown workload '" << pos[0] << "' (try: h2trace list)\n";
+      return 1;
+    }
+    write_one(*spec, std::stoull(pos[1]), pos[2], seed, scale);
+    return 0;
+  }
+
+  if (cmd == "generate-all") {
+    if (pos.size() != 2) return usage();
+    const u64 count = std::stoull(pos[0]);
+    const std::filesystem::path dir = pos[1];
+    std::filesystem::create_directories(dir);
+    for (const auto& n : cpu_workload_names()) {
+      write_one(cpu_workload_spec(n), count, (dir / (n + ".trace")).string(), seed, scale);
+    }
+    for (const auto& n : gpu_workload_names()) {
+      write_one(gpu_workload_spec(n), count, (dir / (n + ".trace")).string(), seed, scale);
+    }
+    return 0;
+  }
+
+  return usage();
+}
