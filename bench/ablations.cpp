@@ -21,16 +21,21 @@ int main(int argc, char** argv) {
   TablePrinter t1("Ablation: single vs per-channel token counters (speedup vs baseline)",
                   {"combo", "single counter", "per-channel counters"});
   std::vector<double> single_su, perch_su;
+  std::vector<ExperimentConfig> cfgs1;
   for (const auto& combo : combos) {
-    const auto base = bench::run_verbose(bench::bench_config(combo, DesignSpec::baseline(), args));
     DesignSpec per = DesignSpec::hydrogen_full();
     per.label = "hydrogen-perch";
     per.hydrogen.per_channel_tokens = true;
-    const auto rs = bench::run_verbose(bench::bench_config(combo, DesignSpec::hydrogen_full(), args));
-    const auto rp = bench::run_verbose(bench::bench_config(combo, per, args));
-    single_su.push_back(weighted_speedup(base, rs));
-    perch_su.push_back(weighted_speedup(base, rp));
-    t1.row({combo, fmt(single_su.back()), fmt(perch_su.back())});
+    cfgs1.push_back(bench::bench_config(combo, DesignSpec::baseline(), args));
+    cfgs1.push_back(bench::bench_config(combo, DesignSpec::hydrogen_full(), args));
+    cfgs1.push_back(bench::bench_config(combo, per, args));
+  }
+  const auto res1 = bench::run_sweep(cfgs1, args);
+  for (size_t c = 0; c < combos.size(); ++c) {
+    const auto& base = res1[3 * c];
+    single_su.push_back(weighted_speedup(base, res1[3 * c + 1]));
+    perch_su.push_back(weighted_speedup(base, res1[3 * c + 2]));
+    t1.row({combos[c], fmt(single_su.back()), fmt(perch_su.back())});
   }
   t1.row({"geomean", fmt(geomean(single_su)), fmt(geomean(perch_su))});
   t1.print(std::cout);
@@ -41,15 +46,18 @@ int main(int argc, char** argv) {
   TablePrinter t2("Ablation: decoupled way- vs set-partitioning (speedup vs baseline)",
                   {"combo", "hydrogen (way, DP+token)", "hydrogen-setpart"});
   std::vector<double> way_su, set_su;
+  std::vector<ExperimentConfig> cfgs2;
   for (const auto& combo : combos) {
-    const auto base = bench::run_verbose(bench::bench_config(combo, DesignSpec::baseline(), args));
-    const auto rw = bench::run_verbose(
-        bench::bench_config(combo, DesignSpec::hydrogen_dp_token(), args));
-    const auto rs = bench::run_verbose(
-        bench::bench_config(combo, DesignSpec::hydrogen_setpart(), args));
-    way_su.push_back(weighted_speedup(base, rw));
-    set_su.push_back(weighted_speedup(base, rs));
-    t2.row({combo, fmt(way_su.back()), fmt(set_su.back())});
+    cfgs2.push_back(bench::bench_config(combo, DesignSpec::baseline(), args));
+    cfgs2.push_back(bench::bench_config(combo, DesignSpec::hydrogen_dp_token(), args));
+    cfgs2.push_back(bench::bench_config(combo, DesignSpec::hydrogen_setpart(), args));
+  }
+  const auto res2 = bench::run_sweep(cfgs2, args);
+  for (size_t c = 0; c < combos.size(); ++c) {
+    const auto& base = res2[3 * c];
+    way_su.push_back(weighted_speedup(base, res2[3 * c + 1]));
+    set_su.push_back(weighted_speedup(base, res2[3 * c + 2]));
+    t2.row({combos[c], fmt(way_su.back()), fmt(set_su.back())});
   }
   t2.row({"geomean", fmt(geomean(way_su)), fmt(geomean(set_su))});
   t2.print(std::cout);
@@ -61,15 +69,22 @@ int main(int argc, char** argv) {
   TablePrinter t3("Ablation: Footprint-style sub-blocking (speedup vs baseline, slow GB moved)",
                   {"combo", "hydrogen", "hydrogen+subblock", "slow MB (full)",
                    "slow MB (subblock)"});
+  std::vector<ExperimentConfig> cfgs3;
   for (const auto& combo : combos) {
-    const auto base = bench::run_verbose(bench::bench_config(combo, DesignSpec::baseline(), args));
     ExperimentConfig full_cfg = bench::bench_config(combo, DesignSpec::hydrogen_full(), args);
     ExperimentConfig sb_cfg = full_cfg;
     sb_cfg.sys.hybrid.subblock = true;
     sb_cfg.design.label = "hydrogen-subblock";
-    const auto rf = bench::run_verbose(full_cfg);
-    const auto rs = bench::run_verbose(sb_cfg);
-    t3.row({combo, fmt(weighted_speedup(base, rf)), fmt(weighted_speedup(base, rs)),
+    cfgs3.push_back(bench::bench_config(combo, DesignSpec::baseline(), args));
+    cfgs3.push_back(std::move(full_cfg));
+    cfgs3.push_back(std::move(sb_cfg));
+  }
+  const auto res3 = bench::run_sweep(cfgs3, args);
+  for (size_t c = 0; c < combos.size(); ++c) {
+    const auto& base = res3[3 * c];
+    const auto& rf = res3[3 * c + 1];
+    const auto& rs = res3[3 * c + 2];
+    t3.row({combos[c], fmt(weighted_speedup(base, rf)), fmt(weighted_speedup(base, rs)),
             fmt(rf.slow_bytes / 1048576.0, 1), fmt(rs.slow_bytes / 1048576.0, 1)});
   }
   t3.print(std::cout);
@@ -80,6 +95,7 @@ int main(int argc, char** argv) {
   // ---- 4. cache vs flat mode ------------------------------------------------
   TablePrinter t4("Ablation: cache vs flat mode (Hydrogen speedup vs same-mode baseline)",
                   {"combo", "cache mode", "flat mode"});
+  std::vector<ExperimentConfig> cfgs4;
   for (const auto& combo : combos) {
     ExperimentConfig bc = bench::bench_config(combo, DesignSpec::baseline(), args);
     ExperimentConfig hc = bench::bench_config(combo, DesignSpec::hydrogen_full(), args);
@@ -87,11 +103,15 @@ int main(int argc, char** argv) {
     bf.mode = HybridMode::Flat;
     ExperimentConfig hf = hc;
     hf.mode = HybridMode::Flat;
-    const auto rbc = bench::run_verbose(bc);
-    const auto rhc = bench::run_verbose(hc);
-    const auto rbf = bench::run_verbose(bf);
-    const auto rhf = bench::run_verbose(hf);
-    t4.row({combo, fmt(weighted_speedup(rbc, rhc)), fmt(weighted_speedup(rbf, rhf))});
+    cfgs4.push_back(std::move(bc));
+    cfgs4.push_back(std::move(hc));
+    cfgs4.push_back(std::move(bf));
+    cfgs4.push_back(std::move(hf));
+  }
+  const auto res4 = bench::run_sweep(cfgs4, args);
+  for (size_t c = 0; c < combos.size(); ++c) {
+    t4.row({combos[c], fmt(weighted_speedup(res4[4 * c], res4[4 * c + 1])),
+            fmt(weighted_speedup(res4[4 * c + 2], res4[4 * c + 3]))});
   }
   t4.print(std::cout);
   std::cout << "  expected shape: Hydrogen helps in both modes (Section IV-F:"

@@ -5,8 +5,11 @@
 //   --quick        smaller combo subset / shorter runs (CI-friendly)
 //   --full         all 12 combos where the default uses a subset
 //   --csv <path>   additionally dump the printed table as CSV
+//   --jobs <n>     parallel sweep workers (default: H2_JOBS env, then all
+//                  hardware threads); results are bit-identical at any n
 #pragma once
 
+#include <cstdlib>
 #include <iostream>
 #include <map>
 #include <string>
@@ -14,6 +17,7 @@
 
 #include "harness/experiment.h"
 #include "harness/report.h"
+#include "harness/sweep.h"
 
 namespace h2::bench {
 
@@ -22,8 +26,12 @@ struct BenchArgs {
   bool full = false;
   bool hbm3 = false;
   std::string csv_path;
+  u32 jobs = 0;  ///< sweep workers; 0 = auto (H2_JOBS / hardware threads)
 
-  static BenchArgs parse(int argc, char** argv) {
+  /// Parses argv without exiting: on success fills *out and returns true; on
+  /// a bad flag returns false with a diagnostic in *error. The exiting
+  /// parse() wrapper below is what the bench main()s use.
+  static bool try_parse(int argc, char** argv, BenchArgs* out, std::string* error) {
     BenchArgs args;
     for (int i = 1; i < argc; ++i) {
       const std::string a = argv[i];
@@ -35,11 +43,31 @@ struct BenchArgs {
         args.hbm3 = true;
       } else if (a == "--csv" && i + 1 < argc) {
         args.csv_path = argv[++i];
+      } else if (a == "--jobs" && i + 1 < argc) {
+        const std::string v = argv[++i];
+        char* end = nullptr;
+        const long n = std::strtol(v.c_str(), &end, 10);
+        if (!end || *end != '\0' || v.empty() || n <= 0) {
+          *error = "--jobs expects a positive integer, got '" + v + "'";
+          return false;
+        }
+        args.jobs = static_cast<u32>(n);
       } else {
-        std::cerr << "unknown argument: " << a
-                  << " (supported: --quick --full --hbm3 --csv <path>)\n";
-        std::exit(2);
+        *error = "unknown argument: " + a +
+                 " (supported: --quick --full --hbm3 --csv <path> --jobs <n>)";
+        return false;
       }
+    }
+    *out = args;
+    return true;
+  }
+
+  static BenchArgs parse(int argc, char** argv) {
+    BenchArgs args;
+    std::string error;
+    if (!try_parse(argc, argv, &args, &error)) {
+      std::cerr << error << "\n";
+      std::exit(2);
     }
     return args;
   }
@@ -76,15 +104,33 @@ inline std::vector<DesignSpec> fig5_designs() {
           DesignSpec::hydrogen_dp_token(), DesignSpec::hydrogen_full()};
 }
 
-/// Runs and prints a short progress marker (stderr, so CSV stays clean).
-inline ExperimentResult run_verbose(const ExperimentConfig& cfg) {
-  std::cerr << "  [" << cfg.combo << " / " << cfg.design.label
-            << (cfg.cpu_only ? " cpu-only" : cfg.gpu_only ? " gpu-only" : "")
-            << "] ..." << std::flush;
-  const ExperimentResult r = run_experiment(cfg);
-  std::cerr << " done (" << fmt(static_cast<double>(r.end_cycle) / 1e6, 1)
-            << "M cycles)\n";
-  return r;
+/// Fans a batch of experiments out over the sweep runner (respecting
+/// --jobs / H2_JOBS) and returns the results in submission order, with
+/// progress markers on stderr (so CSV on stdout stays clean). A failed run
+/// aborts the bench: the figures need every cell of their tables.
+inline std::vector<ExperimentResult> run_sweep(
+    const std::vector<ExperimentConfig>& cfgs, const BenchArgs& args) {
+  SweepOptions opts;
+  opts.jobs = args.jobs;
+  opts.verbose = true;
+  std::vector<SweepRun> runs = h2::run_sweep(cfgs, opts);
+  std::vector<ExperimentResult> results;
+  results.reserve(runs.size());
+  for (SweepRun& run : runs) {
+    if (!run.ok) {
+      std::cerr << "error: sweep run [" << run.combo << " / " << run.design
+                << "] failed: " << run.error << "\n";
+      std::exit(1);
+    }
+    results.push_back(std::move(run.result));
+  }
+  return results;
+}
+
+/// Runs one experiment through the same sweep path (same seed derivation),
+/// for the few call sites that genuinely need a single result.
+inline ExperimentResult run_one(const ExperimentConfig& cfg, const BenchArgs& args) {
+  return run_sweep({cfg}, args).front();
 }
 
 inline void maybe_csv(const TablePrinter& table, const BenchArgs& args) {

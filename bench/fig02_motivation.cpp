@@ -19,15 +19,24 @@ int main(int argc, char** argv) {
   TablePrinter ta("Fig. 2(a): slowdown running together vs alone (baseline, no partitioning)",
                   {"combo", "CPU slowdown", "GPU slowdown"});
   std::vector<double> cpu_slow, gpu_slow;
-  for (const auto& combo : bench::combo_names(args, /*subset_default=*/false)) {
+  const auto combos = bench::combo_names(args, /*subset_default=*/false);
+  std::vector<ExperimentConfig> cfgs;
+  for (const auto& combo : combos) {
     ExperimentConfig together = bench::bench_config(combo, DesignSpec::baseline(), args);
     ExperimentConfig cpu_solo = together;
     cpu_solo.cpu_only = true;
     ExperimentConfig gpu_solo = together;
     gpu_solo.gpu_only = true;
-    const auto rt = bench::run_verbose(together);
-    const auto rc = bench::run_verbose(cpu_solo);
-    const auto rg = bench::run_verbose(gpu_solo);
+    cfgs.push_back(together);
+    cfgs.push_back(cpu_solo);
+    cfgs.push_back(gpu_solo);
+  }
+  const auto results = bench::run_sweep(cfgs, args);
+  size_t k = 0;
+  for (const auto& combo : combos) {
+    const auto& rt = results[k++];
+    const auto& rc = results[k++];
+    const auto& rg = results[k++];
     const double sc = side_slowdown(rc, rt, Requestor::Cpu);
     const double sg = side_slowdown(rg, rt, Requestor::Gpu);
     cpu_slow.push_back(sc);
@@ -48,11 +57,16 @@ int main(int argc, char** argv) {
   auto sweep = [&](const char* title, auto&& configure,
                    const std::vector<std::pair<std::string, double>>& points) {
     TablePrinter t(title, {"setting", "CPU perf (norm.)", "GPU perf (norm.)"});
+    std::vector<ExperimentConfig> sweep_cfgs;
+    for (const auto& point : points) {
+      ExperimentConfig cfg = bench::bench_config("C1", DesignSpec::baseline(), args);
+      configure(cfg, point.second);
+      sweep_cfgs.push_back(std::move(cfg));
+    }
+    const auto sweep_results = bench::run_sweep(sweep_cfgs, args);
     double cpu_base = 0, gpu_base = 0;
     for (size_t i = 0; i < points.size(); ++i) {
-      ExperimentConfig cfg = bench::bench_config("C1", DesignSpec::baseline(), args);
-      configure(cfg, points[i].second);
-      const auto r = bench::run_verbose(cfg);
+      const auto& r = sweep_results[i];
       const double c = static_cast<double>(r.cpu_cycles);
       const double g = static_cast<double>(r.gpu_cycles);
       if (i == 0) {

@@ -21,16 +21,26 @@ int main(int argc, char** argv) {
                          " weighted speedups over the non-partitioned baseline",
                      cols);
 
+  // One sweep over every (combo, design) cell plus the per-combo baseline,
+  // fanned out across --jobs workers; results come back in submission order.
+  std::vector<ExperimentConfig> cfgs;
+  for (const auto& combo : combos) {
+    cfgs.push_back(bench::bench_config(combo, DesignSpec::baseline(), args));
+    for (const auto& d : designs) cfgs.push_back(bench::bench_config(combo, d, args));
+  }
+  const auto results = bench::run_sweep(cfgs, args);
+
   std::map<std::string, std::vector<double>> speedups;
   std::map<std::string, ExperimentResult> hydro_results;
   std::vector<double> vs_profess;
 
+  size_t k = 0;
   for (const auto& combo : combos) {
-    const auto base = bench::run_verbose(bench::bench_config(combo, DesignSpec::baseline(), args));
+    const auto& base = results[k++];
     std::vector<std::string> row = {combo};
     double profess_su = 1.0, hydrogen_su = 1.0;
     for (const auto& d : designs) {
-      const auto r = bench::run_verbose(bench::bench_config(combo, d, args));
+      const auto& r = results[k++];
       const double su = weighted_speedup(base, r);
       speedups[d.label].push_back(su);
       row.push_back(fmt(su));

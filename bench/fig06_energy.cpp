@@ -15,12 +15,21 @@ int main(int argc, char** argv) {
                      {"combo", "hashcache", "profess", "hydrogen"});
   std::vector<double> profess_norm, hydrogen_norm;
 
+  // Energy must be compared over the same amount of work: all runs retire
+  // the same instruction targets, so total energy per run is comparable.
+  std::vector<ExperimentConfig> cfgs;
   for (const auto& combo : combos) {
-    // Energy must be compared over the same amount of work: all runs retire
-    // the same instruction targets, so total energy per run is comparable.
-    const auto rh = bench::run_verbose(bench::bench_config(combo, DesignSpec::hashcache(), args));
-    const auto rp = bench::run_verbose(bench::bench_config(combo, DesignSpec::profess(), args));
-    const auto ry = bench::run_verbose(bench::bench_config(combo, DesignSpec::hydrogen_full(), args));
+    cfgs.push_back(bench::bench_config(combo, DesignSpec::hashcache(), args));
+    cfgs.push_back(bench::bench_config(combo, DesignSpec::profess(), args));
+    cfgs.push_back(bench::bench_config(combo, DesignSpec::hydrogen_full(), args));
+  }
+  const auto results = bench::run_sweep(cfgs, args);
+
+  size_t k = 0;
+  for (const auto& combo : combos) {
+    const auto& rh = results[k++];
+    const auto& rp = results[k++];
+    const auto& ry = results[k++];
     const double p = rp.energy_pj / rh.energy_pj;
     const double y = ry.energy_pj / rh.energy_pj;
     profess_norm.push_back(p);

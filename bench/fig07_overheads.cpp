@@ -40,11 +40,20 @@ int main(int argc, char** argv) {
   TablePrinter ta("Fig. 7(a): fast-memory swap methods (weighted speedup vs baseline)",
                   {"combo", "ideal", "hydrogen", "prob", "noswap"});
   std::map<std::string, std::vector<double>> su;
+  std::vector<ExperimentConfig> swap_cfgs;
   for (const auto& combo : combos) {
-    const auto base = bench::run_verbose(bench::bench_config(combo, DesignSpec::baseline(), args));
+    swap_cfgs.push_back(bench::bench_config(combo, DesignSpec::baseline(), args));
+    for (const auto& d : swap_designs) {
+      swap_cfgs.push_back(bench::bench_config(combo, d, args));
+    }
+  }
+  const auto swap_results = bench::run_sweep(swap_cfgs, args);
+  size_t k = 0;
+  for (const auto& combo : combos) {
+    const auto& base = swap_results[k++];
     std::vector<std::string> row = {combo};
     for (const auto& d : swap_designs) {
-      const auto r = bench::run_verbose(bench::bench_config(combo, d, args));
+      const auto& r = swap_results[k++];
       const double s = weighted_speedup(base, r);
       su[d.label].push_back(s);
       row.push_back(fmt(s));
@@ -66,16 +75,24 @@ int main(int argc, char** argv) {
   TablePrinter tb("Fig. 7(b): reconfiguration overhead (weighted speedup vs baseline)",
                   {"combo", "hydrogen (lazy)", "ideal reconfig"});
   std::vector<double> lazy_su, ideal_su;
+  std::vector<ExperimentConfig> reconf_cfgs;
   for (const auto& combo : combos) {
-    const auto base = bench::run_verbose(bench::bench_config(combo, DesignSpec::baseline(), args));
+    reconf_cfgs.push_back(bench::bench_config(combo, DesignSpec::baseline(), args));
     // Force frequent exploration so reconfiguration costs are visible.
     ExperimentConfig lazy_cfg = bench::bench_config(combo, DesignSpec::hydrogen_full(), args);
     lazy_cfg.phase_cycles = 800'000;
     ExperimentConfig ideal_cfg = lazy_cfg;
     ideal_cfg.design.instant_reconfig = true;
     ideal_cfg.design.label = "hydrogen-instant";
-    const auto rl = bench::run_verbose(lazy_cfg);
-    const auto ri = bench::run_verbose(ideal_cfg);
+    reconf_cfgs.push_back(std::move(lazy_cfg));
+    reconf_cfgs.push_back(std::move(ideal_cfg));
+  }
+  const auto reconf_results = bench::run_sweep(reconf_cfgs, args);
+  k = 0;
+  for (const auto& combo : combos) {
+    const auto& base = reconf_results[k++];
+    const auto& rl = reconf_results[k++];
+    const auto& ri = reconf_results[k++];
     lazy_su.push_back(weighted_speedup(base, rl));
     ideal_su.push_back(weighted_speedup(base, ri));
     tb.row({combo, fmt(lazy_su.back()), fmt(ideal_su.back())});

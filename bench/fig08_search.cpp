@@ -12,16 +12,18 @@ int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
   const std::string combo = "C5";
 
-  const auto base = bench::run_verbose(bench::bench_config(combo, DesignSpec::baseline(), args));
-
   struct Point {
     ParamPoint p;
     double speedup;
   };
-  std::vector<Point> grid;
   const std::vector<u32> tok_levels = args.quick ? std::vector<u32>{1, 3, 5}
                                                  : std::vector<u32>{0, 2, 3, 5, 7};
 
+  // One sweep: the baseline, every exhaustive (cap, bw, tok) point, and the
+  // online run, all in parallel.
+  std::vector<ExperimentConfig> cfgs;
+  std::vector<ParamPoint> grid_points;
+  cfgs.push_back(bench::bench_config(combo, DesignSpec::baseline(), args));
   for (u32 cap = 1; cap <= 3; ++cap) {
     for (u32 bw = 1; bw <= 3; ++bw) {
       for (u32 tok : tok_levels) {
@@ -31,16 +33,23 @@ int main(int argc, char** argv) {
         d.hydrogen.fixed_tok_frac = d.hydrogen.tok_levels[tok];
         d.label = "cap" + std::to_string(cap) + "-bw" + std::to_string(bw) +
                   "-tok" + std::to_string(tok);
-        const auto r = bench::run_verbose(bench::bench_config(combo, d, args));
-        grid.push_back({ParamPoint{cap, bw, tok}, weighted_speedup(base, r)});
+        cfgs.push_back(bench::bench_config(combo, d, args));
+        grid_points.push_back(ParamPoint{cap, bw, tok});
       }
     }
   }
+  cfgs.push_back(bench::bench_config(combo, DesignSpec::hydrogen_full(), args));
+  const auto results = bench::run_sweep(cfgs, args);
 
+  const auto& base = results.front();
+  std::vector<Point> grid;
+  for (size_t i = 0; i < grid_points.size(); ++i) {
+    grid.push_back({grid_points[i], weighted_speedup(base, results[i + 1])});
+  }
   std::sort(grid.begin(), grid.end(),
             [](const Point& a, const Point& b) { return a.speedup > b.speedup; });
 
-  const auto online = bench::run_verbose(bench::bench_config(combo, DesignSpec::hydrogen_full(), args));
+  const auto& online = results.back();
   const double online_su = weighted_speedup(base, online);
 
   TablePrinter t("Fig. 8: exhaustive configurations vs Hydrogen's online choice (C5)",

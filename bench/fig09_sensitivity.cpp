@@ -15,14 +15,18 @@ int main(int argc, char** argv) {
   const auto combos = bench::combo_names(args, /*subset_default=*/true);
 
   auto run_with = [&](Cycle epoch, Cycle phase) {
-    std::vector<double> su;
+    std::vector<ExperimentConfig> cfgs;
     for (const auto& combo : combos) {
-      const auto base = bench::run_verbose(bench::bench_config(combo, DesignSpec::baseline(), args));
+      cfgs.push_back(bench::bench_config(combo, DesignSpec::baseline(), args));
       ExperimentConfig cfg = bench::bench_config(combo, DesignSpec::hydrogen_full(), args);
       cfg.epoch_cycles = epoch;
       cfg.phase_cycles = phase;
-      const auto r = bench::run_verbose(cfg);
-      su.push_back(weighted_speedup(base, r));
+      cfgs.push_back(std::move(cfg));
+    }
+    const auto results = bench::run_sweep(cfgs, args);
+    std::vector<double> su;
+    for (size_t i = 0; i < combos.size(); ++i) {
+      su.push_back(weighted_speedup(results[2 * i], results[2 * i + 1]));
     }
     return geomean(su);
   };

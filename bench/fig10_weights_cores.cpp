@@ -17,6 +17,8 @@ int main(int argc, char** argv) {
   // bench additionally sweeps C5 (streamcluster), where the token dimension
   // trades CPU vs GPU throughput directly.
   double first_cpu = 0, last_cpu = 0, first_gpu = 0, last_gpu = 0;
+  const std::vector<std::pair<double, std::string>> weights = {
+      {1, "1:1"}, {4, "4:1"}, {12, "12:1"}, {32, "32:1"}};
   for (const std::string combo : {"C6", "C5"}) {
     TablePrinter ta("Fig. 10(a): CPU:GPU IPC weight sweep (" + combo + ", Hydrogen full)",
                     {"weights", "CPU slowdown vs alone", "GPU slowdown vs alone",
@@ -25,16 +27,20 @@ int main(int argc, char** argv) {
     solo_c.cpu_only = true;
     ExperimentConfig solo_g = bench::bench_config(combo, DesignSpec::baseline(), args);
     solo_g.gpu_only = true;
-    const auto rc = bench::run_verbose(solo_c);
-    const auto rg = bench::run_verbose(solo_g);
-
-    const std::vector<std::pair<double, std::string>> weights = {
-        {1, "1:1"}, {4, "4:1"}, {12, "12:1"}, {32, "32:1"}};
+    std::vector<ExperimentConfig> cfgs = {solo_c, solo_g};
     for (const auto& [w, label] : weights) {
       ExperimentConfig cfg = bench::bench_config(combo, DesignSpec::hydrogen_full(), args);
       cfg.weight_cpu = w;
       cfg.weight_gpu = 1.0;
-      const auto r = bench::run_verbose(cfg);
+      cfgs.push_back(std::move(cfg));
+    }
+    const auto results = bench::run_sweep(cfgs, args);
+    const auto& rc = results[0];
+    const auto& rg = results[1];
+
+    for (size_t wi = 0; wi < weights.size(); ++wi) {
+      const auto& [w, label] = weights[wi];
+      const auto& r = results[2 + wi];
       const double sc = side_slowdown(rc, r, Requestor::Cpu);
       const double sg = side_slowdown(rg, r, Requestor::Gpu);
       if (combo == "C6") {
@@ -63,17 +69,23 @@ int main(int argc, char** argv) {
   // ---- (b) CPU core counts ------------------------------------------------
   TablePrinter tb("Fig. 10(b): CPU core count sweep (C1, weights = core ratio)",
                   {"CPU cores", "hydrogen speedup vs baseline"});
-  for (u32 cores : {4u, 8u, 16u}) {
+  const std::vector<u32> core_counts = {4, 8, 16};
+  std::vector<ExperimentConfig> core_cfgs;
+  for (u32 cores : core_counts) {
     ExperimentConfig bcfg = bench::bench_config("C1", DesignSpec::baseline(), args);
     bcfg.sys.cpu_cores = cores;
     bcfg.weight_cpu = 96.0 / cores;  // weights follow the core-count ratio
     ExperimentConfig hcfg = bench::bench_config("C1", DesignSpec::hydrogen_full(), args);
     hcfg.sys.cpu_cores = cores;
     hcfg.weight_cpu = 96.0 / cores;
-    const auto rb = bench::run_verbose(bcfg);
-    const auto rh = bench::run_verbose(hcfg);
-    tb.row({std::to_string(cores),
-            fmt(weighted_speedup(rb, rh, hcfg.weight_cpu, 1.0))});
+    core_cfgs.push_back(std::move(bcfg));
+    core_cfgs.push_back(std::move(hcfg));
+  }
+  const auto core_results = bench::run_sweep(core_cfgs, args);
+  for (size_t i = 0; i < core_counts.size(); ++i) {
+    tb.row({std::to_string(core_counts[i]),
+            fmt(weighted_speedup(core_results[2 * i], core_results[2 * i + 1],
+                                 96.0 / core_counts[i], 1.0))});
   }
   tb.print(std::cout);
   std::cout << "  expected shape: partitioning keeps helping across core counts;"

@@ -26,19 +26,28 @@ int main(int argc, char** argv) {
                                  : std::vector<std::string>{"C1", "C5", "C11"};
 
   auto sweep_row = [&](u32 assoc, u64 block) {
-    std::map<std::string, std::vector<double>> su;
+    const std::vector<DesignSpec> designs = {
+        scaled_hashcache(), DesignSpec::profess(), DesignSpec::hydrogen_full()};
+    std::vector<ExperimentConfig> cfgs;
     for (const auto& combo : combos) {
       ExperimentConfig bcfg = bench::bench_config(combo, DesignSpec::baseline(), args);
       bcfg.assoc = assoc;
       bcfg.block_bytes = block;
-      const auto base = bench::run_verbose(bcfg);
-      for (DesignSpec d : {scaled_hashcache(), DesignSpec::profess(),
-                           DesignSpec::hydrogen_full()}) {
+      cfgs.push_back(std::move(bcfg));
+      for (const DesignSpec& d : designs) {
         ExperimentConfig cfg = bench::bench_config(combo, d, args);
         cfg.assoc = assoc;
         cfg.block_bytes = block;
-        const auto r = bench::run_verbose(cfg);
-        su[d.label].push_back(weighted_speedup(base, r));
+        cfgs.push_back(std::move(cfg));
+      }
+    }
+    const auto results = bench::run_sweep(cfgs, args);
+    std::map<std::string, std::vector<double>> su;
+    size_t k = 0;
+    for (size_t c = 0; c < combos.size(); ++c) {
+      const auto& base = results[k++];
+      for (const DesignSpec& d : designs) {
+        su[d.label].push_back(weighted_speedup(base, results[k++]));
       }
     }
     return std::vector<std::string>{fmt(geomean(su["hashcache"])),

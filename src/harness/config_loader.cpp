@@ -57,7 +57,10 @@ ExperimentConfig experiment_from_config(const ConfigFile& cfg) {
   ec.slow_channels = static_cast<u32>(cfg.get_int("hybrid.slow_channels", 0));
 
   // --- Hydrogen-specific knobs ----------------------------------------------
-  if (ec.design.kind == DesignSpec::Kind::Hydrogen) {
+  // SetPart builds its policy from the same HydrogenConfig fields
+  // (make_policy in experiment.cpp), so it accepts the same keys.
+  if (ec.design.kind == DesignSpec::Kind::Hydrogen ||
+      ec.design.kind == DesignSpec::Kind::SetPart) {
     HydrogenConfig& h = ec.design.hydrogen;
     h.decoupled = cfg.get_bool("hydrogen.decoupled", h.decoupled);
     h.token = cfg.get_bool("hydrogen.token", h.token);

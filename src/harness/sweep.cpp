@@ -1,0 +1,110 @@
+#include "harness/sweep.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <exception>
+#include <iostream>
+#include <mutex>
+#include <thread>
+
+#include "common/rng.h"
+#include "harness/report.h"
+
+namespace h2 {
+
+u64 hash_str(const std::string& s) {
+  u64 h = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+  for (const char c : s) {
+    h ^= static_cast<u8>(c);
+    h *= 0x100000001b3ull;  // FNV prime
+  }
+  return h;
+}
+
+u64 derive_seed(u64 base_seed, const std::string& combo,
+                const std::string& design_label) {
+  return base_seed ^ mix_hash(hash_str(combo), hash_str(design_label));
+}
+
+u32 resolve_jobs(u32 requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("H2_JOBS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end && *end == '\0' && v > 0) return static_cast<u32>(v);
+    std::cerr << "warning: ignoring invalid H2_JOBS='" << env << "'\n";
+  }
+  const u32 hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+std::vector<SweepRun> run_sweep(const std::vector<ExperimentConfig>& configs,
+                                const SweepOptions& opts,
+                                const ExperimentRunner& runner) {
+  const ExperimentRunner& run =
+      runner ? runner : ExperimentRunner(&run_experiment);
+
+  std::vector<SweepRun> runs(configs.size());
+  std::vector<ExperimentConfig> prepared = configs;
+  for (size_t i = 0; i < prepared.size(); ++i) {
+    ExperimentConfig& cfg = prepared[i];
+    if (opts.derive_seeds) {
+      cfg.seed = derive_seed(cfg.seed, cfg.combo, cfg.design.label);
+    }
+    runs[i].combo = cfg.combo;
+    runs[i].design = cfg.design.label;
+    runs[i].seed = cfg.seed;
+  }
+
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> completed{0};
+  std::mutex io_mutex;
+
+  auto worker = [&] {
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= prepared.size()) return;
+      SweepRun& slot = runs[i];
+      const auto t0 = std::chrono::steady_clock::now();
+      try {
+        slot.result = run(prepared[i]);
+        slot.ok = true;
+      } catch (const std::exception& e) {
+        slot.error = e.what();
+      } catch (...) {
+        slot.error = "unknown exception";
+      }
+      slot.wall_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      const size_t done = completed.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (opts.verbose) {
+        std::lock_guard<std::mutex> lock(io_mutex);
+        std::cerr << "  [" << done << "/" << prepared.size() << " " << slot.combo
+                  << " / " << slot.design << "] ";
+        if (slot.ok) {
+          std::cerr << "done ("
+                    << fmt(static_cast<double>(slot.result.end_cycle) / 1e6, 1)
+                    << "M cycles, " << fmt(slot.wall_seconds, 1) << "s)\n";
+        } else {
+          std::cerr << "FAILED: " << slot.error << "\n";
+        }
+      }
+    }
+  };
+
+  const size_t pool =
+      std::min<size_t>(resolve_jobs(opts.jobs), std::max<size_t>(prepared.size(), 1));
+  if (pool <= 1) {
+    worker();
+    return runs;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(pool);
+  for (size_t t = 0; t < pool; ++t) threads.emplace_back(worker);
+  for (auto& t : threads) t.join();
+  return runs;
+}
+
+}  // namespace h2

@@ -1,0 +1,68 @@
+// The parallel sweep runner: fans a batch of experiments out across a pool
+// of worker threads and returns the results in submission order. Every
+// figure/table of the paper's evaluation is such a sweep over (workload
+// combo, design) pairs, and each run_experiment call is independent, so the
+// whole evaluation parallelises embarrassingly.
+//
+// Reproducibility contract (the Ramulator 2.0 re-evaluation lesson: parallel
+// reruns are only trustworthy when they are bit-reproducible):
+//   - each run's RNG seed is derived from the config alone
+//     (seed = base_seed ^ hash(combo, design label)), never from worker
+//     identity or completion order, so results are independent of scheduling;
+//   - results come back indexed by submission order, not completion order;
+//   - a failed run is captured per-slot and does not abort the sweep.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+
+namespace h2 {
+
+struct SweepOptions {
+  /// Worker threads. 0 = take H2_JOBS from the environment, falling back to
+  /// std::thread::hardware_concurrency().
+  u32 jobs = 0;
+  bool verbose = false;      ///< per-run progress markers on stderr
+  /// Derive each run's seed as cfg.seed ^ hash(combo, design label). Off,
+  /// configs run with exactly the seed they carry (tools/h2sim honours
+  /// explicit sim.seed values this way).
+  bool derive_seeds = true;
+};
+
+/// One slot of a sweep, in submission order.
+struct SweepRun {
+  std::string combo;          ///< labels copied from the config (valid even on failure)
+  std::string design;
+  u64 seed = 0;               ///< the seed the run actually used
+  bool ok = false;
+  std::string error;          ///< failure description when !ok
+  double wall_seconds = 0.0;  ///< per-run wall time on its worker
+  ExperimentResult result;    ///< meaningful only when ok
+};
+
+/// FNV-1a 64-bit hash of a string; the seed-derivation building block.
+u64 hash_str(const std::string& s);
+
+/// Scheduling-independent per-run seed: base ^ hash(combo, design label).
+u64 derive_seed(u64 base_seed, const std::string& combo,
+                const std::string& design_label);
+
+/// Resolves a worker count: an explicit request wins, else the H2_JOBS
+/// environment variable, else hardware_concurrency(). Always >= 1.
+u32 resolve_jobs(u32 requested);
+
+/// The function a sweep applies to each config; injectable so tests can
+/// exercise failure capture and scheduling without real simulations.
+using ExperimentRunner = std::function<ExperimentResult(const ExperimentConfig&)>;
+
+/// Runs every config through `runner` (default: run_experiment) on a pool of
+/// resolve_jobs(opts.jobs) threads. Exceptions thrown by a run are captured
+/// in its slot; the sweep always returns configs.size() entries.
+std::vector<SweepRun> run_sweep(const std::vector<ExperimentConfig>& configs,
+                                const SweepOptions& opts = {},
+                                const ExperimentRunner& runner = {});
+
+}  // namespace h2

@@ -1,0 +1,102 @@
+// Coverage for BenchArgs::try_parse, the non-exiting flag parser every bench
+// binary (and the ctest smoke entry) goes through.
+#include "bench_common.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace h2::bench {
+namespace {
+
+/// Builds an argv-shaped view over string literals ("bench" + flags).
+struct Argv {
+  explicit Argv(std::vector<std::string> args) : storage(std::move(args)) {
+    storage.insert(storage.begin(), "bench");
+    for (auto& s : storage) ptrs.push_back(s.data());
+  }
+  int argc() const { return static_cast<int>(ptrs.size()); }
+  char** argv() { return ptrs.data(); }
+
+  std::vector<std::string> storage;
+  std::vector<char*> ptrs;
+};
+
+BenchArgs parse_ok(std::vector<std::string> args) {
+  Argv a(std::move(args));
+  BenchArgs out;
+  std::string error;
+  EXPECT_TRUE(BenchArgs::try_parse(a.argc(), a.argv(), &out, &error)) << error;
+  return out;
+}
+
+std::string parse_error(std::vector<std::string> args) {
+  Argv a(std::move(args));
+  BenchArgs out;
+  std::string error;
+  EXPECT_FALSE(BenchArgs::try_parse(a.argc(), a.argv(), &out, &error));
+  return error;
+}
+
+TEST(BenchArgs, DefaultsWithNoFlags) {
+  const BenchArgs args = parse_ok({});
+  EXPECT_FALSE(args.quick);
+  EXPECT_FALSE(args.full);
+  EXPECT_FALSE(args.hbm3);
+  EXPECT_TRUE(args.csv_path.empty());
+  EXPECT_EQ(args.jobs, 0u);  // 0 = auto (H2_JOBS / hardware threads)
+}
+
+TEST(BenchArgs, AcceptsEveryFlag) {
+  const BenchArgs args =
+      parse_ok({"--quick", "--full", "--hbm3", "--csv", "out.csv", "--jobs", "4"});
+  EXPECT_TRUE(args.quick);
+  EXPECT_TRUE(args.full);
+  EXPECT_TRUE(args.hbm3);
+  EXPECT_EQ(args.csv_path, "out.csv");
+  EXPECT_EQ(args.jobs, 4u);
+}
+
+TEST(BenchArgs, CapturesCsvPath) {
+  EXPECT_EQ(parse_ok({"--csv", "/tmp/fig05.csv"}).csv_path, "/tmp/fig05.csv");
+}
+
+TEST(BenchArgs, RejectsJobsZero) {
+  EXPECT_NE(parse_error({"--jobs", "0"}).find("--jobs"), std::string::npos);
+}
+
+TEST(BenchArgs, RejectsNegativeJobs) {
+  EXPECT_NE(parse_error({"--jobs", "-2"}).find("positive"), std::string::npos);
+}
+
+TEST(BenchArgs, RejectsNonNumericJobs) {
+  EXPECT_NE(parse_error({"--jobs", "many"}).find("many"), std::string::npos);
+}
+
+TEST(BenchArgs, RejectsTrailingGarbageInJobs) {
+  EXPECT_FALSE(parse_error({"--jobs", "4x"}).empty());
+}
+
+TEST(BenchArgs, JobsWithoutValueIsAnError) {
+  // A bare trailing --jobs falls through to the unknown-argument branch.
+  EXPECT_NE(parse_error({"--jobs"}).find("unknown argument"), std::string::npos);
+}
+
+TEST(BenchArgs, CsvWithoutValueIsAnError) {
+  EXPECT_NE(parse_error({"--csv"}).find("unknown argument"), std::string::npos);
+}
+
+TEST(BenchArgs, UnknownFlagReturnsErrorInsteadOfExiting) {
+  const std::string error = parse_error({"--frobnicate"});
+  EXPECT_NE(error.find("--frobnicate"), std::string::npos);
+  EXPECT_NE(error.find("--jobs"), std::string::npos);  // usage names the new flag
+}
+
+TEST(BenchArgs, LaterFlagsAccumulate) {
+  const BenchArgs args = parse_ok({"--jobs", "2", "--jobs", "8"});
+  EXPECT_EQ(args.jobs, 8u);  // last assignment wins, like the config loader
+}
+
+}  // namespace
+}  // namespace h2::bench

@@ -3,8 +3,20 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <string>
+
 namespace h2 {
 namespace {
+
+/// Writes config text to a file under the gtest temp dir and returns its path.
+std::string write_config(const std::string& name, const std::string& text) {
+  const std::string path = testing::TempDir() + name;
+  std::ofstream f(path);
+  f << text;
+  EXPECT_TRUE(f.good());
+  return path;
+}
 
 TEST(ConfigFile, ParsesSectionsAndTypes) {
   ConfigFile cfg;
@@ -98,6 +110,46 @@ TEST(ConfigLoader, AllDesignNamesResolve) {
     const DesignSpec d = design_from_name(name);
     EXPECT_EQ(d.label, name);
   }
+}
+
+// A typo'd key ("hybrid.asoc" instead of "hybrid.assoc") must abort a strict
+// load — silently ignoring it would run a different experiment than the file
+// describes — and must be tolerated when strict=false.
+using ConfigLoaderStrictDeathTest = ::testing::Test;
+
+TEST(ConfigLoaderStrictDeathTest, TypoKeyAbortsInStrictMode) {
+  const std::string path = write_config(
+      "typo_strict.cfg",
+      "[sim]\ncombo = C2\n[hybrid]\nasoc = 8\n");
+  EXPECT_DEATH(experiment_from_file(path, /*strict=*/true), "hybrid.asoc");
+}
+
+TEST(ConfigLoader, TypoKeyToleratedWhenNotStrict) {
+  const std::string path = write_config(
+      "typo_lenient.cfg",
+      "[sim]\ncombo = C2\n[hybrid]\nasoc = 8\n");
+  const ExperimentConfig ec = experiment_from_file(path, /*strict=*/false);
+  EXPECT_EQ(ec.combo, "C2");
+  EXPECT_EQ(ec.assoc, 4u);  // the typo'd key never reached hybrid.assoc
+}
+
+TEST(ConfigLoader, SetpartConsumesHydrogenKeys) {
+  // hydrogen-setpart builds its policy from the same HydrogenConfig fields,
+  // so hydrogen.* keys must be read (not rejected as unknown) for it too.
+  ConfigFile cfg;
+  cfg.parse(
+      "[sim]\n"
+      "design = hydrogen-setpart\n"
+      "[hydrogen]\n"
+      "cpu_capacity_frac = 0.5\n"
+      "tok_frac = 0.25\n"
+      "token = true\n");
+  const ExperimentConfig ec = experiment_from_config(cfg);
+  EXPECT_EQ(ec.design.kind, DesignSpec::Kind::SetPart);
+  EXPECT_DOUBLE_EQ(ec.design.hydrogen.fixed_cpu_capacity_frac, 0.5);
+  EXPECT_DOUBLE_EQ(ec.design.hydrogen.fixed_tok_frac, 0.25);
+  EXPECT_TRUE(ec.design.hydrogen.token);
+  EXPECT_TRUE(cfg.unused_keys().empty());
 }
 
 TEST(ConfigLoader, CheckedInConfigsAreValidAndStrict) {

@@ -40,6 +40,32 @@ TEST(Experiment, DeterministicAcrossRuns) {
   EXPECT_DOUBLE_EQ(a.energy_pj, b.energy_pj);
 }
 
+TEST(Experiment, SeedStability) {
+  // Guards the sweep runner's per-run seed derivation: whatever seed a config
+  // carries, two runs of that exact config must agree on every metric.
+  ExperimentConfig cfg = quick("C2", DesignSpec::hydrogen_full());
+  cfg.seed = 0xfeedface;
+  const ExperimentResult a = run_experiment(cfg);
+  const ExperimentResult b = run_experiment(cfg);
+  EXPECT_EQ(a.cpu_cycles, b.cpu_cycles);
+  EXPECT_EQ(a.gpu_cycles, b.gpu_cycles);
+  EXPECT_EQ(a.end_cycle, b.end_cycle);
+  EXPECT_EQ(a.cpu_instructions, b.cpu_instructions);
+  EXPECT_EQ(a.gpu_instructions, b.gpu_instructions);
+  EXPECT_EQ(a.weighted_ipc, b.weighted_ipc);  // exact ==: bit-identical
+  EXPECT_EQ(a.energy_pj, b.energy_pj);
+  EXPECT_EQ(a.hmstats[0].migrations, b.hmstats[0].migrations);
+  EXPECT_EQ(a.hmstats[1].migrations, b.hmstats[1].migrations);
+  EXPECT_EQ(a.reconfigurations, b.reconfigurations);
+
+  // A different seed must actually reach the workload generators.
+  ExperimentConfig other = cfg;
+  other.seed = 0xdeadbeef;
+  const ExperimentResult c = run_experiment(other);
+  EXPECT_TRUE(a.cpu_cycles != c.cpu_cycles || a.gpu_cycles != c.gpu_cycles ||
+              a.energy_pj != c.energy_pj);
+}
+
 TEST(Experiment, SoloRunsOnlyExerciseOneSide) {
   ExperimentConfig cfg = quick("C1", DesignSpec::baseline());
   cfg.cpu_only = true;

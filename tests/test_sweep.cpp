@@ -1,0 +1,206 @@
+// Determinism-regression harness for the parallel sweep runner: a parallel
+// sweep must be bit-identical to a serial one, run-for-run, or parallel
+// regeneration of the paper's figures cannot be trusted.
+#include "harness/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+namespace h2 {
+namespace {
+
+/// Small, fast experiment configuration (mirrors test_experiment.cpp).
+ExperimentConfig quick(const std::string& combo, DesignSpec design) {
+  ExperimentConfig cfg;
+  cfg.combo = combo;
+  cfg.design = std::move(design);
+  cfg.sys = SystemConfig::table1(/*scale=*/16);
+  cfg.cpu_target_instructions = 150'000;
+  cfg.gpu_target_instructions = 120'000;
+  cfg.epoch_cycles = 50'000;
+  cfg.max_cycles = 60'000'000;
+  return cfg;
+}
+
+/// The 6-config sweep used by the determinism tests: 2 combos x 3 designs.
+std::vector<ExperimentConfig> six_configs() {
+  std::vector<ExperimentConfig> cfgs;
+  for (const char* combo : {"C1", "C3"}) {
+    cfgs.push_back(quick(combo, DesignSpec::baseline()));
+    cfgs.push_back(quick(combo, DesignSpec::profess()));
+    cfgs.push_back(quick(combo, DesignSpec::hydrogen_full()));
+  }
+  return cfgs;
+}
+
+/// A no-simulation runner for tests of sweep mechanics (ordering, seeds,
+/// failure capture) where real experiment results are irrelevant.
+ExperimentResult stub_runner(const ExperimentConfig& cfg) {
+  ExperimentResult r;
+  r.combo = cfg.combo;
+  r.design = cfg.design.label;
+  r.end_cycle = cfg.seed;  // lets tests observe the seed the runner saw
+  return r;
+}
+
+/// Bit-exact comparison of every metric the figures are built from.
+void expect_identical(const SweepRun& a, const SweepRun& b) {
+  ASSERT_TRUE(a.ok) << a.combo << "/" << a.design << ": " << a.error;
+  ASSERT_TRUE(b.ok) << b.combo << "/" << b.design << ": " << b.error;
+  EXPECT_EQ(a.combo, b.combo);
+  EXPECT_EQ(a.design, b.design);
+  EXPECT_EQ(a.seed, b.seed);
+  const ExperimentResult& x = a.result;
+  const ExperimentResult& y = b.result;
+  EXPECT_EQ(x.cpu_cycles, y.cpu_cycles);
+  EXPECT_EQ(x.gpu_cycles, y.gpu_cycles);
+  EXPECT_EQ(x.end_cycle, y.end_cycle);
+  EXPECT_EQ(x.cpu_instructions, y.cpu_instructions);
+  EXPECT_EQ(x.gpu_instructions, y.gpu_instructions);
+  EXPECT_EQ(x.cpu_ipc, y.cpu_ipc);  // exact ==, not near: bit-identical
+  EXPECT_EQ(x.gpu_ipc, y.gpu_ipc);
+  EXPECT_EQ(x.weighted_ipc, y.weighted_ipc);
+  EXPECT_EQ(x.energy_pj, y.energy_pj);
+  EXPECT_EQ(x.fast_bytes, y.fast_bytes);
+  EXPECT_EQ(x.slow_bytes, y.slow_bytes);
+  EXPECT_EQ(x.remap_cache_hit_rate, y.remap_cache_hit_rate);
+  EXPECT_EQ(x.slow_amplification, y.slow_amplification);
+  EXPECT_EQ(x.reconfigurations, y.reconfigurations);
+  EXPECT_EQ(x.epochs, y.epochs);
+  for (int s = 0; s < 2; ++s) {
+    EXPECT_EQ(x.fast_hit_rate[s], y.fast_hit_rate[s]);
+    EXPECT_EQ(x.llc_hit_rate[s], y.llc_hit_rate[s]);
+    EXPECT_EQ(x.read_latency_mean[s], y.read_latency_mean[s]);
+    EXPECT_EQ(x.read_latency_p99[s], y.read_latency_p99[s]);
+    EXPECT_EQ(x.hmstats[s].demand, y.hmstats[s].demand);
+    EXPECT_EQ(x.hmstats[s].fast_hits, y.hmstats[s].fast_hits);
+    EXPECT_EQ(x.hmstats[s].misses, y.hmstats[s].misses);
+    EXPECT_EQ(x.hmstats[s].migrations, y.hmstats[s].migrations);
+    EXPECT_EQ(x.hmstats[s].fast_swaps, y.hmstats[s].fast_swaps);
+    EXPECT_EQ(x.hmstats[s].dirty_writebacks, y.hmstats[s].dirty_writebacks);
+  }
+}
+
+TEST(Sweep, ParallelMatchesSerialBitForBit) {
+  const std::vector<ExperimentConfig> cfgs = six_configs();
+
+  SweepOptions serial;
+  serial.jobs = 1;
+  const std::vector<SweepRun> a = run_sweep(cfgs, serial);
+
+  SweepOptions parallel;
+  parallel.jobs = 4;
+  const std::vector<SweepRun> b = run_sweep(cfgs, parallel);
+
+  ASSERT_EQ(a.size(), cfgs.size());
+  ASSERT_EQ(b.size(), cfgs.size());
+  for (size_t i = 0; i < cfgs.size(); ++i) expect_identical(a[i], b[i]);
+}
+
+TEST(Sweep, ResultsComeBackInSubmissionOrder) {
+  const std::vector<ExperimentConfig> cfgs = six_configs();
+  SweepOptions opts;
+  opts.jobs = 4;
+  const std::vector<SweepRun> runs = run_sweep(cfgs, opts, stub_runner);
+  ASSERT_EQ(runs.size(), cfgs.size());
+  for (size_t i = 0; i < cfgs.size(); ++i) {
+    EXPECT_EQ(runs[i].combo, cfgs[i].combo);
+    EXPECT_EQ(runs[i].design, cfgs[i].design.label);
+    EXPECT_GE(runs[i].wall_seconds, 0.0);
+  }
+}
+
+TEST(Sweep, SeedDerivationIsPureAndPerRun) {
+  // Scheduling independence rests on the seed being a function of the config
+  // alone: same inputs always give the same seed, distinct (combo, design)
+  // pairs get distinct streams, and the base seed still matters.
+  EXPECT_EQ(derive_seed(42, "C1", "baseline"), derive_seed(42, "C1", "baseline"));
+  EXPECT_NE(derive_seed(42, "C1", "baseline"), derive_seed(42, "C2", "baseline"));
+  EXPECT_NE(derive_seed(42, "C1", "baseline"), derive_seed(42, "C1", "hydrogen"));
+  EXPECT_NE(derive_seed(42, "C1", "baseline"), derive_seed(43, "C1", "baseline"));
+
+  const std::vector<ExperimentConfig> cfgs = six_configs();
+  SweepOptions opts;
+  opts.jobs = 2;
+  const std::vector<SweepRun> runs = run_sweep(cfgs, opts, stub_runner);
+  std::set<u64> seeds;
+  for (size_t i = 0; i < cfgs.size(); ++i) {
+    EXPECT_EQ(runs[i].seed,
+              derive_seed(cfgs[i].seed, cfgs[i].combo, cfgs[i].design.label));
+    EXPECT_EQ(runs[i].result.end_cycle, runs[i].seed);  // runner saw the derived seed
+    seeds.insert(runs[i].seed);
+  }
+  EXPECT_EQ(seeds.size(), cfgs.size());  // all six streams distinct
+}
+
+TEST(Sweep, SeedDerivationCanBeDisabled) {
+  std::vector<ExperimentConfig> cfgs = {quick("C1", DesignSpec::baseline())};
+  cfgs[0].seed = 777;
+  SweepOptions opts;
+  opts.jobs = 1;
+  opts.derive_seeds = false;
+  const std::vector<SweepRun> runs = run_sweep(cfgs, opts, stub_runner);
+  EXPECT_EQ(runs[0].seed, 777u);
+  EXPECT_EQ(runs[0].result.end_cycle, 777u);
+}
+
+TEST(Sweep, FailedRunIsCapturedWithoutAbortingTheSweep) {
+  const std::vector<ExperimentConfig> cfgs = six_configs();
+  SweepOptions opts;
+  opts.jobs = 3;
+  // Inject a runner that fails for one combo: its slot must carry the error,
+  // every other slot must still complete.
+  const std::vector<SweepRun> runs =
+      run_sweep(cfgs, opts, [](const ExperimentConfig& cfg) -> ExperimentResult {
+        if (cfg.combo == "C3" && cfg.design.label == "profess") {
+          throw std::runtime_error("injected failure");
+        }
+        ExperimentResult r;
+        r.combo = cfg.combo;
+        r.design = cfg.design.label;
+        return r;
+      });
+  ASSERT_EQ(runs.size(), cfgs.size());
+  int failed = 0;
+  for (const SweepRun& run : runs) {
+    if (!run.ok) {
+      ++failed;
+      EXPECT_EQ(run.combo, "C3");
+      EXPECT_EQ(run.design, "profess");
+      EXPECT_EQ(run.error, "injected failure");
+    }
+  }
+  EXPECT_EQ(failed, 1);
+}
+
+TEST(Sweep, ResolveJobsPrefersExplicitThenEnvThenHardware) {
+  EXPECT_EQ(resolve_jobs(3), 3u);
+
+  ASSERT_EQ(setenv("H2_JOBS", "5", /*overwrite=*/1), 0);
+  EXPECT_EQ(resolve_jobs(0), 5u);
+  EXPECT_EQ(resolve_jobs(2), 2u);  // explicit wins over the env
+
+  ASSERT_EQ(setenv("H2_JOBS", "garbage", 1), 0);
+  EXPECT_GE(resolve_jobs(0), 1u);  // invalid env falls through to hardware
+
+  ASSERT_EQ(unsetenv("H2_JOBS"), 0);
+  const u32 hw = std::thread::hardware_concurrency();
+  EXPECT_EQ(resolve_jobs(0), hw > 0 ? hw : 1u);
+}
+
+TEST(Sweep, HashStrIsStableAndSensitive) {
+  EXPECT_EQ(hash_str("hydrogen"), hash_str("hydrogen"));
+  EXPECT_NE(hash_str("hydrogen"), hash_str("hydrogen-dp"));
+  EXPECT_NE(hash_str(""), hash_str("C1"));
+}
+
+TEST(Sweep, EmptySweepReturnsEmpty) {
+  EXPECT_TRUE(run_sweep({}, SweepOptions{}).empty());
+}
+
+}  // namespace
+}  // namespace h2

@@ -2,10 +2,15 @@
 // artifact's T2 stage (`sims/build/opt/zsim sims/<design>/zsim.cfg`).
 //
 //   h2sim <config.cfg> [more.cfg ...] [--out results.csv] [--print-config]
+//         [--jobs <n>]
 //
 // Each config file describes one experiment (see configs/*.cfg and
-// harness/config_loader.h for the key reference). Results are printed as a
-// table and optionally appended to a CSV compatible with h2report.
+// harness/config_loader.h for the key reference). Multiple configs run in
+// parallel through the sweep runner (--jobs / H2_JOBS, default: all hardware
+// threads) with their explicit sim.seed values honoured, and results are
+// printed — and optionally appended to an h2report-compatible CSV — in
+// command-line order regardless of completion order.
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -14,6 +19,7 @@
 #include "common/stats.h"
 #include "harness/config_loader.h"
 #include "harness/report.h"
+#include "harness/sweep.h"
 
 using namespace h2;
 
@@ -21,7 +27,7 @@ namespace {
 
 void usage() {
   std::cerr << "usage: h2sim <config.cfg> [more.cfg ...] [--out results.csv]"
-               " [--print-config]\n";
+               " [--print-config] [--jobs <n>]\n";
 }
 
 void append_csv(const std::string& path, const ExperimentResult& r,
@@ -70,12 +76,22 @@ int main(int argc, char** argv) {
   std::vector<std::string> config_paths;
   std::string out_path;
   bool print_config = false;
+  u32 jobs = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--out" && i + 1 < argc) {
       out_path = argv[++i];
     } else if (a == "--print-config") {
       print_config = true;
+    } else if (a == "--jobs" && i + 1 < argc) {
+      const std::string v = argv[++i];
+      char* end = nullptr;
+      const long n = std::strtol(v.c_str(), &end, 10);
+      if (!end || *end != '\0' || n <= 0) {
+        std::cerr << "--jobs expects a positive integer, got '" << v << "'\n";
+        return 2;
+      }
+      jobs = static_cast<u32>(n);
     } else if (a == "--help" || a == "-h") {
       usage();
       return 0;
@@ -88,8 +104,11 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  std::vector<ExperimentConfig> cfgs;
+  cfgs.reserve(config_paths.size());
   for (const auto& path : config_paths) {
-    const ExperimentConfig cfg = experiment_from_file(path);
+    cfgs.push_back(experiment_from_file(path));
+    const ExperimentConfig& cfg = cfgs.back();
     if (print_config) {
       std::cout << "# " << path << ": combo=" << cfg.combo
                 << " design=" << cfg.design.label
@@ -97,10 +116,27 @@ int main(int argc, char** argv) {
                 << " assoc=" << cfg.assoc << " block=" << cfg.block_bytes << "\n";
       cfg.sys.print(std::cout);
     }
+  }
 
-    std::cerr << "running " << path << " (" << cfg.combo << " / " << cfg.design.label
-              << ") ...\n";
-    const ExperimentResult r = run_experiment(cfg);
+  SweepOptions opts;
+  opts.jobs = jobs;
+  opts.verbose = true;
+  // Config files carry explicit sim.seed values; run with exactly those.
+  opts.derive_seeds = false;
+  const std::vector<SweepRun> runs = run_sweep(cfgs, opts);
+
+  int failures = 0;
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const std::string& path = config_paths[i];
+    const SweepRun& run = runs[i];
+    if (!run.ok) {
+      std::cerr << "error: " << path << " (" << run.combo << " / " << run.design
+                << ") failed: " << run.error << "\n";
+      ++failures;
+      continue;
+    }
+    const ExperimentResult& r = run.result;
+    const ExperimentConfig& cfg = cfgs[i];
 
     TablePrinter t(path, {"metric", "value"});
     t.row({"combo", r.combo});
@@ -122,5 +158,5 @@ int main(int argc, char** argv) {
     if (!out_path.empty()) append_csv(out_path, r, cfg);
   }
   if (!out_path.empty()) std::cerr << "appended results to " << out_path << "\n";
-  return 0;
+  return failures ? 1 : 0;
 }
