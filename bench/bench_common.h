@@ -7,6 +7,8 @@
 //   --csv <path>   additionally dump the printed table as CSV
 //   --jobs <n>     parallel sweep workers (default: H2_JOBS env, then all
 //                  hardware threads); results are bit-identical at any n
+//   --check <n>    runtime invariant level (clamped to the compiled
+//                  H2_CHECK_LEVEL ceiling; see TESTING.md)
 #pragma once
 
 #include <cstdlib>
@@ -15,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "check/check.h"
 #include "harness/experiment.h"
 #include "harness/report.h"
 #include "harness/sweep.h"
@@ -27,6 +30,7 @@ struct BenchArgs {
   bool hbm3 = false;
   std::string csv_path;
   u32 jobs = 0;  ///< sweep workers; 0 = auto (H2_JOBS / hardware threads)
+  int check_level = -1;  ///< runtime invariant level; -1 = leave the default
 
   /// Parses argv without exiting: on success fills *out and returns true; on
   /// a bad flag returns false with a diagnostic in *error. The exiting
@@ -52,9 +56,19 @@ struct BenchArgs {
           return false;
         }
         args.jobs = static_cast<u32>(n);
+      } else if (a == "--check" && i + 1 < argc) {
+        const std::string v = argv[++i];
+        char* end = nullptr;
+        const long n = std::strtol(v.c_str(), &end, 10);
+        if (!end || *end != '\0' || v.empty() || n < 0) {
+          *error = "--check expects a non-negative integer, got '" + v + "'";
+          return false;
+        }
+        args.check_level = static_cast<int>(n);
       } else {
         *error = "unknown argument: " + a +
-                 " (supported: --quick --full --hbm3 --csv <path> --jobs <n>)";
+                 " (supported: --quick --full --hbm3 --csv <path> --jobs <n>"
+                 " --check <n>)";
         return false;
       }
     }
@@ -69,6 +83,7 @@ struct BenchArgs {
       std::cerr << error << "\n";
       std::exit(2);
     }
+    if (args.check_level >= 0) check::set_runtime_level(args.check_level);
     return args;
   }
 };

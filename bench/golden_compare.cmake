@@ -1,0 +1,28 @@
+# Golden-file regression driver (ctest -P script).
+#
+# Runs a bench binary with --csv into a scratch file and byte-compares it to
+# the checked-in golden. Usage:
+#   cmake -DBENCH=<binary> -DOUT=<scratch.csv> -DGOLDEN=<golden.csv>
+#         -P golden_compare.cmake
+#
+# To update the golden after an intentional model change (see TESTING.md):
+#   ./bench/fig05_overall --quick --jobs 2 --csv tests/golden/fig05_quick.csv
+execute_process(
+  COMMAND ${BENCH} --quick --jobs 2 --csv ${OUT}
+  RESULT_VARIABLE run_rc
+  OUTPUT_QUIET)
+if(NOT run_rc EQUAL 0)
+  message(FATAL_ERROR "bench run failed with exit code ${run_rc}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT} ${GOLDEN}
+  RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+  execute_process(COMMAND diff -u ${GOLDEN} ${OUT})
+  message(FATAL_ERROR
+    "bench CSV differs from golden ${GOLDEN}.\n"
+    "If the model change is intentional, regenerate with:\n"
+    "  <build>/bench/fig05_overall --quick --jobs 2 --csv tests/golden/fig05_quick.csv\n"
+    "and commit the diff alongside an explanation of why the numbers moved.")
+endif()

@@ -1,5 +1,6 @@
 #include "cache/cache.h"
 
+#include "check/check.h"
 #include "common/assert.h"
 
 namespace h2 {
@@ -53,6 +54,39 @@ Cache::AccessResult Cache::access(Addr addr, bool is_write) {
   victim->tag = tag;
   victim->lru = ++stamp_;
   return res;
+}
+
+u64 Cache::resident_lines() const {
+  u64 count = 0;
+  for (const Line& l : lines_) count += l.valid ? 1 : 0;
+  return count;
+}
+
+std::vector<Addr> Cache::resident_addrs() const {
+  std::vector<Addr> addrs;
+  for (u32 set = 0; set < sets_; ++set) {
+    const Line* base = &lines_[static_cast<size_t>(set) * cfg_.ways];
+    for (u32 w = 0; w < cfg_.ways; ++w) {
+      if (base[w].valid) addrs.push_back((base[w].tag * sets_ + set) * cfg_.line_bytes);
+    }
+  }
+  return addrs;
+}
+
+void Cache::audit() const {
+  if (!H2_CHECK_ACTIVE(2)) return;
+  for (u32 set = 0; set < sets_; ++set) {
+    const Line* base = &lines_[static_cast<size_t>(set) * cfg_.ways];
+    for (u32 w = 0; w < cfg_.ways; ++w) {
+      if (!base[w].valid) continue;
+      for (u32 v = w + 1; v < cfg_.ways; ++v) {
+        H2_CHECK(2, !(base[v].valid && base[v].tag == base[w].tag),
+                 "cache %s: duplicate tag %llu in set %u (ways %u and %u)",
+                 cfg_.name.c_str(),
+                 static_cast<unsigned long long>(base[w].tag), set, w, v);
+      }
+    }
+  }
 }
 
 bool Cache::probe(Addr addr) const {

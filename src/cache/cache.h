@@ -48,6 +48,17 @@ class Cache {
   u64 hits() const { return hits_; }
   u64 misses() const { return misses_; }
   u64 writebacks() const { return writebacks_; }
+
+  /// Number of valid lines currently resident.
+  u64 resident_lines() const;
+
+  /// Byte addresses of every resident line (line-aligned). Audit/debug use
+  /// only: O(capacity).
+  std::vector<Addr> resident_addrs() const;
+
+  /// Duplicate-tag audit (H2_CHECK level 2): a tag may appear at most once
+  /// per set, or lookups become order-dependent. O(ways^2) per set.
+  void audit() const;
   double hit_rate() const {
     const u64 total = hits_ + misses_;
     return total ? static_cast<double>(hits_) / static_cast<double>(total) : 0.0;

@@ -1,0 +1,86 @@
+#include "check/check.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace h2::check {
+namespace {
+
+constexpr int kUninitialised = -1;
+
+std::atomic<int> g_level{kUninitialised};
+std::atomic<FailureHandler> g_handler{nullptr};
+
+int clamp_level(int level) {
+  if (level < 0) return 0;
+  if (level > compiled_level()) return compiled_level();
+  return level;
+}
+
+int init_level_from_env() {
+  const char* env = std::getenv("H2_CHECK");
+  int level = compiled_level();
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0') level = clamp_level(static_cast<int>(parsed));
+  }
+  return level;
+}
+
+void throwing_handler(const std::string& message) { throw CheckError(message); }
+
+}  // namespace
+
+int runtime_level() {
+  int level = g_level.load(std::memory_order_relaxed);
+  if (level == kUninitialised) {
+    level = init_level_from_env();
+    int expected = kUninitialised;
+    // If another thread raced us, keep its value: first initialiser wins.
+    if (!g_level.compare_exchange_strong(expected, level,
+                                         std::memory_order_relaxed)) {
+      level = expected;
+    }
+  }
+  return level;
+}
+
+void set_runtime_level(int level) {
+  g_level.store(clamp_level(level), std::memory_order_relaxed);
+}
+
+FailureHandler set_failure_handler(FailureHandler handler) {
+  return g_handler.exchange(handler);
+}
+
+ScopedThrowingHandler::ScopedThrowingHandler()
+    : prev_(set_failure_handler(&throwing_handler)),
+      prev_level_(runtime_level()) {}
+
+ScopedThrowingHandler::~ScopedThrowingHandler() {
+  set_failure_handler(prev_);
+  set_runtime_level(prev_level_);
+}
+
+void fail(const char* file, int line, const char* cond, const char* fmt, ...) {
+  char body[768];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(body, sizeof(body), fmt, args);
+  va_end(args);
+
+  char message[1024];
+  std::snprintf(message, sizeof(message), "H2_CHECK failed at %s:%d: (%s) %s",
+                file, line, cond, body);
+
+  FailureHandler handler = g_handler.load();
+  if (handler != nullptr) handler(message);  // may throw (tests)
+
+  std::fprintf(stderr, "%s\n", message);
+  std::abort();
+}
+
+}  // namespace h2::check

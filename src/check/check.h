@@ -1,0 +1,92 @@
+// H2_CHECK: the simulator's invariant layer.
+//
+// Unlike H2_ASSERT (always-on argument validation), H2_CHECK guards *model*
+// invariants in hot paths and is gated twice:
+//
+//   compile time  H2_CHECK_LEVEL (CMake cache var, default 1)
+//                   0  checks compile to nothing (perf builds)
+//                   1  cheap per-event invariants (orderings, ranges, bounds)
+//                   2  expensive audits (table scans, conservation sums)
+//   run time      check::runtime_level(), default = compile level, lowered
+//                 via the --check flag or the H2_CHECK environment variable.
+//
+// A failing check calls the installed failure handler (tests install one that
+// throws CheckError; the default prints the message and aborts). Messages are
+// expected to name the actor/component, the cycle, and the quantity that went
+// wrong -- a bare "invariant failed" is useless in a million-cycle run.
+#pragma once
+
+#include <cstdarg>
+#include <stdexcept>
+#include <string>
+
+#ifndef H2_CHECK_LEVEL
+#define H2_CHECK_LEVEL 1
+#endif
+
+namespace h2::check {
+
+/// Thrown by the test failure handler (never by the default handler).
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Compile-time ceiling: checks above this level do not exist in the binary.
+constexpr int compiled_level() { return H2_CHECK_LEVEL; }
+
+/// Current runtime level in [0, compiled_level()]. Initialised lazily from
+/// the H2_CHECK environment variable (clamped to the compiled ceiling).
+int runtime_level();
+
+/// Set the runtime level (clamped to [0, compiled_level()]). Used by the
+/// --check flag and by tests; thread-safe (relaxed atomic).
+void set_runtime_level(int level);
+
+/// Failure sink: receives the fully formatted message. May throw (tests) or
+/// not return at all (default handler aborts). If it returns normally the
+/// caller aborts anyway -- a failed invariant never resumes simulation.
+using FailureHandler = void (*)(const std::string& message);
+
+/// Install a failure handler; returns the previous one. nullptr restores the
+/// default print-and-abort behaviour.
+FailureHandler set_failure_handler(FailureHandler handler);
+
+/// RAII helper for tests: installs a handler that throws CheckError and
+/// restores the previous handler (and runtime level) on destruction.
+class ScopedThrowingHandler {
+ public:
+  ScopedThrowingHandler();
+  ~ScopedThrowingHandler();
+  ScopedThrowingHandler(const ScopedThrowingHandler&) = delete;
+  ScopedThrowingHandler& operator=(const ScopedThrowingHandler&) = delete;
+
+ private:
+  FailureHandler prev_;
+  int prev_level_;
+};
+
+/// Formats and dispatches a failed check. [[noreturn]] unless the installed
+/// handler throws.
+[[noreturn]] void fail(const char* file, int line, const char* cond,
+                       const char* fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+}  // namespace h2::check
+
+/// True when checks at `level` are both compiled in and runtime-enabled.
+/// `level` folds at compile time, so H2_CHECK_ACTIVE(2) is constant-false in
+/// an H2_CHECK_LEVEL=1 build and the dead branch is eliminated.
+#define H2_CHECK_ACTIVE(level) \
+  ((level) <= H2_CHECK_LEVEL && (level) <= ::h2::check::runtime_level())
+
+/// Invariant check: condition is evaluated only when the level is active, so
+/// an H2_CHECK_LEVEL=0 build carries neither the branch nor the operands.
+#define H2_CHECK(level, cond, ...)                                \
+  do {                                                            \
+    if constexpr ((level) <= H2_CHECK_LEVEL) {                    \
+      if ((level) <= ::h2::check::runtime_level() && !(cond)) {   \
+        ::h2::check::fail(__FILE__, __LINE__, #cond, __VA_ARGS__); \
+      }                                                           \
+    }                                                             \
+  } while (0)

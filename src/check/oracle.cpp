@@ -1,0 +1,306 @@
+#include "check/oracle.h"
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <tuple>
+
+#include "common/rng.h"
+#include "hybridmem/hybrid_memory.h"
+#include "hybridmem/remap_cache.h"
+#include "hydrogen/setpart_policy.h"
+#include "policies/baseline.h"
+#include "trace/workloads.h"
+
+namespace h2 {
+
+namespace {
+
+constexpr u32 kLineBytes = 64;
+
+/// One pre-materialised demand access, fed identically to both sides.
+struct Step {
+  Cycle now;
+  Addr addr;
+  Requestor cls;
+  bool write;
+};
+
+std::unique_ptr<PartitionPolicy> make_policy(const std::string& design, u64 seed) {
+  if (design == "baseline") return std::make_unique<BaselinePolicy>();
+  if (design == "hydrogen-setpart") {
+    SetPartConfig cfg;
+    cfg.seed = seed;
+    return std::make_unique<SetPartPolicy>(cfg);
+  }
+  throw std::invalid_argument("oracle: unknown design '" + design +
+                              "' (expected baseline or hydrogen-setpart)");
+}
+
+/// The reference model: a plain functional replica of the cache-mode
+/// residency/accounting state machine, with no event engine, no cursors and
+/// no latency model. It owns its own policy and remap-cache instances so a
+/// state leak in the full stack cannot hide by being mirrored.
+class RefModel {
+ public:
+  RefModel(const HybridMemConfig& cfg, u32 n_super, u32 n_slow, u64 slow_block,
+           std::unique_ptr<PartitionPolicy> policy)
+      : cfg_(cfg),
+        n_super_(n_super),
+        slow_block_(slow_block),
+        policy_(std::move(policy)),
+        rcache_(cfg.remap_cache_bytes, cfg.assoc * 8),
+        ways_(static_cast<size_t>(cfg.num_sets()) * cfg.assoc),
+        fast_reqs_(n_super, 0),
+        slow_reqs_(n_slow, 0) {
+    policy_->bind(n_super, cfg.assoc, cfg.num_sets());
+  }
+
+  struct Way {
+    u64 tag = 0;
+    u64 lru = 0;
+    u16 hits = 0;
+    u8 channel = 0;
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  struct SideStats {
+    u64 demand = 0, fast_hits = 0, misses = 0, migrations = 0, bypasses = 0,
+        dirty_writebacks = 0, meta_misses = 0;
+  };
+
+  void access(const Step& s) {
+    policy_->tick(s.now);
+    const u64 tag = s.addr / cfg_.block_bytes;
+    const u32 set = policy_->remap_set(
+        static_cast<u32>(tag % cfg_.num_sets()), s.cls);
+    SideStats& st = stats_[static_cast<u32>(s.cls)];
+    st.demand++;
+
+    // Metadata probe: a remap-cache miss costs one 64 B fast-tier read on
+    // the set's home superchannel.
+    if (!rcache_.probe(set)) {
+      st.meta_misses++;
+      fast_reqs_[set % n_super_]++;
+    }
+
+    Way* base = &ways_[static_cast<size_t>(set) * cfg_.assoc];
+    i32 way = -1;
+    for (u32 w = 0; w < cfg_.assoc; ++w) {
+      if (base[w].valid && base[w].tag == tag) { way = static_cast<i32>(w); break; }
+    }
+
+    if (way >= 0) {
+      Way& rw = base[way];
+      st.fast_hits++;
+      fast_reqs_[rw.channel]++;  // 64 B demand line
+      rw.dirty |= s.write;
+      if (rw.hits < 0xFFFF) rw.hits++;
+      rw.lru = ++stamp_;
+      return;
+    }
+
+    st.misses++;
+    // Victim selection: first invalid allowed way, else LRU allowed way —
+    // must match HybridMemory::pick_victim exactly.
+    i32 victim = -1;
+    u64 best_lru = ~0ull;
+    bool victim_free = false;
+    for (u32 w = 0; w < cfg_.assoc; ++w) {
+      if (!policy_->way_allowed(set, w, s.cls)) continue;
+      if (!base[w].valid) { victim = static_cast<i32>(w); victim_free = true; break; }
+      if (base[w].lru < best_lru) { best_lru = base[w].lru; victim = static_cast<i32>(w); }
+    }
+    const bool victim_dirty = victim >= 0 && !victim_free && base[victim].dirty;
+
+    PolicyContext ctx{s.now, s.cls, set, tag, s.write,
+                      static_cast<u32>((s.addr / slow_block_) % slow_reqs_.size())};
+    const bool migrate = victim >= 0 && policy_->allow_migration(ctx, victim_dirty);
+
+    if (!migrate) {
+      st.bypasses++;
+      slow_reqs_[ctx.slow_channel]++;  // 64 B demand line from the slow tier
+      return;
+    }
+
+    st.migrations++;
+    const Addr block_addr = tag * cfg_.block_bytes;
+    slow_reqs_[static_cast<u32>((block_addr / slow_block_) % slow_reqs_.size())]++;
+    Way& rw = base[victim];
+    if (rw.valid && rw.dirty) {
+      const Addr wb = rw.tag * cfg_.block_bytes;
+      slow_reqs_[static_cast<u32>((wb / slow_block_) % slow_reqs_.size())]++;
+      st.dirty_writebacks++;
+    }
+    const u32 ch = policy_->channel_of_way(set, static_cast<u32>(victim));
+    fast_reqs_[ch]++;  // block fill write
+    rw.tag = tag;
+    rw.valid = true;
+    rw.dirty = s.write;
+    rw.hits = 0;
+    rw.channel = static_cast<u8>(ch);
+    rw.lru = ++stamp_;
+  }
+
+  const SideStats& stats(Requestor r) const { return stats_[static_cast<u32>(r)]; }
+  u64 fast_reqs(u32 ch) const { return fast_reqs_[ch]; }
+  u64 slow_reqs(u32 ch) const { return slow_reqs_[ch]; }
+
+  /// Final residency as (set, tag) -> (channel, dirty).
+  std::map<std::pair<u32, u64>, std::pair<u32, bool>> residency() const {
+    std::map<std::pair<u32, u64>, std::pair<u32, bool>> r;
+    for (u32 set = 0; set < cfg_.num_sets(); ++set) {
+      const Way* base = &ways_[static_cast<size_t>(set) * cfg_.assoc];
+      for (u32 w = 0; w < cfg_.assoc; ++w) {
+        if (base[w].valid) r[{set, base[w].tag}] = {base[w].channel, base[w].dirty};
+      }
+    }
+    return r;
+  }
+
+ private:
+  HybridMemConfig cfg_;
+  u32 n_super_;
+  u64 slow_block_;
+  std::unique_ptr<PartitionPolicy> policy_;
+  RemapCache rcache_;
+  std::vector<Way> ways_;
+  std::vector<u64> fast_reqs_;
+  std::vector<u64> slow_reqs_;
+  SideStats stats_[2];
+  u64 stamp_ = 0;
+};
+
+std::map<std::pair<u32, u64>, std::pair<u32, bool>> table_residency(
+    const RemapTable& t) {
+  std::map<std::pair<u32, u64>, std::pair<u32, bool>> r;
+  for (u32 set = 0; set < t.num_sets(); ++set) {
+    for (u32 w = 0; w < t.assoc(); ++w) {
+      const RemapWay& rw = t.way(set, w);
+      if (rw.valid) r[{set, rw.tag}] = {rw.channel, rw.dirty};
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+OracleReport run_oracle(const OracleConfig& ocfg) {
+  OracleReport report;
+  report.cpu_workload = ocfg.cpu_workload;
+  report.design = ocfg.design;
+  report.accesses = ocfg.accesses;
+
+  // Geometry: a scaled-down two-tier system, small enough that the replay
+  // churns the fast tier (misses, migrations, writebacks all exercised).
+  MemSystemConfig mem_cfg = MemSystemConfig::table1_default();
+  HybridMemConfig hm_cfg;
+  hm_cfg.mode = HybridMode::Cache;
+  hm_cfg.fast_capacity_bytes = 8ull << 20;
+  hm_cfg.remap_cache_bytes = 64 * 1024;
+
+  MemorySystem mem(mem_cfg);
+  auto sim_policy = make_policy(ocfg.design, ocfg.seed);
+  auto ref_policy = make_policy(ocfg.design, ocfg.seed);
+  HybridMemory hm(hm_cfg, &mem, sim_policy.get());
+  RefModel ref(hm_cfg, mem.num_fast_superchannels(), mem.num_slow_channels(),
+               mem_cfg.block_bytes, std::move(ref_policy));
+
+  // Materialise one interleaved access sequence and feed it, bit-identically,
+  // to both sides. The GPU side is twice as intense as the CPU side, matching
+  // the bandwidth asymmetry the designs exist to manage.
+  const WorkloadSpec cpu_spec = with_scaled_footprint(
+      cpu_workload_spec(ocfg.cpu_workload), 1, ocfg.footprint_div);
+  const WorkloadSpec gpu_spec = with_scaled_footprint(
+      gpu_workload_spec(ocfg.gpu_workload), 1, ocfg.footprint_div);
+  SyntheticGenerator cpu_gen(cpu_spec, mix_hash(ocfg.seed, 1));
+  SyntheticGenerator gpu_gen(gpu_spec, mix_hash(ocfg.seed, 2));
+  const Addr gpu_base = ((cpu_spec.footprint_bytes / hm_cfg.block_bytes) + 1) *
+                        hm_cfg.block_bytes;
+
+  std::vector<Step> steps;
+  steps.reserve(ocfg.accesses);
+  Cycle now = 0;
+  for (u64 i = 0; i < ocfg.accesses; ++i) {
+    const bool cpu = (i % 3) == 0;
+    const Access a = cpu ? cpu_gen.next() : gpu_gen.next();
+    now += ocfg.cycle_gap;
+    steps.push_back(Step{now, (cpu ? 0 : gpu_base) + a.addr,
+                         cpu ? Requestor::Cpu : Requestor::Gpu, a.write});
+  }
+
+  for (const Step& s : steps) {
+    hm.access(s.now, s.cls, s.addr, s.write);
+    ref.access(s);
+  }
+
+  auto diff_u64 = [&report](const std::string& what, u64 sim, u64 oracle) {
+    report.quantities++;
+    if (sim != oracle) {
+      char buf[256];
+      std::snprintf(buf, sizeof(buf), "%s: simulator=%llu oracle=%llu",
+                    what.c_str(), static_cast<unsigned long long>(sim),
+                    static_cast<unsigned long long>(oracle));
+      report.diffs.push_back(buf);
+    }
+  };
+
+  for (u32 i = 0; i < 2; ++i) {
+    const Requestor r = static_cast<Requestor>(i);
+    const HybridStats& s = hm.stats(r);
+    const RefModel::SideStats& o = ref.stats(r);
+    const std::string who = i == 0 ? "cpu" : "gpu";
+    diff_u64(who + " demand", s.demand, o.demand);
+    diff_u64(who + " fast_hits", s.fast_hits, o.fast_hits);
+    diff_u64(who + " misses", s.misses, o.misses);
+    diff_u64(who + " migrations", s.migrations, o.migrations);
+    diff_u64(who + " bypasses", s.bypasses, o.bypasses);
+    diff_u64(who + " dirty_writebacks", s.dirty_writebacks, o.dirty_writebacks);
+    diff_u64(who + " meta_misses", s.meta_misses, o.meta_misses);
+  }
+
+  for (u32 ch = 0; ch < mem.num_fast_superchannels(); ++ch) {
+    diff_u64("fast channel " + std::to_string(ch) + " requests",
+             mem.issued_fast(ch), ref.fast_reqs(ch));
+  }
+  for (u32 ch = 0; ch < mem.num_slow_channels(); ++ch) {
+    diff_u64("slow channel " + std::to_string(ch) + " requests",
+             mem.issued_slow(ch), ref.slow_reqs(ch));
+  }
+
+  // Final residency membership: every (set, tag) must agree on presence,
+  // physical channel and dirty state.
+  const auto sim_res = table_residency(hm.table());
+  const auto ref_res = ref.residency();
+  report.quantities++;
+  if (sim_res != ref_res) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "final residency differs: simulator holds %zu blocks, "
+                  "oracle holds %zu",
+                  sim_res.size(), ref_res.size());
+    report.diffs.push_back(buf);
+    u32 shown = 0;
+    for (const auto& [key, val] : sim_res) {
+      const auto it = ref_res.find(key);
+      if (it != ref_res.end() && it->second == val) continue;
+      if (shown++ >= 5) break;
+      std::snprintf(buf, sizeof(buf),
+                    "  set %u tag %llu: simulator (ch=%u dirty=%d) vs %s", key.first,
+                    static_cast<unsigned long long>(key.second), val.first,
+                    static_cast<int>(val.second),
+                    it == ref_res.end() ? "absent in oracle" : "different in oracle");
+      report.diffs.push_back(buf);
+    }
+  }
+
+  // End-of-replay invariant audits on the full side (active at check >= 2).
+  hm.audit(now, "oracle replay");
+  mem.audit(now);
+
+  return report;
+}
+
+}  // namespace h2

@@ -1,0 +1,56 @@
+// Differential oracle for the hybrid-memory mechanism.
+//
+// The full simulator is event-driven and timing-sensitive: a double-counted
+// bus slot or an aliased remap entry shifts IPC by a few percent — the same
+// magnitude as the paper's headline wins — without crashing anything. The
+// oracle replays the exact same access sequence through (a) the full
+// MemorySystem + HybridMemory stack and (b) an independent, non-event-driven
+// reference model of the residency state (flat latency, exact per-request
+// ordering, its own policy instance), then diffs *conserved quantities*
+// rather than timing:
+//   - per-requestor demand/hit/miss/migration/bypass/writeback counters,
+//   - per-channel request counts in both tiers (including metadata fills),
+//   - the final remapped-set residency (set, tag, channel, dirty).
+//
+// Both sides are driven with a flat synthetic clock (fixed cycle gap), so
+// policy decisions that read `now` (token faucets) are bit-identical; any
+// divergence is therefore a real accounting bug in the mechanism, not a
+// modelling difference.
+//
+// Supported designs: "baseline" and "hydrogen-setpart" — the two ends of the
+// policy seam that exercise identity and non-identity set remapping without
+// swaps, chaining, or epoch reconfiguration (which would make the reference
+// model as complex as the thing it checks).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace h2 {
+
+struct OracleConfig {
+  std::string cpu_workload = "gcc";
+  std::string gpu_workload = "backprop";
+  std::string design = "baseline";  ///< "baseline" or "hydrogen-setpart"
+  u64 accesses = 120'000;           ///< interleaved CPU+GPU demand accesses
+  u64 seed = 42;
+  Cycle cycle_gap = 5;              ///< flat synthetic clock step per access
+  u64 footprint_div = 8;            ///< workload footprint scale-down
+};
+
+struct OracleReport {
+  std::string cpu_workload;
+  std::string design;
+  u64 accesses = 0;
+  u64 quantities = 0;               ///< conserved quantities compared
+  std::vector<std::string> diffs;   ///< human-readable mismatches (empty = ok)
+  bool ok() const { return diffs.empty(); }
+};
+
+/// Runs the differential replay. Throws std::invalid_argument for unknown
+/// design names (unknown workload names abort inside the workload table).
+OracleReport run_oracle(const OracleConfig& cfg);
+
+}  // namespace h2

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "check/check.h"
 #include "common/assert.h"
 #include "hydrogen/setpart_policy.h"
 #include "policies/baseline.h"
@@ -323,11 +324,20 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     const bool changed = model.policy().on_epoch(fb);
     if (changed && hm_cfg.instant_reconfig) model.hybrid().run_instant_reconfig();
 
+    // Cheap O(1) counter-conservation audit at each epoch boundary; the full
+    // structural audit runs once at drain below.
+    if (H2_CHECK_ACTIVE(2)) model.hybrid().audit_counters(now);
+
     if (all_done) engine.stop();
   });
 
   const Cycle end = engine.run(cfg.max_cycles);
   res.end_cycle = end;
+
+  if (H2_CHECK_ACTIVE(2)) {
+    model.hybrid().audit(end, "end of experiment");
+    model.memory().audit(end);
+  }
 
   // ---- extract metrics -------------------------------------------------------
   // Instruction counts are capped at the target: a side that finished early

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <bit>
 #include <limits>
+#include <unordered_set>
 
+#include "check/check.h"
 #include "common/assert.h"
 
 namespace h2 {
@@ -90,6 +92,11 @@ void HybridMemory::fill_way(u32 set, u32 way, u64 tag, bool dirty, Requestor cls
   rw.present = present_mask & full_mask();
   rw.channel = static_cast<u8>(policy_->channel_of_way(set, way));
   rw.owner_cpu = policy_->way_owner(set, way) == Requestor::Cpu;
+  H2_CHECK(1, rw.channel < mem_->num_fast_superchannels(),
+           "policy %s placed set %u way %u on fast superchannel %u, "
+           "but only %u superchannels exist",
+           policy_->name(), set, way, rw.channel,
+           mem_->num_fast_superchannels());
   (void)cls;
   table_.touch(set, way);
 }
@@ -341,6 +348,10 @@ Cycle HybridMemory::access(Cycle now, Requestor cls, Addr addr, bool is_write) {
   policy_->tick(now);
   const u64 tag = block_of(addr);
   const u32 set = policy_->remap_set(set_of(addr), cls);
+  H2_CHECK(1, set < table_.num_sets(),
+           "policy %s cycle %llu: remapped set %u out of range [0, %u)",
+           policy_->name(), static_cast<unsigned long long>(now), set,
+           table_.num_sets());
   HybridStats& s = st(cls);
   s.demand++;
 
@@ -374,6 +385,91 @@ void HybridMemory::writeback(Cycle now, Requestor cls, Addr addr) {
   } else {
     mem_->slow_access(now, addr, kLineBytes, /*is_write=*/true, cls);
   }
+}
+
+void HybridMemory::audit_counters(Cycle now) const {
+  if (!H2_CHECK_ACTIVE(2)) return;
+  for (u32 i = 0; i < 2; ++i) {
+    const HybridStats& s = stats_[i];
+    const char* who = i == 0 ? "cpu" : "gpu";
+    H2_CHECK(2, s.demand == s.fast_hits + s.misses,
+             "hybrid memory cycle %llu: %s demand accesses not conserved "
+             "(demand=%llu != fast_hits=%llu + misses=%llu)",
+             static_cast<unsigned long long>(now), who,
+             static_cast<unsigned long long>(s.demand),
+             static_cast<unsigned long long>(s.fast_hits),
+             static_cast<unsigned long long>(s.misses));
+    H2_CHECK(2, s.misses == s.migrations + s.bypasses + s.first_touches,
+             "hybrid memory cycle %llu: %s misses not conserved "
+             "(misses=%llu != migrations=%llu + bypasses=%llu + first_touches=%llu)",
+             static_cast<unsigned long long>(now), who,
+             static_cast<unsigned long long>(s.misses),
+             static_cast<unsigned long long>(s.migrations),
+             static_cast<unsigned long long>(s.bypasses),
+             static_cast<unsigned long long>(s.first_touches));
+    H2_CHECK(2, s.chain_hits <= s.fast_hits,
+             "hybrid memory cycle %llu: %s chain_hits=%llu exceed fast_hits=%llu",
+             static_cast<unsigned long long>(now), who,
+             static_cast<unsigned long long>(s.chain_hits),
+             static_cast<unsigned long long>(s.fast_hits));
+  }
+}
+
+void HybridMemory::audit(Cycle now, const char* where) const {
+  if (!H2_CHECK_ACTIVE(2)) return;
+  audit_counters(now);
+
+  // Residency bijection + per-way structural invariants.
+  std::unordered_set<u64> resident;
+  resident.reserve(static_cast<size_t>(table_.num_sets()) * table_.assoc());
+  for (u32 set = 0; set < table_.num_sets(); ++set) {
+    for (u32 w = 0; w < table_.assoc(); ++w) {
+      const RemapWay& rw = table_.way(set, w);
+      if (!rw.valid) continue;
+      H2_CHECK(2, resident.insert(rw.tag).second,
+               "%s cycle %llu: remap not a bijection — block %llu resident "
+               "twice (second copy at set %u way %u)",
+               where, static_cast<unsigned long long>(now),
+               static_cast<unsigned long long>(rw.tag), set, w);
+      H2_CHECK(2, rw.channel < mem_->num_fast_superchannels(),
+               "%s cycle %llu: set %u way %u on superchannel %u of %u",
+               where, static_cast<unsigned long long>(now), set, w, rw.channel,
+               mem_->num_fast_superchannels());
+      H2_CHECK(2, (rw.present & ~full_mask()) == 0,
+               "%s cycle %llu: set %u way %u sub-block mask %#x exceeds "
+               "geometry mask %#x",
+               where, static_cast<unsigned long long>(now), set, w, rw.present,
+               full_mask());
+    }
+  }
+
+  // Capacity accounting: the table must cover exactly the configured fast
+  // capacity (whole sets; any remainder smaller than one set is unusable).
+  const u64 covered =
+      static_cast<u64>(table_.num_sets()) * table_.assoc() * cfg_.block_bytes;
+  H2_CHECK(2, table_.num_sets() == cfg_.num_sets() &&
+               covered <= cfg_.fast_capacity_bytes &&
+               cfg_.fast_capacity_bytes - covered <
+                   static_cast<u64>(table_.assoc()) * cfg_.block_bytes,
+           "%s cycle %llu: capacity accounting broken — %u sets x %u ways x "
+           "%llu B = %llu B vs configured %llu B",
+           where, static_cast<unsigned long long>(now), table_.num_sets(),
+           table_.assoc(), static_cast<unsigned long long>(cfg_.block_bytes),
+           static_cast<unsigned long long>(covered),
+           static_cast<unsigned long long>(cfg_.fast_capacity_bytes));
+
+  // Remap-cache contents must be a subset of the table's set range.
+  const Addr meta_limit =
+      static_cast<Addr>(table_.num_sets()) * remap_cache_.bytes_per_set();
+  for (const Addr a : remap_cache_.sram().resident_addrs()) {
+    H2_CHECK(2, a < meta_limit,
+             "%s cycle %llu: remap cache holds metadata at %llu beyond the "
+             "table (limit %llu, %u sets)",
+             where, static_cast<unsigned long long>(now),
+             static_cast<unsigned long long>(a),
+             static_cast<unsigned long long>(meta_limit), table_.num_sets());
+  }
+  remap_cache_.sram().audit();
 }
 
 void HybridMemory::run_instant_reconfig() {

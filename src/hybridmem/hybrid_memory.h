@@ -104,6 +104,18 @@ class HybridMemory {
     return s.demand ? static_cast<double>(s.fast_hits) / static_cast<double>(s.demand) : 0.0;
   }
 
+  /// Cheap counter-conservation audit (H2_CHECK level 2, O(1)): demand ==
+  /// hits + misses and misses == migrations + bypasses + first-touches, per
+  /// requestor. Suitable for epoch boundaries.
+  void audit_counters(Cycle now) const;
+
+  /// Full structural audit (H2_CHECK level 2, O(sets * assoc)): residency is
+  /// a bijection (no block in two ways), every way's channel is in range,
+  /// sub-block masks fit the geometry, remap-cache contents are a subset of
+  /// the table's set range, and capacity accounting sums to the configured
+  /// fast-tier size. `where` names the call site in failure messages.
+  void audit(Cycle now, const char* where) const;
+
  private:
   struct Lookup {
     Cycle ready;   ///< when metadata resolution completed

@@ -23,6 +23,9 @@ class RemapCache {
   void invalidate(u32 set);
 
   u32 hit_latency() const { return hit_latency_; }
+  u32 bytes_per_set() const { return bytes_per_set_; }
+  /// Underlying SRAM array (audit access: resident_addrs/audit).
+  const Cache& sram() const { return cache_; }
   u64 hits() const { return cache_.hits(); }
   u64 misses() const { return cache_.misses(); }
   double hit_rate() const { return cache_.hit_rate(); }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/check.h"
 #include "common/assert.h"
 #include "hydrogen/consistent_hash.h"
 
@@ -22,6 +23,38 @@ DecoupledPartition::DecoupledPartition(u32 num_channels, u32 assoc, u64 salt)
 void DecoupledPartition::set_config(u32 cap, u32 bw) {
   cap_ = std::clamp(cap, cap_min(), cap_max());
   bw_ = std::clamp(bw, bw_min(), bw_max());
+  if (H2_CHECK_ACTIVE(2)) audit();
+}
+
+void DecoupledPartition::audit(u32 sample_sets) const {
+  if (!H2_CHECK_ACTIVE(2)) return;
+  // Channel ring: the HRW selection must dedicate exactly bw channels.
+  if (channels_ >= 2) {
+    u32 dedicated = 0;
+    for (u32 ch = 0; ch < channels_; ++ch) dedicated += is_dedicated_channel(ch) ? 1 : 0;
+    H2_CHECK(2, dedicated == bw_,
+             "decoupled partition: HRW channel ring dedicates %u of %u "
+             "channels, configured bw=%u",
+             dedicated, channels_, bw_);
+  }
+  // Way ring: every sampled set must be fully covered — each way classified,
+  // exactly cap of them CPU, and every way mapped to a real channel.
+  for (u32 set = 0; set < sample_sets; ++set) {
+    u32 cpu_ways = 0;
+    for (u32 w = 0; w < assoc_; ++w) {
+      cpu_ways += is_cpu_way(set, w) ? 1 : 0;
+      const u32 ch = channel_of_way(set, w);
+      H2_CHECK(2, ch < channels_,
+               "decoupled partition: set %u way %u mapped to channel %u of %u",
+               set, w, ch, channels_);
+    }
+    if (assoc_ >= 2) {
+      H2_CHECK(2, cpu_ways == cap_,
+               "decoupled partition: set %u has %u CPU ways, configured cap=%u "
+               "(HRW ring does not cover the set)",
+               set, cpu_ways, cap_);
+    }
+  }
 }
 
 bool DecoupledPartition::is_cpu_way(u32 set, u32 way) const {

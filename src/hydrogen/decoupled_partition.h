@@ -47,6 +47,12 @@ class DecoupledPartition {
   /// dedicated channels (fast-memory swap, Section IV-A).
   bool is_cpu_spill_way(u32 set, u32 way) const;
 
+  /// Consistent-hash coverage audit (H2_CHECK level 2): exactly `bw`
+  /// channels are dedicated, every sampled set has exactly `cap` CPU ways,
+  /// and every (set, way) maps to a channel in range. Runs automatically at
+  /// each set_config(); `sample_sets` bounds the per-set scan.
+  void audit(u32 sample_sets = 64) const;
+
   /// Clamped legal ranges for the search (used by the hill climber).
   u32 cap_min() const { return assoc_ >= 2 ? 1 : assoc_; }
   u32 cap_max() const { return assoc_ >= 2 ? assoc_ - 1 : assoc_; }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <memory>
 
+#include "check/check.h"
 #include "common/assert.h"
 
 namespace h2 {
@@ -125,6 +126,13 @@ u64 HydrogenPolicy::token_budget_for(double frac) const {
 }
 
 bool HydrogenPolicy::apply_point(const ParamPoint& p) {
+  H2_CHECK(1, p.cap >= partition_.cap_min() && p.cap <= partition_.cap_max() &&
+               p.bw >= partition_.bw_min() && p.bw <= partition_.bw_max() &&
+               p.tok < cfg_.tok_levels.size(),
+           "hydrogen: parameter point (cap=%u, bw=%u, tok=%u) outside legal "
+           "ranges cap[%u,%u] bw[%u,%u] tok[0,%zu)",
+           p.cap, p.bw, p.tok, partition_.cap_min(), partition_.cap_max(),
+           partition_.bw_min(), partition_.bw_max(), cfg_.tok_levels.size());
   const bool changed = !(p == active_);
   active_ = p;
   partition_.set_config(p.cap, p.bw);
@@ -142,6 +150,14 @@ bool HydrogenPolicy::apply_point(const ParamPoint& p) {
 }
 
 bool HydrogenPolicy::on_epoch(const EpochFeedback& fb) {
+  // Reconfiguration happens only here, at epoch boundaries, and the epochs
+  // themselves must arrive in strictly increasing cycle order.
+  H2_CHECK(1, last_epoch_now_ == 0 || fb.now > last_epoch_now_,
+           "hydrogen: epoch feedback out of order (now=%llu after %llu)",
+           static_cast<unsigned long long>(fb.now),
+           static_cast<unsigned long long>(last_epoch_now_));
+  last_epoch_now_ = fb.now;
+
   // Refresh the GPU miss-rate estimate used to size token budgets.
   if (fb.epoch_cycles > 0) {
     const double rate =

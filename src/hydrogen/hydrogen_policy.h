@@ -100,6 +100,7 @@ class HydrogenPolicy final : public PartitionPolicy {
   Cycle next_phase_ = 0;
   bool settling_ = false;  ///< discard the epoch right after a reconfiguration
   u64 reconfigurations_ = 0;
+  Cycle last_epoch_now_ = 0;  ///< epoch-ordering invariant (H2_CHECK)
 };
 
 }  // namespace h2

@@ -10,6 +10,7 @@
 // epoch-based search.
 #pragma once
 
+#include "check/check.h"
 #include "common/types.h"
 
 namespace h2 {
@@ -17,7 +18,11 @@ namespace h2 {
 class TokenBucket {
  public:
   TokenBucket(u64 budget_per_period, Cycle period)
-      : budget_(budget_per_period), period_(period), tokens_(budget_per_period) {}
+      : budget_(budget_per_period), period_(period), tokens_(budget_per_period) {
+    // A zero period would make advance() spin forever on the first call.
+    H2_CHECK(1, period > 0, "token bucket period must be > 0 (budget=%llu)",
+             static_cast<unsigned long long>(budget_per_period));
+  }
 
   /// Changes the per-period budget (applies from the next faucet refill;
   /// the paper notes a new `tok` takes effect in the next epoch).
@@ -29,9 +34,15 @@ class TokenBucket {
   void advance(Cycle now) {
     while (now >= next_refill_) {
       tokens_ = budget_;
+      burst_ = budget_;  // a lowered budget only takes effect at this refill
       next_refill_ += period_;
       refills_++;
     }
+    H2_CHECK(1, tokens_ <= burst_,
+             "token bucket cycle %llu: %llu tokens exceed burst %llu",
+             static_cast<unsigned long long>(now),
+             static_cast<unsigned long long>(tokens_),
+             static_cast<unsigned long long>(burst_));
   }
 
   /// Consumes `n` tokens if available; returns whether the migration may
@@ -60,6 +71,7 @@ class TokenBucket {
   u64 budget_;
   Cycle period_;
   u64 tokens_;
+  u64 burst_ = budget_;  ///< budget in force at the last refill (check bound)
   Cycle next_refill_ = 0;
   u64 consumed_ = 0;
   u64 suppressed_ = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "check/check.h"
 #include "common/assert.h"
 
 namespace h2 {
@@ -44,6 +45,13 @@ Channel::Result Channel::request(Cycle now, Addr addr, u32 bytes, bool is_write,
   H2_ASSERT(bytes > 0, "zero-byte DRAM request");
   requests_++;
   if (c_refi_ > 0) apply_refresh(now);
+
+#if H2_CHECK_LEVEL >= 2
+  // Reservation-slot overlap is impossible iff the shared cursors only ever
+  // move forward; snapshot them so we can prove it for this request.
+  const Cycle prev_read_busy = read_busy_until_;
+  const Cycle prev_write_busy = write_busy_until_;
+#endif
 
   const u64 row_global = addr / timing_.row_bytes;
   const u32 bank_idx = static_cast<u32>(row_global % banks_.size());
@@ -110,6 +118,37 @@ Channel::Result Channel::request(Cycle now, Addr addr, u32 bytes, bool is_write,
   class_bytes_[static_cast<u32>(current_requestor_)] += bytes;
   const double pj_per_bit = is_write ? timing_.wr_pj_per_bit : timing_.rd_pj_per_bit;
   dynamic_energy_pj_ += pj_per_bit * 8.0 * bytes;
+
+  H2_CHECK(1, bank.open_row == row && bank.busy_until >= t,
+           "channel %u cycle %llu: illegal row-buffer transition on bank %u "
+           "(open_row=%lld expected %lld, busy_until=%llu < start=%llu)",
+           id_, static_cast<unsigned long long>(now), bank_idx,
+           static_cast<long long>(bank.open_row), static_cast<long long>(row),
+           static_cast<unsigned long long>(bank.busy_until),
+           static_cast<unsigned long long>(t));
+  H2_CHECK(1, t <= data_start && critical <= transfer,
+           "channel %u cycle %llu: result ordering broken "
+           "(start=%llu > data_start=%llu or critical=%u > transfer=%u)",
+           id_, static_cast<unsigned long long>(now),
+           static_cast<unsigned long long>(t),
+           static_cast<unsigned long long>(data_start), critical, transfer);
+#if H2_CHECK_LEVEL >= 2
+  H2_CHECK(2, read_busy_until_ >= prev_read_busy && write_busy_until_ >= prev_write_busy,
+           "channel %u cycle %llu: bus reservation overlapped an earlier slot "
+           "(read cursor %llu -> %llu, write cursor %llu -> %llu)",
+           id_, static_cast<unsigned long long>(now),
+           static_cast<unsigned long long>(prev_read_busy),
+           static_cast<unsigned long long>(read_busy_until_),
+           static_cast<unsigned long long>(prev_write_busy),
+           static_cast<unsigned long long>(write_busy_until_));
+  H2_CHECK(2, requests_ == row_hits_ + row_misses_,
+           "channel %u cycle %llu: request conservation broken "
+           "(requests=%llu != row_hits=%llu + row_misses=%llu)",
+           id_, static_cast<unsigned long long>(now),
+           static_cast<unsigned long long>(requests_),
+           static_cast<unsigned long long>(row_hits_),
+           static_cast<unsigned long long>(row_misses_));
+#endif
 
   return Result{t, data_start + critical, data_start + transfer, data_start + transfer};
 }

@@ -1,5 +1,6 @@
 #include "mem/memory_system.h"
 
+#include "check/check.h"
 #include "common/assert.h"
 
 namespace h2 {
@@ -35,12 +36,19 @@ MemorySystem::MemorySystem(const MemSystemConfig& cfg) : cfg_(cfg) {
     slow_.push_back(std::make_unique<Channel>(cfg.slow_channel_timing, cfg.core_ghz, i));
     slow_.back()->set_priority_enabled(cfg.cpu_priority);
   }
+  issued_fast_.assign(fast_.size(), 0);
+  issued_slow_.assign(slow_.size(), 0);
 }
 
 Channel::Result MemorySystem::fast_access(Cycle now, u32 superchannel, Addr addr,
                                           u32 bytes, bool is_write, Requestor who,
                                           Cycle earliest) {
+  H2_CHECK(1, superchannel < fast_.size(),
+           "%s cycle %llu: fast superchannel %u out of range [0, %zu)",
+           who == Requestor::Cpu ? "cpu" : "gpu",
+           static_cast<unsigned long long>(now), superchannel, fast_.size());
   H2_ASSERT(superchannel < fast_.size(), "fast superchannel %u out of range", superchannel);
+  issued_fast_[superchannel]++;
   Channel& ch = *fast_[superchannel];
   ch.set_requestor(who);
   return ch.request(now, addr, bytes, is_write,
@@ -51,6 +59,7 @@ Channel::Result MemorySystem::slow_access(Cycle now, Addr addr, u32 bytes,
                                           bool is_write, Requestor who,
                                           Cycle earliest) {
   Channel& ch = *slow_[slow_channel_of(addr)];
+  issued_slow_[ch.id()]++;
   ch.set_requestor(who);
   return ch.request(now, addr, bytes, is_write,
                     /*high_priority=*/who == Requestor::Cpu, earliest);
@@ -110,6 +119,28 @@ u64 MemorySystem::tier_row_misses(Tier t) const {
 void MemorySystem::reset_stats() {
   for (auto& ch : fast_) ch->reset_stats();
   for (auto& ch : slow_) ch->reset_stats();
+  issued_fast_.assign(fast_.size(), 0);
+  issued_slow_.assign(slow_.size(), 0);
+}
+
+void MemorySystem::audit(Cycle now) const {
+  if (!H2_CHECK_ACTIVE(2)) return;
+  for (size_t i = 0; i < fast_.size(); ++i) {
+    H2_CHECK(2, issued_fast_[i] == fast_[i]->requests(),
+             "memory-system cycle %llu: fast superchannel %zu lost requests "
+             "(issued=%llu != completed=%llu, in-flight must be 0 at drain)",
+             static_cast<unsigned long long>(now), i,
+             static_cast<unsigned long long>(issued_fast_[i]),
+             static_cast<unsigned long long>(fast_[i]->requests()));
+  }
+  for (size_t i = 0; i < slow_.size(); ++i) {
+    H2_CHECK(2, issued_slow_[i] == slow_[i]->requests(),
+             "memory-system cycle %llu: slow channel %zu lost requests "
+             "(issued=%llu != completed=%llu, in-flight must be 0 at drain)",
+             static_cast<unsigned long long>(now), i,
+             static_cast<unsigned long long>(issued_slow_[i]),
+             static_cast<unsigned long long>(slow_[i]->requests()));
+  }
 }
 
 double MemorySystem::fast_peak_gbps() const {

@@ -65,6 +65,18 @@ class MemorySystem {
   u64 tier_row_misses(Tier t) const;
   void reset_stats();
 
+  /// Requests issued through this facade since the last reset_stats(), per
+  /// channel. The invariant layer compares these against each Channel's own
+  /// completion counters (see audit()).
+  u64 issued_fast(u32 superchannel) const { return issued_fast_[superchannel]; }
+  u64 issued_slow(u32 channel) const { return issued_slow_[channel]; }
+
+  /// Request-conservation audit (H2_CHECK level 2): every request issued via
+  /// fast_access/slow_access must be accounted as completed by its channel —
+  /// the timing model has no queues of its own, so in-flight == 0 at any
+  /// drain point and issued must equal the channel's request count exactly.
+  void audit(Cycle now) const;
+
   const MemSystemConfig& config() const { return cfg_; }
   Channel& fast_channel(u32 i) { return *fast_[i]; }
   Channel& slow_channel(u32 i) { return *slow_[i]; }
@@ -77,6 +89,8 @@ class MemorySystem {
   MemSystemConfig cfg_;
   std::vector<std::unique_ptr<Channel>> fast_;  ///< one per superchannel
   std::vector<std::unique_ptr<Channel>> slow_;
+  std::vector<u64> issued_fast_;  ///< per superchannel, reset with reset_stats()
+  std::vector<u64> issued_slow_;  ///< per slow channel
 };
 
 }  // namespace h2

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "check/check.h"
 #include "common/assert.h"
 
 namespace h2 {
@@ -58,11 +59,19 @@ Cycle Core::step(Engine& engine, Cycle now) {
     if (pending_.write) {
       writes_.push(done);
       writes_issued_++;
+      H2_CHECK(1, writes_.size() <= params_.write_buffer,
+               "core %s cycle %llu: write buffer overflow (%zu > %u slots)",
+               name(), static_cast<unsigned long long>(now), writes_.size(),
+               params_.write_buffer);
     } else {
       reads_.push(done);
       last_read_done_ = done;
       reads_issued_++;
       read_latency_.record(done - now);
+      H2_CHECK(1, reads_.size() <= params_.mlp,
+               "core %s cycle %llu: MSHR overflow (%zu outstanding > mlp=%u)",
+               name(), static_cast<unsigned long long>(now), reads_.size(),
+               params_.mlp);
     }
 
     retired_ += pending_.gap + 1;

@@ -6,6 +6,9 @@ namespace h2 {
 
 void Engine::add_actor(Actor* actor, Cycle start) {
   H2_ASSERT(actor != nullptr, "null actor");
+#if H2_CHECK_LEVEL >= 2
+  registered_.insert(actor);
+#endif
   queue_.push(Entry{start, seq_++, actor});
 }
 
@@ -16,9 +19,16 @@ void Engine::add_periodic(Cycle period, std::function<void(Cycle)> fn) {
 }
 
 void Engine::wake(Actor* actor, Cycle when) {
-  H2_ASSERT(when >= now_, "wake in the past (%llu < %llu)",
-            static_cast<unsigned long long>(when),
-            static_cast<unsigned long long>(now_));
+  H2_CHECK(1, when >= now_, "actor %s woken in the past: when=%llu < now=%llu",
+           actor != nullptr ? actor->name() : "(null)",
+           static_cast<unsigned long long>(when),
+           static_cast<unsigned long long>(now_));
+#if H2_CHECK_LEVEL >= 2
+  H2_CHECK(2, registered_.count(actor) != 0,
+           "wake target %s at cycle %llu was never add_actor()ed",
+           actor != nullptr ? actor->name() : "(null)",
+           static_cast<unsigned long long>(when));
+#endif
   queue_.push(Entry{when, seq_++, actor});
 }
 
@@ -44,11 +54,18 @@ Cycle Engine::run(Cycle max_cycles) {
       }
     }
 
+    H2_CHECK(1, e.when >= now_,
+             "time ran backwards: actor %s queued at cycle %llu, now=%llu",
+             e.actor->name(), static_cast<unsigned long long>(e.when),
+             static_cast<unsigned long long>(now_));
     now_ = e.when;
     steps_++;
     const Cycle next = e.actor->step(*this, now_);
     if (next != kNever) {
-      H2_ASSERT(next > now_, "actor %s scheduled non-advancing step", e.actor->name());
+      H2_CHECK(1, next > now_,
+               "actor %s scheduled non-advancing step: next=%llu <= now=%llu",
+               e.actor->name(), static_cast<unsigned long long>(next),
+               static_cast<unsigned long long>(now_));
       queue_.push(Entry{next, seq_++, e.actor});
     }
   }

@@ -16,8 +16,13 @@
 #include <queue>
 #include <vector>
 
+#include "check/check.h"
 #include "common/assert.h"
 #include "common/types.h"
+
+#if H2_CHECK_LEVEL >= 2
+#include <unordered_set>
+#endif
 
 namespace h2 {
 
@@ -81,6 +86,9 @@ class Engine {
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
   std::vector<PeriodicHook> hooks_;
   std::vector<Cycle> hook_next_;
+#if H2_CHECK_LEVEL >= 2
+  std::unordered_set<const Actor*> registered_;  // wake() targets must be known
+#endif
   Cycle now_ = 0;
   u64 seq_ = 0;
   u64 steps_ = 0;

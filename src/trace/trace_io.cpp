@@ -3,8 +3,6 @@
 #include <cstdio>
 #include <memory>
 
-#include "common/assert.h"
-
 namespace h2 {
 
 namespace {
@@ -27,6 +25,8 @@ struct Record {
 };
 #pragma pack(pop)
 
+constexpr u8 kKnownFlags = 0x3;
+
 struct FileCloser {
   void operator()(std::FILE* f) const {
     if (f) std::fclose(f);
@@ -34,13 +34,29 @@ struct FileCloser {
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
+[[noreturn]] void trace_fail(const std::string& path, const std::string& why) {
+  throw TraceError(path + ": " + why);
+}
+
+/// Byte size of the file, via seek-to-end (the files are small enough that
+/// an extra seek beats platform-specific stat plumbing).
+u64 file_size(std::FILE* f, const std::string& path) {
+  if (std::fseek(f, 0, SEEK_END) != 0) trace_fail(path, "seek failed");
+  const long end = std::ftell(f);
+  if (end < 0) trace_fail(path, "tell failed");
+  if (std::fseek(f, 0, SEEK_SET) != 0) trace_fail(path, "seek failed");
+  return static_cast<u64>(end);
+}
+
 }  // namespace
 
 u64 record_trace(AccessGenerator& gen, u64 count, const std::string& path) {
   FilePtr f(std::fopen(path.c_str(), "wb"));
-  H2_ASSERT(f != nullptr, "cannot open %s for writing", path.c_str());
+  if (!f) trace_fail(path, "cannot open for writing");
   Header h{kMagic, kVersion, count, gen.footprint_bytes()};
-  H2_ASSERT(std::fwrite(&h, sizeof(h), 1, f.get()) == 1, "header write failed");
+  if (std::fwrite(&h, sizeof(h), 1, f.get()) != 1) {
+    trace_fail(path, "header write failed");
+  }
   u64 bytes = sizeof(h);
   // Buffered in chunks to keep the write fast without holding the whole trace.
   constexpr u64 kChunk = 1 << 14;
@@ -51,8 +67,9 @@ u64 record_trace(AccessGenerator& gen, u64 count, const std::string& path) {
     buf.push_back(Record{a.addr, a.gap,
                          static_cast<u8>((a.write ? 1u : 0u) | (a.dependent ? 2u : 0u))});
     if (buf.size() == kChunk || i + 1 == count) {
-      H2_ASSERT(std::fwrite(buf.data(), sizeof(Record), buf.size(), f.get()) == buf.size(),
-                "record write failed");
+      if (std::fwrite(buf.data(), sizeof(Record), buf.size(), f.get()) != buf.size()) {
+        trace_fail(path, "record write failed");
+      }
       bytes += buf.size() * sizeof(Record);
       buf.clear();
     }
@@ -62,11 +79,30 @@ u64 record_trace(AccessGenerator& gen, u64 count, const std::string& path) {
 
 std::vector<Access> load_trace(const std::string& path, u64* footprint_out) {
   FilePtr f(std::fopen(path.c_str(), "rb"));
-  H2_ASSERT(f != nullptr, "cannot open %s for reading", path.c_str());
+  if (!f) trace_fail(path, "cannot open for reading");
+  const u64 size = file_size(f.get(), path);
   Header h{};
-  H2_ASSERT(std::fread(&h, sizeof(h), 1, f.get()) == 1, "header read failed");
-  H2_ASSERT(h.magic == kMagic, "%s is not a Hydrogen trace", path.c_str());
-  H2_ASSERT(h.version == kVersion, "unsupported trace version %u", h.version);
+  if (size < sizeof(h) || std::fread(&h, sizeof(h), 1, f.get()) != 1) {
+    trace_fail(path, "truncated header (file is " + std::to_string(size) +
+                         " bytes, header needs " + std::to_string(sizeof(h)) + ")");
+  }
+  if (h.magic != kMagic) trace_fail(path, "not a Hydrogen trace (bad magic)");
+  if (h.version != kVersion) {
+    trace_fail(path, "unsupported trace version " + std::to_string(h.version));
+  }
+  // Validate the record count against the actual file size *before* reserving
+  // memory for it: a corrupted count would otherwise turn into a multi-GiB
+  // allocation (or an overflowing reserve) instead of a clean error.
+  const u64 payload = size - sizeof(h);
+  if (payload % sizeof(Record) != 0) {
+    trace_fail(path, "trailing partial record (" +
+                         std::to_string(payload % sizeof(Record)) + " stray bytes)");
+  }
+  const u64 available = payload / sizeof(Record);
+  if (h.count != available) {
+    trace_fail(path, "truncated: header promises " + std::to_string(h.count) +
+                         " records but the file holds " + std::to_string(available));
+  }
   if (footprint_out) *footprint_out = h.footprint;
   std::vector<Access> out;
   out.reserve(h.count);
@@ -75,8 +111,14 @@ std::vector<Access> load_trace(const std::string& path, u64* footprint_out) {
   while (remaining > 0) {
     const u64 want = std::min<u64>(remaining, buf.size());
     const u64 got = std::fread(buf.data(), sizeof(Record), want, f.get());
-    H2_ASSERT(got == want, "trace truncated: %s", path.c_str());
+    if (got != want) trace_fail(path, "read failed mid-trace");
     for (u64 i = 0; i < got; ++i) {
+      if ((buf[i].flags & ~kKnownFlags) != 0) {
+        trace_fail(path, "garbage record " +
+                             std::to_string(h.count - remaining + i) +
+                             ": undefined flag bits 0x" +
+                             std::to_string(buf[i].flags & ~kKnownFlags));
+      }
       out.push_back(Access{buf[i].addr, buf[i].gap, (buf[i].flags & 1) != 0,
                            (buf[i].flags & 2) != 0});
     }

@@ -3,6 +3,7 @@
 // header followed by packed fixed-width records; fully deterministic.
 #pragma once
 
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -11,11 +12,22 @@
 
 namespace h2 {
 
+/// Thrown by the trace reader/writer on I/O failures and malformed files
+/// (bad magic, unsupported version, truncation, garbage records). Trace
+/// files cross the process boundary, so unlike internal invariants these
+/// are recoverable errors, not aborts.
+class TraceError : public std::runtime_error {
+ public:
+  explicit TraceError(const std::string& what) : std::runtime_error(what) {}
+};
+
 /// Writes `count` accesses drawn from `gen` to `path`. Returns bytes written.
+/// Throws TraceError if the file cannot be opened or a write fails.
 u64 record_trace(AccessGenerator& gen, u64 count, const std::string& path);
 
 /// Loads a trace file previously written by record_trace. If `footprint_out`
-/// is non-null, receives the recorded footprint. Aborts on malformed files.
+/// is non-null, receives the recorded footprint. Throws TraceError on
+/// malformed files.
 std::vector<Access> load_trace(const std::string& path, u64* footprint_out = nullptr);
 
 /// Convenience: load a recorded trace as a ReplayGenerator; the footprint is

@@ -46,16 +46,26 @@ TEST(BenchArgs, DefaultsWithNoFlags) {
   EXPECT_FALSE(args.hbm3);
   EXPECT_TRUE(args.csv_path.empty());
   EXPECT_EQ(args.jobs, 0u);  // 0 = auto (H2_JOBS / hardware threads)
+  EXPECT_EQ(args.check_level, -1);  // -1 = leave the compiled default
 }
 
 TEST(BenchArgs, AcceptsEveryFlag) {
-  const BenchArgs args =
-      parse_ok({"--quick", "--full", "--hbm3", "--csv", "out.csv", "--jobs", "4"});
+  const BenchArgs args = parse_ok({"--quick", "--full", "--hbm3", "--csv",
+                                   "out.csv", "--jobs", "4", "--check", "0"});
   EXPECT_TRUE(args.quick);
   EXPECT_TRUE(args.full);
   EXPECT_TRUE(args.hbm3);
   EXPECT_EQ(args.csv_path, "out.csv");
   EXPECT_EQ(args.jobs, 4u);
+  EXPECT_EQ(args.check_level, 0);
+}
+
+TEST(BenchArgs, RejectsNegativeCheckLevel) {
+  EXPECT_NE(parse_error({"--check", "-1"}).find("--check"), std::string::npos);
+}
+
+TEST(BenchArgs, RejectsNonNumericCheckLevel) {
+  EXPECT_NE(parse_error({"--check", "full"}).find("full"), std::string::npos);
 }
 
 TEST(BenchArgs, CapturesCsvPath) {

@@ -1,0 +1,176 @@
+// The invariant layer itself: macro semantics (evaluation gating, runtime
+// clamping) and seeded violations through real subsystems — each must be
+// caught with a message naming the actor, the cycle, and the quantity.
+#include "check/check.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "hydrogen/token_bucket.h"
+#include "mem/memory_system.h"
+#include "sim/engine.h"
+
+namespace h2 {
+namespace {
+
+using check::CheckError;
+using check::ScopedThrowingHandler;
+
+TEST(Check, CompiledLevelMatchesMacro) {
+  EXPECT_EQ(check::compiled_level(), H2_CHECK_LEVEL);
+}
+
+TEST(Check, RuntimeLevelClampsToCompiledCeiling) {
+  ScopedThrowingHandler guard;
+  check::set_runtime_level(99);
+  EXPECT_EQ(check::runtime_level(), check::compiled_level());
+  check::set_runtime_level(-5);
+  EXPECT_EQ(check::runtime_level(), 0);
+}
+
+TEST(Check, FailureMessageNamesSiteAndCondition) {
+  if (check::compiled_level() < 1) GTEST_SKIP() << "checks compiled out";
+  ScopedThrowingHandler guard;
+  try {
+    H2_CHECK(1, 1 + 1 == 3, "cycle %d: the %s is wrong", 7, "arithmetic");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("test_check.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find("1 + 1 == 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("cycle 7: the arithmetic is wrong"), std::string::npos) << what;
+  }
+}
+
+TEST(Check, ConditionNotEvaluatedWhenRuntimeDisabled) {
+  if (check::compiled_level() < 1) GTEST_SKIP() << "checks compiled out";
+  ScopedThrowingHandler guard;
+  check::set_runtime_level(0);
+  int evaluations = 0;
+  auto touch = [&]() {
+    ++evaluations;
+    return false;
+  };
+  H2_CHECK(1, touch(), "must not fire");
+  EXPECT_EQ(evaluations, 0);
+  EXPECT_FALSE(H2_CHECK_ACTIVE(1));
+}
+
+TEST(Check, ActiveTracksRuntimeLevel) {
+  ScopedThrowingHandler guard;
+  check::set_runtime_level(check::compiled_level());
+  EXPECT_EQ(H2_CHECK_ACTIVE(1), check::compiled_level() >= 1);
+  EXPECT_EQ(H2_CHECK_ACTIVE(2), check::compiled_level() >= 2);
+}
+
+// ---- seeded violations through real subsystems ----------------------------
+
+/// An actor that deliberately returns a non-advancing next-step cycle.
+class StuckActor final : public Actor {
+ public:
+  Cycle step(Engine&, Cycle now) override { return now; }  // illegal: not > now
+  const char* name() const override { return "stuck-actor"; }
+};
+
+TEST(CheckViolation, EngineCatchesNonAdvancingActor) {
+  if (check::compiled_level() < 1) GTEST_SKIP() << "checks compiled out";
+  ScopedThrowingHandler guard;
+  Engine e;
+  StuckActor bad;
+  e.add_actor(&bad, 10);
+  try {
+    e.run(1000);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& ex) {
+    const std::string what = ex.what();
+    EXPECT_NE(what.find("stuck-actor"), std::string::npos) << what;
+    EXPECT_NE(what.find("10"), std::string::npos) << what;
+    EXPECT_NE(what.find("non-advancing"), std::string::npos) << what;
+  }
+}
+
+TEST(CheckViolation, EngineCatchesWakeIntoThePast) {
+  if (check::compiled_level() < 1) GTEST_SKIP() << "checks compiled out";
+  ScopedThrowingHandler guard;
+
+  class RewindActor final : public Actor {
+   public:
+    Cycle step(Engine& e, Cycle now) override {
+      if (now >= 20) {
+        e.wake(this, now - 15);  // illegal: before current time
+        return kNever;
+      }
+      return now + 10;
+    }
+    const char* name() const override { return "rewind-actor"; }
+  };
+
+  Engine e;
+  RewindActor bad;
+  e.add_actor(&bad, 0);
+  try {
+    e.run(1000);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& ex) {
+    const std::string what = ex.what();
+    EXPECT_NE(what.find("rewind-actor"), std::string::npos) << what;
+    EXPECT_NE(what.find("woken in the past"), std::string::npos) << what;
+  }
+}
+
+TEST(CheckViolation, EngineCatchesWakeOfUnregisteredActor) {
+  if (check::compiled_level() < 2) GTEST_SKIP() << "level-2 checks compiled out";
+  ScopedThrowingHandler guard;
+  Engine e;
+  StuckActor stranger;  // never add_actor()ed
+  try {
+    e.wake(&stranger, 5);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& ex) {
+    const std::string what = ex.what();
+    EXPECT_NE(what.find("never add_actor()ed"), std::string::npos) << what;
+  }
+}
+
+TEST(CheckViolation, MemorySystemCatchesOutOfRangeSuperchannel) {
+  if (check::compiled_level() < 1) GTEST_SKIP() << "checks compiled out";
+  ScopedThrowingHandler guard;
+  MemorySystem mem(MemSystemConfig::table1_default());
+  const u32 bogus = mem.num_fast_superchannels() + 3;
+  try {
+    mem.fast_access(100, bogus, 0x1000, 64, false, Requestor::Gpu);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& ex) {
+    const std::string what = ex.what();
+    EXPECT_NE(what.find("gpu"), std::string::npos) << what;
+    EXPECT_NE(what.find("100"), std::string::npos) << what;
+    EXPECT_NE(what.find("superchannel"), std::string::npos) << what;
+  }
+}
+
+TEST(CheckViolation, MemorySystemAuditCatchesLostRequests) {
+  if (check::compiled_level() < 2) GTEST_SKIP() << "level-2 checks compiled out";
+  ScopedThrowingHandler guard;
+  MemorySystem mem(MemSystemConfig::table1_default());
+  mem.fast_access(0, 0, 0x0, 64, false, Requestor::Cpu);
+  // Bypass the facade: the channel completes a request the facade never
+  // issued, so the conservation audit must flag the imbalance.
+  mem.fast_channel(0).request(50, 0x2000, 64, false);
+  try {
+    mem.audit(1000);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& ex) {
+    const std::string what = ex.what();
+    EXPECT_NE(what.find("lost requests"), std::string::npos) << what;
+  }
+}
+
+TEST(CheckViolation, TokenBucketRejectsZeroPeriod) {
+  if (check::compiled_level() < 1) GTEST_SKIP() << "checks compiled out";
+  ScopedThrowingHandler guard;
+  EXPECT_THROW(TokenBucket(100, 0), CheckError);
+}
+
+}  // namespace
+}  // namespace h2

@@ -104,30 +104,33 @@ TEST(Engine, StopFromHookTerminatesRun) {
 }
 
 TEST(Engine, WakeReschedulesIdleActor) {
-  Engine e;
-  RecordingActor a(10, 1);  // steps once then idles
-  e.add_actor(&a, 0);
-  e.run();
-  EXPECT_EQ(a.visits.size(), 1u);
-  // Re-arm and run again.
-  a.visits.clear();
+  // Wake's contract is to re-arm an *idle registered* actor (a level-2 check
+  // rejects wake targets that were never add_actor()ed).
+  class Rearmable final : public Actor {
+   public:
+    Cycle step(Engine&, Cycle now) override {
+      visits.push_back(now);
+      return kNever;  // idles after every step; only wake() re-arms it
+    }
+    std::vector<Cycle> visits;
+  };
   class OneShot final : public Actor {
    public:
-    explicit OneShot(RecordingActor* target) : target_(target) {}
+    explicit OneShot(Actor* target) : target_(target) {}
     Cycle step(Engine& e, Cycle now) override {
       e.wake(target_, now + 5);
       return kNever;
     }
    private:
-    RecordingActor* target_;
+    Actor* target_;
   };
-  // A stepped RecordingActor with remaining_ == 0 would underflow; use a fresh one.
-  RecordingActor fresh(10, 2);
-  OneShot shot(&fresh);
-  Engine e2;
-  e2.add_actor(&shot, 7);
-  e2.run();
-  EXPECT_EQ(fresh.visits, (std::vector<Cycle>{12, 22}));
+  Rearmable sleeper;
+  OneShot shot(&sleeper);
+  Engine e;
+  e.add_actor(&sleeper, 0);  // steps at 0, then idles
+  e.add_actor(&shot, 7);     // re-arms the sleeper for cycle 12
+  e.run();
+  EXPECT_EQ(sleeper.visits, (std::vector<Cycle>{0, 12}));
 }
 
 }  // namespace

@@ -4,6 +4,8 @@
 // their traffic stays within the recorded footprints.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <filesystem>
 
 #include "harness/experiment.h"
@@ -16,7 +18,12 @@ namespace {
 class ReplayExperiment : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = (std::filesystem::temp_directory_path() / "h2_replay_traces").string();
+    // Per-process directory: ctest runs each test case as its own process,
+    // possibly in parallel, and TearDown's remove_all must never yank traces
+    // out from under a sibling test.
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("h2_replay_traces." + std::to_string(::getpid())))
+               .string();
     std::filesystem::create_directories(dir_);
     // Record every workload C2 needs, at the scale the experiment will use.
     const ComboSpec& cb = combo("C2");

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 
 #include "trace/workloads.h"
 
@@ -12,6 +13,26 @@ namespace {
 
 std::string temp_path(const std::string& name) {
   return (std::filesystem::temp_directory_path() / name).string();
+}
+
+/// Writes a small valid trace and returns its path (caller removes it).
+std::string write_valid_trace(const std::string& name, u64 count) {
+  const std::string path = temp_path(name);
+  WorkloadSpec s = cpu_workload_spec("gcc");
+  SyntheticGenerator gen(s, 42);
+  record_trace(gen, count, path);
+  return path;
+}
+
+std::vector<char> slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  return std::vector<char>(std::istreambuf_iterator<char>(f),
+                           std::istreambuf_iterator<char>());
+}
+
+void dump(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
 }
 
 TEST(TraceIo, RoundTripPreservesAccesses) {
@@ -70,6 +91,125 @@ TEST(TraceIo, FlagsPackBothBits) {
   EXPECT_TRUE(loaded[2].write);
   EXPECT_FALSE(loaded[2].dependent);
   std::remove(path.c_str());
+}
+
+// ---- negative paths: every malformed input must throw TraceError with a ----
+// ---- useful message, never crash or silently misparse.                  ----
+
+TEST(TraceIoNegative, MissingFileThrows) {
+  EXPECT_THROW(load_trace(temp_path("h2_trace_does_not_exist.bin")), TraceError);
+}
+
+TEST(TraceIoNegative, EmptyFileThrows) {
+  const std::string path = temp_path("h2_trace_empty.bin");
+  dump(path, {});
+  EXPECT_THROW(load_trace(path), TraceError);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoNegative, TruncatedHeaderThrows) {
+  const std::string path = write_valid_trace("h2_trace_short_header.bin", 10);
+  auto bytes = slurp(path);
+  bytes.resize(7);  // mid-header
+  dump(path, bytes);
+  try {
+    load_trace(path);
+    FAIL() << "expected TraceError";
+  } catch (const TraceError& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated header"), std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoNegative, BadMagicThrows) {
+  const std::string path = write_valid_trace("h2_trace_bad_magic.bin", 10);
+  auto bytes = slurp(path);
+  bytes[0] = 'X';
+  dump(path, bytes);
+  try {
+    load_trace(path);
+    FAIL() << "expected TraceError";
+  } catch (const TraceError& e) {
+    EXPECT_NE(std::string(e.what()).find("bad magic"), std::string::npos) << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoNegative, UnsupportedVersionThrows) {
+  const std::string path = write_valid_trace("h2_trace_bad_version.bin", 10);
+  auto bytes = slurp(path);
+  bytes[4] = 99;  // version field follows the 4-byte magic
+  dump(path, bytes);
+  try {
+    load_trace(path);
+    FAIL() << "expected TraceError";
+  } catch (const TraceError& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos) << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoNegative, TruncatedRecordsThrow) {
+  const std::string path = write_valid_trace("h2_trace_truncated.bin", 100);
+  auto bytes = slurp(path);
+  // Chop off the last 4 records exactly (13 bytes each, packed).
+  bytes.resize(bytes.size() - 4 * 13);
+  dump(path, bytes);
+  try {
+    load_trace(path);
+    FAIL() << "expected TraceError";
+  } catch (const TraceError& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos) << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoNegative, TrailingPartialRecordThrows) {
+  const std::string path = write_valid_trace("h2_trace_partial.bin", 100);
+  auto bytes = slurp(path);
+  bytes.resize(bytes.size() - 5);  // tear the final record in half
+  dump(path, bytes);
+  try {
+    load_trace(path);
+    FAIL() << "expected TraceError";
+  } catch (const TraceError& e) {
+    EXPECT_NE(std::string(e.what()).find("partial record"), std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoNegative, HugeCountDoesNotAllocate) {
+  // A corrupted count must be rejected against the file size before
+  // reserve() — not after a multi-GiB allocation attempt.
+  const std::string path = write_valid_trace("h2_trace_huge_count.bin", 10);
+  auto bytes = slurp(path);
+  for (int i = 8; i < 16; ++i) bytes[i] = static_cast<char>(0xff);  // count = ~0
+  dump(path, bytes);
+  EXPECT_THROW(load_trace(path), TraceError);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoNegative, GarbageFlagBitsThrow) {
+  const std::string path = write_valid_trace("h2_trace_garbage.bin", 10);
+  auto bytes = slurp(path);
+  bytes.back() = static_cast<char>(0xf4);  // last record's flag byte: undefined bits
+  dump(path, bytes);
+  try {
+    load_trace(path);
+    FAIL() << "expected TraceError";
+  } catch (const TraceError& e) {
+    EXPECT_NE(std::string(e.what()).find("undefined flag bits"), std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoNegative, UnwritablePathThrows) {
+  WorkloadSpec s = cpu_workload_spec("gcc");
+  SyntheticGenerator gen(s, 42);
+  EXPECT_THROW(record_trace(gen, 10, "/nonexistent-dir/out.trace"), TraceError);
 }
 
 }  // namespace

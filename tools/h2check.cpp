@@ -1,0 +1,116 @@
+// h2check — the differential-oracle front end (see src/check/oracle.h).
+//
+//   h2check [--workloads a,b,c] [--gpu <name>] [--designs baseline,hydrogen-setpart]
+//           [--accesses <n>] [--seed <n>] [--check <level>]
+//
+// Replays each (CPU workload, design) pair through the full simulator and
+// the independent reference model, and reports per-pair conservation diffs.
+// Exit status is 0 iff every pair matches on every conserved quantity, which
+// makes this binary a ctest entry (see tools/CMakeLists.txt).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "check/check.h"
+#include "check/oracle.h"
+
+using namespace h2;
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: h2check [--workloads a,b,c] [--gpu <name>]\n"
+               "               [--designs baseline,hydrogen-setpart]\n"
+               "               [--accesses <n>] [--seed <n>] [--check <level>]\n");
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  size_t from = 0;
+  while (from <= s.size()) {
+    const size_t comma = s.find(',', from);
+    const std::string item = s.substr(from, comma - from);
+    if (!item.empty()) out.push_back(item);
+    if (comma == std::string::npos) break;
+    from = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> workloads = {"gcc", "mcf", "lbm"};
+  std::vector<std::string> designs = {"baseline", "hydrogen-setpart"};
+  OracleConfig base;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--workloads") {
+      workloads = split_csv(value());
+    } else if (arg == "--gpu") {
+      base.gpu_workload = value();
+    } else if (arg == "--designs") {
+      designs = split_csv(value());
+    } else if (arg == "--accesses") {
+      base.accesses = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--seed") {
+      base.seed = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--check") {
+      check::set_runtime_level(std::atoi(value()));
+    } else {
+      usage();
+      return 2;
+    }
+  }
+  if (workloads.empty() || designs.empty() || base.accesses == 0) {
+    usage();
+    return 2;
+  }
+
+  int failures = 0;
+  for (const std::string& design : designs) {
+    for (const std::string& wl : workloads) {
+      OracleConfig cfg = base;
+      cfg.cpu_workload = wl;
+      cfg.design = design;
+      OracleReport rep;
+      try {
+        rep = run_oracle(cfg);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "FAIL %-16s %-18s error: %s\n", design.c_str(),
+                     wl.c_str(), e.what());
+        failures++;
+        continue;
+      }
+      if (rep.ok()) {
+        std::printf("PASS %-16s %-18s %llu accesses, %llu quantities conserved\n",
+                    design.c_str(), wl.c_str(),
+                    static_cast<unsigned long long>(rep.accesses),
+                    static_cast<unsigned long long>(rep.quantities));
+      } else {
+        failures++;
+        std::printf("FAIL %-16s %-18s %zu of %llu quantities differ:\n",
+                    design.c_str(), wl.c_str(), rep.diffs.size(),
+                    static_cast<unsigned long long>(rep.quantities));
+        for (const std::string& d : rep.diffs) std::printf("  %s\n", d.c_str());
+      }
+    }
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "h2check: %d pair(s) diverged\n", failures);
+    return 1;
+  }
+  return 0;
+}

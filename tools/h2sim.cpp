@@ -2,7 +2,7 @@
 // artifact's T2 stage (`sims/build/opt/zsim sims/<design>/zsim.cfg`).
 //
 //   h2sim <config.cfg> [more.cfg ...] [--out results.csv] [--print-config]
-//         [--jobs <n>]
+//         [--jobs <n>] [--check <n>]
 //
 // Each config file describes one experiment (see configs/*.cfg and
 // harness/config_loader.h for the key reference). Multiple configs run in
@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "check/check.h"
 #include "common/stats.h"
 #include "harness/config_loader.h"
 #include "harness/report.h"
@@ -27,7 +28,7 @@ namespace {
 
 void usage() {
   std::cerr << "usage: h2sim <config.cfg> [more.cfg ...] [--out results.csv]"
-               " [--print-config] [--jobs <n>]\n";
+               " [--print-config] [--jobs <n>] [--check <n>]\n";
 }
 
 void append_csv(const std::string& path, const ExperimentResult& r,
@@ -92,6 +93,15 @@ int main(int argc, char** argv) {
         return 2;
       }
       jobs = static_cast<u32>(n);
+    } else if (a == "--check" && i + 1 < argc) {
+      const std::string v = argv[++i];
+      char* end = nullptr;
+      const long n = std::strtol(v.c_str(), &end, 10);
+      if (!end || *end != '\0' || n < 0) {
+        std::cerr << "--check expects a non-negative integer, got '" << v << "'\n";
+        return 2;
+      }
+      check::set_runtime_level(static_cast<int>(n));
     } else if (a == "--help" || a == "-h") {
       usage();
       return 0;

@@ -108,7 +108,12 @@ int main(int argc, char** argv) {
 
   if (cmd == "info") {
     if (pos.size() != 1) return usage();
-    return cmd_info(pos[0]);
+    try {
+      return cmd_info(pos[0]);
+    } catch (const TraceError& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 1;
+    }
   }
 
   if (cmd == "generate") {
@@ -118,7 +123,12 @@ int main(int argc, char** argv) {
       std::cerr << "unknown workload '" << pos[0] << "' (try: h2trace list)\n";
       return 1;
     }
-    write_one(*spec, std::stoull(pos[1]), pos[2], seed, scale);
+    try {
+      write_one(*spec, std::stoull(pos[1]), pos[2], seed, scale);
+    } catch (const TraceError& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 1;
+    }
     return 0;
   }
 
@@ -127,11 +137,16 @@ int main(int argc, char** argv) {
     const u64 count = std::stoull(pos[0]);
     const std::filesystem::path dir = pos[1];
     std::filesystem::create_directories(dir);
-    for (const auto& n : cpu_workload_names()) {
-      write_one(cpu_workload_spec(n), count, (dir / (n + ".trace")).string(), seed, scale);
-    }
-    for (const auto& n : gpu_workload_names()) {
-      write_one(gpu_workload_spec(n), count, (dir / (n + ".trace")).string(), seed, scale);
+    try {
+      for (const auto& n : cpu_workload_names()) {
+        write_one(cpu_workload_spec(n), count, (dir / (n + ".trace")).string(), seed, scale);
+      }
+      for (const auto& n : gpu_workload_names()) {
+        write_one(gpu_workload_spec(n), count, (dir / (n + ".trace")).string(), seed, scale);
+      }
+    } catch (const TraceError& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 1;
     }
     return 0;
   }
