@@ -9,6 +9,13 @@
 //                  hardware threads); results are bit-identical at any n
 //   --check <n>    runtime invariant level (clamped to the compiled
 //                  H2_CHECK_LEVEL ceiling; see TESTING.md)
+// and the crash-safety / fault flags (see src/harness/sweep.h):
+//   --run-timeout <sec>  per-run watchdog budget (0 = off)
+//   --retries <n>        retry transient failures up to n times
+//   --strict             exit non-zero when any sweep slot failed
+//   --fault <spec>       arm a fault around every run (check/fault.h grammar)
+//   --journal <path>     per-run JSONL journal (default: <csv>.journal)
+//   --resume             restore journaled ok runs instead of re-running
 #pragma once
 
 #include <cstdlib>
@@ -18,6 +25,7 @@
 #include <vector>
 
 #include "check/check.h"
+#include "common/assert.h"
 #include "harness/experiment.h"
 #include "harness/report.h"
 #include "harness/sweep.h"
@@ -31,6 +39,12 @@ struct BenchArgs {
   std::string csv_path;
   u32 jobs = 0;  ///< sweep workers; 0 = auto (H2_JOBS / hardware threads)
   int check_level = -1;  ///< runtime invariant level; -1 = leave the default
+  double run_timeout = 0.0;  ///< per-run watchdog budget in seconds; 0 = off
+  u32 retries = 0;           ///< transient-failure retries per run
+  bool strict = false;       ///< exit non-zero when any sweep slot failed
+  std::string fault_spec;    ///< --fault; "" also falls back to H2_FAULT
+  std::string journal_path;  ///< --journal; "" derives <csv>.journal
+  bool resume = false;       ///< restore journaled ok runs
 
   /// Parses argv without exiting: on success fills *out and returns true; on
   /// a bad flag returns false with a diagnostic in *error. The exiting
@@ -65,10 +79,37 @@ struct BenchArgs {
           return false;
         }
         args.check_level = static_cast<int>(n);
+      } else if (a == "--run-timeout" && i + 1 < argc) {
+        const std::string v = argv[++i];
+        char* end = nullptr;
+        const double s = std::strtod(v.c_str(), &end);
+        if (!end || *end != '\0' || v.empty() || s < 0) {
+          *error = "--run-timeout expects seconds >= 0, got '" + v + "'";
+          return false;
+        }
+        args.run_timeout = s;
+      } else if (a == "--retries" && i + 1 < argc) {
+        const std::string v = argv[++i];
+        char* end = nullptr;
+        const long n = std::strtol(v.c_str(), &end, 10);
+        if (!end || *end != '\0' || v.empty() || n < 0) {
+          *error = "--retries expects a non-negative integer, got '" + v + "'";
+          return false;
+        }
+        args.retries = static_cast<u32>(n);
+      } else if (a == "--strict") {
+        args.strict = true;
+      } else if (a == "--fault" && i + 1 < argc) {
+        args.fault_spec = argv[++i];
+      } else if (a == "--journal" && i + 1 < argc) {
+        args.journal_path = argv[++i];
+      } else if (a == "--resume") {
+        args.resume = true;
       } else {
         *error = "unknown argument: " + a +
                  " (supported: --quick --full --hbm3 --csv <path> --jobs <n>"
-                 " --check <n>)";
+                 " --check <n> --run-timeout <sec> --retries <n> --strict"
+                 " --fault <spec> --journal <path> --resume)";
         return false;
       }
     }
@@ -119,27 +160,80 @@ inline std::vector<DesignSpec> fig5_designs() {
           DesignSpec::hydrogen_dp_token(), DesignSpec::hydrogen_full()};
 }
 
+/// Sweep results with per-slot failure state. Indexing mimics the old
+/// vector<ExperimentResult> API so bench tables read `results[k]` unchanged,
+/// but a failed slot trips an H2_ASSERT naming the run — benches that can
+/// degrade gracefully (fig05) guard cells with ok(i) instead.
+class SweepResultSet {
+ public:
+  explicit SweepResultSet(std::vector<SweepRun> runs) : runs_(std::move(runs)) {}
+
+  size_t size() const { return runs_.size(); }
+  bool ok(size_t i) const { return runs_.at(i).ok; }
+  const SweepRun& run(size_t i) const { return runs_.at(i); }
+
+  size_t failures() const {
+    size_t n = 0;
+    for (const SweepRun& r : runs_) n += r.ok ? 0 : 1;
+    return n;
+  }
+
+  const ExperimentResult& operator[](size_t i) const {
+    const SweepRun& r = runs_.at(i);
+    H2_ASSERT(r.ok, "sweep run [%s / %s] %s: %s (this figure needs the cell; "
+                    "re-run, or use --strict to fail the whole sweep up front)",
+              r.combo.c_str(), r.design.c_str(), to_string(r.status),
+              r.error.c_str());
+    return r.result;
+  }
+  const ExperimentResult& front() const { return (*this)[0]; }
+  const ExperimentResult& back() const { return (*this)[runs_.size() - 1]; }
+
+ private:
+  std::vector<SweepRun> runs_;
+};
+
 /// Fans a batch of experiments out over the sweep runner (respecting
-/// --jobs / H2_JOBS) and returns the results in submission order, with
-/// progress markers on stderr (so CSV on stdout stays clean). A failed run
-/// aborts the bench: the figures need every cell of their tables.
-inline std::vector<ExperimentResult> run_sweep(
-    const std::vector<ExperimentConfig>& cfgs, const BenchArgs& args) {
+/// --jobs / H2_JOBS / the crash-safety flags) and returns the results in
+/// submission order, with progress markers on stderr (so CSV on stdout stays
+/// clean). Failed slots are captured, summarised on stderr, and fail the
+/// process up front only under --strict; otherwise each figure decides
+/// whether it can degrade (SweepResultSet above).
+inline SweepResultSet run_sweep(const std::vector<ExperimentConfig>& cfgs,
+                                const BenchArgs& args) {
   SweepOptions opts;
   opts.jobs = args.jobs;
   opts.verbose = true;
+  opts.run_timeout_seconds = args.run_timeout;
+  opts.max_retries = args.retries;
+  opts.fault_spec = args.fault_spec;
+  opts.journal_path = args.journal_path;
+  if (opts.journal_path.empty() && !args.csv_path.empty()) {
+    opts.journal_path = args.csv_path + ".journal";  // journal rides with the CSV
+  }
+  opts.resume = args.resume;
+  if (opts.resume && opts.journal_path.empty()) {
+    std::cerr << "error: --resume needs --journal <path> or --csv <path>\n";
+    std::exit(2);
+  }
   std::vector<SweepRun> runs = h2::run_sweep(cfgs, opts);
-  std::vector<ExperimentResult> results;
-  results.reserve(runs.size());
-  for (SweepRun& run : runs) {
-    if (!run.ok) {
-      std::cerr << "error: sweep run [" << run.combo << " / " << run.design
-                << "] failed: " << run.error << "\n";
+
+  size_t failed = 0;
+  for (const SweepRun& run : runs) failed += run.ok ? 0 : 1;
+  if (failed > 0) {
+    std::cerr << "sweep: " << failed << "/" << runs.size() << " runs failed:\n";
+    for (const SweepRun& run : runs) {
+      if (run.ok) continue;
+      std::cerr << "  [" << run.combo << " / " << run.design << "] "
+                << to_string(run.status) << " after " << run.attempts
+                << " attempt(s): " << run.error << "\n";
+    }
+    if (args.strict) {
+      std::cerr << "error: --strict and the sweep had failures\n";
       std::exit(1);
     }
-    results.push_back(std::move(run.result));
   }
-  return results;
+  return SweepResultSet(std::move(runs));
 }
 
 /// Runs one experiment through the same sweep path (same seed derivation),

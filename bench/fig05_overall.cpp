@@ -36,12 +36,21 @@ int main(int argc, char** argv) {
 
   size_t k = 0;
   for (const auto& combo : combos) {
-    const auto& base = results[k++];
+    // Degrade gracefully: a failed cell (or a failed per-combo baseline,
+    // which all of the combo's speedups divide by) renders as "failed" and
+    // drops out of the geomeans instead of aborting the whole figure.
+    const size_t base_idx = k++;
+    const bool base_ok = results.ok(base_idx);
     std::vector<std::string> row = {combo};
-    double profess_su = 1.0, hydrogen_su = 1.0;
+    double profess_su = 0.0, hydrogen_su = 0.0;
     for (const auto& d : designs) {
-      const auto& r = results[k++];
-      const double su = weighted_speedup(base, r);
+      const size_t idx = k++;
+      if (!base_ok || !results.ok(idx)) {
+        row.push_back("failed");
+        continue;
+      }
+      const auto& r = results[idx];
+      const double su = weighted_speedup(results[base_idx], r);
       speedups[d.label].push_back(su);
       row.push_back(fmt(su));
       if (d.label == "profess") profess_su = su;
@@ -50,7 +59,7 @@ int main(int argc, char** argv) {
         hydro_results[combo] = r;
       }
     }
-    vs_profess.push_back(hydrogen_su / profess_su);
+    if (profess_su > 0 && hydrogen_su > 0) vs_profess.push_back(hydrogen_su / profess_su);
     table.row(std::move(row));
   }
 

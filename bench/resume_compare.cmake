@@ -1,0 +1,51 @@
+# Kill-and-resume crash-safety driver (ctest -P script).
+#
+# Proves the sweep journal's headline guarantee end to end: a figure sweep
+# that is killed mid-flight and finished with --resume produces a CSV that is
+# byte-identical to an uninterrupted run's. Usage:
+#   cmake -DBENCH=<binary> -DREF=<reference.csv> -DOUT=<interrupted.csv>
+#         [-DKILL_AFTER=<seconds>] -P resume_compare.cmake
+file(REMOVE "${REF}" "${REF}.journal" "${OUT}" "${OUT}.journal")
+if(NOT KILL_AFTER)
+  set(KILL_AFTER 2)
+endif()
+
+# 1. The uninterrupted reference sweep.
+execute_process(
+  COMMAND ${BENCH} --quick --jobs 4 --csv ${REF}
+  RESULT_VARIABLE ref_rc
+  OUTPUT_QUIET)
+if(NOT ref_rc EQUAL 0)
+  message(FATAL_ERROR "reference run failed with exit code ${ref_rc}")
+endif()
+
+# 2. The same sweep, killed mid-flight (TIMEOUT terminates the process). On a
+# fast machine the sweep may finish before the axe falls — then resume below
+# simply restores every slot, which must still reproduce the same bytes.
+execute_process(
+  COMMAND ${BENCH} --quick --jobs 4 --csv ${OUT}
+  TIMEOUT ${KILL_AFTER}
+  RESULT_VARIABLE kill_rc
+  OUTPUT_QUIET ERROR_QUIET)
+message(STATUS "interrupted run ended with: ${kill_rc}")
+
+# 3. Finish (or replay) the sweep from the journal.
+execute_process(
+  COMMAND ${BENCH} --quick --jobs 4 --csv ${OUT} --resume
+  RESULT_VARIABLE resume_rc
+  OUTPUT_QUIET)
+if(NOT resume_rc EQUAL 0)
+  message(FATAL_ERROR "--resume run failed with exit code ${resume_rc}")
+endif()
+
+# 4. Byte-identical or bust: the journal serialises doubles as hex-floats, so
+# restored slots reproduce a fresh run's CSV exactly.
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${REF} ${OUT}
+  RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+  execute_process(COMMAND diff -u ${REF} ${OUT})
+  message(FATAL_ERROR
+    "resumed sweep CSV differs from the uninterrupted reference - the journal"
+    " did not round-trip results bit-exactly")
+endif()

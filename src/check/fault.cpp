@@ -1,0 +1,114 @@
+#include "check/fault.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "common/cancel.h"
+
+namespace h2::fault {
+
+namespace {
+
+constexpr const char* kKindNames[kNumKinds] = {
+    "remap-flip", "dup-tag", "drop-writeback", "time-skew",
+    "cursor-skew", "throw",   "throw-transient", "stall",
+};
+
+/// Strict base-10 u64 parse; throws on empty, non-digit, or overflow.
+std::uint64_t parse_u64(const std::string& spec, const std::string& token) {
+  if (token.empty())
+    throw std::invalid_argument("fault spec '" + spec + "': empty number");
+  std::uint64_t v = 0;
+  for (char c : token) {
+    if (c < '0' || c > '9')
+      throw std::invalid_argument("fault spec '" + spec + "': '" + token +
+                                  "' is not a number");
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (v > (UINT64_MAX - digit) / 10)
+      throw std::invalid_argument("fault spec '" + spec + "': '" + token +
+                                  "' overflows u64");
+    v = v * 10 + digit;
+  }
+  return v;
+}
+
+}  // namespace
+
+const char* kind_name(Kind k) { return kKindNames[static_cast<int>(k)]; }
+
+FaultSpec parse_spec(const std::string& spec) {
+  const size_t colon = spec.find(':');
+  const std::string kind_str = spec.substr(0, colon);
+
+  FaultSpec out;
+  bool found = false;
+  for (int i = 0; i < kNumKinds; ++i) {
+    if (kind_str == kKindNames[i]) {
+      out.kind = static_cast<Kind>(i);
+      found = true;
+      break;
+    }
+  }
+  if (!found)
+    throw std::invalid_argument("fault spec '" + spec + "': unknown kind '" +
+                                kind_str + "'");
+
+  if (colon == std::string::npos) return out;
+
+  std::string rest = spec.substr(colon + 1);
+  if (rest.empty())
+    throw std::invalid_argument("fault spec '" + spec +
+                                "': empty option list after ':'");
+  size_t pos = 0;
+  while (pos <= rest.size()) {
+    const size_t comma = rest.find(',', pos);
+    const std::string kv =
+        rest.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    const size_t eq = kv.find('=');
+    if (eq == std::string::npos)
+      throw std::invalid_argument("fault spec '" + spec + "': option '" + kv +
+                                  "' is not key=value");
+    const std::string key = kv.substr(0, eq);
+    const std::uint64_t val = parse_u64(spec, kv.substr(eq + 1));
+    if (key == "after") {
+      out.after = val;
+    } else if (key == "count") {
+      out.count = val;
+    } else if (key == "seed") {
+      out.seed = val;
+    } else if (key == "for") {
+      out.stall_ms = val;
+    } else {
+      throw std::invalid_argument("fault spec '" + spec + "': unknown key '" +
+                                  key + "' (supported: after count seed for)");
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+void throw_synthetic(bool transient) {
+  Injector* inj = current();
+  std::string what = "injected synthetic fault";
+  if (inj != nullptr) {
+    what += " '";
+    what += kind_name(inj->spec().kind);
+    what += "' (seed=" + std::to_string(inj->spec().seed) + ")";
+  }
+  if (transient) throw TransientError(what);
+  throw FaultError(what);
+}
+
+void stall() {
+  Injector* inj = current();
+  const std::uint64_t ms = inj != nullptr ? inj->spec().stall_ms : 50;
+  for (std::uint64_t slept = 0; slept < ms; ++slept) {
+    cancel::poll();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  cancel::poll();
+}
+
+}  // namespace h2::fault

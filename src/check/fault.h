@@ -1,0 +1,159 @@
+// Deterministic fault injection: the test harness for the invariant layer.
+//
+// H2_CHECK (check.h) and the differential oracle (oracle.h) claim to catch
+// model corruption; nothing proves those detectors actually fire. This
+// framework plants *seeded, reproducible* faults at fixed sites in the
+// simulator -- flip a remap-table tag, duplicate a cache tag, drop a dirty
+// writeback, skew a channel cursor, stall or abort a run -- so that
+// tools/h2fault can assert every fault class is caught by at least one of
+// {H2_CHECK level 1/2, h2check oracle, sweep failure capture}.
+//
+// A fault is armed per-thread via an RAII Scope around an Injector, either
+// explicitly (tests, tools/h2fault) or by the sweep runner from the --fault
+// flag / H2_FAULT environment variable. Unarmed, every site is a single
+// thread-local null-pointer test, and the perturbing sites additionally sit
+// behind the surrounding code's normal control flow -- a Release build with
+// no fault armed is bit-identical to one without this header.
+//
+// Spec grammar (parse_spec):
+//   <kind>[:key=value[,key=value...]]
+//   kinds  remap-flip | dup-tag | drop-writeback | time-skew | cursor-skew
+//          | throw | throw-transient | stall
+//   keys   after=N   skip the first N visits to matching sites (default 0)
+//          count=N   fire at most N times; 0 = unlimited     (default 1)
+//          seed=N    recorded for reproducibility bookkeeping (default 0)
+//          for=N     stall duration in milliseconds           (default 50)
+// e.g. H2_FAULT=remap-flip:after=100,count=2
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace h2::fault {
+
+/// Every injectable fault class, each with a designated detector:
+///   RemapFlip      flip a remap-table tag after fill      -> oracle residency
+///   DupTag         duplicate a remap tag into another way -> level-2 bijection
+///   DropWriteback  skip a dirty eviction's slow write     -> oracle counters
+///   TimeSkew       make an actor step return `now`        -> level-1 ordering
+///   CursorSkew     pull a channel busy-cursor backwards   -> level-2 cursor
+///   Throw          synthetic permanent failure            -> sweep capture
+///   ThrowTransient synthetic transient failure            -> sweep retry
+///   Stall          busy-sleep inside the run              -> sweep watchdog
+enum class Kind : std::uint8_t {
+  RemapFlip,
+  DupTag,
+  DropWriteback,
+  TimeSkew,
+  CursorSkew,
+  Throw,
+  ThrowTransient,
+  Stall,
+};
+
+inline constexpr int kNumKinds = 8;
+
+/// Spec-grammar name of a kind ("remap-flip", ...).
+const char* kind_name(Kind k);
+
+struct FaultSpec {
+  Kind kind = Kind::Throw;
+  std::uint64_t after = 0;     ///< skip the first `after` matching site visits
+  std::uint64_t count = 1;     ///< fire at most `count` times (0 = unlimited)
+  std::uint64_t seed = 0;      ///< bookkeeping only; recorded in error text
+  std::uint64_t stall_ms = 50; ///< `for=` key: stall duration
+};
+
+/// Parses the grammar above. Throws std::invalid_argument naming the
+/// offending token on an unknown kind, unknown key, or malformed number.
+FaultSpec parse_spec(const std::string& spec);
+
+/// Thrown by throw_synthetic(): a deliberately injected run failure. The
+/// sweep runner classifies it as permanent (no retry).
+class FaultError : public std::runtime_error {
+ public:
+  explicit FaultError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Transient flavour: the sweep runner's retry policy applies.
+class TransientError : public FaultError {
+ public:
+  explicit TransientError(const std::string& what) : FaultError(what) {}
+};
+
+/// Per-run fault state: counts visits to matching sites and decides, from
+/// the spec's after/count window alone, whether a site fires. Deterministic:
+/// the same run visits sites in the same order, so the same visits fire.
+/// Not thread-safe; arm one Injector per worker thread (Scope is
+/// thread-local).
+class Injector {
+ public:
+  explicit Injector(FaultSpec spec) : spec_(spec) {}
+  explicit Injector(const std::string& spec) : spec_(parse_spec(spec)) {}
+
+  /// True when `site` matches the spec's kind and the visit falls inside the
+  /// [after, after+count) firing window. Advances the visit counter.
+  bool should_fire(Kind site) {
+    if (site != spec_.kind) return false;
+    const std::uint64_t visit = seen_++;
+    if (visit < spec_.after) return false;
+    if (spec_.count != 0 && fired_ >= spec_.count) return false;
+    fired_++;
+    return true;
+  }
+
+  const FaultSpec& spec() const { return spec_; }
+  std::uint64_t seen() const { return seen_; }    ///< matching-site visits
+  std::uint64_t fired() const { return fired_; }  ///< times the fault fired
+
+ private:
+  FaultSpec spec_;
+  std::uint64_t seen_ = 0;
+  std::uint64_t fired_ = 0;
+};
+
+namespace detail {
+/// The thread's armed injector (nullptr = no fault). Inline so sites inline
+/// the TLS load; function-local so it is initialised on any first use.
+inline Injector*& current_slot() {
+  static thread_local Injector* slot = nullptr;
+  return slot;
+}
+}  // namespace detail
+
+/// The injector armed on this thread, or nullptr.
+inline Injector* current() { return detail::current_slot(); }
+
+/// Arms `inj` on this thread for the Scope's lifetime; restores the previous
+/// injector (scopes nest) on destruction.
+class Scope {
+ public:
+  explicit Scope(Injector& inj) : prev_(detail::current_slot()) {
+    detail::current_slot() = &inj;
+  }
+  ~Scope() { detail::current_slot() = prev_; }
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+ private:
+  Injector* prev_;
+};
+
+/// The site predicate: true when this visit to a `site` of kind `k` should
+/// perturb state. A single null test when no fault is armed.
+inline bool at(Kind k) {
+  Injector* inj = current();
+  return inj != nullptr && inj->should_fire(k);
+}
+
+/// Throws FaultError (transient=false) or TransientError (transient=true)
+/// with a message naming the armed spec.
+[[noreturn]] void throw_synthetic(bool transient);
+
+/// Sleeps for the armed spec's stall_ms in 1 ms slices, polling cooperative
+/// cancellation (common/cancel.h) between slices so a sweep watchdog can cut
+/// the stall short.
+void stall();
+
+}  // namespace h2::fault

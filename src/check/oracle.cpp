@@ -9,8 +9,11 @@
 #include "common/rng.h"
 #include "hybridmem/hybrid_memory.h"
 #include "hybridmem/remap_cache.h"
+#include "hybridmem/remap_table.h"
+#include "hydrogen/hydrogen_policy.h"
 #include "hydrogen/setpart_policy.h"
 #include "policies/baseline.h"
+#include "policies/hashcache.h"
 #include "trace/workloads.h"
 
 namespace h2 {
@@ -29,19 +32,35 @@ struct Step {
 
 std::unique_ptr<PartitionPolicy> make_policy(const std::string& design, u64 seed) {
   if (design == "baseline") return std::make_unique<BaselinePolicy>();
+  if (design == "hashcache") return std::make_unique<HAShCachePolicy>();
+  if (design == "hydrogen") {
+    // Epoch-free replay: the climber and token faucet run on their defaults
+    // and never reconfigure (run_oracle drives no epochs), so the partition
+    // is stable while swaps and token-gated migrations stay live.
+    HydrogenConfig cfg;
+    cfg.seed = seed;
+    return std::make_unique<HydrogenPolicy>(cfg);
+  }
   if (design == "hydrogen-setpart") {
     SetPartConfig cfg;
     cfg.seed = seed;
     return std::make_unique<SetPartPolicy>(cfg);
   }
-  throw std::invalid_argument("oracle: unknown design '" + design +
-                              "' (expected baseline or hydrogen-setpart)");
+  throw std::invalid_argument(
+      "oracle: unknown design '" + design +
+      "' (expected baseline, hashcache, hydrogen or hydrogen-setpart)");
 }
 
 /// The reference model: a plain functional replica of the cache-mode
 /// residency/accounting state machine, with no event engine, no cursors and
-/// no latency model. It owns its own policy and remap-cache instances so a
-/// state leak in the full stack cannot hide by being mirrored.
+/// no latency model. It owns its own policy, remap-table and remap-cache
+/// instances so a state leak in the full stack cannot hide by being
+/// mirrored. Policies are stateful (token buckets, reuse filters, swap
+/// heuristics reading the attached table), so the model makes *exactly* the
+/// same policy calls in the same order as HybridMemory::access does.
+///
+/// Scope: no epoch reconfiguration is driven, so the lazy-fixup machinery is
+/// a structural no-op and is not mirrored.
 class RefModel {
  public:
   RefModel(const HybridMemConfig& cfg, u32 n_super, u32 n_slow, u64 slow_block,
@@ -51,73 +70,165 @@ class RefModel {
         slow_block_(slow_block),
         policy_(std::move(policy)),
         rcache_(cfg.remap_cache_bytes, cfg.assoc * 8),
-        ways_(static_cast<size_t>(cfg.num_sets()) * cfg.assoc),
+        table_(cfg.num_sets(), cfg.assoc),
         fast_reqs_(n_super, 0),
         slow_reqs_(n_slow, 0) {
     policy_->bind(n_super, cfg.assoc, cfg.num_sets());
+    policy_->attach_table(&table_);
   }
 
-  struct Way {
-    u64 tag = 0;
-    u64 lru = 0;
-    u16 hits = 0;
-    u8 channel = 0;
-    bool valid = false;
-    bool dirty = false;
-  };
-
   struct SideStats {
-    u64 demand = 0, fast_hits = 0, misses = 0, migrations = 0, bypasses = 0,
-        dirty_writebacks = 0, meta_misses = 0;
+    u64 demand = 0, fast_hits = 0, chain_hits = 0, misses = 0, migrations = 0,
+        bypasses = 0, dirty_writebacks = 0, fast_swaps = 0, meta_misses = 0;
   };
 
   void access(const Step& s) {
     policy_->tick(s.now);
     const u64 tag = s.addr / cfg_.block_bytes;
-    const u32 set = policy_->remap_set(
+    const u32 home = policy_->remap_set(
         static_cast<u32>(tag % cfg_.num_sets()), s.cls);
     SideStats& st = stats_[static_cast<u32>(s.cls)];
     st.demand++;
 
-    // Metadata probe: a remap-cache miss costs one 64 B fast-tier read on
-    // the set's home superchannel.
-    if (!rcache_.probe(set)) {
+    // Metadata probe on the *home* set (chained probes reuse the fetched
+    // entry): a remap-cache miss costs one 64 B fast-tier read.
+    if (!rcache_.probe(home)) {
       st.meta_misses++;
-      fast_reqs_[set % n_super_]++;
+      fast_reqs_[home % n_super_]++;
     }
 
-    Way* base = &ways_[static_cast<size_t>(set) * cfg_.assoc];
-    i32 way = -1;
-    for (u32 w = 0; w < cfg_.assoc; ++w) {
-      if (base[w].valid && base[w].tag == tag) { way = static_cast<i32>(w); break; }
+    i32 way = table_.find(home, tag);
+    bool chained = false;
+    u32 eff_set = home;
+    if (way < 0 && cfg_.chaining) {
+      const u32 partner = home ^ 1u;
+      if (partner < table_.num_sets()) {
+        const i32 cw = table_.find(partner, tag);
+        if (cw >= 0) {
+          way = cw;
+          eff_set = partner;
+          chained = true;
+        }
+      }
     }
 
+    PolicyContext ctx{s.now, s.cls, home, tag, s.write,
+                      static_cast<u32>((s.addr / slow_block_) % slow_reqs_.size())};
     if (way >= 0) {
-      Way& rw = base[way];
-      st.fast_hits++;
-      fast_reqs_[rw.channel]++;  // 64 B demand line
-      rw.dirty |= s.write;
-      if (rw.hits < 0xFFFF) rw.hits++;
-      rw.lru = ++stamp_;
+      ctx.set = eff_set;  // hits are served at the effective (chained) set
+      serve_hit(ctx, static_cast<u32>(way), chained);
       return;
     }
+    serve_miss(ctx);
+  }
 
-    st.misses++;
-    // Victim selection: first invalid allowed way, else LRU allowed way —
-    // must match HybridMemory::pick_victim exactly.
-    i32 victim = -1;
+  const SideStats& stats(Requestor r) const { return stats_[static_cast<u32>(r)]; }
+  u64 fast_reqs(u32 ch) const { return fast_reqs_[ch]; }
+  u64 slow_reqs(u32 ch) const { return slow_reqs_[ch]; }
+  const RemapTable& table() const { return table_; }
+
+ private:
+  u32 full_mask() const {
+    const u32 n = static_cast<u32>(cfg_.block_bytes / 64);
+    return n >= 32 ? ~0u : (1u << n) - 1;
+  }
+
+  /// Mirrors HybridMemory::pick_victim: first invalid allowed way, else the
+  /// LRU allowed way.
+  i32 pick_victim(u32 set, Requestor cls) const {
+    i32 best = -1;
     u64 best_lru = ~0ull;
-    bool victim_free = false;
     for (u32 w = 0; w < cfg_.assoc; ++w) {
-      if (!policy_->way_allowed(set, w, s.cls)) continue;
-      if (!base[w].valid) { victim = static_cast<i32>(w); victim_free = true; break; }
-      if (base[w].lru < best_lru) { best_lru = base[w].lru; victim = static_cast<i32>(w); }
+      if (!policy_->way_allowed(set, w, cls)) continue;
+      const RemapWay& rw = table_.way(set, w);
+      if (!rw.valid) return static_cast<i32>(w);
+      if (rw.lru < best_lru) {
+        best_lru = rw.lru;
+        best = static_cast<i32>(w);
+      }
     }
-    const bool victim_dirty = victim >= 0 && !victim_free && base[victim].dirty;
+    return best;
+  }
 
-    PolicyContext ctx{s.now, s.cls, set, tag, s.write,
-                      static_cast<u32>((s.addr / slow_block_) % slow_reqs_.size())};
+  /// Mirrors HybridMemory::fill_way (sans fault sites).
+  void fill_way(u32 set, u32 way, u64 tag, bool dirty) {
+    RemapWay& rw = table_.way(set, way);
+    rw.tag = tag;
+    rw.hits = 0;
+    rw.valid = true;
+    rw.dirty = dirty;
+    rw.present = full_mask();
+    rw.channel = static_cast<u8>(policy_->channel_of_way(set, way));
+    rw.owner_cpu = policy_->way_owner(set, way) == Requestor::Cpu;
+    table_.touch(set, way);
+  }
+
+  /// Mirrors HybridMemory::do_fast_swap: two reads + two writes on the
+  /// *pre-swap* channels, block state (not recency) swapped, channels
+  /// reattached to the ways.
+  void do_swap(const PolicyContext& ctx, u32 set, u32 way_a, u32 way_b) {
+    RemapWay& a = table_.way(set, way_a);
+    RemapWay& b = table_.way(set, way_b);
+    if (!cfg_.ideal_swap) {
+      fast_reqs_[a.channel] += 2;
+      fast_reqs_[b.channel] += 2;
+    }
+    std::swap(a.tag, b.tag);
+    std::swap(a.valid, b.valid);
+    std::swap(a.dirty, b.dirty);
+    std::swap(a.hits, b.hits);
+    std::swap(a.present, b.present);
+    a.channel = static_cast<u8>(policy_->channel_of_way(set, way_a));
+    b.channel = static_cast<u8>(policy_->channel_of_way(set, way_b));
+    stats_[static_cast<u32>(ctx.cls)].fast_swaps++;
+  }
+
+  void serve_hit(const PolicyContext& ctx, u32 way, bool chained) {
+    SideStats& st = stats_[static_cast<u32>(ctx.cls)];
+    st.fast_hits++;
+    if (chained) st.chain_hits++;
+    RemapWay& rw = table_.way(ctx.set, way);
+    fast_reqs_[rw.channel]++;  // 64 B demand line
+    if (ctx.is_write) rw.dirty = true;
+    if (rw.hits < 0xFFFF) rw.hits++;
+    table_.touch(ctx.set, way);
+    policy_->note_hit(ctx, way);
+    const i32 swap_with = policy_->pick_swap_way(ctx, way);
+    if (swap_with >= 0 && static_cast<u32>(swap_with) != way) {
+      do_swap(ctx, ctx.set, way, static_cast<u32>(swap_with));
+    }
+  }
+
+  void serve_miss(const PolicyContext& ctx) {
+    SideStats& st = stats_[static_cast<u32>(ctx.cls)];
+    st.misses++;
+
+    // Chaining insertion: fill into the partner set when the home victim is
+    // hotter than the partner's (HAShCache pseudo-associativity).
+    u32 fill_set = ctx.set;
+    if (cfg_.chaining) {
+      const u32 partner = ctx.set ^ 1u;
+      if (partner < table_.num_sets()) {
+        const i32 home_v = pick_victim(ctx.set, ctx.cls);
+        const i32 alt_v = pick_victim(partner, ctx.cls);
+        if (home_v >= 0 && alt_v >= 0) {
+          const RemapWay& h = table_.way(ctx.set, static_cast<u32>(home_v));
+          const RemapWay& a = table_.way(partner, static_cast<u32>(alt_v));
+          if (h.valid && (!a.valid || a.lru < h.lru)) fill_set = partner;
+        }
+      }
+    }
+
+    const i32 victim = pick_victim(fill_set, ctx.cls);
+    bool victim_dirty = false;
+    if (victim >= 0) {
+      const RemapWay& rw = table_.way(fill_set, static_cast<u32>(victim));
+      victim_dirty = rw.valid && rw.dirty;
+    }
+    // allow_migration / note_miss see the *home*-set context, exactly as in
+    // HybridMemory::serve_miss_cache (and both are stateful).
     const bool migrate = victim >= 0 && policy_->allow_migration(ctx, victim_dirty);
+    policy_->note_miss(ctx, migrate);
 
     if (!migrate) {
       st.bypasses++;
@@ -126,51 +237,28 @@ class RefModel {
     }
 
     st.migrations++;
-    const Addr block_addr = tag * cfg_.block_bytes;
+    const Addr block_addr = ctx.tag * cfg_.block_bytes;
     slow_reqs_[static_cast<u32>((block_addr / slow_block_) % slow_reqs_.size())]++;
-    Way& rw = base[victim];
+    RemapWay& rw = table_.way(fill_set, static_cast<u32>(victim));
     if (rw.valid && rw.dirty) {
       const Addr wb = rw.tag * cfg_.block_bytes;
       slow_reqs_[static_cast<u32>((wb / slow_block_) % slow_reqs_.size())]++;
       st.dirty_writebacks++;
     }
-    const u32 ch = policy_->channel_of_way(set, static_cast<u32>(victim));
-    fast_reqs_[ch]++;  // block fill write
-    rw.tag = tag;
-    rw.valid = true;
-    rw.dirty = s.write;
-    rw.hits = 0;
-    rw.channel = static_cast<u8>(ch);
-    rw.lru = ++stamp_;
+    const u32 vway = static_cast<u32>(victim);
+    fast_reqs_[policy_->channel_of_way(fill_set, vway)]++;  // block fill write
+    fill_way(fill_set, vway, ctx.tag, ctx.is_write);
   }
 
-  const SideStats& stats(Requestor r) const { return stats_[static_cast<u32>(r)]; }
-  u64 fast_reqs(u32 ch) const { return fast_reqs_[ch]; }
-  u64 slow_reqs(u32 ch) const { return slow_reqs_[ch]; }
-
-  /// Final residency as (set, tag) -> (channel, dirty).
-  std::map<std::pair<u32, u64>, std::pair<u32, bool>> residency() const {
-    std::map<std::pair<u32, u64>, std::pair<u32, bool>> r;
-    for (u32 set = 0; set < cfg_.num_sets(); ++set) {
-      const Way* base = &ways_[static_cast<size_t>(set) * cfg_.assoc];
-      for (u32 w = 0; w < cfg_.assoc; ++w) {
-        if (base[w].valid) r[{set, base[w].tag}] = {base[w].channel, base[w].dirty};
-      }
-    }
-    return r;
-  }
-
- private:
   HybridMemConfig cfg_;
   u32 n_super_;
   u64 slow_block_;
   std::unique_ptr<PartitionPolicy> policy_;
   RemapCache rcache_;
-  std::vector<Way> ways_;
+  RemapTable table_;
   std::vector<u64> fast_reqs_;
   std::vector<u64> slow_reqs_;
   SideStats stats_[2];
-  u64 stamp_ = 0;
 };
 
 std::map<std::pair<u32, u64>, std::pair<u32, bool>> table_residency(
@@ -200,6 +288,11 @@ OracleReport run_oracle(const OracleConfig& ocfg) {
   hm_cfg.mode = HybridMode::Cache;
   hm_cfg.fast_capacity_bytes = 8ull << 20;
   hm_cfg.remap_cache_bytes = 64 * 1024;
+  if (ocfg.design == "hashcache") {
+    // HAShCache's native organisation (see harness/experiment.cpp).
+    hm_cfg.assoc = 1;
+    hm_cfg.chaining = true;
+  }
 
   MemorySystem mem(mem_cfg);
   auto sim_policy = make_policy(ocfg.design, ocfg.seed);
@@ -231,9 +324,41 @@ OracleReport run_oracle(const OracleConfig& ocfg) {
                          cpu ? Requestor::Cpu : Requestor::Gpu, a.write});
   }
 
-  for (const Step& s : steps) {
+  const bool dbg = std::getenv("H2_ORACLE_DEBUG") != nullptr;
+  for (size_t si = 0; si < steps.size(); ++si) {
+    const Step& s = steps[si];
     hm.access(s.now, s.cls, s.addr, s.write);
     ref.access(s);
+    if (dbg && table_residency(hm.table()) != table_residency(ref.table())) {
+      const u64 tag = s.addr / hm_cfg.block_bytes;
+      std::fprintf(stderr,
+                   "first residency divergence at step %zu: %s %s addr=%llu "
+                   "tag=%llu set=%llu\n",
+                   si, s.cls == Requestor::Cpu ? "cpu" : "gpu",
+                   s.write ? "write" : "read",
+                   static_cast<unsigned long long>(s.addr),
+                   static_cast<unsigned long long>(tag),
+                   static_cast<unsigned long long>(tag % hm_cfg.num_sets()));
+      const auto sr = table_residency(hm.table());
+      const auto rr = table_residency(ref.table());
+      for (const auto& [key, val] : sr) {
+        const auto it = rr.find(key);
+        if (it == rr.end() || it->second != val) {
+          std::fprintf(stderr, "  sim set %u tag %llu ch=%u dirty=%d\n", key.first,
+                       static_cast<unsigned long long>(key.second), val.first,
+                       static_cast<int>(val.second));
+        }
+      }
+      for (const auto& [key, val] : rr) {
+        const auto it = sr.find(key);
+        if (it == sr.end() || it->second != val) {
+          std::fprintf(stderr, "  ref set %u tag %llu ch=%u dirty=%d\n", key.first,
+                       static_cast<unsigned long long>(key.second), val.first,
+                       static_cast<int>(val.second));
+        }
+      }
+      break;
+    }
   }
 
   auto diff_u64 = [&report](const std::string& what, u64 sim, u64 oracle) {
@@ -254,10 +379,12 @@ OracleReport run_oracle(const OracleConfig& ocfg) {
     const std::string who = i == 0 ? "cpu" : "gpu";
     diff_u64(who + " demand", s.demand, o.demand);
     diff_u64(who + " fast_hits", s.fast_hits, o.fast_hits);
+    diff_u64(who + " chain_hits", s.chain_hits, o.chain_hits);
     diff_u64(who + " misses", s.misses, o.misses);
     diff_u64(who + " migrations", s.migrations, o.migrations);
     diff_u64(who + " bypasses", s.bypasses, o.bypasses);
     diff_u64(who + " dirty_writebacks", s.dirty_writebacks, o.dirty_writebacks);
+    diff_u64(who + " fast_swaps", s.fast_swaps, o.fast_swaps);
     diff_u64(who + " meta_misses", s.meta_misses, o.meta_misses);
   }
 
@@ -273,7 +400,7 @@ OracleReport run_oracle(const OracleConfig& ocfg) {
   // Final residency membership: every (set, tag) must agree on presence,
   // physical channel and dirty state.
   const auto sim_res = table_residency(hm.table());
-  const auto ref_res = ref.residency();
+  const auto ref_res = table_residency(ref.table());
   report.quantities++;
   if (sim_res != ref_res) {
     char buf[256];

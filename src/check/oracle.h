@@ -17,10 +17,12 @@
 // divergence is therefore a real accounting bug in the mechanism, not a
 // modelling difference.
 //
-// Supported designs: "baseline" and "hydrogen-setpart" — the two ends of the
-// policy seam that exercise identity and non-identity set remapping without
-// swaps, chaining, or epoch reconfiguration (which would make the reference
-// model as complex as the thing it checks).
+// Supported designs: "baseline", "hydrogen-setpart", "hashcache" (chained
+// pseudo-associative lookup and insertion, reuse-filtered migration) and
+// "hydrogen" (dedicated-way partitioning, token-gated migration, CPU-spill
+// swaps). Between them they cover identity and non-identity set remapping,
+// chaining, swaps, and stateful migration gating; only epoch reconfiguration
+// (the lazy-fixup machinery) is out of scope, because no epochs are driven.
 #pragma once
 
 #include <string>
@@ -33,7 +35,8 @@ namespace h2 {
 struct OracleConfig {
   std::string cpu_workload = "gcc";
   std::string gpu_workload = "backprop";
-  std::string design = "baseline";  ///< "baseline" or "hydrogen-setpart"
+  /// "baseline", "hydrogen-setpart", "hashcache" or "hydrogen".
+  std::string design = "baseline";
   u64 accesses = 120'000;           ///< interleaved CPU+GPU demand accesses
   u64 seed = 42;
   Cycle cycle_gap = 5;              ///< flat synthetic clock step per access

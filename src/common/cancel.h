@@ -1,0 +1,78 @@
+// Cooperative cancellation for long-running simulations.
+//
+// The sweep runner's watchdog cannot kill a worker thread (C++ has no safe
+// thread cancellation), so cancellation is cooperative: the watchdog sets a
+// Token's flag, and the engine's event loop polls it every few thousand
+// steps via cancel::poll(), which throws CancelledError on the worker's own
+// stack. The run unwinds cleanly through run_experiment (destructors run,
+// no state leaks into the next attempt) and the sweep classifies the slot
+// as timed out.
+//
+// Arming mirrors fault::Scope: a thread-local Token pointer set by an RAII
+// Scope. Unarmed, poll() is a thread-local null test -- the engine can
+// afford it unconditionally, so Release-build timeouts work too.
+#pragma once
+
+#include <atomic>
+#include <stdexcept>
+
+namespace h2::cancel {
+
+/// Thrown by poll() on the cancelled thread; caught by the sweep runner and
+/// reported as a timed-out slot.
+class CancelledError : public std::runtime_error {
+ public:
+  CancelledError() : std::runtime_error("run cancelled by watchdog") {}
+};
+
+/// One cancellation flag, shared between the watchdog (writer) and the
+/// worker (reader). Outlives the run it guards: the sweep keeps one Token
+/// per worker slot and reset()s it between attempts.
+class Token {
+ public:
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  void reset() { cancelled_.store(false, std::memory_order_relaxed); }
+  bool cancelled() const { return cancelled_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+namespace detail {
+inline Token*& current_slot() {
+  static thread_local Token* slot = nullptr;
+  return slot;
+}
+}  // namespace detail
+
+/// The token armed on this thread, or nullptr.
+inline Token* current() { return detail::current_slot(); }
+
+/// True when the armed token (if any) has been cancelled.
+inline bool requested() {
+  Token* t = current();
+  return t != nullptr && t->cancelled();
+}
+
+/// Throws CancelledError when the armed token has been cancelled; otherwise
+/// a thread-local null test plus (when armed) one relaxed atomic load.
+inline void poll() {
+  if (requested()) throw CancelledError();
+}
+
+/// Arms `token` on this thread for the Scope's lifetime; restores the
+/// previous token (scopes nest) on destruction.
+class Scope {
+ public:
+  explicit Scope(Token& token) : prev_(detail::current_slot()) {
+    detail::current_slot() = &token;
+  }
+  ~Scope() { detail::current_slot() = prev_; }
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+ private:
+  Token* prev_;
+};
+
+}  // namespace h2::cancel

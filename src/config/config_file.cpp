@@ -74,6 +74,8 @@ void ConfigFile::parse(const std::string& text, const std::string& origin) {
     const std::string full = section.empty() ? key : section + "." + key;
     if (!values_.count(full)) order_.push_back(full);
     values_[full] = value;  // later assignments win, like the artifact's cfg
+    where_[full] = origin + ":" + std::to_string(lineno);
+    section_[full] = section;
     used_[full] = false;
   }
 }
@@ -97,15 +99,15 @@ i64 ConfigFile::get_int(const std::string& key, i64 def) const {
   if (!v) return def;
   char* end = nullptr;
   const i64 out = std::strtoll(v->c_str(), &end, 0);
-  H2_ASSERT(end && *end == '\0', "config key %s: '%s' is not an integer", key.c_str(),
-            v->c_str());
+  H2_ASSERT(end && *end == '\0', "%s: config key %s: '%s' is not an integer",
+            where(key).c_str(), key.c_str(), v->c_str());
   return out;
 }
 
 u64 ConfigFile::get_u64(const std::string& key, u64 def) const {
   const std::string* v = find(key);
   if (!v) return def;
-  return parse_size(*v);
+  return parse_size(*v, where(key) + ": config key " + key);
 }
 
 double ConfigFile::get_double(const std::string& key, double def) const {
@@ -113,8 +115,8 @@ double ConfigFile::get_double(const std::string& key, double def) const {
   if (!v) return def;
   char* end = nullptr;
   const double out = std::strtod(v->c_str(), &end);
-  H2_ASSERT(end && *end == '\0', "config key %s: '%s' is not a number", key.c_str(),
-            v->c_str());
+  H2_ASSERT(end && *end == '\0', "%s: config key %s: '%s' is not a number",
+            where(key).c_str(), key.c_str(), v->c_str());
   return out;
 }
 
@@ -124,7 +126,8 @@ bool ConfigFile::get_bool(const std::string& key, bool def) const {
   const std::string s = lower(*v);
   if (s == "true" || s == "yes" || s == "on" || s == "1") return true;
   if (s == "false" || s == "no" || s == "off" || s == "0") return false;
-  H2_ASSERT(false, "config key %s: '%s' is not a boolean", key.c_str(), v->c_str());
+  H2_ASSERT(false, "%s: config key %s: '%s' is not a boolean", where(key).c_str(),
+            key.c_str(), v->c_str());
   return def;
 }
 
@@ -139,12 +142,23 @@ std::vector<std::string> ConfigFile::unused_keys() const {
 
 std::vector<std::string> ConfigFile::keys() const { return order_; }
 
-u64 ConfigFile::parse_size(const std::string& text) {
+std::string ConfigFile::where(const std::string& key) const {
+  auto it = where_.find(key);
+  return it != where_.end() ? it->second : "<unknown>";
+}
+
+std::string ConfigFile::section_of(const std::string& key) const {
+  auto it = section_.find(key);
+  return it != section_.end() ? it->second : "";
+}
+
+u64 ConfigFile::parse_size(const std::string& text, const std::string& where) {
+  const std::string at = where.empty() ? "" : where + ": ";
   const std::string s = trim(text);
-  H2_ASSERT(!s.empty(), "empty size value");
+  H2_ASSERT(!s.empty(), "%sempty size value", at.c_str());
   char* end = nullptr;
   const double base = std::strtod(s.c_str(), &end);
-  H2_ASSERT(end != s.c_str(), "'%s' is not a size", s.c_str());
+  H2_ASSERT(end != s.c_str(), "%s'%s' is not a size", at.c_str(), s.c_str());
   const std::string suffix = lower(trim(end));
   double mult = 1;
   if (suffix == "" || suffix == "b") {
@@ -156,7 +170,7 @@ u64 ConfigFile::parse_size(const std::string& text) {
   } else if (suffix == "gb" || suffix == "g" || suffix == "gib") {
     mult = 1024.0 * 1024 * 1024;
   } else {
-    H2_ASSERT(false, "unknown size suffix '%s'", suffix.c_str());
+    H2_ASSERT(false, "%sunknown size suffix '%s'", at.c_str(), suffix.c_str());
   }
   return static_cast<u64>(base * mult);
 }

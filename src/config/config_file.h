@@ -49,14 +49,27 @@ class ConfigFile {
   /// All keys, in file order.
   std::vector<std::string> keys() const;
 
+  /// "origin:line" of the assignment that produced `key`'s value (the last
+  /// one, since later assignments win), or "<unknown>" for absent keys.
+  /// Getter/driver diagnostics lead with this so a typo is a click away.
+  std::string where(const std::string& key) const;
+
+  /// The `[section]` a key was declared under ("" for top-level keys).
+  /// Needed by strict drivers because key names may themselves contain dots,
+  /// so splitting the full key on '.' cannot recover the section.
+  std::string section_of(const std::string& key) const;
+
   /// Size suffix parser: "64MB", "256kB", "2GB", plain bytes otherwise.
-  static u64 parse_size(const std::string& text);
+  /// A non-empty `where` ("file:line") prefixes any error message.
+  static u64 parse_size(const std::string& text, const std::string& where = "");
 
  private:
   const std::string* find(const std::string& key) const;
 
   std::vector<std::string> order_;
   std::map<std::string, std::string> values_;
+  std::map<std::string, std::string> where_;    ///< key -> "origin:line"
+  std::map<std::string, std::string> section_;  ///< key -> declaring section
   mutable std::map<std::string, bool> used_;
 };
 

@@ -1,6 +1,7 @@
 #include "harness/config_loader.h"
 
 #include <iostream>
+#include <set>
 
 #include "common/assert.h"
 
@@ -33,7 +34,8 @@ ExperimentConfig experiment_from_config(const ConfigFile& cfg) {
   ec.design = design_from_name(cfg.get_string("sim.design", "hydrogen"));
   ec.seed = cfg.get_u64("sim.seed", 42);
   const std::string mode = cfg.get_string("sim.mode", "cache");
-  H2_ASSERT(mode == "cache" || mode == "flat", "sim.mode must be cache or flat");
+  H2_ASSERT(mode == "cache" || mode == "flat", "%s: sim.mode must be cache or flat, got '%s'",
+            cfg.where("sim.mode").c_str(), mode.c_str());
   ec.mode = mode == "cache" ? HybridMode::Cache : HybridMode::Flat;
   ec.cpu_target_instructions =
       cfg.get_u64("sim.cpu_target_instructions", 120'000);
@@ -78,7 +80,8 @@ ExperimentConfig experiment_from_config(const ConfigFile& cfg) {
     } else if (swap == "off") {
       h.swap = SwapMode::Off;
     } else {
-      H2_ASSERT(false, "hydrogen.swap must be on|prob|off, got '%s'", swap.c_str());
+      H2_ASSERT(false, "%s: hydrogen.swap must be on|prob|off, got '%s'",
+                cfg.where("hydrogen.swap").c_str(), swap.c_str());
     }
   }
   return ec;
@@ -89,12 +92,34 @@ ExperimentConfig experiment_from_file(const std::string& path, bool strict) {
   H2_ASSERT(cfg.load(path), "cannot open config file %s", path.c_str());
   ExperimentConfig ec = experiment_from_config(cfg);
   if (strict) {
-    const auto unused = cfg.unused_keys();
-    for (const auto& k : unused) {
-      std::cerr << "error: unknown config key '" << k << "' in " << path << "\n";
+    // Two classes of typo, each reported with the offending file:line.
+    // An unknown section: every key under it is wrong for the same reason,
+    // so it is diagnosed as a section (and excluded from the unused list).
+    static const std::set<std::string> known_sections = {"sim", "system", "hybrid",
+                                                         "hydrogen"};
+    size_t errors = 0;
+    std::set<std::string> in_bad_section;
+    for (const auto& k : cfg.keys()) {
+      const std::string section = cfg.section_of(k);
+      if (known_sections.count(section)) continue;
+      in_bad_section.insert(k);
+      ++errors;
+      if (section.empty()) {
+        std::cerr << "error: " << cfg.where(k) << ": key '" << k
+                  << "' outside any section (known sections: sim, system,"
+                     " hybrid, hydrogen)\n";
+      } else {
+        std::cerr << "error: " << cfg.where(k) << ": unknown section '[" << section
+                  << "]' (known sections: sim, system, hybrid, hydrogen)\n";
+      }
     }
-    H2_ASSERT(unused.empty(), "config file %s has %zu unknown keys", path.c_str(),
-              unused.size());
+    for (const auto& k : cfg.unused_keys()) {
+      if (in_bad_section.count(k)) continue;
+      ++errors;
+      std::cerr << "error: " << cfg.where(k) << ": unknown config key '" << k << "'\n";
+    }
+    H2_ASSERT(errors == 0, "config file %s has %zu unknown key(s)/section(s)",
+              path.c_str(), errors);
   }
   return ec;
 }

@@ -31,8 +31,10 @@ DesignSpec design_from_name(const std::string& name);
 ///   hydrogen.faucet_period, hydrogen.swap (on|prob|off)
 ExperimentConfig experiment_from_config(const ConfigFile& cfg);
 
-/// Convenience: load + build; aborts if the file is missing or has unknown
-/// keys (strict mode guards against typos).
+/// Convenience: load + build; in strict mode (the default) aborts if the
+/// file is missing, has unknown keys, or declares sections other than
+/// [sim]/[system]/[hybrid]/[hydrogen] — every diagnostic names the
+/// offending file:line, so a typo is a click away.
 ExperimentConfig experiment_from_file(const std::string& path, bool strict = true);
 
 }  // namespace h2

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "check/check.h"
+#include "check/fault.h"
 #include "common/assert.h"
 #include "hydrogen/setpart_policy.h"
 #include "policies/baseline.h"
@@ -287,6 +288,12 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   u64 prev_cpu_miss = 0, prev_gpu_miss = 0, prev_gpu_migr = 0;
 
   engine.add_periodic(cfg.epoch_cycles, [&](Cycle now) {
+    // Harness fault sites (check/fault.h): synthetic failures and stalls at
+    // an epoch boundary, exercising the sweep runner's capture/retry/watchdog
+    // paths. No-ops unless a matching fault is armed on this thread.
+    if (fault::at(fault::Kind::Throw)) fault::throw_synthetic(false);
+    if (fault::at(fault::Kind::ThrowTransient)) fault::throw_synthetic(true);
+    if (fault::at(fault::Kind::Stall)) fault::stall();
     res.epochs++;
     u64 cpu_instr = 0, gpu_instr = 0;
     bool all_done = true;

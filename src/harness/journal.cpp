@@ -1,0 +1,415 @@
+#include "harness/journal.h"
+
+#include <cinttypes>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/assert.h"
+#include "harness/sweep.h"
+
+namespace h2 {
+
+namespace {
+
+void append_hex_double(std::string& out, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  out += buf;
+}
+
+void append_json_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+}
+
+/// Builder for the flat all-strings JSON object serialize_entry emits.
+struct ObjWriter {
+  std::string out = "{";
+  bool first = true;
+
+  void key(const char* k) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += k;
+    out += "\":\"";
+  }
+  void str(const char* k, const std::string& v) {
+    key(k);
+    append_json_escaped(out, v);
+    out += '"';
+  }
+  void num(const char* k, u64 v) {
+    key(k);
+    out += std::to_string(v);
+    out += '"';
+  }
+  void dbl(const char* k, double v) {
+    key(k);
+    append_hex_double(out, v);
+    out += '"';
+  }
+  std::string finish() {
+    out += '}';
+    return std::move(out);
+  }
+};
+
+constexpr const char* kHmFields[15] = {
+    "demand",          "fast_hits",  "chain_hits",      "misses",
+    "migrations",      "bypasses",   "first_touches",   "dirty_writebacks",
+    "fast_swaps",      "lazy_invalidations", "lazy_moves", "llc_writebacks",
+    "meta_misses",     "meta_wait_cycles",   "subfills",
+};
+
+u64* hm_slot(HybridStats& s, int i) {
+  u64* slots[15] = {
+      &s.demand,          &s.fast_hits,  &s.chain_hits,      &s.misses,
+      &s.migrations,      &s.bypasses,   &s.first_touches,   &s.dirty_writebacks,
+      &s.fast_swaps,      &s.lazy_invalidations, &s.lazy_moves, &s.llc_writebacks,
+      &s.meta_misses,     &s.meta_wait_cycles,   &s.subfills,
+  };
+  return slots[i];
+}
+
+/// Minimal parser for the object ObjWriter emits: {"k":"v",...} where every
+/// value is a string. Returns false on any structural surprise.
+bool parse_flat_object(const std::string& line, std::map<std::string, std::string>& out) {
+  size_t i = 0;
+  const size_t n = line.size();
+  auto skip_ws = [&] {
+    while (i < n && (line[i] == ' ' || line[i] == '\t' || line[i] == '\r')) i++;
+  };
+  auto read_string = [&](std::string& s) -> bool {
+    if (i >= n || line[i] != '"') return false;
+    i++;
+    s.clear();
+    while (i < n && line[i] != '"') {
+      if (line[i] == '\\') {
+        i++;
+        if (i >= n || (line[i] != '"' && line[i] != '\\')) return false;
+      }
+      s += line[i++];
+    }
+    if (i >= n) return false;  // unterminated: truncated journal tail
+    i++;
+    return true;
+  };
+
+  skip_ws();
+  if (i >= n || line[i] != '{') return false;
+  i++;
+  skip_ws();
+  if (i < n && line[i] == '}') {
+    i++;
+  } else {
+    while (true) {
+      std::string k, v;
+      skip_ws();
+      if (!read_string(k)) return false;
+      skip_ws();
+      if (i >= n || line[i] != ':') return false;
+      i++;
+      skip_ws();
+      if (!read_string(v)) return false;
+      out[k] = v;
+      skip_ws();
+      if (i < n && line[i] == ',') {
+        i++;
+        continue;
+      }
+      if (i < n && line[i] == '}') {
+        i++;
+        break;
+      }
+      return false;
+    }
+  }
+  skip_ws();
+  return i == n;
+}
+
+/// Field extractors: each returns false when the key is missing or the value
+/// does not parse exactly (trailing garbage counts as corrupt).
+bool take_str(const std::map<std::string, std::string>& m, const char* k, std::string& dst) {
+  auto it = m.find(k);
+  if (it == m.end()) return false;
+  dst = it->second;
+  return true;
+}
+
+bool take_u64(const std::map<std::string, std::string>& m, const char* k, u64& dst) {
+  auto it = m.find(k);
+  if (it == m.end() || it->second.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(it->second.c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0') return false;
+  dst = static_cast<u64>(v);
+  return true;
+}
+
+bool take_dbl(const std::map<std::string, std::string>& m, const char* k, double& dst) {
+  auto it = m.find(k);
+  if (it == m.end() || it->second.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (errno != 0 || end == nullptr || *end != '\0') return false;
+  dst = v;
+  return true;
+}
+
+bool take_bool(const std::map<std::string, std::string>& m, const char* k, bool& dst) {
+  u64 v = 0;
+  if (!take_u64(m, k, v) || v > 1) return false;
+  dst = v != 0;
+  return true;
+}
+
+}  // namespace
+
+std::string config_key(const ExperimentConfig& cfg) {
+  // Canonical dump: every field below feeds the hash, '\x1f'-separated so
+  // adjacent fields cannot alias. Doubles are rendered as hex-floats.
+  std::string c;
+  auto s = [&](const std::string& v) {
+    c += v;
+    c += '\x1f';
+  };
+  auto u = [&](u64 v) {
+    c += std::to_string(v);
+    c += '\x1f';
+  };
+  auto d = [&](double v) {
+    append_hex_double(c, v);
+    c += '\x1f';
+  };
+
+  s(cfg.combo);
+  s(cfg.design.label);
+  u(static_cast<u64>(cfg.design.kind));
+  const HydrogenConfig& h = cfg.design.hydrogen;
+  u(h.decoupled);
+  u(h.token);
+  u(h.search);
+  u(h.per_channel_tokens);
+  d(h.fixed_cpu_capacity_frac);
+  d(h.fixed_cpu_bw_frac);
+  d(h.fixed_tok_frac);
+  for (double t : h.tok_levels) d(t);
+  u(h.faucet_period);
+  u(h.phase_length);
+  u(static_cast<u64>(h.swap));
+  d(h.swap_prob);
+  u(h.seed);
+  u(cfg.design.ideal_swap);
+  u(cfg.design.instant_reconfig);
+  u(cfg.design.hashcache_native_geometry);
+
+  u(static_cast<u64>(cfg.mode));
+  u(cfg.assoc);
+  u(cfg.block_bytes);
+  d(cfg.fast_capacity_frac);
+  u(cfg.fast_capacity_override);
+  u(cfg.fast_channels);
+  u(cfg.slow_channels);
+  u(cfg.cpu_target_instructions);
+  u(cfg.gpu_target_instructions);
+  d(cfg.weight_cpu);
+  d(cfg.weight_gpu);
+  u(cfg.epoch_cycles);
+  u(cfg.phase_cycles);
+  u(cfg.max_cycles);
+  u(cfg.cpu_only);
+  u(cfg.gpu_only);
+  u(cfg.seed);
+  s(cfg.trace_dir);
+
+  const SystemConfig& sys = cfg.sys;
+  u(sys.cpu_cores);
+  u(sys.gpu_eus);
+  u(sys.gpu_eus_per_cluster);
+  d(sys.cpu_base_ipc);
+  u(sys.cpu_mlp);
+  u(sys.cpu_write_buffer);
+  d(sys.gpu_base_ipc);
+  u(sys.gpu_mlp);
+  u(sys.gpu_write_buffer);
+  d(sys.core_ghz);
+  u(sys.scale);
+  s(sys.mem.fast_channel_timing.name);
+  s(sys.mem.slow_channel_timing.name);
+  u(sys.mem.fast_channels);
+  u(sys.mem.fast_group);
+  u(sys.mem.slow_channels);
+  u(sys.mem.cpu_priority);
+  u(sys.mem.block_bytes);
+  u(sys.hybrid.remap_cache_bytes);
+  u(sys.hybrid.mc_overhead);
+  u(sys.hybrid.chaining);
+  u(sys.hybrid.chain_latency);
+  u(sys.hybrid.subblock);
+  u(sys.hybrid.subblock_fetch);
+
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64, hash_str(c));
+  return buf;
+}
+
+std::string serialize_entry(const JournalEntry& e) {
+  ObjWriter w;
+  w.str("key", e.key);
+  w.str("combo", e.combo);
+  w.str("design", e.design);
+  w.num("seed", e.seed);
+  w.str("status", e.status);
+  w.num("attempts", e.attempts);
+  w.str("error", e.error);
+  w.dbl("wall_seconds", e.wall_seconds);
+
+  const ExperimentResult& r = e.result;
+  w.num("cpu_cycles", r.cpu_cycles);
+  w.num("gpu_cycles", r.gpu_cycles);
+  w.num("end_cycle", r.end_cycle);
+  w.num("cpu_finished", r.cpu_finished);
+  w.num("gpu_finished", r.gpu_finished);
+  w.num("cpu_instructions", r.cpu_instructions);
+  w.num("gpu_instructions", r.gpu_instructions);
+  w.dbl("cpu_ipc", r.cpu_ipc);
+  w.dbl("gpu_ipc", r.gpu_ipc);
+  w.dbl("weighted_ipc", r.weighted_ipc);
+  w.dbl("energy_pj", r.energy_pj);
+  w.num("fast_bytes", r.fast_bytes);
+  w.num("slow_bytes", r.slow_bytes);
+  for (int side = 0; side < 2; ++side) {
+    const char* pre = side == 0 ? "hm_cpu_" : "hm_gpu_";
+    HybridStats hs = r.hmstats[side];
+    for (int i = 0; i < 15; ++i)
+      w.num((std::string(pre) + kHmFields[i]).c_str(), *hm_slot(hs, i));
+  }
+  w.dbl("fast_hit_rate_cpu", r.fast_hit_rate[0]);
+  w.dbl("fast_hit_rate_gpu", r.fast_hit_rate[1]);
+  w.dbl("llc_hit_rate_cpu", r.llc_hit_rate[0]);
+  w.dbl("llc_hit_rate_gpu", r.llc_hit_rate[1]);
+  w.dbl("remap_cache_hit_rate", r.remap_cache_hit_rate);
+  w.dbl("slow_amplification", r.slow_amplification);
+  w.dbl("read_latency_mean_cpu", r.read_latency_mean[0]);
+  w.dbl("read_latency_mean_gpu", r.read_latency_mean[1]);
+  w.num("read_latency_p99_cpu", r.read_latency_p99[0]);
+  w.num("read_latency_p99_gpu", r.read_latency_p99[1]);
+  w.num("final_cap", r.final_point.cap);
+  w.num("final_bw", r.final_point.bw);
+  w.num("final_tok", r.final_point.tok);
+  w.num("reconfigurations", r.reconfigurations);
+  w.num("epochs", r.epochs);
+  return w.finish();
+}
+
+std::optional<JournalEntry> parse_entry(const std::string& line) {
+  std::map<std::string, std::string> m;
+  if (!parse_flat_object(line, m)) return std::nullopt;
+
+  JournalEntry e;
+  bool ok = true;
+  u64 tmp = 0;
+  ok = ok && take_str(m, "key", e.key) && !e.key.empty();
+  ok = ok && take_str(m, "combo", e.combo);
+  ok = ok && take_str(m, "design", e.design);
+  ok = ok && take_u64(m, "seed", e.seed);
+  ok = ok && take_str(m, "status", e.status);
+  ok = ok && (e.status == "ok" || e.status == "failed" || e.status == "timeout");
+  ok = ok && take_u64(m, "attempts", tmp);
+  e.attempts = static_cast<u32>(tmp);
+  ok = ok && take_str(m, "error", e.error);
+  ok = ok && take_dbl(m, "wall_seconds", e.wall_seconds);
+
+  ExperimentResult& r = e.result;
+  ok = ok && take_u64(m, "cpu_cycles", r.cpu_cycles);
+  ok = ok && take_u64(m, "gpu_cycles", r.gpu_cycles);
+  ok = ok && take_u64(m, "end_cycle", r.end_cycle);
+  ok = ok && take_bool(m, "cpu_finished", r.cpu_finished);
+  ok = ok && take_bool(m, "gpu_finished", r.gpu_finished);
+  ok = ok && take_u64(m, "cpu_instructions", r.cpu_instructions);
+  ok = ok && take_u64(m, "gpu_instructions", r.gpu_instructions);
+  ok = ok && take_dbl(m, "cpu_ipc", r.cpu_ipc);
+  ok = ok && take_dbl(m, "gpu_ipc", r.gpu_ipc);
+  ok = ok && take_dbl(m, "weighted_ipc", r.weighted_ipc);
+  ok = ok && take_dbl(m, "energy_pj", r.energy_pj);
+  ok = ok && take_u64(m, "fast_bytes", r.fast_bytes);
+  ok = ok && take_u64(m, "slow_bytes", r.slow_bytes);
+  for (int side = 0; side < 2; ++side) {
+    const char* pre = side == 0 ? "hm_cpu_" : "hm_gpu_";
+    for (int i = 0; i < 15; ++i)
+      ok = ok && take_u64(m, (std::string(pre) + kHmFields[i]).c_str(),
+                          *hm_slot(r.hmstats[side], i));
+  }
+  ok = ok && take_dbl(m, "fast_hit_rate_cpu", r.fast_hit_rate[0]);
+  ok = ok && take_dbl(m, "fast_hit_rate_gpu", r.fast_hit_rate[1]);
+  ok = ok && take_dbl(m, "llc_hit_rate_cpu", r.llc_hit_rate[0]);
+  ok = ok && take_dbl(m, "llc_hit_rate_gpu", r.llc_hit_rate[1]);
+  ok = ok && take_dbl(m, "remap_cache_hit_rate", r.remap_cache_hit_rate);
+  ok = ok && take_dbl(m, "slow_amplification", r.slow_amplification);
+  ok = ok && take_dbl(m, "read_latency_mean_cpu", r.read_latency_mean[0]);
+  ok = ok && take_dbl(m, "read_latency_mean_gpu", r.read_latency_mean[1]);
+  ok = ok && take_u64(m, "read_latency_p99_cpu", r.read_latency_p99[0]);
+  ok = ok && take_u64(m, "read_latency_p99_gpu", r.read_latency_p99[1]);
+  ok = ok && take_u64(m, "final_cap", tmp);
+  r.final_point.cap = static_cast<u32>(tmp);
+  ok = ok && take_u64(m, "final_bw", tmp);
+  r.final_point.bw = static_cast<u32>(tmp);
+  ok = ok && take_u64(m, "final_tok", tmp);
+  r.final_point.tok = static_cast<u32>(tmp);
+  ok = ok && take_u64(m, "reconfigurations", r.reconfigurations);
+  ok = ok && take_u64(m, "epochs", r.epochs);
+  if (!ok) return std::nullopt;
+
+  r.combo = e.combo;
+  r.design = e.design;
+  return e;
+}
+
+std::map<std::string, JournalEntry> load_journal(const std::string& path) {
+  std::map<std::string, JournalEntry> out;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return out;
+  std::string line;
+  char buf[4096];
+  while (std::fgets(buf, sizeof buf, f) != nullptr) {
+    line += buf;
+    if (!line.empty() && line.back() == '\n') {
+      line.pop_back();
+      if (auto e = parse_entry(line)) out[e->key] = std::move(*e);
+      line.clear();
+    }
+  }
+  // A trailing line without '\n' is a record cut short by a crash; parse it
+  // anyway (it fails cleanly if truncated mid-object).
+  if (!line.empty()) {
+    if (auto e = parse_entry(line)) out[e->key] = std::move(*e);
+  }
+  std::fclose(f);
+  return out;
+}
+
+Journal::Journal(const std::string& path) : path_(path) {
+  f_ = std::fopen(path.c_str(), "ab");
+  H2_ASSERT(f_ != nullptr, "cannot open sweep journal '%s' for append",
+            path.c_str());
+}
+
+Journal::~Journal() {
+  if (f_ != nullptr) std::fclose(f_);
+}
+
+void Journal::append(const JournalEntry& e) {
+  const std::string line = serialize_entry(e);
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fwrite(line.data(), 1, line.size(), f_);
+  std::fputc('\n', f_);
+  std::fflush(f_);
+}
+
+}  // namespace h2

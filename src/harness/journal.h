@@ -1,0 +1,87 @@
+// The sweep journal: crash-safe, append-only record of completed runs.
+//
+// A multi-hour figure sweep must survive a crash, a kill, or an OOM without
+// throwing away every completed run (the Ramulator 2.0 re-evaluation lesson:
+// long campaigns are only trustworthy when they are recoverable *and*
+// reruns reproduce the same bytes). The sweep runner appends one JSONL
+// record per *completed* slot — flushed immediately, so a record is either
+// wholly present or wholly absent — and `--resume` pre-fills journaled slots
+// instead of re-running them.
+//
+// Records are keyed by config_key(), a hash of every config field that
+// determines a run's output, so a journal never silently feeds a slot from
+// a different experiment. Numeric values are serialised losslessly (u64 as
+// decimal, doubles as C99 hex-floats), so a resumed sweep's final CSV is
+// byte-identical to an uninterrupted run's.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "harness/experiment.h"
+
+namespace h2 {
+
+/// Stable identity of one sweep slot: FNV-1a over a canonical dump of every
+/// ExperimentConfig / DesignSpec / HydrogenConfig / system field that can
+/// change a run's output, rendered as 16 hex digits. Hash the config *after*
+/// seed derivation so a journal entry never resumes a run with a different
+/// effective seed.
+std::string config_key(const ExperimentConfig& cfg);
+
+/// One journal record: the final outcome of a sweep slot.
+struct JournalEntry {
+  std::string key;        ///< config_key() of the slot's config
+  std::string combo;
+  std::string design;
+  u64 seed = 0;
+  std::string status;     ///< "ok" | "failed" | "timeout"
+  u32 attempts = 1;
+  std::string error;      ///< failure description when status != ok
+  double wall_seconds = 0.0;
+  ExperimentResult result;  ///< meaningful only when status == ok
+};
+
+/// Renders an entry as one flat JSON object (no newline). Every value is a
+/// JSON string: u64 in decimal, doubles as hex-floats ("%a") for exact
+/// round-trips, text fields with `"` and `\` escaped.
+std::string serialize_entry(const JournalEntry& e);
+
+/// Parses one journal line. Returns nullopt on anything malformed — a
+/// truncated tail from a crash, an empty line, a record missing its key —
+/// rather than throwing: resume treats unreadable lines as never-completed
+/// runs.
+std::optional<JournalEntry> parse_entry(const std::string& line);
+
+/// Loads a journal file into a key -> entry map. Missing file = empty map.
+/// Corrupt lines are skipped; duplicate keys keep the *last* record (a
+/// re-run after a failure supersedes the failure).
+std::map<std::string, JournalEntry> load_journal(const std::string& path);
+
+/// Append-side handle. Opens the file in append mode and flushes after every
+/// record, so a crash loses at most the record being written — and a partial
+/// final line is exactly what parse_entry tolerates.
+class Journal {
+ public:
+  /// Opens (creating if needed) `path` for append. H2_ASSERTs on I/O failure
+  /// — an unwritable journal would silently disable crash-safety.
+  explicit Journal(const std::string& path);
+  ~Journal();
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Thread-safe: serialises, appends one line, flushes.
+  void append(const JournalEntry& e);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::mutex mu_;
+  std::FILE* f_ = nullptr;
+};
+
+}  // namespace h2

@@ -6,6 +6,8 @@
 
 #include "common/assert.h"
 #include "common/stats.h"
+#include "harness/experiment.h"
+#include "harness/sweep.h"
 
 namespace h2 {
 
@@ -63,6 +65,52 @@ void TablePrinter::write_csv(const std::string& path) const {
     for (const auto& c : r) csv.cell(c);
     csv.end_row();
   }
+}
+
+void append_result_csv(const std::string& path, const SweepRun& run,
+                       const ExperimentConfig& cfg) {
+  const bool fresh = !std::ifstream(path).good();
+  std::ofstream f(path, std::ios::app);
+  H2_ASSERT(f.good(), "cannot open %s for appending", path.c_str());
+  CsvWriter csv(f);
+  if (fresh) {
+    for (const char* col :
+         {"combo", "design", "mode", "status", "attempts", "error", "cpu_cycles",
+          "gpu_cycles", "cpu_instructions", "gpu_instructions", "cpu_ipc",
+          "gpu_ipc", "weighted_ipc", "energy_pj", "fast_bytes", "slow_bytes",
+          "cpu_hit_rate", "gpu_hit_rate", "slow_amplification", "gpu_migrations",
+          "reconfigurations"}) {
+      csv.cell(std::string(col));
+    }
+    csv.end_row();
+  }
+  csv.cell(run.combo)
+      .cell(run.design)
+      .cell(std::string(cfg.mode == HybridMode::Cache ? "cache" : "flat"))
+      .cell(std::string(to_string(run.status)))
+      .cell(static_cast<u64>(run.attempts))
+      .cell(run.error);
+  if (run.ok) {
+    const ExperimentResult& r = run.result;
+    csv.cell(r.cpu_cycles)
+        .cell(r.gpu_cycles)
+        .cell(r.cpu_instructions)
+        .cell(r.gpu_instructions)
+        .cell(r.cpu_ipc)
+        .cell(r.gpu_ipc)
+        .cell(r.weighted_ipc)
+        .cell(r.energy_pj)
+        .cell(r.fast_bytes)
+        .cell(r.slow_bytes)
+        .cell(r.fast_hit_rate[0])
+        .cell(r.fast_hit_rate[1])
+        .cell(r.slow_amplification)
+        .cell(r.hmstats[1].migrations)
+        .cell(r.reconfigurations);
+  } else {
+    for (int i = 0; i < 15; ++i) csv.cell(std::string());  // one per metric column
+  }
+  csv.end_row();
 }
 
 void print_check(std::ostream& os, const std::string& what, double paper,

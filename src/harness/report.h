@@ -11,6 +11,9 @@
 
 namespace h2 {
 
+struct ExperimentConfig;
+struct SweepRun;
+
 /// Fixed-precision formatting for table cells.
 std::string fmt(double v, int precision = 2);
 std::string fmt_pct(double v, int precision = 1);  ///< 0.317 -> "31.7%"
@@ -36,5 +39,13 @@ class TablePrinter {
 /// One "paper vs measured" check line, printed by every figure bench.
 void print_check(std::ostream& os, const std::string& what, double paper,
                  double measured, int precision = 2);
+
+/// Appends one sweep slot to an h2sim/h2report results CSV, writing the
+/// header when the file does not exist yet. Ok slots carry full metrics;
+/// failed/timed-out slots become explicit status!=ok rows with empty metric
+/// cells, so an aggregator sees that the cell was attempted and lost rather
+/// than silently missing.
+void append_result_csv(const std::string& path, const SweepRun& run,
+                       const ExperimentConfig& cfg);
 
 }  // namespace h2

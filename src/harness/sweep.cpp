@@ -5,10 +5,16 @@
 #include <cstdlib>
 #include <exception>
 #include <iostream>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 
+#include "check/fault.h"
+#include "common/assert.h"
+#include "common/cancel.h"
 #include "common/rng.h"
+#include "harness/journal.h"
 #include "harness/report.h"
 
 namespace h2 {
@@ -39,6 +45,57 @@ u32 resolve_jobs(u32 requested) {
   return hw > 0 ? hw : 1;
 }
 
+const char* to_string(RunStatus s) {
+  switch (s) {
+    case RunStatus::Ok: return "ok";
+    case RunStatus::Failed: return "failed";
+    case RunStatus::TimedOut: return "timeout";
+  }
+  return "?";
+}
+
+namespace {
+
+i64 steady_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Per-worker watchdog state. The Token outlives every run on the worker
+/// (the watchdog thread holds a reference), so there is never a window where
+/// it could flip a dangling flag; the worker reset()s it between attempts.
+struct WatchSlot {
+  cancel::Token token;
+  std::atomic<i64> deadline_ms{-1};  ///< steady_ms() cutoff; -1 = inactive
+};
+
+JournalEntry make_entry(const SweepRun& slot, const std::string& key) {
+  JournalEntry e;
+  e.key = key;
+  e.combo = slot.combo;
+  e.design = slot.design;
+  e.seed = slot.seed;
+  e.status = to_string(slot.status);
+  e.attempts = slot.attempts;
+  e.error = slot.error;
+  e.wall_seconds = slot.wall_seconds;
+  if (slot.ok) e.result = slot.result;
+  return e;
+}
+
+void restore_from_entry(SweepRun& slot, const JournalEntry& e) {
+  slot.status = RunStatus::Ok;
+  slot.ok = true;
+  slot.error.clear();
+  slot.attempts = e.attempts;
+  slot.from_journal = true;
+  slot.wall_seconds = e.wall_seconds;
+  slot.result = e.result;
+}
+
+}  // namespace
+
 std::vector<SweepRun> run_sweep(const std::vector<ExperimentConfig>& configs,
                                 const SweepOptions& opts,
                                 const ExperimentRunner& runner) {
@@ -57,53 +114,162 @@ std::vector<SweepRun> run_sweep(const std::vector<ExperimentConfig>& configs,
     runs[i].seed = cfg.seed;
   }
 
+  // Resolve and pre-validate the fault spec so a typo aborts the sweep up
+  // front (std::invalid_argument) instead of failing every slot.
+  std::string fault_spec = opts.fault_spec;
+  if (fault_spec.empty()) {
+    if (const char* env = std::getenv("H2_FAULT")) fault_spec = env;
+  }
+  if (!fault_spec.empty()) (void)fault::parse_spec(fault_spec);
+
+  // Journal/resume: keys are computed on the *prepared* configs (post seed
+  // derivation), so an entry can never feed a slot that would have run with
+  // a different effective seed.
+  std::vector<std::string> keys;
+  if (!opts.journal_path.empty()) {
+    keys.resize(prepared.size());
+    for (size_t i = 0; i < prepared.size(); ++i) keys[i] = config_key(prepared[i]);
+  }
+  std::vector<char> done(prepared.size(), 0);
+  if (opts.resume) {
+    H2_ASSERT(!opts.journal_path.empty(), "resume requires a journal path");
+    const auto journaled = load_journal(opts.journal_path);
+    size_t resumed = 0;
+    for (size_t i = 0; i < prepared.size(); ++i) {
+      const auto it = journaled.find(keys[i]);
+      if (it != journaled.end() && it->second.status == "ok") {
+        restore_from_entry(runs[i], it->second);
+        done[i] = 1;
+        resumed++;
+      }
+    }
+    if (opts.verbose && resumed > 0) {
+      std::cerr << "  resume: " << resumed << "/" << prepared.size()
+                << " runs restored from " << opts.journal_path << "\n";
+    }
+  }
+  std::unique_ptr<Journal> journal;
+  if (!opts.journal_path.empty()) journal = std::make_unique<Journal>(opts.journal_path);
+
+  const size_t pool =
+      std::min<size_t>(resolve_jobs(opts.jobs), std::max<size_t>(prepared.size(), 1));
+
+  // Watchdog: one persistent cancellation slot per worker; a single scanner
+  // thread flips a slot's Token when its deadline passes. The worker clears
+  // the deadline *before* resetting the token between attempts, so a stale
+  // deadline can never cancel a fresh attempt.
+  std::vector<WatchSlot> watch(std::max<size_t>(pool, 1));
+  std::atomic<bool> watchdog_stop{false};
+  std::thread watchdog;
+  if (opts.run_timeout_seconds > 0) {
+    watchdog = std::thread([&] {
+      while (!watchdog_stop.load(std::memory_order_relaxed)) {
+        const i64 now = steady_ms();
+        for (auto& w : watch) {
+          const i64 dl = w.deadline_ms.load(std::memory_order_acquire);
+          if (dl >= 0 && now >= dl) w.token.cancel();
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    });
+  }
+
   std::atomic<size_t> next{0};
   std::atomic<size_t> completed{0};
   std::mutex io_mutex;
 
-  auto worker = [&] {
+  auto worker = [&](size_t wi) {
+    WatchSlot& w = watch[wi];
     for (;;) {
       const size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= prepared.size()) return;
+      if (done[i]) continue;  // restored from the journal
       SweepRun& slot = runs[i];
+
+      // One injector per slot, persisting across retries: a
+      // throw-transient:count=1 fault fails the first attempt and lets the
+      // retry succeed, exactly like a real transient.
+      std::optional<fault::Injector> injector;
+      if (!fault_spec.empty()) injector.emplace(fault_spec);
+
+      const u32 max_attempts = 1 + opts.max_retries;
+      u32 backoff_ms = opts.retry_backoff_ms;
       const auto t0 = std::chrono::steady_clock::now();
-      try {
-        slot.result = run(prepared[i]);
-        slot.ok = true;
-      } catch (const std::exception& e) {
-        slot.error = e.what();
-      } catch (...) {
-        slot.error = "unknown exception";
+      for (u32 attempt = 1; attempt <= max_attempts; ++attempt) {
+        slot.attempts = attempt;
+        bool transient = false;
+        w.token.reset();
+        if (opts.run_timeout_seconds > 0) {
+          w.deadline_ms.store(
+              steady_ms() + static_cast<i64>(opts.run_timeout_seconds * 1000.0),
+              std::memory_order_release);
+        }
+        try {
+          cancel::Scope cancel_scope(w.token);
+          std::optional<fault::Scope> fault_scope;
+          if (injector) fault_scope.emplace(*injector);
+          slot.result = run(prepared[i]);
+          slot.status = RunStatus::Ok;
+          slot.ok = true;
+          slot.error.clear();
+        } catch (const cancel::CancelledError&) {
+          slot.status = RunStatus::TimedOut;
+          slot.error = "exceeded run timeout (" +
+                       fmt(opts.run_timeout_seconds, 1) + "s, attempt " +
+                       std::to_string(attempt) + ")";
+          transient = true;
+        } catch (const fault::TransientError& e) {
+          slot.status = RunStatus::Failed;
+          slot.error = e.what();
+          transient = true;
+        } catch (const std::exception& e) {
+          slot.status = RunStatus::Failed;
+          slot.error = e.what();
+        } catch (...) {
+          slot.status = RunStatus::Failed;
+          slot.error = "unknown exception";
+        }
+        w.deadline_ms.store(-1, std::memory_order_release);
+        if (slot.ok || !transient || attempt == max_attempts) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+        backoff_ms = backoff_ms < 0x40000000u ? backoff_ms * 2 : backoff_ms;
       }
       slot.wall_seconds =
           std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
               .count();
-      const size_t done = completed.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (journal) journal->append(make_entry(slot, keys[i]));
+      const size_t done_count = completed.fetch_add(1, std::memory_order_relaxed) + 1;
       if (opts.verbose) {
         std::lock_guard<std::mutex> lock(io_mutex);
-        std::cerr << "  [" << done << "/" << prepared.size() << " " << slot.combo
-                  << " / " << slot.design << "] ";
+        std::cerr << "  [" << done_count << "/" << prepared.size() << " "
+                  << slot.combo << " / " << slot.design << "] ";
         if (slot.ok) {
           std::cerr << "done ("
                     << fmt(static_cast<double>(slot.result.end_cycle) / 1e6, 1)
-                    << "M cycles, " << fmt(slot.wall_seconds, 1) << "s)\n";
+                    << "M cycles, " << fmt(slot.wall_seconds, 1) << "s";
+          if (slot.attempts > 1) std::cerr << ", attempt " << slot.attempts;
+          std::cerr << ")\n";
         } else {
-          std::cerr << "FAILED: " << slot.error << "\n";
+          std::cerr << (slot.status == RunStatus::TimedOut ? "TIMEOUT: " : "FAILED: ")
+                    << slot.error << "\n";
         }
       }
     }
   };
 
-  const size_t pool =
-      std::min<size_t>(resolve_jobs(opts.jobs), std::max<size_t>(prepared.size(), 1));
   if (pool <= 1) {
-    worker();
-    return runs;
+    worker(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(pool);
+    for (size_t t = 0; t < pool; ++t) threads.emplace_back(worker, t);
+    for (auto& t : threads) t.join();
   }
-  std::vector<std::thread> threads;
-  threads.reserve(pool);
-  for (size_t t = 0; t < pool; ++t) threads.emplace_back(worker);
-  for (auto& t : threads) t.join();
+
+  if (watchdog.joinable()) {
+    watchdog_stop.store(true, std::memory_order_relaxed);
+    watchdog.join();
+  }
   return runs;
 }
 

@@ -11,6 +11,17 @@
 //     identity or completion order, so results are independent of scheduling;
 //   - results come back indexed by submission order, not completion order;
 //   - a failed run is captured per-slot and does not abort the sweep.
+//
+// Crash-safety contract (this layer's robustness half):
+//   - with a journal_path, every completed slot is appended to a JSONL
+//     journal (harness/journal.h) as it finishes, flushed immediately;
+//   - with resume, journaled ok slots are restored instead of re-run, and
+//     the restored results are bit-identical to a fresh run's (the journal
+//     round-trips doubles exactly);
+//   - with run_timeout_seconds, a watchdog thread cancels overlong runs via
+//     cooperative polling in the engine loop (common/cancel.h);
+//   - transient failures (timeouts, fault::TransientError) are retried up to
+//     max_retries times with doubling backoff; permanent failures are not.
 #pragma once
 
 #include <functional>
@@ -30,15 +41,49 @@ struct SweepOptions {
   /// configs run with exactly the seed they carry (tools/h2sim honours
   /// explicit sim.seed values this way).
   bool derive_seeds = true;
+
+  /// Per-run wall-clock budget. 0 = no watchdog. A run that exceeds it is
+  /// cancelled at the next engine poll, classified TimedOut (transient) and
+  /// retried per the policy below.
+  double run_timeout_seconds = 0.0;
+  /// Extra attempts after a *transient* failure (timeout or
+  /// fault::TransientError). Permanent failures never retry.
+  u32 max_retries = 0;
+  /// Sleep before the first retry; doubles on each further retry.
+  u32 retry_backoff_ms = 100;
+
+  /// Fault spec (check/fault.h grammar) armed around every run; "" falls
+  /// back to the H2_FAULT environment variable, and if that is empty too no
+  /// fault is armed. One Injector per slot, persisting across that slot's
+  /// retries, so e.g. throw-transient:count=1 fails once and then succeeds.
+  std::string fault_spec;
+
+  /// Append-only JSONL journal written as runs complete ("" = none).
+  std::string journal_path;
+  /// Restore status=ok journal entries instead of re-running them (requires
+  /// journal_path). Failed/timed-out entries are re-run.
+  bool resume = false;
 };
+
+/// Terminal classification of one sweep slot.
+enum class RunStatus : u8 {
+  Ok,        ///< result is valid
+  Failed,    ///< the run threw; error holds the description
+  TimedOut,  ///< cancelled by the watchdog on its final attempt
+};
+
+const char* to_string(RunStatus s);
 
 /// One slot of a sweep, in submission order.
 struct SweepRun {
   std::string combo;          ///< labels copied from the config (valid even on failure)
   std::string design;
   u64 seed = 0;               ///< the seed the run actually used
-  bool ok = false;
+  bool ok = false;            ///< == (status == RunStatus::Ok)
+  RunStatus status = RunStatus::Failed;
   std::string error;          ///< failure description when !ok
+  u32 attempts = 0;           ///< attempts consumed (>1 = retried)
+  bool from_journal = false;  ///< restored by --resume, not re-run
   double wall_seconds = 0.0;  ///< per-run wall time on its worker
   ExperimentResult result;    ///< meaningful only when ok
 };
@@ -55,12 +100,14 @@ u64 derive_seed(u64 base_seed, const std::string& combo,
 u32 resolve_jobs(u32 requested);
 
 /// The function a sweep applies to each config; injectable so tests can
-/// exercise failure capture and scheduling without real simulations.
+/// exercise failure capture, timeouts, retries and resume without real
+/// simulations.
 using ExperimentRunner = std::function<ExperimentResult(const ExperimentConfig&)>;
 
 /// Runs every config through `runner` (default: run_experiment) on a pool of
 /// resolve_jobs(opts.jobs) threads. Exceptions thrown by a run are captured
-/// in its slot; the sweep always returns configs.size() entries.
+/// in its slot; the sweep always returns configs.size() entries. Throws
+/// std::invalid_argument up front on a malformed opts.fault_spec / H2_FAULT.
 std::vector<SweepRun> run_sweep(const std::vector<ExperimentConfig>& configs,
                                 const SweepOptions& opts = {},
                                 const ExperimentRunner& runner = {});

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "check/check.h"
+#include "check/fault.h"
 #include "common/assert.h"
 
 namespace h2 {
@@ -97,6 +98,17 @@ void HybridMemory::fill_way(u32 set, u32 way, u64 tag, bool dirty, Requestor cls
            "but only %u superchannels exist",
            policy_->name(), set, way, rw.channel,
            mem_->num_fast_superchannels());
+  // Fault-injection sites (check/fault.h): corrupt the freshly written remap
+  // entry so the residency oracle / bijection audit must notice. No-ops (a
+  // thread-local null test) unless a matching fault is armed.
+  if (fault::at(fault::Kind::RemapFlip)) rw.tag ^= 1;
+  if (fault::at(fault::Kind::DupTag)) {
+    const u32 dup_set = cfg_.assoc > 1 ? set : (set + 1) % table_.num_sets();
+    const u32 dup_way = cfg_.assoc > 1 ? (way + 1) % cfg_.assoc : 0;
+    RemapWay& dup = table_.way(dup_set, dup_way);
+    dup.tag = rw.tag;
+    dup.valid = true;
+  }
   (void)cls;
   table_.touch(set, way);
 }
@@ -121,9 +133,14 @@ void HybridMemory::do_fast_swap(const PolicyContext& ctx, u32 set, u32 way_a, u3
   std::swap(a.hits, b.hits);
   std::swap(a.present, b.present);  // sub-block residency follows the block
   // Channels and owner bits stay attached to the ways; both entries now sit
-  // on their way's configured channel.
+  // on their way's configured channel with its configured owner. The owner
+  // bit must be refreshed too: a never-filled way still carries the
+  // default-constructed bit, and leaving it stale makes the next hit's lazy
+  // fixup spuriously invalidate the freshly promoted block.
   a.channel = static_cast<u8>(policy_->channel_of_way(set, way_a));
   b.channel = static_cast<u8>(policy_->channel_of_way(set, way_b));
+  a.owner_cpu = policy_->way_owner(set, way_a) == Requestor::Cpu;
+  b.owner_cpu = policy_->way_owner(set, way_b) == Requestor::Cpu;
   st(ctx.cls).fast_swaps++;
 }
 
@@ -278,7 +295,7 @@ Cycle HybridMemory::serve_miss_cache(const PolicyContext& ctx, const Lookup& lk,
   // cursors monotone with simulation time.
   const u32 vway = static_cast<u32>(victim);
   RemapWay& rw = table_.way(fill_ctx.set, vway);
-  if (rw.valid && rw.dirty) {
+  if (rw.valid && rw.dirty && !fault::at(fault::Kind::DropWriteback)) {
     // Dirty writebacks transfer only resident sub-blocks.
     const u32 wb_bytes =
         cfg_.subblock ? std::max<u32>(64, 64 * std::popcount(rw.present & full_mask()))

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "check/check.h"
+#include "check/fault.h"
 #include "common/assert.h"
 
 namespace h2 {
@@ -114,6 +115,16 @@ Channel::Result Channel::request(Cycle now, Addr addr, u32 bytes, bool is_write,
   } else {
     read_busy_until_ = read_base + transfer;
   }
+
+#if H2_CHECK_LEVEL >= 2
+  // Fault-injection site (check/fault.h): yank the read cursor backwards past
+  // the level-2 snapshot above, simulating an overlapping bus reservation.
+  // Only the cursor-monotonicity audit below can catch this, so the site
+  // exists only where that audit does and tools/h2fault skips the class when
+  // compiled below level 2.
+  if (prev_read_busy > 0 && fault::at(fault::Kind::CursorSkew))
+    read_busy_until_ = prev_read_busy - 1;
+#endif
 
   class_bytes_[static_cast<u32>(current_requestor_)] += bytes;
   const double pj_per_bit = is_write ? timing_.wr_pj_per_bit : timing_.rd_pj_per_bit;

@@ -152,6 +152,64 @@ TEST(ConfigLoader, SetpartConsumesHydrogenKeys) {
   EXPECT_TRUE(cfg.unused_keys().empty());
 }
 
+TEST(ConfigFile, WhereReportsOriginAndLine) {
+  ConfigFile cfg;
+  cfg.parse(
+      "# comment\n"
+      "[sim]\n"
+      "combo = C3\n"
+      "\n"
+      "combo = C4\n",
+      "demo.cfg");
+  // Later assignments win, and where() tracks the winning one.
+  EXPECT_EQ(cfg.where("sim.combo"), "demo.cfg:5");
+  EXPECT_EQ(cfg.where("sim.missing"), "<unknown>");
+  EXPECT_EQ(cfg.section_of("sim.combo"), "sim");
+}
+
+TEST(ConfigFile, SectionOfDisambiguatesDottedKeyNames) {
+  // Key names may contain dots, so the section cannot be recovered from the
+  // full key string; section_of() must come from the parse.
+  ConfigFile cfg;
+  cfg.parse("[sim]\nsub.key = 1\ntop.level = 2\n", "d.cfg");
+  EXPECT_EQ(cfg.section_of("sim.sub.key"), "sim");
+  cfg.parse("orphan = 3\n", "e.cfg");
+  EXPECT_EQ(cfg.section_of("orphan"), "");
+}
+
+using ConfigFileDeathTest = ::testing::Test;
+
+TEST(ConfigFileDeathTest, GetterErrorsNameFileAndLine) {
+  ConfigFile cfg;
+  cfg.parse("[sim]\nseed = banana\nweight_cpu = soup\nflag = maybe\n", "bad.cfg");
+  EXPECT_DEATH((void)cfg.get_int("sim.seed"), "bad.cfg:2");
+  EXPECT_DEATH((void)cfg.get_u64("sim.seed"), "bad.cfg:2");
+  EXPECT_DEATH((void)cfg.get_double("sim.weight_cpu"), "bad.cfg:3");
+  EXPECT_DEATH((void)cfg.get_bool("sim.flag"), "bad.cfg:4");
+}
+
+TEST(ConfigFileDeathTest, ParseErrorsNameFileAndLine) {
+  ConfigFile broken_section, keyless;
+  EXPECT_DEATH(broken_section.parse("[sim\ncombo = C1\n", "p.cfg"), "p.cfg:1");
+  EXPECT_DEATH(keyless.parse("[sim]\njust words\n", "q.cfg"), "q.cfg:2");
+}
+
+TEST(ConfigLoaderStrictDeathTest, UnknownSectionAbortsWithLocation) {
+  // [hydrgen] (typo'd section): every key under it would be silently dropped
+  // as merely "unused" unless the section itself is rejected.
+  const std::string path = write_config(
+      "bad_section.cfg",
+      "[sim]\ncombo = C2\n[hydrgen]\ntoken = true\n");
+  EXPECT_DEATH(experiment_from_file(path, /*strict=*/true),
+               "cfg:4: unknown section ..hydrgen");
+}
+
+TEST(ConfigLoaderStrictDeathTest, TopLevelKeyOutsideSectionAborts) {
+  const std::string path = write_config(
+      "no_section.cfg", "combo = C2\n[sim]\ndesign = baseline\n");
+  EXPECT_DEATH(experiment_from_file(path, /*strict=*/true), "outside any section");
+}
+
 TEST(ConfigLoader, CheckedInConfigsAreValidAndStrict) {
   for (const char* path :
        {"configs/baseline.cfg", "configs/hydrogen.cfg", "configs/hashcache.cfg",

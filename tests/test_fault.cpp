@@ -1,0 +1,129 @@
+// Fault-spec grammar and injector mechanics (check/fault.h). The end-to-end
+// detector-coverage matrix lives in tools/h2fault; these tests pin the parts
+// the matrix builds on: spec parsing (including every malformed shape), the
+// deterministic firing window, and per-thread arming.
+#include "check/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace h2::fault {
+namespace {
+
+TEST(FaultSpec, BareKindParsesWithDefaults) {
+  const FaultSpec s = parse_spec("remap-flip");
+  EXPECT_EQ(s.kind, Kind::RemapFlip);
+  EXPECT_EQ(s.after, 0u);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.seed, 0u);
+  EXPECT_EQ(s.stall_ms, 50u);
+}
+
+TEST(FaultSpec, EveryKindNameRoundTrips) {
+  for (int i = 0; i < kNumKinds; ++i) {
+    const Kind k = static_cast<Kind>(i);
+    EXPECT_EQ(parse_spec(kind_name(k)).kind, k) << kind_name(k);
+  }
+}
+
+TEST(FaultSpec, OptionsParse) {
+  const FaultSpec s = parse_spec("dup-tag:after=100,count=2,seed=7");
+  EXPECT_EQ(s.kind, Kind::DupTag);
+  EXPECT_EQ(s.after, 100u);
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_EQ(s.seed, 7u);
+  EXPECT_EQ(parse_spec("stall:for=250").stall_ms, 250u);
+  EXPECT_EQ(parse_spec("throw:count=0").count, 0u);  // 0 = unlimited
+}
+
+TEST(FaultSpec, MalformedSpecsThrow) {
+  // Every rejection names the offending token via std::invalid_argument.
+  const std::vector<std::string> bad = {
+      "",                      // no kind
+      "flip-remap",            // unknown kind
+      "remap-flip:",           // empty option list
+      "throw:bogus=1",         // unknown key
+      "throw:after",           // option without '='
+      "throw:after=",          // empty number
+      "throw:after=abc",       // non-digit number
+      "stall:for=1x",          // trailing junk in number
+      "throw:after=1,,",       // empty option between commas
+      "throw:after=99999999999999999999",  // u64 overflow
+  };
+  for (const std::string& spec : bad) {
+    EXPECT_THROW((void)parse_spec(spec), std::invalid_argument) << "'" << spec << "'";
+  }
+}
+
+TEST(Injector, FiringWindowIsDeterministic) {
+  // after=2,count=2: visits 0,1 skipped; 2,3 fire; 4+ exhausted. Twice over,
+  // two injectors from the same spec behave identically.
+  for (int rep = 0; rep < 2; ++rep) {
+    Injector inj("time-skew:after=2,count=2");
+    std::vector<bool> fires;
+    for (int i = 0; i < 6; ++i) fires.push_back(inj.should_fire(Kind::TimeSkew));
+    EXPECT_EQ(fires, (std::vector<bool>{false, false, true, true, false, false}));
+    EXPECT_EQ(inj.seen(), 6u);
+    EXPECT_EQ(inj.fired(), 2u);
+  }
+}
+
+TEST(Injector, OtherKindsNeitherFireNorAdvanceTheWindow) {
+  Injector inj("remap-flip:count=1");
+  EXPECT_FALSE(inj.should_fire(Kind::DupTag));
+  EXPECT_FALSE(inj.should_fire(Kind::Stall));
+  EXPECT_EQ(inj.seen(), 0u);  // non-matching visits don't consume after=
+  EXPECT_TRUE(inj.should_fire(Kind::RemapFlip));
+}
+
+TEST(Injector, CountZeroFiresForever) {
+  Injector inj("drop-writeback:count=0");
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(inj.should_fire(Kind::DropWriteback));
+  EXPECT_EQ(inj.fired(), 100u);
+}
+
+TEST(Scope, ArmsPerThreadAndNests) {
+  EXPECT_EQ(current(), nullptr);
+  EXPECT_FALSE(at(Kind::Throw));  // unarmed: the null test, nothing fires
+  Injector outer("throw:count=0");
+  {
+    Scope s1(outer);
+    EXPECT_EQ(current(), &outer);
+    EXPECT_TRUE(at(Kind::Throw));
+    Injector inner("stall");
+    {
+      Scope s2(inner);
+      EXPECT_EQ(current(), &inner);
+      EXPECT_FALSE(at(Kind::Throw));  // inner spec shadows the outer one
+      EXPECT_TRUE(at(Kind::Stall));
+    }
+    EXPECT_EQ(current(), &outer);  // nesting restores the previous injector
+  }
+  EXPECT_EQ(current(), nullptr);
+}
+
+TEST(ThrowSynthetic, NamesTheArmedSpec) {
+  Injector inj("throw-transient:seed=9");
+  Scope s(inj);
+  try {
+    throw_synthetic(/*transient=*/true);
+    FAIL() << "throw_synthetic returned";
+  } catch (const TransientError& e) {
+    EXPECT_NE(std::string(e.what()).find("throw-transient"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("seed=9"), std::string::npos);
+  }
+  // TransientError is a FaultError; permanent is a FaultError but not transient.
+  try {
+    throw_synthetic(/*transient=*/false);
+    FAIL() << "throw_synthetic returned";
+  } catch (const TransientError&) {
+    FAIL() << "permanent fault threw the transient type";
+  } catch (const FaultError&) {
+  }
+}
+
+}  // namespace
+}  // namespace h2::fault

@@ -6,6 +6,10 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "harness/sweep.h"
 
 namespace h2 {
 namespace {
@@ -59,6 +63,84 @@ TEST(PrintCheck, FormatsBothValues) {
   print_check(os, "speedup", 1.24, 1.15);
   EXPECT_NE(os.str().find("paper=1.24"), std::string::npos);
   EXPECT_NE(os.str().find("measured=1.15"), std::string::npos);
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream f(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(f, line)) lines.push_back(line);
+  return lines;
+}
+
+std::vector<std::string> split_cells(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  for (char c : line) {
+    if (c == ',') {
+      cells.push_back(cell);
+      cell.clear();
+    } else {
+      cell += c;
+    }
+  }
+  cells.push_back(cell);
+  return cells;
+}
+
+TEST(AppendResultCsv, OkAndFailedSlotsRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "h2_result_rows_test.csv").string();
+  std::remove(path.c_str());
+
+  ExperimentConfig cfg;
+  cfg.combo = "C1";
+
+  SweepRun ok;
+  ok.combo = "C1";
+  ok.design = "hydrogen";
+  ok.ok = true;
+  ok.status = RunStatus::Ok;
+  ok.attempts = 1;
+  ok.result.cpu_cycles = 1000;
+  ok.result.gpu_cycles = 2000;
+  ok.result.weighted_ipc = 1.5;
+
+  SweepRun failed;
+  failed.combo = "C1";
+  failed.design = "profess";
+  failed.status = RunStatus::TimedOut;
+  failed.attempts = 3;
+  failed.error = "exceeded run timeout on attempt 3";  // comma-free: the naive
+                                                       // splitter below has no
+                                                       // quote handling
+
+  append_result_csv(path, ok, cfg);
+  append_result_csv(path, failed, cfg);  // header must not repeat
+
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 3u);
+  const std::vector<std::string> header = split_cells(lines[0]);
+  const std::vector<std::string> row_ok = split_cells(lines[1]);
+  const std::vector<std::string> row_bad = split_cells(lines[2]);
+  ASSERT_EQ(row_ok.size(), header.size());
+  ASSERT_EQ(row_bad.size(), header.size());  // failed rows keep the full width
+
+  auto col = [&](const std::vector<std::string>& row, const std::string& name) {
+    for (size_t i = 0; i < header.size(); ++i) {
+      if (header[i] == name) return row[i];
+    }
+    ADD_FAILURE() << "no column " << name;
+    return std::string();
+  };
+  EXPECT_EQ(col(row_ok, "status"), "ok");
+  EXPECT_EQ(col(row_ok, "design"), "hydrogen");
+  EXPECT_EQ(col(row_ok, "cpu_cycles"), "1000");
+  EXPECT_EQ(col(row_bad, "status"), "timeout");
+  EXPECT_EQ(col(row_bad, "attempts"), "3");
+  EXPECT_EQ(col(row_bad, "cpu_cycles"), "");  // lost cell, explicit and empty
+  EXPECT_NE(col(row_bad, "error").find("exceeded run timeout"), std::string::npos);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -5,10 +5,20 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <set>
 #include <stdexcept>
 #include <thread>
+
+#include "check/fault.h"
+#include "common/cancel.h"
+#include "harness/journal.h"
 
 namespace h2 {
 namespace {
@@ -54,6 +64,8 @@ void expect_identical(const SweepRun& a, const SweepRun& b) {
   EXPECT_EQ(a.combo, b.combo);
   EXPECT_EQ(a.design, b.design);
   EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.attempts, b.attempts);
   const ExperimentResult& x = a.result;
   const ExperimentResult& y = b.result;
   EXPECT_EQ(x.cpu_cycles, y.cpu_cycles);
@@ -200,6 +212,297 @@ TEST(Sweep, HashStrIsStableAndSensitive) {
 
 TEST(Sweep, EmptySweepReturnsEmpty) {
   EXPECT_TRUE(run_sweep({}, SweepOptions{}).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Crash-safety: timeouts, retries and journal-based resume. All of these use
+// injectable fake runners, so they exercise the sweep machinery in
+// milliseconds without real simulations.
+// ---------------------------------------------------------------------------
+
+/// Sleeps in small slices, polling cooperative cancellation like the engine
+/// loop does — the watchdog can only cut short a runner that polls.
+void sleep_polling(double seconds) {
+  const auto until = std::chrono::steady_clock::now() +
+                     std::chrono::duration<double>(seconds);
+  while (std::chrono::steady_clock::now() < until) {
+    cancel::poll();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  cancel::poll();
+}
+
+/// A runner whose results exercise the journal's lossless serialisation:
+/// non-terminating binary fractions, tiny/huge magnitudes, a denormal.
+ExperimentResult fancy_runner(const ExperimentConfig& cfg) {
+  ExperimentResult r = stub_runner(cfg);
+  const double salt = static_cast<double>(cfg.seed % 1024);
+  r.cpu_cycles = cfg.seed * 3 + 1;
+  r.cpu_ipc = 0.1 + 0.2 + salt;               // classic non-representable sum
+  r.gpu_ipc = 1.0 / 3.0 + salt;
+  r.weighted_ipc = 5e-324;                    // smallest positive denormal
+  r.energy_pj = 6.02214076e23 + salt;
+  r.slow_amplification = 1.0 + 1.0 / 7.0;
+  r.fast_hit_rate[0] = salt / 1023.0;
+  return r;
+}
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(SweepTimeout, OverlongRunIsCancelledAndReported) {
+  SweepOptions opts;
+  opts.jobs = 1;
+  opts.run_timeout_seconds = 0.05;
+  const std::vector<SweepRun> runs =
+      run_sweep({quick("C1", DesignSpec::baseline())}, opts,
+                [](const ExperimentConfig& cfg) {
+                  sleep_polling(10.0);  // far beyond the budget; cancel unwinds
+                  return stub_runner(cfg);
+                });
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_FALSE(runs[0].ok);
+  EXPECT_EQ(runs[0].status, RunStatus::TimedOut);
+  EXPECT_EQ(runs[0].attempts, 1u);
+  EXPECT_NE(runs[0].error.find("exceeded run timeout"), std::string::npos);
+}
+
+TEST(SweepTimeout, TimedOutRunIsRetriedAndCanSucceed) {
+  std::atomic<int> calls{0};
+  SweepOptions opts;
+  opts.jobs = 1;
+  opts.run_timeout_seconds = 0.05;
+  opts.max_retries = 1;
+  opts.retry_backoff_ms = 1;
+  const std::vector<SweepRun> runs =
+      run_sweep({quick("C1", DesignSpec::baseline())}, opts,
+                [&](const ExperimentConfig& cfg) {
+                  if (calls.fetch_add(1) == 0) sleep_polling(10.0);
+                  return stub_runner(cfg);
+                });
+  EXPECT_EQ(calls.load(), 2);
+  EXPECT_TRUE(runs[0].ok);
+  EXPECT_EQ(runs[0].status, RunStatus::Ok);
+  EXPECT_EQ(runs[0].attempts, 2u);
+}
+
+TEST(SweepRetry, TransientFailureRetriesUntilSuccess) {
+  std::atomic<int> calls{0};
+  SweepOptions opts;
+  opts.jobs = 1;
+  opts.max_retries = 2;
+  opts.retry_backoff_ms = 1;
+  const std::vector<SweepRun> runs =
+      run_sweep({quick("C1", DesignSpec::baseline())}, opts,
+                [&](const ExperimentConfig& cfg) -> ExperimentResult {
+                  if (calls.fetch_add(1) < 2) {
+                    throw fault::TransientError("flaky backend");
+                  }
+                  return stub_runner(cfg);
+                });
+  EXPECT_EQ(calls.load(), 3);
+  EXPECT_TRUE(runs[0].ok);
+  EXPECT_EQ(runs[0].attempts, 3u);
+}
+
+TEST(SweepRetry, TransientRetriesExhaust) {
+  SweepOptions opts;
+  opts.jobs = 1;
+  opts.max_retries = 2;
+  opts.retry_backoff_ms = 1;
+  const std::vector<SweepRun> runs =
+      run_sweep({quick("C1", DesignSpec::baseline())}, opts,
+                [](const ExperimentConfig&) -> ExperimentResult {
+                  throw fault::TransientError("never recovers");
+                });
+  EXPECT_FALSE(runs[0].ok);
+  EXPECT_EQ(runs[0].status, RunStatus::Failed);
+  EXPECT_EQ(runs[0].attempts, 3u);  // 1 try + 2 retries, all consumed
+  EXPECT_EQ(runs[0].error, "never recovers");
+}
+
+TEST(SweepRetry, PermanentFailureDoesNotRetry) {
+  std::atomic<int> calls{0};
+  SweepOptions opts;
+  opts.jobs = 1;
+  opts.max_retries = 3;
+  opts.retry_backoff_ms = 1;
+  const std::vector<SweepRun> runs =
+      run_sweep({quick("C1", DesignSpec::baseline())}, opts,
+                [&](const ExperimentConfig&) -> ExperimentResult {
+                  calls.fetch_add(1);
+                  throw std::runtime_error("deterministic bug");
+                });
+  EXPECT_EQ(calls.load(), 1);  // retrying a permanent failure would waste hours
+  EXPECT_FALSE(runs[0].ok);
+  EXPECT_EQ(runs[0].status, RunStatus::Failed);
+  EXPECT_EQ(runs[0].attempts, 1u);
+}
+
+TEST(SweepFault, MalformedFaultSpecAbortsUpFront) {
+  std::atomic<int> calls{0};
+  SweepOptions opts;
+  opts.jobs = 1;
+  opts.fault_spec = "flip-remap";  // typo'd kind: fail before any run starts
+  EXPECT_THROW((void)run_sweep({quick("C1", DesignSpec::baseline())}, opts,
+                               [&](const ExperimentConfig& cfg) {
+                                 calls.fetch_add(1);
+                                 return stub_runner(cfg);
+                               }),
+               std::invalid_argument);
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(SweepJournal, ResumeRestoresBitIdenticalResultsWithoutRerunning) {
+  const std::string path = temp_path("h2_sweep_resume_test.journal");
+  std::remove(path.c_str());
+  const std::vector<ExperimentConfig> cfgs = six_configs();
+
+  SweepOptions first;
+  first.jobs = 4;
+  first.journal_path = path;
+  const std::vector<SweepRun> a = run_sweep(cfgs, first, fancy_runner);
+  for (const SweepRun& r : a) ASSERT_TRUE(r.ok);
+
+  SweepOptions second = first;
+  second.resume = true;
+  const std::vector<SweepRun> b =
+      run_sweep(cfgs, second, [](const ExperimentConfig& cfg) {
+        ADD_FAILURE() << "resume re-ran " << cfg.combo << "/" << cfg.design.label;
+        return stub_runner(cfg);
+      });
+
+  ASSERT_EQ(b.size(), a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_FALSE(a[i].from_journal);
+    EXPECT_TRUE(b[i].from_journal);
+    expect_identical(a[i], b[i]);  // exact ==, incl. the denormal/hex-float path
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SweepJournal, FailedEntriesAreReRunOnResume) {
+  const std::string path = temp_path("h2_sweep_rerun_test.journal");
+  std::remove(path.c_str());
+  const std::vector<ExperimentConfig> cfgs = six_configs();
+
+  SweepOptions first;
+  first.jobs = 2;
+  first.journal_path = path;
+  const std::vector<SweepRun> a =
+      run_sweep(cfgs, first, [](const ExperimentConfig& cfg) -> ExperimentResult {
+        if (cfg.combo == "C3" && cfg.design.label == "profess") {
+          throw std::runtime_error("lost this one");
+        }
+        return fancy_runner(cfg);
+      });
+
+  std::atomic<int> reruns{0};
+  SweepOptions second = first;
+  second.resume = true;
+  const std::vector<SweepRun> b =
+      run_sweep(cfgs, second, [&](const ExperimentConfig& cfg) {
+        reruns.fetch_add(1);
+        return fancy_runner(cfg);
+      });
+
+  EXPECT_EQ(reruns.load(), 1);  // only the failed slot is re-run
+  for (size_t i = 0; i < b.size(); ++i) {
+    EXPECT_TRUE(b[i].ok) << b[i].combo << "/" << b[i].design;
+    const bool was_failed = !a[i].ok;
+    EXPECT_EQ(b[i].from_journal, !was_failed);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SweepJournal, CorruptJournalLinesAreTolerated) {
+  const std::string path = temp_path("h2_sweep_corrupt_test.journal");
+  std::remove(path.c_str());
+  const std::vector<ExperimentConfig> cfgs = six_configs();
+
+  SweepOptions first;
+  first.jobs = 2;
+  first.journal_path = path;
+  const std::vector<SweepRun> a = run_sweep(cfgs, first, fancy_runner);
+  for (const SweepRun& r : a) ASSERT_TRUE(r.ok);
+
+  {
+    // A crash can leave a truncated tail; an editor can leave junk. Neither
+    // may poison the readable records.
+    std::ofstream f(path, std::ios::app);
+    f << "not json at all\n";
+    f << "\n";
+    f << R"({"key":"0123456789abcdef","status":"ok","resu)";  // truncated, no \n
+  }
+
+  SweepOptions second = first;
+  second.resume = true;
+  const std::vector<SweepRun> b =
+      run_sweep(cfgs, second, [](const ExperimentConfig& cfg) {
+        ADD_FAILURE() << "corrupt lines invalidated the good records";
+        return stub_runner(cfg);
+      });
+  for (size_t i = 0; i < b.size(); ++i) {
+    EXPECT_TRUE(b[i].from_journal);
+    expect_identical(a[i], b[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SweepJournal, ConfigKeyIsStableAndSensitive) {
+  const ExperimentConfig base = quick("C1", DesignSpec::baseline());
+  EXPECT_EQ(config_key(base), config_key(base));
+  EXPECT_EQ(config_key(base), config_key(quick("C1", DesignSpec::baseline())));
+
+  ExperimentConfig c = base;
+  c.seed = base.seed + 1;
+  EXPECT_NE(config_key(c), config_key(base));
+  c = base;
+  c.combo = "C2";
+  EXPECT_NE(config_key(c), config_key(base));
+  EXPECT_NE(config_key(quick("C1", DesignSpec::hydrogen_full())), config_key(base));
+  c = base;
+  c.cpu_target_instructions += 1;
+  EXPECT_NE(config_key(c), config_key(base));
+}
+
+TEST(SweepJournal, EntrySerialisationRoundTripsDoublesExactly) {
+  JournalEntry e;
+  e.key = "0011223344556677";
+  e.combo = "C5";
+  e.design = R"(we"ird\label)";  // escaping must survive the round trip
+  e.seed = ~0ull;
+  e.status = "ok";
+  e.attempts = 3;
+  e.wall_seconds = 0.1 + 0.2;
+  e.result.cpu_cycles = 123456789012345ull;
+  e.result.cpu_ipc = 1.0 / 3.0;
+  e.result.weighted_ipc = 5e-324;
+  e.result.energy_pj = 1.7976931348623157e308;
+  e.result.slow_amplification = -0.0;
+
+  const std::optional<JournalEntry> back = parse_entry(serialize_entry(e));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->key, e.key);
+  EXPECT_EQ(back->design, e.design);
+  EXPECT_EQ(back->seed, e.seed);
+  EXPECT_EQ(back->attempts, e.attempts);
+  auto bits = [](double v) {
+    u64 u;
+    std::memcpy(&u, &v, sizeof u);
+    return u;
+  };
+  EXPECT_EQ(bits(back->wall_seconds), bits(e.wall_seconds));
+  EXPECT_EQ(back->result.cpu_cycles, e.result.cpu_cycles);
+  EXPECT_EQ(bits(back->result.cpu_ipc), bits(e.result.cpu_ipc));
+  EXPECT_EQ(bits(back->result.weighted_ipc), bits(e.result.weighted_ipc));
+  EXPECT_EQ(bits(back->result.energy_pj), bits(e.result.energy_pj));
+  EXPECT_EQ(bits(back->result.slow_amplification), bits(e.result.slow_amplification));
+
+  EXPECT_FALSE(parse_entry("").has_value());
+  EXPECT_FALSE(parse_entry("garbage").has_value());
+  EXPECT_FALSE(parse_entry(R"({"combo":"C1"})").has_value());  // record w/o key
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 // h2check — the differential-oracle front end (see src/check/oracle.h).
 //
-//   h2check [--workloads a,b,c] [--gpu <name>] [--designs baseline,hydrogen-setpart]
+//   h2check [--workloads a,b,c] [--gpu <name>]
+//           [--designs baseline,hydrogen-setpart,hashcache,hydrogen]
 //           [--accesses <n>] [--seed <n>] [--check <level>]
 //
 // Replays each (CPU workload, design) pair through the full simulator and
@@ -24,7 +25,7 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: h2check [--workloads a,b,c] [--gpu <name>]\n"
-               "               [--designs baseline,hydrogen-setpart]\n"
+               "               [--designs baseline,hydrogen-setpart,hashcache,hydrogen]\n"
                "               [--accesses <n>] [--seed <n>] [--check <level>]\n");
 }
 
@@ -45,7 +46,8 @@ std::vector<std::string> split_csv(const std::string& s) {
 
 int main(int argc, char** argv) {
   std::vector<std::string> workloads = {"gcc", "mcf", "lbm"};
-  std::vector<std::string> designs = {"baseline", "hydrogen-setpart"};
+  std::vector<std::string> designs = {"baseline", "hydrogen-setpart", "hashcache",
+                                      "hydrogen"};
   OracleConfig base;
 
   for (int i = 1; i < argc; ++i) {

@@ -1,0 +1,218 @@
+// h2fault — the fault-injection self-test matrix (see src/check/fault.h).
+//
+//   h2fault [--accesses <n>] [--seed <n>]
+//
+// The invariant layer (H2_CHECK), the differential oracle (h2check) and the
+// sweep runner's failure capture all claim to catch model corruption; this
+// binary proves it by arming every fault class in turn and asserting that
+// its designated detector actually fires:
+//
+//   remap-flip, dup-tag, drop-writeback  -> oracle divergence (any build)
+//   time-skew                            -> H2_CHECK level 1 (skipped below)
+//   cursor-skew                          -> H2_CHECK level 2 (skipped below)
+//   throw                                -> sweep failure capture, no retry
+//   throw-transient                      -> sweep retry succeeds
+//   stall                                -> sweep watchdog timeout
+//
+// Each line reports PASS / FAIL / SKIP; exit status is 0 iff no class
+// FAILed, which makes this binary a ctest entry (see tools/CMakeLists.txt).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "check/check.h"
+#include "check/fault.h"
+#include "check/oracle.h"
+#include "harness/experiment.h"
+#include "harness/sweep.h"
+
+using namespace h2;
+
+namespace {
+
+int g_failures = 0;
+
+void report(const char* verdict, const std::string& klass, const std::string& detail) {
+  std::printf("%-4s %-16s %s\n", verdict, klass.c_str(), detail.c_str());
+  if (std::strcmp(verdict, "FAIL") == 0) g_failures++;
+}
+
+/// Arms `spec` around a differential-oracle replay and classifies the result.
+/// Detection = the oracle report diverging or an H2_CHECK firing (the
+/// throwing handler turns either into something observable).
+void expect_oracle_detects(const std::string& spec, const OracleConfig& ocfg) {
+  check::ScopedThrowingHandler handler;
+  check::set_runtime_level(check::compiled_level());
+  fault::Injector injector(spec);
+  std::string how;
+  bool detected = false;
+  try {
+    fault::Scope scope(injector);
+    const OracleReport rep = run_oracle(ocfg);
+    if (!rep.ok()) {
+      detected = true;
+      how = "oracle: " + std::to_string(rep.diffs.size()) + " quantity diff(s), e.g. " +
+            rep.diffs.front();
+    }
+  } catch (const check::CheckError& e) {
+    detected = true;
+    how = std::string("H2_CHECK: ") + e.what();
+  }
+  if (injector.fired() == 0) {
+    report("FAIL", spec, "fault site never fired (seen " +
+                             std::to_string(injector.seen()) + " visits)");
+    return;
+  }
+  if (!detected) {
+    report("FAIL", spec, "fault fired " + std::to_string(injector.fired()) +
+                             " time(s) but no detector noticed");
+    return;
+  }
+  if (how.size() > 140) how = how.substr(0, 137) + "...";
+  report("PASS", spec, how);
+}
+
+/// A deliberately tiny experiment: big enough to cross several epoch
+/// boundaries (where the harness fault sites live), small enough that the
+/// whole matrix runs in seconds.
+ExperimentConfig tiny_config(u64 seed) {
+  ExperimentConfig cfg;
+  cfg.combo = "C1";
+  cfg.design = DesignSpec::hydrogen_full();
+  cfg.cpu_target_instructions = 30'000;
+  cfg.gpu_target_instructions = 20'000;
+  cfg.epoch_cycles = 10'000;
+  cfg.max_cycles = 50'000'000;
+  cfg.seed = seed;
+  return cfg;
+}
+
+void expect_engine_check_detects(const std::string& spec, u64 seed) {
+  if (check::compiled_level() < 1) {
+    report("SKIP", spec, "needs H2_CHECK_LEVEL >= 1 (compiled level 0)");
+    return;
+  }
+  check::ScopedThrowingHandler handler;
+  check::set_runtime_level(check::compiled_level());
+  fault::Injector injector(spec);
+  try {
+    fault::Scope scope(injector);
+    (void)run_experiment(tiny_config(seed));
+  } catch (const check::CheckError& e) {
+    std::string how = std::string("H2_CHECK: ") + e.what();
+    if (how.size() > 140) how = how.substr(0, 137) + "...";
+    report(injector.fired() > 0 ? "PASS" : "FAIL", spec, how);
+    return;
+  }
+  report("FAIL", spec, injector.fired() > 0
+                           ? "fault fired but the run completed cleanly"
+                           : "fault site never fired");
+}
+
+void expect_sweep_captures(const std::string& klass, const SweepOptions& opts,
+                           RunStatus want_status, u32 want_attempts, u64 seed) {
+  std::vector<ExperimentConfig> cfgs = {tiny_config(seed)};
+  std::vector<SweepRun> runs;
+  try {
+    runs = run_sweep(cfgs, opts);
+  } catch (const std::exception& e) {
+    report("FAIL", klass, std::string("run_sweep itself threw: ") + e.what());
+    return;
+  }
+  const SweepRun& r = runs.at(0);
+  if (r.status != want_status) {
+    report("FAIL", klass, std::string("expected status ") + to_string(want_status) +
+                              ", got " + to_string(r.status) +
+                              (r.error.empty() ? "" : " (" + r.error + ")"));
+    return;
+  }
+  if (r.attempts != want_attempts) {
+    report("FAIL", klass, "expected " + std::to_string(want_attempts) +
+                              " attempt(s), took " + std::to_string(r.attempts));
+    return;
+  }
+  std::string how = "sweep: status=" + std::string(to_string(r.status)) +
+                    " attempts=" + std::to_string(r.attempts);
+  if (!r.error.empty()) how += " error=\"" + r.error + "\"";
+  if (how.size() > 140) how = how.substr(0, 137) + "...";
+  report("PASS", klass, how);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  OracleConfig ocfg;
+  ocfg.design = "hydrogen";  // exercises fills, writebacks, swaps
+  ocfg.accesses = 60'000;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "usage: h2fault [--accesses <n>] [--seed <n>]\n");
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--accesses") {
+      ocfg.accesses = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--seed") {
+      ocfg.seed = std::strtoull(value(), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "usage: h2fault [--accesses <n>] [--seed <n>]\n");
+      return 2;
+    }
+  }
+
+  std::printf("fault-injection matrix (compiled H2_CHECK_LEVEL=%d)\n",
+              check::compiled_level());
+
+  // State-corruption classes: the oracle must see the sim diverge from the
+  // reference. after= skips the cold-start fills so the table has history.
+  expect_oracle_detects("remap-flip:after=50", ocfg);
+  expect_oracle_detects("dup-tag:count=0", ocfg);
+  expect_oracle_detects("drop-writeback:count=0", ocfg);
+
+  // Timing-corruption classes: only an H2_CHECK level can see these (the
+  // oracle deliberately ignores timing), so they skip below their level.
+  expect_engine_check_detects("time-skew:after=50", ocfg.seed);
+  if (check::compiled_level() < 2) {
+    report("SKIP", "cursor-skew", "needs H2_CHECK_LEVEL >= 2 (compiled level " +
+                                      std::to_string(check::compiled_level()) + ")");
+  } else {
+    expect_oracle_detects("cursor-skew:after=20", ocfg);
+  }
+
+  // Harness-failure classes: the sweep runner must capture, retry or cancel.
+  {
+    SweepOptions opts;
+    opts.jobs = 1;
+    opts.fault_spec = "throw";
+    opts.max_retries = 1;  // must NOT be used: permanent failures don't retry
+    expect_sweep_captures("throw", opts, RunStatus::Failed, 1, ocfg.seed);
+  }
+  {
+    SweepOptions opts;
+    opts.jobs = 1;
+    opts.fault_spec = "throw-transient:count=1";
+    opts.max_retries = 1;
+    opts.retry_backoff_ms = 1;
+    expect_sweep_captures("throw-transient", opts, RunStatus::Ok, 2, ocfg.seed);
+  }
+  {
+    SweepOptions opts;
+    opts.jobs = 1;
+    opts.fault_spec = "stall:for=30000";
+    opts.run_timeout_seconds = 0.3;
+    expect_sweep_captures("stall", opts, RunStatus::TimedOut, 1, ocfg.seed);
+  }
+
+  if (g_failures > 0) {
+    std::fprintf(stderr, "h2fault: %d fault class(es) escaped detection\n", g_failures);
+    return 1;
+  }
+  std::printf("h2fault: every armed fault class was detected\n");
+  return 0;
+}

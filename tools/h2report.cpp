@@ -3,6 +3,10 @@
 // plus weighted speedups against a chosen baseline design.
 //
 //   h2report <results.csv> [--baseline baseline] [--wc 12] [--wg 1]
+//
+// CSVs with a `status` column (written by h2sim) may carry explicit
+// status=failed/timeout rows for lost runs; those are excluded from the
+// aggregation and reported on stderr.
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -83,10 +87,21 @@ int main(int argc, char** argv) {
     }
   }
 
+  // h2sim records failed/timed-out runs as explicit status!=ok rows with
+  // empty metric cells; aggregate only the ok rows and say what was skipped.
+  const bool has_status = col.count("status") > 0;
   std::vector<Row> rows;
+  size_t skipped = 0;
   while (std::getline(f, line)) {
     if (line.empty()) continue;
     const auto cells = split_csv_line(line);
+    if (has_status && cells[col["status"]] != "ok") {
+      std::cerr << "skipping " << cells[col["combo"]] << " / "
+                << cells[col["design"]] << ": status=" << cells[col["status"]]
+                << "\n";
+      ++skipped;
+      continue;
+    }
     Row r;
     r.combo = cells[col["combo"]];
     r.design = cells[col["design"]];
@@ -94,6 +109,10 @@ int main(int argc, char** argv) {
     r.gpu_cycles = std::stod(cells[col["gpu_cycles"]]);
     r.energy_pj = std::stod(cells[col["energy_pj"]]);
     rows.push_back(r);
+  }
+  if (skipped > 0) {
+    std::cerr << path << ": " << skipped << " non-ok row(s) excluded from the"
+              << " summary (re-run those cells, e.g. h2sim --resume)\n";
   }
 
   // Index baselines per combo.

@@ -2,22 +2,24 @@
 // artifact's T2 stage (`sims/build/opt/zsim sims/<design>/zsim.cfg`).
 //
 //   h2sim <config.cfg> [more.cfg ...] [--out results.csv] [--print-config]
-//         [--jobs <n>] [--check <n>]
+//         [--jobs <n>] [--check <n>] [--run-timeout <sec>] [--retries <n>]
+//         [--strict] [--fault <spec>] [--journal <path>] [--resume]
 //
 // Each config file describes one experiment (see configs/*.cfg and
 // harness/config_loader.h for the key reference). Multiple configs run in
 // parallel through the sweep runner (--jobs / H2_JOBS, default: all hardware
 // threads) with their explicit sim.seed values honoured, and results are
 // printed — and optionally appended to an h2report-compatible CSV — in
-// command-line order regardless of completion order.
+// command-line order regardless of completion order. Failed or timed-out
+// runs are appended to the CSV as explicit status!=ok rows (empty metric
+// cells) instead of silently dropping the slot; the crash-safety flags map
+// straight onto SweepOptions (see harness/sweep.h).
 #include <cstdlib>
-#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "check/check.h"
-#include "common/stats.h"
 #include "harness/config_loader.h"
 #include "harness/report.h"
 #include "harness/sweep.h"
@@ -28,47 +30,9 @@ namespace {
 
 void usage() {
   std::cerr << "usage: h2sim <config.cfg> [more.cfg ...] [--out results.csv]"
-               " [--print-config] [--jobs <n>] [--check <n>]\n";
-}
-
-void append_csv(const std::string& path, const ExperimentResult& r,
-                const ExperimentConfig& cfg) {
-  const bool fresh = !std::ifstream(path).good();
-  std::ofstream f(path, std::ios::app);
-  if (!f.good()) {
-    std::cerr << "cannot open " << path << " for writing\n";
-    std::exit(1);
-  }
-  CsvWriter csv(f);
-  if (fresh) {
-    for (const char* col :
-         {"combo", "design", "mode", "cpu_cycles", "gpu_cycles", "cpu_instructions",
-          "gpu_instructions", "cpu_ipc", "gpu_ipc", "weighted_ipc", "energy_pj",
-          "fast_bytes", "slow_bytes", "cpu_hit_rate", "gpu_hit_rate",
-          "slow_amplification", "gpu_migrations", "reconfigurations"}) {
-      csv.cell(std::string(col));
-    }
-    csv.end_row();
-  }
-  csv.cell(r.combo)
-      .cell(r.design)
-      .cell(std::string(cfg.mode == HybridMode::Cache ? "cache" : "flat"))
-      .cell(r.cpu_cycles)
-      .cell(r.gpu_cycles)
-      .cell(r.cpu_instructions)
-      .cell(r.gpu_instructions)
-      .cell(r.cpu_ipc)
-      .cell(r.gpu_ipc)
-      .cell(r.weighted_ipc)
-      .cell(r.energy_pj)
-      .cell(r.fast_bytes)
-      .cell(r.slow_bytes)
-      .cell(r.fast_hit_rate[0])
-      .cell(r.fast_hit_rate[1])
-      .cell(r.slow_amplification)
-      .cell(r.hmstats[1].migrations)
-      .cell(r.reconfigurations);
-  csv.end_row();
+               " [--print-config] [--jobs <n>] [--check <n>]"
+               " [--run-timeout <sec>] [--retries <n>] [--strict]"
+               " [--fault <spec>] [--journal <path>] [--resume]\n";
 }
 
 }  // namespace
@@ -78,12 +42,44 @@ int main(int argc, char** argv) {
   std::string out_path;
   bool print_config = false;
   u32 jobs = 0;
+  double run_timeout = 0.0;
+  u32 retries = 0;
+  bool strict = false;
+  std::string fault_spec;
+  std::string journal_path;
+  bool resume = false;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--out" && i + 1 < argc) {
       out_path = argv[++i];
     } else if (a == "--print-config") {
       print_config = true;
+    } else if (a == "--run-timeout" && i + 1 < argc) {
+      const std::string v = argv[++i];
+      char* end = nullptr;
+      const double s = std::strtod(v.c_str(), &end);
+      if (!end || *end != '\0' || v.empty() || s < 0) {
+        std::cerr << "--run-timeout expects seconds >= 0, got '" << v << "'\n";
+        return 2;
+      }
+      run_timeout = s;
+    } else if (a == "--retries" && i + 1 < argc) {
+      const std::string v = argv[++i];
+      char* end = nullptr;
+      const long n = std::strtol(v.c_str(), &end, 10);
+      if (!end || *end != '\0' || v.empty() || n < 0) {
+        std::cerr << "--retries expects a non-negative integer, got '" << v << "'\n";
+        return 2;
+      }
+      retries = static_cast<u32>(n);
+    } else if (a == "--strict") {
+      strict = true;
+    } else if (a == "--fault" && i + 1 < argc) {
+      fault_spec = argv[++i];
+    } else if (a == "--journal" && i + 1 < argc) {
+      journal_path = argv[++i];
+    } else if (a == "--resume") {
+      resume = true;
     } else if (a == "--jobs" && i + 1 < argc) {
       const std::string v = argv[++i];
       char* end = nullptr;
@@ -133,20 +129,35 @@ int main(int argc, char** argv) {
   opts.verbose = true;
   // Config files carry explicit sim.seed values; run with exactly those.
   opts.derive_seeds = false;
+  opts.run_timeout_seconds = run_timeout;
+  opts.max_retries = retries;
+  opts.fault_spec = fault_spec;
+  opts.journal_path = journal_path;
+  if (opts.journal_path.empty() && !out_path.empty()) {
+    opts.journal_path = out_path + ".journal";  // journal rides with the CSV
+  }
+  opts.resume = resume;
+  if (opts.resume && opts.journal_path.empty()) {
+    std::cerr << "error: --resume needs --journal <path> or --out <path>\n";
+    return 2;
+  }
   const std::vector<SweepRun> runs = run_sweep(cfgs, opts);
 
   int failures = 0;
   for (size_t i = 0; i < runs.size(); ++i) {
     const std::string& path = config_paths[i];
     const SweepRun& run = runs[i];
+    const ExperimentConfig& cfg = cfgs[i];
     if (!run.ok) {
       std::cerr << "error: " << path << " (" << run.combo << " / " << run.design
-                << ") failed: " << run.error << "\n";
+                << ") " << to_string(run.status) << " after " << run.attempts
+                << " attempt(s): " << run.error << "\n";
+      // The lost slot still lands in the CSV as an explicit status row.
+      if (!out_path.empty()) append_result_csv(out_path, run, cfg);
       ++failures;
       continue;
     }
     const ExperimentResult& r = run.result;
-    const ExperimentConfig& cfg = cfgs[i];
 
     TablePrinter t(path, {"metric", "value"});
     t.row({"combo", r.combo});
@@ -165,8 +176,16 @@ int main(int argc, char** argv) {
     t.row({"reconfigurations", std::to_string(r.reconfigurations)});
     t.print(std::cout);
 
-    if (!out_path.empty()) append_csv(out_path, r, cfg);
+    if (!out_path.empty()) append_result_csv(out_path, run, cfg);
   }
   if (!out_path.empty()) std::cerr << "appended results to " << out_path << "\n";
-  return failures ? 1 : 0;
+  if (failures) {
+    std::cerr << "h2sim: " << failures << "/" << runs.size() << " run(s) failed"
+              << (out_path.empty() ? "" : "; lost slots recorded as status rows")
+              << "\n";
+    // Graceful by default (the CSV tells the whole story); --strict makes a
+    // lost slot fail the invocation, matching the bench binaries.
+    return strict ? 1 : 0;
+  }
+  return 0;
 }
