@@ -9,6 +9,12 @@
 //                  hardware threads); results are bit-identical at any n
 //   --check <n>    runtime invariant level (clamped to the compiled
 //                  H2_CHECK_LEVEL ceiling; see TESTING.md)
+//   --warmup-epochs <n>  epochs to run before the measurement window opens
+//                  (SimSystem lifecycle; 0 = cold start, the default)
+//   --timeline <prefix>  per-run epoch time-series CSVs at
+//                  <prefix><combo>-<design>.csv
+//   --compiled-check-level  print the compile-time H2_CHECK ceiling and exit
+//                  (CI's recorded-number guard)
 // and the crash-safety / fault flags (see src/harness/sweep.h):
 //   --run-timeout <sec>  per-run watchdog budget (0 = off)
 //   --retries <n>        retry transient failures up to n times
@@ -45,6 +51,9 @@ struct BenchArgs {
   std::string fault_spec;    ///< --fault; "" also falls back to H2_FAULT
   std::string journal_path;  ///< --journal; "" derives <csv>.journal
   bool resume = false;       ///< restore journaled ok runs
+  u32 warmup_epochs = 0;     ///< --warmup-epochs; 0 = historical cold start
+  std::string timeline_prefix;  ///< --timeline; per-run CSVs when non-empty
+  bool print_compiled_check_level = false;  ///< --compiled-check-level
 
   /// Parses argv without exiting: on success fills *out and returns true; on
   /// a bad flag returns false with a diagnostic in *error. The exiting
@@ -105,11 +114,26 @@ struct BenchArgs {
         args.journal_path = argv[++i];
       } else if (a == "--resume") {
         args.resume = true;
+      } else if (a == "--warmup-epochs" && i + 1 < argc) {
+        const std::string v = argv[++i];
+        char* end = nullptr;
+        const long n = std::strtol(v.c_str(), &end, 10);
+        if (!end || *end != '\0' || v.empty() || n < 0) {
+          *error = "--warmup-epochs expects a non-negative integer, got '" + v + "'";
+          return false;
+        }
+        args.warmup_epochs = static_cast<u32>(n);
+      } else if (a == "--timeline" && i + 1 < argc) {
+        args.timeline_prefix = argv[++i];
+      } else if (a == "--compiled-check-level") {
+        args.print_compiled_check_level = true;
       } else {
         *error = "unknown argument: " + a +
                  " (supported: --quick --full --hbm3 --csv <path> --jobs <n>"
                  " --check <n> --run-timeout <sec> --retries <n> --strict"
-                 " --fault <spec> --journal <path> --resume)";
+                 " --fault <spec> --journal <path> --resume"
+                 " --warmup-epochs <n> --timeline <prefix>"
+                 " --compiled-check-level)";
         return false;
       }
     }
@@ -123,6 +147,10 @@ struct BenchArgs {
     if (!try_parse(argc, argv, &args, &error)) {
       std::cerr << error << "\n";
       std::exit(2);
+    }
+    if (args.print_compiled_check_level) {
+      std::cout << check::compiled_level() << "\n";
+      std::exit(0);
     }
     if (args.check_level >= 0) check::set_runtime_level(args.check_level);
     return args;
@@ -141,6 +169,10 @@ inline ExperimentConfig bench_config(const std::string& combo, DesignSpec design
   cfg.gpu_target_instructions = args.quick ? 600'000 : 1'200'000;
   cfg.epoch_cycles = 40'000;
   cfg.max_cycles = 400'000'000;
+  cfg.warmup_epochs = args.warmup_epochs;
+  if (!args.timeline_prefix.empty()) {
+    cfg.timeline_path = args.timeline_prefix + cfg.combo + "-" + cfg.design.label + ".csv";
+  }
   return cfg;
 }
 

@@ -7,13 +7,13 @@
 #include <tuple>
 
 #include "common/rng.h"
+#include "harness/config_loader.h"
+#include "harness/sim_system.h"
 #include "hybridmem/hybrid_memory.h"
 #include "hybridmem/remap_cache.h"
 #include "hybridmem/remap_table.h"
 #include "hydrogen/hydrogen_policy.h"
 #include "hydrogen/setpart_policy.h"
-#include "policies/baseline.h"
-#include "policies/hashcache.h"
 #include "trace/workloads.h"
 
 namespace h2 {
@@ -30,25 +30,23 @@ struct Step {
   bool write;
 };
 
-std::unique_ptr<PartitionPolicy> make_policy(const std::string& design, u64 seed) {
-  if (design == "baseline") return std::make_unique<BaselinePolicy>();
-  if (design == "hashcache") return std::make_unique<HAShCachePolicy>();
-  if (design == "hydrogen") {
-    // Epoch-free replay: the climber and token faucet run on their defaults
-    // and never reconfigure (run_oracle drives no epochs), so the partition
-    // is stable while swaps and token-gated migrations stay live.
-    HydrogenConfig cfg;
-    cfg.seed = seed;
-    return std::make_unique<HydrogenPolicy>(cfg);
+/// Builds a policy through the harness-wide factory (harness/sim_system.h),
+/// so the oracle exercises the exact wiring the simulator uses. Epoch-free
+/// replay: the climber and token faucet run on their defaults and never
+/// reconfigure (run_oracle drives no epochs), so the partition is stable
+/// while swaps and token-gated migrations stay live. The oracle supports a
+/// subset of the designs (the ones whose mechanism paths RefModel mirrors),
+/// validated here before design_from_name, which aborts on unknown names.
+std::unique_ptr<PartitionPolicy> oracle_policy(const std::string& design, u64 seed) {
+  if (design != "baseline" && design != "hashcache" && design != "hydrogen" &&
+      design != "hydrogen-setpart") {
+    throw std::invalid_argument(
+        "oracle: unknown design '" + design +
+        "' (expected baseline, hashcache, hydrogen or hydrogen-setpart)");
   }
-  if (design == "hydrogen-setpart") {
-    SetPartConfig cfg;
-    cfg.seed = seed;
-    return std::make_unique<SetPartPolicy>(cfg);
-  }
-  throw std::invalid_argument(
-      "oracle: unknown design '" + design +
-      "' (expected baseline, hashcache, hydrogen or hydrogen-setpart)");
+  DesignSpec spec = design_from_name(design);
+  spec.hydrogen.seed = seed;
+  return make_policy(spec);
 }
 
 /// The reference model: a plain functional replica of the cache-mode
@@ -289,14 +287,14 @@ OracleReport run_oracle(const OracleConfig& ocfg) {
   hm_cfg.fast_capacity_bytes = 8ull << 20;
   hm_cfg.remap_cache_bytes = 64 * 1024;
   if (ocfg.design == "hashcache") {
-    // HAShCache's native organisation (see harness/experiment.cpp).
+    // HAShCache's native organisation (see harness/sim_system.cpp).
     hm_cfg.assoc = 1;
     hm_cfg.chaining = true;
   }
 
   MemorySystem mem(mem_cfg);
-  auto sim_policy = make_policy(ocfg.design, ocfg.seed);
-  auto ref_policy = make_policy(ocfg.design, ocfg.seed);
+  auto sim_policy = oracle_policy(ocfg.design, ocfg.seed);
+  auto ref_policy = oracle_policy(ocfg.design, ocfg.seed);
   HybridMemory hm(hm_cfg, &mem, sim_policy.get());
   RefModel ref(hm_cfg, mem.num_fast_superchannels(), mem.num_slow_channels(),
                mem_cfg.block_bytes, std::move(ref_policy));

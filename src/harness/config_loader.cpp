@@ -49,6 +49,8 @@ ExperimentConfig experiment_from_config(const ConfigFile& cfg) {
   ec.cpu_only = cfg.get_bool("sim.cpu_only", false);
   ec.gpu_only = cfg.get_bool("sim.gpu_only", false);
   ec.trace_dir = cfg.get_string("sim.trace_dir", "");
+  ec.warmup_epochs = static_cast<u32>(cfg.get_int("sim.warmup_epochs", 0));
+  ec.timeline_path = cfg.get_string("sim.timeline", "");
 
   // --- hybrid memory geometry ----------------------------------------------
   ec.assoc = static_cast<u32>(cfg.get_int("hybrid.assoc", 4));
@@ -58,9 +60,19 @@ ExperimentConfig experiment_from_config(const ConfigFile& cfg) {
   ec.fast_channels = static_cast<u32>(cfg.get_int("hybrid.fast_channels", 0));
   ec.slow_channels = static_cast<u32>(cfg.get_int("hybrid.slow_channels", 0));
 
+  // --- WayPart's knob --------------------------------------------------------
+  // waypart.cpu_way_fraction is the canonical key; hydrogen.cpu_capacity_frac
+  // is accepted as an alias because WayPart historically piggybacked on that
+  // HydrogenConfig field. The waypart key wins when both are present.
+  if (ec.design.kind == DesignSpec::Kind::WayPart) {
+    double frac = cfg.get_double("hydrogen.cpu_capacity_frac", ec.design.cpu_way_fraction);
+    frac = cfg.get_double("waypart.cpu_way_fraction", frac);
+    ec.design.cpu_way_fraction = frac;
+  }
+
   // --- Hydrogen-specific knobs ----------------------------------------------
   // SetPart builds its policy from the same HydrogenConfig fields
-  // (make_policy in experiment.cpp), so it accepts the same keys.
+  // (make_policy in harness/sim_system.cpp), so it accepts the same keys.
   if (ec.design.kind == DesignSpec::Kind::Hydrogen ||
       ec.design.kind == DesignSpec::Kind::SetPart) {
     HydrogenConfig& h = ec.design.hydrogen;
@@ -96,7 +108,7 @@ ExperimentConfig experiment_from_file(const std::string& path, bool strict) {
     // An unknown section: every key under it is wrong for the same reason,
     // so it is diagnosed as a section (and excluded from the unused list).
     static const std::set<std::string> known_sections = {"sim", "system", "hybrid",
-                                                         "hydrogen"};
+                                                         "hydrogen", "waypart"};
     size_t errors = 0;
     std::set<std::string> in_bad_section;
     for (const auto& k : cfg.keys()) {
@@ -107,10 +119,10 @@ ExperimentConfig experiment_from_file(const std::string& path, bool strict) {
       if (section.empty()) {
         std::cerr << "error: " << cfg.where(k) << ": key '" << k
                   << "' outside any section (known sections: sim, system,"
-                     " hybrid, hydrogen)\n";
+                     " hybrid, hydrogen, waypart)\n";
       } else {
         std::cerr << "error: " << cfg.where(k) << ": unknown section '[" << section
-                  << "]' (known sections: sim, system, hybrid, hydrogen)\n";
+                  << "]' (known sections: sim, system, hybrid, hydrogen, waypart)\n";
       }
     }
     for (const auto& k : cfg.unused_keys()) {

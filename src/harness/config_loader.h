@@ -22,10 +22,13 @@ DesignSpec design_from_name(const std::string& name);
 ///   sim.cpu_target_instructions, sim.gpu_target_instructions, sim.trace_dir
 ///   sim.epoch_cycles, sim.phase_cycles, sim.max_cycles
 ///   sim.weight_cpu, sim.weight_gpu, sim.cpu_only, sim.gpu_only
+///   sim.warmup_epochs, sim.timeline (per-epoch CSV path)
 ///   system.scale, system.cpu_cores, system.hbm3
 ///   hybrid.assoc, hybrid.block_bytes, hybrid.fast_capacity_frac,
 ///   hybrid.fast_capacity (size with suffix), hybrid.fast_channels,
 ///   hybrid.slow_channels
+///   waypart.cpu_way_fraction (alias: hydrogen.cpu_capacity_frac, kept for
+///   configs predating the dedicated [waypart] section; the waypart key wins)
 ///   hydrogen.decoupled, hydrogen.token, hydrogen.search,
 ///   hydrogen.cpu_capacity_frac, hydrogen.cpu_bw_frac, hydrogen.tok_frac,
 ///   hydrogen.faucet_period, hydrogen.swap (on|prob|off)
@@ -33,7 +36,7 @@ ExperimentConfig experiment_from_config(const ConfigFile& cfg);
 
 /// Convenience: load + build; in strict mode (the default) aborts if the
 /// file is missing, has unknown keys, or declares sections other than
-/// [sim]/[system]/[hybrid]/[hydrogen] — every diagnostic names the
+/// [sim]/[system]/[hybrid]/[hydrogen]/[waypart] — every diagnostic names the
 /// offending file:line, so a typo is a click away.
 ExperimentConfig experiment_from_file(const std::string& path, bool strict = true);
 

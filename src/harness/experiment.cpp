@@ -1,19 +1,7 @@
 #include "harness/experiment.h"
 
-#include <algorithm>
-#include <memory>
-
-#include "check/check.h"
-#include "check/fault.h"
 #include "common/assert.h"
-#include "hydrogen/setpart_policy.h"
-#include "policies/baseline.h"
-#include "policies/hashcache.h"
-#include "policies/profess.h"
-#include "policies/waypart.h"
-#include "proc/core.h"
-#include "trace/trace_io.h"
-#include "sim/engine.h"
+#include "harness/sim_system.h"
 
 namespace h2 {
 
@@ -28,7 +16,7 @@ DesignSpec DesignSpec::waypart(double cpu_way_fraction) {
   DesignSpec d;
   d.label = "waypart";
   d.kind = Kind::WayPart;
-  d.hydrogen.fixed_cpu_capacity_frac = cpu_way_fraction;  // reused as the fraction knob
+  d.cpu_way_fraction = cpu_way_fraction;
   return d;
 }
 
@@ -77,340 +65,19 @@ DesignSpec DesignSpec::hydrogen_setpart() {
   DesignSpec d;
   d.label = "hydrogen-setpart";
   d.kind = Kind::SetPart;
+  // SetPartPolicy historically used its own default seed; make_policy now
+  // derives SetPartConfig (seed included) from the hydrogen fields, so the
+  // spec carries that default explicitly to keep behaviour identical.
+  d.hydrogen.seed = 0x5e7ca57ull;
   return d;
 }
 
-namespace {
-
-std::unique_ptr<PartitionPolicy> make_policy(const DesignSpec& design) {
-  switch (design.kind) {
-    case DesignSpec::Kind::Baseline:
-      return std::make_unique<BaselinePolicy>();
-    case DesignSpec::Kind::WayPart:
-      return std::make_unique<WayPartPolicy>(design.hydrogen.fixed_cpu_capacity_frac);
-    case DesignSpec::Kind::HAShCache:
-      return std::make_unique<HAShCachePolicy>();
-    case DesignSpec::Kind::Profess:
-      return std::make_unique<ProfessPolicy>();
-    case DesignSpec::Kind::Hydrogen:
-      return std::make_unique<HydrogenPolicy>(design.hydrogen);
-    case DesignSpec::Kind::SetPart: {
-      SetPartConfig cfg;
-      cfg.cpu_set_frac = design.hydrogen.fixed_cpu_capacity_frac;
-      cfg.cpu_bw_frac = design.hydrogen.fixed_cpu_bw_frac;
-      cfg.token = design.hydrogen.token;
-      cfg.tok_frac = design.hydrogen.fixed_tok_frac;
-      cfg.faucet_period = design.hydrogen.faucet_period;
-      return std::make_unique<SetPartPolicy>(cfg);
-    }
-  }
-  H2_ASSERT(false, "unknown design kind");
-  return nullptr;
-}
-
-/// The MemoryPort implementation wiring the cache hierarchy to the hybrid
-/// memory controller.
-class SystemModel final : public MemoryPort {
- public:
-  SystemModel(const HierarchyConfig& hier_cfg, const MemSystemConfig& mem_cfg,
-              const HybridMemConfig& hm_cfg, std::unique_ptr<PartitionPolicy> policy)
-      : hierarchy_(hier_cfg),
-        mem_(mem_cfg),
-        policy_(std::move(policy)),
-        hm_(hm_cfg, &mem_, policy_.get()) {}
-
-  Cycle access(Cycle now, Requestor cls, u32 unit, Addr addr, bool write) override {
-    const HierarchyResult hr = cls == Requestor::Cpu
-                                   ? hierarchy_.cpu_access(unit, addr, write)
-                                   : hierarchy_.gpu_access(unit, addr, write);
-    const Cycle t = now + hr.latency;
-    if (!hr.memory_needed) return t;
-    if (hr.writeback) hm_.writeback(t, cls, hr.writeback_addr);
-    return hm_.access(t, cls, addr, write);
-  }
-
-  CacheHierarchy& hierarchy() { return hierarchy_; }
-  MemorySystem& memory() { return mem_; }
-  HybridMemory& hybrid() { return hm_; }
-  PartitionPolicy& policy() { return *policy_; }
-
- private:
-  CacheHierarchy hierarchy_;
-  MemorySystem mem_;
-  std::unique_ptr<PartitionPolicy> policy_;
-  HybridMemory hm_;
-};
-
-u64 round_up(u64 v, u64 to) { return (v + to - 1) / to * to; }
-
-}  // namespace
-
 ExperimentResult run_experiment(const ExperimentConfig& cfg) {
-  H2_ASSERT(!(cfg.cpu_only && cfg.gpu_only), "cpu_only and gpu_only are exclusive");
-  const ComboSpec& cb = combo(cfg.combo);
-
-  // ---- workload layout: 8 CPU cores run the 4 workloads rate-2; all GPU
-  // clusters decompose the single kernel over a shared footprint. ----------
-  SystemConfig sys = cfg.sys;
-  // The private-cache arrays must match the processor configuration (core
-  // count sweeps adjust sys.cpu_cores after building the SystemConfig).
-  sys.hierarchy.cpu_cores = sys.cpu_cores;
-  sys.hierarchy.gpu_clusters = sys.gpu_clusters();
-  const u32 n_cpu = cfg.cpu_only || !cfg.gpu_only ? sys.cpu_cores : 0;
-  const u32 n_gpu = cfg.gpu_only || !cfg.cpu_only ? sys.gpu_clusters() : 0;
-
-  std::vector<std::unique_ptr<AccessGenerator>> gens;
-  std::vector<Addr> bases;
-  Addr cursor = 0;
-
-  // Replay support: when trace_dir is set, cores consume recorded traces
-  // (tools/h2trace output) instead of live synthetic generators.
-  auto make_generator = [&](const WorkloadSpec& spec, u64 seed,
-                            u64* footprint) -> std::unique_ptr<AccessGenerator> {
-    if (!cfg.trace_dir.empty()) {
-      const std::string path = cfg.trace_dir + "/" + spec.name + ".trace";
-      auto replay = std::make_unique<ReplayGenerator>(replay_from_file(spec.name, path));
-      *footprint = replay->footprint_bytes();
-      return replay;
-    }
-    *footprint = spec.footprint_bytes;
-    return std::make_unique<SyntheticGenerator>(spec, seed);
-  };
-
-  for (u32 i = 0; i < sys.cpu_cores; ++i) {
-    const WorkloadSpec& spec =
-        cpu_workload_spec(cb.cpu[(i / 2) % cb.cpu.size()]);
-    const WorkloadSpec scaled = with_scaled_footprint(spec, 1, sys.scale);
-    u64 footprint = 0;
-    gens.push_back(make_generator(scaled, mix_hash(cfg.seed, 0x1000 + i), &footprint));
-    bases.push_back(cursor);
-    cursor += round_up(footprint, cfg.block_bytes);
-  }
-  // The GPU kernel's footprint is partitioned across clusters, mirroring how
-  // workgroup scheduling assigns disjoint data tiles to different subslices:
-  // each cluster streams its own slice, so GPU block reuse is short-range
-  // and compulsory-dominated (the paper's Insight 2 — GPUs barely need fast
-  // capacity — depends on this property).
-  std::vector<Addr> gpu_bases;
-  {
-    const WorkloadSpec scaled =
-        with_scaled_footprint(gpu_workload_spec(cb.gpu), 1, sys.scale);
-    WorkloadSpec slice = scaled;
-    slice.footprint_bytes = std::max<u64>(
-        256 * 1024, scaled.footprint_bytes / sys.gpu_clusters());
-    for (u32 i = 0; i < sys.gpu_clusters(); ++i) {
-      u64 footprint = 0;
-      gens.push_back(make_generator(slice, mix_hash(cfg.seed, 0x2000 + i), &footprint));
-      gpu_bases.push_back(cursor);
-      cursor += round_up(footprint, cfg.block_bytes);
-    }
-  }
-
-  // ---- memory geometry ----------------------------------------------------
-  const u64 slow_capacity = round_up(cursor, cfg.block_bytes);
-  u64 fast_capacity = cfg.fast_capacity_override
-                          ? cfg.fast_capacity_override
-                          : static_cast<u64>(cfg.fast_capacity_frac *
-                                             static_cast<double>(slow_capacity));
-  const u64 set_bytes = static_cast<u64>(cfg.assoc) * cfg.block_bytes;
-  fast_capacity = std::max(set_bytes * 16, round_up(fast_capacity, set_bytes));
-
-  MemSystemConfig mem_cfg = sys.mem;
-  if (cfg.fast_channels) mem_cfg.fast_channels = cfg.fast_channels;
-  if (cfg.slow_channels) mem_cfg.slow_channels = cfg.slow_channels;
-  mem_cfg.block_bytes = cfg.block_bytes;
-  mem_cfg.core_ghz = sys.core_ghz;
-
-  HybridMemConfig hm_cfg = sys.hybrid;
-  hm_cfg.mode = cfg.mode;
-  hm_cfg.block_bytes = cfg.block_bytes;
-  hm_cfg.assoc = cfg.assoc;
-  hm_cfg.fast_capacity_bytes = fast_capacity;
-  hm_cfg.slow_capacity_bytes = slow_capacity;
-  hm_cfg.ideal_swap = cfg.design.ideal_swap;
-  hm_cfg.instant_reconfig = cfg.design.instant_reconfig;
-
-  DesignSpec design = cfg.design;
-  if (design.kind == DesignSpec::Kind::HAShCache) {
-    mem_cfg.cpu_priority = true;
-    if (design.hashcache_native_geometry) {
-      hm_cfg.assoc = 1;
-      hm_cfg.chaining = true;
-    } else if (hm_cfg.assoc == 1) {
-      hm_cfg.chaining = true;
-    } else {
-      hm_cfg.chaining = false;
-      hm_cfg.mc_overhead += 8;  // tag-walk latency for scaled associativity
-    }
-  }
-  if (design.kind == DesignSpec::Kind::Hydrogen) {
-    design.hydrogen.phase_length = cfg.phase_cycles;
-  }
-
-  SystemModel model(sys.hierarchy, mem_cfg, hm_cfg, make_policy(design));
-
-  // ---- cores ---------------------------------------------------------------
-  Engine engine;
-  std::vector<std::unique_ptr<Core>> cores;
-  auto add_core = [&](Requestor cls, u32 unit, Addr base, AccessGenerator* gen,
-                      u64 target) {
-    CoreParams p;
-    p.cls = cls;
-    p.unit = unit;
-    p.addr_base = base;
-    p.base_ipc = cls == Requestor::Cpu ? sys.cpu_base_ipc : sys.gpu_base_ipc;
-    p.mlp = cls == Requestor::Cpu ? sys.cpu_mlp : sys.gpu_mlp;
-    p.write_buffer = cls == Requestor::Cpu ? sys.cpu_write_buffer : sys.gpu_write_buffer;
-    p.target_instructions = target;
-    cores.push_back(std::make_unique<Core>(p, gen, &model));
-    engine.add_actor(cores.back().get(), /*start=*/unit);  // stagger starts
-  };
-
-  if (n_cpu) {
-    for (u32 i = 0; i < sys.cpu_cores; ++i) {
-      add_core(Requestor::Cpu, i, bases[i], gens[i].get(), cfg.cpu_target_instructions);
-    }
-  }
-  if (n_gpu) {
-    for (u32 i = 0; i < sys.gpu_clusters(); ++i) {
-      add_core(Requestor::Gpu, i, gpu_bases[i], gens[sys.cpu_cores + i].get(),
-               cfg.gpu_target_instructions);
-    }
-  }
-  H2_ASSERT(!cores.empty(), "no cores to run");
-
-  // ---- epoch hook: feedback, adaptation, termination ------------------------
-  ExperimentResult res;
-  res.combo = cfg.combo;
-  res.design = design.label;
-
-  u64 prev_cpu_instr = 0, prev_gpu_instr = 0;
-  u64 prev_cpu_miss = 0, prev_gpu_miss = 0, prev_gpu_migr = 0;
-
-  engine.add_periodic(cfg.epoch_cycles, [&](Cycle now) {
-    // Harness fault sites (check/fault.h): synthetic failures and stalls at
-    // an epoch boundary, exercising the sweep runner's capture/retry/watchdog
-    // paths. No-ops unless a matching fault is armed on this thread.
-    if (fault::at(fault::Kind::Throw)) fault::throw_synthetic(false);
-    if (fault::at(fault::Kind::ThrowTransient)) fault::throw_synthetic(true);
-    if (fault::at(fault::Kind::Stall)) fault::stall();
-    res.epochs++;
-    u64 cpu_instr = 0, gpu_instr = 0;
-    bool all_done = true;
-    for (const auto& c : cores) {
-      if (c->cls() == Requestor::Cpu) {
-        cpu_instr += c->retired_instructions();
-      } else {
-        gpu_instr += c->retired_instructions();
-      }
-      all_done = all_done && c->finished();
-    }
-
-    const HybridStats& sc = model.hybrid().stats(Requestor::Cpu);
-    const HybridStats& sg = model.hybrid().stats(Requestor::Gpu);
-
-    EpochFeedback fb;
-    fb.now = now;
-    fb.epoch_cycles = cfg.epoch_cycles;
-    fb.cpu_instructions = cpu_instr - prev_cpu_instr;
-    fb.gpu_instructions = gpu_instr - prev_gpu_instr;
-    fb.weighted_ipc = (cfg.weight_cpu * static_cast<double>(fb.cpu_instructions) +
-                       cfg.weight_gpu * static_cast<double>(fb.gpu_instructions)) /
-                      static_cast<double>(cfg.epoch_cycles);
-    fb.cpu_misses = sc.misses - prev_cpu_miss;
-    fb.gpu_misses = sg.misses - prev_gpu_miss;
-    fb.gpu_migrations = sg.migrations - prev_gpu_migr;
-    fb.slow_backlog = model.memory().slow_backlog(now);
-
-    prev_cpu_instr = cpu_instr;
-    prev_gpu_instr = gpu_instr;
-    prev_cpu_miss = sc.misses;
-    prev_gpu_miss = sg.misses;
-    prev_gpu_migr = sg.migrations;
-
-    const bool changed = model.policy().on_epoch(fb);
-    if (changed && hm_cfg.instant_reconfig) model.hybrid().run_instant_reconfig();
-
-    // Cheap O(1) counter-conservation audit at each epoch boundary; the full
-    // structural audit runs once at drain below.
-    if (H2_CHECK_ACTIVE(2)) model.hybrid().audit_counters(now);
-
-    if (all_done) engine.stop();
-  });
-
-  const Cycle end = engine.run(cfg.max_cycles);
-  res.end_cycle = end;
-
-  if (H2_CHECK_ACTIVE(2)) {
-    model.hybrid().audit(end, "end of experiment");
-    model.memory().audit(end);
-  }
-
-  // ---- extract metrics -------------------------------------------------------
-  // Instruction counts are capped at the target: a side that finished early
-  // keeps replaying to preserve contention, but those extra instructions
-  // must not inflate its IPC (they retired after its recorded cycle count).
-  res.cpu_finished = true;
-  res.gpu_finished = true;
-  for (const auto& c : cores) {
-    const Cycle done = c->finished() ? c->done_cycle() : end;
-    const u64 instructions =
-        std::min(c->retired_instructions(), c->params().target_instructions);
-    if (c->cls() == Requestor::Cpu) {
-      res.cpu_cycles = std::max(res.cpu_cycles, done);
-      res.cpu_instructions += instructions;
-      res.cpu_finished = res.cpu_finished && c->finished();
-    } else {
-      res.gpu_cycles = std::max(res.gpu_cycles, done);
-      res.gpu_instructions += instructions;
-      res.gpu_finished = res.gpu_finished && c->finished();
-    }
-  }
-  if (res.cpu_cycles > 0) {
-    res.cpu_ipc = static_cast<double>(res.cpu_instructions) /
-                  static_cast<double>(res.cpu_cycles);
-  }
-  if (res.gpu_cycles > 0) {
-    res.gpu_ipc = static_cast<double>(res.gpu_instructions) /
-                  static_cast<double>(res.gpu_cycles);
-  }
-  res.weighted_ipc = cfg.weight_cpu * res.cpu_ipc + cfg.weight_gpu * res.gpu_ipc;
-
-  res.energy_pj = model.memory().total_energy_pj(end);
-  res.fast_bytes = model.memory().tier_bytes(Tier::Fast);
-  res.slow_bytes = model.memory().tier_bytes(Tier::Slow);
-  res.hmstats[0] = model.hybrid().stats(Requestor::Cpu);
-  res.hmstats[1] = model.hybrid().stats(Requestor::Gpu);
-  res.fast_hit_rate[0] = model.hybrid().hit_rate(Requestor::Cpu);
-  res.fast_hit_rate[1] = model.hybrid().hit_rate(Requestor::Gpu);
-  res.llc_hit_rate[0] = model.hierarchy().llc_hit_rate(Requestor::Cpu);
-  res.llc_hit_rate[1] = model.hierarchy().llc_hit_rate(Requestor::Gpu);
-  res.remap_cache_hit_rate = model.hybrid().remap_cache().hit_rate();
-  {
-    // Merge per-core read-latency distributions into per-side summaries.
-    u64 n[2] = {0, 0}, sum[2] = {0, 0}, p99[2] = {0, 0};
-    for (const auto& c : cores) {
-      const u32 i = static_cast<u32>(c->cls());
-      n[i] += c->read_latency().count();
-      sum[i] += c->read_latency().total();
-      p99[i] = std::max(p99[i], c->read_latency().percentile(99));
-    }
-    for (u32 i = 0; i < 2; ++i) {
-      res.read_latency_mean[i] = n[i] ? static_cast<double>(sum[i]) / n[i] : 0.0;
-      res.read_latency_p99[i] = p99[i];
-    }
-  }
-  const u64 demand = res.hmstats[0].demand + res.hmstats[1].demand;
-  if (demand > 0) {
-    res.slow_amplification =
-        static_cast<double>(res.slow_bytes) / (static_cast<double>(demand) * 64.0);
-  }
-  if (design.kind == DesignSpec::Kind::Hydrogen) {
-    const auto& hp = static_cast<const HydrogenPolicy&>(model.policy());
-    res.final_point = hp.active_point();
-    res.reconfigurations = hp.reconfigurations();
-  }
-  return res;
+  SimSystem sys(cfg);
+  sys.build();
+  sys.warmup(cfg.warmup_epochs);
+  sys.measure();
+  return sys.drain();
 }
 
 double weighted_speedup(const ExperimentResult& base, const ExperimentResult& x,

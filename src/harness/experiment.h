@@ -19,7 +19,11 @@ struct DesignSpec {
   std::string label = "baseline";
   enum class Kind : u8 { Baseline, WayPart, HAShCache, Profess, Hydrogen, SetPart } kind =
       Kind::Baseline;
-  HydrogenConfig hydrogen;  ///< used when kind == Hydrogen
+  HydrogenConfig hydrogen;  ///< used when kind == Hydrogen (and, via
+                            ///< make_policy, the SetPart knob source)
+  /// WayPart's own knob: the fraction of LLC-side fast-memory ways reserved
+  /// for the CPU. Previously piggybacked on hydrogen.fixed_cpu_capacity_frac.
+  double cpu_way_fraction = 0.75;
   bool ideal_swap = false;        ///< Fig. 7(a) Ideal
   bool instant_reconfig = false;  ///< Fig. 7(b) ideal reconfiguration
   /// HAShCache's native organisation is direct-mapped + chaining; Fig. 11
@@ -61,8 +65,26 @@ struct ExperimentConfig {
   Cycle phase_cycles = 0;        ///< exploration phase restart (0 = off)
   Cycle max_cycles = 300'000'000;
 
+  /// Epochs to simulate — with adaptation, audits and fault sites live —
+  /// before the measurement window opens. At the warmup -> measure boundary
+  /// every stats-bearing layer is zeroed (SimSystem::reset_measurement)
+  /// while architectural state (residency, remap tables, row buffers,
+  /// in-flight requests, policy adaptation) is preserved, so recorded
+  /// numbers reflect steady-state behaviour. 0 = measure from cold (the
+  /// historical default; bit-identical to the pre-lifecycle harness).
+  u32 warmup_epochs = 0;
+  /// If non-empty, a per-epoch time-series CSV (one row per epoch boundary,
+  /// warmup and measure phases tagged) is written here — the `--timeline`
+  /// flag of h2sim and the benches. See harness/sim_system.h.
+  std::string timeline_path;
+
   bool cpu_only = false;  ///< Fig. 2(a) "running alone" runs
   bool gpu_only = false;
+  /// Solo runs skip constructing the idle side's synthetic generators while
+  /// keeping the address map identical. This test-only escape hatch restores
+  /// the historical construct-everything behaviour so the bit-identity of
+  /// the two paths can be asserted.
+  bool build_idle_generators = false;
   u64 seed = 42;
 
   /// If non-empty, cores replay recorded traces from

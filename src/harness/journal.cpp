@@ -205,6 +205,7 @@ std::string config_key(const ExperimentConfig& cfg) {
   u(static_cast<u64>(h.swap));
   d(h.swap_prob);
   u(h.seed);
+  d(cfg.design.cpu_way_fraction);
   u(cfg.design.ideal_swap);
   u(cfg.design.instant_reconfig);
   u(cfg.design.hashcache_native_geometry);
@@ -223,6 +224,7 @@ std::string config_key(const ExperimentConfig& cfg) {
   u(cfg.epoch_cycles);
   u(cfg.phase_cycles);
   u(cfg.max_cycles);
+  u(cfg.warmup_epochs);
   u(cfg.cpu_only);
   u(cfg.gpu_only);
   u(cfg.seed);

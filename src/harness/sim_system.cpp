@@ -1,0 +1,499 @@
+#include "harness/sim_system.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "check/check.h"
+#include "check/fault.h"
+#include "common/assert.h"
+#include "hydrogen/setpart_policy.h"
+#include "policies/baseline.h"
+#include "policies/hashcache.h"
+#include "policies/profess.h"
+#include "policies/waypart.h"
+#include "trace/trace_io.h"
+
+namespace h2 {
+
+std::unique_ptr<PartitionPolicy> make_policy(const DesignSpec& design) {
+  switch (design.kind) {
+    case DesignSpec::Kind::Baseline:
+      return std::make_unique<BaselinePolicy>();
+    case DesignSpec::Kind::WayPart:
+      return std::make_unique<WayPartPolicy>(design.cpu_way_fraction);
+    case DesignSpec::Kind::HAShCache:
+      return std::make_unique<HAShCachePolicy>();
+    case DesignSpec::Kind::Profess:
+      return std::make_unique<ProfessPolicy>();
+    case DesignSpec::Kind::Hydrogen:
+      return std::make_unique<HydrogenPolicy>(design.hydrogen);
+    case DesignSpec::Kind::SetPart: {
+      SetPartConfig cfg;
+      cfg.cpu_set_frac = design.hydrogen.fixed_cpu_capacity_frac;
+      cfg.cpu_bw_frac = design.hydrogen.fixed_cpu_bw_frac;
+      cfg.token = design.hydrogen.token;
+      cfg.tok_frac = design.hydrogen.fixed_tok_frac;
+      cfg.faucet_period = design.hydrogen.faucet_period;
+      cfg.seed = design.hydrogen.seed;
+      return std::make_unique<SetPartPolicy>(cfg);
+    }
+  }
+  H2_ASSERT(false, "unknown design kind");
+  return nullptr;
+}
+
+namespace {
+
+u64 round_up(u64 v, u64 to) { return (v + to - 1) / to * to; }
+
+/// Harness fault sites (check/fault.h): synthetic failures and stalls at an
+/// epoch boundary, exercising the sweep runner's capture/retry/watchdog
+/// paths. No-ops unless a matching fault is armed on this thread. Armed
+/// with warmup_epochs > 0, the sites fire inside warmup epochs too —
+/// tools/h2fault covers that path explicitly.
+class FaultSiteObserver final : public EpochObserver {
+ public:
+  const char* name() const override { return "fault-sites"; }
+  void on_epoch(SimSystem& sys, const EpochFeedback& fb) override {
+    (void)sys;
+    (void)fb;
+    if (fault::at(fault::Kind::Throw)) fault::throw_synthetic(false);
+    if (fault::at(fault::Kind::ThrowTransient)) fault::throw_synthetic(true);
+    if (fault::at(fault::Kind::Stall)) fault::stall();
+  }
+};
+
+/// Feeds the epoch snapshot to the policy and applies idealised instant
+/// reconfiguration when the design asks for it (Fig. 7(b)).
+class PolicyAdaptObserver final : public EpochObserver {
+ public:
+  const char* name() const override { return "policy-adapt"; }
+  void on_epoch(SimSystem& sys, const EpochFeedback& fb) override {
+    const bool changed = sys.policy().on_epoch(fb);
+    if (changed && sys.hybrid().config().instant_reconfig) {
+      sys.hybrid().run_instant_reconfig();
+    }
+  }
+};
+
+/// Cheap O(1) counter-conservation audit at each epoch boundary; the full
+/// structural audits run once at drain.
+class CheckAuditObserver final : public EpochObserver {
+ public:
+  const char* name() const override { return "check-audits"; }
+  void on_epoch(SimSystem& sys, const EpochFeedback& fb) override {
+    if (H2_CHECK_ACTIVE(2)) sys.hybrid().audit_counters(fb.now);
+  }
+  void on_drain(SimSystem& sys, Cycle end) override {
+    if (H2_CHECK_ACTIVE(2)) {
+      sys.hybrid().audit(end, "end of experiment");
+      sys.memory().audit(end);
+    }
+  }
+};
+
+/// The --timeline recorder: one CSV row per epoch boundary, phase-tagged, so
+/// hydrogen's hill-climb reconfigurations (and every other design's epoch
+/// dynamics) can be plotted over time. The header goes out at construction,
+/// so even a run too short to cross an epoch boundary leaves a parseable
+/// file.
+class TimelineObserver final : public EpochObserver {
+ public:
+  explicit TimelineObserver(const std::string& path) : out_(path) {
+    if (!out_.is_open()) {
+      throw std::runtime_error("cannot open timeline CSV '" + path + "'");
+    }
+    out_ << "epoch,phase,cycle,cpu_instructions,gpu_instructions,weighted_ipc,"
+            "cpu_misses,gpu_misses,gpu_migrations,slow_backlog,"
+            "reconfigurations,cap,bw,tok\n";
+  }
+
+  const char* name() const override { return "timeline"; }
+
+  void on_epoch(SimSystem& sys, const EpochFeedback& fb) override {
+    u64 reconfigurations = 0, cap = 0, bw = 0, tok = 0;
+    if (sys.design().kind == DesignSpec::Kind::Hydrogen) {
+      const auto& hp = static_cast<const HydrogenPolicy&>(sys.policy());
+      reconfigurations = hp.reconfigurations();
+      const ParamPoint p = hp.active_point();
+      cap = p.cap;
+      bw = p.bw;
+      tok = p.tok;
+    }
+    char ipc[32];
+    std::snprintf(ipc, sizeof(ipc), "%.6f", fb.weighted_ipc);
+    out_ << sys.total_epochs() << ','
+         << (sys.phase() == SimSystem::Phase::Warmup ? "warmup" : "measure")
+         << ',' << fb.now << ',' << fb.cpu_instructions << ','
+         << fb.gpu_instructions << ',' << ipc << ',' << fb.cpu_misses << ','
+         << fb.gpu_misses << ',' << fb.gpu_migrations << ',' << fb.slow_backlog
+         << ',' << reconfigurations << ',' << cap << ',' << bw << ',' << tok
+         << '\n';
+  }
+
+  void on_drain(SimSystem& sys, Cycle end) override {
+    (void)sys;
+    (void)end;
+    out_.flush();
+  }
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace
+
+SimSystem::SimSystem(const ExperimentConfig& cfg) : cfg_(cfg) {}
+
+SimSystem::~SimSystem() = default;
+
+void SimSystem::build() {
+  H2_ASSERT(phase_ == Phase::Unbuilt, "build() must be called exactly once");
+  H2_ASSERT(!(cfg_.cpu_only && cfg_.gpu_only), "cpu_only and gpu_only are exclusive");
+  const ComboSpec& cb = combo(cfg_.combo);
+
+  // ---- workload layout: 8 CPU cores run the 4 workloads rate-2; all GPU
+  // clusters decompose the single kernel over a shared footprint. ----------
+  sys_ = cfg_.sys;
+  // The private-cache arrays must match the processor configuration (core
+  // count sweeps adjust sys.cpu_cores after building the SystemConfig).
+  sys_.hierarchy.cpu_cores = sys_.cpu_cores;
+  sys_.hierarchy.gpu_clusters = sys_.gpu_clusters();
+  const u32 n_cpu = cfg_.cpu_only || !cfg_.gpu_only ? sys_.cpu_cores : 0;
+  const u32 n_gpu = cfg_.gpu_only || !cfg_.cpu_only ? sys_.gpu_clusters() : 0;
+
+  std::vector<Addr> bases;
+  std::vector<Addr> gpu_bases;
+  Addr cursor = 0;
+
+  // Replay support: when trace_dir is set, cores consume recorded traces
+  // (tools/h2trace output) instead of live synthetic generators.
+  //
+  // Solo runs (--cpu-only / --gpu-only) keep the exact shared-run address
+  // map — every workload's footprint still advances the cursor — but skip
+  // constructing the idle side's synthetic generators (each owns an RNG and
+  // pattern state nothing would ever consume). Replay generators are still
+  // constructed either way: the trace file is the only source of the
+  // footprint the layout needs.
+  auto make_generator = [&](const WorkloadSpec& spec, u64 seed, bool active,
+                            u64* footprint) -> std::unique_ptr<AccessGenerator> {
+    if (!cfg_.trace_dir.empty()) {
+      const std::string path = cfg_.trace_dir + "/" + spec.name + ".trace";
+      auto replay = std::make_unique<ReplayGenerator>(replay_from_file(spec.name, path));
+      *footprint = replay->footprint_bytes();
+      return replay;
+    }
+    *footprint = spec.footprint_bytes;
+    if (!active && !cfg_.build_idle_generators) return nullptr;
+    return std::make_unique<SyntheticGenerator>(spec, seed);
+  };
+
+  for (u32 i = 0; i < sys_.cpu_cores; ++i) {
+    const WorkloadSpec& spec =
+        cpu_workload_spec(cb.cpu[(i / 2) % cb.cpu.size()]);
+    const WorkloadSpec scaled = with_scaled_footprint(spec, 1, sys_.scale);
+    u64 footprint = 0;
+    gens_.push_back(
+        make_generator(scaled, mix_hash(cfg_.seed, 0x1000 + i), n_cpu != 0, &footprint));
+    bases.push_back(cursor);
+    cursor += round_up(footprint, cfg_.block_bytes);
+  }
+  // The GPU kernel's footprint is partitioned across clusters, mirroring how
+  // workgroup scheduling assigns disjoint data tiles to different subslices:
+  // each cluster streams its own slice, so GPU block reuse is short-range
+  // and compulsory-dominated (the paper's Insight 2 — GPUs barely need fast
+  // capacity — depends on this property).
+  {
+    const WorkloadSpec scaled =
+        with_scaled_footprint(gpu_workload_spec(cb.gpu), 1, sys_.scale);
+    WorkloadSpec slice = scaled;
+    slice.footprint_bytes = std::max<u64>(
+        256 * 1024, scaled.footprint_bytes / sys_.gpu_clusters());
+    for (u32 i = 0; i < sys_.gpu_clusters(); ++i) {
+      u64 footprint = 0;
+      gens_.push_back(
+          make_generator(slice, mix_hash(cfg_.seed, 0x2000 + i), n_gpu != 0, &footprint));
+      gpu_bases.push_back(cursor);
+      cursor += round_up(footprint, cfg_.block_bytes);
+    }
+  }
+
+  // ---- memory geometry ----------------------------------------------------
+  const u64 slow_capacity = round_up(cursor, cfg_.block_bytes);
+  u64 fast_capacity = cfg_.fast_capacity_override
+                          ? cfg_.fast_capacity_override
+                          : static_cast<u64>(cfg_.fast_capacity_frac *
+                                             static_cast<double>(slow_capacity));
+  const u64 set_bytes = static_cast<u64>(cfg_.assoc) * cfg_.block_bytes;
+  fast_capacity = std::max(set_bytes * 16, round_up(fast_capacity, set_bytes));
+
+  MemSystemConfig mem_cfg = sys_.mem;
+  if (cfg_.fast_channels) mem_cfg.fast_channels = cfg_.fast_channels;
+  if (cfg_.slow_channels) mem_cfg.slow_channels = cfg_.slow_channels;
+  mem_cfg.block_bytes = cfg_.block_bytes;
+  mem_cfg.core_ghz = sys_.core_ghz;
+
+  HybridMemConfig hm_cfg = sys_.hybrid;
+  hm_cfg.mode = cfg_.mode;
+  hm_cfg.block_bytes = cfg_.block_bytes;
+  hm_cfg.assoc = cfg_.assoc;
+  hm_cfg.fast_capacity_bytes = fast_capacity;
+  hm_cfg.slow_capacity_bytes = slow_capacity;
+  hm_cfg.ideal_swap = cfg_.design.ideal_swap;
+  hm_cfg.instant_reconfig = cfg_.design.instant_reconfig;
+
+  design_ = cfg_.design;
+  if (design_.kind == DesignSpec::Kind::HAShCache) {
+    mem_cfg.cpu_priority = true;
+    if (design_.hashcache_native_geometry) {
+      hm_cfg.assoc = 1;
+      hm_cfg.chaining = true;
+    } else if (hm_cfg.assoc == 1) {
+      hm_cfg.chaining = true;
+    } else {
+      hm_cfg.chaining = false;
+      hm_cfg.mc_overhead += 8;  // tag-walk latency for scaled associativity
+    }
+  }
+  if (design_.kind == DesignSpec::Kind::Hydrogen) {
+    design_.hydrogen.phase_length = cfg_.phase_cycles;
+  }
+
+  hierarchy_ = std::make_unique<CacheHierarchy>(sys_.hierarchy);
+  mem_ = std::make_unique<MemorySystem>(mem_cfg);
+  policy_ = make_policy(design_);
+  hm_ = std::make_unique<HybridMemory>(hm_cfg, mem_.get(), policy_.get());
+
+  // ---- cores ---------------------------------------------------------------
+  auto add_core = [&](Requestor cls, u32 unit, Addr base, AccessGenerator* gen,
+                      u64 target) {
+    CoreParams p;
+    p.cls = cls;
+    p.unit = unit;
+    p.addr_base = base;
+    p.base_ipc = cls == Requestor::Cpu ? sys_.cpu_base_ipc : sys_.gpu_base_ipc;
+    p.mlp = cls == Requestor::Cpu ? sys_.cpu_mlp : sys_.gpu_mlp;
+    p.write_buffer = cls == Requestor::Cpu ? sys_.cpu_write_buffer : sys_.gpu_write_buffer;
+    p.target_instructions = target;
+    cores_.push_back(std::make_unique<Core>(p, gen, this));
+    engine_.add_actor(cores_.back().get(), /*start=*/unit);  // stagger starts
+  };
+
+  if (n_cpu) {
+    for (u32 i = 0; i < sys_.cpu_cores; ++i) {
+      add_core(Requestor::Cpu, i, bases[i], gens_[i].get(),
+               cfg_.cpu_target_instructions);
+    }
+  }
+  if (n_gpu) {
+    for (u32 i = 0; i < sys_.gpu_clusters(); ++i) {
+      add_core(Requestor::Gpu, i, gpu_bases[i], gens_[sys_.cpu_cores + i].get(),
+               cfg_.gpu_target_instructions);
+    }
+  }
+  H2_ASSERT(!cores_.empty(), "no cores to run");
+
+  engine_.add_periodic(cfg_.epoch_cycles,
+                       [this](Cycle now) { on_epoch_boundary(now); });
+
+  // Default observers, in the order the old epoch lambda ran these duties.
+  observers_.push_back(std::make_unique<FaultSiteObserver>());
+  observers_.push_back(std::make_unique<PolicyAdaptObserver>());
+  observers_.push_back(std::make_unique<CheckAuditObserver>());
+  if (!cfg_.timeline_path.empty()) {
+    observers_.push_back(std::make_unique<TimelineObserver>(cfg_.timeline_path));
+  }
+
+  phase_ = Phase::Built;
+}
+
+void SimSystem::add_observer(std::unique_ptr<EpochObserver> obs) {
+  H2_ASSERT(phase_ != Phase::Unbuilt && phase_ != Phase::Drained,
+            "add_observer() needs a built, undrained system");
+  H2_ASSERT(obs != nullptr, "null observer");
+  observers_.push_back(std::move(obs));
+}
+
+Cycle SimSystem::access(Cycle now, Requestor cls, u32 unit, Addr addr, bool write) {
+  const HierarchyResult hr = cls == Requestor::Cpu
+                                 ? hierarchy_->cpu_access(unit, addr, write)
+                                 : hierarchy_->gpu_access(unit, addr, write);
+  const Cycle t = now + hr.latency;
+  if (!hr.memory_needed) return t;
+  if (hr.writeback) hm_->writeback(t, cls, hr.writeback_addr);
+  return hm_->access(t, cls, addr, write);
+}
+
+void SimSystem::on_epoch_boundary(Cycle now) {
+  epochs_this_phase_++;
+  total_epochs_++;
+
+  u64 cpu_instr = 0, gpu_instr = 0;
+  bool all_done = true;
+  for (const auto& c : cores_) {
+    if (c->cls() == Requestor::Cpu) {
+      cpu_instr += c->retired_instructions();
+    } else {
+      gpu_instr += c->retired_instructions();
+    }
+    all_done = all_done && c->finished();
+  }
+  all_cores_finished_ = all_done;
+
+  const HybridStats& sc = hm_->stats(Requestor::Cpu);
+  const HybridStats& sg = hm_->stats(Requestor::Gpu);
+
+  EpochFeedback fb;
+  fb.now = now;
+  fb.epoch_cycles = cfg_.epoch_cycles;
+  fb.cpu_instructions = cpu_instr - prev_cpu_instr_;
+  fb.gpu_instructions = gpu_instr - prev_gpu_instr_;
+  fb.weighted_ipc = (cfg_.weight_cpu * static_cast<double>(fb.cpu_instructions) +
+                     cfg_.weight_gpu * static_cast<double>(fb.gpu_instructions)) /
+                    static_cast<double>(cfg_.epoch_cycles);
+  fb.cpu_misses = sc.misses - prev_cpu_miss_;
+  fb.gpu_misses = sg.misses - prev_gpu_miss_;
+  fb.gpu_migrations = sg.migrations - prev_gpu_migr_;
+  fb.slow_backlog = mem_->slow_backlog(now);
+
+  prev_cpu_instr_ = cpu_instr;
+  prev_gpu_instr_ = gpu_instr;
+  prev_cpu_miss_ = sc.misses;
+  prev_gpu_miss_ = sg.misses;
+  prev_gpu_migr_ = sg.migrations;
+
+  for (auto& obs : observers_) obs->on_epoch(*this, fb);
+
+  if (phase_ == Phase::Warmup) {
+    // Warmup never terminates on completion — a side that reached its target
+    // keeps replaying — it only pauses the engine at the requested boundary.
+    if (epochs_this_phase_ >= warmup_target_) engine_.stop();
+    return;
+  }
+  if (all_done) engine_.stop();
+}
+
+void SimSystem::reset_measurement() {
+  for (auto& c : cores_) c->reset_measurement();
+  hierarchy_->reset_stats();
+  mem_->reset_stats();
+  hm_->reset_measurement();
+  policy_->reset_measurement();
+  prev_cpu_instr_ = prev_gpu_instr_ = 0;
+  prev_cpu_miss_ = prev_gpu_miss_ = prev_gpu_migr_ = 0;
+  all_cores_finished_ = false;
+}
+
+void SimSystem::warmup(u32 epochs) {
+  H2_ASSERT(phase_ == Phase::Built, "warmup() must directly follow build()");
+  if (epochs > 0) {
+    phase_ = Phase::Warmup;
+    warmup_target_ = epochs;
+    epochs_this_phase_ = 0;
+    engine_.run(cfg_.max_cycles);
+    reset_measurement();
+  }
+  phase_ = Phase::Measure;
+  epochs_this_phase_ = 0;
+  measure_start_ = engine_.now();
+}
+
+void SimSystem::measure() {
+  H2_ASSERT(phase_ == Phase::Measure && !measured_,
+            "measure() must follow warmup() — call warmup(0) for a cold start");
+  measured_ = true;
+  end_cycle_ = engine_.run(cfg_.max_cycles);
+}
+
+ExperimentResult SimSystem::drain() {
+  H2_ASSERT(phase_ == Phase::Measure && measured_, "drain() must follow measure()");
+  phase_ = Phase::Drained;
+
+  // Final audits (and timeline flush) before extraction; `end_cycle_` is
+  // absolute because audits compare against absolute channel cursors.
+  for (auto& obs : observers_) obs->on_drain(*this, end_cycle_);
+
+  ExperimentResult res;
+  res.combo = cfg_.combo;
+  res.design = design_.label;
+  res.epochs = epochs_this_phase_;
+
+  // All recorded cycle counts are measurement-window-relative; with
+  // warmup_epochs == 0 the window starts at cycle 0 and every expression
+  // below degenerates to the historical cold-start arithmetic.
+  const Cycle end = end_cycle_ - measure_start_;
+  res.end_cycle = end;
+
+  // Instruction counts are capped at the target: a side that finished early
+  // keeps replaying to preserve contention, but those extra instructions
+  // must not inflate its IPC (they retired after its recorded cycle count).
+  res.cpu_finished = true;
+  res.gpu_finished = true;
+  for (const auto& c : cores_) {
+    const Cycle done = c->finished() ? c->done_cycle() - measure_start_ : end;
+    const u64 instructions =
+        std::min(c->retired_instructions(), c->params().target_instructions);
+    if (c->cls() == Requestor::Cpu) {
+      res.cpu_cycles = std::max(res.cpu_cycles, done);
+      res.cpu_instructions += instructions;
+      res.cpu_finished = res.cpu_finished && c->finished();
+    } else {
+      res.gpu_cycles = std::max(res.gpu_cycles, done);
+      res.gpu_instructions += instructions;
+      res.gpu_finished = res.gpu_finished && c->finished();
+    }
+  }
+  if (res.cpu_cycles > 0) {
+    res.cpu_ipc = static_cast<double>(res.cpu_instructions) /
+                  static_cast<double>(res.cpu_cycles);
+  }
+  if (res.gpu_cycles > 0) {
+    res.gpu_ipc = static_cast<double>(res.gpu_instructions) /
+                  static_cast<double>(res.gpu_cycles);
+  }
+  res.weighted_ipc = cfg_.weight_cpu * res.cpu_ipc + cfg_.weight_gpu * res.gpu_ipc;
+
+  // Dynamic counters were zeroed at the window start and static energy is
+  // linear in elapsed cycles, so charging the window duration yields exactly
+  // the measurement window's energy.
+  res.energy_pj = mem_->total_energy_pj(end);
+  res.fast_bytes = mem_->tier_bytes(Tier::Fast);
+  res.slow_bytes = mem_->tier_bytes(Tier::Slow);
+  res.hmstats[0] = hm_->stats(Requestor::Cpu);
+  res.hmstats[1] = hm_->stats(Requestor::Gpu);
+  res.fast_hit_rate[0] = hm_->hit_rate(Requestor::Cpu);
+  res.fast_hit_rate[1] = hm_->hit_rate(Requestor::Gpu);
+  res.llc_hit_rate[0] = hierarchy_->llc_hit_rate(Requestor::Cpu);
+  res.llc_hit_rate[1] = hierarchy_->llc_hit_rate(Requestor::Gpu);
+  res.remap_cache_hit_rate = hm_->remap_cache().hit_rate();
+  {
+    // Merge per-core read-latency distributions into per-side summaries.
+    u64 n[2] = {0, 0}, sum[2] = {0, 0}, p99[2] = {0, 0};
+    for (const auto& c : cores_) {
+      const u32 i = static_cast<u32>(c->cls());
+      n[i] += c->read_latency().count();
+      sum[i] += c->read_latency().total();
+      p99[i] = std::max(p99[i], c->read_latency().percentile(99));
+    }
+    for (u32 i = 0; i < 2; ++i) {
+      res.read_latency_mean[i] = n[i] ? static_cast<double>(sum[i]) / n[i] : 0.0;
+      res.read_latency_p99[i] = p99[i];
+    }
+  }
+  const u64 demand = res.hmstats[0].demand + res.hmstats[1].demand;
+  if (demand > 0) {
+    res.slow_amplification =
+        static_cast<double>(res.slow_bytes) / (static_cast<double>(demand) * 64.0);
+  }
+  if (design_.kind == DesignSpec::Kind::Hydrogen) {
+    const auto& hp = static_cast<const HydrogenPolicy&>(*policy_);
+    res.final_point = hp.active_point();
+    res.reconfigurations = hp.reconfigurations();
+  }
+  return res;
+}
+
+}  // namespace h2

@@ -1,0 +1,162 @@
+// SimSystem: the single place where a complete simulated system is wired
+// together, with an explicit measurement lifecycle.
+//
+//   SimSystem sys(cfg);
+//   sys.build();               // assemble cores + caches + memory + policy
+//   sys.warmup(N);             // N epochs of adaptation, then stats reset
+//   sys.measure();             // run the measurement window to completion
+//   ExperimentResult r = sys.drain();   // final audits + metric extraction
+//
+// The paper's methodology (SC'24) measures steady-state behaviour — warmed
+// caches, settled hill-climb partitions, token buckets in regime — which a
+// cold-start harness cannot produce. warmup(N) runs the first N epochs with
+// adaptation live, then reset_measurement() cascades through every
+// stats-bearing layer (Core counters/latency histograms, Cache/
+// CacheHierarchy hit counters, Channel/MemorySystem energy + request
+// counters, HybridMemory per-requestor stats, policy reconfiguration
+// tallies), zeroing counters while preserving architectural state:
+// residency, remap tables, remap-cache contents, row buffers, in-flight
+// requests and all policy adaptation survive. Each layer resets both sides
+// of its conservation invariants together, so the H2_CHECK level-1/2 audits
+// stay valid across the reset. warmup(0) is bit-identical to the historical
+// cold-start harness.
+//
+// Epoch boundaries are delivered to EpochObservers in registration order.
+// build() registers the default set — fault sites, policy adaptation,
+// check audits, and (when cfg.timeline_path is set) a per-epoch time-series
+// recorder — which together replace the monolithic epoch lambda the old
+// run_experiment carried. run_experiment itself is now a four-line driver
+// over this class, and the oracle (check/oracle.cpp) builds its policies
+// through the same make_policy, so design wiring exists exactly once.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/hierarchy.h"
+#include "harness/experiment.h"
+#include "hybridmem/hybrid_memory.h"
+#include "mem/memory_system.h"
+#include "proc/core.h"
+#include "sim/engine.h"
+#include "trace/generators.h"
+
+namespace h2 {
+
+/// Instantiates the PartitionPolicy a DesignSpec names. The one shared
+/// factory behind run_experiment, the differential oracle and tests; SetPart
+/// derives its SetPartConfig (including the RNG seed) from the spec's
+/// hydrogen fields, WayPart reads spec.cpu_way_fraction.
+std::unique_ptr<PartitionPolicy> make_policy(const DesignSpec& design);
+
+class SimSystem;
+
+/// Observes epoch boundaries. on_epoch fires at every boundary — warmup and
+/// measure phases alike, after the feedback snapshot is taken and before the
+/// phase-termination decision — strictly in registration order, which makes
+/// observer side effects deterministic at any sweep --jobs count. on_drain
+/// fires once, from drain(), after the engine has stopped for good.
+class EpochObserver {
+ public:
+  virtual ~EpochObserver() = default;
+  virtual const char* name() const = 0;
+  virtual void on_epoch(SimSystem& sys, const EpochFeedback& fb) = 0;
+  virtual void on_drain(SimSystem& sys, Cycle end) {
+    (void)sys;
+    (void)end;
+  }
+};
+
+class SimSystem final : public MemoryPort {
+ public:
+  /// Lifecycle: Unbuilt -> (build) -> Built -> (warmup, possibly 0 epochs)
+  /// -> Measure -> (measure + drain) -> Drained. warmup() is transiently in
+  /// Warmup while its epochs run.
+  enum class Phase : u8 { Unbuilt, Built, Warmup, Measure, Drained };
+
+  explicit SimSystem(const ExperimentConfig& cfg);
+  ~SimSystem() override;
+  SimSystem(const SimSystem&) = delete;
+  SimSystem& operator=(const SimSystem&) = delete;
+
+  /// Assembles the full system — workload layout, memory geometry, policy,
+  /// hybrid memory, cores, the epoch hook — and registers the default
+  /// observers. Must be called exactly once.
+  void build();
+
+  /// Registers an additional observer behind the defaults. Valid any time
+  /// after build() and before drain().
+  void add_observer(std::unique_ptr<EpochObserver> obs);
+
+  /// Runs `epochs` epoch boundaries with adaptation live, then calls
+  /// reset_measurement() and opens the measurement window. epochs == 0 opens
+  /// the window immediately (cold start, historical behaviour).
+  void warmup(u32 epochs);
+
+  /// Runs the measurement window: until every core reached its target (seen
+  /// at an epoch boundary) or cfg.max_cycles.
+  void measure();
+
+  /// Final audits (via observers) + metric extraction. All cycle counts and
+  /// energies in the result are measurement-window-relative.
+  ExperimentResult drain();
+
+  /// The cross-layer stats reset behind the warmup -> measure transition;
+  /// public so tests can assert exactly what it clears and what survives.
+  void reset_measurement();
+
+  // MemoryPort: cache hierarchy walk, then the hybrid-memory controller.
+  Cycle access(Cycle now, Requestor cls, u32 unit, Addr addr, bool write) override;
+
+  const ExperimentConfig& config() const { return cfg_; }
+  /// The effective design (after HAShCache geometry / phase-length fixups).
+  const DesignSpec& design() const { return design_; }
+  Phase phase() const { return phase_; }
+  Engine& engine() { return engine_; }
+  CacheHierarchy& hierarchy() { return *hierarchy_; }
+  MemorySystem& memory() { return *mem_; }
+  HybridMemory& hybrid() { return *hm_; }
+  PartitionPolicy& policy() { return *policy_; }
+  const std::vector<std::unique_ptr<Core>>& cores() const { return cores_; }
+
+  /// First cycle of the measurement window (0 when warmup_epochs == 0).
+  Cycle measure_start() const { return measure_start_; }
+  /// Epoch boundaries seen in the current phase / since build().
+  u64 epochs_this_phase() const { return epochs_this_phase_; }
+  u64 total_epochs() const { return total_epochs_; }
+  /// True once every core reached its target (sampled at epoch boundaries).
+  bool all_cores_finished() const { return all_cores_finished_; }
+
+ private:
+  void on_epoch_boundary(Cycle now);
+
+  ExperimentConfig cfg_;
+  DesignSpec design_;
+  SystemConfig sys_;
+  Phase phase_ = Phase::Unbuilt;
+  bool measured_ = false;
+
+  Engine engine_;
+  std::vector<std::unique_ptr<AccessGenerator>> gens_;
+  std::vector<std::unique_ptr<Core>> cores_;
+  std::unique_ptr<CacheHierarchy> hierarchy_;
+  std::unique_ptr<MemorySystem> mem_;
+  std::unique_ptr<PartitionPolicy> policy_;
+  std::unique_ptr<HybridMemory> hm_;
+  std::vector<std::unique_ptr<EpochObserver>> observers_;
+
+  // Epoch-feedback deltas (zeroed by reset_measurement together with the
+  // layer counters they difference against).
+  u64 prev_cpu_instr_ = 0, prev_gpu_instr_ = 0;
+  u64 prev_cpu_miss_ = 0, prev_gpu_miss_ = 0, prev_gpu_migr_ = 0;
+  bool all_cores_finished_ = false;
+
+  u32 warmup_target_ = 0;
+  u64 epochs_this_phase_ = 0;
+  u64 total_epochs_ = 0;
+  Cycle measure_start_ = 0;
+  Cycle end_cycle_ = 0;
+};
+
+}  // namespace h2

@@ -98,6 +98,21 @@ class HybridMemory {
   PartitionPolicy& policy() { return *policy_; }
   MemorySystem& memory() { return *mem_; }
 
+  /// Zeroes the per-requestor counters (and the remap cache's hit/miss
+  /// tallies) while preserving all architectural state: residency (remap
+  /// table), remap-cache contents and the attached policy are untouched.
+  /// Both sides of every conservation audit reset together — demand ==
+  /// hits + misses and the per-channel issue counters hold trivially at
+  /// zero — so audit_counters()/audit() stay valid across the reset. Part
+  /// of the SimSystem warmup -> measure transition (harness/sim_system.h),
+  /// which also calls MemorySystem::reset_stats() so the channel counters
+  /// the audits compare against reset in the same cascade.
+  void reset_measurement() {
+    stats_[0] = HybridStats{};
+    stats_[1] = HybridStats{};
+    remap_cache_.reset_stats();
+  }
+
   /// Hit rate over demand accesses for one side.
   double hit_rate(Requestor r) const {
     const HybridStats& s = stats(r);

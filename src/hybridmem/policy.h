@@ -105,6 +105,13 @@ class PartitionPolicy {
   virtual void note_hit(const PolicyContext& ctx, u32 way) { (void)ctx; (void)way; }
   virtual void note_miss(const PolicyContext& ctx, bool migrated) { (void)ctx; (void)migrated; }
 
+  /// Zeroes measurement counters (reconfiguration tallies and the like)
+  /// while preserving adaptive state — the active partition, token-bucket
+  /// fill, climber history and smoothed miss rates all survive, so the
+  /// policy keeps behaving as warmed up. Policies without reported counters
+  /// inherit the no-op. Part of the SimSystem warmup -> measure transition.
+  virtual void reset_measurement() {}
+
   u32 num_channels() const { return num_channels_; }
   u32 assoc() const { return assoc_; }
   u32 num_sets() const { return num_sets_; }

@@ -74,6 +74,10 @@ class HydrogenPolicy final : public PartitionPolicy {
   i32 pick_swap_way(const PolicyContext& ctx, u32 hit_way) override;
   void tick(Cycle now) override { tokens_.advance(now); }
   bool on_epoch(const EpochFeedback& fb) override;
+  /// Reported-counter reset only: the climber, partition, token state and
+  /// the epoch-ordering watermark (time stays monotonic across a warmup
+  /// reset) are all preserved.
+  void reset_measurement() override { reconfigurations_ = 0; }
 
   const DecoupledPartition& partition() const { return partition_; }
   const TokenBucket& tokens() const { return tokens_; }

@@ -14,6 +14,15 @@ Core::Core(const CoreParams& params, AccessGenerator* gen, MemoryPort* port)
   H2_ASSERT(params.base_ipc > 0 && params.mlp > 0, "bad core parameters");
 }
 
+void Core::reset_measurement() {
+  retired_ = 0;
+  done_cycle_ = kNever;
+  reads_issued_ = 0;
+  writes_issued_ = 0;
+  stall_cycles_ = 0;
+  read_latency_.reset();
+}
+
 void Core::drain(Cycle now) {
   while (!reads_.empty() && reads_.top() <= now) reads_.pop();
   while (!writes_.empty() && writes_.top() <= now) writes_.pop();

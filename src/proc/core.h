@@ -67,6 +67,14 @@ class Core final : public Actor {
   const Histogram& read_latency() const { return read_latency_; }
   const CoreParams& params() const { return params_; }
 
+  /// Zeroes the measurement counters (retired/issued/stall tallies, the
+  /// latency histogram, the finished marker) while preserving architectural
+  /// state: in-flight read/write completion times, the pending access and
+  /// the generator's replay position all survive, so the core continues the
+  /// same instruction stream and re-earns its target from zero. Part of the
+  /// SimSystem warmup -> measure transition (harness/sim_system.h).
+  void reset_measurement();
+
  private:
   void drain(Cycle now);
 

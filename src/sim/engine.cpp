@@ -41,8 +41,9 @@ Cycle Engine::run(Cycle max_cycles) {
     Entry e = queue_.top();
     queue_.pop();
     if (e.when > max_cycles) {
-      // Past the horizon: leave the entry consumed; the caller decided this
-      // run is over. Remaining actors can be re-added for a follow-up run.
+      // Past the horizon: put the entry back (same seq, so heap order is
+      // unchanged) and stop. A follow-up run() resumes bit-identically.
+      queue_.push(e);
       now_ = max_cycles;
       break;
     }
@@ -53,7 +54,14 @@ Cycle Engine::run(Cycle max_cycles) {
         now_ = hook_next_[i];
         hooks_[i].fn(now_);
         hook_next_[i] += hooks_[i].period;
-        if (stopped_) return now_;
+        if (stopped_) {
+          // A hook paused the run between events: the popped entry has not
+          // executed yet, so re-queue it (same seq) — a later run() picks it
+          // up exactly where this one left off. hook_next_ was already
+          // advanced, so the boundary that stopped us does not fire twice.
+          queue_.push(e);
+          return now_;
+        }
       }
     }
 

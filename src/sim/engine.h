@@ -64,7 +64,10 @@ class Engine {
   void wake(Actor* actor, Cycle when);
 
   /// Runs until no actor has pending work, `stop()` is called, or the cycle
-  /// limit is exceeded. Returns the final cycle.
+  /// limit is exceeded. Returns the final cycle. Stopping (from a hook or at
+  /// the horizon) leaves the event queue intact, so a subsequent run() call
+  /// resumes bit-identically — the SimSystem warmup/measure split relies on
+  /// this pause/resume property.
   Cycle run(Cycle max_cycles = kNever);
 
   /// Requests termination from inside a step or hook.

@@ -108,5 +108,32 @@ TEST(BenchArgs, LaterFlagsAccumulate) {
   EXPECT_EQ(args.jobs, 8u);  // last assignment wins, like the config loader
 }
 
+TEST(BenchArgs, ParsesLifecycleFlags) {
+  const BenchArgs args =
+      parse_ok({"--warmup-epochs", "3", "--timeline", "tl-", "--compiled-check-level"});
+  EXPECT_EQ(args.warmup_epochs, 3u);
+  EXPECT_EQ(args.timeline_prefix, "tl-");
+  EXPECT_TRUE(args.print_compiled_check_level);
+}
+
+TEST(BenchArgs, LifecycleFlagDefaults) {
+  const BenchArgs args = parse_ok({});
+  EXPECT_EQ(args.warmup_epochs, 0u);  // 0 = historical cold start
+  EXPECT_TRUE(args.timeline_prefix.empty());
+  EXPECT_FALSE(args.print_compiled_check_level);
+}
+
+TEST(BenchArgs, RejectsNegativeWarmupEpochs) {
+  EXPECT_NE(parse_error({"--warmup-epochs", "-1"}).find("--warmup-epochs"),
+            std::string::npos);
+}
+
+TEST(BenchArgs, WarmupAndTimelineReachTheConfig) {
+  BenchArgs args = parse_ok({"--warmup-epochs", "2", "--timeline", "tl-"});
+  const ExperimentConfig cfg = bench_config("C1", DesignSpec::hydrogen_full(), args);
+  EXPECT_EQ(cfg.warmup_epochs, 2u);
+  EXPECT_EQ(cfg.timeline_path, "tl-C1-hydrogen.csv");
+}
+
 }  // namespace
 }  // namespace h2::bench

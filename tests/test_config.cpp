@@ -152,6 +152,54 @@ TEST(ConfigLoader, SetpartConsumesHydrogenKeys) {
   EXPECT_TRUE(cfg.unused_keys().empty());
 }
 
+TEST(ConfigLoader, WayPartReadsItsOwnSectionWithHydrogenAlias) {
+  // The dedicated [waypart] key is canonical...
+  ConfigFile cfg;
+  cfg.parse(
+      "[sim]\n"
+      "design = waypart\n"
+      "[waypart]\n"
+      "cpu_way_fraction = 0.5\n");
+  const ExperimentConfig ec = experiment_from_config(cfg);
+  EXPECT_EQ(ec.design.kind, DesignSpec::Kind::WayPart);
+  EXPECT_DOUBLE_EQ(ec.design.cpu_way_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(ec.design.hydrogen.fixed_cpu_capacity_frac, 0.75);  // untouched
+  EXPECT_TRUE(cfg.unused_keys().empty());
+
+  // ... while hydrogen.cpu_capacity_frac stays readable as an alias (WayPart
+  // historically piggybacked on that field), with the waypart key winning.
+  ConfigFile alias;
+  alias.parse(
+      "[sim]\n"
+      "design = waypart\n"
+      "[hydrogen]\n"
+      "cpu_capacity_frac = 0.25\n");
+  EXPECT_DOUBLE_EQ(experiment_from_config(alias).design.cpu_way_fraction, 0.25);
+  EXPECT_TRUE(alias.unused_keys().empty());
+
+  ConfigFile both;
+  both.parse(
+      "[sim]\n"
+      "design = waypart\n"
+      "[hydrogen]\n"
+      "cpu_capacity_frac = 0.25\n"
+      "[waypart]\n"
+      "cpu_way_fraction = 0.625\n");
+  EXPECT_DOUBLE_EQ(experiment_from_config(both).design.cpu_way_fraction, 0.625);
+}
+
+TEST(ConfigLoader, WarmupAndTimelineKeysParse) {
+  ConfigFile cfg;
+  cfg.parse(
+      "[sim]\n"
+      "warmup_epochs = 3\n"
+      "timeline = /tmp/epochs.csv\n");
+  const ExperimentConfig ec = experiment_from_config(cfg);
+  EXPECT_EQ(ec.warmup_epochs, 3u);
+  EXPECT_EQ(ec.timeline_path, "/tmp/epochs.csv");
+  EXPECT_TRUE(cfg.unused_keys().empty());
+}
+
 TEST(ConfigFile, WhereReportsOriginAndLine) {
   ConfigFile cfg;
   cfg.parse(
@@ -213,7 +261,8 @@ TEST(ConfigLoaderStrictDeathTest, TopLevelKeyOutsideSectionAborts) {
 TEST(ConfigLoader, CheckedInConfigsAreValidAndStrict) {
   for (const char* path :
        {"configs/baseline.cfg", "configs/hydrogen.cfg", "configs/hashcache.cfg",
-        "configs/profess.cfg", "configs/hydrogen_flat.cfg"}) {
+        "configs/profess.cfg", "configs/hydrogen_flat.cfg",
+        "configs/waypart.cfg"}) {
     ConfigFile cfg;
     // ctest may run from build/ or build/tests/; probe upward.
     if (!cfg.load(path) && !cfg.load(std::string("../") + path) &&

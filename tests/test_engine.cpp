@@ -103,6 +103,46 @@ TEST(Engine, StopFromHookTerminatesRun) {
   EXPECT_LE(e.now(), 301u);
 }
 
+TEST(Engine, StopFromHookPreservesPendingActorForResume) {
+  // The SimSystem warmup/measure split pauses the engine from an epoch hook
+  // and later calls run() again: the event the hook pre-empted must not be
+  // lost, and the resumed schedule must be bit-identical to an uninterrupted
+  // run (same visit cycles, no double-fired hook boundaries).
+  std::vector<Cycle> straight_fires, paused_fires;
+  RecordingActor straight(10, 50);  // 0..490
+  {
+    Engine e;
+    e.add_actor(&straight, 0);
+    e.add_periodic(100, [&](Cycle now) { straight_fires.push_back(now); });
+    e.run();
+  }
+  RecordingActor paused(10, 50);
+  {
+    Engine e;
+    e.add_actor(&paused, 0);
+    e.add_periodic(100, [&](Cycle now) {
+      paused_fires.push_back(now);
+      if (now == 200) e.stop();  // pause mid-run ...
+    });
+    e.run();
+    EXPECT_EQ(e.now(), 200u);
+    e.run();  // ... and resume
+  }
+  EXPECT_EQ(paused.visits, straight.visits);
+  EXPECT_EQ(paused_fires, straight_fires);
+}
+
+TEST(Engine, HorizonStopPreservesPendingActorForResume) {
+  RecordingActor a(100, 10);  // 0..900
+  Engine e;
+  e.add_actor(&a, 0);
+  e.run(450);
+  EXPECT_EQ(a.visits.size(), 5u);  // 0,100,200,300,400
+  e.run();                         // resume past the horizon
+  EXPECT_EQ(a.visits.size(), 10u);
+  EXPECT_EQ(a.visits.back(), 900u);
+}
+
 TEST(Engine, WakeReschedulesIdleActor) {
   // Wake's contract is to re-arm an *idle registered* actor (a level-2 check
   // rejects wake targets that were never add_actor()ed).

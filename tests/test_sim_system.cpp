@@ -1,0 +1,297 @@
+// Tests for the SimSystem lifecycle (build/warmup/measure/drain), the
+// cross-layer reset_measurement cascade, and the EpochObserver machinery.
+#include "harness/sim_system.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/check.h"
+#include "harness/sweep.h"
+
+namespace h2 {
+namespace {
+
+/// Small, fast experiment configuration (mirrors test_experiment.cpp).
+ExperimentConfig quick(const std::string& combo, DesignSpec design) {
+  ExperimentConfig cfg;
+  cfg.combo = combo;
+  cfg.design = std::move(design);
+  cfg.sys = SystemConfig::table1(/*scale=*/16);
+  cfg.cpu_target_instructions = 150'000;
+  cfg.gpu_target_instructions = 120'000;
+  cfg.epoch_cycles = 50'000;
+  cfg.max_cycles = 60'000'000;
+  return cfg;
+}
+
+void expect_bit_identical(const ExperimentResult& a, const ExperimentResult& b) {
+  EXPECT_EQ(a.cpu_cycles, b.cpu_cycles);
+  EXPECT_EQ(a.gpu_cycles, b.gpu_cycles);
+  EXPECT_EQ(a.end_cycle, b.end_cycle);
+  EXPECT_EQ(a.cpu_instructions, b.cpu_instructions);
+  EXPECT_EQ(a.gpu_instructions, b.gpu_instructions);
+  EXPECT_EQ(a.weighted_ipc, b.weighted_ipc);  // exact ==: bit-identical
+  EXPECT_EQ(a.energy_pj, b.energy_pj);
+  EXPECT_EQ(a.fast_bytes, b.fast_bytes);
+  EXPECT_EQ(a.slow_bytes, b.slow_bytes);
+  EXPECT_EQ(a.hmstats[0].demand, b.hmstats[0].demand);
+  EXPECT_EQ(a.hmstats[1].demand, b.hmstats[1].demand);
+  EXPECT_EQ(a.hmstats[0].migrations, b.hmstats[0].migrations);
+  EXPECT_EQ(a.hmstats[1].migrations, b.hmstats[1].migrations);
+  EXPECT_EQ(a.reconfigurations, b.reconfigurations);
+  EXPECT_EQ(a.epochs, b.epochs);
+}
+
+TEST(SimSystem, ManualLifecycleMatchesRunExperiment) {
+  // Driving the phases by hand is exactly run_experiment — the convenience
+  // wrapper adds nothing beyond the four calls.
+  const ExperimentConfig cfg = quick("C1", DesignSpec::hydrogen_full());
+  SimSystem sys(cfg);
+  EXPECT_EQ(sys.phase(), SimSystem::Phase::Unbuilt);
+  sys.build();
+  EXPECT_EQ(sys.phase(), SimSystem::Phase::Built);
+  sys.warmup(0);
+  EXPECT_EQ(sys.phase(), SimSystem::Phase::Measure);
+  EXPECT_EQ(sys.measure_start(), 0u);
+  sys.measure();
+  const ExperimentResult a = sys.drain();
+  EXPECT_EQ(sys.phase(), SimSystem::Phase::Drained);
+
+  const ExperimentResult b = run_experiment(cfg);
+  expect_bit_identical(a, b);
+}
+
+TEST(SimSystem, WarmupIsDeterministicAndWindowRelative) {
+  ExperimentConfig warm = quick("C2", DesignSpec::hydrogen_full());
+  warm.warmup_epochs = 2;
+  const ExperimentResult a = run_experiment(warm);
+  const ExperimentResult b = run_experiment(warm);
+  expect_bit_identical(a, b);
+  EXPECT_TRUE(a.cpu_finished);
+  EXPECT_TRUE(a.gpu_finished);
+  EXPECT_GT(a.cpu_ipc, 0.0);
+  EXPECT_GT(a.gpu_ipc, 0.0);
+
+  // Manual drive agrees with the config-driven wrapper, and exposes the
+  // window bookkeeping: the measurement window opened two epochs in, epoch
+  // counts exclude warmup, and every recorded cycle is window-relative
+  // (drain's end_cycle + measure_start is the absolute engine clock).
+  SimSystem sys(warm);
+  sys.build();
+  sys.warmup(2);
+  EXPECT_EQ(sys.measure_start(), 2 * warm.epoch_cycles);
+  EXPECT_EQ(sys.total_epochs(), 2u);
+  EXPECT_EQ(sys.epochs_this_phase(), 0u);
+  sys.measure();
+  const Cycle absolute_end = sys.engine().now();
+  const ExperimentResult m = sys.drain();
+  expect_bit_identical(m, a);
+  EXPECT_EQ(m.end_cycle + sys.measure_start(), absolute_end);
+  EXPECT_EQ(sys.total_epochs(), 2 + m.epochs);
+}
+
+TEST(SimSystem, ResetMeasurementZeroesCountersAndPreservesState) {
+  const ExperimentConfig cfg = quick("C1", DesignSpec::hydrogen_full());
+  SimSystem sys(cfg);
+  sys.build();
+  sys.warmup(2);  // runs two epochs, then resets into the measure phase
+
+  // Measurement counters are zero at the window start...
+  for (const auto& c : sys.cores()) {
+    EXPECT_EQ(c->retired_instructions(), 0u);
+    EXPECT_EQ(c->read_latency().count(), 0u);
+    EXPECT_FALSE(c->finished());
+  }
+  for (Requestor side : {Requestor::Cpu, Requestor::Gpu}) {
+    const HybridStats& st = sys.hybrid().stats(side);
+    EXPECT_EQ(st.demand, 0u);
+    EXPECT_EQ(st.fast_hits, 0u);
+    EXPECT_EQ(st.misses, 0u);
+    EXPECT_EQ(st.migrations, 0u);
+  }
+  // ... total_energy_pj(0) is the dynamic term alone, which must be zero.
+  EXPECT_EQ(sys.memory().total_energy_pj(0), 0.0);
+
+  // ... but architectural state survived: two epochs of demand left blocks
+  // resident in the remap table.
+  const RemapTable& table = sys.hybrid().table();
+  u32 resident = 0;
+  for (u32 s = 0; s < table.num_sets(); ++s) resident += table.occupancy(s);
+  EXPECT_GT(resident, 0u);
+  EXPECT_GT(sys.measure_start(), 0u);
+
+  // The conservation audits must hold right at the reset point: both sides
+  // of every invariant were cleared together.
+  if (check::compiled_level() >= 2) {
+    check::ScopedThrowingHandler handler;
+    check::set_runtime_level(check::compiled_level());
+    EXPECT_NO_THROW(sys.hybrid().audit_counters(sys.engine().now()));
+    EXPECT_NO_THROW(sys.hybrid().audit(sys.engine().now(), "post-reset"));
+  }
+
+  // The system is still runnable to completion from here.
+  sys.measure();
+  const ExperimentResult r = sys.drain();
+  EXPECT_TRUE(r.cpu_finished);
+  EXPECT_TRUE(r.gpu_finished);
+  EXPECT_GT(r.epochs, 0u);
+}
+
+TEST(SimSystem, WarmupRunPassesFullAudits) {
+  // A warmed run under throwing invariants: every per-epoch audit_counters
+  // and the end-of-run structural audit must hold across the reset.
+  if (check::compiled_level() < 2) {
+    GTEST_SKIP() << "needs H2_CHECK_LEVEL >= 2 (compiled level "
+                 << check::compiled_level() << ")";
+  }
+  check::ScopedThrowingHandler handler;
+  check::set_runtime_level(check::compiled_level());
+  ExperimentConfig cfg = quick("C3", DesignSpec::hydrogen_full());
+  cfg.warmup_epochs = 2;
+  ExperimentResult r;
+  EXPECT_NO_THROW(r = run_experiment(cfg));
+  EXPECT_TRUE(r.cpu_finished);
+  EXPECT_TRUE(r.gpu_finished);
+}
+
+TEST(SimSystem, TimelineCsvIsParseableAndPhaseTagged) {
+  const std::string path = ::testing::TempDir() + "h2_timeline_test.csv";
+  ExperimentConfig cfg = quick("C1", DesignSpec::hydrogen_full());
+  cfg.warmup_epochs = 2;
+  cfg.timeline_path = path;
+  const ExperimentResult r = run_experiment(cfg);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open()) << path;
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line,
+            "epoch,phase,cycle,cpu_instructions,gpu_instructions,weighted_ipc,"
+            "cpu_misses,gpu_misses,gpu_migrations,slow_backlog,"
+            "reconfigurations,cap,bw,tok");
+  const size_t columns = 14;
+  u64 warmup_rows = 0, measure_rows = 0, prev_epoch = 0;
+  while (std::getline(in, line)) {
+    std::stringstream row(line);
+    std::vector<std::string> cells;
+    std::string cell;
+    while (std::getline(row, cell, ',')) cells.push_back(cell);
+    ASSERT_EQ(cells.size(), columns) << line;
+    const u64 epoch = std::stoull(cells[0]);
+    EXPECT_EQ(epoch, prev_epoch + 1);  // every boundary recorded, in order
+    prev_epoch = epoch;
+    if (cells[1] == "warmup") {
+      warmup_rows++;
+      EXPECT_EQ(measure_rows, 0u) << "warmup row after a measure row";
+    } else {
+      ASSERT_EQ(cells[1], "measure") << line;
+      measure_rows++;
+    }
+    // Hydrogen runs report a live search point.
+    EXPECT_GE(std::stoull(cells[11]), 1u) << "cap: " << line;
+    EXPECT_GE(std::stoull(cells[12]), 1u) << "bw: " << line;
+  }
+  EXPECT_EQ(warmup_rows, 2u);
+  EXPECT_EQ(measure_rows, r.epochs);
+  std::remove(path.c_str());
+}
+
+/// Observer that logs "<tag>@<epoch>" into a shared journal.
+class TaggingObserver final : public EpochObserver {
+ public:
+  TaggingObserver(std::string tag, std::vector<std::string>* log)
+      : tag_(std::move(tag)), log_(log) {}
+  const char* name() const override { return tag_.c_str(); }
+  void on_epoch(SimSystem& sys, const EpochFeedback&) override {
+    log_->push_back(tag_ + "@" + std::to_string(sys.total_epochs()));
+  }
+  void on_drain(SimSystem&, Cycle) override { log_->push_back(tag_ + "@drain"); }
+
+ private:
+  std::string tag_;
+  std::vector<std::string>* log_;
+};
+
+TEST(SimSystem, ObserversFireInRegistrationOrder) {
+  const ExperimentConfig cfg = quick("C1", DesignSpec::baseline());
+  std::vector<std::string> log;
+  SimSystem sys(cfg);
+  sys.build();
+  sys.add_observer(std::make_unique<TaggingObserver>("first", &log));
+  sys.add_observer(std::make_unique<TaggingObserver>("second", &log));
+  sys.warmup(1);
+  sys.measure();
+  const ExperimentResult r = sys.drain();
+
+  // One (first, second) pair per epoch boundary — warmup and measure alike —
+  // plus one pair at drain, strictly in registration order.
+  ASSERT_EQ(log.size(), 2 * (1 + r.epochs) + 2);
+  for (u64 e = 0; e < 1 + r.epochs; ++e) {
+    EXPECT_EQ(log[2 * e], "first@" + std::to_string(e + 1));
+    EXPECT_EQ(log[2 * e + 1], "second@" + std::to_string(e + 1));
+  }
+  EXPECT_EQ(log[log.size() - 2], "first@drain");
+  EXPECT_EQ(log[log.size() - 1], "second@drain");
+}
+
+TEST(SimSystem, WarmupSweepBitIdenticalAcrossJobs) {
+  // The lifecycle must not disturb the sweep runner's determinism guarantee:
+  // warmed runs agree bit-for-bit at any worker count.
+  std::vector<ExperimentConfig> cfgs;
+  for (const char* combo : {"C1", "C2", "C3", "C5"}) {
+    ExperimentConfig cfg = quick(combo, DesignSpec::hydrogen_full());
+    cfg.warmup_epochs = 2;
+    cfgs.push_back(cfg);
+  }
+  SweepOptions serial;
+  serial.jobs = 1;
+  SweepOptions wide;
+  wide.jobs = 4;
+  const std::vector<SweepRun> a = run_sweep(cfgs, serial);
+  const std::vector<SweepRun> b = run_sweep(cfgs, wide);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_TRUE(a[i].ok) << a[i].error;
+    ASSERT_TRUE(b[i].ok) << b[i].error;
+    expect_bit_identical(a[i].result, b[i].result);
+  }
+}
+
+TEST(SimSystem, SoloRunsSkipIdleGeneratorsBitIdentically) {
+  // Solo runs no longer construct the idle side's synthetic generators; the
+  // address map (and therefore every simulated event) must not move.
+  for (const bool gpu_only : {false, true}) {
+    ExperimentConfig lean = quick("C1", DesignSpec::baseline());
+    lean.cpu_only = !gpu_only;
+    lean.gpu_only = gpu_only;
+    ExperimentConfig full = lean;
+    full.build_idle_generators = true;  // the historical construct-everything path
+    const ExperimentResult a = run_experiment(lean);
+    const ExperimentResult b = run_experiment(full);
+    expect_bit_identical(a, b);
+    EXPECT_EQ(a.fast_bytes, b.fast_bytes) << "memory layout moved";
+    EXPECT_EQ(a.slow_bytes, b.slow_bytes) << "memory layout moved";
+  }
+}
+
+TEST(SimSystem, WayPartFractionIsItsOwnKnob) {
+  // Satellite of the same PR: DesignSpec::waypart no longer piggybacks on
+  // hydrogen.fixed_cpu_capacity_frac.
+  const DesignSpec d = DesignSpec::waypart(0.5);
+  EXPECT_DOUBLE_EQ(d.cpu_way_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(d.hydrogen.fixed_cpu_capacity_frac, 0.75);  // untouched
+
+  // The knob must actually reach the policy: different fractions partition
+  // the fast ways differently, so the runs diverge.
+  const ExperimentResult a = run_experiment(quick("C1", DesignSpec::waypart(0.75)));
+  const ExperimentResult b = run_experiment(quick("C1", DesignSpec::waypart(0.25)));
+  EXPECT_TRUE(a.cpu_cycles != b.cpu_cycles || a.gpu_cycles != b.gpu_cycles ||
+              a.energy_pj != b.energy_pj);
+}
+
+}  // namespace
+}  // namespace h2

@@ -13,6 +13,8 @@
 //   throw                                -> sweep failure capture, no retry
 //   throw-transient                      -> sweep retry succeeds
 //   stall                                -> sweep watchdog timeout
+//   throw@epoch-observer                 -> capture of a throw fired from an
+//                                           epoch observer during warmup
 //
 // Each line reports PASS / FAIL / SKIP; exit status is 0 iff no class
 // FAILed, which makes this binary a ctest entry (see tools/CMakeLists.txt).
@@ -113,8 +115,9 @@ void expect_engine_check_detects(const std::string& spec, u64 seed) {
 }
 
 void expect_sweep_captures(const std::string& klass, const SweepOptions& opts,
-                           RunStatus want_status, u32 want_attempts, u64 seed) {
-  std::vector<ExperimentConfig> cfgs = {tiny_config(seed)};
+                           RunStatus want_status, u32 want_attempts,
+                           const ExperimentConfig& cfg) {
+  std::vector<ExperimentConfig> cfgs = {cfg};
   std::vector<SweepRun> runs;
   try {
     runs = run_sweep(cfgs, opts);
@@ -191,7 +194,7 @@ int main(int argc, char** argv) {
     opts.jobs = 1;
     opts.fault_spec = "throw";
     opts.max_retries = 1;  // must NOT be used: permanent failures don't retry
-    expect_sweep_captures("throw", opts, RunStatus::Failed, 1, ocfg.seed);
+    expect_sweep_captures("throw", opts, RunStatus::Failed, 1, tiny_config(ocfg.seed));
   }
   {
     SweepOptions opts;
@@ -199,14 +202,27 @@ int main(int argc, char** argv) {
     opts.fault_spec = "throw-transient:count=1";
     opts.max_retries = 1;
     opts.retry_backoff_ms = 1;
-    expect_sweep_captures("throw-transient", opts, RunStatus::Ok, 2, ocfg.seed);
+    expect_sweep_captures("throw-transient", opts, RunStatus::Ok, 2,
+                          tiny_config(ocfg.seed));
   }
   {
     SweepOptions opts;
     opts.jobs = 1;
     opts.fault_spec = "stall:for=30000";
     opts.run_timeout_seconds = 0.3;
-    expect_sweep_captures("stall", opts, RunStatus::TimedOut, 1, ocfg.seed);
+    expect_sweep_captures("stall", opts, RunStatus::TimedOut, 1, tiny_config(ocfg.seed));
+  }
+  {
+    // Same throw class, but armed so it fires inside a *warmup* epoch — the
+    // fault sites now live in an EpochObserver (harness/sim_system.cpp), and
+    // this entry proves the observer path still routes failures into the
+    // sweep's capture machinery after the lifecycle refactor.
+    SweepOptions opts;
+    opts.jobs = 1;
+    opts.fault_spec = "throw";
+    ExperimentConfig cfg = tiny_config(ocfg.seed);
+    cfg.warmup_epochs = 2;
+    expect_sweep_captures("throw@epoch-observer", opts, RunStatus::Failed, 1, cfg);
   }
 
   if (g_failures > 0) {

@@ -4,6 +4,14 @@
 //   h2sim <config.cfg> [more.cfg ...] [--out results.csv] [--print-config]
 //         [--jobs <n>] [--check <n>] [--run-timeout <sec>] [--retries <n>]
 //         [--strict] [--fault <spec>] [--journal <path>] [--resume]
+//         [--warmup-epochs <n>] [--timeline <path>] [--compiled-check-level]
+//
+// --warmup-epochs and --timeline override the corresponding config keys for
+// every config on the command line (sim.warmup_epochs / sim.timeline); with
+// multiple configs, each run's timeline lands at `<path>.<index>` so parallel
+// runs never share a file. --compiled-check-level prints the H2_CHECK level
+// this binary was compiled with and exits — CI uses it to prove that
+// recorded-number binaries were built with checks off.
 //
 // Each config file describes one experiment (see configs/*.cfg and
 // harness/config_loader.h for the key reference). Multiple configs run in
@@ -32,7 +40,9 @@ void usage() {
   std::cerr << "usage: h2sim <config.cfg> [more.cfg ...] [--out results.csv]"
                " [--print-config] [--jobs <n>] [--check <n>]"
                " [--run-timeout <sec>] [--retries <n>] [--strict]"
-               " [--fault <spec>] [--journal <path>] [--resume]\n";
+               " [--fault <spec>] [--journal <path>] [--resume]"
+               " [--warmup-epochs <n>] [--timeline <path>]"
+               " [--compiled-check-level]\n";
 }
 
 }  // namespace
@@ -48,12 +58,30 @@ int main(int argc, char** argv) {
   std::string fault_spec;
   std::string journal_path;
   bool resume = false;
+  bool have_warmup = false;
+  u32 warmup_epochs = 0;
+  std::string timeline_path;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--out" && i + 1 < argc) {
       out_path = argv[++i];
     } else if (a == "--print-config") {
       print_config = true;
+    } else if (a == "--compiled-check-level") {
+      std::cout << check::compiled_level() << "\n";
+      return 0;
+    } else if (a == "--warmup-epochs" && i + 1 < argc) {
+      const std::string v = argv[++i];
+      char* end = nullptr;
+      const long n = std::strtol(v.c_str(), &end, 10);
+      if (!end || *end != '\0' || v.empty() || n < 0) {
+        std::cerr << "--warmup-epochs expects a non-negative integer, got '" << v << "'\n";
+        return 2;
+      }
+      have_warmup = true;
+      warmup_epochs = static_cast<u32>(n);
+    } else if (a == "--timeline" && i + 1 < argc) {
+      timeline_path = argv[++i];
     } else if (a == "--run-timeout" && i + 1 < argc) {
       const std::string v = argv[++i];
       char* end = nullptr;
@@ -114,6 +142,13 @@ int main(int argc, char** argv) {
   cfgs.reserve(config_paths.size());
   for (const auto& path : config_paths) {
     cfgs.push_back(experiment_from_file(path));
+    if (have_warmup) cfgs.back().warmup_epochs = warmup_epochs;
+    if (!timeline_path.empty()) {
+      cfgs.back().timeline_path =
+          config_paths.size() == 1
+              ? timeline_path
+              : timeline_path + "." + std::to_string(cfgs.size() - 1);
+    }
     const ExperimentConfig& cfg = cfgs.back();
     if (print_config) {
       std::cout << "# " << path << ": combo=" << cfg.combo
