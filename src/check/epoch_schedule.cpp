@@ -1,0 +1,225 @@
+#include "check/epoch_schedule.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "hybridmem/policy.h"
+#include "hydrogen/hydrogen_policy.h"
+#include "hydrogen/setpart_policy.h"
+#include "policies/waypart.h"
+
+namespace h2 {
+
+namespace {
+
+const ScheduleStep kHold{};
+
+/// Strict base-10 u32 parse for point operands.
+u32 parse_u32(const std::string& text, const std::string& token) {
+  if (token.empty())
+    throw std::invalid_argument("schedule '" + text + "': empty number");
+  u64 v = 0;
+  for (char c : token) {
+    if (c < '0' || c > '9')
+      throw std::invalid_argument("schedule '" + text + "': '" + token +
+                                  "' is not a number");
+    v = v * 10 + static_cast<u64>(c - '0');
+    if (v > 0xFFFFFFFFull)
+      throw std::invalid_argument("schedule '" + text + "': '" + token +
+                                  "' overflows u32");
+  }
+  return static_cast<u32>(v);
+}
+
+ScheduleStep parse_op(const std::string& text, const std::string& op) {
+  ScheduleStep s;
+  if (op == "hold") {
+    s.op = ScheduleOp::Hold;
+  } else if (op == "grow") {
+    s.op = ScheduleOp::Grow;
+  } else if (op == "shrink") {
+    s.op = ScheduleOp::Shrink;
+  } else if (op == "bw+") {
+    s.op = ScheduleOp::BwUp;
+  } else if (op == "bw-") {
+    s.op = ScheduleOp::BwDown;
+  } else if (op == "tok+") {
+    s.op = ScheduleOp::TokUp;
+  } else if (op == "tok-") {
+    s.op = ScheduleOp::TokDown;
+  } else if (op.rfind("point=", 0) == 0) {
+    s.op = ScheduleOp::Point;
+    const std::string body = op.substr(6);
+    const size_t s1 = body.find('/');
+    const size_t s2 = s1 == std::string::npos ? std::string::npos : body.find('/', s1 + 1);
+    if (s1 == std::string::npos || s2 == std::string::npos)
+      throw std::invalid_argument("schedule '" + text + "': point op '" + op +
+                                  "' must be point=C/B/T");
+    s.cap = parse_u32(text, body.substr(0, s1));
+    s.bw = parse_u32(text, body.substr(s1 + 1, s2 - s1 - 1));
+    s.tok = parse_u32(text, body.substr(s2 + 1));
+  } else if (op.rfind("frac=", 0) == 0) {
+    s.op = ScheduleOp::Frac;
+    const std::string body = op.substr(5);
+    char* end = nullptr;
+    s.frac = std::strtod(body.c_str(), &end);
+    if (body.empty() || end == nullptr || *end != '\0' || s.frac < 0.0 || s.frac > 1.0)
+      throw std::invalid_argument("schedule '" + text + "': frac op '" + op +
+                                  "' needs a fraction in [0, 1]");
+  } else {
+    throw std::invalid_argument(
+        "schedule '" + text + "': unknown op '" + op +
+        "' (expected hold, grow, shrink, bw+, bw-, tok+, tok-, point=C/B/T "
+        "or frac=F)");
+  }
+  return s;
+}
+
+/// Hydrogen: step the active ParamPoint one knob at a time, clamped to the
+/// partition's legal ranges, then apply. apply_point reports change itself.
+bool apply_hydrogen(const ScheduleStep& step, HydrogenPolicy& hp) {
+  const DecoupledPartition& part = hp.partition();
+  const u32 tok_max = static_cast<u32>(hp.config().tok_levels.size()) - 1;
+  ParamPoint p = hp.active_point();
+  switch (step.op) {
+    case ScheduleOp::Hold:
+      return false;
+    case ScheduleOp::Grow:
+      p.cap = std::min(p.cap + 1, part.cap_max());
+      break;
+    case ScheduleOp::Shrink:
+      p.cap = std::max(p.cap, part.cap_min() + 1) - 1;
+      break;
+    case ScheduleOp::BwUp:
+      p.bw = std::min(p.bw + 1, part.bw_max());
+      break;
+    case ScheduleOp::BwDown:
+      p.bw = std::max(p.bw, part.bw_min() + 1) - 1;
+      break;
+    case ScheduleOp::TokUp:
+      p.tok = std::min(p.tok + 1, tok_max);
+      break;
+    case ScheduleOp::TokDown:
+      p.tok = p.tok > 0 ? p.tok - 1 : 0;
+      break;
+    case ScheduleOp::Point:
+      p.cap = std::clamp(step.cap, part.cap_min(), part.cap_max());
+      p.bw = std::clamp(step.bw, part.bw_min(), part.bw_max());
+      p.tok = std::min(step.tok, tok_max);
+      break;
+    case ScheduleOp::Frac:
+      p.cap = std::clamp(
+          static_cast<u32>(std::lround(step.frac * hp.assoc())),
+          part.cap_min(), part.cap_max());
+      break;
+  }
+  return hp.apply_point(p);
+}
+
+/// WayPart: only the capacity knob exists (coupled mapping), so bandwidth
+/// and token ops hold.
+bool apply_waypart(const ScheduleStep& step, WayPartPolicy& wp) {
+  switch (step.op) {
+    case ScheduleOp::Grow:
+      return wp.set_cpu_ways(wp.cpu_ways() + 1);
+    case ScheduleOp::Shrink:
+      return wp.set_cpu_ways(wp.cpu_ways() > 0 ? wp.cpu_ways() - 1 : 0);
+    case ScheduleOp::Point:
+      return wp.set_cpu_ways(step.cap);
+    case ScheduleOp::Frac:
+      return wp.set_cpu_ways(
+          static_cast<u32>(std::lround(step.frac * wp.assoc())));
+    default:
+      return false;
+  }
+}
+
+/// SetPart: one fraction knob; grow/shrink move it by a whole 0.10 slice so
+/// a step flips a visible number of sets (set_partition clamps internally).
+bool apply_setpart(const ScheduleStep& step, SetPartPolicy& sp) {
+  switch (step.op) {
+    case ScheduleOp::Grow:
+      return sp.set_partition(sp.cpu_set_frac() + 0.10);
+    case ScheduleOp::Shrink:
+      return sp.set_partition(sp.cpu_set_frac() - 0.10);
+    case ScheduleOp::Point:
+    case ScheduleOp::Frac:
+      return sp.set_partition(step.op == ScheduleOp::Frac
+                                  ? step.frac
+                                  : static_cast<double>(step.cap) /
+                                        std::max(1u, sp.assoc()));
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+const ScheduleStep& EpochSchedule::at(u64 epoch) const {
+  if (steps.empty()) return kHold;
+  return steps[epoch % steps.size()];
+}
+
+EpochSchedule parse_schedule(const std::string& text) {
+  EpochSchedule sched;
+  size_t from = 0;
+  while (from <= text.size()) {
+    const size_t comma = text.find(',', from);
+    const std::string op =
+        text.substr(from, comma == std::string::npos ? comma : comma - from);
+    if (op.empty())
+      throw std::invalid_argument("schedule '" + text + "': empty op");
+    sched.steps.push_back(parse_op(text, op));
+    if (comma == std::string::npos) break;
+    from = comma + 1;
+  }
+  return sched;
+}
+
+std::string to_string(const ScheduleStep& step) {
+  switch (step.op) {
+    case ScheduleOp::Hold: return "hold";
+    case ScheduleOp::Grow: return "grow";
+    case ScheduleOp::Shrink: return "shrink";
+    case ScheduleOp::BwUp: return "bw+";
+    case ScheduleOp::BwDown: return "bw-";
+    case ScheduleOp::TokUp: return "tok+";
+    case ScheduleOp::TokDown: return "tok-";
+    case ScheduleOp::Point:
+      return "point=" + std::to_string(step.cap) + "/" + std::to_string(step.bw) +
+             "/" + std::to_string(step.tok);
+    case ScheduleOp::Frac: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "frac=%g", step.frac);
+      return buf;
+    }
+  }
+  return "hold";
+}
+
+std::string to_string(const EpochSchedule& sched) {
+  std::string out;
+  for (size_t i = 0; i < sched.steps.size(); ++i) {
+    if (i) out += ',';
+    out += to_string(sched.steps[i]);
+  }
+  return out;
+}
+
+bool apply_schedule_step(const ScheduleStep& step, PartitionPolicy& policy) {
+  if (step.op == ScheduleOp::Hold) return false;
+  if (auto* hp = dynamic_cast<HydrogenPolicy*>(&policy)) {
+    return apply_hydrogen(step, *hp);
+  }
+  if (auto* wp = dynamic_cast<WayPartPolicy*>(&policy)) {
+    return apply_waypart(step, *wp);
+  }
+  if (auto* sp = dynamic_cast<SetPartPolicy*>(&policy)) {
+    return apply_setpart(step, *sp);
+  }
+  return false;  // baseline / hashcache / profess: nothing to reconfigure
+}
+
+}  // namespace h2

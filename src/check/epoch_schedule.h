@@ -1,0 +1,84 @@
+// Scripted epoch schedules: a tiny op language for driving partition
+// reconfigurations deterministically from outside a policy's own search.
+//
+// The differential oracle (check/oracle.h), the SimSystem harness (the
+// `sim.reconfig_schedule` config key) and the reconfiguration test battery
+// all need the same thing: a reproducible sequence of partition changes —
+// grows, shrinks, bandwidth shifts, oscillations — that can be applied
+// bit-identically to two independent policy instances. A schedule is a
+// comma-separated op list; epoch i applies op i mod len, so short schedules
+// describe infinite oscillations ("shrink,grow" flips the partition back
+// and forth forever).
+//
+// Grammar (parse_schedule):
+//   schedule := op ("," op)*
+//   op       := "hold"                 no change this epoch
+//             | "grow"  | "shrink"     capacity knob +-1 (ways or set slice)
+//             | "bw+"   | "bw-"        bandwidth knob +-1 (hydrogen only)
+//             | "tok+"  | "tok-"       token-level knob +-1 (hydrogen only)
+//             | "point=C/B/T"          absolute hydrogen (cap, bw, tok)
+//             | "frac=F"               absolute capacity fraction in [0, 1]
+//
+// Ops are design-relative: each step reads the policy's *current* state and
+// moves one knob, clamped to the design's legal range, so the same schedule
+// is meaningful for hydrogen (ParamPoint steps), waypart (cpu-way steps) and
+// hydrogen-setpart (set-fraction steps in 0.10 increments). Designs without
+// a reconfigurable partition (baseline, hashcache, profess) treat every op
+// as `hold`. Because the target is computed from the policy's own state, two
+// policies with identical histories make bit-identical transitions — the
+// property the differential oracle relies on.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace h2 {
+
+class PartitionPolicy;
+
+enum class ScheduleOp : u8 {
+  Hold,
+  Grow,
+  Shrink,
+  BwUp,
+  BwDown,
+  TokUp,
+  TokDown,
+  Point,
+  Frac,
+};
+
+struct ScheduleStep {
+  ScheduleOp op = ScheduleOp::Hold;
+  u32 cap = 0, bw = 0, tok = 0;  ///< Point operands
+  double frac = 0.0;             ///< Frac operand
+};
+
+struct EpochSchedule {
+  std::vector<ScheduleStep> steps;
+
+  bool empty() const { return steps.empty(); }
+  /// The op for epoch `epoch` (0-based). Schedules wrap, so a two-op
+  /// schedule oscillates; an empty schedule holds forever.
+  const ScheduleStep& at(u64 epoch) const;
+};
+
+/// Parses the grammar above. Throws std::invalid_argument naming the
+/// offending op on any syntax error.
+EpochSchedule parse_schedule(const std::string& text);
+
+/// Canonical round-trip forms (parse_schedule(to_string(s)) == s); the fuzz
+/// tests use them to report a failing schedule reproducibly.
+std::string to_string(const ScheduleStep& step);
+std::string to_string(const EpochSchedule& sched);
+
+/// Applies one step to `policy`, dispatching on its concrete design:
+/// hydrogen steps its active ParamPoint, waypart its cpu-way count, setpart
+/// its set fraction (+-0.10 per grow/shrink); everything else holds. All
+/// targets are clamped to the design's legal range. Returns true iff the
+/// partition actually changed (i.e. lazy fixups are now due somewhere).
+bool apply_schedule_step(const ScheduleStep& step, PartitionPolicy& policy);
+
+}  // namespace h2

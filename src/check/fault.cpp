@@ -13,6 +13,7 @@ namespace {
 constexpr const char* kKindNames[kNumKinds] = {
     "remap-flip", "dup-tag", "drop-writeback", "time-skew",
     "cursor-skew", "throw",   "throw-transient", "stall",
+    "lazy-skip",  "alloc-stuck",
 };
 
 /// Strict base-10 u64 parse; throws on empty, non-digit, or overflow.

@@ -18,7 +18,7 @@
 // Spec grammar (parse_spec):
 //   <kind>[:key=value[,key=value...]]
 //   kinds  remap-flip | dup-tag | drop-writeback | time-skew | cursor-skew
-//          | throw | throw-transient | stall
+//          | throw | throw-transient | stall | lazy-skip | alloc-stuck
 //   keys   after=N   skip the first N visits to matching sites (default 0)
 //          count=N   fire at most N times; 0 = unlimited     (default 1)
 //          seed=N    recorded for reproducibility bookkeeping (default 0)
@@ -41,6 +41,8 @@ namespace h2::fault {
 ///   Throw          synthetic permanent failure            -> sweep capture
 ///   ThrowTransient synthetic transient failure            -> sweep retry
 ///   Stall          busy-sleep inside the run              -> sweep watchdog
+///   LazySkip       drop a *due* lazy reconfiguration fixup-> epoch oracle
+///   AllocStuck     the per-way alloc bit is never written  -> epoch oracle
 enum class Kind : std::uint8_t {
   RemapFlip,
   DupTag,
@@ -50,9 +52,11 @@ enum class Kind : std::uint8_t {
   Throw,
   ThrowTransient,
   Stall,
+  LazySkip,
+  AllocStuck,
 };
 
-inline constexpr int kNumKinds = 8;
+inline constexpr int kNumKinds = 10;
 
 /// Spec-grammar name of a kind ("remap-flip", ...).
 const char* kind_name(Kind k);

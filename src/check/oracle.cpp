@@ -3,9 +3,11 @@
 #include <cstdio>
 #include <map>
 #include <memory>
+#include <set>
 #include <stdexcept>
 #include <tuple>
 
+#include "check/epoch_schedule.h"
 #include "common/rng.h"
 #include "harness/config_loader.h"
 #include "harness/sim_system.h"
@@ -22,6 +24,10 @@ namespace {
 
 constexpr u32 kLineBytes = 64;
 
+/// The default epoch schedule: oscillates capacity (lazy invalidations) and
+/// bandwidth (lazy moves), returning to the initial partition every 4 epochs.
+constexpr const char* kDefaultSchedule = "shrink,bw+,grow,bw-";
+
 /// One pre-materialised demand access, fed identically to both sides.
 struct Step {
   Cycle now;
@@ -31,18 +37,19 @@ struct Step {
 };
 
 /// Builds a policy through the harness-wide factory (harness/sim_system.h),
-/// so the oracle exercises the exact wiring the simulator uses. Epoch-free
-/// replay: the climber and token faucet run on their defaults and never
-/// reconfigure (run_oracle drives no epochs), so the partition is stable
-/// while swaps and token-gated migrations stay live. The oracle supports a
+/// so the oracle exercises the exact wiring the simulator uses. Without
+/// epochs the climber and token faucet run on their defaults and never
+/// reconfigure; with epochs > 0, run_oracle feeds both sides identical
+/// EpochFeedback and scripted schedule steps, so the partitions move in
+/// lockstep and the lazy-fixup machinery goes live. The oracle supports a
 /// subset of the designs (the ones whose mechanism paths RefModel mirrors),
 /// validated here before design_from_name, which aborts on unknown names.
 std::unique_ptr<PartitionPolicy> oracle_policy(const std::string& design, u64 seed) {
-  if (design != "baseline" && design != "hashcache" && design != "hydrogen" &&
-      design != "hydrogen-setpart") {
+  if (design != "baseline" && design != "waypart" && design != "hashcache" &&
+      design != "hydrogen" && design != "hydrogen-setpart") {
     throw std::invalid_argument(
         "oracle: unknown design '" + design +
-        "' (expected baseline, hashcache, hydrogen or hydrogen-setpart)");
+        "' (expected baseline, waypart, hashcache, hydrogen or hydrogen-setpart)");
   }
   DesignSpec spec = design_from_name(design);
   spec.hydrogen.seed = seed;
@@ -55,10 +62,10 @@ std::unique_ptr<PartitionPolicy> oracle_policy(const std::string& design, u64 se
 /// instances so a state leak in the full stack cannot hide by being
 /// mirrored. Policies are stateful (token buckets, reuse filters, swap
 /// heuristics reading the attached table), so the model makes *exactly* the
-/// same policy calls in the same order as HybridMemory::access does.
-///
-/// Scope: no epoch reconfiguration is driven, so the lazy-fixup machinery is
-/// a structural no-op and is not mirrored.
+/// same policy calls in the same order as HybridMemory::access does — and,
+/// since the epoch-driven extension, mirrors the full lazy-reconfiguration
+/// semantics: the per-way alloc bit, deferred invalidation of misplaced
+/// blocks (dirty data written back first) and deferred channel moves.
 class RefModel {
  public:
   RefModel(const HybridMemConfig& cfg, u32 n_super, u32 n_slow, u64 slow_block,
@@ -77,7 +84,8 @@ class RefModel {
 
   struct SideStats {
     u64 demand = 0, fast_hits = 0, chain_hits = 0, misses = 0, migrations = 0,
-        bypasses = 0, dirty_writebacks = 0, fast_swaps = 0, meta_misses = 0;
+        bypasses = 0, dirty_writebacks = 0, fast_swaps = 0, meta_misses = 0,
+        lazy_invalidations = 0, lazy_moves = 0, flush_invalidations = 0;
   };
 
   void access(const Step& s) {
@@ -120,10 +128,19 @@ class RefModel {
     serve_miss(ctx);
   }
 
+  /// Epoch boundary: the same feedback, then the same scripted step, that
+  /// run_oracle delivers to the full side. Both policies are deterministic
+  /// machines, so identical inputs give bit-identical partition decisions.
+  void on_epoch(const EpochFeedback& fb, const ScheduleStep& step) {
+    policy_->on_epoch(fb);
+    if (apply_schedule_step(step, *policy_)) flush_stale_sets();
+  }
+
   const SideStats& stats(Requestor r) const { return stats_[static_cast<u32>(r)]; }
   u64 fast_reqs(u32 ch) const { return fast_reqs_[ch]; }
   u64 slow_reqs(u32 ch) const { return slow_reqs_[ch]; }
   const RemapTable& table() const { return table_; }
+  const PartitionPolicy& policy() const { return *policy_; }
 
  private:
   u32 full_mask() const {
@@ -162,8 +179,8 @@ class RefModel {
   }
 
   /// Mirrors HybridMemory::do_fast_swap: two reads + two writes on the
-  /// *pre-swap* channels, block state (not recency) swapped, channels
-  /// reattached to the ways.
+  /// *pre-swap* channels, block state (not recency) swapped, channels and
+  /// owner bits reattached to the ways.
   void do_swap(const PolicyContext& ctx, u32 set, u32 way_a, u32 way_b) {
     RemapWay& a = table_.way(set, way_a);
     RemapWay& b = table_.way(set, way_b);
@@ -178,13 +195,80 @@ class RefModel {
     std::swap(a.present, b.present);
     a.channel = static_cast<u8>(policy_->channel_of_way(set, way_a));
     b.channel = static_cast<u8>(policy_->channel_of_way(set, way_b));
+    a.owner_cpu = policy_->way_owner(set, way_a) == Requestor::Cpu;
+    b.owner_cpu = policy_->way_owner(set, way_b) == Requestor::Cpu;
     stats_[static_cast<u32>(ctx.cls)].fast_swaps++;
+  }
+
+  /// Mirrors HybridMemory::lazy_fixups (sans fault sites): a hit in a way
+  /// whose recorded owner no longer matches the policy is invalidated after
+  /// the access (dirty data written back to the slow tier first); same owner
+  /// on a moved channel relocates lazily (one fast read + one fast write).
+  /// Returns true when the entry was invalidated, in which case the caller
+  /// serves the demand line from the slow tier.
+  bool lazy_fixups(const PolicyContext& ctx, u32 way) {
+    RemapWay& rw = table_.way(ctx.set, way);
+    SideStats& st = stats_[static_cast<u32>(ctx.cls)];
+    const bool want_cpu = policy_->way_owner(ctx.set, way) == Requestor::Cpu;
+    if (rw.owner_cpu != want_cpu) {
+      if (rw.dirty) {
+        const Addr wb = rw.tag * cfg_.block_bytes;
+        slow_reqs_[static_cast<u32>((wb / slow_block_) % slow_reqs_.size())]++;
+        st.dirty_writebacks++;
+      }
+      rw.valid = false;
+      rw.dirty = false;
+      rw.tag = kInvalidTag;
+      rw.owner_cpu = want_cpu;
+      st.lazy_invalidations++;
+      return true;
+    }
+    const u8 want_ch = static_cast<u8>(policy_->channel_of_way(ctx.set, way));
+    if (rw.channel != want_ch && rw.valid) {
+      fast_reqs_[rw.channel]++;
+      fast_reqs_[want_ch]++;
+      rw.channel = want_ch;
+      st.lazy_moves++;
+    }
+    return false;
+  }
+
+  /// Mirrors HybridMemory::flush_stale_sets: blocks stranded by a set
+  /// repartition are unreachable and must be evicted eagerly (dirty data
+  /// written back), unlike way-ownership changes which repair lazily.
+  void flush_stale_sets() {
+    if (cfg_.chaining) return;
+    for (u32 set = 0; set < table_.num_sets(); ++set) {
+      for (u32 w = 0; w < table_.assoc(); ++w) {
+        RemapWay& rw = table_.way(set, w);
+        if (!rw.valid) continue;
+        const Requestor cls = rw.owner_cpu ? Requestor::Cpu : Requestor::Gpu;
+        const u32 natural = static_cast<u32>(rw.tag % table_.num_sets());
+        if (policy_->remap_set(natural, cls) == set) continue;
+        SideStats& st = stats_[static_cast<u32>(cls)];
+        if (rw.dirty) {
+          const Addr wb = rw.tag * cfg_.block_bytes;
+          slow_reqs_[static_cast<u32>((wb / slow_block_) % slow_reqs_.size())]++;
+          st.dirty_writebacks++;
+        }
+        rw.valid = false;
+        rw.dirty = false;
+        rw.tag = kInvalidTag;
+        st.flush_invalidations++;
+      }
+    }
   }
 
   void serve_hit(const PolicyContext& ctx, u32 way, bool chained) {
     SideStats& st = stats_[static_cast<u32>(ctx.cls)];
     st.fast_hits++;
     if (chained) st.chain_hits++;
+    if (lazy_fixups(ctx, way)) {
+      // The lazy fixup invalidated the block; the demand line falls back to
+      // the slow tier (it will be re-migrated on a future miss).
+      slow_reqs_[ctx.slow_channel]++;
+      return;
+    }
     RemapWay& rw = table_.way(ctx.set, way);
     fast_reqs_[rw.channel]++;  // 64 B demand line
     if (ctx.is_write) rw.dirty = true;
@@ -271,6 +355,19 @@ std::map<std::pair<u32, u64>, std::pair<u32, bool>> table_residency(
   return r;
 }
 
+/// Remap bijection: no block may be resident in two ways at once. Returns
+/// the duplicated tag, or kInvalidTag when the table is a bijection.
+u64 first_duplicate_tag(const RemapTable& t) {
+  std::set<u64> seen;
+  for (u32 set = 0; set < t.num_sets(); ++set) {
+    for (u32 w = 0; w < t.assoc(); ++w) {
+      const RemapWay& rw = t.way(set, w);
+      if (rw.valid && !seen.insert(rw.tag).second) return rw.tag;
+    }
+  }
+  return kInvalidTag;
+}
+
 }  // namespace
 
 OracleReport run_oracle(const OracleConfig& ocfg) {
@@ -278,6 +375,17 @@ OracleReport run_oracle(const OracleConfig& ocfg) {
   report.cpu_workload = ocfg.cpu_workload;
   report.design = ocfg.design;
   report.accesses = ocfg.accesses;
+
+  auto diff_u64 = [&report](const std::string& what, u64 sim, u64 oracle) {
+    report.quantities++;
+    if (sim != oracle) {
+      char buf[256];
+      std::snprintf(buf, sizeof(buf), "%s: simulator=%llu oracle=%llu",
+                    what.c_str(), static_cast<unsigned long long>(sim),
+                    static_cast<unsigned long long>(oracle));
+      report.diffs.push_back(buf);
+    }
+  };
 
   // Geometry: a scaled-down two-tier system, small enough that the replay
   // churns the fast tier (misses, migrations, writebacks all exercised).
@@ -298,6 +406,13 @@ OracleReport run_oracle(const OracleConfig& ocfg) {
   HybridMemory hm(hm_cfg, &mem, sim_policy.get());
   RefModel ref(hm_cfg, mem.num_fast_superchannels(), mem.num_slow_channels(),
                mem_cfg.block_bytes, std::move(ref_policy));
+
+  // The scripted reconfiguration sequence (parsed up front so a malformed
+  // schedule fails fast, before any simulation work).
+  const EpochSchedule schedule = parse_schedule(
+      ocfg.schedule.empty() ? kDefaultSchedule : ocfg.schedule);
+  const u64 epoch_steps =
+      ocfg.epochs > 0 ? std::max<u64>(1, ocfg.accesses / (ocfg.epochs + 1)) : 0;
 
   // Materialise one interleaved access sequence and feed it, bit-identically,
   // to both sides. The GPU side is twice as intense as the CPU side, matching
@@ -322,6 +437,14 @@ OracleReport run_oracle(const OracleConfig& ocfg) {
                          cpu ? Requestor::Cpu : Requestor::Gpu, a.write});
   }
 
+  // Cumulative-counter snapshots differenced into the synthesized
+  // EpochFeedback (mirrors SimSystem::on_epoch_boundary's delta logic; the
+  // instruction surrogate only feeds the policies' smoothed estimates, and
+  // both sides receive the identical value).
+  u64 prev_cpu_hits = 0, prev_gpu_hits = 0;
+  u64 prev_cpu_miss = 0, prev_gpu_miss = 0, prev_gpu_migr = 0;
+  u64 epoch_idx = 0;
+
   const bool dbg = std::getenv("H2_ORACLE_DEBUG") != nullptr;
   for (size_t si = 0; si < steps.size(); ++si) {
     const Step& s = steps[si];
@@ -330,9 +453,10 @@ OracleReport run_oracle(const OracleConfig& ocfg) {
     if (dbg && table_residency(hm.table()) != table_residency(ref.table())) {
       const u64 tag = s.addr / hm_cfg.block_bytes;
       std::fprintf(stderr,
-                   "first residency divergence at step %zu: %s %s addr=%llu "
-                   "tag=%llu set=%llu\n",
-                   si, s.cls == Requestor::Cpu ? "cpu" : "gpu",
+                   "first residency divergence at step %zu (epoch %llu): %s %s "
+                   "addr=%llu tag=%llu set=%llu\n",
+                   si, static_cast<unsigned long long>(epoch_idx),
+                   s.cls == Requestor::Cpu ? "cpu" : "gpu",
                    s.write ? "write" : "read",
                    static_cast<unsigned long long>(s.addr),
                    static_cast<unsigned long long>(tag),
@@ -357,18 +481,76 @@ OracleReport run_oracle(const OracleConfig& ocfg) {
       }
       break;
     }
-  }
 
-  auto diff_u64 = [&report](const std::string& what, u64 sim, u64 oracle) {
-    report.quantities++;
-    if (sim != oracle) {
-      char buf[256];
-      std::snprintf(buf, sizeof(buf), "%s: simulator=%llu oracle=%llu",
-                    what.c_str(), static_cast<unsigned long long>(sim),
-                    static_cast<unsigned long long>(oracle));
-      report.diffs.push_back(buf);
+    // Epoch boundary: identical feedback, then the identical scripted step,
+    // to both sides; then the per-epoch conserved quantities are diffed.
+    if (epoch_steps > 0 && epoch_idx < ocfg.epochs &&
+        si + 1 == (epoch_idx + 1) * epoch_steps) {
+      const HybridStats& sc = hm.stats(Requestor::Cpu);
+      const HybridStats& sg = hm.stats(Requestor::Gpu);
+      EpochFeedback fb;
+      fb.now = s.now + 1;  // strictly increasing, before the next access
+      fb.epoch_cycles = epoch_steps * ocfg.cycle_gap;
+      fb.cpu_instructions = (sc.fast_hits - prev_cpu_hits) * 4;
+      fb.gpu_instructions = (sg.fast_hits - prev_gpu_hits) * 4;
+      fb.weighted_ipc =
+          (12.0 * static_cast<double>(fb.cpu_instructions) +
+           static_cast<double>(fb.gpu_instructions)) /
+          static_cast<double>(fb.epoch_cycles);
+      fb.cpu_misses = sc.misses - prev_cpu_miss;
+      fb.gpu_misses = sg.misses - prev_gpu_miss;
+      fb.gpu_migrations = sg.migrations - prev_gpu_migr;
+      prev_cpu_hits = sc.fast_hits;
+      prev_gpu_hits = sg.fast_hits;
+      prev_cpu_miss = sc.misses;
+      prev_gpu_miss = sg.misses;
+      prev_gpu_migr = sg.migrations;
+
+      const ScheduleStep& op = schedule.at(epoch_idx);
+      sim_policy->on_epoch(fb);
+      if (apply_schedule_step(op, *sim_policy)) hm.flush_stale_sets(fb.now);
+      ref.on_epoch(fb, op);
+
+      const std::string tagp =
+          "epoch " + std::to_string(epoch_idx) + " (" + to_string(op) + ") ";
+
+      // Reconfiguration is lazy: the boundary itself moves no data, so the
+      // residency snapshots must still agree — and each table must remain a
+      // bijection after the partition change.
+      report.quantities++;
+      if (table_residency(hm.table()) != table_residency(ref.table())) {
+        report.diffs.push_back(tagp + "residency snapshot differs");
+      }
+      report.quantities++;
+      if (const u64 dup = first_duplicate_tag(hm.table()); dup != kInvalidTag) {
+        report.diffs.push_back(tagp + "simulator remap not a bijection (tag " +
+                               std::to_string(dup) + " resident twice)");
+      }
+      report.quantities++;
+      if (const u64 dup = first_duplicate_tag(ref.table()); dup != kInvalidTag) {
+        report.diffs.push_back(tagp + "oracle remap not a bijection (tag " +
+                               std::to_string(dup) + " resident twice)");
+      }
+      if (ocfg.design == "hydrogen") {
+        const auto& sp = static_cast<const HydrogenPolicy&>(*sim_policy);
+        const auto& rp = static_cast<const HydrogenPolicy&>(ref.policy());
+        report.quantities++;
+        if (!(sp.active_point() == rp.active_point())) {
+          char buf[160];
+          std::snprintf(buf, sizeof(buf),
+                        "%sactive point differs: simulator (%u,%u,%u) vs "
+                        "oracle (%u,%u,%u)",
+                        tagp.c_str(), sp.active_point().cap,
+                        sp.active_point().bw, sp.active_point().tok,
+                        rp.active_point().cap, rp.active_point().bw,
+                        rp.active_point().tok);
+          report.diffs.push_back(buf);
+        }
+      }
+      epoch_idx++;
     }
-  };
+  }
+  report.epochs = epoch_idx;
 
   for (u32 i = 0; i < 2; ++i) {
     const Requestor r = static_cast<Requestor>(i);
@@ -384,6 +566,11 @@ OracleReport run_oracle(const OracleConfig& ocfg) {
     diff_u64(who + " dirty_writebacks", s.dirty_writebacks, o.dirty_writebacks);
     diff_u64(who + " fast_swaps", s.fast_swaps, o.fast_swaps);
     diff_u64(who + " meta_misses", s.meta_misses, o.meta_misses);
+    diff_u64(who + " lazy_invalidations", s.lazy_invalidations,
+             o.lazy_invalidations);
+    diff_u64(who + " lazy_moves", s.lazy_moves, o.lazy_moves);
+    diff_u64(who + " flush_invalidations", s.flush_invalidations,
+             o.flush_invalidations);
   }
 
   for (u32 ch = 0; ch < mem.num_fast_superchannels(); ++ch) {

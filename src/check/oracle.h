@@ -9,20 +9,38 @@
 // ordering, its own policy instance), then diffs *conserved quantities*
 // rather than timing:
 //   - per-requestor demand/hit/miss/migration/bypass/writeback counters,
+//     including the lazy-reconfiguration counters (lazy_invalidations and
+//     lazy_moves),
 //   - per-channel request counts in both tiers (including metadata fills),
-//   - the final remapped-set residency (set, tag, channel, dirty).
+//   - the final remapped-set residency (set, tag, channel, dirty),
+//   - with epochs > 0: a per-epoch residency snapshot, a remap-bijection
+//     scan of both tables after every reconfiguration, and (for hydrogen)
+//     agreement on the active parameter point.
 //
 // Both sides are driven with a flat synthetic clock (fixed cycle gap), so
 // policy decisions that read `now` (token faucets) are bit-identical; any
 // divergence is therefore a real accounting bug in the mechanism, not a
 // modelling difference.
 //
-// Supported designs: "baseline", "hydrogen-setpart", "hashcache" (chained
-// pseudo-associative lookup and insertion, reuse-filtered migration) and
-// "hydrogen" (dedicated-way partitioning, token-gated migration, CPU-spill
-// swaps). Between them they cover identity and non-identity set remapping,
-// chaining, swaps, and stateful migration gating; only epoch reconfiguration
-// (the lazy-fixup machinery) is out of scope, because no epochs are driven.
+// Epoch-driven replay: with `epochs` > 0 the replay is cut into epochs + 1
+// equal slices and, at each boundary, both sides receive the *same*
+// synthesized EpochFeedback (their policies — hill climbers, token-budget
+// resizing — therefore make bit-identical decisions) followed by the same
+// scripted ScheduleStep (check/epoch_schedule.h). Partition changes are
+// deliberately left to the lazy path: the reference model mirrors the full
+// lazy-reconfiguration semantics — the per-way side assignment (`alloc`
+// bit), deferred invalidation of misplaced blocks (dirty data written back
+// first) and deferred channel moves on next touch — so the machinery the
+// paper's Section IV-D describes finally has an independent reference.
+//
+// Supported designs: "baseline", "waypart" (coupled static way partition),
+// "hydrogen-setpart" (page-coloured set partition), "hashcache" (chained
+// pseudo-associative lookup and insertion) and "hydrogen" (dedicated-way
+// partitioning, token-gated migration, CPU-spill swaps). Between them they
+// cover identity and non-identity set remapping, chaining, swaps, stateful
+// migration gating, and — under an epoch schedule — every lazy-fixup flavour
+// (hashcache's constant owner function doubles as the control: its epochs
+// must produce no fixups at all).
 #pragma once
 
 #include <string>
@@ -35,25 +53,36 @@ namespace h2 {
 struct OracleConfig {
   std::string cpu_workload = "gcc";
   std::string gpu_workload = "backprop";
-  /// "baseline", "hydrogen-setpart", "hashcache" or "hydrogen".
+  /// "baseline", "waypart", "hydrogen-setpart", "hashcache" or "hydrogen".
   std::string design = "baseline";
   u64 accesses = 120'000;           ///< interleaved CPU+GPU demand accesses
   u64 seed = 42;
   Cycle cycle_gap = 5;              ///< flat synthetic clock step per access
   u64 footprint_div = 8;            ///< workload footprint scale-down
+  /// Epoch boundaries to drive through the replay (0 = stable partition,
+  /// the historical epoch-free mode). Boundary i applies schedule op
+  /// i mod len to both sides after delivering identical EpochFeedback.
+  u64 epochs = 0;
+  /// Schedule text (check/epoch_schedule.h grammar). Empty with epochs > 0
+  /// selects the default oscillation "shrink,bw+,grow,bw-", which exercises
+  /// both lazy flavours (invalidations and moves) and returns to the initial
+  /// partition every four epochs.
+  std::string schedule;
 };
 
 struct OracleReport {
   std::string cpu_workload;
   std::string design;
   u64 accesses = 0;
+  u64 epochs = 0;                   ///< epoch boundaries actually driven
   u64 quantities = 0;               ///< conserved quantities compared
   std::vector<std::string> diffs;   ///< human-readable mismatches (empty = ok)
   bool ok() const { return diffs.empty(); }
 };
 
 /// Runs the differential replay. Throws std::invalid_argument for unknown
-/// design names (unknown workload names abort inside the workload table).
+/// design names or malformed schedules (unknown workload names abort inside
+/// the workload table).
 OracleReport run_oracle(const OracleConfig& cfg);
 
 }  // namespace h2

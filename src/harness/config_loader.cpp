@@ -51,6 +51,7 @@ ExperimentConfig experiment_from_config(const ConfigFile& cfg) {
   ec.trace_dir = cfg.get_string("sim.trace_dir", "");
   ec.warmup_epochs = static_cast<u32>(cfg.get_int("sim.warmup_epochs", 0));
   ec.timeline_path = cfg.get_string("sim.timeline", "");
+  ec.reconfig_schedule = cfg.get_string("sim.reconfig_schedule", "");
 
   // --- hybrid memory geometry ----------------------------------------------
   ec.assoc = static_cast<u32>(cfg.get_int("hybrid.assoc", 4));

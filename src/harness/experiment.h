@@ -77,6 +77,12 @@ struct ExperimentConfig {
   /// warmup and measure phases tagged) is written here — the `--timeline`
   /// flag of h2sim and the benches. See harness/sim_system.h.
   std::string timeline_path;
+  /// If non-empty, a scripted reconfiguration schedule in the
+  /// check/epoch_schedule.h grammar (e.g. "shrink,bw+,grow,bw-"): epoch
+  /// boundary i applies op i mod len to the partition policy, after the
+  /// policy's own on_epoch adaptation. Part of config_key — two runs that
+  /// differ only in schedule never share journal entries.
+  std::string reconfig_schedule;
 
   bool cpu_only = false;  ///< Fig. 2(a) "running alone" runs
   bool gpu_only = false;

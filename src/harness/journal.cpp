@@ -229,6 +229,7 @@ std::string config_key(const ExperimentConfig& cfg) {
   u(cfg.gpu_only);
   u(cfg.seed);
   s(cfg.trace_dir);
+  s(cfg.reconfig_schedule);
 
   const SystemConfig& sys = cfg.sys;
   u(sys.cpu_cores);

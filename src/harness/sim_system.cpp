@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "check/check.h"
+#include "check/epoch_schedule.h"
 #include "check/fault.h"
 #include "common/assert.h"
 #include "hydrogen/setpart_policy.h"
@@ -77,6 +78,36 @@ class PolicyAdaptObserver final : public EpochObserver {
       sys.hybrid().run_instant_reconfig();
     }
   }
+};
+
+/// Applies a scripted reconfiguration schedule (check/epoch_schedule.h):
+/// boundary i steps the policy by op i mod len, after PolicyAdaptObserver
+/// has delivered the epoch feedback — the same ordering the differential
+/// oracle uses, so an oracle-replayed schedule and a SimSystem run move the
+/// partition through identical states. Honors instant_reconfig (Fig. 7(b));
+/// otherwise the change propagates through the lazy-fixup path.
+class ScheduleObserver final : public EpochObserver {
+ public:
+  explicit ScheduleObserver(const std::string& text)
+      : schedule_(parse_schedule(text)) {}
+
+  const char* name() const override { return "reconfig-schedule"; }
+
+  void on_epoch(SimSystem& sys, const EpochFeedback& fb) override {
+    const bool changed = apply_schedule_step(schedule_.at(idx_++), sys.policy());
+    if (!changed) return;
+    if (sys.hybrid().config().instant_reconfig) {
+      sys.hybrid().run_instant_reconfig();
+    }
+    // Set-granular repartitions strand blocks in now-unreachable sets; the
+    // eager flush sweep keeps the residency bijection intact (no-op for
+    // way-partitioned designs).
+    sys.hybrid().flush_stale_sets(fb.now);
+  }
+
+ private:
+  EpochSchedule schedule_;
+  u64 idx_ = 0;
 };
 
 /// Cheap O(1) counter-conservation audit at each epoch boundary; the full
@@ -302,6 +333,9 @@ void SimSystem::build() {
   // Default observers, in the order the old epoch lambda ran these duties.
   observers_.push_back(std::make_unique<FaultSiteObserver>());
   observers_.push_back(std::make_unique<PolicyAdaptObserver>());
+  if (!cfg_.reconfig_schedule.empty()) {
+    observers_.push_back(std::make_unique<ScheduleObserver>(cfg_.reconfig_schedule));
+  }
   observers_.push_back(std::make_unique<CheckAuditObserver>());
   if (!cfg_.timeline_path.empty()) {
     observers_.push_back(std::make_unique<TimelineObserver>(cfg_.timeline_path));

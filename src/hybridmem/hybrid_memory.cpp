@@ -92,7 +92,11 @@ void HybridMemory::fill_way(u32 set, u32 way, u64 tag, bool dirty, Requestor cls
   rw.dirty = dirty;
   rw.present = present_mask & full_mask();
   rw.channel = static_cast<u8>(policy_->channel_of_way(set, way));
-  rw.owner_cpu = policy_->way_owner(set, way) == Requestor::Cpu;
+  // Fault site `alloc-stuck` (check/fault.h): the alloc bit keeps whatever
+  // stale value the way carried, so the next hit's lazy fixup misfires.
+  if (!fault::at(fault::Kind::AllocStuck)) {
+    rw.owner_cpu = policy_->way_owner(set, way) == Requestor::Cpu;
+  }
   H2_CHECK(1, rw.channel < mem_->num_fast_superchannels(),
            "policy %s placed set %u way %u on fast superchannel %u, "
            "but only %u superchannels exist",
@@ -139,14 +143,26 @@ void HybridMemory::do_fast_swap(const PolicyContext& ctx, u32 set, u32 way_a, u3
   // fixup spuriously invalidate the freshly promoted block.
   a.channel = static_cast<u8>(policy_->channel_of_way(set, way_a));
   b.channel = static_cast<u8>(policy_->channel_of_way(set, way_b));
-  a.owner_cpu = policy_->way_owner(set, way_a) == Requestor::Cpu;
-  b.owner_cpu = policy_->way_owner(set, way_b) == Requestor::Cpu;
+  // Fault site `alloc-stuck`: skipping this refresh deterministically
+  // reintroduces the historical stale-owner-bit bug described above.
+  if (!fault::at(fault::Kind::AllocStuck)) {
+    a.owner_cpu = policy_->way_owner(set, way_a) == Requestor::Cpu;
+    b.owner_cpu = policy_->way_owner(set, way_b) == Requestor::Cpu;
+  }
   st(ctx.cls).fast_swaps++;
 }
 
 void HybridMemory::lazy_fixups(const PolicyContext& ctx, u32 set, u32 way, Cycle t) {
   RemapWay& rw = table_.way(set, way);
   const bool want_cpu = policy_->way_owner(set, way) == Requestor::Cpu;
+  const u8 want_ch = static_cast<u8>(policy_->channel_of_way(set, way));
+  // Fault site `lazy-skip` (check/fault.h): drop a fixup that is actually
+  // due — the block stays misplaced, which the epoch-driven oracle must see
+  // as a residency/counter divergence. Visiting the site only when a fixup
+  // is due keeps `after=`/`count=` windows meaningful.
+  const bool due =
+      rw.owner_cpu != want_cpu || (rw.valid && rw.channel != want_ch);
+  if (due && fault::at(fault::Kind::LazySkip)) return;
   if (rw.owner_cpu != want_cpu) {
     // Misplaced after a reconfiguration: invalidate after the access (paper
     // Section IV-D). Dirty data must be written back to the slow tier first.
@@ -164,11 +180,12 @@ void HybridMemory::lazy_fixups(const PolicyContext& ctx, u32 set, u32 way, Cycle
       rw.dirty = false;
       rw.tag = kInvalidTag;
     }
-    rw.owner_cpu = want_cpu;
+    // Fault site `alloc-stuck`: the invalidated way keeps its stale alloc
+    // bit, so every future hit in it re-triggers a spurious invalidation.
+    if (!fault::at(fault::Kind::AllocStuck)) rw.owner_cpu = want_cpu;
     st(ctx.cls).lazy_invalidations++;
     return;
   }
-  const u8 want_ch = static_cast<u8>(policy_->channel_of_way(set, way));
   if (rw.channel != want_ch && rw.valid) {
     // Same owner but the way moved to a different channel: relocate the
     // block lazily (one fast read + one fast write, off the critical path).
@@ -487,6 +504,37 @@ void HybridMemory::audit(Cycle now, const char* where) const {
              static_cast<unsigned long long>(meta_limit), table_.num_sets());
   }
   remap_cache_.sram().audit();
+}
+
+u64 HybridMemory::flush_stale_sets(Cycle now) {
+  if (cfg_.chaining) return 0;  // partner-set residents are reachable
+  u64 flushed = 0;
+  for (u32 set = 0; set < table_.num_sets(); ++set) {
+    for (u32 w = 0; w < table_.assoc(); ++w) {
+      RemapWay& rw = table_.way(set, w);
+      if (!rw.valid) continue;
+      const Requestor cls = rw.owner_cpu ? Requestor::Cpu : Requestor::Gpu;
+      const u32 natural = static_cast<u32>(rw.tag % table_.num_sets());
+      if (policy_->remap_set(natural, cls) == set) continue;
+      // In flat mode the fast-tier copy is the only one, so it always
+      // transfers out; in cache mode only dirty data needs the writeback.
+      if (cfg_.mode == HybridMode::Flat || rw.dirty) {
+        const u32 wb_bytes =
+            cfg_.subblock
+                ? std::max<u32>(64, 64 * std::popcount(rw.present & full_mask()))
+                : static_cast<u32>(cfg_.block_bytes);
+        mem_->slow_access(now, rw.tag * cfg_.block_bytes, wb_bytes,
+                          /*is_write=*/true, cls);
+        st(cls).dirty_writebacks++;
+      }
+      rw.valid = false;
+      rw.dirty = false;
+      rw.tag = kInvalidTag;
+      st(cls).flush_invalidations++;
+      flushed++;
+    }
+  }
+  return flushed;
 }
 
 void HybridMemory::run_instant_reconfig() {

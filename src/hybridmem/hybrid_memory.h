@@ -64,6 +64,7 @@ struct HybridStats {
   u64 fast_swaps = 0;    ///< Hydrogen fast-memory swaps performed
   u64 lazy_invalidations = 0;
   u64 lazy_moves = 0;
+  u64 flush_invalidations = 0;  ///< blocks flushed by set repartitioning
   u64 llc_writebacks = 0;
   u64 meta_misses = 0;      ///< remap-cache misses (fast-tier metadata reads)
   u64 meta_wait_cycles = 0; ///< cycles spent on those metadata reads
@@ -84,6 +85,18 @@ class HybridMemory {
   /// Applies the policy's current mapping to all resident blocks at zero
   /// cost (the idealised reconfiguration of Fig. 7(b)).
   void run_instant_reconfig();
+
+  /// Flushes blocks stranded by a *set*-granular repartition: a block whose
+  /// remapped set no longer matches the set it resides in is unreachable by
+  /// lookups (they resolve to the new set), so — unlike way-ownership changes,
+  /// which the lazy-fixup path repairs on next touch — it must be evicted
+  /// eagerly, dirty data written back to the slow tier first. This is the
+  /// sweep that makes set-granular reconfiguration expensive (paper Section
+  /// IV-F) and why Hydrogen partitions ways instead. No-op for identity /
+  /// way-partitioned mappings and for chained layouts (whose partner-set
+  /// residents are legitimately reachable). Returns the number of blocks
+  /// flushed; counts them under flush_invalidations.
+  u64 flush_stale_sets(Cycle now);
 
   // --- geometry helpers --------------------------------------------------
   u32 num_sets() const { return table_.num_sets(); }

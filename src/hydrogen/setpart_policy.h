@@ -52,6 +52,9 @@ class SetPartPolicy final : public PartitionPolicy {
   /// about). Returns true if ownership changed anywhere.
   bool set_partition(double cpu_set_frac);
   u32 cpu_set_count() const { return static_cast<u32>(cpu_sets_.size()); }
+  /// The clamped fraction currently in force (scripted epoch schedules step
+  /// it relative to this value).
+  double cpu_set_frac() const { return cfg_.cpu_set_frac; }
 
  private:
   bool channel_dedicated(u32 ch) const;

@@ -16,4 +16,12 @@ void WayPartPolicy::bind(u32 num_channels, u32 assoc, u32 num_sets) {
   cpu_ways_ = std::clamp<u32>(raw, 1, assoc - 1);
 }
 
+bool WayPartPolicy::set_cpu_ways(u32 n) {
+  if (assoc_ < 2) return false;  // degenerate: nothing to partition
+  const u32 clamped = std::clamp<u32>(n, 1, assoc_ - 1);
+  if (clamped == cpu_ways_) return false;
+  cpu_ways_ = clamped;
+  return true;
+}
+
 }  // namespace h2

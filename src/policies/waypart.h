@@ -2,7 +2,10 @@
 // Hydrogen's decoupling. 75 % of the ways are dedicated to the CPU, and the
 // way->channel mapping is *coupled* (way w lives on channel w % N), so the
 // capacity split forces the same bandwidth split: the GPU is starved of fast
-// bandwidth even though it barely needs capacity.
+// bandwidth even though it barely needs capacity. The split is static in the
+// paper's evaluation, but the boundary itself is a runtime knob
+// (set_cpu_ways) so scripted epoch schedules can exercise the mechanism's
+// lazy-reconfiguration path under the simplest possible owner function.
 #pragma once
 
 #include "hybridmem/policy.h"
@@ -42,6 +45,11 @@ class WayPartPolicy final : public PartitionPolicy {
   }
 
   u32 cpu_ways() const { return cpu_ways_; }
+
+  /// Moves the partition boundary, clamped to [1, assoc-1] (each side always
+  /// keeps one way). Returns true iff the boundary actually moved — i.e.
+  /// some ways changed owner and lazy fixups are now due.
+  bool set_cpu_ways(u32 n);
 
  private:
   double cpu_way_fraction_;

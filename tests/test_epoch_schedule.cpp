@@ -1,0 +1,164 @@
+// The scripted-schedule grammar (check/epoch_schedule.h): parsing, wrap-around
+// indexing, canonical round-trips, and the design-dispatched applier that the
+// differential oracle and the harness ScheduleObserver share.
+#include "check/epoch_schedule.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "hydrogen/hydrogen_policy.h"
+#include "hydrogen/setpart_policy.h"
+#include "policies/baseline.h"
+#include "policies/hashcache.h"
+#include "policies/waypart.h"
+
+namespace h2 {
+namespace {
+
+TEST(EpochSchedule, ParsesEveryOpKind) {
+  const EpochSchedule s =
+      parse_schedule("hold,grow,shrink,bw+,bw-,tok+,tok-,point=2/1/3,frac=0.25");
+  ASSERT_EQ(s.steps.size(), 9u);
+  EXPECT_EQ(s.steps[0].op, ScheduleOp::Hold);
+  EXPECT_EQ(s.steps[1].op, ScheduleOp::Grow);
+  EXPECT_EQ(s.steps[2].op, ScheduleOp::Shrink);
+  EXPECT_EQ(s.steps[3].op, ScheduleOp::BwUp);
+  EXPECT_EQ(s.steps[4].op, ScheduleOp::BwDown);
+  EXPECT_EQ(s.steps[5].op, ScheduleOp::TokUp);
+  EXPECT_EQ(s.steps[6].op, ScheduleOp::TokDown);
+  EXPECT_EQ(s.steps[7].op, ScheduleOp::Point);
+  EXPECT_EQ(s.steps[7].cap, 2u);
+  EXPECT_EQ(s.steps[7].bw, 1u);
+  EXPECT_EQ(s.steps[7].tok, 3u);
+  EXPECT_EQ(s.steps[8].op, ScheduleOp::Frac);
+  EXPECT_DOUBLE_EQ(s.steps[8].frac, 0.25);
+}
+
+TEST(EpochSchedule, IndexWrapsAndEmptyHoldsForever) {
+  const EpochSchedule s = parse_schedule("shrink,grow");
+  EXPECT_EQ(s.at(0).op, ScheduleOp::Shrink);
+  EXPECT_EQ(s.at(1).op, ScheduleOp::Grow);
+  EXPECT_EQ(s.at(2).op, ScheduleOp::Shrink);  // wraps modulo length
+  EXPECT_EQ(s.at(101).op, ScheduleOp::Grow);
+
+  const EpochSchedule none;
+  EXPECT_TRUE(none.empty());
+  EXPECT_EQ(none.at(0).op, ScheduleOp::Hold);
+  EXPECT_EQ(none.at(999).op, ScheduleOp::Hold);
+}
+
+TEST(EpochSchedule, ToStringRoundTrips) {
+  const char* canon = "shrink,bw+,grow,bw-,point=3/2/1,frac=0.5,hold";
+  const EpochSchedule s = parse_schedule(canon);
+  const std::string text = to_string(s);
+  const EpochSchedule back = parse_schedule(text);
+  ASSERT_EQ(back.steps.size(), s.steps.size());
+  for (size_t i = 0; i < s.steps.size(); ++i) {
+    EXPECT_EQ(back.steps[i].op, s.steps[i].op) << "op " << i;
+    EXPECT_EQ(back.steps[i].cap, s.steps[i].cap);
+    EXPECT_EQ(back.steps[i].bw, s.steps[i].bw);
+    EXPECT_EQ(back.steps[i].tok, s.steps[i].tok);
+    EXPECT_DOUBLE_EQ(back.steps[i].frac, s.steps[i].frac);
+  }
+  // The canonical form is a fixed point: printing it again changes nothing.
+  EXPECT_EQ(to_string(back), text);
+}
+
+TEST(EpochSchedule, RejectsMalformedText) {
+  EXPECT_THROW(parse_schedule(""), std::invalid_argument);
+  EXPECT_THROW(parse_schedule("grow,,shrink"), std::invalid_argument);
+  EXPECT_THROW(parse_schedule("wiggle"), std::invalid_argument);
+  EXPECT_THROW(parse_schedule("point=1/2"), std::invalid_argument);
+  EXPECT_THROW(parse_schedule("point=a/b/c"), std::invalid_argument);
+  EXPECT_THROW(parse_schedule("frac=1.5"), std::invalid_argument);
+  EXPECT_THROW(parse_schedule("frac=-0.1"), std::invalid_argument);
+  EXPECT_THROW(parse_schedule("frac=abc"), std::invalid_argument);
+}
+
+TEST(EpochSchedule, HydrogenStepsClampToLegalRange) {
+  HydrogenConfig cfg;
+  cfg.decoupled = true;
+  cfg.token = false;
+  cfg.search = false;
+  HydrogenPolicy pol(cfg);
+  pol.bind(/*num_channels=*/4, /*assoc=*/4, /*num_sets=*/32);
+
+  // Shrink to the floor, then keep shrinking: the partition must pin at
+  // cap_min and report "no change".
+  for (int i = 0; i < 8; ++i) {
+    (void)apply_schedule_step(ScheduleStep{ScheduleOp::Shrink}, pol);
+  }
+  const u32 floor_cap = pol.active_point().cap;
+  EXPECT_FALSE(apply_schedule_step(ScheduleStep{ScheduleOp::Shrink}, pol));
+  EXPECT_EQ(pol.active_point().cap, floor_cap);
+
+  // Grow to the ceiling symmetrically.
+  for (int i = 0; i < 8; ++i) {
+    (void)apply_schedule_step(ScheduleStep{ScheduleOp::Grow}, pol);
+  }
+  const u32 ceil_cap = pol.active_point().cap;
+  EXPECT_FALSE(apply_schedule_step(ScheduleStep{ScheduleOp::Grow}, pol));
+  EXPECT_EQ(pol.active_point().cap, ceil_cap);
+  EXPECT_GT(ceil_cap, floor_cap);
+
+  // An absolute point lands exactly; frac maps through the associativity.
+  ScheduleStep point{ScheduleOp::Point};
+  point.cap = 2;
+  point.bw = 1;
+  point.tok = 0;
+  (void)apply_schedule_step(point, pol);
+  EXPECT_EQ(pol.active_point().cap, 2u);
+  EXPECT_EQ(pol.active_point().bw, 1u);
+  ScheduleStep frac{ScheduleOp::Frac};
+  frac.frac = 0.75;
+  (void)apply_schedule_step(frac, pol);
+  EXPECT_EQ(pol.active_point().cap, 3u);  // 0.75 * assoc 4
+}
+
+TEST(EpochSchedule, WayPartStepsMoveTheBoundary) {
+  WayPartPolicy pol(0.5);
+  pol.bind(/*num_channels=*/4, /*assoc=*/4, /*num_sets=*/32);
+  const u32 before = pol.cpu_ways();
+  EXPECT_TRUE(apply_schedule_step(ScheduleStep{ScheduleOp::Grow}, pol));
+  EXPECT_EQ(pol.cpu_ways(), before + 1);
+  EXPECT_TRUE(apply_schedule_step(ScheduleStep{ScheduleOp::Shrink}, pol));
+  EXPECT_EQ(pol.cpu_ways(), before);
+  // Each side always keeps one way: shrinking to the floor pins there.
+  for (int i = 0; i < 8; ++i) {
+    (void)apply_schedule_step(ScheduleStep{ScheduleOp::Shrink}, pol);
+  }
+  EXPECT_EQ(pol.cpu_ways(), 1u);
+  EXPECT_FALSE(apply_schedule_step(ScheduleStep{ScheduleOp::Shrink}, pol));
+}
+
+TEST(EpochSchedule, SetPartStepsMoveTheFraction) {
+  SetPartConfig cfg;
+  cfg.cpu_set_frac = 0.5;
+  SetPartPolicy pol(cfg);
+  pol.bind(/*num_channels=*/4, /*assoc=*/4, /*num_sets=*/64);
+  const double before = pol.cpu_set_frac();
+  EXPECT_TRUE(apply_schedule_step(ScheduleStep{ScheduleOp::Grow}, pol));
+  EXPECT_GT(pol.cpu_set_frac(), before);
+  EXPECT_TRUE(apply_schedule_step(ScheduleStep{ScheduleOp::Shrink}, pol));
+  EXPECT_DOUBLE_EQ(pol.cpu_set_frac(), before);
+}
+
+TEST(EpochSchedule, StaticDesignsTreatEveryOpAsHold) {
+  BaselinePolicy base;
+  base.bind(4, 4, 32);
+  HAShCachePolicy hash;
+  hash.bind(4, 1, 128);
+  for (ScheduleOp op : {ScheduleOp::Grow, ScheduleOp::Shrink, ScheduleOp::BwUp,
+                        ScheduleOp::Point, ScheduleOp::Frac}) {
+    ScheduleStep step{op};
+    step.cap = 2;
+    step.bw = 1;
+    step.frac = 0.5;
+    EXPECT_FALSE(apply_schedule_step(step, base));
+    EXPECT_FALSE(apply_schedule_step(step, hash));
+  }
+}
+
+}  // namespace
+}  // namespace h2

@@ -4,8 +4,13 @@
 // stays coherent through arbitrary parameter changes.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <set>
+#include <string>
+#include <vector>
 
+#include "check/epoch_schedule.h"
+#include "common/rng.h"
 #include "hybridmem/hybrid_memory.h"
 #include "hydrogen/hydrogen_policy.h"
 
@@ -192,6 +197,292 @@ TEST(Reconfiguration, TokenOnlyChangesNeedNoDataMovement) {
   }
   EXPECT_EQ(hm.stats(Requestor::Cpu).lazy_invalidations, 0u);
   EXPECT_EQ(hm.stats(Requestor::Cpu).lazy_moves, 0u);
+}
+
+// --- lazy_fixups decision matrix -----------------------------------------
+//
+// The fixup has three outcomes — invalidate (owner flipped), move (owner
+// kept, channel moved), no-op — chosen from four input bits: the way's
+// recorded alloc bit, the side the new configuration assigns, the dirty
+// bit, and whether the configured channel moved. A scripted policy stages
+// each of the 16 states directly, so every branch and counter is pinned.
+
+/// A policy test double whose owner/channel answers are plain settable
+/// fields. All ways are allowed to both sides and migrations always pass,
+/// so a single access stages exactly the table state the test asks for.
+class ScriptedPolicy final : public PartitionPolicy {
+ public:
+  const char* name() const override { return "scripted"; }
+  u32 channel_of_way(u32 set, u32 way) const override {
+    (void)set;
+    return channel_[way];
+  }
+  bool way_allowed(u32, u32, Requestor) const override { return true; }
+  Requestor way_owner(u32 set, u32 way) const override {
+    (void)set;
+    return owner_cpu_[way] ? Requestor::Cpu : Requestor::Gpu;
+  }
+  bool allow_migration(const PolicyContext&, bool) override { return true; }
+  i32 pick_swap_way(const PolicyContext&, u32) override {
+    const i32 w = swap_with_;
+    swap_with_ = -1;  // one-shot: only the next hit swaps
+    return w;
+  }
+  void set_owner(u32 way, bool cpu) { owner_cpu_[way] = cpu; }
+  void set_channel(u32 way, u32 ch) { channel_[way] = ch; }
+  void arm_swap(i32 way) { swap_with_ = way; }
+
+ private:
+  std::array<bool, 8> owner_cpu_{true, true, true, true, true, true, true, true};
+  std::array<u32, 8> channel_{};
+  i32 swap_with_ = -1;
+};
+
+/// Finds the way in set 0 holding `tag`, or -1.
+i32 find_way(const HybridMemory& hm, u64 tag) {
+  for (u32 w = 0; w < hm.assoc(); ++w) {
+    const RemapWay& rw = hm.table().way(0, w);
+    if (rw.valid && rw.tag == tag) return static_cast<i32>(w);
+  }
+  return -1;
+}
+
+void run_fixup_combo(bool old_cpu, bool want_cpu, bool dirty, bool ch_moved) {
+  MemorySystem mem(MemSystemConfig::table1_default());
+  ScriptedPolicy pol;
+  for (u32 w = 0; w < 8; ++w) {
+    pol.set_owner(w, old_cpu);
+    pol.set_channel(w, 0);
+  }
+  HybridMemory hm(small_cfg(), &mem, &pol);
+  const Requestor old_cls = old_cpu ? Requestor::Cpu : Requestor::Gpu;
+  const Requestor new_cls = want_cpu ? Requestor::Cpu : Requestor::Gpu;
+
+  // One miss stages the block: tag 0 in set 0, owner/channel from the
+  // scripted policy, dirty iff the staging access was a write.
+  Cycle t = hm.access(0, old_cls, 0, dirty) + 1;
+  const i32 way = find_way(hm, 0);
+  ASSERT_GE(way, 0);
+  ASSERT_EQ(hm.table().way(0, way).owner_cpu, old_cpu);
+  ASSERT_EQ(hm.table().way(0, way).dirty, dirty);
+
+  // "Reconfigure": rewire the scripted answers, then let the next hit fix up.
+  for (u32 w = 0; w < 8; ++w) {
+    pol.set_owner(w, want_cpu);
+    if (ch_moved) pol.set_channel(w, 1);
+  }
+  const u64 inv0 = hm.stats(new_cls).lazy_invalidations;
+  const u64 mov0 = hm.stats(new_cls).lazy_moves;
+  const u64 wb0 = hm.stats(Requestor::Cpu).dirty_writebacks +
+                  hm.stats(Requestor::Gpu).dirty_writebacks;
+  t = hm.access(t, new_cls, 0, false) + 1;
+
+  const RemapWay& rw = hm.table().way(0, static_cast<u32>(way));
+  const u64 wb1 = hm.stats(Requestor::Cpu).dirty_writebacks +
+                  hm.stats(Requestor::Gpu).dirty_writebacks;
+  if (old_cpu != want_cpu) {
+    // Owner flipped: invalidate after the access; dirty data is written back
+    // first. The channel question is moot — the way is empty afterwards.
+    EXPECT_EQ(hm.stats(new_cls).lazy_invalidations, inv0 + 1);
+    EXPECT_EQ(hm.stats(new_cls).lazy_moves, mov0);
+    EXPECT_EQ(wb1, wb0 + (dirty ? 1 : 0));
+    EXPECT_FALSE(rw.valid);
+    EXPECT_EQ(rw.tag, kInvalidTag);
+    EXPECT_EQ(rw.owner_cpu, want_cpu);  // alloc bit refreshed, not stuck
+  } else if (ch_moved) {
+    // Same owner, way re-homed: relocate, keep the block (and its dirt).
+    EXPECT_EQ(hm.stats(new_cls).lazy_invalidations, inv0);
+    EXPECT_EQ(hm.stats(new_cls).lazy_moves, mov0 + 1);
+    EXPECT_EQ(wb1, wb0);
+    EXPECT_TRUE(rw.valid);
+    EXPECT_EQ(rw.channel, 1u);
+    EXPECT_EQ(rw.dirty, dirty);
+  } else {
+    // Configuration unchanged: the fixup must be a strict no-op.
+    EXPECT_EQ(hm.stats(new_cls).lazy_invalidations, inv0);
+    EXPECT_EQ(hm.stats(new_cls).lazy_moves, mov0);
+    EXPECT_EQ(wb1, wb0);
+    EXPECT_TRUE(rw.valid);
+    EXPECT_EQ(rw.channel, 0u);
+    EXPECT_EQ(rw.dirty, dirty);
+  }
+}
+
+TEST(LazyFixupMatrix, EveryOwnerDirtyChannelCombination) {
+  for (int old_cpu = 0; old_cpu < 2; ++old_cpu) {
+    for (int want_cpu = 0; want_cpu < 2; ++want_cpu) {
+      for (int dirty = 0; dirty < 2; ++dirty) {
+        for (int ch_moved = 0; ch_moved < 2; ++ch_moved) {
+          SCOPED_TRACE("old_cpu=" + std::to_string(old_cpu) +
+                       " want_cpu=" + std::to_string(want_cpu) +
+                       " dirty=" + std::to_string(dirty) +
+                       " ch_moved=" + std::to_string(ch_moved));
+          run_fixup_combo(old_cpu, want_cpu, dirty, ch_moved);
+        }
+      }
+    }
+  }
+}
+
+TEST(LazyFixupMatrix, SwapIntoNeverFilledWayRefreshesAllocBit) {
+  // Regression (see do_fast_swap): a never-filled way carries the
+  // default-constructed alloc bit (GPU). Swapping a CPU block into it must
+  // refresh the bit, or the very next hit "fixes up" the freshly promoted
+  // block with a spurious invalidation.
+  MemorySystem mem(MemSystemConfig::table1_default());
+  ScriptedPolicy pol;  // all ways CPU-owned, channel 0
+  HybridMemory hm(small_cfg(), &mem, &pol);
+  Cycle t = hm.access(0, Requestor::Cpu, 0, false) + 1;
+  const i32 w0 = find_way(hm, 0);
+  ASSERT_GE(w0, 0);
+  const u32 target = (static_cast<u32>(w0) + 1) % hm.assoc();
+  ASSERT_FALSE(hm.table().way(0, target).valid);
+  ASSERT_FALSE(hm.table().way(0, target).owner_cpu);  // stale default bit
+
+  pol.arm_swap(static_cast<i32>(target));
+  t = hm.access(t, Requestor::Cpu, 0, false) + 1;  // hit -> swap into target
+  ASSERT_EQ(find_way(hm, 0), static_cast<i32>(target));
+  EXPECT_TRUE(hm.table().way(0, target).owner_cpu);
+
+  const u64 inv0 = hm.stats(Requestor::Cpu).lazy_invalidations;
+  t = hm.access(t, Requestor::Cpu, 0, false) + 1;  // hit in the swapped way
+  EXPECT_EQ(hm.stats(Requestor::Cpu).lazy_invalidations, inv0);
+  EXPECT_TRUE(hm.table().way(0, target).valid);
+}
+
+// --- property/fuzz: random schedules -------------------------------------
+
+u64 resident_count(const HybridMemory& hm) {
+  u64 n = 0;
+  for (u32 s = 0; s < hm.num_sets(); ++s) {
+    for (u32 w = 0; w < hm.assoc(); ++w) n += hm.table().way(s, w).valid;
+  }
+  return n;
+}
+
+/// Returns the first tag resident in two table entries, or kInvalidTag.
+u64 first_duplicate_tag(const HybridMemory& hm) {
+  std::set<u64> seen;
+  for (u32 s = 0; s < hm.num_sets(); ++s) {
+    for (u32 w = 0; w < hm.assoc(); ++w) {
+      const RemapWay& rw = hm.table().way(s, w);
+      if (rw.valid && !seen.insert(rw.tag).second) return rw.tag;
+    }
+  }
+  return kInvalidTag;
+}
+
+/// Runs `sched` one step per "epoch" against a warmed hybrid memory,
+/// touching every resident block after each step (the lazy-fixup trigger).
+/// Deterministic given the schedule, so failures shrink cleanly. Returns ""
+/// on success, else a description of the violated invariant.
+std::string run_schedule_property(const EpochSchedule& sched) {
+  MemorySystem mem(MemSystemConfig::table1_default());
+  HydrogenPolicy pol(static_cfg());
+  HybridMemory hm(small_cfg(), &mem, &pol);
+  Cycle t = warm_cpu(hm, 0);
+
+  for (size_t i = 0; i < sched.steps.size(); ++i) {
+    const std::string at = "step " + std::to_string(i) + " (" +
+                           to_string(sched.steps[i]) + "): ";
+    // Applying a step touches only policy state; data moves lazily.
+    std::vector<RemapWay> snap;
+    for (u32 s = 0; s < hm.num_sets(); ++s) {
+      for (u32 w = 0; w < hm.assoc(); ++w) snap.push_back(hm.table().way(s, w));
+    }
+    (void)apply_schedule_step(sched.steps[i], pol);
+    size_t k = 0;
+    for (u32 s = 0; s < hm.num_sets(); ++s) {
+      for (u32 w = 0; w < hm.assoc(); ++w, ++k) {
+        const RemapWay& rw = hm.table().way(s, w);
+        if (rw.valid != snap[k].valid || rw.tag != snap[k].tag ||
+            rw.channel != snap[k].channel || rw.owner_cpu != snap[k].owner_cpu) {
+          return at + "apply_schedule_step mutated the remap table";
+        }
+      }
+    }
+
+    // Touch every resident block once (by its recorded side, so each access
+    // hits); residency may only fall, and exactly by the invalidations.
+    const u64 before = resident_count(hm);
+    const u64 inv_before = hm.stats(Requestor::Cpu).lazy_invalidations +
+                           hm.stats(Requestor::Gpu).lazy_invalidations;
+    for (const RemapWay& rw : snap) {
+      if (!rw.valid) continue;
+      t = hm.access(t, rw.owner_cpu ? Requestor::Cpu : Requestor::Gpu,
+                    rw.tag * 256, false) + 1;
+    }
+    const u64 after = resident_count(hm);
+    const u64 invalidated = hm.stats(Requestor::Cpu).lazy_invalidations +
+                            hm.stats(Requestor::Gpu).lazy_invalidations -
+                            inv_before;
+    if (before - after != invalidated) {
+      return at + "resident blocks not conserved: " + std::to_string(before) +
+             " -> " + std::to_string(after) + " with " +
+             std::to_string(invalidated) + " lazy invalidation(s)";
+    }
+    const u64 dup = first_duplicate_tag(hm);
+    if (dup != kInvalidTag) {
+      return at + "remap table not a bijection (tag " + std::to_string(dup) +
+             " resident twice)";
+    }
+    // After the touches every surviving entry is coherent with the active
+    // configuration: correct alloc bit, correct channel.
+    for (u32 s = 0; s < hm.num_sets(); ++s) {
+      for (u32 w = 0; w < hm.assoc(); ++w) {
+        const RemapWay& rw = hm.table().way(s, w);
+        if (!rw.valid) continue;
+        if (rw.owner_cpu != (pol.way_owner(s, w) == Requestor::Cpu)) {
+          return at + "stale alloc bit survives at set " + std::to_string(s) +
+                 " way " + std::to_string(w);
+        }
+        if (rw.channel != pol.channel_of_way(s, w)) {
+          return at + "stale channel survives at set " + std::to_string(s) +
+                 " way " + std::to_string(w);
+        }
+      }
+    }
+  }
+  return "";
+}
+
+TEST(ReconfigurationFuzz, RandomSchedulesConserveResidencyAndBijection) {
+  const char* pool[] = {"grow",      "shrink",    "bw+",         "bw-",
+                        "hold",      "tok+",      "tok-",        "frac=0.25",
+                        "frac=0.75", "point=2/1/0", "point=3/3/0", "frac=0.5"};
+  constexpr size_t kPool = sizeof(pool) / sizeof(pool[0]);
+  Rng rng(0xC0FFEEull);
+  for (int iter = 0; iter < 24; ++iter) {
+    std::string text;
+    const u64 len = 3 + rng.next_below(6);
+    for (u64 i = 0; i < len; ++i) {
+      if (i) text += ',';
+      text += pool[rng.next_below(kPool)];
+    }
+    const EpochSchedule sched = parse_schedule(text);
+    const std::string why = run_schedule_property(sched);
+    if (why.empty()) continue;
+
+    // Shrink-on-fail: greedily drop ops while the property still fails, then
+    // report the minimal schedule string so the failure replays by hand.
+    EpochSchedule minimal = sched;
+    bool shrunk = true;
+    while (shrunk && minimal.steps.size() > 1) {
+      shrunk = false;
+      for (size_t i = 0; i < minimal.steps.size(); ++i) {
+        EpochSchedule cand = minimal;
+        cand.steps.erase(cand.steps.begin() + static_cast<long>(i));
+        if (!run_schedule_property(cand).empty()) {
+          minimal = cand;
+          shrunk = true;
+          break;
+        }
+      }
+    }
+    FAIL() << "schedule \"" << to_string(sched) << "\" violates: " << why
+           << "\n  minimal reproducer: \"" << to_string(minimal) << "\" ("
+           << run_schedule_property(minimal) << ")";
+  }
 }
 
 }  // namespace

@@ -94,6 +94,9 @@ void expect_identical(const SweepRun& a, const SweepRun& b) {
     EXPECT_EQ(x.hmstats[s].migrations, y.hmstats[s].migrations);
     EXPECT_EQ(x.hmstats[s].fast_swaps, y.hmstats[s].fast_swaps);
     EXPECT_EQ(x.hmstats[s].dirty_writebacks, y.hmstats[s].dirty_writebacks);
+    EXPECT_EQ(x.hmstats[s].lazy_invalidations, y.hmstats[s].lazy_invalidations);
+    EXPECT_EQ(x.hmstats[s].lazy_moves, y.hmstats[s].lazy_moves);
+    EXPECT_EQ(x.hmstats[s].flush_invalidations, y.hmstats[s].flush_invalidations);
   }
 }
 
@@ -111,6 +114,44 @@ TEST(Sweep, ParallelMatchesSerialBitForBit) {
   ASSERT_EQ(a.size(), cfgs.size());
   ASSERT_EQ(b.size(), cfgs.size());
   for (size_t i = 0; i < cfgs.size(); ++i) expect_identical(a[i], b[i]);
+}
+
+TEST(Sweep, ReconfiguringScheduleIsBitIdenticalAcrossJobCounts) {
+  // The epoch-driven extension of the determinism contract: a scripted
+  // reconfiguration schedule (lazy invalidations, lazy moves, setpart's
+  // eager flush sweep all live) replayed under --jobs 4 must match the
+  // serial run byte for byte, including the new lazy/flush counters.
+  std::vector<ExperimentConfig> cfgs;
+  for (DesignSpec design : {DesignSpec::hydrogen_full(), DesignSpec::waypart(),
+                            DesignSpec::hydrogen_setpart()}) {
+    ExperimentConfig cfg = quick("C1", std::move(design));
+    cfg.reconfig_schedule = "shrink,bw+,grow,bw-";
+    cfg.warmup_epochs = 2;
+    cfgs.push_back(std::move(cfg));
+  }
+
+  SweepOptions serial;
+  serial.jobs = 1;
+  const std::vector<SweepRun> a = run_sweep(cfgs, serial);
+
+  SweepOptions parallel;
+  parallel.jobs = 4;
+  const std::vector<SweepRun> b = run_sweep(cfgs, parallel);
+
+  ASSERT_EQ(a.size(), cfgs.size());
+  ASSERT_EQ(b.size(), cfgs.size());
+  bool any_reconfig_traffic = false;
+  for (size_t i = 0; i < cfgs.size(); ++i) {
+    expect_identical(a[i], b[i]);
+    for (int s = 0; s < 2; ++s) {
+      any_reconfig_traffic |= a[i].result.hmstats[s].lazy_invalidations > 0 ||
+                              a[i].result.hmstats[s].lazy_moves > 0 ||
+                              a[i].result.hmstats[s].flush_invalidations > 0;
+    }
+  }
+  // The schedule must actually have moved partitions — a vacuous pass (no
+  // reconfiguration traffic anywhere) would mean the observer never ran.
+  EXPECT_TRUE(any_reconfig_traffic);
 }
 
 TEST(Sweep, ResultsComeBackInSubmissionOrder) {
@@ -464,6 +505,9 @@ TEST(SweepJournal, ConfigKeyIsStableAndSensitive) {
   EXPECT_NE(config_key(quick("C1", DesignSpec::hydrogen_full())), config_key(base));
   c = base;
   c.cpu_target_instructions += 1;
+  EXPECT_NE(config_key(c), config_key(base));
+  c = base;
+  c.reconfig_schedule = "shrink,grow";
   EXPECT_NE(config_key(c), config_key(base));
 }
 

@@ -1,11 +1,16 @@
 // h2check — the differential-oracle front end (see src/check/oracle.h).
 //
 //   h2check [--workloads a,b,c] [--gpu <name>]
-//           [--designs baseline,hydrogen-setpart,hashcache,hydrogen]
-//           [--accesses <n>] [--seed <n>] [--check <level>]
+//           [--designs baseline,waypart,hydrogen-setpart,hashcache,hydrogen]
+//           [--design <name>] [--accesses <n>] [--seed <n>] [--check <level>]
+//           [--epochs <n>] [--schedule <ops>] [--quick]
 //
 // Replays each (CPU workload, design) pair through the full simulator and
 // the independent reference model, and reports per-pair conservation diffs.
+// With --epochs N the replay is cut into N+1 slices and a scripted
+// reconfiguration schedule (--schedule, check/epoch_schedule.h grammar;
+// default "shrink,bw+,grow,bw-") is driven through both sides, exercising
+// the lazy-fixup machinery. --quick shrinks the replay for smoke runs.
 // Exit status is 0 iff every pair matches on every conserved quantity, which
 // makes this binary a ctest entry (see tools/CMakeLists.txt).
 #include <cstdio>
@@ -23,10 +28,13 @@ using namespace h2;
 namespace {
 
 void usage() {
-  std::fprintf(stderr,
-               "usage: h2check [--workloads a,b,c] [--gpu <name>]\n"
-               "               [--designs baseline,hydrogen-setpart,hashcache,hydrogen]\n"
-               "               [--accesses <n>] [--seed <n>] [--check <level>]\n");
+  std::fprintf(
+      stderr,
+      "usage: h2check [--workloads a,b,c] [--gpu <name>]\n"
+      "               [--designs baseline,waypart,hydrogen-setpart,hashcache,hydrogen]\n"
+      "               [--design <name>] [--accesses <n>] [--seed <n>]\n"
+      "               [--check <level>] [--epochs <n>] [--schedule <ops>]\n"
+      "               [--quick]\n");
 }
 
 std::vector<std::string> split_csv(const std::string& s) {
@@ -49,6 +57,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> designs = {"baseline", "hydrogen-setpart", "hashcache",
                                       "hydrogen"};
   OracleConfig base;
+  bool accesses_set = false;
+  bool quick = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -65,17 +75,27 @@ int main(int argc, char** argv) {
       base.gpu_workload = value();
     } else if (arg == "--designs") {
       designs = split_csv(value());
+    } else if (arg == "--design") {
+      designs = {value()};
     } else if (arg == "--accesses") {
       base.accesses = std::strtoull(value(), nullptr, 10);
+      accesses_set = true;
     } else if (arg == "--seed") {
       base.seed = std::strtoull(value(), nullptr, 10);
     } else if (arg == "--check") {
       check::set_runtime_level(std::atoi(value()));
+    } else if (arg == "--epochs") {
+      base.epochs = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--schedule") {
+      base.schedule = value();
+    } else if (arg == "--quick") {
+      quick = true;
     } else {
       usage();
       return 2;
     }
   }
+  if (quick && !accesses_set) base.accesses = 30'000;
   if (workloads.empty() || designs.empty() || base.accesses == 0) {
     usage();
     return 2;
@@ -97,10 +117,13 @@ int main(int argc, char** argv) {
         continue;
       }
       if (rep.ok()) {
-        std::printf("PASS %-16s %-18s %llu accesses, %llu quantities conserved\n",
-                    design.c_str(), wl.c_str(),
-                    static_cast<unsigned long long>(rep.accesses),
-                    static_cast<unsigned long long>(rep.quantities));
+        std::printf(
+            "PASS %-16s %-18s %llu accesses, %llu epochs, %llu quantities "
+            "conserved\n",
+            design.c_str(), wl.c_str(),
+            static_cast<unsigned long long>(rep.accesses),
+            static_cast<unsigned long long>(rep.epochs),
+            static_cast<unsigned long long>(rep.quantities));
       } else {
         failures++;
         std::printf("FAIL %-16s %-18s %zu of %llu quantities differ:\n",

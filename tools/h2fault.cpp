@@ -8,6 +8,9 @@
 // its designated detector actually fires:
 //
 //   remap-flip, dup-tag, drop-writeback  -> oracle divergence (any build)
+//   lazy-skip, alloc-stuck               -> epoch-driven oracle divergence
+//                                           (any build; armed with --epochs
+//                                           so lazy fixups are actually due)
 //   time-skew                            -> H2_CHECK level 1 (skipped below)
 //   cursor-skew                          -> H2_CHECK level 2 (skipped below)
 //   throw                                -> sweep failure capture, no retry
@@ -177,6 +180,18 @@ int main(int argc, char** argv) {
   expect_oracle_detects("remap-flip:after=50", ocfg);
   expect_oracle_detects("dup-tag:count=0", ocfg);
   expect_oracle_detects("drop-writeback:count=0", ocfg);
+
+  // Lazy-reconfiguration classes: their sites only go live once an epoch
+  // schedule actually moves the partition, so they run against the
+  // epoch-driven oracle (default schedule, several boundaries). Detection
+  // needs no H2_CHECK level — the reference model stays clean and the
+  // conserved quantities diverge in any build.
+  {
+    OracleConfig ecfg = ocfg;
+    ecfg.epochs = 6;
+    expect_oracle_detects("lazy-skip:count=0", ecfg);
+    expect_oracle_detects("alloc-stuck:count=0", ecfg);
+  }
 
   // Timing-corruption classes: only an H2_CHECK level can see these (the
   // oracle deliberately ignores timing), so they skip below their level.
