@@ -6,10 +6,12 @@
 
 #include "cache/cache.h"
 #include "hybridmem/hybrid_memory.h"
+#include "hybridmem/remap_table.h"
 #include "hydrogen/consistent_hash.h"
 #include "hydrogen/hydrogen_policy.h"
 #include "mem/channel.h"
 #include "policies/baseline.h"
+#include "sim/engine.h"
 #include "trace/workloads.h"
 
 namespace h2 {
@@ -54,7 +56,8 @@ BENCHMARK(BM_CacheAccess);
 void BM_HrwRank(benchmark::State& state) {
   u32 set = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(hrw_rank(0x5eed, set++, set % 4, 4));
+    const u32 s = set++;
+    benchmark::DoNotOptimize(hrw_rank(0x5eed, s, s % 4, 4));
   }
 }
 BENCHMARK(BM_HrwRank);
@@ -64,10 +67,92 @@ void BM_DecoupledChannelOfWay(benchmark::State& state) {
   p.set_config(3, 1);
   u32 set = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(p.channel_of_way(set++, set % 4));
+    const u32 s = set++;
+    benchmark::DoNotOptimize(p.channel_of_way(s, s % 4));
   }
 }
 BENCHMARK(BM_DecoupledChannelOfWay);
+
+/// Pure DES scheduling overhead: a handful of actors ping-ponging through
+/// the priority queue with one registered (never-firing within the run)
+/// periodic hook, i.e. the fig05 engine loop minus the memory system.
+void BM_EngineEventLoop(benchmark::State& state) {
+  class SpinActor final : public Actor {
+   public:
+    explicit SpinActor(Cycle stride) : stride_(stride) {}
+    Cycle step(Engine&, Cycle now) override { return now + stride_; }
+    const char* name() const override { return "spin"; }
+
+   private:
+    Cycle stride_;
+  };
+
+  Engine engine;
+  SpinActor a1(1), a2(2), a3(3), a4(5);
+  engine.add_actor(&a1);
+  engine.add_actor(&a2);
+  engine.add_actor(&a3);
+  engine.add_actor(&a4);
+  engine.add_periodic(kNever / 2, [](Cycle) {});
+  Cycle horizon = 0;
+  for (auto _ : state) {
+    horizon += 2;  // ~4 actor steps per iteration at these strides
+    benchmark::DoNotOptimize(engine.run(horizon));
+  }
+  state.SetItemsProcessed(static_cast<i64>(engine.steps_executed()));
+}
+BENCHMARK(BM_EngineEventLoop);
+
+/// Remap-table tag scan: arg 0 = always hit (resident tag), 1 = always miss,
+/// 2 = chained-style probe (hit after scanning a full set whose match sits in
+/// the last way).
+void BM_RemapLookup(benchmark::State& state) {
+  constexpr u32 kSets = 4096, kAssoc = 4;
+  RemapTable table(kSets, kAssoc);
+  for (u32 set = 0; set < kSets; ++set) {
+    for (u32 w = 0; w < kAssoc; ++w) {
+      auto rw = table.way(set, w);
+      rw.valid = true;
+      rw.tag = static_cast<u64>(set) * kAssoc + w;
+    }
+  }
+  const int mode = static_cast<int>(state.range(0));
+  u32 i = 0;
+  for (auto _ : state) {
+    const u32 set = i++ & (kSets - 1);
+    u64 tag = 0;
+    switch (mode) {
+      case 0: tag = static_cast<u64>(set) * kAssoc + (i & (kAssoc - 1)); break;
+      case 1: tag = kInvalidTag - 1; break;
+      default: tag = static_cast<u64>(set) * kAssoc + (kAssoc - 1); break;
+    }
+    benchmark::DoNotOptimize(table.find(set, tag));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RemapLookup)->Arg(0)->Arg(1)->Arg(2)->ArgName("mode");
+
+/// The per-access policy decision bundle exactly as HybridMemory's hit/miss
+/// paths consume it, through the virtual PartitionPolicy interface.
+void BM_PolicyDispatch(benchmark::State& state) {
+  HydrogenPolicy hydrogen;
+  PartitionPolicy* policy = &hydrogen;
+  policy->bind(/*num_channels=*/8, /*assoc=*/4, /*num_sets=*/4096);
+  u64 i = 0;
+  u64 sum = 0;
+  for (auto _ : state) {
+    const u32 set = static_cast<u32>(i) & 4095u;
+    const u32 way = static_cast<u32>(i) & 3u;
+    const Requestor cls = (i & 4) ? Requestor::Gpu : Requestor::Cpu;
+    sum += static_cast<u64>(policy->channel_of_way(set, way)) +
+           (policy->way_allowed(set, way, cls) ? 1u : 0u) +
+           static_cast<u64>(policy->way_owner(set, way));
+    ++i;
+  }
+  benchmark::DoNotOptimize(sum);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PolicyDispatch);
 
 void BM_HybridAccess(benchmark::State& state) {
   MemorySystem mem(MemSystemConfig::table1_default());

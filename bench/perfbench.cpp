@@ -1,0 +1,296 @@
+// The perf baseline harness: runs fixed-iteration microbenchmarks of the
+// simulator substrates plus the fixed fig05 --quick slice (the paper's main
+// figure, quick subset) through the parallel sweep runner, and writes one
+// machine-readable BENCH_<n>.json (harness/perfbench.h). tools/h2perf diffs
+// two such files and flags regressions beyond a noise threshold.
+//
+// Two kinds of numbers come out:
+//   - rates (ops/s, events/s): host-dependent, compared against a noise band;
+//   - counters (micro checksums, engine steps, demand accesses): bit-exact
+//     functions of code + config, identical at any --jobs — the comparator
+//     hard-fails when they drift, which is how "faster" is proven to never
+//     silently mean "different".
+//
+// Usage: perfbench [--out <path>] [--jobs <n>] [--tiny]
+//   --out   output BENCH file (default BENCH.json)
+//   --jobs  sweep workers (default: H2_JOBS env, then all hardware threads)
+//   --tiny  reduced iteration counts and a 1-combo sweep slice (test use)
+
+#include <sys/utsname.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "cache/cache.h"
+#include "check/check.h"
+#include "common/rng.h"
+#include "harness/perfbench.h"
+#include "harness/sweep.h"
+#include "hybridmem/remap_table.h"
+#include "hydrogen/consistent_hash.h"
+#include "hydrogen/hydrogen_policy.h"
+#include "sim/engine.h"
+#include "trace/generators.h"
+
+namespace h2 {
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Runs `fn(i)` for `iters` iterations, folding its u64 result into a
+/// checksum (which both defeats dead-code elimination and becomes the
+/// entry's deterministic counter).
+template <typename Fn>
+PerfEntry run_micro(const std::string& name, u64 iters, Fn&& fn) {
+  u64 checksum = 0;
+  const double t0 = now_seconds();
+  for (u64 i = 0; i < iters; ++i) checksum += fn(i);
+  const double wall = now_seconds() - t0;
+
+  PerfEntry e;
+  e.name = name;
+  e.kind = "micro";
+  e.iters = iters;
+  e.wall_seconds = wall;
+  e.rate = wall > 0.0 ? static_cast<double>(iters) / wall : 0.0;
+  e.events = checksum;
+  return e;
+}
+
+/// Minimal DES actor: four of these ping-ponging through the queue measure
+/// pure engine scheduling overhead (pop, hook scan, push).
+class SpinActor final : public Actor {
+ public:
+  explicit SpinActor(Cycle stride) : stride_(stride) {}
+  Cycle step(Engine& engine, Cycle now) override {
+    (void)engine;
+    return now + stride_;
+  }
+  const char* name() const override { return "spin"; }
+
+ private:
+  Cycle stride_;
+};
+
+PerfEntry micro_engine_loop(u64 horizon) {
+  Engine engine;
+  SpinActor a1(1), a2(2), a3(3), a4(5);
+  engine.add_actor(&a1);
+  engine.add_actor(&a2);
+  engine.add_actor(&a3);
+  engine.add_actor(&a4);
+  engine.add_periodic(1u << 20, [](Cycle) {});
+
+  const double t0 = now_seconds();
+  engine.run(horizon);
+  const double wall = now_seconds() - t0;
+
+  PerfEntry e;
+  e.name = "micro/engine_loop";
+  e.kind = "micro";
+  e.iters = engine.steps_executed();
+  e.wall_seconds = wall;
+  e.rate = wall > 0.0 ? static_cast<double>(e.iters) / wall : 0.0;
+  e.events = engine.steps_executed() + engine.now();
+  return e;
+}
+
+std::vector<PerfEntry> run_micros(bool tiny) {
+  // Iteration counts sized for a few hundred ms each on a current x86 core;
+  // --tiny divides by 64 for test runs where only determinism matters.
+  const u64 div = tiny ? 64 : 1;
+  std::vector<PerfEntry> out;
+
+  {
+    Rng rng(42);
+    out.push_back(run_micro("micro/rng_next", (16u << 20) / div,
+                            [&](u64) { return rng.next(); }));
+  }
+  {
+    WorkloadSpec spec;
+    spec.name = "perfbench";
+    spec.footprint_bytes = 32ull << 20;
+    spec.mix = {1.0, 1.0, 2.0, 0.5, 0.5};
+    SyntheticGenerator gen(spec, 42);
+    out.push_back(run_micro("micro/generator_next", (2u << 20) / div, [&](u64) {
+      const Access a = gen.next();
+      return a.addr + a.gap + (a.write ? 1u : 0u);
+    }));
+  }
+  {
+    CacheConfig cfg;
+    cfg.name = "perfbench-l2";
+    cfg.size_bytes = 256 * 1024;
+    cfg.ways = 8;
+    Cache cache(cfg);
+    out.push_back(run_micro("micro/cache_access", (4u << 20) / div, [&](u64 i) {
+      const Addr addr = (splitmix64(i) % (4ull * cfg.size_bytes)) & ~63ull;
+      return cache.access(addr, (i & 7) == 0).hit ? 1u : 0u;
+    }));
+  }
+  {
+    RemapTable table(4096, 4);
+    for (u32 set = 0; set < table.num_sets(); ++set) {
+      for (u32 w = 0; w < table.assoc(); ++w) {
+        auto rw = table.way(set, w);
+        rw.valid = true;
+        rw.tag = static_cast<u64>(set) * 8 + w;  // half the probed tags hit
+        rw.channel = static_cast<u8>(w);
+      }
+    }
+    out.push_back(run_micro("micro/remap_find", (8u << 20) / div, [&](u64 i) {
+      const u32 set = static_cast<u32>(i) & 4095u;
+      const u64 tag = static_cast<u64>(set) * 8 + (i & 7);
+      return static_cast<u64>(table.find(set, tag) + 1);
+    }));
+  }
+  {
+    out.push_back(run_micro("micro/hrw_rank", (4u << 20) / div, [&](u64 i) {
+      return hrw_rank(0x4879647267656eull, static_cast<u32>(i) & 0xFFFFu,
+                      static_cast<u32>(i) & 15u, 16);
+    }));
+  }
+  {
+    // Per-access policy decisions through the virtual interface, exactly as
+    // HybridMemory's victim/fixup paths consume them.
+    HydrogenPolicy hydrogen;
+    PartitionPolicy* policy = &hydrogen;
+    policy->bind(/*num_channels=*/8, /*assoc=*/4, /*num_sets=*/4096);
+    out.push_back(run_micro("micro/policy_dispatch", (2u << 20) / div, [&](u64 i) {
+      const u32 set = static_cast<u32>(i) & 4095u;
+      const u32 way = static_cast<u32>(i) & 3u;
+      const Requestor cls = (i & 4) ? Requestor::Gpu : Requestor::Cpu;
+      return static_cast<u64>(policy->channel_of_way(set, way)) +
+             (policy->way_allowed(set, way, cls) ? 1u : 0u) +
+             static_cast<u64>(policy->way_owner(set, way));
+    }));
+  }
+  out.push_back(micro_engine_loop((tiny ? 1u : 16u) << 20));
+  return out;
+}
+
+PerfEntry run_fig05_slice(u32 jobs, bool tiny) {
+  bench::BenchArgs bargs;
+  bargs.quick = true;
+
+  std::vector<ExperimentConfig> cfgs;
+  const std::vector<std::string> combos =
+      tiny ? std::vector<std::string>{"C1"}
+           : std::vector<std::string>{"C1", "C5", "C11"};
+  for (const std::string& combo : combos) {
+    cfgs.push_back(bench::bench_config(combo, DesignSpec::baseline(), bargs));
+    if (tiny) {
+      cfgs.push_back(bench::bench_config(combo, DesignSpec::hydrogen_full(), bargs));
+    } else {
+      for (DesignSpec design : bench::fig5_designs()) {
+        cfgs.push_back(bench::bench_config(combo, std::move(design), bargs));
+      }
+    }
+  }
+
+  SweepOptions opts;
+  opts.jobs = jobs;
+
+  const double t0 = now_seconds();
+  const std::vector<SweepRun> runs = run_sweep(cfgs, opts);
+  const double wall = now_seconds() - t0;
+
+  u64 events = 0, accesses = 0;
+  for (const SweepRun& r : runs) {
+    if (!r.ok) {
+      std::cerr << "perfbench: sweep run [" << r.combo << " / " << r.design
+                << "] failed: " << r.error << "\n";
+      std::exit(1);
+    }
+    events += r.result.engine_steps;
+    accesses += r.result.hmstats[0].demand + r.result.hmstats[1].demand;
+  }
+
+  PerfEntry e;
+  e.name = tiny ? "fig05_tiny" : "fig05_quick";
+  e.kind = "sweep";
+  e.iters = runs.size();
+  e.wall_seconds = wall;
+  e.events = events;
+  e.accesses = accesses;
+  e.rate = wall > 0.0 ? static_cast<double>(events) / wall : 0.0;
+  e.accesses_per_sec = wall > 0.0 ? static_cast<double>(accesses) / wall : 0.0;
+  return e;
+}
+
+int run(int argc, char** argv) {
+  std::string out_path = "BENCH.json";
+  u32 jobs = 0;
+  bool tiny = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (a == "--jobs" && i + 1 < argc) {
+      const long n = std::strtol(argv[++i], nullptr, 10);
+      if (n <= 0) {
+        std::cerr << "--jobs expects a positive integer\n";
+        return 2;
+      }
+      jobs = static_cast<u32>(n);
+    } else if (a == "--tiny") {
+      tiny = true;
+    } else {
+      std::cerr << "unknown argument: " << a
+                << " (supported: --out <path> --jobs <n> --tiny)\n";
+      return 2;
+    }
+  }
+
+  PerfReport report;
+  {
+    utsname uts{};
+    uname(&uts);
+    report.set_meta("host", std::string(uts.nodename) + " " + uts.sysname + " " +
+                                uts.release + " " + uts.machine);
+  }
+  report.set_meta("compiler", __VERSION__);
+#ifdef NDEBUG
+  report.set_meta("build", "release");
+#else
+  report.set_meta("build", "debug");
+#endif
+  report.set_meta("check_level", std::to_string(check::compiled_level()));
+  report.set_meta("jobs", std::to_string(resolve_jobs(jobs)));
+  report.set_meta("hardware_threads",
+                  std::to_string(std::thread::hardware_concurrency()));
+  report.set_meta("slice", tiny ? "tiny" : "fig05-quick");
+
+  for (PerfEntry& e : run_micros(tiny)) report.entries.push_back(std::move(e));
+  report.entries.push_back(run_fig05_slice(jobs, tiny));
+
+  if (!save_report(report, out_path)) {
+    std::cerr << "perfbench: cannot write '" << out_path << "'\n";
+    return 1;
+  }
+
+  for (const PerfEntry& e : report.entries) {
+    char line[256];
+    std::snprintf(line, sizeof line, "%-24s %12.3e /s  (%.3fs, counter %llu)",
+                  e.name.c_str(), e.rate, e.wall_seconds,
+                  static_cast<unsigned long long>(e.events));
+    std::cerr << line << "\n";
+  }
+  std::cerr << "wrote " << out_path << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace h2
+
+int main(int argc, char** argv) { return h2::run(argc, argv); }

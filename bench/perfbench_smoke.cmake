@@ -1,0 +1,23 @@
+# Smoke test for the perf baseline harness: run the --tiny slice, then push
+# the emitted BENCH file through h2perf --print and a self-compare (a report
+# diffed against itself must be all-noise with identical counters).
+#
+# Variables: PERFBENCH, H2PERF, OUT.
+
+execute_process(COMMAND ${PERFBENCH} --tiny --jobs 2 --out ${OUT}
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "perfbench --tiny failed (exit ${rc})")
+endif()
+
+execute_process(COMMAND ${H2PERF} --print ${OUT} RESULT_VARIABLE rc
+                OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "h2perf --print rejected the fresh BENCH file (exit ${rc})")
+endif()
+
+execute_process(COMMAND ${H2PERF} --compare ${OUT} ${OUT} RESULT_VARIABLE rc
+                OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "h2perf self-compare flagged a diff (exit ${rc})")
+endif()

@@ -1,5 +1,7 @@
 #include "cache/cache.h"
 
+#include <bit>
+
 #include "check/check.h"
 #include "common/assert.h"
 
@@ -7,67 +9,115 @@ namespace h2 {
 
 Cache::Cache(const CacheConfig& cfg) : cfg_(cfg), sets_(cfg.num_sets()) {
   H2_ASSERT(sets_ >= 1, "cache %s too small for %u ways", cfg.name.c_str(), cfg.ways);
-  lines_.resize(static_cast<size_t>(sets_) * cfg_.ways);
+  const size_t n = static_cast<size_t>(sets_) * cfg_.ways;
+  tag_.resize(n, kNoTag);
+  lru_.resize(n, 0);
+  valid_.resize(n, 0);
+  dirty_.resize(n, 0);
+  mru_.resize(sets_, 0);
+  if (std::has_single_bit(cfg_.line_bytes) && std::has_single_bit(sets_)) {
+    pow2_ = true;
+    line_shift_ = static_cast<u32>(std::countr_zero(cfg_.line_bytes));
+    set_shift_ = static_cast<u32>(std::countr_zero(sets_));
+  }
 }
 
-Cache::Line* Cache::find(Addr tag, u32 set) {
-  Line* base = &lines_[static_cast<size_t>(set) * cfg_.ways];
-  for (u32 w = 0; w < cfg_.ways; ++w) {
-    if (base[w].valid && base[w].tag == tag) return &base[w];
+void Cache::locate(Addr addr, u32& set, Addr& tag) const {
+  if (pow2_) {
+    const Addr line = addr >> line_shift_;
+    set = static_cast<u32>(line & (sets_ - 1));
+    tag = line >> set_shift_;
+    return;
   }
-  return nullptr;
+  const Addr line = addr / cfg_.line_bytes;
+  set = static_cast<u32>(line % sets_);
+  tag = line / sets_;
+}
+
+i64 Cache::find(Addr tag, u32 set) const {
+  // Invalid lines carry kNoTag, which no lookup can present (checked in
+  // access), so a bare tag compare suffices — no valid_ load per way.
+  const size_t base = static_cast<size_t>(set) * cfg_.ways;
+  for (u32 w = 0; w < cfg_.ways; ++w) {
+    if (tag_[base + w] == tag) return static_cast<i64>(base + w);
+  }
+  return -1;
 }
 
 Cache::AccessResult Cache::access(Addr addr, bool is_write) {
-  const Addr line = addr / cfg_.line_bytes;
-  const u32 set = static_cast<u32>(line % sets_);
-  const Addr tag = line / sets_;
+  u32 set;
+  Addr tag;
+  locate(addr, set, tag);
+  H2_CHECK(1, tag != kNoTag,
+           "cache %s: address %llu aliases the invalid-line sentinel tag",
+           cfg_.name.c_str(), static_cast<unsigned long long>(addr));
 
   AccessResult res;
-  if (Line* hit = find(tag, set)) {
-    hit->lru = ++stamp_;
-    hit->dirty |= is_write;
+  // MRU-first probe: the matching way is unique (audited), so checking the
+  // set's last-hit way first is a pure accelerator — same hit, same way.
+  const size_t base = static_cast<size_t>(set) * cfg_.ways;
+  i64 hit = static_cast<i64>(base + mru_[set]);
+  // Fused scan: one pass finds the matching way AND tracks the victim the
+  // separate LRU loop used to pick (first invalid way — detected via the
+  // sentinel tag — else the first strict-minimum LRU among the valid ways
+  // before it, which is all of them when no invalid way exists). The victim
+  // is only consumed on a miss, where the pass never broke early, so the
+  // choice is identical to the two-loop version.
+  size_t victim = base;
+  bool invalid_found = false;
+  if (tag_[hit] != tag) {
+    hit = -1;
+    for (u32 w = 0; w < cfg_.ways; ++w) {
+      const Addr t = tag_[base + w];
+      if (t == tag) {
+        hit = static_cast<i64>(base + w);
+        break;
+      }
+      if (invalid_found) continue;
+      if (t == kNoTag) {
+        victim = base + w;
+        invalid_found = true;
+      } else if (lru_[base + w] < lru_[victim]) {
+        victim = base + w;
+      }
+    }
+  }
+  if (hit >= 0) {
+    lru_[hit] = ++stamp_;
+    dirty_[hit] |= static_cast<u8>(is_write);
     hits_++;
+    mru_[set] = static_cast<u32>(hit - static_cast<i64>(base));
     res.hit = true;
     return res;
   }
 
   misses_++;
-  // Choose LRU victim (invalid lines first).
-  Line* base = &lines_[static_cast<size_t>(set) * cfg_.ways];
-  Line* victim = &base[0];
-  for (u32 w = 0; w < cfg_.ways; ++w) {
-    if (!base[w].valid) {
-      victim = &base[w];
-      break;
-    }
-    if (base[w].lru < victim->lru) victim = &base[w];
-  }
-  if (victim->valid) {
+  if (valid_[victim]) {
     res.victim_valid = true;
-    res.victim_dirty = victim->dirty;
-    res.victim_addr = (victim->tag * sets_ + set) * cfg_.line_bytes;
-    if (victim->dirty) writebacks_++;
+    res.victim_dirty = dirty_[victim] != 0;
+    res.victim_addr = (tag_[victim] * sets_ + set) * cfg_.line_bytes;
+    if (dirty_[victim]) writebacks_++;
   }
-  victim->valid = true;
-  victim->dirty = is_write;
-  victim->tag = tag;
-  victim->lru = ++stamp_;
+  valid_[victim] = 1;
+  dirty_[victim] = static_cast<u8>(is_write);
+  tag_[victim] = tag;
+  lru_[victim] = ++stamp_;
+  mru_[set] = static_cast<u32>(victim - base);
   return res;
 }
 
 u64 Cache::resident_lines() const {
   u64 count = 0;
-  for (const Line& l : lines_) count += l.valid ? 1 : 0;
+  for (const u8 v : valid_) count += v ? 1 : 0;
   return count;
 }
 
 std::vector<Addr> Cache::resident_addrs() const {
   std::vector<Addr> addrs;
   for (u32 set = 0; set < sets_; ++set) {
-    const Line* base = &lines_[static_cast<size_t>(set) * cfg_.ways];
+    const size_t base = static_cast<size_t>(set) * cfg_.ways;
     for (u32 w = 0; w < cfg_.ways; ++w) {
-      if (base[w].valid) addrs.push_back((base[w].tag * sets_ + set) * cfg_.line_bytes);
+      if (valid_[base + w]) addrs.push_back((tag_[base + w] * sets_ + set) * cfg_.line_bytes);
     }
   }
   return addrs;
@@ -76,38 +126,42 @@ std::vector<Addr> Cache::resident_addrs() const {
 void Cache::audit() const {
   if (!H2_CHECK_ACTIVE(2)) return;
   for (u32 set = 0; set < sets_; ++set) {
-    const Line* base = &lines_[static_cast<size_t>(set) * cfg_.ways];
+    const size_t base = static_cast<size_t>(set) * cfg_.ways;
     for (u32 w = 0; w < cfg_.ways; ++w) {
-      if (!base[w].valid) continue;
+      // Sentinel invariant behind the validity-free tag scan: invalid lines
+      // hold kNoTag and nothing else does.
+      H2_CHECK(2, (valid_[base + w] != 0) == (tag_[base + w] != kNoTag),
+               "cache %s: set %u way %u %s but tag is %s the sentinel",
+               cfg_.name.c_str(), set, w,
+               valid_[base + w] ? "valid" : "invalid",
+               tag_[base + w] == kNoTag ? "" : "not");
+      if (!valid_[base + w]) continue;
       for (u32 v = w + 1; v < cfg_.ways; ++v) {
-        H2_CHECK(2, !(base[v].valid && base[v].tag == base[w].tag),
+        H2_CHECK(2, !(valid_[base + v] && tag_[base + v] == tag_[base + w]),
                  "cache %s: duplicate tag %llu in set %u (ways %u and %u)",
                  cfg_.name.c_str(),
-                 static_cast<unsigned long long>(base[w].tag), set, w, v);
+                 static_cast<unsigned long long>(tag_[base + w]), set, w, v);
       }
     }
   }
 }
 
 bool Cache::probe(Addr addr) const {
-  const Addr line = addr / cfg_.line_bytes;
-  const u32 set = static_cast<u32>(line % sets_);
-  const Addr tag = line / sets_;
-  const Line* base = &lines_[static_cast<size_t>(set) * cfg_.ways];
-  for (u32 w = 0; w < cfg_.ways; ++w) {
-    if (base[w].valid && base[w].tag == tag) return true;
-  }
-  return false;
+  u32 set;
+  Addr tag;
+  locate(addr, set, tag);
+  return find(tag, set) >= 0;
 }
 
 bool Cache::invalidate(Addr addr) {
-  const Addr line = addr / cfg_.line_bytes;
-  const u32 set = static_cast<u32>(line % sets_);
-  const Addr tag = line / sets_;
-  if (Line* l = find(tag, set)) {
-    const bool was_dirty = l->dirty;
-    l->valid = false;
-    l->dirty = false;
+  u32 set;
+  Addr tag;
+  locate(addr, set, tag);
+  if (const i64 idx = find(tag, set); idx >= 0) {
+    const bool was_dirty = dirty_[idx] != 0;
+    valid_[idx] = 0;
+    dirty_[idx] = 0;
+    tag_[idx] = kNoTag;
     return was_dirty;
   }
   return false;

@@ -2,6 +2,14 @@
 // latency). Used for CPU L1/L2, GPU L1, and the shared LLC. The model tracks
 // dirty state so that LLC evictions generate memory writebacks, which matter
 // for slow-memory traffic amplification (paper Section IV-B).
+//
+// The line metadata is stored struct-of-arrays: the tag scan on every access
+// touches only the tag/valid arrays instead of dragging full line structs
+// through the cache, which matters because Cache::access dominates the DES
+// hot loop (one L1+L2 walk per core access). The layout is a pure
+// representation change — hit/miss results, victim choice (first invalid way,
+// else first-minimum LRU) and all counters are bit-identical to the previous
+// array-of-structs model.
 #pragma once
 
 #include <string>
@@ -66,18 +74,33 @@ class Cache {
   void reset_stats() { hits_ = misses_ = writebacks_ = 0; }
 
  private:
-  struct Line {
-    Addr tag = 0;
-    u64 lru = 0;
-    bool valid = false;
-    bool dirty = false;
-  };
+  /// Tag stored by invalid lines. Unreachable by real lookups: it would
+  /// need an address past 2^64 / sets bytes. find() relies on this to skip
+  /// the per-way valid check, and access() H2_CHECKs the lookup tag.
+  static constexpr Addr kNoTag = ~0ull;
 
-  Line* find(Addr tag, u32 set);
+  /// -1 when not resident, else the line index (set * ways + w).
+  i64 find(Addr tag, u32 set) const;
+
+  /// Splits `addr` into (set, tag); both geometries are usually powers of
+  /// two, so the division strength-reduces to shift/mask when it can.
+  void locate(Addr addr, u32& set, Addr& tag) const;
 
   CacheConfig cfg_;
-  std::vector<Line> lines_;
   u32 sets_;
+  u32 line_shift_ = 0;  ///< log2(line_bytes) when a power of two, else 0
+  u32 set_shift_ = 0;   ///< log2(sets) when a power of two, else 0
+  bool pow2_ = false;   ///< both line_bytes and sets are powers of two
+
+  // Struct-of-arrays line metadata, indexed by set * ways + w.
+  std::vector<Addr> tag_;
+  std::vector<u64> lru_;
+  std::vector<u8> valid_;
+  std::vector<u8> dirty_;
+  // Last way hit or filled per set: a pure lookup accelerator (the matching
+  // way is unique), checked before the full tag scan.
+  std::vector<u32> mru_;
+
   u64 stamp_ = 0;
   u64 hits_ = 0;
   u64 misses_ = 0;

@@ -155,7 +155,7 @@ class RefModel {
     u64 best_lru = ~0ull;
     for (u32 w = 0; w < cfg_.assoc; ++w) {
       if (!policy_->way_allowed(set, w, cls)) continue;
-      const RemapWay& rw = table_.way(set, w);
+      const auto rw = table_.way(set, w);
       if (!rw.valid) return static_cast<i32>(w);
       if (rw.lru < best_lru) {
         best_lru = rw.lru;
@@ -167,7 +167,7 @@ class RefModel {
 
   /// Mirrors HybridMemory::fill_way (sans fault sites).
   void fill_way(u32 set, u32 way, u64 tag, bool dirty) {
-    RemapWay& rw = table_.way(set, way);
+    auto rw = table_.way(set, way);
     rw.tag = tag;
     rw.hits = 0;
     rw.valid = true;
@@ -182,8 +182,8 @@ class RefModel {
   /// *pre-swap* channels, block state (not recency) swapped, channels and
   /// owner bits reattached to the ways.
   void do_swap(const PolicyContext& ctx, u32 set, u32 way_a, u32 way_b) {
-    RemapWay& a = table_.way(set, way_a);
-    RemapWay& b = table_.way(set, way_b);
+    auto a = table_.way(set, way_a);
+    auto b = table_.way(set, way_b);
     if (!cfg_.ideal_swap) {
       fast_reqs_[a.channel] += 2;
       fast_reqs_[b.channel] += 2;
@@ -207,7 +207,7 @@ class RefModel {
   /// Returns true when the entry was invalidated, in which case the caller
   /// serves the demand line from the slow tier.
   bool lazy_fixups(const PolicyContext& ctx, u32 way) {
-    RemapWay& rw = table_.way(ctx.set, way);
+    auto rw = table_.way(ctx.set, way);
     SideStats& st = stats_[static_cast<u32>(ctx.cls)];
     const bool want_cpu = policy_->way_owner(ctx.set, way) == Requestor::Cpu;
     if (rw.owner_cpu != want_cpu) {
@@ -240,7 +240,7 @@ class RefModel {
     if (cfg_.chaining) return;
     for (u32 set = 0; set < table_.num_sets(); ++set) {
       for (u32 w = 0; w < table_.assoc(); ++w) {
-        RemapWay& rw = table_.way(set, w);
+        auto rw = table_.way(set, w);
         if (!rw.valid) continue;
         const Requestor cls = rw.owner_cpu ? Requestor::Cpu : Requestor::Gpu;
         const u32 natural = static_cast<u32>(rw.tag % table_.num_sets());
@@ -269,7 +269,7 @@ class RefModel {
       slow_reqs_[ctx.slow_channel]++;
       return;
     }
-    RemapWay& rw = table_.way(ctx.set, way);
+    auto rw = table_.way(ctx.set, way);
     fast_reqs_[rw.channel]++;  // 64 B demand line
     if (ctx.is_write) rw.dirty = true;
     if (rw.hits < 0xFFFF) rw.hits++;
@@ -294,8 +294,8 @@ class RefModel {
         const i32 home_v = pick_victim(ctx.set, ctx.cls);
         const i32 alt_v = pick_victim(partner, ctx.cls);
         if (home_v >= 0 && alt_v >= 0) {
-          const RemapWay& h = table_.way(ctx.set, static_cast<u32>(home_v));
-          const RemapWay& a = table_.way(partner, static_cast<u32>(alt_v));
+          const auto h = table_.way(ctx.set, static_cast<u32>(home_v));
+          const auto a = table_.way(partner, static_cast<u32>(alt_v));
           if (h.valid && (!a.valid || a.lru < h.lru)) fill_set = partner;
         }
       }
@@ -304,7 +304,7 @@ class RefModel {
     const i32 victim = pick_victim(fill_set, ctx.cls);
     bool victim_dirty = false;
     if (victim >= 0) {
-      const RemapWay& rw = table_.way(fill_set, static_cast<u32>(victim));
+      const auto rw = table_.way(fill_set, static_cast<u32>(victim));
       victim_dirty = rw.valid && rw.dirty;
     }
     // allow_migration / note_miss see the *home*-set context, exactly as in
@@ -321,7 +321,7 @@ class RefModel {
     st.migrations++;
     const Addr block_addr = ctx.tag * cfg_.block_bytes;
     slow_reqs_[static_cast<u32>((block_addr / slow_block_) % slow_reqs_.size())]++;
-    RemapWay& rw = table_.way(fill_set, static_cast<u32>(victim));
+    auto rw = table_.way(fill_set, static_cast<u32>(victim));
     if (rw.valid && rw.dirty) {
       const Addr wb = rw.tag * cfg_.block_bytes;
       slow_reqs_[static_cast<u32>((wb / slow_block_) % slow_reqs_.size())]++;
@@ -348,7 +348,7 @@ std::map<std::pair<u32, u64>, std::pair<u32, bool>> table_residency(
   std::map<std::pair<u32, u64>, std::pair<u32, bool>> r;
   for (u32 set = 0; set < t.num_sets(); ++set) {
     for (u32 w = 0; w < t.assoc(); ++w) {
-      const RemapWay& rw = t.way(set, w);
+      const auto rw = t.way(set, w);
       if (rw.valid) r[{set, rw.tag}] = {rw.channel, rw.dirty};
     }
   }
@@ -361,7 +361,7 @@ u64 first_duplicate_tag(const RemapTable& t) {
   std::set<u64> seen;
   for (u32 set = 0; set < t.num_sets(); ++set) {
     for (u32 w = 0; w < t.assoc(); ++w) {
-      const RemapWay& rw = t.way(set, w);
+      const auto rw = t.way(set, w);
       if (rw.valid && !seen.insert(rw.tag).second) return rw.tag;
     }
   }

@@ -57,9 +57,14 @@ u64 Rng::next_zipf(u64 n, double s) {
   // Approximate inversion of the Zipf CDF via the continuous bounding
   // distribution (Gray et al. style). Accurate enough for locality modelling.
   if (s == 1.0) s = 1.0001;  // avoid the harmonic special case
-  const double nd = static_cast<double>(n);
   const double exp1 = 1.0 - s;
-  const double norm = (std::pow(nd, exp1) - 1.0) / exp1;
+  if (n != zipf_n_ || s != zipf_s_) {
+    zipf_n_ = n;
+    zipf_s_ = s;
+    const double nd = static_cast<double>(n);
+    zipf_norm_ = (std::pow(nd, exp1) - 1.0) / exp1;
+  }
+  const double norm = zipf_norm_;
   const double u = next_double();
   const double x = std::pow(u * norm * exp1 + 1.0, 1.0 / exp1);
   u64 rank = static_cast<u64>(x) - (x >= 1.0 ? 1 : 0);

@@ -55,6 +55,14 @@ class Rng {
 
  private:
   std::array<u64, 4> s_{};
+
+  // One-entry memo for the Zipf CDF normaliser, which depends only on
+  // (n, s) — a generator draws from one distribution millions of times, and
+  // std::pow dominates the sampler. Filled with the exact expression
+  // next_zipf() used to evaluate inline, so the draws are bit-identical.
+  u64 zipf_n_ = 0;
+  double zipf_s_ = 0.0;
+  double zipf_norm_ = 0.0;
 };
 
 }  // namespace h2

@@ -125,6 +125,11 @@ struct ExperimentResult {
   ParamPoint final_point;           ///< Hydrogen only
   u64 reconfigurations = 0;
   u64 epochs = 0;
+  /// Total DES events executed by the engine over the experiment's lifetime
+  /// (warmup included — the engine's step counter never resets). A pure
+  /// function of the config, so perfbench uses it as the deterministic
+  /// "events" counter that optimisations must not change.
+  u64 engine_steps = 0;
 };
 
 /// Builds and runs one experiment. Deterministic for a given config.

@@ -308,6 +308,7 @@ std::string serialize_entry(const JournalEntry& e) {
   w.num("final_tok", r.final_point.tok);
   w.num("reconfigurations", r.reconfigurations);
   w.num("epochs", r.epochs);
+  w.num("engine_steps", r.engine_steps);
   return w.finish();
 }
 
@@ -367,6 +368,7 @@ std::optional<JournalEntry> parse_entry(const std::string& line) {
   r.final_point.tok = static_cast<u32>(tmp);
   ok = ok && take_u64(m, "reconfigurations", r.reconfigurations);
   ok = ok && take_u64(m, "epochs", r.epochs);
+  ok = ok && take_u64(m, "engine_steps", r.engine_steps);
   if (!ok) return std::nullopt;
 
   r.combo = e.combo;

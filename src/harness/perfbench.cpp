@@ -1,0 +1,320 @@
+#include "harness/perfbench.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace h2 {
+
+namespace {
+
+void append_hex_double(std::string& out, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  out += buf;
+}
+
+void append_json_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+}
+
+void append_kv(std::string& out, const char* indent, const std::string& k,
+               const std::string& v, bool last) {
+  out += indent;
+  out += '"';
+  append_json_escaped(out, k);
+  out += "\": \"";
+  append_json_escaped(out, v);
+  out += '"';
+  if (!last) out += ',';
+  out += '\n';
+}
+
+/// Character-level parser for the subset serialize_report emits: objects,
+/// arrays, and string values. Any structural surprise aborts the parse.
+struct Parser {
+  const std::string& s;
+  size_t i = 0;
+
+  explicit Parser(const std::string& text) : s(text) {}
+
+  void skip_ws() {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' || s[i] == '\r'))
+      i++;
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (i >= s.size() || s[i] != c) return false;
+    i++;
+    return true;
+  }
+  bool peek(char c) {
+    skip_ws();
+    return i < s.size() && s[i] == c;
+  }
+  bool read_string(std::string& out) {
+    skip_ws();
+    if (i >= s.size() || s[i] != '"') return false;
+    i++;
+    out.clear();
+    while (i < s.size() && s[i] != '"') {
+      if (s[i] == '\\') {
+        i++;
+        if (i >= s.size() || (s[i] != '"' && s[i] != '\\')) return false;
+      }
+      out += s[i++];
+    }
+    if (i >= s.size()) return false;
+    i++;
+    return true;
+  }
+  /// {"k":"v",...} with string values only.
+  bool read_flat_object(std::vector<std::pair<std::string, std::string>>& out) {
+    if (!eat('{')) return false;
+    if (eat('}')) return true;
+    while (true) {
+      std::string k, v;
+      if (!read_string(k) || !eat(':') || !read_string(v)) return false;
+      out.emplace_back(std::move(k), std::move(v));
+      if (eat(',')) continue;
+      return eat('}');
+    }
+  }
+};
+
+bool take_str(const std::vector<std::pair<std::string, std::string>>& m,
+              const char* k, std::string& dst) {
+  for (const auto& [key, value] : m) {
+    if (key == k) {
+      dst = value;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool take_u64(const std::vector<std::pair<std::string, std::string>>& m,
+              const char* k, u64& dst) {
+  std::string v;
+  if (!take_str(m, k, v) || v.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long x = std::strtoull(v.c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0') return false;
+  dst = static_cast<u64>(x);
+  return true;
+}
+
+bool take_dbl(const std::vector<std::pair<std::string, std::string>>& m,
+              const char* k, double& dst) {
+  std::string v;
+  if (!take_str(m, k, v) || v.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double x = std::strtod(v.c_str(), &end);
+  if (errno != 0 || end == nullptr || *end != '\0') return false;
+  dst = x;
+  return true;
+}
+
+std::string u64_str(u64 v) { return std::to_string(v); }
+
+std::string dbl_str(double v) {
+  std::string out;
+  append_hex_double(out, v);
+  return out;
+}
+
+}  // namespace
+
+void PerfReport::set_meta(const std::string& key, const std::string& value) {
+  for (auto& [k, v] : meta) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  meta.emplace_back(key, value);
+}
+
+const std::string* PerfReport::find_meta(const std::string& key) const {
+  for (const auto& [k, v] : meta) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const PerfEntry* PerfReport::find(const std::string& name) const {
+  for (const PerfEntry& e : entries) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+std::string serialize_report(const PerfReport& report) {
+  std::string out = "{\n";
+  append_kv(out, "  ", "schema", kPerfSchema, false);
+
+  out += "  \"meta\": {\n";
+  for (size_t i = 0; i < report.meta.size(); ++i) {
+    append_kv(out, "    ", report.meta[i].first, report.meta[i].second,
+              i + 1 == report.meta.size());
+  }
+  out += "  },\n";
+
+  out += "  \"benchmarks\": [\n";
+  for (size_t i = 0; i < report.entries.size(); ++i) {
+    const PerfEntry& e = report.entries[i];
+    out += "    {\n";
+    append_kv(out, "      ", "name", e.name, false);
+    append_kv(out, "      ", "kind", e.kind, false);
+    append_kv(out, "      ", "iters", u64_str(e.iters), false);
+    append_kv(out, "      ", "wall_seconds", dbl_str(e.wall_seconds), false);
+    append_kv(out, "      ", "rate", dbl_str(e.rate), false);
+    append_kv(out, "      ", "events", u64_str(e.events), false);
+    append_kv(out, "      ", "accesses", u64_str(e.accesses), false);
+    append_kv(out, "      ", "accesses_per_sec", dbl_str(e.accesses_per_sec), true);
+    out += i + 1 == report.entries.size() ? "    }\n" : "    },\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+std::optional<PerfReport> parse_report(const std::string& text) {
+  Parser p(text);
+  PerfReport report;
+  if (!p.eat('{')) return std::nullopt;
+
+  std::string key;
+  bool saw_schema = false, saw_meta = false, saw_benchmarks = false;
+  while (true) {
+    if (!p.read_string(key) || !p.eat(':')) return std::nullopt;
+    if (key == "schema") {
+      std::string v;
+      if (!p.read_string(v) || v != kPerfSchema) return std::nullopt;
+      saw_schema = true;
+    } else if (key == "meta") {
+      if (!p.read_flat_object(report.meta)) return std::nullopt;
+      saw_meta = true;
+    } else if (key == "benchmarks") {
+      if (!p.eat('[')) return std::nullopt;
+      if (!p.eat(']')) {
+        while (true) {
+          std::vector<std::pair<std::string, std::string>> fields;
+          if (!p.read_flat_object(fields)) return std::nullopt;
+          PerfEntry e;
+          bool ok = take_str(fields, "name", e.name) && !e.name.empty();
+          ok = ok && take_str(fields, "kind", e.kind);
+          ok = ok && take_u64(fields, "iters", e.iters);
+          ok = ok && take_dbl(fields, "wall_seconds", e.wall_seconds);
+          ok = ok && take_dbl(fields, "rate", e.rate);
+          ok = ok && take_u64(fields, "events", e.events);
+          ok = ok && take_u64(fields, "accesses", e.accesses);
+          ok = ok && take_dbl(fields, "accesses_per_sec", e.accesses_per_sec);
+          if (!ok) return std::nullopt;
+          report.entries.push_back(std::move(e));
+          if (p.eat(',')) continue;
+          if (p.eat(']')) break;
+          return std::nullopt;
+        }
+      }
+      saw_benchmarks = true;
+    } else {
+      return std::nullopt;  // unknown top-level key
+    }
+    if (p.eat(',')) continue;
+    if (p.eat('}')) break;
+    return std::nullopt;
+  }
+  p.skip_ws();
+  if (p.i != p.s.size()) return std::nullopt;
+  if (!saw_schema || !saw_meta || !saw_benchmarks) return std::nullopt;
+  return report;
+}
+
+std::optional<PerfReport> load_report(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+  std::string text;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return parse_report(text);
+}
+
+bool save_report(const PerfReport& report, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::string text = serialize_report(report);
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+const char* to_string(PerfDelta d) {
+  switch (d) {
+    case PerfDelta::Noise: return "noise";
+    case PerfDelta::Improvement: return "improvement";
+    case PerfDelta::Regression: return "regression";
+    case PerfDelta::CounterMismatch: return "counter-mismatch";
+    case PerfDelta::OnlyInBaseline: return "only-in-baseline";
+    case PerfDelta::OnlyInCurrent: return "only-in-current";
+  }
+  return "?";
+}
+
+CompareReport compare_reports(const PerfReport& base, const PerfReport& cur,
+                              double threshold) {
+  CompareReport out;
+  for (const PerfEntry& b : base.entries) {
+    PerfComparison row;
+    row.name = b.name;
+    row.base_rate = b.rate;
+    const PerfEntry* c = cur.find(b.name);
+    if (c == nullptr) {
+      row.cls = PerfDelta::OnlyInBaseline;
+      row.detail = "benchmark disappeared";
+      out.regressions++;
+      out.rows.push_back(std::move(row));
+      continue;
+    }
+    row.cur_rate = c->rate;
+    row.ratio = b.rate > 0.0 ? c->rate / b.rate : 0.0;
+    if (b.events != c->events || b.accesses != c->accesses) {
+      row.cls = PerfDelta::CounterMismatch;
+      char buf[160];
+      std::snprintf(buf, sizeof buf,
+                    "events %llu -> %llu, accesses %llu -> %llu",
+                    static_cast<unsigned long long>(b.events),
+                    static_cast<unsigned long long>(c->events),
+                    static_cast<unsigned long long>(b.accesses),
+                    static_cast<unsigned long long>(c->accesses));
+      row.detail = buf;
+      out.counter_mismatches++;
+    } else if (row.ratio >= 1.0 + threshold) {
+      row.cls = PerfDelta::Improvement;
+      out.improvements++;
+    } else if (row.ratio <= 1.0 - threshold) {
+      row.cls = PerfDelta::Regression;
+      out.regressions++;
+    } else {
+      row.cls = PerfDelta::Noise;
+    }
+    out.rows.push_back(std::move(row));
+  }
+  for (const PerfEntry& c : cur.entries) {
+    if (base.find(c.name) != nullptr) continue;
+    PerfComparison row;
+    row.name = c.name;
+    row.cur_rate = c.rate;
+    row.cls = PerfDelta::OnlyInCurrent;
+    out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace h2

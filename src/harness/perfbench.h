@@ -1,0 +1,98 @@
+// Machine-readable performance baselines (`BENCH_<n>.json`) and their
+// comparator.
+//
+// A BENCH file records one perfbench session: host/compiler metadata plus a
+// list of benchmark entries, each carrying wall-clock throughput *and*
+// deterministic work counters. The split matters: rates are noisy (host,
+// load, governor), so the comparator classifies them against a fractional
+// noise band, while the counters (engine events, demand accesses, micro
+// checksums) are pure functions of code + config — any drift there means an
+// "optimisation" changed behaviour, which is always a hard failure.
+//
+// Serialisation follows the journal idiom (harness/journal.cpp): every value
+// is a JSON string; u64s are decimal, doubles are C99 hex-floats ("%a") so a
+// load/save cycle round-trips bit-exactly.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace h2 {
+
+inline constexpr const char* kPerfSchema = "h2-perfbench-v1";
+
+/// One measured benchmark inside a BENCH report.
+struct PerfEntry {
+  std::string name;  ///< e.g. "micro/rng_next", "fig05_quick"
+  std::string kind;  ///< "micro" (fixed-iteration loop) or "sweep"
+  u64 iters = 0;     ///< micro: loop iterations; sweep: experiment count
+  double wall_seconds = 0.0;
+  double rate = 0.0;  ///< primary throughput per second (ops/s or events/s)
+
+  /// Deterministic counters. Micro loops store their fold checksum in
+  /// `events`; the sweep stores total engine steps in `events` and total
+  /// demand accesses in `accesses`. Bit-stable across hosts and --jobs.
+  u64 events = 0;
+  u64 accesses = 0;
+  double accesses_per_sec = 0.0;  ///< sweep only (0 for micro entries)
+};
+
+struct PerfReport {
+  /// Ordered so serialisation is deterministic and diffs stay readable.
+  std::vector<std::pair<std::string, std::string>> meta;
+  std::vector<PerfEntry> entries;
+
+  void set_meta(const std::string& key, const std::string& value);
+  const std::string* find_meta(const std::string& key) const;
+  const PerfEntry* find(const std::string& name) const;
+};
+
+/// Pretty-printed nested JSON (schema + meta object + benchmarks array).
+std::string serialize_report(const PerfReport& report);
+
+/// Strict parse of serialize_report output: wrong schema, missing fields or
+/// structural surprises all yield nullopt.
+std::optional<PerfReport> parse_report(const std::string& text);
+
+std::optional<PerfReport> load_report(const std::string& path);
+bool save_report(const PerfReport& report, const std::string& path);
+
+/// Classification of one benchmark's delta between two reports.
+enum class PerfDelta : u8 {
+  Noise,            ///< rate moved within the noise band
+  Improvement,      ///< rate up beyond the band
+  Regression,       ///< rate down beyond the band
+  CounterMismatch,  ///< deterministic counters drifted: behaviour changed
+  OnlyInBaseline,   ///< benchmark disappeared (treated as a regression)
+  OnlyInCurrent,    ///< new benchmark, informational
+};
+
+const char* to_string(PerfDelta d);
+
+struct PerfComparison {
+  std::string name;
+  PerfDelta cls = PerfDelta::Noise;
+  double base_rate = 0.0;
+  double cur_rate = 0.0;
+  double ratio = 0.0;  ///< cur_rate / base_rate (0 when a side is missing)
+  std::string detail;  ///< human-readable note (counter values on mismatch)
+};
+
+struct CompareReport {
+  std::vector<PerfComparison> rows;  ///< baseline order, then new entries
+  u32 improvements = 0;
+  u32 regressions = 0;        ///< includes OnlyInBaseline
+  u32 counter_mismatches = 0;
+};
+
+/// Compares entry-by-entry (matched by name). `threshold` is the fractional
+/// noise band: ratio >= 1 + threshold is an improvement, <= 1 - threshold a
+/// regression, anything between is noise.
+CompareReport compare_reports(const PerfReport& base, const PerfReport& cur,
+                              double threshold);
+
+}  // namespace h2

@@ -454,6 +454,7 @@ ExperimentResult SimSystem::drain() {
   res.combo = cfg_.combo;
   res.design = design_.label;
   res.epochs = epochs_this_phase_;
+  res.engine_steps = engine_.steps_executed();
 
   // All recorded cycle counts are measurement-window-relative; with
   // warmup_epochs == 0 the window starts at cycle 0 and every expression

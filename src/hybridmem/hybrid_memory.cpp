@@ -69,14 +69,17 @@ HybridMemory::Lookup HybridMemory::lookup(Cycle now, Requestor cls, Addr addr,
 }
 
 i32 HybridMemory::pick_victim(u32 set, Requestor cls) const {
+  // Hot victim scan: flattened policy dispatch + direct valid/lru rows
+  // (identical choice to the way()-proxy walk over virtual way_allowed).
+  const u8* valid = table_.valid_row(set);
+  const u64* lru = table_.lru_row(set);
   i32 best = -1;
   u64 best_lru = ~0ull;
   for (u32 w = 0; w < table_.assoc(); ++w) {
-    if (!policy_->way_allowed(set, w, cls)) continue;
-    const RemapWay& rw = table_.way(set, w);
-    if (!rw.valid) return static_cast<i32>(w);
-    if (rw.lru < best_lru) {
-      best_lru = rw.lru;
+    if (!policy_->flat_way_allowed(set, w, cls)) continue;
+    if (!valid[w]) return static_cast<i32>(w);
+    if (lru[w] < best_lru) {
+      best_lru = lru[w];
       best = static_cast<i32>(w);
     }
   }
@@ -85,17 +88,17 @@ i32 HybridMemory::pick_victim(u32 set, Requestor cls) const {
 
 void HybridMemory::fill_way(u32 set, u32 way, u64 tag, bool dirty, Requestor cls,
                             u32 present_mask) {
-  RemapWay& rw = table_.way(set, way);
+  auto rw = table_.way(set, way);
   rw.tag = tag;
   rw.hits = 0;
   rw.valid = true;
   rw.dirty = dirty;
   rw.present = present_mask & full_mask();
-  rw.channel = static_cast<u8>(policy_->channel_of_way(set, way));
+  rw.channel = static_cast<u8>(policy_->flat_channel_of_way(set, way));
   // Fault site `alloc-stuck` (check/fault.h): the alloc bit keeps whatever
   // stale value the way carried, so the next hit's lazy fixup misfires.
   if (!fault::at(fault::Kind::AllocStuck)) {
-    rw.owner_cpu = policy_->way_owner(set, way) == Requestor::Cpu;
+    rw.owner_cpu = policy_->flat_owner_is_cpu(set, way);
   }
   H2_CHECK(1, rw.channel < mem_->num_fast_superchannels(),
            "policy %s placed set %u way %u on fast superchannel %u, "
@@ -109,7 +112,7 @@ void HybridMemory::fill_way(u32 set, u32 way, u64 tag, bool dirty, Requestor cls
   if (fault::at(fault::Kind::DupTag)) {
     const u32 dup_set = cfg_.assoc > 1 ? set : (set + 1) % table_.num_sets();
     const u32 dup_way = cfg_.assoc > 1 ? (way + 1) % cfg_.assoc : 0;
-    RemapWay& dup = table_.way(dup_set, dup_way);
+    auto dup = table_.way(dup_set, dup_way);
     dup.tag = rw.tag;
     dup.valid = true;
   }
@@ -118,8 +121,8 @@ void HybridMemory::fill_way(u32 set, u32 way, u64 tag, bool dirty, Requestor cls
 }
 
 void HybridMemory::do_fast_swap(const PolicyContext& ctx, u32 set, u32 way_a, u32 way_b) {
-  RemapWay& a = table_.way(set, way_a);
-  RemapWay& b = table_.way(set, way_b);
+  auto a = table_.way(set, way_a);
+  auto b = table_.way(set, way_b);
   if (!cfg_.ideal_swap) {
     // Read both blocks and write them back to the opposite ways' channels;
     // off the critical path but consuming fast-tier bandwidth.
@@ -141,21 +144,21 @@ void HybridMemory::do_fast_swap(const PolicyContext& ctx, u32 set, u32 way_a, u3
   // bit must be refreshed too: a never-filled way still carries the
   // default-constructed bit, and leaving it stale makes the next hit's lazy
   // fixup spuriously invalidate the freshly promoted block.
-  a.channel = static_cast<u8>(policy_->channel_of_way(set, way_a));
-  b.channel = static_cast<u8>(policy_->channel_of_way(set, way_b));
+  a.channel = static_cast<u8>(policy_->flat_channel_of_way(set, way_a));
+  b.channel = static_cast<u8>(policy_->flat_channel_of_way(set, way_b));
   // Fault site `alloc-stuck`: skipping this refresh deterministically
   // reintroduces the historical stale-owner-bit bug described above.
   if (!fault::at(fault::Kind::AllocStuck)) {
-    a.owner_cpu = policy_->way_owner(set, way_a) == Requestor::Cpu;
-    b.owner_cpu = policy_->way_owner(set, way_b) == Requestor::Cpu;
+    a.owner_cpu = policy_->flat_owner_is_cpu(set, way_a);
+    b.owner_cpu = policy_->flat_owner_is_cpu(set, way_b);
   }
   st(ctx.cls).fast_swaps++;
 }
 
 void HybridMemory::lazy_fixups(const PolicyContext& ctx, u32 set, u32 way, Cycle t) {
-  RemapWay& rw = table_.way(set, way);
-  const bool want_cpu = policy_->way_owner(set, way) == Requestor::Cpu;
-  const u8 want_ch = static_cast<u8>(policy_->channel_of_way(set, way));
+  auto rw = table_.way(set, way);
+  const bool want_cpu = policy_->flat_owner_is_cpu(set, way);
+  const u8 want_ch = static_cast<u8>(policy_->flat_channel_of_way(set, way));
   // Fault site `lazy-skip` (check/fault.h): drop a fixup that is actually
   // due — the block stays misplaced, which the epoch-driven oracle must see
   // as a residency/counter divergence. Visiting the site only when a fixup
@@ -206,7 +209,7 @@ Cycle HybridMemory::serve_hit(const PolicyContext& ctx, const Lookup& lk, Addr a
   if (lk.chained) s.chain_hits++;
 
   lazy_fixups(ctx, set, way, lk.ready);
-  RemapWay& rw = table_.way(set, way);
+  auto rw = table_.way(set, way);
   if (!rw.valid) {
     // The lazy fixup invalidated the block; fall back to the slow tier for
     // the demand line (it will be re-migrated on a future miss).
@@ -259,8 +262,8 @@ Cycle HybridMemory::serve_miss_cache(const PolicyContext& ctx, const Lookup& lk,
       const i32 home = pick_victim(ctx.set, ctx.cls);
       const i32 alt = pick_victim(partner, ctx.cls);
       if (home >= 0 && alt >= 0) {
-        const RemapWay& h = table_.way(ctx.set, static_cast<u32>(home));
-        const RemapWay& a = table_.way(partner, static_cast<u32>(alt));
+        const auto h = table_.way(ctx.set, static_cast<u32>(home));
+        const auto a = table_.way(partner, static_cast<u32>(alt));
         if (h.valid && (!a.valid || a.lru < h.lru)) fill_ctx.set = partner;
       }
     }
@@ -269,7 +272,7 @@ Cycle HybridMemory::serve_miss_cache(const PolicyContext& ctx, const Lookup& lk,
   const i32 victim = pick_victim(fill_ctx.set, ctx.cls);
   bool victim_dirty = false;
   if (victim >= 0) {
-    const RemapWay& rw = table_.way(fill_ctx.set, static_cast<u32>(victim));
+    const auto rw = table_.way(fill_ctx.set, static_cast<u32>(victim));
     victim_dirty = rw.valid && rw.dirty;
   }
   const bool migrate = victim >= 0 && policy_->allow_migration(ctx, victim_dirty);
@@ -311,7 +314,7 @@ Cycle HybridMemory::serve_miss_cache(const PolicyContext& ctx, const Lookup& lk,
   // wait behind. Charging at issue keeps bandwidth accounting exact and
   // cursors monotone with simulation time.
   const u32 vway = static_cast<u32>(victim);
-  RemapWay& rw = table_.way(fill_ctx.set, vway);
+  auto rw = table_.way(fill_ctx.set, vway);
   if (rw.valid && rw.dirty && !fault::at(fault::Kind::DropWriteback)) {
     // Dirty writebacks transfer only resident sub-blocks.
     const u32 wb_bytes =
@@ -321,7 +324,7 @@ Cycle HybridMemory::serve_miss_cache(const PolicyContext& ctx, const Lookup& lk,
                       /*is_write=*/true, ctx.cls, /*earliest=*/lk.ready);
     s.dirty_writebacks++;
   }
-  const u32 ch = policy_->channel_of_way(fill_ctx.set, vway);
+  const u32 ch = policy_->flat_channel_of_way(fill_ctx.set, vway);
   mem_->fast_access(ctx.now, ch, fetch_addr, fetch_bytes, /*is_write=*/true, ctx.cls,
                     /*earliest=*/lk.ready);
   fill_way(fill_ctx.set, vway, ctx.tag, ctx.is_write, ctx.cls, present_mask);
@@ -358,7 +361,7 @@ Cycle HybridMemory::serve_miss_flat(const PolicyContext& ctx, const Lookup& lk, 
   if (migrate) {
     s.migrations++;
     const u32 vway = static_cast<u32>(victim);
-    RemapWay& rw = table_.way(ctx.set, vway);
+    auto rw = table_.way(ctx.set, vway);
     const u32 block_bytes = static_cast<u32>(cfg_.block_bytes);
     const Addr in_addr = ctx.tag * cfg_.block_bytes;
     const Addr out_addr = rw.tag * cfg_.block_bytes;
@@ -367,7 +370,7 @@ Cycle HybridMemory::serve_miss_flat(const PolicyContext& ctx, const Lookup& lk, 
     mem_->slow_access(ctx.now, in_addr, block_bytes, false, ctx.cls, /*earliest=*/lk.ready);
     mem_->fast_access(ctx.now, rw.channel, out_addr, block_bytes, false, ctx.cls,
                       /*earliest=*/lk.ready);
-    mem_->fast_access(ctx.now, policy_->channel_of_way(ctx.set, vway), in_addr,
+    mem_->fast_access(ctx.now, policy_->flat_channel_of_way(ctx.set, vway), in_addr,
                       block_bytes, true, ctx.cls, /*earliest=*/lk.ready);
     mem_->slow_access(ctx.now, out_addr, block_bytes, true, ctx.cls, /*earliest=*/lk.ready);
     s.dirty_writebacks++;  // the displaced block always transfers out
@@ -413,7 +416,7 @@ void HybridMemory::writeback(Cycle now, Requestor cls, Addr addr) {
     }
   }
   if (way >= 0) {
-    RemapWay& rw = table_.way(eff_set, static_cast<u32>(way));
+    auto rw = table_.way(eff_set, static_cast<u32>(way));
     mem_->fast_access(now, rw.channel, addr, kLineBytes, /*is_write=*/true, cls);
     if (cfg_.mode == HybridMode::Cache) rw.dirty = true;
   } else {
@@ -458,7 +461,7 @@ void HybridMemory::audit(Cycle now, const char* where) const {
   resident.reserve(static_cast<size_t>(table_.num_sets()) * table_.assoc());
   for (u32 set = 0; set < table_.num_sets(); ++set) {
     for (u32 w = 0; w < table_.assoc(); ++w) {
-      const RemapWay& rw = table_.way(set, w);
+      const auto rw = table_.way(set, w);
       if (!rw.valid) continue;
       H2_CHECK(2, resident.insert(rw.tag).second,
                "%s cycle %llu: remap not a bijection — block %llu resident "
@@ -492,6 +495,35 @@ void HybridMemory::audit(Cycle now, const char* where) const {
            static_cast<unsigned long long>(covered),
            static_cast<unsigned long long>(cfg_.fast_capacity_bytes));
 
+  // The flattened policy-mapping cache must agree with the virtual mapping
+  // functions for every (set, way) — this is the contract that lets the hot
+  // loops (victim scan, fills, swaps, lazy fixups) read the cache instead of
+  // dispatching through the vtable.
+  for (u32 set = 0; set < table_.num_sets(); ++set) {
+    for (u32 w = 0; w < table_.assoc(); ++w) {
+      H2_CHECK(2, policy_->flat_channel_of_way(set, w) ==
+                      policy_->channel_of_way(set, w),
+               "%s cycle %llu: flat mapping cache stale — set %u way %u "
+               "cached channel %u != virtual %u",
+               where, static_cast<unsigned long long>(now), set, w,
+               policy_->flat_channel_of_way(set, w),
+               policy_->channel_of_way(set, w));
+      H2_CHECK(2, policy_->flat_owner_is_cpu(set, w) ==
+                      (policy_->way_owner(set, w) == Requestor::Cpu),
+               "%s cycle %llu: flat mapping cache stale — set %u way %u "
+               "cached owner disagrees with way_owner",
+               where, static_cast<unsigned long long>(now), set, w);
+      for (const Requestor cls : {Requestor::Cpu, Requestor::Gpu}) {
+        H2_CHECK(2, policy_->flat_way_allowed(set, w, cls) ==
+                        policy_->way_allowed(set, w, cls),
+                 "%s cycle %llu: flat mapping cache stale — set %u way %u "
+                 "cached %s permission disagrees with way_allowed",
+                 where, static_cast<unsigned long long>(now), set, w,
+                 cls == Requestor::Cpu ? "cpu" : "gpu");
+      }
+    }
+  }
+
   // Remap-cache contents must be a subset of the table's set range.
   const Addr meta_limit =
       static_cast<Addr>(table_.num_sets()) * remap_cache_.bytes_per_set();
@@ -511,7 +543,7 @@ u64 HybridMemory::flush_stale_sets(Cycle now) {
   u64 flushed = 0;
   for (u32 set = 0; set < table_.num_sets(); ++set) {
     for (u32 w = 0; w < table_.assoc(); ++w) {
-      RemapWay& rw = table_.way(set, w);
+      auto rw = table_.way(set, w);
       if (!rw.valid) continue;
       const Requestor cls = rw.owner_cpu ? Requestor::Cpu : Requestor::Gpu;
       const u32 natural = static_cast<u32>(rw.tag % table_.num_sets());
@@ -540,7 +572,7 @@ u64 HybridMemory::flush_stale_sets(Cycle now) {
 void HybridMemory::run_instant_reconfig() {
   for (u32 set = 0; set < table_.num_sets(); ++set) {
     for (u32 w = 0; w < table_.assoc(); ++w) {
-      RemapWay& rw = table_.way(set, w);
+      auto rw = table_.way(set, w);
       const bool want_cpu = policy_->way_owner(set, w) == Requestor::Cpu;
       if (rw.owner_cpu != want_cpu) {
         rw.owner_cpu = want_cpu;

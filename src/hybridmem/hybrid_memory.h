@@ -144,6 +144,13 @@ class HybridMemory {
   /// fast-tier size. `where` names the call site in failure messages.
   void audit(Cycle now, const char* where) const;
 
+  /// Victim choice for an allocation by `cls` in `set`: first invalid
+  /// allowed way, else the minimum-lru allowed way (strict <, so the lowest
+  /// index wins ties). Reads the flat permission masks and the table's
+  /// SoA valid/lru rows; public so tests can pin it against an independent
+  /// walk of the virtual policy interface.
+  i32 pick_victim(u32 set, Requestor cls) const;
+
  private:
   struct Lookup {
     Cycle ready;   ///< when metadata resolution completed
@@ -153,7 +160,6 @@ class HybridMemory {
   };
 
   Lookup lookup(Cycle now, Requestor cls, Addr addr, u64 tag, u32 set);
-  i32 pick_victim(u32 set, Requestor cls) const;
   Cycle serve_hit(const PolicyContext& ctx, const Lookup& lk, Addr addr);
   Cycle serve_miss_cache(const PolicyContext& ctx, const Lookup& lk, Addr addr);
   Cycle serve_miss_flat(const PolicyContext& ctx, const Lookup& lk, Addr addr);

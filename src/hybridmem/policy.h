@@ -9,6 +9,9 @@
 // and it adapts at epoch boundaries from aggregate feedback.
 #pragma once
 
+#include <vector>
+
+#include "common/assert.h"
 #include "common/types.h"
 #include "hybridmem/remap_table.h"
 
@@ -52,6 +55,9 @@ class PartitionPolicy {
     num_channels_ = num_channels;
     assoc_ = assoc;
     num_sets_ = num_sets;
+    flat_rows_.assign(num_sets, FlatRow{});
+    flat_channel_.assign(static_cast<size_t>(num_sets) * assoc, 0);
+    map_gen_ = 1;
   }
 
   /// Gives the policy read access to the remap table (for swap-candidate
@@ -116,11 +122,78 @@ class PartitionPolicy {
   u32 assoc() const { return assoc_; }
   u32 num_sets() const { return num_sets_; }
 
+  // --- Flattened mapping reads (devirtualised per-access dispatch) -------
+  //
+  // The mechanism's hot loops (victim scan, lazy fixups, fills, swaps)
+  // consume the way->channel / way->owner / way->permission mapping through
+  // these non-virtual accessors. They are backed by a lazily refreshed
+  // per-set cache OF the virtual functions: a refresh calls the virtuals,
+  // so the cached values are identical by construction, and a generation
+  // counter keeps rows coherent. Every reconfiguration entry point
+  // (set_config/apply_point/set_cpu_ways/set_partition) must call
+  // invalidate_mapping(); HybridMemory::audit() cross-checks cache vs
+  // virtuals at H2_CHECK level 2. Geometries with assoc > 32 bypass the
+  // cache (the masks are 32-bit) and fall through to the virtual calls.
+
+  u32 flat_channel_of_way(u32 set, u32 way) const {
+    if (!flat_usable()) return channel_of_way(set, way);
+    refresh_row(set);
+    return flat_channel_[static_cast<size_t>(set) * assoc_ + way];
+  }
+  bool flat_owner_is_cpu(u32 set, u32 way) const {
+    if (!flat_usable()) return way_owner(set, way) == Requestor::Cpu;
+    refresh_row(set);
+    return (flat_rows_[set].owner_cpu_mask >> way) & 1u;
+  }
+  bool flat_way_allowed(u32 set, u32 way, Requestor cls) const {
+    if (!flat_usable()) return way_allowed(set, way, cls);
+    refresh_row(set);
+    const FlatRow& r = flat_rows_[set];
+    const u32 m = cls == Requestor::Cpu ? r.allowed_cpu_mask : r.allowed_gpu_mask;
+    return (m >> way) & 1u;
+  }
+
+  /// Invalidates every cached row; rows refresh on next access. Cheap (one
+  /// counter bump), so reconfiguration paths can call it unconditionally.
+  void invalidate_mapping() { map_gen_++; }
+
  protected:
+  struct FlatRow {
+    u32 gen = 0;  ///< generation this row was refreshed at (0 = never)
+    u32 owner_cpu_mask = 0;
+    u32 allowed_cpu_mask = 0;
+    u32 allowed_gpu_mask = 0;
+  };
+
+  /// The cache needs bind() to have sized it and 32-bit way masks to fit.
+  bool flat_usable() const { return assoc_ <= 32 && !flat_rows_.empty(); }
+
+  void refresh_row(u32 set) const {
+    FlatRow& r = flat_rows_[set];
+    if (r.gen == map_gen_) return;
+    u32 owner = 0, cpu_ok = 0, gpu_ok = 0;
+    u8* ch_row = &flat_channel_[static_cast<size_t>(set) * assoc_];
+    for (u32 w = 0; w < assoc_; ++w) {
+      const u32 ch = channel_of_way(set, w);
+      H2_ASSERT(ch < 256, "channel %u does not fit the flat cache", ch);
+      ch_row[w] = static_cast<u8>(ch);
+      owner |= (way_owner(set, w) == Requestor::Cpu ? 1u : 0u) << w;
+      cpu_ok |= (way_allowed(set, w, Requestor::Cpu) ? 1u : 0u) << w;
+      gpu_ok |= (way_allowed(set, w, Requestor::Gpu) ? 1u : 0u) << w;
+    }
+    r.owner_cpu_mask = owner;
+    r.allowed_cpu_mask = cpu_ok;
+    r.allowed_gpu_mask = gpu_ok;
+    r.gen = map_gen_;
+  }
+
   u32 num_channels_ = 4;
   u32 assoc_ = 4;
   u32 num_sets_ = 1;
   const RemapTable* table_ = nullptr;
+  mutable std::vector<FlatRow> flat_rows_;
+  mutable std::vector<u8> flat_channel_;
+  u32 map_gen_ = 1;
 };
 
 }  // namespace h2

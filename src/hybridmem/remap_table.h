@@ -4,6 +4,15 @@
 // ground truth for which blocks currently reside in fast memory, where they
 // physically sit (superchannel), and which side each way is allocated to
 // (the paper's one-bit-per-way `alloc` metadata for lazy reconfiguration).
+//
+// Storage is struct-of-arrays: the tag scan in find() — executed once or
+// twice per demand access — reads only the tag/valid arrays, and the LRU
+// victim scan only valid/lru, instead of striding over 32-byte entry
+// structs. way() hands out reference proxies (RemapWayRef / RemapWayCRef)
+// whose members alias the arrays; both convert to the plain RemapWay value
+// struct for snapshotting. The layout change is representation-only: every
+// observable ordering (find's first-match way, LRU tie-breaks via the
+// monotone stamp) is bit-identical to the array-of-structs table.
 #pragma once
 
 #include <vector>
@@ -15,6 +24,7 @@ namespace h2 {
 
 inline constexpr u64 kInvalidTag = ~0ull;
 
+/// Value snapshot of one way's metadata (tests and audits copy these).
 struct RemapWay {
   u64 tag = kInvalidTag;  ///< global block id cached in this way
   u64 lru = 0;            ///< recency stamp
@@ -26,46 +36,96 @@ struct RemapWay {
   bool owner_cpu = false;  ///< the `alloc` bit: which side this way served
 };
 
+/// Mutable view of one way, aliasing the table's arrays. Boolean fields are
+/// u8-backed (0/1); assigning a bool works as expected.
+struct RemapWayRef {
+  u64& tag;
+  u64& lru;
+  u32& present;
+  u16& hits;
+  u8& channel;
+  u8& valid;
+  u8& dirty;
+  u8& owner_cpu;
+
+  operator RemapWay() const {
+    return RemapWay{tag, lru, present, hits, channel, valid != 0, dirty != 0,
+                    owner_cpu != 0};
+  }
+};
+
+/// Read-only view of one way.
+struct RemapWayCRef {
+  const u64& tag;
+  const u64& lru;
+  const u32& present;
+  const u16& hits;
+  const u8& channel;
+  const u8& valid;
+  const u8& dirty;
+  const u8& owner_cpu;
+
+  operator RemapWay() const {
+    return RemapWay{tag, lru, present, hits, channel, valid != 0, dirty != 0,
+                    owner_cpu != 0};
+  }
+};
+
 class RemapTable {
  public:
   RemapTable(u32 num_sets, u32 assoc)
-      : num_sets_(num_sets), assoc_(assoc),
-        ways_(static_cast<size_t>(num_sets) * assoc) {
+      : num_sets_(num_sets), assoc_(assoc) {
     H2_ASSERT(num_sets >= 1 && assoc >= 1, "bad remap geometry");
+    const size_t n = static_cast<size_t>(num_sets) * assoc;
+    tag_.resize(n, kInvalidTag);
+    lru_.resize(n, 0);
+    present_.resize(n, 0);
+    hits_.resize(n, 0);
+    channel_.resize(n, 0);
+    valid_.resize(n, 0);
+    dirty_.resize(n, 0);
+    owner_cpu_.resize(n, 0);
   }
 
   u32 num_sets() const { return num_sets_; }
   u32 assoc() const { return assoc_; }
 
-  RemapWay& way(u32 set, u32 w) {
-    H2_ASSERT(set < num_sets_ && w < assoc_, "remap index out of range");
-    return ways_[static_cast<size_t>(set) * assoc_ + w];
+  RemapWayRef way(u32 set, u32 w) {
+    const size_t i = index(set, w);
+    return RemapWayRef{tag_[i],     lru_[i],   present_[i], hits_[i],
+                       channel_[i], valid_[i], dirty_[i],   owner_cpu_[i]};
   }
-  const RemapWay& way(u32 set, u32 w) const {
-    return const_cast<RemapTable*>(this)->way(set, w);
+  RemapWayCRef way(u32 set, u32 w) const {
+    const size_t i = index(set, w);
+    return RemapWayCRef{tag_[i],     lru_[i],   present_[i], hits_[i],
+                        channel_[i], valid_[i], dirty_[i],   owner_cpu_[i]};
   }
 
   /// Index of the way holding `tag`, or -1.
   i32 find(u32 set, u64 tag) const {
+    const size_t base = static_cast<size_t>(set) * assoc_;
     for (u32 w = 0; w < assoc_; ++w) {
-      const RemapWay& rw = way(set, w);
-      if (rw.valid && rw.tag == tag) return static_cast<i32>(w);
+      if (valid_[base + w] && tag_[base + w] == tag) return static_cast<i32>(w);
     }
     return -1;
   }
 
   /// Number of valid ways in a set.
   u32 occupancy(u32 set) const {
+    const size_t base = static_cast<size_t>(set) * assoc_;
     u32 n = 0;
-    for (u32 w = 0; w < assoc_; ++w) n += way(set, w).valid ? 1 : 0;
+    for (u32 w = 0; w < assoc_; ++w) n += valid_[base + w] ? 1 : 0;
     return n;
   }
 
   u64 touch(u32 set, u32 w) {
-    RemapWay& rw = way(set, w);
-    rw.lru = ++stamp_;
-    return rw.lru;
+    lru_[index(set, w)] = ++stamp_;
+    return lru_[index(set, w)];
   }
+
+  /// Direct array access for hot victim scans (valid/lru only).
+  const u8* valid_row(u32 set) const { return &valid_[static_cast<size_t>(set) * assoc_]; }
+  const u64* lru_row(u32 set) const { return &lru_[static_cast<size_t>(set) * assoc_]; }
 
   /// Metadata storage overhead of the alloc bits, as a fraction of data
   /// capacity (paper Section IV-F reports 0.049 %).
@@ -76,9 +136,21 @@ class RemapTable {
   }
 
  private:
+  size_t index(u32 set, u32 w) const {
+    H2_ASSERT(set < num_sets_ && w < assoc_, "remap index out of range");
+    return static_cast<size_t>(set) * assoc_ + w;
+  }
+
   u32 num_sets_;
   u32 assoc_;
-  std::vector<RemapWay> ways_;
+  std::vector<u64> tag_;
+  std::vector<u64> lru_;
+  std::vector<u32> present_;
+  std::vector<u16> hits_;
+  std::vector<u8> channel_;
+  std::vector<u8> valid_;
+  std::vector<u8> dirty_;
+  std::vector<u8> owner_cpu_;
   u64 stamp_ = 0;
 };
 

@@ -17,13 +17,55 @@ constexpr u32 kChannelKey = 0xC0FFEEu;
 DecoupledPartition::DecoupledPartition(u32 num_channels, u32 assoc, u64 salt)
     : channels_(num_channels), assoc_(assoc), salt_(salt) {
   H2_ASSERT(num_channels >= 1 && assoc >= 1, "bad partition geometry");
+  memo_set_.assign(kRankMemoSlots, ~0u);
+  memo_rank_.resize(static_cast<size_t>(kRankMemoSlots) * assoc_);
   set_config(assoc >= 2 ? assoc - 1 : assoc, 1);
 }
 
 void DecoupledPartition::set_config(u32 cap, u32 bw) {
   cap_ = std::clamp(cap, cap_min(), cap_max());
   bw_ = std::clamp(bw, bw_min(), bw_max());
+  rebuild_channel_ring();
   if (H2_CHECK_ACTIVE(2)) audit();
+}
+
+void DecoupledPartition::rebuild_channel_ring() {
+  ded_flag_.assign(channels_, 0);
+  ded_list_.clear();
+  shared_list_.clear();
+  for (u32 ch = 0; ch < channels_; ++ch) {
+    const bool ded =
+        channels_ < 2 || hrw_rank(salt_ ^ 1, kChannelKey, ch, channels_) < bw_;
+    ded_flag_[ch] = ded ? 1 : 0;
+    (ded ? ded_list_ : shared_list_).push_back(ch);
+  }
+}
+
+const u32* DecoupledPartition::set_ranks(u32 set) const {
+  const u32 slot = set & (kRankMemoSlots - 1);
+  u32* ranks = memo_rank_.data() + static_cast<size_t>(slot) * assoc_;
+  if (memo_set_[slot] != set) {
+    // Reproduce hrw_rank() for every way of the set in one pass: n hashes,
+    // then the same (score, index) comparison it uses per pair.
+    u64 scores[64];
+    std::vector<u64> big;
+    u64* s = scores;
+    if (assoc_ > 64) {
+      big.resize(assoc_);
+      s = big.data();
+    }
+    for (u32 w = 0; w < assoc_; ++w) s[w] = hrw_score(salt_, set, w);
+    for (u32 w = 0; w < assoc_; ++w) {
+      u32 rank = 0;
+      for (u32 i = 0; i < assoc_; ++i) {
+        if (i == w) continue;
+        if (s[i] > s[w] || (s[i] == s[w] && i < w)) rank++;
+      }
+      ranks[w] = rank;
+    }
+    memo_set_[slot] = set;
+  }
+  return ranks;
 }
 
 void DecoupledPartition::audit(u32 sample_sets) const {
@@ -38,7 +80,8 @@ void DecoupledPartition::audit(u32 sample_sets) const {
              dedicated, channels_, bw_);
   }
   // Way ring: every sampled set must be fully covered — each way classified,
-  // exactly cap of them CPU, and every way mapped to a real channel.
+  // exactly cap of them CPU, and every way mapped to a real channel. The
+  // rank memo must also agree with the uncached hrw_rank it replicates.
   for (u32 set = 0; set < sample_sets; ++set) {
     u32 cpu_ways = 0;
     for (u32 w = 0; w < assoc_; ++w) {
@@ -47,6 +90,10 @@ void DecoupledPartition::audit(u32 sample_sets) const {
       H2_CHECK(2, ch < channels_,
                "decoupled partition: set %u way %u mapped to channel %u of %u",
                set, w, ch, channels_);
+      H2_CHECK(2, way_rank(set, w) == hrw_rank(salt_, set, w, assoc_),
+               "decoupled partition: memoised rank of set %u way %u diverges "
+               "from hrw_rank (%u != %u)",
+               set, w, way_rank(set, w), hrw_rank(salt_, set, w, assoc_));
     }
     if (assoc_ >= 2) {
       H2_CHECK(2, cpu_ways == cap_,
@@ -59,40 +106,26 @@ void DecoupledPartition::audit(u32 sample_sets) const {
 
 bool DecoupledPartition::is_cpu_way(u32 set, u32 way) const {
   if (assoc_ < 2) return true;  // degenerate: the single way is shared
-  return hrw_rank(salt_, set, way, assoc_) < cap_;
+  return set_ranks(set)[way] < cap_;
 }
 
 u32 DecoupledPartition::way_rank(u32 set, u32 way) const {
-  return hrw_rank(salt_, set, way, assoc_);
+  return set_ranks(set)[way];
 }
 
 bool DecoupledPartition::is_dedicated_channel(u32 ch) const {
   if (channels_ < 2) return true;
-  return hrw_rank(salt_ ^ 1, kChannelKey, ch, channels_) < bw_;
+  return ded_flag_[ch] != 0;
 }
 
 u32 DecoupledPartition::nth_dedicated(u32 idx) const {
-  u32 seen = 0;
-  for (u32 ch = 0; ch < channels_; ++ch) {
-    if (is_dedicated_channel(ch)) {
-      if (seen == idx) return ch;
-      seen++;
-    }
-  }
-  H2_ASSERT(false, "nth_dedicated(%u) with bw=%u", idx, bw_);
-  return 0;
+  H2_ASSERT(idx < ded_list_.size(), "nth_dedicated(%u) with bw=%u", idx, bw_);
+  return ded_list_[idx];
 }
 
 u32 DecoupledPartition::nth_shared(u32 idx) const {
-  u32 seen = 0;
-  for (u32 ch = 0; ch < channels_; ++ch) {
-    if (!is_dedicated_channel(ch)) {
-      if (seen == idx) return ch;
-      seen++;
-    }
-  }
-  H2_ASSERT(false, "nth_shared(%u) with bw=%u", idx, bw_);
-  return 0;
+  H2_ASSERT(idx < shared_list_.size(), "nth_shared(%u) with bw=%u", idx, bw_);
+  return shared_list_[idx];
 }
 
 u32 DecoupledPartition::channel_of_way(u32 set, u32 way) const {

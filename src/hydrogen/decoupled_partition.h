@@ -10,7 +10,17 @@
 // hot CPU data live, maintained by fast-memory swaps) and spills the rest
 // into the shared channels; GPU ways rotate across all shared channels per
 // set so GPU streams enjoy the full shared bandwidth.
+//
+// The HRW evaluations are cached: the global channel ring (dedicated/shared
+// membership and enumeration order) is precomputed at every set_config(),
+// and per-set way ranks are memoised one set at a time — the mechanism's
+// victim/swap scans query all ways of one set back to back, so a single-set
+// memo converts O(assoc) hashes per query into O(assoc) hashes per set
+// visit. Both caches reproduce hrw_rank() exactly; results are bit-identical
+// to the uncached implementation.
 #pragma once
+
+#include <vector>
 
 #include "common/types.h"
 
@@ -63,11 +73,28 @@ class DecoupledPartition {
   u32 nth_dedicated(u32 idx) const;  ///< idx-th dedicated channel (HRW order)
   u32 nth_shared(u32 idx) const;     ///< idx-th shared channel (HRW order)
 
+  void rebuild_channel_ring();
+  const u32* set_ranks(u32 set) const;  ///< memoised way ranks of one set
+
   u32 channels_;
   u32 assoc_;
   u64 salt_;
   u32 cap_ = 1;
   u32 bw_ = 1;
+
+  // Channel ring caches, rebuilt on every set_config (bw-dependent).
+  std::vector<u8> ded_flag_;       ///< per channel: CPU-dedicated?
+  std::vector<u32> ded_list_;      ///< dedicated channels in index order
+  std::vector<u32> shared_list_;   ///< shared channels in index order
+
+  // Way-rank memo (ranks depend on salt/assoc only, so cap/bw changes do
+  // not invalidate it). Direct-mapped over the low set bits so interleaved
+  // lookups across sets — the hot-loop access pattern — stop thrashing the
+  // O(assoc^2) refill; every slot is filled by the same hrw_rank
+  // reproduction, so the served ranks are bit-identical to recomputing.
+  static constexpr u32 kRankMemoSlots = 256;
+  mutable std::vector<u32> memo_set_;   ///< per slot: cached set (~0u = empty)
+  mutable std::vector<u32> memo_rank_;  ///< slot-major, assoc_ ranks per slot
 };
 
 }  // namespace h2

@@ -109,7 +109,7 @@ i32 HydrogenPolicy::pick_swap_way(const PolicyContext& ctx, u32 hit_way) {
     if (w == hit_way) continue;
     if (!partition_.is_cpu_way(ctx.set, w)) continue;
     if (partition_.is_cpu_spill_way(ctx.set, w)) continue;  // not dedicated
-    const RemapWay& rw = table_->way(ctx.set, w);
+    const auto rw = table_->way(ctx.set, w);
     if (!rw.valid) return static_cast<i32>(w);  // free dedicated slot: take it
     if (rw.lru < best_lru) {
       best_lru = rw.lru;
@@ -136,6 +136,7 @@ bool HydrogenPolicy::apply_point(const ParamPoint& p) {
   const bool changed = !(p == active_);
   active_ = p;
   partition_.set_config(p.cap, p.bw);
+  invalidate_mapping();
   if (cfg_.token) {
     const u64 budget = token_budget_for(
         cfg_.tok_levels[std::min<size_t>(p.tok, cfg_.tok_levels.size() - 1)]);

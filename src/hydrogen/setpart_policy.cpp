@@ -46,6 +46,7 @@ bool SetPartPolicy::set_partition(double cpu_set_frac) {
   threshold_ = new_threshold;
   cfg_.cpu_set_frac = cpu_set_frac;
   rebuild_side_lists();
+  invalidate_mapping();
   return changed;
 }
 

@@ -1,6 +1,7 @@
 #include "mem/channel.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "check/check.h"
@@ -26,6 +27,26 @@ Channel::Channel(const DramTiming& timing, double core_ghz, u32 id)
   controller_overhead_ = 16;  // queue + PHY + arbitration, core cycles
   banks_.resize(timing.total_banks());
   next_refresh_ = c_refi_;
+  if (std::has_single_bit(timing_.row_bytes) &&
+      std::has_single_bit(banks_.size())) {
+    pow2_geometry_ = true;
+    row_shift_ = static_cast<u32>(std::countr_zero(timing_.row_bytes));
+    bank_shift_ = static_cast<u32>(std::countr_zero(banks_.size()));
+  }
+  // Request sizes are line/sector-sized (a handful of distinct small values
+  // repeated ~10M times per run); precompute the ceil once per size with the
+  // same expression transfer_cycles() falls back to.
+  transfer_memo_.resize(4097);
+  for (u32 b = 1; b < transfer_memo_.size(); ++b) {
+    transfer_memo_[b] = std::max<u32>(
+        1, static_cast<u32>(std::ceil(b / bytes_per_core_cycle_)));
+  }
+}
+
+u32 Channel::transfer_cycles(u32 bytes) const {
+  if (bytes < transfer_memo_.size()) return transfer_memo_[bytes];
+  return std::max<u32>(
+      1, static_cast<u32>(std::ceil(bytes / bytes_per_core_cycle_)));
 }
 
 void Channel::apply_refresh(Cycle now) {
@@ -54,19 +75,25 @@ Channel::Result Channel::request(Cycle now, Addr addr, u32 bytes, bool is_write,
   const Cycle prev_write_busy = write_busy_until_;
 #endif
 
-  const u64 row_global = addr / timing_.row_bytes;
-  const u32 bank_idx = static_cast<u32>(row_global % banks_.size());
-  const i64 row = static_cast<i64>(row_global / banks_.size());
+  u64 row_global;
+  u32 bank_idx;
+  i64 row;
+  if (pow2_geometry_) {
+    row_global = addr >> row_shift_;
+    bank_idx = static_cast<u32>(row_global & (banks_.size() - 1));
+    row = static_cast<i64>(row_global >> bank_shift_);
+  } else {
+    row_global = addr / timing_.row_bytes;
+    bank_idx = static_cast<u32>(row_global % banks_.size());
+    row = static_cast<i64>(row_global / banks_.size());
+  }
   Bank& bank = banks_[bank_idx];
 
   const Cycle issue = std::max(now, earliest);
   Cycle t = std::max<Cycle>(issue + controller_overhead_, bank.busy_until);
 
-  const u32 transfer =
-      std::max<u32>(1, static_cast<u32>(std::ceil(bytes / bytes_per_core_cycle_)));
-  const u32 critical =
-      std::max<u32>(1, static_cast<u32>(std::ceil(std::min<u32>(bytes, 64) /
-                                                  bytes_per_core_cycle_)));
+  const u32 transfer = transfer_cycles(bytes);
+  const u32 critical = transfer_cycles(std::min<u32>(bytes, 64));
 
   u32 cmd_lat;
   if (bank.open_row == row) {

@@ -87,6 +87,20 @@ class Channel {
   u32 c_rcd_, c_cas_, c_rp_;
   u32 controller_overhead_;  ///< fixed queue/PHY cycles per request
 
+  /// Transfer cycles for a request of `bytes`: max(1, ceil(bytes / bus
+  /// bytes-per-core-cycle)). Small request sizes recur millions of times, so
+  /// the ctor precomputes a table with that exact expression; larger sizes
+  /// fall back to computing it inline.
+  u32 transfer_cycles(u32 bytes) const;
+
+  /// Splits an address into (row_global, bank, row). Row-buffer bytes and
+  /// bank count are usually powers of two, so the div/mod strength-reduces
+  /// to shift/mask when it can.
+  u32 row_shift_ = 0;   ///< log2(row_bytes) when a power of two, else 0
+  u32 bank_shift_ = 0;  ///< log2(total banks) when a power of two, else 0
+  bool pow2_geometry_ = false;
+  std::vector<u32> transfer_memo_;
+
   /// Applies any refresh windows due by `now` (all-bank refresh: both bus
   /// queues stall for tRFC once per tREFI).
   void apply_refresh(Cycle now);

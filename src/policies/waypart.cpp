@@ -21,6 +21,7 @@ bool WayPartPolicy::set_cpu_ways(u32 n) {
   const u32 clamped = std::clamp<u32>(n, 1, assoc_ - 1);
   if (clamped == cpu_ways_) return false;
   cpu_ways_ = clamped;
+  invalidate_mapping();
   return true;
 }
 

@@ -8,10 +8,23 @@
 
 namespace h2 {
 
+namespace {
+constexpr u32 kGapMemoSize = 1024;
+}
+
 Core::Core(const CoreParams& params, AccessGenerator* gen, MemoryPort* port)
     : params_(params), gen_(gen), port_(port) {
   H2_ASSERT(gen != nullptr && port != nullptr, "core needs a generator and a port");
   H2_ASSERT(params.base_ipc > 0 && params.mlp > 0, "bad core parameters");
+  gap_cycles_memo_.resize(kGapMemoSize);
+  for (u32 g = 0; g < kGapMemoSize; ++g) {
+    gap_cycles_memo_[g] = static_cast<Cycle>(std::ceil(g / params_.base_ipc));
+  }
+}
+
+Cycle Core::gap_cycles(u32 gap) const {
+  if (gap < kGapMemoSize) return gap_cycles_memo_[gap];
+  return static_cast<Cycle>(std::ceil(gap / params_.base_ipc));
 }
 
 void Core::reset_measurement() {
@@ -24,23 +37,22 @@ void Core::reset_measurement() {
 }
 
 void Core::drain(Cycle now) {
-  while (!reads_.empty() && reads_.top() <= now) reads_.pop();
-  while (!writes_.empty() && writes_.top() <= now) writes_.pop();
+  reads_.drain(now);
+  writes_.drain(now);
 }
 
 Cycle Core::step(Engine& engine, Cycle now) {
   (void)engine;
   // Issue as many accesses as are ready at `now`; return the next stall/ready
-  // point. Bounded per step to keep single steps short.
+  // point. Bounded per step to keep single steps short. Draining once up
+  // front is enough: every completion pushed while issuing has done > now
+  // (asserted below), so nothing new becomes drainable within this step.
+  drain(now);
   for (u32 issued = 0; issued < 64; ++issued) {
-    drain(now);
-
     if (!has_pending_) {
       pending_ = gen_->next();
       pending_.addr = params_.addr_base + pending_.addr;
-      const Cycle gap_cycles = static_cast<Cycle>(
-          std::ceil(pending_.gap / params_.base_ipc));
-      compute_done_ += gap_cycles;
+      compute_done_ += gap_cycles(pending_.gap);
       if (compute_done_ < now) compute_done_ = now;  // idle catch-up
       has_pending_ = true;
     }

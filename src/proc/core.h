@@ -15,7 +15,7 @@
 // IPC directly reflects memory stalls.
 #pragma once
 
-#include <queue>
+#include <cstddef>
 #include <vector>
 
 #include "common/stats.h"
@@ -77,13 +77,56 @@ class Core final : public Actor {
 
  private:
   void drain(Cycle now);
+  Cycle gap_cycles(u32 gap) const;
 
   CoreParams params_;
   AccessGenerator* gen_;
   MemoryPort* port_;
 
-  std::priority_queue<Cycle, std::vector<Cycle>, std::greater<>> reads_;
-  std::priority_queue<Cycle, std::vector<Cycle>, std::greater<>> writes_;
+  // Memoised ceil(gap / base_ipc) for the short gaps that dominate traces.
+  // Filled in the constructor with the exact expression gap_cycles() falls
+  // back to, so the table is bit-identical to computing it every time.
+  std::vector<Cycle> gap_cycles_memo_;
+
+  // Multiset of outstanding completion times with O(1) min and a pointer-walk
+  // drain. Replaces a std::priority_queue: the stored values are identical (a
+  // multiset is a multiset), so every size()/top() stall decision is
+  // bit-identical; only the container layout changed. Occupancy is bounded by
+  // mlp / write_buffer, so the sorted-insert shift touches a few dozen bytes
+  // at most.
+  class CompletionBuf {
+   public:
+    void push(Cycle c) {
+      size_t i = buf_.size();
+      buf_.push_back(c);
+      while (i > head_ && buf_[i - 1] > c) {
+        buf_[i] = buf_[i - 1];
+        --i;
+      }
+      buf_[i] = c;
+    }
+    /// Removes every completion time <= now.
+    void drain(Cycle now) {
+      while (head_ < buf_.size() && buf_[head_] <= now) ++head_;
+      if (head_ == buf_.size()) {
+        buf_.clear();
+        head_ = 0;
+      } else if (head_ >= 64) {
+        buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(head_));
+        head_ = 0;
+      }
+    }
+    bool empty() const { return head_ == buf_.size(); }
+    size_t size() const { return buf_.size() - head_; }
+    Cycle top() const { return buf_[head_]; }
+
+   private:
+    std::vector<Cycle> buf_;  ///< ascending from head_ (drained prefix before)
+    size_t head_ = 0;
+  };
+
+  CompletionBuf reads_;
+  CompletionBuf writes_;
   Cycle last_read_done_ = 0;
 
   bool has_pending_ = false;

@@ -7,18 +7,62 @@
 
 namespace h2 {
 
+void Engine::heap_push(Entry e) {
+  size_t i = heap_.size();
+  heap_.push_back(e);
+  while (i > 0) {
+    const size_t parent = (i - 1) / 2;
+    if (!entry_less(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void Engine::heap_sift_down(size_t i) {
+  const size_t n = heap_.size();
+  for (;;) {
+    const size_t l = 2 * i + 1;
+    const size_t r = l + 1;
+    size_t m = i;
+    if (l < n && entry_less(heap_[l], heap_[m])) m = l;
+    if (r < n && entry_less(heap_[r], heap_[m])) m = r;
+    if (m == i) break;
+    std::swap(heap_[i], heap_[m]);
+    i = m;
+  }
+}
+
+void Engine::heap_pop_root() {
+  H2_ASSERT(!heap_.empty(), "pop from empty event heap");
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) heap_sift_down(0);
+}
+
+void Engine::heap_replace_root(Entry e) {
+  H2_ASSERT(!heap_.empty(), "replace root of empty event heap");
+  heap_[0] = e;
+  heap_sift_down(0);
+}
+
+void Engine::refresh_next_hook_due() {
+  next_hook_due_ = kNever;
+  for (const Cycle c : hook_next_) next_hook_due_ = std::min(next_hook_due_, c);
+}
+
 void Engine::add_actor(Actor* actor, Cycle start) {
   H2_ASSERT(actor != nullptr, "null actor");
 #if H2_CHECK_LEVEL >= 2
   registered_.insert(actor);
 #endif
-  queue_.push(Entry{start, seq_++, actor});
+  heap_push(Entry{start, seq_++, actor});
 }
 
 void Engine::add_periodic(Cycle period, std::function<void(Cycle)> fn) {
   H2_ASSERT(period > 0, "periodic hook needs period > 0");
   hooks_.push_back(PeriodicHook{period, std::move(fn)});
   hook_next_.push_back(period);
+  next_hook_due_ = std::min(next_hook_due_, period);
 }
 
 void Engine::wake(Actor* actor, Cycle when) {
@@ -32,37 +76,45 @@ void Engine::wake(Actor* actor, Cycle when) {
            actor != nullptr ? actor->name() : "(null)",
            static_cast<unsigned long long>(when));
 #endif
-  queue_.push(Entry{when, seq_++, actor});
+  heap_push(Entry{when, seq_++, actor});
 }
 
 Cycle Engine::run(Cycle max_cycles) {
   stopped_ = false;
-  while (!stopped_ && !queue_.empty()) {
-    Entry e = queue_.top();
-    queue_.pop();
+  refresh_next_hook_due();
+  while (!stopped_ && !heap_.empty()) {
+    const Entry e = heap_[0];  // peek — the pop is deferred on the fast path
     if (e.when > max_cycles) {
-      // Past the horizon: put the entry back (same seq, so heap order is
-      // unchanged) and stop. A follow-up run() resumes bit-identically.
-      queue_.push(e);
+      // Past the horizon: leave the entry queued and stop. A follow-up run()
+      // resumes bit-identically.
       now_ = max_cycles;
       break;
     }
 
-    // Fire any periodic hooks scheduled strictly before this event.
-    for (size_t i = 0; i < hooks_.size(); ++i) {
-      while (hook_next_[i] <= e.when) {
-        now_ = hook_next_[i];
-        hooks_[i].fn(now_);
-        hook_next_[i] += hooks_[i].period;
-        if (stopped_) {
-          // A hook paused the run between events: the popped entry has not
-          // executed yet, so re-queue it (same seq) — a later run() picks it
-          // up exactly where this one left off. hook_next_ was already
-          // advanced, so the boundary that stopped us does not fire twice.
-          queue_.push(e);
-          return now_;
+    bool popped = false;
+    if (e.when >= next_hook_due_) {
+      // A hook fires at or before this event. Hook functions may wake actors
+      // at cycles earlier than the stale root, so take a real pop first.
+      heap_pop_root();
+      popped = true;
+      // Fire any periodic hooks scheduled strictly before this event.
+      for (size_t i = 0; i < hooks_.size(); ++i) {
+        while (hook_next_[i] <= e.when) {
+          now_ = hook_next_[i];
+          hooks_[i].fn(now_);
+          hook_next_[i] += hooks_[i].period;
+          if (stopped_) {
+            // A hook paused the run between events: the popped entry has not
+            // executed yet, so re-queue it (same seq) — a later run() picks it
+            // up exactly where this one left off. hook_next_ was already
+            // advanced, so the boundary that stopped us does not fire twice.
+            refresh_next_hook_due();
+            heap_push(e);
+            return now_;
+          }
         }
       }
+      refresh_next_hook_due();
     }
 
     H2_CHECK(1, e.when >= now_,
@@ -83,7 +135,16 @@ Cycle Engine::run(Cycle max_cycles) {
                "actor %s scheduled non-advancing step: next=%llu <= now=%llu",
                e.actor->name(), static_cast<unsigned long long>(next),
                static_cast<unsigned long long>(now_));
-      queue_.push(Entry{next, seq_++, e.actor});
+      const Entry fresh{next, seq_++, e.actor};
+      if (popped) {
+        heap_push(fresh);
+      } else {
+        // Wakes pushed during the step are >= (now_, e.seq), so the stale
+        // root is still at index 0; swap it for the actor's next entry.
+        heap_replace_root(fresh);
+      }
+    } else if (!popped) {
+      heap_pop_root();
     }
   }
   return now_;

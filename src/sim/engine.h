@@ -13,7 +13,6 @@
 #pragma once
 
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "check/check.h"
@@ -81,14 +80,35 @@ class Engine {
     Cycle when;
     u64 seq;  // tie-break for determinism
     Actor* actor;
-    bool operator>(const Entry& o) const {
-      return when != o.when ? when > o.when : seq > o.seq;
-    }
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  // The event queue is a hand-rolled binary min-heap ordered by (when, seq).
+  // seq is unique, so (when, seq) is a total order and the pop sequence —
+  // hence the whole simulation — is independent of the heap's internal
+  // layout; any correct heap implementation is bit-identical to the
+  // std::priority_queue it replaced. Rolling our own buys the run() hot loop
+  // two tricks std::priority_queue cannot express:
+  //   - deferred pop: peek the root, step the actor, then *replace* the root
+  //     with its next entry (one sift-down instead of a pop + a push);
+  //   - stale-root pushes: wakes issued during the step are >= (now, seq of
+  //     the root) so their sift-up provably stops below the stale root.
+  // The replace-top shortcut is only legal when no periodic hook fires before
+  // the event — hooks run at hook_next_ <= e.when and may wake actors at
+  // cycles earlier than the stale root — so run() takes a real pop on the
+  // hook path (guarded by next_hook_due_, the cached min of hook_next_).
+  static bool entry_less(const Entry& a, const Entry& b) {
+    return a.when != b.when ? a.when < b.when : a.seq < b.seq;
+  }
+  void heap_push(Entry e);
+  void heap_pop_root();
+  void heap_replace_root(Entry e);
+  void heap_sift_down(size_t i);
+  void refresh_next_hook_due();
+
+  std::vector<Entry> heap_;
   std::vector<PeriodicHook> hooks_;
   std::vector<Cycle> hook_next_;
+  Cycle next_hook_due_ = kNever;
 #if H2_CHECK_LEVEL >= 2
   std::unordered_set<const Actor*> registered_;  // wake() targets must be known
 #endif

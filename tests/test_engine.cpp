@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
 #include <vector>
 
 namespace h2 {
@@ -171,6 +172,147 @@ TEST(Engine, WakeReschedulesIdleActor) {
   e.add_actor(&shot, 7);     // re-arms the sleeper for cycle 12
   e.run();
   EXPECT_EQ(sleeper.visits, (std::vector<Cycle>{0, 12}));
+}
+
+// --- bit-identity of the hand-rolled event heap ---------------------------
+//
+// The engine's event queue is a hand-rolled binary min-heap with a
+// deferred-pop fast path (engine.h). Its observable contract is unchanged
+// from the std::priority_queue it replaced: events execute in exact
+// (when, seq) order. A naive reference scheduler pins that order on a
+// randomized actor swarm, ties included.
+
+/// Deterministic xorshift64* stream, one per swarm actor.
+u64 swarm_rng(u64& s) {
+  s ^= s >> 12;
+  s ^= s << 25;
+  s ^= s >> 27;
+  return s * 0x2545F4914F6CDD1Dull;
+}
+
+TEST(EngineBitIdentity, MatchesReferenceSchedulerOnRandomSwarm) {
+  constexpr u32 kActors = 13;
+  constexpr u32 kStepsEach = 400;
+
+  // Engine run: every actor draws its strides from its own deterministic
+  // stream; small strides force frequent same-cycle ties across actors.
+  std::vector<std::pair<u32, Cycle>> engine_log;
+  class SwarmActor final : public Actor {
+   public:
+    SwarmActor(u32 id, u32 steps, std::vector<std::pair<u32, Cycle>>* log)
+        : id_(id), remaining_(steps), rng_(0x9E3779B97F4A7C15ull * (id + 1)), log_(log) {}
+    Cycle step(Engine&, Cycle now) override {
+      log_->emplace_back(id_, now);
+      if (--remaining_ == 0) return kNever;
+      return now + 1 + swarm_rng(rng_) % 7;
+    }
+   private:
+    u32 id_;
+    u32 remaining_;
+    u64 rng_;
+    std::vector<std::pair<u32, Cycle>>* log_;
+  };
+  std::vector<SwarmActor> actors;
+  actors.reserve(kActors);
+  Engine e;
+  for (u32 i = 0; i < kActors; ++i) actors.emplace_back(i, kStepsEach, &engine_log);
+  for (u32 i = 0; i < kActors; ++i) e.add_actor(&actors[i], i % 3);
+  e.run();
+
+  // Reference: identical per-actor stride streams scheduled by an O(n) scan
+  // for the (when, seq)-minimum entry — the specification order, written
+  // without any heap at all.
+  std::vector<std::pair<u32, Cycle>> ref_log;
+  struct RefEntry {
+    Cycle when;
+    u64 seq;
+    u32 idx;
+  };
+  std::vector<RefEntry> pending;
+  std::vector<u64> rng(kActors);
+  std::vector<u32> remaining(kActors, kStepsEach);
+  u64 seq = 0;
+  for (u32 i = 0; i < kActors; ++i) {
+    rng[i] = 0x9E3779B97F4A7C15ull * (i + 1);
+    pending.push_back(RefEntry{i % 3, seq++, i});
+  }
+  while (!pending.empty()) {
+    size_t min = 0;
+    for (size_t j = 1; j < pending.size(); ++j) {
+      const RefEntry& a = pending[j];
+      const RefEntry& b = pending[min];
+      if (a.when < b.when || (a.when == b.when && a.seq < b.seq)) min = j;
+    }
+    const RefEntry cur = pending[min];
+    pending.erase(pending.begin() + min);
+    ref_log.emplace_back(cur.idx, cur.when);
+    if (--remaining[cur.idx] > 0) {
+      pending.push_back(
+          RefEntry{cur.when + 1 + swarm_rng(rng[cur.idx]) % 7, seq++, cur.idx});
+    }
+  }
+
+  ASSERT_EQ(engine_log.size(), ref_log.size());
+  EXPECT_EQ(engine_log, ref_log);
+}
+
+TEST(EngineBitIdentity, HookWakeInterleavesWithPendingEvents) {
+  // A periodic hook re-arms an idle actor while another event is already
+  // pending. The hook path takes a real pop (the woken entry enters the
+  // heap while no stale root is deferred), and the wake must then execute
+  // in exact time order relative to the pending events.
+  class Idler final : public Actor {
+   public:
+    Cycle step(Engine&, Cycle now) override {
+      visits.push_back(now);
+      return kNever;
+    }
+    std::vector<Cycle> visits;
+  };
+  Idler sleeper;
+  RecordingActor walker(40, 5);  // 20, 60, 100, 140, 180
+  Engine e;
+  e.add_actor(&sleeper, 0);  // steps at 0, then idles until the hook's wake
+  e.add_actor(&walker, 20);
+  e.add_periodic(50, [&](Cycle now) {
+    if (now == 50) e.wake(&sleeper, 70);  // lands between walker's 60 and 100
+  });
+  e.run(200);
+  EXPECT_EQ(sleeper.visits, (std::vector<Cycle>{0, 70}));
+  EXPECT_EQ(walker.visits, (std::vector<Cycle>{20, 60, 100, 140, 180}));
+}
+
+TEST(EngineBitIdentity, SameCycleWakeDuringStepRunsAfterCurrentActor) {
+  // wake(now) from inside a step is legal (when >= now). The woken entry
+  // carries a larger seq than the stepping actor's, so it executes at the
+  // same cycle but strictly after — also the proof obligation for pushing
+  // over the deferred root.
+  class Idler final : public Actor {
+   public:
+    Cycle step(Engine&, Cycle now) override {
+      visits.push_back(now);
+      return kNever;
+    }
+    std::vector<Cycle> visits;
+  };
+  class Waker final : public Actor {
+   public:
+    explicit Waker(Actor* target) : target_(target) {}
+    Cycle step(Engine& e, Cycle now) override {
+      e.wake(target_, now);  // same-cycle wake
+      return kNever;
+    }
+   private:
+    Actor* target_;
+  };
+  Idler b;
+  Waker a(&b);
+  Engine e;
+  e.add_actor(&b, 0);  // registered; idles after cycle 0
+  e.add_actor(&a, 5);
+  e.run();
+  EXPECT_EQ(b.visits, (std::vector<Cycle>{0, 5}));
+  EXPECT_EQ(e.now(), 5u);
 }
 
 }  // namespace

@@ -179,5 +179,97 @@ TEST(HybridMemory, InstantReconfigRewritesOwnership) {
   }
 }
 
+// --- bit-identity of the flattened layouts --------------------------------
+//
+// The mechanism's hot loops read the remap table through a struct-of-arrays
+// layout and the policy mapping through a generation-stamped flat cache
+// (policy.h). Both are caches OF the authoritative representations, so
+// their contract is exact agreement — pinned here across reconfigurations
+// and by the level-2 structural audit.
+
+TEST(HybridMemory, FlatMappingMatchesVirtualsAcrossReconfiguration) {
+  MemorySystem mem(small_mem());
+  WayPartPolicy pol(0.75);
+  HybridMemory hm(small_hybrid(), &mem, &pol);
+  const auto expect_flat_matches_virtuals = [&] {
+    for (u32 s = 0; s < hm.num_sets(); ++s) {
+      for (u32 w = 0; w < hm.assoc(); ++w) {
+        EXPECT_EQ(pol.flat_channel_of_way(s, w), pol.channel_of_way(s, w));
+        EXPECT_EQ(pol.flat_owner_is_cpu(s, w),
+                  pol.way_owner(s, w) == Requestor::Cpu);
+        for (const Requestor cls : {Requestor::Cpu, Requestor::Gpu}) {
+          EXPECT_EQ(pol.flat_way_allowed(s, w, cls), pol.way_allowed(s, w, cls));
+        }
+      }
+    }
+  };
+  expect_flat_matches_virtuals();  // cold rows refresh on first read
+
+  // Warm every row, reconfigure, and re-check: set_cpu_ways must invalidate
+  // the cached rows, not leave stale masks behind.
+  Cycle t = 0;
+  for (u64 i = 0; i < 16; ++i) t = hm.access(t, Requestor::Cpu, i * 256, false);
+  ASSERT_TRUE(pol.set_cpu_ways(1));
+  expect_flat_matches_virtuals();
+  ASSERT_TRUE(pol.set_cpu_ways(3));
+  expect_flat_matches_virtuals();
+}
+
+TEST(HybridMemory, VictimChoiceMatchesVirtualWalkUnderPartitioning) {
+  // pick_victim consumes the flat permission masks and the SoA valid/lru
+  // rows; an independent walk over the virtual interface plus way() proxies
+  // must name the same victim for every (set, class) — first invalid
+  // allowed way, else minimum-lru allowed way (strict <).
+  MemorySystem mem(small_mem());
+  WayPartPolicy pol(0.5);
+  HybridMemory hm(small_hybrid(), &mem, &pol);
+  const u64 set_stride = 256ull * hm.num_sets();
+  Cycle t = 0;
+  for (u64 i = 0; i < 48; ++i) {
+    const Requestor cls = (i % 3) ? Requestor::Gpu : Requestor::Cpu;
+    t = hm.access(t, cls, (i * 7) % 24 * set_stride + (i % 4) * 256, i % 5 == 0);
+  }
+  for (u32 s = 0; s < hm.num_sets(); ++s) {
+    for (const Requestor cls : {Requestor::Cpu, Requestor::Gpu}) {
+      i32 want = -1;
+      u64 want_lru = ~0ull;
+      for (u32 w = 0; w < hm.assoc(); ++w) {
+        if (!pol.way_allowed(s, w, cls)) continue;
+        const RemapWay rw = hm.table().way(s, w);
+        if (!rw.valid) {
+          want = static_cast<i32>(w);
+          break;
+        }
+        if (rw.lru < want_lru) {
+          want_lru = rw.lru;
+          want = static_cast<i32>(w);
+        }
+      }
+      EXPECT_EQ(hm.pick_victim(s, cls), want) << "set " << s;
+    }
+  }
+}
+
+TEST(HybridMemory, FullAuditPassesOverNewLayoutsAfterMixedWorkload) {
+  // Drives hits, misses, evictions, writebacks and a reconfiguration over
+  // the SoA table and flat policy cache, then runs the full structural
+  // audit — at H2_CHECK level 2 this cross-checks the flat cache against
+  // the virtuals and the residency bijection over the SoA arrays; at lower
+  // levels it degrades to the same no-op as before.
+  MemorySystem mem(small_mem());
+  WayPartPolicy pol(0.75);
+  HybridMemory hm(small_hybrid(), &mem, &pol);
+  const u64 set_stride = 256ull * hm.num_sets();
+  Cycle t = 0;
+  for (u64 i = 0; i < 96; ++i) {
+    const Requestor cls = (i % 2) ? Requestor::Gpu : Requestor::Cpu;
+    t = hm.access(t, cls, (i * 13) % 40 * set_stride + (i % 8) * 256, i % 3 == 0);
+  }
+  hm.audit(t, "test mixed workload");
+  pol.set_cpu_ways(2);
+  for (u64 i = 0; i < 32; ++i) t = hm.access(t, Requestor::Cpu, i * 256, false);
+  hm.audit(t, "test after reconfig");
+}
+
 }  // namespace
 }  // namespace h2

@@ -1,0 +1,251 @@
+// The perf-regression test layer (harness/perfbench.h): BENCH_<n>.json
+// schema round-trips, comparator threshold classification, and the
+// determinism of the counter fields that make perf baselines trustworthy —
+// engine events and demand accesses must be pure functions of the config,
+// bit-stable across --jobs 1 vs --jobs 4 and across process lifetimes.
+#include "harness/perfbench.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "harness/journal.h"
+#include "harness/sweep.h"
+
+namespace h2 {
+namespace {
+
+u64 bits(double v) {
+  u64 u;
+  std::memcpy(&u, &v, sizeof u);
+  return u;
+}
+
+PerfReport sample_report() {
+  PerfReport r;
+  r.set_meta("host", "testhost Linux x86_64");
+  r.set_meta("compiler", R"(g++ "12" \ test)");  // escaping must survive
+  r.set_meta("jobs", "4");
+
+  PerfEntry micro;
+  micro.name = "micro/rng_next";
+  micro.kind = "micro";
+  micro.iters = 1u << 20;
+  micro.wall_seconds = 0.1 + 0.2;  // not exactly representable: hex round-trip
+  micro.rate = 1.0 / 3.0;
+  micro.events = 0xdeadbeefcafef00dull;
+  r.entries.push_back(micro);
+
+  PerfEntry sweep;
+  sweep.name = "fig05_quick";
+  sweep.kind = "sweep";
+  sweep.iters = 21;
+  sweep.wall_seconds = 12.75;
+  sweep.rate = 5e-324;  // denormal extreme
+  sweep.events = ~0ull;
+  sweep.accesses = 123456789;
+  sweep.accesses_per_sec = 1.7976931348623157e308;
+  r.entries.push_back(sweep);
+  return r;
+}
+
+TEST(PerfBenchSchema, RoundTripsBitExactly) {
+  const PerfReport r = sample_report();
+  const std::string text = serialize_report(r);
+  const std::optional<PerfReport> back = parse_report(text);
+  ASSERT_TRUE(back.has_value());
+
+  ASSERT_EQ(back->meta.size(), r.meta.size());
+  for (size_t i = 0; i < r.meta.size(); ++i) {
+    EXPECT_EQ(back->meta[i].first, r.meta[i].first);
+    EXPECT_EQ(back->meta[i].second, r.meta[i].second);
+  }
+  ASSERT_EQ(back->entries.size(), r.entries.size());
+  for (size_t i = 0; i < r.entries.size(); ++i) {
+    const PerfEntry& a = r.entries[i];
+    const PerfEntry& b = back->entries[i];
+    EXPECT_EQ(b.name, a.name);
+    EXPECT_EQ(b.kind, a.kind);
+    EXPECT_EQ(b.iters, a.iters);
+    EXPECT_EQ(bits(b.wall_seconds), bits(a.wall_seconds));
+    EXPECT_EQ(bits(b.rate), bits(a.rate));
+    EXPECT_EQ(b.events, a.events);
+    EXPECT_EQ(b.accesses, a.accesses);
+    EXPECT_EQ(bits(b.accesses_per_sec), bits(a.accesses_per_sec));
+  }
+
+  // A second serialize of the parsed report must be byte-identical: the
+  // format has one canonical rendering per report.
+  EXPECT_EQ(serialize_report(*back), text);
+}
+
+TEST(PerfBenchSchema, SaveAndLoadRoundTrip) {
+  const PerfReport r = sample_report();
+  const std::string path =
+      std::string(::testing::TempDir()) + "perfbench_roundtrip.json";
+  ASSERT_TRUE(save_report(r, path));
+  const std::optional<PerfReport> back = load_report(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(serialize_report(*back), serialize_report(r));
+  std::remove(path.c_str());
+}
+
+TEST(PerfBenchSchema, RejectsMalformedInput) {
+  EXPECT_FALSE(parse_report("").has_value());
+  EXPECT_FALSE(parse_report("garbage").has_value());
+  EXPECT_FALSE(parse_report("{}").has_value());  // missing required sections
+  EXPECT_FALSE(load_report("/nonexistent/path/B.json").has_value());
+
+  const std::string good = serialize_report(sample_report());
+  // Wrong schema string.
+  std::string bad = good;
+  bad.replace(bad.find("h2-perfbench-v1"), std::strlen("h2-perfbench-v1"),
+              "h2-perfbench-v9");
+  EXPECT_FALSE(parse_report(bad).has_value());
+  // A missing per-entry field invalidates the entry.
+  bad = good;
+  bad.replace(bad.find("\"events\""), std::strlen("\"events\""), "\"evts\"");
+  EXPECT_FALSE(parse_report(bad).has_value());
+  // Truncation anywhere must fail, never mis-parse.
+  for (size_t cut : {good.size() / 4, good.size() / 2, good.size() - 2}) {
+    EXPECT_FALSE(parse_report(good.substr(0, cut)).has_value());
+  }
+}
+
+PerfEntry entry(const std::string& name, double rate, u64 events, u64 accesses) {
+  PerfEntry e;
+  e.name = name;
+  e.kind = "micro";
+  e.iters = 100;
+  e.wall_seconds = 1.0;
+  e.rate = rate;
+  e.events = events;
+  e.accesses = accesses;
+  return e;
+}
+
+TEST(PerfBenchCompare, ClassifiesAgainstNoiseBand) {
+  PerfReport base, cur;
+  base.entries = {entry("up", 100.0, 1, 2), entry("down", 100.0, 1, 2),
+                  entry("flat", 100.0, 1, 2)};
+  cur.entries = {entry("up", 125.0, 1, 2), entry("down", 80.0, 1, 2),
+                 entry("flat", 104.0, 1, 2)};
+
+  const CompareReport cmp = compare_reports(base, cur, /*threshold=*/0.10);
+  ASSERT_EQ(cmp.rows.size(), 3u);
+  EXPECT_EQ(cmp.rows[0].cls, PerfDelta::Improvement);
+  EXPECT_EQ(cmp.rows[1].cls, PerfDelta::Regression);
+  EXPECT_EQ(cmp.rows[2].cls, PerfDelta::Noise);
+  EXPECT_EQ(cmp.improvements, 1u);
+  EXPECT_EQ(cmp.regressions, 1u);
+  EXPECT_EQ(cmp.counter_mismatches, 0u);
+  EXPECT_DOUBLE_EQ(cmp.rows[0].ratio, 1.25);
+  EXPECT_DOUBLE_EQ(cmp.rows[1].ratio, 0.80);
+}
+
+TEST(PerfBenchCompare, BandEdgesAreInclusive) {
+  // ratio == 1 ± threshold is already outside the noise band.
+  PerfReport base, cur;
+  base.entries = {entry("a", 100.0, 0, 0), entry("b", 100.0, 0, 0)};
+  cur.entries = {entry("a", 110.0, 0, 0), entry("b", 90.0, 0, 0)};
+  const CompareReport cmp = compare_reports(base, cur, 0.10);
+  EXPECT_EQ(cmp.rows[0].cls, PerfDelta::Improvement);
+  EXPECT_EQ(cmp.rows[1].cls, PerfDelta::Regression);
+}
+
+TEST(PerfBenchCompare, CounterDriftTrumpsRateClassification) {
+  PerfReport base, cur;
+  base.entries = {entry("a", 100.0, 42, 7)};
+  cur.entries = {entry("a", 250.0, 43, 7)};  // "faster", but different work
+  const CompareReport cmp = compare_reports(base, cur, 0.10);
+  ASSERT_EQ(cmp.rows.size(), 1u);
+  EXPECT_EQ(cmp.rows[0].cls, PerfDelta::CounterMismatch);
+  EXPECT_EQ(cmp.counter_mismatches, 1u);
+  EXPECT_EQ(cmp.improvements, 0u);
+  EXPECT_NE(cmp.rows[0].detail.find("42 -> 43"), std::string::npos);
+
+  cur.entries = {entry("a", 100.0, 42, 8)};  // accesses drift alone fails too
+  EXPECT_EQ(compare_reports(base, cur, 0.10).counter_mismatches, 1u);
+}
+
+TEST(PerfBenchCompare, HandlesDisjointEntrySets) {
+  PerfReport base, cur;
+  base.entries = {entry("gone", 100.0, 1, 1), entry("kept", 100.0, 1, 1)};
+  cur.entries = {entry("kept", 100.0, 1, 1), entry("new", 50.0, 2, 2)};
+  const CompareReport cmp = compare_reports(base, cur, 0.10);
+  ASSERT_EQ(cmp.rows.size(), 3u);
+  EXPECT_EQ(cmp.rows[0].cls, PerfDelta::OnlyInBaseline);
+  EXPECT_EQ(cmp.rows[1].cls, PerfDelta::Noise);
+  EXPECT_EQ(cmp.rows[2].cls, PerfDelta::OnlyInCurrent);
+  // A vanished benchmark counts as a regression; a new one does not.
+  EXPECT_EQ(cmp.regressions, 1u);
+}
+
+/// Small, fast experiment configuration (mirrors test_sweep.cpp).
+ExperimentConfig quick(const std::string& combo, DesignSpec design) {
+  ExperimentConfig cfg;
+  cfg.combo = combo;
+  cfg.design = std::move(design);
+  cfg.sys = SystemConfig::table1(/*scale=*/16);
+  cfg.cpu_target_instructions = 150'000;
+  cfg.gpu_target_instructions = 120'000;
+  cfg.epoch_cycles = 50'000;
+  cfg.max_cycles = 60'000'000;
+  return cfg;
+}
+
+struct SliceCounters {
+  u64 events = 0;
+  u64 accesses = 0;
+};
+
+SliceCounters run_slice(u32 jobs) {
+  std::vector<ExperimentConfig> cfgs;
+  for (const char* combo : {"C1", "C3"}) {
+    cfgs.push_back(quick(combo, DesignSpec::baseline()));
+    cfgs.push_back(quick(combo, DesignSpec::hydrogen_full()));
+  }
+  SweepOptions opts;
+  opts.jobs = jobs;
+  SliceCounters out;
+  for (const SweepRun& r : run_sweep(cfgs, opts)) {
+    EXPECT_TRUE(r.ok) << r.combo << "/" << r.design << ": " << r.error;
+    EXPECT_GT(r.result.engine_steps, 0u);
+    out.events += r.result.engine_steps;
+    out.accesses += r.result.hmstats[0].demand + r.result.hmstats[1].demand;
+  }
+  return out;
+}
+
+TEST(PerfBenchCounters, BitStableAcrossJobCountsAndReruns) {
+  // The counters perfbench records for its sweep entry — summed engine steps
+  // and demand accesses — must not depend on worker count or scheduling.
+  const SliceCounters serial = run_slice(1);
+  const SliceCounters parallel = run_slice(4);
+  EXPECT_GT(serial.events, 0u);
+  EXPECT_GT(serial.accesses, 0u);
+  EXPECT_EQ(serial.events, parallel.events);
+  EXPECT_EQ(serial.accesses, parallel.accesses);
+
+  const SliceCounters again = run_slice(4);
+  EXPECT_EQ(parallel.events, again.events);
+  EXPECT_EQ(parallel.accesses, again.accesses);
+}
+
+TEST(PerfBenchCounters, EngineStepsRoundTripThroughJournal) {
+  // engine_steps is a result field: it must survive the sweep journal so
+  // --resume restores perfbench-relevant counters bit-exactly.
+  JournalEntry e;
+  e.key = "00112233'4455'6677";
+  e.combo = "C1";
+  e.design = "baseline";
+  e.status = "ok";
+  e.result.engine_steps = 0x123456789abcdefull;
+  const std::optional<JournalEntry> back = parse_entry(serialize_entry(e));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->result.engine_steps, e.result.engine_steps);
+}
+
+}  // namespace
+}  // namespace h2

@@ -228,8 +228,11 @@ class ScriptedPolicy final : public PartitionPolicy {
     swap_with_ = -1;  // one-shot: only the next hit swaps
     return w;
   }
-  void set_owner(u32 way, bool cpu) { owner_cpu_[way] = cpu; }
-  void set_channel(u32 way, u32 ch) { channel_[way] = ch; }
+  // Rewiring the scripted answers is this double's "reconfiguration", so it
+  // must honour the PartitionPolicy contract and invalidate the flat
+  // mapping cache like the real policies do.
+  void set_owner(u32 way, bool cpu) { owner_cpu_[way] = cpu; invalidate_mapping(); }
+  void set_channel(u32 way, u32 ch) { channel_[way] = ch; invalidate_mapping(); }
   void arm_swap(i32 way) { swap_with_ = way; }
 
  private:

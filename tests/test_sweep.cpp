@@ -83,6 +83,7 @@ void expect_identical(const SweepRun& a, const SweepRun& b) {
   EXPECT_EQ(x.slow_amplification, y.slow_amplification);
   EXPECT_EQ(x.reconfigurations, y.reconfigurations);
   EXPECT_EQ(x.epochs, y.epochs);
+  EXPECT_EQ(x.engine_steps, y.engine_steps);
   for (int s = 0; s < 2; ++s) {
     EXPECT_EQ(x.fast_hit_rate[s], y.fast_hit_rate[s]);
     EXPECT_EQ(x.llc_hit_rate[s], y.llc_hit_rate[s]);

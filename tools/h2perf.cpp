@@ -1,0 +1,130 @@
+// h2perf: diff two perfbench BENCH_<n>.json files.
+//
+//   h2perf --compare <baseline> <current> [--threshold <frac>] [--warn-only]
+//   h2perf --print <file>
+//
+// Rates are classified against the fractional noise band `--threshold`
+// (default 0.10 = ±10 %): above it is an improvement, below a regression,
+// inside is noise. Deterministic counters (micro checksums, engine events,
+// demand accesses) must match exactly; a counter mismatch means behaviour
+// changed, and it fails the run even under --warn-only — that flag only
+// downgrades *rate* regressions (for noisy shared CI runners).
+//
+// Exit codes: 0 ok, 1 regression/counter mismatch, 2 usage or parse error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "harness/perfbench.h"
+
+namespace h2 {
+namespace {
+
+int usage() {
+  std::cerr << "usage: h2perf --compare <baseline> <current>"
+               " [--threshold <frac>] [--warn-only]\n"
+               "       h2perf --print <file>\n";
+  return 2;
+}
+
+PerfReport load_or_die(const std::string& path) {
+  std::optional<PerfReport> r = load_report(path);
+  if (!r.has_value()) {
+    std::cerr << "h2perf: cannot load '" << path
+              << "' (missing file or schema mismatch)\n";
+    std::exit(2);
+  }
+  return std::move(*r);
+}
+
+int print_file(const std::string& path) {
+  const PerfReport r = load_or_die(path);
+  for (const auto& [k, v] : r.meta) std::cout << k << ": " << v << "\n";
+  std::printf("%-24s %6s %14s %14s %20s\n", "benchmark", "kind", "rate/s",
+              "wall_s", "counter(events)");
+  for (const PerfEntry& e : r.entries) {
+    std::printf("%-24s %6s %14.4e %14.6f %20llu\n", e.name.c_str(),
+                e.kind.c_str(), e.rate, e.wall_seconds,
+                static_cast<unsigned long long>(e.events));
+  }
+  return 0;
+}
+
+int compare_files(const std::string& base_path, const std::string& cur_path,
+                  double threshold, bool warn_only) {
+  const PerfReport base = load_or_die(base_path);
+  const PerfReport cur = load_or_die(cur_path);
+
+  const std::string* bh = base.find_meta("host");
+  const std::string* ch = cur.find_meta("host");
+  if (bh != nullptr && ch != nullptr && *bh != *ch) {
+    std::cerr << "note: reports come from different hosts (" << *bh << " vs "
+              << *ch << "); rate deltas include hardware differences\n";
+  }
+
+  const CompareReport cmp = compare_reports(base, cur, threshold);
+  std::printf("%-24s %12s %12s %8s  %s\n", "benchmark", "base rate/s",
+              "cur rate/s", "ratio", "class");
+  for (const PerfComparison& row : cmp.rows) {
+    std::printf("%-24s %12.4e %12.4e %8.3f  %s%s%s\n", row.name.c_str(),
+                row.base_rate, row.cur_rate, row.ratio, to_string(row.cls),
+                row.detail.empty() ? "" : ": ", row.detail.c_str());
+  }
+  std::printf("summary: %u improvement(s), %u regression(s), "
+              "%u counter mismatch(es), threshold ±%.0f%%\n",
+              cmp.improvements, cmp.regressions, cmp.counter_mismatches,
+              threshold * 100.0);
+
+  if (cmp.counter_mismatches > 0) {
+    std::cerr << "h2perf: deterministic counters drifted — behaviour changed "
+                 "(never downgraded by --warn-only)\n";
+    return 1;
+  }
+  if (cmp.regressions > 0) {
+    if (warn_only) {
+      std::cerr << "h2perf: rate regressions present (ignored: --warn-only)\n";
+      return 0;
+    }
+    return 1;
+  }
+  return 0;
+}
+
+int run(int argc, char** argv) {
+  std::string mode, base_path, cur_path;
+  double threshold = 0.10;
+  bool warn_only = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--compare" && i + 2 < argc) {
+      mode = "compare";
+      base_path = argv[++i];
+      cur_path = argv[++i];
+    } else if (a == "--print" && i + 1 < argc) {
+      mode = "print";
+      base_path = argv[++i];
+    } else if (a == "--threshold" && i + 1 < argc) {
+      char* end = nullptr;
+      threshold = std::strtod(argv[++i], &end);
+      if (end == nullptr || *end != '\0' || threshold < 0.0) return usage();
+    } else if (a == "--warn-only") {
+      warn_only = true;
+    } else {
+      return usage();
+    }
+  }
+  if (mode == "print") return print_file(base_path);
+  if (mode == "compare") {
+    return compare_files(base_path, cur_path, threshold, warn_only);
+  }
+  return usage();
+}
+
+}  // namespace
+}  // namespace h2
+
+int main(int argc, char** argv) { return h2::run(argc, argv); }
