@@ -15,6 +15,8 @@
 //                  <prefix><combo>-<design>.csv
 //   --compiled-check-level  print the compile-time H2_CHECK ceiling and exit
 //                  (CI's recorded-number guard)
+//   --backend fast|ddr  per-channel timing model (default fast; see
+//                  mem/ddr_backend.h and TESTING.md's backend contract)
 // and the crash-safety / fault flags (see src/harness/sweep.h):
 //   --run-timeout <sec>  per-run watchdog budget (0 = off)
 //   --retries <n>        retry transient failures up to n times
@@ -54,6 +56,9 @@ struct BenchArgs {
   u32 warmup_epochs = 0;     ///< --warmup-epochs; 0 = historical cold start
   std::string timeline_prefix;  ///< --timeline; per-run CSVs when non-empty
   bool print_compiled_check_level = false;  ///< --compiled-check-level
+  /// --backend; the per-channel timing model every run uses (fast = the
+  /// analytic model the recorded numbers pin, ddr = mem/ddr_backend.h).
+  ChannelBackendKind backend = ChannelBackendKind::Fast;
 
   /// Parses argv without exiting: on success fills *out and returns true; on
   /// a bad flag returns false with a diagnostic in *error. The exiting
@@ -127,13 +132,19 @@ struct BenchArgs {
         args.timeline_prefix = argv[++i];
       } else if (a == "--compiled-check-level") {
         args.print_compiled_check_level = true;
+      } else if (a == "--backend" && i + 1 < argc) {
+        const std::string v = argv[++i];
+        if (!parse_backend_kind(v, &args.backend)) {
+          *error = "--backend expects fast or ddr, got '" + v + "'";
+          return false;
+        }
       } else {
         *error = "unknown argument: " + a +
                  " (supported: --quick --full --hbm3 --csv <path> --jobs <n>"
                  " --check <n> --run-timeout <sec> --retries <n> --strict"
                  " --fault <spec> --journal <path> --resume"
                  " --warmup-epochs <n> --timeline <prefix>"
-                 " --compiled-check-level)";
+                 " --compiled-check-level --backend fast|ddr)";
         return false;
       }
     }
@@ -170,6 +181,7 @@ inline ExperimentConfig bench_config(const std::string& combo, DesignSpec design
   cfg.epoch_cycles = 40'000;
   cfg.max_cycles = 400'000'000;
   cfg.warmup_epochs = args.warmup_epochs;
+  cfg.backend = args.backend;
   if (!args.timeline_prefix.empty()) {
     cfg.timeline_path = args.timeline_prefix + cfg.combo + "-" + cfg.design.label + ".csv";
   }

@@ -3,12 +3,21 @@
 # Runs a bench binary with --csv into a scratch file and byte-compares it to
 # the checked-in golden. Usage:
 #   cmake -DBENCH=<binary> -DOUT=<scratch.csv> -DGOLDEN=<golden.csv>
-#         -P golden_compare.cmake
+#         [-DEXTRA_ARGS=<args;list>] -P golden_compare.cmake
 #
-# To update the golden after an intentional model change (see TESTING.md):
+# EXTRA_ARGS is a semicolon-separated list appended to the fixed quick
+# invocation — e.g. "--backend;ddr" selects the DDR channel backend against
+# its own golden (tests/golden/fig05_quick_ddr.csv).
+#
+# To update a golden after an intentional model change (see TESTING.md):
 #   ./bench/fig05_overall --quick --jobs 2 --csv tests/golden/fig05_quick.csv
+#   ./bench/fig05_overall --quick --jobs 2 --backend ddr \
+#       --csv tests/golden/fig05_quick_ddr.csv
+if(NOT DEFINED EXTRA_ARGS)
+  set(EXTRA_ARGS "")
+endif()
 execute_process(
-  COMMAND ${BENCH} --quick --jobs 2 --csv ${OUT}
+  COMMAND ${BENCH} --quick --jobs 2 ${EXTRA_ARGS} --csv ${OUT}
   RESULT_VARIABLE run_rc
   OUTPUT_QUIET)
 if(NOT run_rc EQUAL 0)
@@ -23,6 +32,6 @@ if(NOT diff_rc EQUAL 0)
   message(FATAL_ERROR
     "bench CSV differs from golden ${GOLDEN}.\n"
     "If the model change is intentional, regenerate with:\n"
-    "  <build>/bench/fig05_overall --quick --jobs 2 --csv tests/golden/fig05_quick.csv\n"
+    "  <build>/bench/fig05_overall --quick --jobs 2 [${EXTRA_ARGS}] --csv ${GOLDEN}\n"
     "and commit the diff alongside an explanation of why the numbers moved.")
 endif()

@@ -11,10 +11,13 @@
 //     hard-fails when they drift, which is how "faster" is proven to never
 //     silently mean "different".
 //
-// Usage: perfbench [--out <path>] [--jobs <n>] [--tiny]
+// Usage: perfbench [--out <path>] [--jobs <n>] [--tiny] [--backend fast|ddr]
 //   --out   output BENCH file (default BENCH.json)
 //   --jobs  sweep workers (default: H2_JOBS env, then all hardware threads)
 //   --tiny  reduced iteration counts and a 1-combo sweep slice (test use)
+//   --backend  channel timing model for the fig05 slice (micros are
+//           memory-model independent); compare ddr runs against the
+//           BENCH_ddr_* baselines, fast runs against BENCH_<n>
 
 #include <sys/utsname.h>
 
@@ -179,9 +182,10 @@ std::vector<PerfEntry> run_micros(bool tiny) {
   return out;
 }
 
-PerfEntry run_fig05_slice(u32 jobs, bool tiny) {
+PerfEntry run_fig05_slice(u32 jobs, bool tiny, ChannelBackendKind backend) {
   bench::BenchArgs bargs;
   bargs.quick = true;
+  bargs.backend = backend;
 
   std::vector<ExperimentConfig> cfgs;
   const std::vector<std::string> combos =
@@ -232,6 +236,7 @@ int run(int argc, char** argv) {
   std::string out_path = "BENCH.json";
   u32 jobs = 0;
   bool tiny = false;
+  ChannelBackendKind backend = ChannelBackendKind::Fast;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--out" && i + 1 < argc) {
@@ -245,9 +250,16 @@ int run(int argc, char** argv) {
       jobs = static_cast<u32>(n);
     } else if (a == "--tiny") {
       tiny = true;
+    } else if (a == "--backend" && i + 1 < argc) {
+      const std::string v = argv[++i];
+      if (!parse_backend_kind(v, &backend)) {
+        std::cerr << "--backend expects fast or ddr, got '" << v << "'\n";
+        return 2;
+      }
     } else {
       std::cerr << "unknown argument: " << a
-                << " (supported: --out <path> --jobs <n> --tiny)\n";
+                << " (supported: --out <path> --jobs <n> --tiny"
+                   " --backend fast|ddr)\n";
       return 2;
     }
   }
@@ -270,9 +282,10 @@ int run(int argc, char** argv) {
   report.set_meta("hardware_threads",
                   std::to_string(std::thread::hardware_concurrency()));
   report.set_meta("slice", tiny ? "tiny" : "fig05-quick");
+  report.set_meta("backend", to_string(backend));
 
   for (PerfEntry& e : run_micros(tiny)) report.entries.push_back(std::move(e));
-  report.entries.push_back(run_fig05_slice(jobs, tiny));
+  report.entries.push_back(run_fig05_slice(jobs, tiny, backend));
 
   if (!save_report(report, out_path)) {
     std::cerr << "perfbench: cannot write '" << out_path << "'\n";

@@ -13,7 +13,7 @@ namespace {
 constexpr const char* kKindNames[kNumKinds] = {
     "remap-flip", "dup-tag", "drop-writeback", "time-skew",
     "cursor-skew", "throw",   "throw-transient", "stall",
-    "lazy-skip",  "alloc-stuck",
+    "lazy-skip",  "alloc-stuck", "refresh-skip", "sched-starve",
 };
 
 /// Strict base-10 u64 parse; throws on empty, non-digit, or overflow.

@@ -19,6 +19,7 @@
 //   <kind>[:key=value[,key=value...]]
 //   kinds  remap-flip | dup-tag | drop-writeback | time-skew | cursor-skew
 //          | throw | throw-transient | stall | lazy-skip | alloc-stuck
+//          | refresh-skip | sched-starve
 //   keys   after=N   skip the first N visits to matching sites (default 0)
 //          count=N   fire at most N times; 0 = unlimited     (default 1)
 //          seed=N    recorded for reproducibility bookkeeping (default 0)
@@ -43,6 +44,8 @@ namespace h2::fault {
 ///   Stall          busy-sleep inside the run              -> sweep watchdog
 ///   LazySkip       drop a *due* lazy reconfiguration fixup-> epoch oracle
 ///   AllocStuck     the per-way alloc bit is never written  -> epoch oracle
+///   RefreshSkip    silently drop a due refresh window     -> oracle refresh law
+///   SchedStarve    FR-FCFS bypass ignores starvation cap  -> DDR property check
 enum class Kind : std::uint8_t {
   RemapFlip,
   DupTag,
@@ -54,9 +57,11 @@ enum class Kind : std::uint8_t {
   Stall,
   LazySkip,
   AllocStuck,
+  RefreshSkip,
+  SchedStarve,
 };
 
-inline constexpr int kNumKinds = 10;
+inline constexpr int kNumKinds = 12;
 
 /// Spec-grammar name of a kind ("remap-flip", ...).
 const char* kind_name(Kind k);

@@ -46,10 +46,12 @@ struct Step {
 /// validated here before design_from_name, which aborts on unknown names.
 std::unique_ptr<PartitionPolicy> oracle_policy(const std::string& design, u64 seed) {
   if (design != "baseline" && design != "waypart" && design != "hashcache" &&
-      design != "hydrogen" && design != "hydrogen-setpart") {
+      design != "profess" && design != "hydrogen" &&
+      design != "hydrogen-setpart") {
     throw std::invalid_argument(
         "oracle: unknown design '" + design +
-        "' (expected baseline, waypart, hashcache, hydrogen or hydrogen-setpart)");
+        "' (expected baseline, waypart, hashcache, profess, hydrogen or "
+        "hydrogen-setpart)");
   }
   DesignSpec spec = design_from_name(design);
   spec.hydrogen.seed = seed;
@@ -374,6 +376,7 @@ OracleReport run_oracle(const OracleConfig& ocfg) {
   OracleReport report;
   report.cpu_workload = ocfg.cpu_workload;
   report.design = ocfg.design;
+  report.backend = ocfg.backend;
   report.accesses = ocfg.accesses;
 
   auto diff_u64 = [&report](const std::string& what, u64 sim, u64 oracle) {
@@ -390,6 +393,7 @@ OracleReport run_oracle(const OracleConfig& ocfg) {
   // Geometry: a scaled-down two-tier system, small enough that the replay
   // churns the fast tier (misses, migrations, writebacks all exercised).
   MemSystemConfig mem_cfg = MemSystemConfig::table1_default();
+  mem_cfg.backend = ocfg.backend;
   HybridMemConfig hm_cfg;
   hm_cfg.mode = HybridMode::Cache;
   hm_cfg.fast_capacity_bytes = 8ull << 20;
@@ -573,6 +577,11 @@ OracleReport run_oracle(const OracleConfig& ocfg) {
              o.flush_invalidations);
   }
 
+  // Drain the backends (posted writes completed, refresh caught up to the
+  // final clock) so the command-conservation laws below are exact. The
+  // reference model has no timing state, so this moves nothing on its side.
+  mem.drain_backends(now);
+
   for (u32 ch = 0; ch < mem.num_fast_superchannels(); ++ch) {
     diff_u64("fast channel " + std::to_string(ch) + " requests",
              mem.issued_fast(ch), ref.fast_reqs(ch));
@@ -580,6 +589,37 @@ OracleReport run_oracle(const OracleConfig& ocfg) {
   for (u32 ch = 0; ch < mem.num_slow_channels(); ++ch) {
     diff_u64("slow channel " + std::to_string(ch) + " requests",
              mem.issued_slow(ch), ref.slow_reqs(ch));
+  }
+
+  // Backend command conservation, per channel and per tier. Each law holds
+  // for both timing backends, which is what makes the oracle a differential
+  // check on the DDR controller model as well as the analytic one:
+  //  - issued == completed: every request the facade accepted produced
+  //    exactly one column command (row hit or miss) and nothing is left
+  //    buffered after the drain;
+  //  - activation/precharge pairing: every ACT is eventually closed by a PRE
+  //    (explicit, or implicit in an all-bank refresh) or the bank still
+  //    holds the row open;
+  //  - refresh windows: the catch-up loop applied exactly the number of
+  //    tREFI windows the flat clock implies — a skipped window (the
+  //    refresh-skip fault class) breaks this count without touching any
+  //    residency or request counter.
+  const auto diff_channel = [&](const std::string& tier, u32 idx, Channel& ch,
+                                u64 issued) {
+    const std::string tagc = tier + " channel " + std::to_string(idx) + " ";
+    diff_u64(tagc + "issued vs completed", issued,
+             ch.row_hits() + ch.row_misses());
+    diff_u64(tagc + "pending after drain", ch.pending(), 0);
+    diff_u64(tagc + "act/pre pairing", ch.activations(),
+             ch.precharges() + ch.open_banks());
+    diff_u64(tagc + "refresh windows", ch.refresh_windows(),
+             ch.expected_refresh_windows(now));
+  };
+  for (u32 ch = 0; ch < mem.num_fast_superchannels(); ++ch) {
+    diff_channel("fast", ch, mem.fast_channel(ch), mem.issued_fast(ch));
+  }
+  for (u32 ch = 0; ch < mem.num_slow_channels(); ++ch) {
+    diff_channel("slow", ch, mem.slow_channel(ch), mem.issued_slow(ch));
   }
 
   // Final residency membership: every (set, tag) must agree on presence,

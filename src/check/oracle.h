@@ -12,6 +12,12 @@
 //     including the lazy-reconfiguration counters (lazy_invalidations and
 //     lazy_moves),
 //   - per-channel request counts in both tiers (including metadata fills),
+//   - per-channel backend command conservation after a drain: issued ==
+//     completed (row hits + misses, no pending posted writes), the
+//     activation/precharge pairing law (activations == precharges +
+//     open banks) and refresh windows == the arithmetic expectation for the
+//     final clock — these hold for BOTH backends, so `backend` selects which
+//     timing model the full side runs without changing any expected count,
 //   - the final remapped-set residency (set, tag, channel, dirty),
 //   - with epochs > 0: a per-epoch residency snapshot, a remap-bijection
 //     scan of both tables after every reconfiguration, and (for hydrogen)
@@ -35,26 +41,33 @@
 //
 // Supported designs: "baseline", "waypart" (coupled static way partition),
 // "hydrogen-setpart" (page-coloured set partition), "hashcache" (chained
-// pseudo-associative lookup and insertion) and "hydrogen" (dedicated-way
-// partitioning, token-gated migration, CPU-spill swaps). Between them they
-// cover identity and non-identity set remapping, chaining, swaps, stateful
-// migration gating, and — under an epoch schedule — every lazy-fixup flavour
-// (hashcache's constant owner function doubles as the control: its epochs
-// must produce no fixups at all).
+// pseudo-associative lookup and insertion), "profess" (probabilistic
+// migration gating with a seeded RNG — both sides draw the identical
+// sequence) and "hydrogen" (dedicated-way partitioning, token-gated
+// migration, CPU-spill swaps). Between them they cover identity and
+// non-identity set remapping, chaining, swaps, stateful migration gating,
+// and — under an epoch schedule — every lazy-fixup flavour (hashcache's
+// constant owner function doubles as the control: its epochs must produce
+// no fixups at all).
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "common/types.h"
+#include "mem/channel.h"
 
 namespace h2 {
 
 struct OracleConfig {
   std::string cpu_workload = "gcc";
   std::string gpu_workload = "backprop";
-  /// "baseline", "waypart", "hydrogen-setpart", "hashcache" or "hydrogen".
+  /// "baseline", "waypart", "hydrogen-setpart", "hashcache", "profess" or
+  /// "hydrogen".
   std::string design = "baseline";
+  /// Timing backend the full side's channels run. The reference model is
+  /// timing-free, so every conserved count must agree under either backend.
+  ChannelBackendKind backend = ChannelBackendKind::Fast;
   u64 accesses = 120'000;           ///< interleaved CPU+GPU demand accesses
   u64 seed = 42;
   Cycle cycle_gap = 5;              ///< flat synthetic clock step per access
@@ -73,6 +86,7 @@ struct OracleConfig {
 struct OracleReport {
   std::string cpu_workload;
   std::string design;
+  ChannelBackendKind backend = ChannelBackendKind::Fast;
   u64 accesses = 0;
   u64 epochs = 0;                   ///< epoch boundaries actually driven
   u64 quantities = 0;               ///< conserved quantities compared

@@ -61,6 +61,29 @@ ExperimentConfig experiment_from_config(const ConfigFile& cfg) {
   ec.fast_channels = static_cast<u32>(cfg.get_int("hybrid.fast_channels", 0));
   ec.slow_channels = static_cast<u32>(cfg.get_int("hybrid.slow_channels", 0));
 
+  // --- memory backend -------------------------------------------------------
+  const std::string backend = cfg.get_string("mem.backend", "fast");
+  H2_ASSERT(parse_backend_kind(backend, &ec.backend),
+            "%s: mem.backend must be fast or ddr, got '%s'",
+            cfg.where("mem.backend").c_str(), backend.c_str());
+  ec.ddr.frfcfs_cap = static_cast<u32>(cfg.get_int("ddr.frfcfs_cap", ec.ddr.frfcfs_cap));
+  ec.ddr.wq_depth = static_cast<u32>(cfg.get_int("ddr.wq_depth", ec.ddr.wq_depth));
+  ec.ddr.wq_high = static_cast<u32>(cfg.get_int("ddr.wq_high", ec.ddr.wq_high));
+  ec.ddr.wq_low = static_cast<u32>(cfg.get_int("ddr.wq_low", ec.ddr.wq_low));
+  ec.ddr.t_ras = static_cast<u32>(cfg.get_int("ddr.t_ras", 0));
+  ec.ddr.t_ccd_s = static_cast<u32>(cfg.get_int("ddr.t_ccd_s", 0));
+  ec.ddr.t_ccd_l = static_cast<u32>(cfg.get_int("ddr.t_ccd_l", 0));
+  ec.ddr.bank_groups = static_cast<u32>(cfg.get_int("ddr.bank_groups", 0));
+  ec.ddr.t_refi = static_cast<u32>(cfg.get_int("ddr.t_refi", 0));
+  ec.ddr.t_rfc = static_cast<u32>(cfg.get_int("ddr.t_rfc", 0));
+  H2_ASSERT(ec.ddr.frfcfs_cap >= 1, "%s: ddr.frfcfs_cap must be >= 1",
+            cfg.where("ddr.frfcfs_cap").c_str());
+  H2_ASSERT(ec.ddr.wq_low < ec.ddr.wq_high && ec.ddr.wq_high <= ec.ddr.wq_depth,
+            "%s: write-drain watermarks must satisfy wq_low < wq_high <= "
+            "wq_depth (low=%u high=%u depth=%u)",
+            cfg.where("ddr.wq_high").c_str(), ec.ddr.wq_low, ec.ddr.wq_high,
+            ec.ddr.wq_depth);
+
   // --- WayPart's knob --------------------------------------------------------
   // waypart.cpu_way_fraction is the canonical key; hydrogen.cpu_capacity_frac
   // is accepted as an alias because WayPart historically piggybacked on that
@@ -108,8 +131,8 @@ ExperimentConfig experiment_from_file(const std::string& path, bool strict) {
     // Two classes of typo, each reported with the offending file:line.
     // An unknown section: every key under it is wrong for the same reason,
     // so it is diagnosed as a section (and excluded from the unused list).
-    static const std::set<std::string> known_sections = {"sim", "system", "hybrid",
-                                                         "hydrogen", "waypart"};
+    static const std::set<std::string> known_sections = {
+        "sim", "system", "hybrid", "hydrogen", "waypart", "mem", "ddr"};
     size_t errors = 0;
     std::set<std::string> in_bad_section;
     for (const auto& k : cfg.keys()) {
@@ -120,10 +143,11 @@ ExperimentConfig experiment_from_file(const std::string& path, bool strict) {
       if (section.empty()) {
         std::cerr << "error: " << cfg.where(k) << ": key '" << k
                   << "' outside any section (known sections: sim, system,"
-                     " hybrid, hydrogen, waypart)\n";
+                     " hybrid, hydrogen, waypart, mem, ddr)\n";
       } else {
         std::cerr << "error: " << cfg.where(k) << ": unknown section '[" << section
-                  << "]' (known sections: sim, system, hybrid, hydrogen, waypart)\n";
+                  << "]' (known sections: sim, system, hybrid, hydrogen,"
+                     " waypart, mem, ddr)\n";
       }
     }
     for (const auto& k : cfg.unused_keys()) {

@@ -84,6 +84,13 @@ struct ExperimentConfig {
   /// differ only in schedule never share journal entries.
   std::string reconfig_schedule;
 
+  /// Per-channel timing backend (mem.backend = fast|ddr, --backend flag).
+  /// `fast` is the analytic cursor model the paper numbers were recorded
+  /// with; `ddr` enables the command-legality model (mem/ddr_backend.h).
+  ChannelBackendKind backend = ChannelBackendKind::Fast;
+  /// DDR-backend scheduler knobs + timing overrides ([ddr] config section).
+  DdrParams ddr;
+
   bool cpu_only = false;  ///< Fig. 2(a) "running alone" runs
   bool gpu_only = false;
   /// Solo runs skip constructing the idle side's synthetic generators while

@@ -230,6 +230,17 @@ std::string config_key(const ExperimentConfig& cfg) {
   u(cfg.seed);
   s(cfg.trace_dir);
   s(cfg.reconfig_schedule);
+  u(static_cast<u64>(cfg.backend));
+  u(cfg.ddr.frfcfs_cap);
+  u(cfg.ddr.wq_depth);
+  u(cfg.ddr.wq_high);
+  u(cfg.ddr.wq_low);
+  u(cfg.ddr.t_ras);
+  u(cfg.ddr.t_ccd_s);
+  u(cfg.ddr.t_ccd_l);
+  u(cfg.ddr.bank_groups);
+  u(cfg.ddr.t_refi);
+  u(cfg.ddr.t_rfc);
 
   const SystemConfig& sys = cfg.sys;
   u(sys.cpu_cores);

@@ -266,6 +266,8 @@ void SimSystem::build() {
   if (cfg_.slow_channels) mem_cfg.slow_channels = cfg_.slow_channels;
   mem_cfg.block_bytes = cfg_.block_bytes;
   mem_cfg.core_ghz = sys_.core_ghz;
+  mem_cfg.backend = cfg_.backend;
+  mem_cfg.ddr = cfg_.ddr;
 
   HybridMemConfig hm_cfg = sys_.hybrid;
   hm_cfg.mode = cfg_.mode;
@@ -445,6 +447,13 @@ void SimSystem::measure() {
 ExperimentResult SimSystem::drain() {
   H2_ASSERT(phase_ == Phase::Measure && measured_, "drain() must follow measure()");
   phase_ = Phase::Drained;
+
+  // The DDR backend buffers posted writes and applies refresh lazily; flush
+  // them so the audits below see pending == 0 and the extracted energy
+  // includes the drained bursts. The fast backend stays untouched — its
+  // historical numbers never included a trailing refresh catch-up, and the
+  // fig05 golden pins that behaviour.
+  if (cfg_.backend == ChannelBackendKind::Ddr) mem_->drain_backends(end_cycle_);
 
   // Final audits (and timeline flush) before extraction; `end_cycle_` is
   // absolute because audits compare against absolute channel cursors.

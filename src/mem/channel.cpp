@@ -7,32 +7,35 @@
 #include "check/check.h"
 #include "check/fault.h"
 #include "common/assert.h"
+#include "mem/ddr_backend.h"
 
 namespace h2 {
 
-Channel::Channel(const DramTiming& timing, double core_ghz, u32 id)
+const char* to_string(ChannelBackendKind k) {
+  return k == ChannelBackendKind::Ddr ? "ddr" : "fast";
+}
+
+bool parse_backend_kind(const std::string& s, ChannelBackendKind* out) {
+  if (s == "fast") {
+    *out = ChannelBackendKind::Fast;
+    return true;
+  }
+  if (s == "ddr") {
+    *out = ChannelBackendKind::Ddr;
+    return true;
+  }
+  return false;
+}
+
+// --- ChannelBackend (shared clock conversion + transfer table) -----------
+
+ChannelBackend::ChannelBackend(const DramTiming& timing, double core_ghz, u32 id)
     : timing_(timing), id_(id), core_ghz_(core_ghz) {
   H2_ASSERT(timing.device_mhz > 0 && core_ghz > 0, "bad clocks");
   core_cycles_per_device_cycle_ = core_ghz * 1000.0 / timing.device_mhz;
   bytes_per_core_cycle_ =
       timing.bus_bytes_per_device_cycle / core_cycles_per_device_cycle_;
-  auto to_core = [&](u32 dev) {
-    return static_cast<u32>(std::lround(dev * core_cycles_per_device_cycle_));
-  };
-  c_rcd_ = to_core(timing.t_rcd);
-  c_cas_ = to_core(timing.t_cas);
-  c_rp_ = to_core(timing.t_rp);
-  c_refi_ = to_core(timing.t_refi);
-  c_rfc_ = to_core(timing.t_rfc);
   controller_overhead_ = 16;  // queue + PHY + arbitration, core cycles
-  banks_.resize(timing.total_banks());
-  next_refresh_ = c_refi_;
-  if (std::has_single_bit(timing_.row_bytes) &&
-      std::has_single_bit(banks_.size())) {
-    pow2_geometry_ = true;
-    row_shift_ = static_cast<u32>(std::countr_zero(timing_.row_bytes));
-    bank_shift_ = static_cast<u32>(std::countr_zero(banks_.size()));
-  }
   // Request sizes are line/sector-sized (a handful of distinct small values
   // repeated ~10M times per run); precompute the ceil once per size with the
   // same expression transfer_cycles() falls back to.
@@ -43,30 +46,64 @@ Channel::Channel(const DramTiming& timing, double core_ghz, u32 id)
   }
 }
 
-u32 Channel::transfer_cycles(u32 bytes) const {
+u32 ChannelBackend::to_core(u32 dev) const {
+  return static_cast<u32>(std::lround(dev * core_cycles_per_device_cycle_));
+}
+
+u32 ChannelBackend::transfer_cycles(u32 bytes) const {
   if (bytes < transfer_memo_.size()) return transfer_memo_[bytes];
   return std::max<u32>(
       1, static_cast<u32>(std::ceil(bytes / bytes_per_core_cycle_)));
 }
 
-void Channel::apply_refresh(Cycle now) {
-  // All-bank refresh: once per tREFI the channel is unavailable for tRFC.
-  // The stall is charged to both bus queues (no data can move), modelled as
-  // work-queue inflation at the refresh deadline.
-  while (now >= next_refresh_) {
-    read_busy_until_ = std::max(read_busy_until_, next_refresh_) + c_rfc_;
-    write_busy_until_ = std::max(write_busy_until_, next_refresh_) + c_rfc_;
-    next_refresh_ += c_refi_;
-    refreshes_++;
-    dynamic_energy_pj_ += timing_.act_nj * 1000.0 * banks_.size() / 4.0;
+// --- FastBackend ---------------------------------------------------------
+
+FastBackend::FastBackend(const DramTiming& timing, double core_ghz, u32 id)
+    : ChannelBackend(timing, core_ghz, id) {
+  c_rcd_ = to_core(timing.t_rcd);
+  c_cas_ = to_core(timing.t_cas);
+  c_rp_ = to_core(timing.t_rp);
+  c_refi_ = to_core(timing.t_refi);
+  c_rfc_ = to_core(timing.t_rfc);
+  banks_.resize(timing.total_banks());
+  next_refresh_ = c_refi_;
+  if (std::has_single_bit(timing_.row_bytes) &&
+      std::has_single_bit(banks_.size())) {
+    pow2_geometry_ = true;
+    row_shift_ = static_cast<u32>(std::countr_zero(timing_.row_bytes));
+    bank_shift_ = static_cast<u32>(std::countr_zero(banks_.size()));
   }
 }
 
-Channel::Result Channel::request(Cycle now, Addr addr, u32 bytes, bool is_write,
-                                 bool high_priority, Cycle earliest) {
-  H2_ASSERT(bytes > 0, "zero-byte DRAM request");
-  requests_++;
-  if (c_refi_ > 0) apply_refresh(now);
+u64 FastBackend::apply_refresh(Cycle now) {
+  // All-bank refresh: once per tREFI the channel is unavailable for tRFC.
+  // The stall is charged to both bus queues (no data can move), modelled as
+  // work-queue inflation at the refresh deadline.
+  u64 applied = 0;
+  while (now >= next_refresh_) {
+    // Fault-injection site (check/fault.h): silently drop this refresh
+    // window. The window still "elapses" (next_refresh_ advances), so only
+    // the refresh conservation law refresh_windows() ==
+    // expected_refresh_windows(now) can catch it — the oracle diffs exactly
+    // that.
+    if (fault::at(fault::Kind::RefreshSkip)) {
+      next_refresh_ += c_refi_;
+      continue;
+    }
+    read_busy_until_ = std::max(read_busy_until_, next_refresh_) + c_rfc_;
+    write_busy_until_ = std::max(write_busy_until_, next_refresh_) + c_rfc_;
+    next_refresh_ += c_refi_;
+    refresh_windows_++;
+    applied++;
+  }
+  return applied;
+}
+
+ChannelBackend::Outcome FastBackend::request(Cycle now, Addr addr, u32 bytes,
+                                             bool is_write, bool high_priority,
+                                             Cycle earliest) {
+  Outcome o;
+  if (c_refi_ > 0) o.refreshes = apply_refresh(now);
 
 #if H2_CHECK_LEVEL >= 2
   // Reservation-slot overlap is impossible iff the shared cursors only ever
@@ -98,14 +135,20 @@ Channel::Result Channel::request(Cycle now, Addr addr, u32 bytes, bool is_write,
   u32 cmd_lat;
   if (bank.open_row == row) {
     cmd_lat = c_cas_;
-    row_hits_++;
+    o.row_hits = 1;
     // Column commands pipeline: the bank can accept the next command after
     // roughly one burst, not after the full CAS latency.
     bank.busy_until = t + transfer;
   } else {
     cmd_lat = (bank.open_row >= 0 ? c_rp_ : 0) + c_rcd_ + c_cas_;
-    row_misses_++;
-    dynamic_energy_pj_ += timing_.act_nj * 1000.0;
+    o.row_misses = 1;
+    o.activations = 1;
+    activations_++;
+    if (bank.open_row >= 0) {
+      precharges_++;
+    } else {
+      open_banks_++;
+    }
     bank.open_row = row;
     // The bank is occupied through precharge + activate; afterwards column
     // commands pipeline as above.
@@ -153,10 +196,6 @@ Channel::Result Channel::request(Cycle now, Addr addr, u32 bytes, bool is_write,
     read_busy_until_ = prev_read_busy - 1;
 #endif
 
-  class_bytes_[static_cast<u32>(current_requestor_)] += bytes;
-  const double pj_per_bit = is_write ? timing_.wr_pj_per_bit : timing_.rd_pj_per_bit;
-  dynamic_energy_pj_ += pj_per_bit * 8.0 * bytes;
-
   H2_CHECK(1, bank.open_row == row && bank.busy_until >= t,
            "channel %u cycle %llu: illegal row-buffer transition on bank %u "
            "(open_row=%lld expected %lld, busy_until=%llu < start=%llu)",
@@ -179,16 +218,85 @@ Channel::Result Channel::request(Cycle now, Addr addr, u32 bytes, bool is_write,
            static_cast<unsigned long long>(read_busy_until_),
            static_cast<unsigned long long>(prev_write_busy),
            static_cast<unsigned long long>(write_busy_until_));
-  H2_CHECK(2, requests_ == row_hits_ + row_misses_,
-           "channel %u cycle %llu: request conservation broken "
-           "(requests=%llu != row_hits=%llu + row_misses=%llu)",
-           id_, static_cast<unsigned long long>(now),
-           static_cast<unsigned long long>(requests_),
-           static_cast<unsigned long long>(row_hits_),
-           static_cast<unsigned long long>(row_misses_));
 #endif
 
-  return Result{t, data_start + critical, data_start + transfer, data_start + transfer};
+  o.result = MemResult{t, data_start + critical, data_start + transfer,
+                       data_start + transfer};
+  return o;
+}
+
+ChannelBackend::Outcome FastBackend::drain(Cycle now) {
+  Outcome o;
+  if (c_refi_ > 0) o.refreshes = apply_refresh(now);
+  return o;
+}
+
+// --- Channel facade ------------------------------------------------------
+
+Channel::Channel(const DramTiming& timing, double core_ghz, u32 id,
+                 ChannelBackendKind backend, const DdrParams& ddr)
+    : timing_(timing), id_(id), core_ghz_(core_ghz), kind_(backend) {
+  if (kind_ == ChannelBackendKind::Ddr) {
+    // [ddr] timing overrides patch the tier preset before the backend
+    // derives its core-cycle constants.
+    if (ddr.t_ras > 0) timing_.t_ras = ddr.t_ras;
+    if (ddr.t_ccd_s > 0) timing_.t_ccd_s = ddr.t_ccd_s;
+    if (ddr.t_ccd_l > 0) timing_.t_ccd_l = ddr.t_ccd_l;
+    if (ddr.bank_groups > 0) timing_.bank_groups = ddr.bank_groups;
+    if (ddr.t_refi > 0) timing_.t_refi = ddr.t_refi;
+    if (ddr.t_rfc > 0) timing_.t_rfc = ddr.t_rfc;
+    backend_ = std::make_unique<DdrBackend>(timing_, core_ghz, id, ddr);
+  } else {
+    backend_ = std::make_unique<FastBackend>(timing_, core_ghz, id);
+  }
+}
+
+Channel::~Channel() = default;
+
+void Channel::apply_accounting(const ChannelBackend::Outcome& o) {
+  // Energy accumulation order matches the pre-backend-split implementation
+  // exactly: one add per refresh window, then one add per activation, then
+  // (in request()) the per-bit transfer energy. k sequential adds of x are
+  // not the same double as one add of k*x, so the loops stay loops.
+  for (u64 i = 0; i < o.refreshes; ++i)
+    dynamic_energy_pj_ += timing_.act_nj * 1000.0 * timing_.total_banks() / 4.0;
+  refreshes_ += o.refreshes;
+  row_hits_ += o.row_hits;
+  row_misses_ += o.row_misses;
+  for (u32 i = 0; i < o.activations; ++i)
+    dynamic_energy_pj_ += timing_.act_nj * 1000.0;
+}
+
+Channel::Result Channel::request(Cycle now, Addr addr, u32 bytes, bool is_write,
+                                 bool high_priority, Cycle earliest) {
+  H2_ASSERT(bytes > 0, "zero-byte DRAM request");
+  requests_++;
+  const ChannelBackend::Outcome o =
+      backend_->request(now, addr, bytes, is_write, high_priority, earliest);
+  apply_accounting(o);
+
+  class_bytes_[static_cast<u32>(current_requestor_)] += bytes;
+  const double pj_per_bit = is_write ? timing_.wr_pj_per_bit : timing_.rd_pj_per_bit;
+  dynamic_energy_pj_ += pj_per_bit * 8.0 * bytes;
+
+#if H2_CHECK_LEVEL >= 2
+  H2_CHECK(2, requests_ + reset_credit_ == row_hits_ + row_misses_ + backend_->pending(),
+           "channel %u cycle %llu: request conservation broken "
+           "(requests=%llu + credit=%llu != row_hits=%llu + row_misses=%llu "
+           "+ pending=%llu)",
+           id_, static_cast<unsigned long long>(now),
+           static_cast<unsigned long long>(requests_),
+           static_cast<unsigned long long>(reset_credit_),
+           static_cast<unsigned long long>(row_hits_),
+           static_cast<unsigned long long>(row_misses_),
+           static_cast<unsigned long long>(backend_->pending()));
+#endif
+
+  return o.result;
+}
+
+void Channel::drain(Cycle now) {
+  apply_accounting(backend_->drain(now));
 }
 
 double Channel::static_energy_pj(Cycle now) const {
@@ -199,6 +307,7 @@ double Channel::static_energy_pj(Cycle now) const {
 void Channel::reset_stats() {
   class_bytes_[0] = class_bytes_[1] = 0;
   row_hits_ = row_misses_ = requests_ = refreshes_ = 0;
+  reset_credit_ = backend_->pending();
   dynamic_energy_pj_ = 0.0;
 }
 

@@ -1,11 +1,18 @@
-// Single DRAM channel timing model.
+// Single DRAM channel timing model, split into a stats/energy facade
+// (Channel) and a pluggable timing backend (ChannelBackend).
 //
-// Requests reserve bank and data-bus slots in arrival order via busy-until
-// cursors. A request pays the row-buffer-dependent command latency on its
-// bank, then queues for the shared data bus. This captures the three DRAM
-// effects the paper's insights depend on: bank-level parallelism, row-buffer
-// locality, and data-bus bandwidth saturation — at a tiny fraction of the
-// cost of a cycle-accurate controller.
+// Backends:
+//  - FastBackend (mem/channel.cpp): the original analytic model. Requests
+//    reserve bank and data-bus slots in arrival order via busy-until cursors.
+//    A request pays the row-buffer-dependent command latency on its bank,
+//    then queues for the shared data bus. This captures the three DRAM
+//    effects the paper's insights depend on: bank-level parallelism,
+//    row-buffer locality, and data-bus bandwidth saturation — at a tiny
+//    fraction of the cost of a cycle-accurate controller.
+//  - DdrBackend (mem/ddr_backend.h): a higher-fidelity controller model with
+//    per-bank tRC/tRAS/tRP command legality, bank groups (tCCD_S/tCCD_L),
+//    all-bank refresh stalls, FR-FCFS row-hit prioritisation with a
+//    starvation cap, and posted writes with watermark-driven drain bursts.
 //
 // Reads are prioritised over writes, as in real controllers (write buffering
 // with opportunistic drain): reads queue only behind reads plus a bounded
@@ -16,8 +23,15 @@
 // Priority classes: when enabled (HAShCache-style CPU prioritisation),
 // high-priority requests additionally receive a bounded queue-jump credit
 // against the current backlog.
+//
+// The facade owns every statistic and all energy accounting; backends return
+// per-request command counts (row hits/misses, activations, refresh windows)
+// and the facade folds them into its counters in a fixed order, so swapping
+// the backend cannot perturb floating-point accumulation for the fast model.
 #pragma once
 
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "common/stats.h"
@@ -26,17 +40,168 @@
 
 namespace h2 {
 
-class Channel {
+/// Timing outcome of one channel request (see Channel::request).
+struct MemResult {
+  Cycle start;       ///< when the command began service at the bank
+  Cycle first_data;  ///< when the critical first 64 B arrive (incl. priority penalty)
+  Cycle done;        ///< when the last byte has transferred (incl. priority penalty)
+  Cycle done_sched;  ///< physical transfer end, without the priority penalty —
+                     ///< use this to schedule dependent transfers
+};
+
+/// Which timing backend a channel runs (mem.backend config key).
+enum class ChannelBackendKind : u8 { Fast = 0, Ddr = 1 };
+
+const char* to_string(ChannelBackendKind k);
+/// Parses "fast"/"ddr"; returns false on anything else.
+bool parse_backend_kind(const std::string& s, ChannelBackendKind* out);
+
+/// Scheduler knobs for the DDR backend ([ddr] config section). The timing
+/// override fields patch the tier's DramTiming preset when non-zero.
+struct DdrParams {
+  u32 frfcfs_cap = 4;  ///< max consecutive row-hit queue bypasses (FR-FCFS starvation cap)
+  u32 wq_depth = 64;   ///< posted-write buffer entries
+  u32 wq_high = 48;    ///< drain burst starts when occupancy reaches this
+  u32 wq_low = 16;     ///< ... and stops once occupancy is back at this
+  // DramTiming overrides (device cycles / counts); 0 = keep the preset value.
+  u32 t_ras = 0;
+  u32 t_ccd_s = 0;
+  u32 t_ccd_l = 0;
+  u32 bank_groups = 0;
+  u32 t_refi = 0;
+  u32 t_rfc = 0;
+};
+
+/// Per-channel timing model. Owns no user-facing statistics: it reports what
+/// happened per call through Outcome and the facade does the accounting.
+/// The cumulative command counters (activations/precharges/refresh windows)
+/// are architectural — they survive Channel::reset_stats() so conservation
+/// laws over them hold for the whole lifetime of the channel.
+class ChannelBackend {
  public:
-  struct Result {
-    Cycle start;       ///< when the command began service at the bank
-    Cycle first_data;  ///< when the critical first 64 B arrive (incl. priority penalty)
-    Cycle done;        ///< when the last byte has transferred (incl. priority penalty)
-    Cycle done_sched;  ///< physical transfer end, without the priority penalty —
-                       ///< use this to schedule dependent transfers
+  struct Outcome {
+    MemResult result{};
+    u32 row_hits = 0;     ///< column commands that hit an open row in this call
+    u32 row_misses = 0;   ///< column commands that required an activation
+    u32 activations = 0;  ///< ACT commands issued in this call
+    u64 refreshes = 0;    ///< refresh windows applied in this call
   };
 
-  Channel(const DramTiming& timing, double core_ghz, u32 id);
+  ChannelBackend(const DramTiming& timing, double core_ghz, u32 id);
+  virtual ~ChannelBackend() = default;
+
+  virtual Outcome request(Cycle now, Addr addr, u32 bytes, bool is_write,
+                          bool high_priority, Cycle earliest) = 0;
+
+  /// Completes all buffered work (posted writes) and applies refresh windows
+  /// due by `now`. FastBackend buffers nothing, so its drain only catches up
+  /// refresh.
+  virtual Outcome drain(Cycle now) = 0;
+
+  /// Read-visible queueing backlog at `now` (queueing-delay estimate).
+  virtual Cycle backlog(Cycle now) const = 0;
+
+  virtual void set_priority_enabled(bool on) { priority_enabled_ = on; }
+
+  /// Requests accepted but not yet scheduled (posted writes). Zero for
+  /// backends without internal queues.
+  virtual u64 pending() const { return 0; }
+
+  // --- conserved command quantities (differential oracle) ---------------
+  /// Refresh windows applied so far (per refresh domain — every rank of a
+  /// channel sees the same count).
+  virtual u64 refresh_windows() const = 0;
+  /// Arithmetic mirror of the refresh catch-up loop: how many windows MUST
+  /// have elapsed by `now`. Fault sites live in the loop, never here, so the
+  /// oracle can diff the two.
+  virtual u64 expected_refresh_windows(Cycle now) const = 0;
+  /// Cumulative ACT commands (fast model: row misses).
+  virtual u64 activations() const = 0;
+  /// Cumulative precharges, counting implicit closes (refresh auto-precharge).
+  virtual u64 precharges() const = 0;
+  /// Banks currently holding an open row. Pairing law for every backend:
+  /// activations() == precharges() + open_banks().
+  virtual u32 open_banks() const = 0;
+
+ protected:
+  /// Transfer cycles for a request of `bytes`: max(1, ceil(bytes / bus
+  /// bytes-per-core-cycle)). Small request sizes recur millions of times, so
+  /// the ctor precomputes a table with that exact expression; larger sizes
+  /// fall back to computing it inline.
+  u32 transfer_cycles(u32 bytes) const;
+
+  /// Converts device command-clock cycles to core cycles.
+  u32 to_core(u32 dev) const;
+
+  DramTiming timing_;
+  u32 id_;
+  double core_ghz_;
+  double core_cycles_per_device_cycle_;
+  double bytes_per_core_cycle_;
+  u32 controller_overhead_;  ///< fixed queue/PHY cycles per request
+  bool priority_enabled_ = false;
+  std::vector<u32> transfer_memo_;
+};
+
+/// The original analytic busy-until-cursor model (see file comment). Timing
+/// is bit-identical to the pre-backend-split Channel implementation.
+class FastBackend final : public ChannelBackend {
+ public:
+  FastBackend(const DramTiming& timing, double core_ghz, u32 id);
+
+  Outcome request(Cycle now, Addr addr, u32 bytes, bool is_write,
+                  bool high_priority, Cycle earliest) override;
+  Outcome drain(Cycle now) override;
+  Cycle backlog(Cycle now) const override {
+    return read_busy_until_ > now ? read_busy_until_ - now : 0;
+  }
+  u64 refresh_windows() const override { return refresh_windows_; }
+  u64 expected_refresh_windows(Cycle now) const override {
+    return c_refi_ > 0 ? now / c_refi_ : 0;
+  }
+  u64 activations() const override { return activations_; }
+  u64 precharges() const override { return precharges_; }
+  u32 open_banks() const override { return open_banks_; }
+
+ private:
+  struct Bank {
+    Cycle busy_until = 0;
+    i64 open_row = -1;
+  };
+
+  /// Applies any refresh windows due by `now` (all-bank refresh: both bus
+  /// queues stall for tRFC once per tREFI). Returns the number applied.
+  u64 apply_refresh(Cycle now);
+
+  u32 c_rcd_, c_cas_, c_rp_;
+
+  /// Splits an address into (row_global, bank, row). Row-buffer bytes and
+  /// bank count are usually powers of two, so the div/mod strength-reduces
+  /// to shift/mask when it can.
+  u32 row_shift_ = 0;   ///< log2(row_bytes) when a power of two, else 0
+  u32 bank_shift_ = 0;  ///< log2(total banks) when a power of two, else 0
+  bool pow2_geometry_ = false;
+
+  std::vector<Bank> banks_;
+  Cycle read_busy_until_ = 0;
+  Cycle write_busy_until_ = 0;
+  Cycle next_refresh_ = 0;
+  u32 c_refi_ = 0;
+  u32 c_rfc_ = 0;
+  u64 refresh_windows_ = 0;
+  u64 activations_ = 0;
+  u64 precharges_ = 0;
+  u32 open_banks_ = 0;
+};
+
+class Channel {
+ public:
+  using Result = MemResult;
+
+  Channel(const DramTiming& timing, double core_ghz, u32 id,
+          ChannelBackendKind backend = ChannelBackendKind::Fast,
+          const DdrParams& ddr = {});
+  ~Channel();
 
   /// Reserves bank + bus resources for a `bytes`-sized transfer. `now` is
   /// the true issue time (used for queue-backlog accounting); `earliest`
@@ -47,16 +212,22 @@ class Channel {
   Result request(Cycle now, Addr addr, u32 bytes, bool is_write,
                  bool high_priority = true, Cycle earliest = 0);
 
+  /// Completes buffered backend work (posted writes) and catches refresh up
+  /// to `now`. Call once at a drain point before comparing conserved
+  /// quantities; a no-op for the fast backend apart from refresh catch-up.
+  void drain(Cycle now);
+
   /// Enables the two-class priority model (CPU over GPU).
-  void set_priority_enabled(bool on) { priority_enabled_ = on; }
+  void set_priority_enabled(bool on) { backend_->set_priority_enabled(on); }
 
   /// Read-visible backlog on the data bus at `now` (queueing-delay estimate).
-  Cycle backlog(Cycle now) const {
-    return read_busy_until_ > now ? read_busy_until_ - now : 0;
-  }
+  Cycle backlog(Cycle now) const { return backend_->backlog(now); }
 
   u32 id() const { return id_; }
   const DramTiming& timing() const { return timing_; }
+  ChannelBackendKind backend_kind() const { return kind_; }
+  ChannelBackend& backend() { return *backend_; }
+  const ChannelBackend& backend() const { return *backend_; }
 
   // --- statistics ------------------------------------------------------
   u64 bytes_transferred(Requestor r) const { return class_bytes_[static_cast<u32>(r)]; }
@@ -65,62 +236,49 @@ class Channel {
   u64 row_misses() const { return row_misses_; }
   u64 requests() const { return requests_; }
   u64 refreshes() const { return refreshes_; }
+  /// Posted writes accepted but not yet scheduled by the backend.
+  u64 pending() const { return backend_->pending(); }
   /// Dynamic energy in picojoules (RD/WR per bit + ACT/PRE per activation).
   double dynamic_energy_pj() const { return dynamic_energy_pj_; }
   /// Static (background) energy accumulated up to `now`.
   double static_energy_pj(Cycle now) const;
   void reset_stats();
 
+  // --- conserved command quantities (forwarded from the backend) --------
+  u64 refresh_windows() const { return backend_->refresh_windows(); }
+  u64 expected_refresh_windows(Cycle now) const {
+    return backend_->expected_refresh_windows(now);
+  }
+  u64 activations() const { return backend_->activations(); }
+  u64 precharges() const { return backend_->precharges(); }
+  u32 open_banks() const { return backend_->open_banks(); }
+
   /// Tags the bytes of the next request with a requestor for accounting.
   void set_requestor(Requestor r) { current_requestor_ = r; }
 
  private:
-  struct Bank {
-    Cycle busy_until = 0;
-    i64 open_row = -1;
-  };
+  /// Folds a backend outcome into the facade counters in the fixed order the
+  /// pre-split Channel used: refresh energy (one add per window), hit/miss
+  /// counts, activation energy (one add per ACT).
+  void apply_accounting(const ChannelBackend::Outcome& o);
 
   DramTiming timing_;
   u32 id_;
-  double core_cycles_per_device_cycle_;
-  double bytes_per_core_cycle_;
-  u32 c_rcd_, c_cas_, c_rp_;
-  u32 controller_overhead_;  ///< fixed queue/PHY cycles per request
-
-  /// Transfer cycles for a request of `bytes`: max(1, ceil(bytes / bus
-  /// bytes-per-core-cycle)). Small request sizes recur millions of times, so
-  /// the ctor precomputes a table with that exact expression; larger sizes
-  /// fall back to computing it inline.
-  u32 transfer_cycles(u32 bytes) const;
-
-  /// Splits an address into (row_global, bank, row). Row-buffer bytes and
-  /// bank count are usually powers of two, so the div/mod strength-reduces
-  /// to shift/mask when it can.
-  u32 row_shift_ = 0;   ///< log2(row_bytes) when a power of two, else 0
-  u32 bank_shift_ = 0;  ///< log2(total banks) when a power of two, else 0
-  bool pow2_geometry_ = false;
-  std::vector<u32> transfer_memo_;
-
-  /// Applies any refresh windows due by `now` (all-bank refresh: both bus
-  /// queues stall for tRFC once per tREFI).
-  void apply_refresh(Cycle now);
-
-  std::vector<Bank> banks_;
-  Cycle read_busy_until_ = 0;
-  Cycle write_busy_until_ = 0;
-  Cycle next_refresh_ = 0;
-  u32 c_refi_ = 0;
-  u32 c_rfc_ = 0;
-  u64 refreshes_ = 0;
-  bool priority_enabled_ = false;
+  double core_ghz_;
+  ChannelBackendKind kind_;
+  std::unique_ptr<ChannelBackend> backend_;
 
   Requestor current_requestor_ = Requestor::Cpu;
   u64 class_bytes_[2] = {0, 0};
   u64 row_hits_ = 0;
   u64 row_misses_ = 0;
   u64 requests_ = 0;
+  u64 refreshes_ = 0;
+  /// Posted writes pending at the last reset_stats(): their hits/misses land
+  /// after the reset without a matching requests_ increment, so the
+  /// conservation check credits them explicitly.
+  u64 reset_credit_ = 0;
   double dynamic_energy_pj_ = 0.0;
-  double core_ghz_;
 };
 
 }  // namespace h2

@@ -1,0 +1,242 @@
+#include "mem/ddr_backend.h"
+
+#include <algorithm>
+
+#include "check/check.h"
+#include "check/fault.h"
+#include "common/assert.h"
+
+namespace h2 {
+
+DdrBackend::DdrBackend(const DramTiming& timing, double core_ghz, u32 id,
+                       const DdrParams& params)
+    : ChannelBackend(timing, core_ghz, id), params_(params) {
+  c_rcd_ = to_core(timing.t_rcd);
+  c_cas_ = to_core(timing.t_cas);
+  c_rp_ = to_core(timing.t_rp);
+  c_ras_ = to_core(timing.t_ras);
+  c_rc_ = c_ras_ + c_rp_;
+  c_ccd_s_ = to_core(timing.t_ccd_s);
+  c_ccd_l_ = to_core(timing.t_ccd_l);
+  c_refi_ = to_core(timing.t_refi);
+  c_rfc_ = to_core(timing.t_rfc);
+  banks_per_rank_ = std::max<u32>(1, timing.banks_per_rank);
+  ranks_ = std::max<u32>(1, timing.ranks);
+  bank_groups_ = std::max<u32>(1, std::min(timing.bank_groups, banks_per_rank_));
+  banks_.resize(static_cast<size_t>(banks_per_rank_) * ranks_);
+  next_refresh_ = c_refi_;
+  H2_ASSERT(params_.frfcfs_cap >= 1, "frfcfs_cap must be >= 1");
+  H2_ASSERT(params_.wq_low < params_.wq_high &&
+                params_.wq_high <= params_.wq_depth,
+            "write-drain watermarks must satisfy low < high <= depth "
+            "(low=%u high=%u depth=%u)",
+            params_.wq_low, params_.wq_high, params_.wq_depth);
+}
+
+void DdrBackend::split(Addr addr, u32* bank_idx, i64* row) const {
+  const u64 row_global = addr / timing_.row_bytes;
+  *bank_idx = static_cast<u32>(row_global % banks_.size());
+  *row = static_cast<i64>(row_global / banks_.size());
+}
+
+Cycle DdrBackend::ccd_ready(u32 rank, u32 group) const {
+  if (!have_last_col_) return 0;
+  const u32 sep = (rank == last_col_rank_ && group == last_col_group_)
+                      ? c_ccd_l_
+                      : c_ccd_s_;
+  return last_col_at_ + sep;
+}
+
+void DdrBackend::trace(DdrCommand::Kind kind, Cycle at, u32 bank_idx, i64 row) {
+  if (!trace_) return;
+  const u32 rank = bank_idx / banks_per_rank_;
+  const u32 group = (bank_idx % banks_per_rank_) % bank_groups_;
+  trace_->push_back(DdrCommand{kind, at, rank, group, bank_idx, row});
+}
+
+u64 DdrBackend::catch_up_refresh(Cycle now) {
+  if (c_refi_ == 0) return 0;
+  u64 applied = 0;
+  while (now >= next_refresh_) {
+    const Cycle window = next_refresh_;
+    // Fault-injection site (check/fault.h): drop a due refresh window. The
+    // window still elapses, so only the conservation law refresh_windows()
+    // == expected_refresh_windows(now) — diffed by the oracle — catches it.
+    if (fault::at(fault::Kind::RefreshSkip)) {
+      next_refresh_ += c_refi_;
+      continue;
+    }
+    for (u32 r = 0; r < ranks_; ++r) {
+      if (trace_)
+        trace_->push_back(DdrCommand{DdrCommand::kRefresh, window, r, 0, 0, -1});
+      for (u32 b = 0; b < banks_per_rank_; ++b) {
+        Bank& bank = banks_[static_cast<size_t>(r) * banks_per_rank_ + b];
+        // Refresh implies precharge-all, but a row activated just before the
+        // window still gets its tRAS before the implicit close.
+        Cycle close_at = window;
+        if (bank.open_row >= 0) {
+          close_at = std::max(window, bank.act_at + c_ras_);
+          bank.open_row = -1;
+          precharges_++;
+          open_banks_--;
+        }
+        bank.act_ready = std::max(bank.act_ready, close_at + c_rfc_);
+        bank.col_ready = std::max(bank.col_ready, close_at + c_rfc_);
+      }
+    }
+    refresh_windows_++;
+    applied++;
+    next_refresh_ += c_refi_;
+  }
+  return applied;
+}
+
+DdrBackend::ColSchedule DdrBackend::schedule_column(Cycle t0, Addr addr,
+                                                    u32 transfer, bool is_write,
+                                                    Outcome* o) {
+  u32 bank_idx;
+  i64 row;
+  split(addr, &bank_idx, &row);
+  Bank& bank = banks_[bank_idx];
+  const u32 rank = bank_idx / banks_per_rank_;
+  const u32 group = (bank_idx % banks_per_rank_) % bank_groups_;
+
+  ColSchedule cs{};
+  if (bank.open_row == row) {
+    cs.row_hit = true;
+    o->row_hits++;
+    cs.col_at = std::max({t0, bank.col_ready, ccd_ready(rank, group)});
+    cs.first_cmd = cs.col_at;
+  } else {
+    o->row_misses++;
+    Cycle act_ready = std::max(bank.act_ready, t0);
+    if (bank.open_row >= 0) {
+      // Close the open row first: tRAS since its ACT, and the bank must be
+      // done with the previous column burst.
+      const Cycle pre_at =
+          std::max({t0, bank.act_at + c_ras_, bank.col_ready});
+      trace(DdrCommand::kPre, pre_at, bank_idx, bank.open_row);
+      precharges_++;
+      open_banks_--;
+      act_ready = std::max(act_ready, pre_at + c_rp_);
+    }
+    // tRC: ACT-to-ACT on one bank.
+    Cycle act_at = act_ready;
+    if (bank.ever_activated) act_at = std::max(act_at, bank.act_at + c_rc_);
+    trace(DdrCommand::kAct, act_at, bank_idx, row);
+    activations_++;
+    o->activations++;
+    open_banks_++;
+    bank.act_at = act_at;
+    bank.ever_activated = true;
+    bank.open_row = row;
+    cs.col_at = std::max(act_at + c_rcd_, ccd_ready(rank, group));
+    cs.first_cmd = act_at;
+  }
+  trace(is_write ? DdrCommand::kWrite : DdrCommand::kRead, cs.col_at, bank_idx,
+        row);
+  // Column commands pipeline: the bank can take the next one after the burst.
+  bank.col_ready = cs.col_at + transfer;
+  last_col_at_ = cs.col_at;
+  last_col_rank_ = rank;
+  last_col_group_ = group;
+  have_last_col_ = true;
+  cs.data_ready = cs.col_at + c_cas_;
+  return cs;
+}
+
+void DdrBackend::drain_writes(Cycle now, u64 target, Outcome* o) {
+  while (write_queue_.size() > target) {
+    const PendingWrite w = write_queue_.front();
+    write_queue_.pop_front();
+    const u32 transfer = transfer_cycles(w.bytes);
+    const ColSchedule cs = schedule_column(now, w.addr, transfer,
+                                           /*is_write=*/true, o);
+    // The write burst occupies the shared data bus behind everything queued.
+    const Cycle wr_start = std::max(cs.data_ready,
+                                    std::max(bus_busy_until_, now));
+    bus_busy_until_ = wr_start + transfer;
+  }
+  // Draining services the queue in order, which resets the FR-FCFS
+  // consecutive-bypass run.
+  consecutive_bypasses_ = 0;
+}
+
+ChannelBackend::Outcome DdrBackend::request(Cycle now, Addr addr, u32 bytes,
+                                            bool is_write, bool high_priority,
+                                            Cycle earliest) {
+  Outcome o;
+  o.refreshes = catch_up_refresh(now);
+  const Cycle issue = std::max(now, earliest);
+  const u32 transfer = transfer_cycles(bytes);
+
+  if (is_write) {
+    // Posted write: the result reflects buffer accept; the bank and bus work
+    // happens in a later drain burst. Entry exactly at the high watermark,
+    // exit exactly at the low one.
+    write_queue_.push_back(PendingWrite{addr, bytes});
+    if (write_queue_.size() >= params_.wq_high) {
+      drain_writes(now, params_.wq_low, &o);
+      write_drains_++;
+    }
+    const Cycle accept = issue + controller_overhead_;
+    o.result = MemResult{accept, accept + 1, accept + 1, accept + 1};
+    return o;
+  }
+
+  const Cycle t0 = issue + controller_overhead_;
+  const ColSchedule cs = schedule_column(t0, addr, transfer,
+                                         /*is_write=*/false, &o);
+
+  // FR-FCFS bus scheduling: a read normally queues behind the bus cursor; a
+  // row hit whose data is ready before the queue tail may bypass it (the
+  // controller reorders it ahead), but at most frfcfs_cap consecutive times
+  // so queued row-miss requests cannot starve. Bypass or not, the slot's
+  // transfer time is charged to the cursor, keeping bandwidth conservation
+  // exact.
+  const Cycle base = std::max(bus_busy_until_, now);
+  Cycle queue_from = base;
+  if (priority_enabled_ && high_priority) {
+    const Cycle credit = std::min<Cycle>(backlog(now) / 2, 150);
+    queue_from =
+        queue_from > now + credit ? queue_from - credit : std::min(queue_from, now);
+  }
+  Cycle data_start;
+  // Fault-injection site (check/fault.h): ignore the starvation cap, letting
+  // row hits bypass the queue indefinitely. Caught by the level-1 check
+  // below and, in any build, by the max_bypass_run() property that
+  // tests/test_ddr_backend.cpp and tools/h2fault assert.
+  const bool cap_ok = consecutive_bypasses_ < params_.frfcfs_cap ||
+                      fault::at(fault::Kind::SchedStarve);
+  if (cs.row_hit && cs.data_ready < queue_from && cap_ok) {
+    data_start = cs.data_ready;
+    consecutive_bypasses_++;
+    frfcfs_bypasses_++;
+    max_bypass_run_ = std::max(max_bypass_run_, consecutive_bypasses_);
+  } else {
+    data_start = std::max(cs.data_ready, queue_from);
+    consecutive_bypasses_ = 0;
+  }
+  bus_busy_until_ = base + transfer;
+
+  H2_CHECK(1, consecutive_bypasses_ <= params_.frfcfs_cap,
+           "ddr channel %u cycle %llu: FR-FCFS starvation cap violated "
+           "(%llu consecutive row-hit bypasses > cap %u)",
+           id_, static_cast<unsigned long long>(now),
+           static_cast<unsigned long long>(consecutive_bypasses_),
+           params_.frfcfs_cap);
+
+  const u32 critical = transfer_cycles(std::min<u32>(bytes, 64));
+  o.result = MemResult{cs.first_cmd, data_start + critical,
+                       data_start + transfer, data_start + transfer};
+  return o;
+}
+
+ChannelBackend::Outcome DdrBackend::drain(Cycle now) {
+  Outcome o;
+  o.refreshes = catch_up_refresh(now);
+  drain_writes(now, 0, &o);
+  return o;
+}
+
+}  // namespace h2

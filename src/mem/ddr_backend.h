@@ -1,0 +1,143 @@
+// Higher-fidelity DDR channel backend (mem.backend = ddr).
+//
+// Where FastBackend collapses the controller into two busy-until cursors,
+// this model issues an explicit command schedule per request and enforces
+// JEDEC-style legality between commands:
+//  - per-bank tRC/tRAS/tRP/tRCD/tCAS: an ACT may not follow the previous
+//    ACT on its bank within tRC, a precharge may not cut an activation
+//    short of tRAS, and a fresh activation waits tRP after the precharge;
+//  - bank groups: consecutive column commands pay tCCD_L inside one bank
+//    group and the shorter tCCD_S across groups;
+//  - all-bank refresh: every tREFI each rank stalls for tRFC, closing all
+//    rows (implicit precharge). Refresh is caught up lazily at request and
+//    drain points, and the applied-window count is a conserved quantity the
+//    differential oracle checks against the elapsed-window arithmetic;
+//  - FR-FCFS: a row-hit read may bypass the bus-queue tail and start as
+//    soon as its bank data is ready, but never more than `frfcfs_cap`
+//    consecutive times (starvation cap); bypassed slots still charge the
+//    bus cursor, so bandwidth accounting stays exact;
+//  - posted writes with watermark drain: writes complete at buffer accept;
+//    once the queue reaches `wq_high` entries a drain burst schedules
+//    queued writes (bank commands + bus slots) until occupancy falls back
+//    to `wq_low`, inflating the cursors later reads observe.
+//
+// The command stream can be recorded via set_trace(); the property tests in
+// tests/test_ddr_backend.cpp verify command legality directly from that log.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "mem/channel.h"
+
+namespace h2 {
+
+/// One DRAM command as issued by DdrBackend (trace hook).
+struct DdrCommand {
+  enum Kind : u8 { kAct, kPre, kRead, kWrite, kRefresh };
+  Kind kind;
+  Cycle at;        ///< core cycle the command issues
+  u32 rank;
+  u32 bank_group;  ///< group within the rank (0 for kRefresh)
+  u32 bank;        ///< global bank index (0 for kRefresh)
+  i64 row;         ///< -1 for kRefresh
+};
+
+class DdrBackend final : public ChannelBackend {
+ public:
+  DdrBackend(const DramTiming& timing, double core_ghz, u32 id,
+             const DdrParams& params);
+
+  Outcome request(Cycle now, Addr addr, u32 bytes, bool is_write,
+                  bool high_priority, Cycle earliest) override;
+  Outcome drain(Cycle now) override;
+  Cycle backlog(Cycle now) const override {
+    return bus_busy_until_ > now ? bus_busy_until_ - now : 0;
+  }
+  u64 pending() const override { return write_queue_.size(); }
+  u64 refresh_windows() const override { return refresh_windows_; }
+  u64 expected_refresh_windows(Cycle now) const override {
+    return c_refi_ > 0 ? now / c_refi_ : 0;
+  }
+  u64 activations() const override { return activations_; }
+  u64 precharges() const override { return precharges_; }
+  u32 open_banks() const override { return open_banks_; }
+
+  /// Records every issued command into `sink` (nullptr to stop). The sink is
+  /// appended to, never cleared.
+  void set_trace(std::vector<DdrCommand>* sink) { trace_ = sink; }
+
+  const DdrParams& params() const { return params_; }
+  u32 write_queue_depth() const { return static_cast<u32>(write_queue_.size()); }
+  /// Row-hit reads that jumped the bus-queue tail.
+  u64 frfcfs_bypasses() const { return frfcfs_bypasses_; }
+  /// Longest run of consecutive bypasses observed — must never exceed
+  /// frfcfs_cap unless a sched-starve fault is armed.
+  u64 max_bypass_run() const { return max_bypass_run_; }
+  /// Watermark-triggered drain bursts (excludes the final drain()).
+  u64 write_drains() const { return write_drains_; }
+
+ private:
+  struct Bank {
+    i64 open_row = -1;
+    Cycle act_at = 0;     ///< time of the most recent ACT
+    Cycle act_ready = 0;  ///< earliest next ACT (tRP/tRFC enforced)
+    Cycle col_ready = 0;  ///< earliest next column command (bank occupancy)
+    bool ever_activated = false;
+  };
+
+  struct PendingWrite {
+    Addr addr;
+    u32 bytes;
+  };
+
+  /// Bank-command schedule for one column access: PRE/ACT as needed, then
+  /// the column command no earlier than the bank-group tCCD window allows.
+  struct ColSchedule {
+    Cycle first_cmd;   ///< when the first command (ACT or column) issues
+    Cycle col_at;      ///< column command time
+    Cycle data_ready;  ///< col_at + tCAS
+    bool row_hit;
+  };
+
+  ColSchedule schedule_column(Cycle t0, Addr addr, u32 transfer, bool is_write,
+                              Outcome* o);
+  /// Applies refresh windows due by `now` to every rank; returns the count.
+  u64 catch_up_refresh(Cycle now);
+  /// Pops writes from the queue and schedules them until `target` entries
+  /// remain, pushing the bus cursor past their transfers.
+  void drain_writes(Cycle now, u64 target, Outcome* o);
+  void split(Addr addr, u32* bank_idx, i64* row) const;
+  Cycle ccd_ready(u32 rank, u32 group) const;
+  void trace(DdrCommand::Kind kind, Cycle at, u32 bank_idx, i64 row);
+
+  DdrParams params_;
+  u32 c_rcd_, c_cas_, c_rp_, c_ras_, c_rc_, c_ccd_s_, c_ccd_l_;
+  u32 c_refi_ = 0, c_rfc_ = 0;
+  u32 banks_per_rank_, bank_groups_, ranks_;
+
+  std::vector<Bank> banks_;
+  std::deque<PendingWrite> write_queue_;
+  Cycle bus_busy_until_ = 0;
+  Cycle next_refresh_ = 0;
+
+  // consecutive column-command separation (tCCD_S/tCCD_L)
+  Cycle last_col_at_ = 0;
+  u32 last_col_rank_ = 0;
+  u32 last_col_group_ = 0;
+  bool have_last_col_ = false;
+
+  u64 consecutive_bypasses_ = 0;
+  u64 max_bypass_run_ = 0;
+  u64 frfcfs_bypasses_ = 0;
+  u64 write_drains_ = 0;
+
+  u64 refresh_windows_ = 0;
+  u64 activations_ = 0;
+  u64 precharges_ = 0;
+  u32 open_banks_ = 0;
+
+  std::vector<DdrCommand>* trace_ = nullptr;
+};
+
+}  // namespace h2

@@ -13,6 +13,12 @@ DramTiming hbm2e_timing() {
   t.row_bytes = 1024;
   t.rd_pj_per_bit = t.wr_pj_per_bit = 6.4;
   t.act_nj = 15.0;
+  // DDR-backend command legality: tRAS ~33 ns, pseudo-channel bank groups
+  // with a short same-group column gap (HBM's tCCD_L is mild vs DDR4's).
+  t.t_ras = 53;
+  t.t_ccd_s = 2;
+  t.t_ccd_l = 4;
+  t.bank_groups = 4;
   // HBM2E stacks draw several watts of background (periphery + refresh)
   // power with the clock on; ~250 mW per channel puts a 16-channel stack at
   // ~4 W, consistent with published stack-level figures.
@@ -43,6 +49,12 @@ DramTiming ddr4_3200_timing() {
   t.row_bytes = 8192;
   t.rd_pj_per_bit = t.wr_pj_per_bit = 33.0;
   t.act_nj = 15.0;
+  // JEDEC DDR4-3200AA: tRAS 32.5 ns, tCCD_S 4 / tCCD_L 8 command clocks,
+  // 4 bank groups per rank.
+  t.t_ras = 52;
+  t.t_ccd_s = 4;
+  t.t_ccd_l = 8;
+  t.bank_groups = 4;
   // Two-rank DDR4 channels idle near 0.4 W (registers + background refresh).
   t.static_mw_per_channel = 400.0;
   return t;
@@ -53,6 +65,9 @@ DramTiming grouped(const DramTiming& base, u32 group) {
   t.name = base.name + "x" + std::to_string(group);
   t.bus_bytes_per_device_cycle = base.bus_bytes_per_device_cycle * group;
   t.banks_per_rank = base.banks_per_rank * group;
+  // Each grouped physical channel brings its own bank groups along, so the
+  // banks-per-group ratio stays that of the base device.
+  t.bank_groups = base.bank_groups * group;
   t.static_mw_per_channel = base.static_mw_per_channel * group;
   return t;
 }

@@ -27,6 +27,13 @@ struct DramTiming {
   u32 t_refi = 12480;  ///< average refresh interval (device cycles, ~7.8 us)
   u32 t_rfc = 560;     ///< refresh cycle time (device cycles, ~350 ns)
 
+  // Command-legality parameters used only by the DDR backend
+  // (mem/ddr_backend.h); the fast analytic model ignores them.
+  u32 t_ras = 52;     ///< ACT -> PRE minimum, device cycles
+  u32 t_ccd_s = 4;    ///< column-to-column, different bank group
+  u32 t_ccd_l = 8;    ///< column-to-column, same bank group
+  u32 bank_groups = 4;  ///< bank groups per rank
+
   u32 total_banks() const { return banks_per_rank * ranks; }
   /// Peak bandwidth in bytes per nanosecond (== GB/s).
   double peak_gbps() const {

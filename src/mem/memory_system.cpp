@@ -29,11 +29,14 @@ MemorySystem::MemorySystem(const MemSystemConfig& cfg) : cfg_(cfg) {
   H2_ASSERT(n_super >= 1 && cfg.slow_channels >= 1, "need at least one channel per tier");
   const DramTiming super = grouped(cfg.fast_channel_timing, cfg.fast_group);
   for (u32 i = 0; i < n_super; ++i) {
-    fast_.push_back(std::make_unique<Channel>(super, cfg.core_ghz, i));
+    fast_.push_back(std::make_unique<Channel>(super, cfg.core_ghz, i,
+                                              cfg.backend, cfg.ddr));
     fast_.back()->set_priority_enabled(cfg.cpu_priority);
   }
   for (u32 i = 0; i < cfg.slow_channels; ++i) {
-    slow_.push_back(std::make_unique<Channel>(cfg.slow_channel_timing, cfg.core_ghz, i));
+    slow_.push_back(std::make_unique<Channel>(cfg.slow_channel_timing,
+                                              cfg.core_ghz, i, cfg.backend,
+                                              cfg.ddr));
     slow_.back()->set_priority_enabled(cfg.cpu_priority);
   }
   issued_fast_.assign(fast_.size(), 0);
@@ -114,6 +117,11 @@ u64 MemorySystem::tier_row_misses(Tier t) const {
   u64 total = 0;
   for (const auto& ch : (t == Tier::Fast ? fast_ : slow_)) total += ch->row_misses();
   return total;
+}
+
+void MemorySystem::drain_backends(Cycle now) {
+  for (auto& ch : fast_) ch->drain(now);
+  for (auto& ch : slow_) ch->drain(now);
 }
 
 void MemorySystem::reset_stats() {

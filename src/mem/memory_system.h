@@ -23,6 +23,8 @@ struct MemSystemConfig {
   double core_ghz = 3.2;
   bool cpu_priority = false;        ///< HAShCache-style CPU prioritisation
   u64 block_bytes = 256;            ///< hybrid-memory block (slow-tier interleave unit)
+  ChannelBackendKind backend = ChannelBackendKind::Fast;  ///< per-channel timing model
+  DdrParams ddr;                    ///< DDR-backend knobs ([ddr] config section)
 
   static MemSystemConfig table1_default();
   static MemSystemConfig table1_hbm3();
@@ -64,6 +66,11 @@ class MemorySystem {
   u64 tier_row_hits(Tier t) const;
   u64 tier_row_misses(Tier t) const;
   void reset_stats();
+
+  /// Flushes backend-internal work (posted writes) and catches refresh up to
+  /// `now` on every channel. Call at a drain point before reading conserved
+  /// quantities; a refresh catch-up no-op for the fast backend.
+  void drain_backends(Cycle now);
 
   /// Requests issued through this facade since the last reset_stats(), per
   /// channel. The invariant layer compares these against each Channel's own

@@ -1,10 +1,19 @@
 // Parameterised DRAM channel properties across all device presets: the
 // timing model must conserve bandwidth, respect bank-level parallelism and
 // row-buffer locality, and keep its scheduling invariants under load.
+//
+// The LegacyChannelReference swarm at the bottom pins the backend refactor:
+// FastBackend behind the Channel facade must be bit-identical — every Result
+// field, every counter, the exact energy double — to an independent
+// transcription of the pre-refactor Channel::request algorithm.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <bit>
+#include <cmath>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "mem/channel.h"
@@ -122,6 +131,244 @@ INSTANTIATE_TEST_SUITE_P(
                       PresetCase{"ddr4", ddr4_3200_timing},
                       PresetCase{"hbm2e_super", [] { return grouped(hbm2e_timing(), 4); }}),
     [](const auto& info) { return info.param.name; });
+
+// --- backend bit-identity swarm ----------------------------------------------
+
+/// Independent transcription of the pre-refactor Channel::request algorithm
+/// (the monolithic stats+timing class this file's history tested), kept as
+/// the reference the FastBackend facade must match bit-for-bit: same Result
+/// cycles, same counters, same floating-point accumulation order for energy.
+/// Deliberately NOT a call into src/mem — a shared bug could not hide here.
+class LegacyChannelReference {
+ public:
+  LegacyChannelReference(const DramTiming& timing, double core_ghz)
+      : timing_(timing) {
+    const double core_per_dev = core_ghz * 1000.0 / timing.device_mhz;
+    bytes_per_core_cycle_ = timing.bus_bytes_per_device_cycle / core_per_dev;
+    auto to_core = [&](u32 dev) {
+      return static_cast<u32>(std::lround(dev * core_per_dev));
+    };
+    c_rcd_ = to_core(timing.t_rcd);
+    c_cas_ = to_core(timing.t_cas);
+    c_rp_ = to_core(timing.t_rp);
+    c_refi_ = to_core(timing.t_refi);
+    c_rfc_ = to_core(timing.t_rfc);
+    banks_.resize(timing.total_banks());
+    next_refresh_ = c_refi_;
+    if (std::has_single_bit(timing_.row_bytes) &&
+        std::has_single_bit(banks_.size())) {
+      pow2_geometry_ = true;
+      row_shift_ = static_cast<u32>(std::countr_zero(timing_.row_bytes));
+      bank_shift_ = static_cast<u32>(std::countr_zero(banks_.size()));
+    }
+  }
+
+  void set_priority_enabled(bool on) { priority_enabled_ = on; }
+
+  MemResult request(Cycle now, Addr addr, u32 bytes, bool is_write,
+                    bool high_priority, Cycle earliest) {
+    requests_++;
+    if (c_refi_ > 0) apply_refresh(now);
+
+    u64 row_global;
+    u32 bank_idx;
+    i64 row;
+    if (pow2_geometry_) {
+      row_global = addr >> row_shift_;
+      bank_idx = static_cast<u32>(row_global & (banks_.size() - 1));
+      row = static_cast<i64>(row_global >> bank_shift_);
+    } else {
+      row_global = addr / timing_.row_bytes;
+      bank_idx = static_cast<u32>(row_global % banks_.size());
+      row = static_cast<i64>(row_global / banks_.size());
+    }
+    Bank& bank = banks_[bank_idx];
+
+    const Cycle issue = std::max(now, earliest);
+    Cycle t = std::max<Cycle>(issue + 16, bank.busy_until);
+
+    const u32 transfer = transfer_cycles(bytes);
+    const u32 critical = transfer_cycles(std::min<u32>(bytes, 64));
+
+    u32 cmd_lat;
+    if (bank.open_row == row) {
+      cmd_lat = c_cas_;
+      row_hits_++;
+      bank.busy_until = t + transfer;
+    } else {
+      cmd_lat = (bank.open_row >= 0 ? c_rp_ : 0) + c_rcd_ + c_cas_;
+      row_misses_++;
+      dynamic_energy_pj_ += timing_.act_nj * 1000.0;
+      bank.open_row = row;
+      bank.busy_until = t + cmd_lat - c_cas_ + transfer;
+    }
+
+    const Cycle data_ready = t + cmd_lat;
+    const Cycle read_base = std::max(read_busy_until_, now);
+    const Cycle write_base = std::max({write_busy_until_, read_base, now});
+    Cycle queue_from = is_write ? write_base : read_base;
+    if (priority_enabled_ && high_priority) {
+      const Cycle backlog = read_busy_until_ > now ? read_busy_until_ - now : 0;
+      const Cycle credit = std::min<Cycle>(backlog / 2, 150);
+      queue_from = queue_from > now + credit ? queue_from - credit
+                                             : std::min(queue_from, now);
+    }
+    const Cycle data_start = std::max(data_ready, queue_from);
+    if (is_write) {
+      write_busy_until_ = write_base + transfer;
+      read_busy_until_ = read_base + transfer / 2;
+    } else {
+      read_busy_until_ = read_base + transfer;
+    }
+
+    const double pj_per_bit =
+        is_write ? timing_.wr_pj_per_bit : timing_.rd_pj_per_bit;
+    dynamic_energy_pj_ += pj_per_bit * 8.0 * bytes;
+
+    return MemResult{t, data_start + critical, data_start + transfer,
+                     data_start + transfer};
+  }
+
+  u64 requests() const { return requests_; }
+  u64 row_hits() const { return row_hits_; }
+  u64 row_misses() const { return row_misses_; }
+  u64 refreshes() const { return refreshes_; }
+  double dynamic_energy_pj() const { return dynamic_energy_pj_; }
+
+ private:
+  struct Bank {
+    Cycle busy_until = 0;
+    i64 open_row = -1;
+  };
+
+  u32 transfer_cycles(u32 bytes) const {
+    return std::max<u32>(
+        1, static_cast<u32>(std::ceil(bytes / bytes_per_core_cycle_)));
+  }
+
+  void apply_refresh(Cycle now) {
+    while (now >= next_refresh_) {
+      read_busy_until_ = std::max(read_busy_until_, next_refresh_) + c_rfc_;
+      write_busy_until_ = std::max(write_busy_until_, next_refresh_) + c_rfc_;
+      next_refresh_ += c_refi_;
+      refreshes_++;
+      dynamic_energy_pj_ += timing_.act_nj * 1000.0 * banks_.size() / 4.0;
+    }
+  }
+
+  DramTiming timing_;
+  double bytes_per_core_cycle_ = 0.0;
+  u32 c_rcd_ = 0, c_cas_ = 0, c_rp_ = 0, c_refi_ = 0, c_rfc_ = 0;
+  u32 row_shift_ = 0, bank_shift_ = 0;
+  bool pow2_geometry_ = false;
+  bool priority_enabled_ = false;
+  std::vector<Bank> banks_;
+  Cycle read_busy_until_ = 0;
+  Cycle write_busy_until_ = 0;
+  Cycle next_refresh_ = 0;
+  u64 requests_ = 0, row_hits_ = 0, row_misses_ = 0, refreshes_ = 0;
+  double dynamic_energy_pj_ = 0.0;
+};
+
+struct SwarmCase {
+  std::string name;
+  std::function<DramTiming()> make;
+  u64 seed;
+  bool priority;
+};
+
+class FastBackendBitIdentity : public ::testing::TestWithParam<SwarmCase> {};
+
+TEST_P(FastBackendBitIdentity, MatchesLegacyChannelExactly) {
+  const SwarmCase& c = GetParam();
+  const DramTiming t = c.make();
+  Channel ch(t, kGhz, 0, ChannelBackendKind::Fast);
+  LegacyChannelReference ref(t, kGhz);
+  ch.set_priority_enabled(c.priority);
+  ref.set_priority_enabled(c.priority);
+
+  Rng rng(c.seed);
+  Cycle now = 0;
+  for (u32 i = 0; i < 2000; ++i) {
+    now += rng.next_below(30);
+    const Addr addr = rng.next_below(1u << 28) & ~63ull;
+    const u32 bytes = rng.chance(0.3) ? 64 : (rng.chance(0.5) ? 256 : 2048);
+    const bool is_write = rng.chance(0.35);
+    const bool high = rng.chance(0.5);
+    const Cycle earliest = rng.chance(0.2) ? now + rng.next_below(500) : 0;
+
+    const MemResult got = ch.request(now, addr, bytes, is_write, high, earliest);
+    const MemResult want = ref.request(now, addr, bytes, is_write, high, earliest);
+    ASSERT_EQ(got.start, want.start) << c.name << " step " << i;
+    ASSERT_EQ(got.first_data, want.first_data) << c.name << " step " << i;
+    ASSERT_EQ(got.done, want.done) << c.name << " step " << i;
+    ASSERT_EQ(got.done_sched, want.done_sched) << c.name << " step " << i;
+  }
+  EXPECT_EQ(ch.requests(), ref.requests());
+  EXPECT_EQ(ch.row_hits(), ref.row_hits());
+  EXPECT_EQ(ch.row_misses(), ref.row_misses());
+  EXPECT_EQ(ch.refreshes(), ref.refreshes());
+  // Bit-identical floating point: same adds in the same order, so == holds.
+  EXPECT_EQ(ch.dynamic_energy_pj(), ref.dynamic_energy_pj()) << c.name;
+}
+
+std::vector<SwarmCase> swarm_cases() {
+  std::vector<SwarmCase> cases;
+  const std::pair<const char*, std::function<DramTiming()>> presets[] = {
+      {"hbm2e", hbm2e_timing},
+      {"ddr4", ddr4_3200_timing},
+      {"hbm2e_super", [] { return grouped(hbm2e_timing(), 4); }},
+  };
+  for (const auto& [pname, make] : presets) {
+    for (const u64 seed : {2ull, 29ull, 404ull}) {
+      for (const bool prio : {false, true}) {
+        cases.push_back({std::string(pname) + "_s" + std::to_string(seed) +
+                             (prio ? "_prio" : "_noprio"),
+                         make, seed, prio});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Swarm, FastBackendBitIdentity,
+                         ::testing::ValuesIn(swarm_cases()),
+                         [](const auto& info) { return info.param.name; });
+
+// --- cross-backend conservation ----------------------------------------------
+
+class BackendConservation
+    : public ::testing::TestWithParam<ChannelBackendKind> {};
+
+TEST_P(BackendConservation, IssuedEqualsCompletedAfterDrain) {
+  const ChannelBackendKind kind = GetParam();
+  const DramTiming t = ddr4_3200_timing();
+  Channel ch(t, kGhz, 0, kind);
+  Rng rng(61);
+  Cycle now = 0;
+  const u32 n = 3000;
+  for (u32 i = 0; i < n; ++i) {
+    now += 1 + rng.next_below(25);
+    ch.request(now, rng.next_below(1u << 26) & ~63ull,
+               rng.chance(0.5) ? 64 : 256, rng.chance(0.4));
+    // At any instant the facade's L2 law holds: every accepted request is a
+    // completed column command or still buffered in the backend.
+    ASSERT_EQ(ch.requests(), ch.row_hits() + ch.row_misses() + ch.pending());
+  }
+  ch.drain(now);
+  EXPECT_EQ(ch.pending(), 0u);
+  EXPECT_EQ(ch.requests(), n);
+  EXPECT_EQ(ch.row_hits() + ch.row_misses(), n);
+  EXPECT_EQ(ch.activations(), ch.precharges() + ch.open_banks());
+  EXPECT_EQ(ch.refresh_windows(), ch.expected_refresh_windows(now));
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, BackendConservation,
+                         ::testing::Values(ChannelBackendKind::Fast,
+                                           ChannelBackendKind::Ddr),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
 
 }  // namespace
 }  // namespace h2

@@ -1,16 +1,20 @@
 // h2check — the differential-oracle front end (see src/check/oracle.h).
 //
 //   h2check [--workloads a,b,c] [--gpu <name>]
-//           [--designs baseline,waypart,hydrogen-setpart,hashcache,hydrogen]
+//           [--designs baseline,waypart,hydrogen-setpart,hashcache,profess,hydrogen]
 //           [--design <name>] [--accesses <n>] [--seed <n>] [--check <level>]
 //           [--epochs <n>] [--schedule <ops>] [--quick]
+//           [--backend fast|ddr|both]
 //
-// Replays each (CPU workload, design) pair through the full simulator and
-// the independent reference model, and reports per-pair conservation diffs.
-// With --epochs N the replay is cut into N+1 slices and a scripted
-// reconfiguration schedule (--schedule, check/epoch_schedule.h grammar;
-// default "shrink,bw+,grow,bw-") is driven through both sides, exercising
-// the lazy-fixup machinery. --quick shrinks the replay for smoke runs.
+// Replays each (backend, CPU workload, design) triple through the full
+// simulator and the independent reference model, and reports per-triple
+// conservation diffs. With --epochs N the replay is cut into N+1 slices and
+// a scripted reconfiguration schedule (--schedule, check/epoch_schedule.h
+// grammar; default "shrink,bw+,grow,bw-") is driven through both sides,
+// exercising the lazy-fixup machinery. --quick shrinks the replay for smoke
+// runs. --backend selects the channel timing model on the full side (the
+// reference model is timing-free, so every conserved count must agree under
+// either backend); "both" runs every pair under fast then ddr.
 // Exit status is 0 iff every pair matches on every conserved quantity, which
 // makes this binary a ctest entry (see tools/CMakeLists.txt).
 #include <cstdio>
@@ -31,10 +35,11 @@ void usage() {
   std::fprintf(
       stderr,
       "usage: h2check [--workloads a,b,c] [--gpu <name>]\n"
-      "               [--designs baseline,waypart,hydrogen-setpart,hashcache,hydrogen]\n"
+      "               [--designs baseline,waypart,hydrogen-setpart,hashcache,"
+      "profess,hydrogen]\n"
       "               [--design <name>] [--accesses <n>] [--seed <n>]\n"
       "               [--check <level>] [--epochs <n>] [--schedule <ops>]\n"
-      "               [--quick]\n");
+      "               [--quick] [--backend fast|ddr|both]\n");
 }
 
 std::vector<std::string> split_csv(const std::string& s) {
@@ -54,8 +59,9 @@ std::vector<std::string> split_csv(const std::string& s) {
 
 int main(int argc, char** argv) {
   std::vector<std::string> workloads = {"gcc", "mcf", "lbm"};
-  std::vector<std::string> designs = {"baseline", "hydrogen-setpart", "hashcache",
-                                      "hydrogen"};
+  std::vector<std::string> designs = {"baseline", "waypart", "hydrogen-setpart",
+                                      "hashcache", "profess", "hydrogen"};
+  std::vector<ChannelBackendKind> backends = {ChannelBackendKind::Fast};
   OracleConfig base;
   bool accesses_set = false;
   bool quick = false;
@@ -90,6 +96,18 @@ int main(int argc, char** argv) {
       base.schedule = value();
     } else if (arg == "--quick") {
       quick = true;
+    } else if (arg == "--backend") {
+      const std::string v = value();
+      ChannelBackendKind k;
+      if (v == "both") {
+        backends = {ChannelBackendKind::Fast, ChannelBackendKind::Ddr};
+      } else if (parse_backend_kind(v, &k)) {
+        backends = {k};
+      } else {
+        std::fprintf(stderr, "--backend expects fast, ddr or both, got '%s'\n",
+                     v.c_str());
+        return 2;
+      }
     } else {
       usage();
       return 2;
@@ -102,34 +120,38 @@ int main(int argc, char** argv) {
   }
 
   int failures = 0;
-  for (const std::string& design : designs) {
-    for (const std::string& wl : workloads) {
-      OracleConfig cfg = base;
-      cfg.cpu_workload = wl;
-      cfg.design = design;
-      OracleReport rep;
-      try {
-        rep = run_oracle(cfg);
-      } catch (const std::exception& e) {
-        std::fprintf(stderr, "FAIL %-16s %-18s error: %s\n", design.c_str(),
-                     wl.c_str(), e.what());
-        failures++;
-        continue;
-      }
-      if (rep.ok()) {
-        std::printf(
-            "PASS %-16s %-18s %llu accesses, %llu epochs, %llu quantities "
-            "conserved\n",
-            design.c_str(), wl.c_str(),
-            static_cast<unsigned long long>(rep.accesses),
-            static_cast<unsigned long long>(rep.epochs),
-            static_cast<unsigned long long>(rep.quantities));
-      } else {
-        failures++;
-        std::printf("FAIL %-16s %-18s %zu of %llu quantities differ:\n",
-                    design.c_str(), wl.c_str(), rep.diffs.size(),
-                    static_cast<unsigned long long>(rep.quantities));
-        for (const std::string& d : rep.diffs) std::printf("  %s\n", d.c_str());
+  for (const ChannelBackendKind backend : backends) {
+    for (const std::string& design : designs) {
+      for (const std::string& wl : workloads) {
+        OracleConfig cfg = base;
+        cfg.cpu_workload = wl;
+        cfg.design = design;
+        cfg.backend = backend;
+        OracleReport rep;
+        try {
+          rep = run_oracle(cfg);
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "FAIL %-4s %-16s %-18s error: %s\n",
+                       to_string(backend), design.c_str(), wl.c_str(), e.what());
+          failures++;
+          continue;
+        }
+        if (rep.ok()) {
+          std::printf(
+              "PASS %-4s %-16s %-18s %llu accesses, %llu epochs, %llu "
+              "quantities conserved\n",
+              to_string(backend), design.c_str(), wl.c_str(),
+              static_cast<unsigned long long>(rep.accesses),
+              static_cast<unsigned long long>(rep.epochs),
+              static_cast<unsigned long long>(rep.quantities));
+        } else {
+          failures++;
+          std::printf("FAIL %-4s %-16s %-18s %zu of %llu quantities differ:\n",
+                      to_string(backend), design.c_str(), wl.c_str(),
+                      rep.diffs.size(),
+                      static_cast<unsigned long long>(rep.quantities));
+          for (const std::string& d : rep.diffs) std::printf("  %s\n", d.c_str());
+        }
       }
     }
   }

@@ -11,6 +11,13 @@
 //   lazy-skip, alloc-stuck               -> epoch-driven oracle divergence
 //                                           (any build; armed with --epochs
 //                                           so lazy fixups are actually due)
+//   refresh-skip                         -> oracle refresh-window law
+//                                           (any build; proven against BOTH
+//                                           channel backends)
+//   sched-starve                         -> DDR FR-FCFS max_bypass_run()
+//                                           property on a direct backend
+//                                           drive (any build; H2_CHECK >= 1
+//                                           additionally fires in-model)
 //   time-skew                            -> H2_CHECK level 1 (skipped below)
 //   cursor-skew                          -> H2_CHECK level 2 (skipped below)
 //   throw                                -> sweep failure capture, no retry
@@ -31,8 +38,10 @@
 #include "check/check.h"
 #include "check/fault.h"
 #include "check/oracle.h"
+#include "common/rng.h"
 #include "harness/experiment.h"
 #include "harness/sweep.h"
+#include "mem/ddr_backend.h"
 
 using namespace h2;
 
@@ -48,7 +57,9 @@ void report(const char* verdict, const std::string& klass, const std::string& de
 /// Arms `spec` around a differential-oracle replay and classifies the result.
 /// Detection = the oracle report diverging or an H2_CHECK firing (the
 /// throwing handler turns either into something observable).
-void expect_oracle_detects(const std::string& spec, const OracleConfig& ocfg) {
+void expect_oracle_detects(const std::string& spec, const OracleConfig& ocfg,
+                           const std::string& label_suffix = "") {
+  const std::string label = spec + label_suffix;
   check::ScopedThrowingHandler handler;
   check::set_runtime_level(check::compiled_level());
   fault::Injector injector(spec);
@@ -61,6 +72,58 @@ void expect_oracle_detects(const std::string& spec, const OracleConfig& ocfg) {
       detected = true;
       how = "oracle: " + std::to_string(rep.diffs.size()) + " quantity diff(s), e.g. " +
             rep.diffs.front();
+    }
+  } catch (const check::CheckError& e) {
+    detected = true;
+    how = std::string("H2_CHECK: ") + e.what();
+  }
+  if (injector.fired() == 0) {
+    report("FAIL", label, "fault site never fired (seen " +
+                              std::to_string(injector.seen()) + " visits)");
+    return;
+  }
+  if (!detected) {
+    report("FAIL", label, "fault fired " + std::to_string(injector.fired()) +
+                              " time(s) but no detector noticed");
+    return;
+  }
+  if (how.size() > 140) how = how.substr(0, 137) + "...";
+  report("PASS", label, how);
+}
+
+/// sched-starve lives inside the DDR backend's FR-FCFS arbitration, so it is
+/// proven on a direct backend drive: a saturating row-hit stream whose every
+/// request is a bypass candidate. Detection needs no H2_CHECK level — the
+/// armed fault pushes max_bypass_run() past the cap, which is exactly the
+/// property tests/test_ddr_backend.cpp pins; at compiled level >= 1 the
+/// in-model H2_CHECK fires first and counts as detection too.
+void expect_ddr_starve_detected(const std::string& spec) {
+  check::ScopedThrowingHandler handler;
+  check::set_runtime_level(check::compiled_level());
+  fault::Injector injector(spec);
+  DdrParams params;
+  params.frfcfs_cap = 2;
+  const DramTiming t = ddr4_3200_timing();
+  DdrBackend be(t, /*core_ghz=*/3.2, /*id=*/0, params);
+  std::string how;
+  bool detected = false;
+  try {
+    fault::Scope scope(injector);
+    Rng rng(9);
+    Cycle now = 0;
+    for (u32 i = 0; i < 3000 && !detected; ++i) {
+      now += 1 + rng.next_below(3);
+      // Row 0 of bank i%N: every access after the first lap is a row hit on
+      // an idle bank behind a saturated bus — a bypass candidate each time.
+      const Addr addr =
+          (i % t.total_banks()) * t.row_bytes + rng.next_below(8) * 64;
+      be.request(now, addr, 256, false, false, 0);
+      if (be.max_bypass_run() > params.frfcfs_cap) {
+        detected = true;
+        how = "property: max_bypass_run=" +
+              std::to_string(be.max_bypass_run()) + " > cap " +
+              std::to_string(params.frfcfs_cap);
+      }
     }
   } catch (const check::CheckError& e) {
     detected = true;
@@ -192,6 +255,19 @@ int main(int argc, char** argv) {
     expect_oracle_detects("lazy-skip:count=0", ecfg);
     expect_oracle_detects("alloc-stuck:count=0", ecfg);
   }
+
+  // Channel-backend classes. refresh-skip drops due tREFI windows; the
+  // refresh-window conservation law (refresh_windows() must equal the
+  // elapsed-window arithmetic) catches it in any build, and the site lives
+  // in both backends, so both are proven. sched-starve uncaps FR-FCFS
+  // row-hit bypassing and is proven on a direct DDR backend drive.
+  expect_oracle_detects("refresh-skip:count=0", ocfg, "@fast");
+  {
+    OracleConfig dcfg = ocfg;
+    dcfg.backend = ChannelBackendKind::Ddr;
+    expect_oracle_detects("refresh-skip:count=0", dcfg, "@ddr");
+  }
+  expect_ddr_starve_detected("sched-starve");
 
   // Timing-corruption classes: only an H2_CHECK level can see these (the
   // oracle deliberately ignores timing), so they skip below their level.

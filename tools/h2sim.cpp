@@ -5,7 +5,10 @@
 //         [--jobs <n>] [--check <n>] [--run-timeout <sec>] [--retries <n>]
 //         [--strict] [--fault <spec>] [--journal <path>] [--resume]
 //         [--warmup-epochs <n>] [--timeline <path>] [--compiled-check-level]
+//         [--backend fast|ddr]
 //
+// --backend overrides the mem.backend config key for every config on the
+// command line (per-channel timing model; see mem/ddr_backend.h).
 // --warmup-epochs and --timeline override the corresponding config keys for
 // every config on the command line (sim.warmup_epochs / sim.timeline); with
 // multiple configs, each run's timeline lands at `<path>.<index>` so parallel
@@ -42,7 +45,7 @@ void usage() {
                " [--run-timeout <sec>] [--retries <n>] [--strict]"
                " [--fault <spec>] [--journal <path>] [--resume]"
                " [--warmup-epochs <n>] [--timeline <path>]"
-               " [--compiled-check-level]\n";
+               " [--compiled-check-level] [--backend fast|ddr]\n";
 }
 
 }  // namespace
@@ -61,6 +64,8 @@ int main(int argc, char** argv) {
   bool have_warmup = false;
   u32 warmup_epochs = 0;
   std::string timeline_path;
+  bool have_backend = false;
+  ChannelBackendKind backend = ChannelBackendKind::Fast;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--out" && i + 1 < argc) {
@@ -82,6 +87,13 @@ int main(int argc, char** argv) {
       warmup_epochs = static_cast<u32>(n);
     } else if (a == "--timeline" && i + 1 < argc) {
       timeline_path = argv[++i];
+    } else if (a == "--backend" && i + 1 < argc) {
+      const std::string v = argv[++i];
+      if (!parse_backend_kind(v, &backend)) {
+        std::cerr << "--backend expects fast or ddr, got '" << v << "'\n";
+        return 2;
+      }
+      have_backend = true;
     } else if (a == "--run-timeout" && i + 1 < argc) {
       const std::string v = argv[++i];
       char* end = nullptr;
@@ -143,6 +155,7 @@ int main(int argc, char** argv) {
   for (const auto& path : config_paths) {
     cfgs.push_back(experiment_from_file(path));
     if (have_warmup) cfgs.back().warmup_epochs = warmup_epochs;
+    if (have_backend) cfgs.back().backend = backend;
     if (!timeline_path.empty()) {
       cfgs.back().timeline_path =
           config_paths.size() == 1
@@ -154,7 +167,8 @@ int main(int argc, char** argv) {
       std::cout << "# " << path << ": combo=" << cfg.combo
                 << " design=" << cfg.design.label
                 << " mode=" << (cfg.mode == HybridMode::Cache ? "cache" : "flat")
-                << " assoc=" << cfg.assoc << " block=" << cfg.block_bytes << "\n";
+                << " assoc=" << cfg.assoc << " block=" << cfg.block_bytes
+                << " backend=" << to_string(cfg.backend) << "\n";
       cfg.sys.print(std::cout);
     }
   }
