@@ -24,6 +24,14 @@
 //   --fault <spec>       arm a fault around every run (check/fault.h grammar)
 //   --journal <path>     per-run JSONL journal (default: <csv>.journal)
 //   --resume             restore journaled ok runs instead of re-running
+//   --journal-fsync      fsync the journal after every record (power-loss
+//                        durability; H2_JOURNAL_FSYNC=1 forces it on)
+//   --checkpoint <dir>   per-run epoch-boundary checkpoints at
+//                        <dir>/<config_key>.ckpt (harness/checkpoint.h)
+//   --checkpoint-every <n>  snapshot every nth epoch boundary (default 1)
+//   --restore            resume runs whose checkpoint exists mid-flight,
+//                        bit-identically (vs --resume, which skips runs the
+//                        journal says already *finished*)
 #pragma once
 
 #include <cstdlib>
@@ -53,6 +61,10 @@ struct BenchArgs {
   std::string fault_spec;    ///< --fault; "" also falls back to H2_FAULT
   std::string journal_path;  ///< --journal; "" derives <csv>.journal
   bool resume = false;       ///< restore journaled ok runs
+  bool journal_fsync = false;   ///< fsync the journal per record
+  std::string checkpoint_dir;   ///< --checkpoint; per-run snapshots when set
+  u32 checkpoint_every = 1;     ///< --checkpoint-every; epoch stride
+  bool restore_checkpoints = false;  ///< --restore; resume interrupted runs
   u32 warmup_epochs = 0;     ///< --warmup-epochs; 0 = historical cold start
   std::string timeline_prefix;  ///< --timeline; per-run CSVs when non-empty
   bool print_compiled_check_level = false;  ///< --compiled-check-level
@@ -119,6 +131,21 @@ struct BenchArgs {
         args.journal_path = argv[++i];
       } else if (a == "--resume") {
         args.resume = true;
+      } else if (a == "--journal-fsync") {
+        args.journal_fsync = true;
+      } else if (a == "--checkpoint" && i + 1 < argc) {
+        args.checkpoint_dir = argv[++i];
+      } else if (a == "--checkpoint-every" && i + 1 < argc) {
+        const std::string v = argv[++i];
+        char* end = nullptr;
+        const long n = std::strtol(v.c_str(), &end, 10);
+        if (!end || *end != '\0' || v.empty() || n <= 0) {
+          *error = "--checkpoint-every expects a positive integer, got '" + v + "'";
+          return false;
+        }
+        args.checkpoint_every = static_cast<u32>(n);
+      } else if (a == "--restore") {
+        args.restore_checkpoints = true;
       } else if (a == "--warmup-epochs" && i + 1 < argc) {
         const std::string v = argv[++i];
         char* end = nullptr;
@@ -142,7 +169,8 @@ struct BenchArgs {
         *error = "unknown argument: " + a +
                  " (supported: --quick --full --hbm3 --csv <path> --jobs <n>"
                  " --check <n> --run-timeout <sec> --retries <n> --strict"
-                 " --fault <spec> --journal <path> --resume"
+                 " --fault <spec> --journal <path> --resume --journal-fsync"
+                 " --checkpoint <dir> --checkpoint-every <n> --restore"
                  " --warmup-epochs <n> --timeline <prefix>"
                  " --compiled-check-level --backend fast|ddr)";
         return false;
@@ -256,8 +284,16 @@ inline SweepResultSet run_sweep(const std::vector<ExperimentConfig>& cfgs,
     opts.journal_path = args.csv_path + ".journal";  // journal rides with the CSV
   }
   opts.resume = args.resume;
+  opts.journal_fsync = args.journal_fsync;
+  opts.checkpoint_dir = args.checkpoint_dir;
+  opts.checkpoint_every = args.checkpoint_every;
+  opts.restore_checkpoints = args.restore_checkpoints;
   if (opts.resume && opts.journal_path.empty()) {
     std::cerr << "error: --resume needs --journal <path> or --csv <path>\n";
+    std::exit(2);
+  }
+  if (opts.restore_checkpoints && opts.checkpoint_dir.empty()) {
+    std::cerr << "error: --restore needs --checkpoint <dir>\n";
     std::exit(2);
   }
   std::vector<SweepRun> runs = h2::run_sweep(cfgs, opts);

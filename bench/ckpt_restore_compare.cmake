@@ -1,0 +1,100 @@
+# Kill-at-epoch checkpoint/restore driver (ctest -P script).
+#
+# Proves the checkpoint layer's headline guarantee end to end: a figure sweep
+# hard-killed (_Exit, no unwinding) at a fault-chosen epoch boundary and
+# finished with --restore produces a CSV *and* per-run --timeline files that
+# are byte-identical to an uninterrupted run's, for every design in the
+# figure's roster. Usage:
+#   cmake -DBENCH=<binary> -DREF=<reference.csv> -DOUT=<interrupted.csv>
+#         -DREF_TL=<ref-timeline-prefix> -DOUT_TL=<out-timeline-prefix>
+#         -DCKPTS=<checkpoint-dir> [-DJOBS=<n>] [-DKILL_EPOCH=<n>]
+#         [-DEXTRA_ARGS=<arg;arg...>] -P ckpt_restore_compare.cmake
+if(NOT JOBS)
+  set(JOBS 4)
+endif()
+if(NOT KILL_EPOCH)
+  set(KILL_EPOCH 25)
+endif()
+file(REMOVE "${REF}" "${REF}.journal" "${OUT}" "${OUT}.journal")
+file(GLOB stale "${REF_TL}*" "${OUT_TL}*")
+if(stale)
+  file(REMOVE ${stale})
+endif()
+file(REMOVE_RECURSE "${CKPTS}")
+file(MAKE_DIRECTORY "${CKPTS}")
+
+# 1. The uninterrupted reference sweep, timelines included.
+execute_process(
+  COMMAND ${BENCH} --quick --jobs ${JOBS} --csv ${REF} --timeline ${REF_TL}
+          ${EXTRA_ARGS}
+  RESULT_VARIABLE ref_rc
+  OUTPUT_QUIET)
+if(NOT ref_rc EQUAL 0)
+  message(FATAL_ERROR "reference run failed with exit code ${ref_rc}")
+endif()
+
+# 2. The same sweep with per-epoch checkpoints, hard-killed when the first
+# slot crosses epoch boundary KILL_EPOCH+1 (fault::kill_process is _Exit:
+# no stream flushes, no atexit — the checkpoint files and the journal's
+# already-flushed records are all that survives, exactly like a SIGKILL).
+execute_process(
+  COMMAND ${BENCH} --quick --jobs ${JOBS} --csv ${OUT} --timeline ${OUT_TL}
+          --checkpoint ${CKPTS} --fault kill-at-epoch:after=${KILL_EPOCH}
+          ${EXTRA_ARGS}
+  RESULT_VARIABLE kill_rc
+  OUTPUT_QUIET ERROR_QUIET)
+if(NOT kill_rc EQUAL 137)
+  message(FATAL_ERROR
+    "expected the armed kill-at-epoch fault to end the sweep with status 137,"
+    " got ${kill_rc} (KILL_EPOCH=${KILL_EPOCH} may exceed the epoch count)")
+endif()
+file(GLOB ckpt_files "${CKPTS}/*.ckpt")
+list(LENGTH ckpt_files n_ckpts)
+if(n_ckpts EQUAL 0)
+  message(FATAL_ERROR "the killed sweep left no checkpoint files in ${CKPTS}")
+endif()
+message(STATUS "killed with status 137; ${n_ckpts} slot checkpoint(s) survive")
+
+# 3. Finish the sweep: journaled complete slots restore via --resume,
+# interrupted slots resume mid-flight from their checkpoints via --restore,
+# untouched slots run fresh.
+execute_process(
+  COMMAND ${BENCH} --quick --jobs ${JOBS} --csv ${OUT} --timeline ${OUT_TL}
+          --checkpoint ${CKPTS} --restore --resume ${EXTRA_ARGS}
+  RESULT_VARIABLE restore_rc
+  OUTPUT_QUIET)
+if(NOT restore_rc EQUAL 0)
+  message(FATAL_ERROR "--restore run failed with exit code ${restore_rc}")
+endif()
+
+# 4. Byte-identical or bust, CSV first.
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${REF} ${OUT}
+  RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+  execute_process(COMMAND diff -u ${REF} ${OUT})
+  message(FATAL_ERROR
+    "restored sweep CSV differs from the uninterrupted reference - the"
+    " checkpoint did not round-trip the simulator state bit-exactly")
+endif()
+
+# 5. ... then every per-run timeline: restored runs rewrite their timeline
+# from the history carried in the checkpoint, so even the rows emitted before
+# the kill must match the reference byte for byte.
+file(GLOB ref_timelines "${REF_TL}*")
+list(LENGTH ref_timelines n_timelines)
+if(n_timelines EQUAL 0)
+  message(FATAL_ERROR "reference run produced no --timeline files at ${REF_TL}*")
+endif()
+foreach(ref_tl ${ref_timelines})
+  string(REPLACE "${REF_TL}" "${OUT_TL}" out_tl "${ref_tl}")
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files ${ref_tl} ${out_tl}
+    RESULT_VARIABLE tl_rc)
+  if(NOT tl_rc EQUAL 0)
+    execute_process(COMMAND diff -u ${ref_tl} ${out_tl})
+    message(FATAL_ERROR
+      "timeline ${out_tl} differs from the reference ${ref_tl} after restore")
+  endif()
+endforeach()
+message(STATUS "CSV and ${n_timelines} timeline file(s) byte-identical after kill+restore")

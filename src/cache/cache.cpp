@@ -4,6 +4,7 @@
 
 #include "check/check.h"
 #include "common/assert.h"
+#include "common/ckpt_io.h"
 
 namespace h2 {
 
@@ -165,6 +166,37 @@ bool Cache::invalidate(Addr addr) {
     return was_dirty;
   }
   return false;
+}
+
+void Cache::save(ckpt::CkptWriter& w) const {
+  w.put_pod_vec(tag_);
+  w.put_pod_vec(lru_);
+  w.put_pod_vec(valid_);
+  w.put_pod_vec(dirty_);
+  w.put_pod_vec(mru_);
+  w.put_u64(stamp_);
+  w.put_u64(hits_);
+  w.put_u64(misses_);
+  w.put_u64(writebacks_);
+}
+
+void Cache::load(ckpt::CkptReader& r) {
+  r.get_pod_vec_exact(tag_);
+  r.get_pod_vec_exact(lru_);
+  r.get_pod_vec_exact(valid_);
+  r.get_pod_vec_exact(dirty_);
+  r.get_pod_vec_exact(mru_);
+  stamp_ = r.get_u64();
+  hits_ = r.get_u64();
+  misses_ = r.get_u64();
+  writebacks_ = r.get_u64();
+  for (u32 set = 0; set < sets_; ++set) {
+    if (mru_[set] >= cfg_.ways) {
+      r.fail("cache " + cfg_.name + ": MRU way out of range in set " +
+             std::to_string(set));
+    }
+  }
+  audit();
 }
 
 }  // namespace h2

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/ckpt_fwd.h"
 #include "common/types.h"
 
 namespace h2 {
@@ -72,6 +73,12 @@ class Cache {
     return total ? static_cast<double>(hits_) / static_cast<double>(total) : 0.0;
   }
   void reset_stats() { hits_ = misses_ = writebacks_ = 0; }
+
+  /// Checkpoint support: line metadata (tags, LRU, valid/dirty, MRU way),
+  /// the LRU stamp and the counters. Geometry is rebuilt from config, so
+  /// restore cross-checks the stored array sizes against the live ones.
+  void save(ckpt::CkptWriter& w) const;
+  void load(ckpt::CkptReader& r);
 
  private:
   /// Tag stored by invalid lines. Unreachable by real lookups: it would

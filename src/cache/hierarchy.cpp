@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.h"
+#include "common/ckpt_io.h"
 
 namespace h2 {
 
@@ -86,6 +87,24 @@ void CacheHierarchy::reset_stats() {
   for (auto& c : gpu_l1_) c->reset_stats();
   llc_->reset_stats();
   llc_hits_[0] = llc_hits_[1] = llc_accesses_[0] = llc_accesses_[1] = 0;
+}
+
+void CacheHierarchy::save(ckpt::CkptWriter& w) const {
+  for (const auto& c : cpu_l1_) c->save(w);
+  for (const auto& c : cpu_l2_) c->save(w);
+  for (const auto& c : gpu_l1_) c->save(w);
+  llc_->save(w);
+  for (const u64 v : llc_hits_) w.put_u64(v);
+  for (const u64 v : llc_accesses_) w.put_u64(v);
+}
+
+void CacheHierarchy::load(ckpt::CkptReader& r) {
+  for (auto& c : cpu_l1_) c->load(r);
+  for (auto& c : cpu_l2_) c->load(r);
+  for (auto& c : gpu_l1_) c->load(r);
+  llc_->load(r);
+  for (u64& v : llc_hits_) v = r.get_u64();
+  for (u64& v : llc_accesses_) v = r.get_u64();
 }
 
 }  // namespace h2

@@ -52,6 +52,9 @@ class CacheHierarchy {
   double llc_hit_rate(Requestor r) const;
   void reset_stats();
 
+  void save(ckpt::CkptWriter& w) const;
+  void load(ckpt::CkptReader& r);
+
  private:
   HierarchyResult llc_fill(Addr addr, bool is_write, u32 latency_so_far);
 

@@ -1,5 +1,6 @@
 #include "check/fault.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <thread>
@@ -14,6 +15,7 @@ constexpr const char* kKindNames[kNumKinds] = {
     "remap-flip", "dup-tag", "drop-writeback", "time-skew",
     "cursor-skew", "throw",   "throw-transient", "stall",
     "lazy-skip",  "alloc-stuck", "refresh-skip", "sched-starve",
+    "ckpt-corrupt", "ckpt-truncate", "kill-at-epoch",
 };
 
 /// Strict base-10 u64 parse; throws on empty, non-digit, or overflow.
@@ -110,6 +112,29 @@ void stall() {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   cancel::poll();
+}
+
+void kill_process() {
+  // 128 + SIGKILL(9), the status a shell reports for a killed child.
+  std::_Exit(137);
+}
+
+bool perturb_checkpoint_bytes(std::string& bytes) {
+  if (bytes.empty()) return false;
+  if (at(Kind::CkptCorrupt)) {
+    Injector* inj = current();
+    const std::uint64_t seed = inj != nullptr ? inj->spec().seed : 0;
+    const std::size_t pos = static_cast<std::size_t>(seed % bytes.size());
+    const unsigned bit = static_cast<unsigned>((seed / bytes.size()) % 8);
+    bytes[pos] = static_cast<char>(static_cast<unsigned char>(bytes[pos]) ^
+                                   (1u << bit));
+    return true;
+  }
+  if (at(Kind::CkptTruncate)) {
+    bytes.resize(bytes.size() - std::max<std::size_t>(1, bytes.size() / 2));
+    return true;
+  }
+  return false;
 }
 
 }  // namespace h2::fault

@@ -19,7 +19,8 @@
 //   <kind>[:key=value[,key=value...]]
 //   kinds  remap-flip | dup-tag | drop-writeback | time-skew | cursor-skew
 //          | throw | throw-transient | stall | lazy-skip | alloc-stuck
-//          | refresh-skip | sched-starve
+//          | refresh-skip | sched-starve | ckpt-corrupt | ckpt-truncate
+//          | kill-at-epoch
 //   keys   after=N   skip the first N visits to matching sites (default 0)
 //          count=N   fire at most N times; 0 = unlimited     (default 1)
 //          seed=N    recorded for reproducibility bookkeeping (default 0)
@@ -46,6 +47,9 @@ namespace h2::fault {
 ///   AllocStuck     the per-way alloc bit is never written  -> epoch oracle
 ///   RefreshSkip    silently drop a due refresh window     -> oracle refresh law
 ///   SchedStarve    FR-FCFS bypass ignores starvation cap  -> DDR property check
+///   CkptCorrupt    flip one byte of a checkpoint at write -> checksum reject
+///   CkptTruncate   drop a checkpoint's trailing bytes     -> framing reject
+///   KillAtEpoch    hard process kill at an epoch boundary -> checkpoint restore
 enum class Kind : std::uint8_t {
   RemapFlip,
   DupTag,
@@ -59,9 +63,12 @@ enum class Kind : std::uint8_t {
   AllocStuck,
   RefreshSkip,
   SchedStarve,
+  CkptCorrupt,
+  CkptTruncate,
+  KillAtEpoch,
 };
 
-inline constexpr int kNumKinds = 12;
+inline constexpr int kNumKinds = 15;
 
 /// Spec-grammar name of a kind ("remap-flip", ...).
 const char* kind_name(Kind k);
@@ -164,5 +171,18 @@ inline bool at(Kind k) {
 /// cancellation (common/cancel.h) between slices so a sweep watchdog can cut
 /// the stall short.
 void stall();
+
+/// Hard process kill (as from SIGKILL / the OOM killer): exits immediately
+/// with status 137, no unwinding, no atexit, no stream flushes. Buffered
+/// output is lost exactly as a real kill would lose it — the scenario the
+/// checkpoint/restore machinery must survive.
+[[noreturn]] void kill_process();
+
+/// Applies the armed checkpoint-payload faults to `bytes` in place before it
+/// is written: CkptCorrupt XOR-flips one bit of one byte (chosen from the
+/// spec's seed, reduced modulo the payload size); CkptTruncate drops the
+/// trailing half (at least one byte). No-op when neither fault is armed.
+/// Returns true if the payload was perturbed.
+bool perturb_checkpoint_bytes(std::string& bytes);
 
 }  // namespace h2::fault

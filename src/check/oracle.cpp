@@ -8,6 +8,7 @@
 #include <tuple>
 
 #include "check/epoch_schedule.h"
+#include "common/ckpt_io.h"
 #include "common/rng.h"
 #include "harness/config_loader.h"
 #include "harness/sim_system.h"
@@ -404,11 +405,13 @@ OracleReport run_oracle(const OracleConfig& ocfg) {
     hm_cfg.chaining = true;
   }
 
-  MemorySystem mem(mem_cfg);
+  // The full side lives on the heap so the restore_at_epoch boundary can
+  // tear it down and rebuild it from configuration mid-replay.
+  auto mem = std::make_unique<MemorySystem>(mem_cfg);
   auto sim_policy = oracle_policy(ocfg.design, ocfg.seed);
   auto ref_policy = oracle_policy(ocfg.design, ocfg.seed);
-  HybridMemory hm(hm_cfg, &mem, sim_policy.get());
-  RefModel ref(hm_cfg, mem.num_fast_superchannels(), mem.num_slow_channels(),
+  auto hm = std::make_unique<HybridMemory>(hm_cfg, mem.get(), sim_policy.get());
+  RefModel ref(hm_cfg, mem->num_fast_superchannels(), mem->num_slow_channels(),
                mem_cfg.block_bytes, std::move(ref_policy));
 
   // The scripted reconfiguration sequence (parsed up front so a malformed
@@ -452,9 +455,9 @@ OracleReport run_oracle(const OracleConfig& ocfg) {
   const bool dbg = std::getenv("H2_ORACLE_DEBUG") != nullptr;
   for (size_t si = 0; si < steps.size(); ++si) {
     const Step& s = steps[si];
-    hm.access(s.now, s.cls, s.addr, s.write);
+    hm->access(s.now, s.cls, s.addr, s.write);
     ref.access(s);
-    if (dbg && table_residency(hm.table()) != table_residency(ref.table())) {
+    if (dbg && table_residency(hm->table()) != table_residency(ref.table())) {
       const u64 tag = s.addr / hm_cfg.block_bytes;
       std::fprintf(stderr,
                    "first residency divergence at step %zu (epoch %llu): %s %s "
@@ -465,7 +468,7 @@ OracleReport run_oracle(const OracleConfig& ocfg) {
                    static_cast<unsigned long long>(s.addr),
                    static_cast<unsigned long long>(tag),
                    static_cast<unsigned long long>(tag % hm_cfg.num_sets()));
-      const auto sr = table_residency(hm.table());
+      const auto sr = table_residency(hm->table());
       const auto rr = table_residency(ref.table());
       for (const auto& [key, val] : sr) {
         const auto it = rr.find(key);
@@ -490,8 +493,8 @@ OracleReport run_oracle(const OracleConfig& ocfg) {
     // to both sides; then the per-epoch conserved quantities are diffed.
     if (epoch_steps > 0 && epoch_idx < ocfg.epochs &&
         si + 1 == (epoch_idx + 1) * epoch_steps) {
-      const HybridStats& sc = hm.stats(Requestor::Cpu);
-      const HybridStats& sg = hm.stats(Requestor::Gpu);
+      const HybridStats& sc = hm->stats(Requestor::Cpu);
+      const HybridStats& sg = hm->stats(Requestor::Gpu);
       EpochFeedback fb;
       fb.now = s.now + 1;  // strictly increasing, before the next access
       fb.epoch_cycles = epoch_steps * ocfg.cycle_gap;
@@ -512,7 +515,7 @@ OracleReport run_oracle(const OracleConfig& ocfg) {
 
       const ScheduleStep& op = schedule.at(epoch_idx);
       sim_policy->on_epoch(fb);
-      if (apply_schedule_step(op, *sim_policy)) hm.flush_stale_sets(fb.now);
+      if (apply_schedule_step(op, *sim_policy)) hm->flush_stale_sets(fb.now);
       ref.on_epoch(fb, op);
 
       const std::string tagp =
@@ -522,11 +525,11 @@ OracleReport run_oracle(const OracleConfig& ocfg) {
       // residency snapshots must still agree — and each table must remain a
       // bijection after the partition change.
       report.quantities++;
-      if (table_residency(hm.table()) != table_residency(ref.table())) {
+      if (table_residency(hm->table()) != table_residency(ref.table())) {
         report.diffs.push_back(tagp + "residency snapshot differs");
       }
       report.quantities++;
-      if (const u64 dup = first_duplicate_tag(hm.table()); dup != kInvalidTag) {
+      if (const u64 dup = first_duplicate_tag(hm->table()); dup != kInvalidTag) {
         report.diffs.push_back(tagp + "simulator remap not a bijection (tag " +
                                std::to_string(dup) + " resident twice)");
       }
@@ -551,6 +554,45 @@ OracleReport run_oracle(const OracleConfig& ocfg) {
           report.diffs.push_back(buf);
         }
       }
+
+      // Checkpoint/restore boundary: serialise the full side to an in-memory
+      // checkpoint, destroy it, rebuild it from configuration alone and load
+      // the snapshot back. The reference model is untouched, so every
+      // conserved quantity diffed from here on also proves the checkpoint
+      // seam loses nothing — independently of the harness's own
+      // restore-equality tests.
+      if (static_cast<i64>(epoch_idx) == ocfg.restore_at_epoch) {
+        ckpt::CkptWriter w;
+        w.begin_section("memory-system");
+        mem->save(w);
+        w.end_section();
+        w.begin_section("hybrid-memory");
+        hm->save(w);
+        w.end_section();
+        w.begin_section("policy");
+        sim_policy->save_state(w);
+        w.end_section();
+        std::string bytes = w.finish();
+
+        hm.reset();  // holds pointers into mem and sim_policy; dies first
+        sim_policy.reset();
+        mem.reset();
+        mem = std::make_unique<MemorySystem>(mem_cfg);
+        sim_policy = oracle_policy(ocfg.design, ocfg.seed);
+        hm = std::make_unique<HybridMemory>(hm_cfg, mem.get(), sim_policy.get());
+
+        ckpt::CkptReader r(std::move(bytes), "<oracle in-memory checkpoint>");
+        r.enter_section("memory-system");
+        mem->load(r);
+        r.leave_section();
+        r.enter_section("hybrid-memory");
+        hm->load(r);
+        r.leave_section();
+        r.enter_section("policy");
+        sim_policy->restore_state(r);
+        r.leave_section();
+        r.finish();
+      }
       epoch_idx++;
     }
   }
@@ -558,7 +600,7 @@ OracleReport run_oracle(const OracleConfig& ocfg) {
 
   for (u32 i = 0; i < 2; ++i) {
     const Requestor r = static_cast<Requestor>(i);
-    const HybridStats& s = hm.stats(r);
+    const HybridStats& s = hm->stats(r);
     const RefModel::SideStats& o = ref.stats(r);
     const std::string who = i == 0 ? "cpu" : "gpu";
     diff_u64(who + " demand", s.demand, o.demand);
@@ -580,15 +622,15 @@ OracleReport run_oracle(const OracleConfig& ocfg) {
   // Drain the backends (posted writes completed, refresh caught up to the
   // final clock) so the command-conservation laws below are exact. The
   // reference model has no timing state, so this moves nothing on its side.
-  mem.drain_backends(now);
+  mem->drain_backends(now);
 
-  for (u32 ch = 0; ch < mem.num_fast_superchannels(); ++ch) {
+  for (u32 ch = 0; ch < mem->num_fast_superchannels(); ++ch) {
     diff_u64("fast channel " + std::to_string(ch) + " requests",
-             mem.issued_fast(ch), ref.fast_reqs(ch));
+             mem->issued_fast(ch), ref.fast_reqs(ch));
   }
-  for (u32 ch = 0; ch < mem.num_slow_channels(); ++ch) {
+  for (u32 ch = 0; ch < mem->num_slow_channels(); ++ch) {
     diff_u64("slow channel " + std::to_string(ch) + " requests",
-             mem.issued_slow(ch), ref.slow_reqs(ch));
+             mem->issued_slow(ch), ref.slow_reqs(ch));
   }
 
   // Backend command conservation, per channel and per tier. Each law holds
@@ -615,16 +657,16 @@ OracleReport run_oracle(const OracleConfig& ocfg) {
     diff_u64(tagc + "refresh windows", ch.refresh_windows(),
              ch.expected_refresh_windows(now));
   };
-  for (u32 ch = 0; ch < mem.num_fast_superchannels(); ++ch) {
-    diff_channel("fast", ch, mem.fast_channel(ch), mem.issued_fast(ch));
+  for (u32 ch = 0; ch < mem->num_fast_superchannels(); ++ch) {
+    diff_channel("fast", ch, mem->fast_channel(ch), mem->issued_fast(ch));
   }
-  for (u32 ch = 0; ch < mem.num_slow_channels(); ++ch) {
-    diff_channel("slow", ch, mem.slow_channel(ch), mem.issued_slow(ch));
+  for (u32 ch = 0; ch < mem->num_slow_channels(); ++ch) {
+    diff_channel("slow", ch, mem->slow_channel(ch), mem->issued_slow(ch));
   }
 
   // Final residency membership: every (set, tag) must agree on presence,
   // physical channel and dirty state.
-  const auto sim_res = table_residency(hm.table());
+  const auto sim_res = table_residency(hm->table());
   const auto ref_res = table_residency(ref.table());
   report.quantities++;
   if (sim_res != ref_res) {
@@ -649,8 +691,8 @@ OracleReport run_oracle(const OracleConfig& ocfg) {
   }
 
   // End-of-replay invariant audits on the full side (active at check >= 2).
-  hm.audit(now, "oracle replay");
-  mem.audit(now);
+  hm->audit(now, "oracle replay");
+  mem->audit(now);
 
   return report;
 }

@@ -81,6 +81,12 @@ struct OracleConfig {
   /// both lazy flavours (invalidations and moves) and returns to the initial
   /// partition every four epochs.
   std::string schedule;
+  /// Epoch boundary index at which the full side is serialised to an
+  /// in-memory checkpoint, destroyed, rebuilt from configuration and loaded
+  /// back, with the reference model untouched — so the downstream conserved
+  /// quantities prove the checkpoint/restore seam loses nothing. -1 = never;
+  /// must be < epochs to actually fire.
+  i64 restore_at_epoch = -1;
 };
 
 struct OracleReport {

@@ -1,0 +1,9 @@
+// Forward declarations for the checkpoint writer/reader, so stateful
+// subsystem headers can declare save()/load() without pulling in the full
+// ckpt_io.h (only the .cpp files need the definitions).
+#pragma once
+
+namespace h2::ckpt {
+class CkptWriter;
+class CkptReader;
+}  // namespace h2::ckpt

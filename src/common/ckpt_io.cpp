@@ -1,0 +1,299 @@
+#include "common/ckpt_io.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace h2::ckpt {
+
+namespace {
+
+constexpr char kMagic[8] = {'H', '2', 'C', 'K', 'P', 'T', '\r', '\n'};
+
+void append_pod(std::string& out, const void* p, std::size_t n) {
+  out.append(static_cast<const char*>(p), n);
+}
+
+[[noreturn]] void raise(const std::string& label, const std::string& section,
+                        std::size_t offset, const std::string& what) {
+  throw CheckpointError("checkpoint error in " + label + ", section '" +
+                        section + "', offset " + std::to_string(offset) + ": " +
+                        what);
+}
+
+}  // namespace
+
+u64 fnv1a(const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  u64 h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// --------------------------------------------------------------------------
+// CkptWriter
+
+void CkptWriter::begin_section(const std::string& name) {
+  if (in_section_) {
+    throw CheckpointError("ckpt writer: begin_section('" + name +
+                          "') inside open section '" + sections_.back().name +
+                          "'");
+  }
+  sections_.push_back(Section{name, {}});
+  in_section_ = true;
+}
+
+void CkptWriter::end_section() {
+  if (!in_section_) throw CheckpointError("ckpt writer: end_section without begin");
+  in_section_ = false;
+}
+
+void CkptWriter::put_bytes(const void* p, std::size_t n) {
+  if (!in_section_) throw CheckpointError("ckpt writer: put outside a section");
+  if (n) sections_.back().payload.append(static_cast<const char*>(p), n);
+}
+
+void CkptWriter::put_bool_vec(const std::vector<bool>& v) {
+  put_u64(v.size());
+  for (const bool b : v) put_u8(b ? 1 : 0);
+}
+
+std::string CkptWriter::finish() {
+  if (in_section_) {
+    throw CheckpointError("ckpt writer: finish with open section '" +
+                          sections_.back().name + "'");
+  }
+  std::string out;
+  out.append(kMagic, sizeof kMagic);
+  const u32 version = kFormatVersion;
+  append_pod(out, &version, sizeof version);
+  const u32 count = static_cast<u32>(sections_.size());
+  append_pod(out, &count, sizeof count);
+  for (const Section& s : sections_) {
+    const u32 name_len = static_cast<u32>(s.name.size());
+    append_pod(out, &name_len, sizeof name_len);
+    out.append(s.name);
+    const u64 payload_len = s.payload.size();
+    append_pod(out, &payload_len, sizeof payload_len);
+    out.append(s.payload);
+    const u64 sum = fnv1a(s.payload.data(), s.payload.size());
+    append_pod(out, &sum, sizeof sum);
+  }
+  sections_.clear();
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// CkptReader
+
+CkptReader::CkptReader(std::string bytes, std::string label)
+    : bytes_(std::move(bytes)), label_(std::move(label)) {
+  std::size_t off = 0;
+  const auto need = [&](std::size_t n, const char* what) {
+    if (bytes_.size() - off < n) raise(label_, "<container>", off, what);
+  };
+  const auto read_pod = [&](void* dst, std::size_t n, const char* what) {
+    need(n, what);
+    std::memcpy(dst, bytes_.data() + off, n);
+    off += n;
+  };
+
+  need(sizeof kMagic, "file shorter than the 8-byte magic");
+  if (std::memcmp(bytes_.data(), kMagic, sizeof kMagic) != 0) {
+    raise(label_, "<container>", 0, "bad magic (not a checkpoint file, or mangled in transit)");
+  }
+  off += sizeof kMagic;
+
+  u32 version = 0;
+  read_pod(&version, sizeof version, "truncated before format version");
+  if (version != kFormatVersion) {
+    raise(label_, "<container>", off - sizeof version,
+          "unsupported format version " + std::to_string(version) +
+              " (this build reads version " + std::to_string(kFormatVersion) + ")");
+  }
+
+  u32 count = 0;
+  read_pod(&count, sizeof count, "truncated before section count");
+  sections_.reserve(count);
+  for (u32 i = 0; i < count; ++i) {
+    u32 name_len = 0;
+    read_pod(&name_len, sizeof name_len, "truncated in section name length");
+    need(name_len, "truncated in section name");
+    Section s;
+    s.name.assign(bytes_.data() + off, name_len);
+    off += name_len;
+    u64 payload_len = 0;
+    read_pod(&payload_len, sizeof payload_len, "truncated in section payload length");
+    if (bytes_.size() - off < payload_len) {
+      raise(label_, s.name, off, "truncated in section payload");
+    }
+    s.begin = off;
+    s.size = payload_len;
+    off += payload_len;
+    u64 stored_sum = 0;
+    if (bytes_.size() - off < sizeof stored_sum) {
+      raise(label_, s.name, off, "truncated before section checksum");
+    }
+    std::memcpy(&stored_sum, bytes_.data() + off, sizeof stored_sum);
+    off += sizeof stored_sum;
+    const u64 actual = fnv1a(bytes_.data() + s.begin, s.size);
+    if (actual != stored_sum) {
+      raise(label_, s.name, s.begin, "checksum mismatch (payload corrupted)");
+    }
+    sections_.push_back(std::move(s));
+  }
+  if (off != bytes_.size()) {
+    raise(label_, "<container>", off,
+          std::to_string(bytes_.size() - off) + " trailing byte(s) after the last section");
+  }
+}
+
+void CkptReader::enter_section(const std::string& expected_name) {
+  if (in_section_) {
+    raise(label_, sections_[next_section_ - 1].name, cursor_,
+          "enter_section('" + expected_name + "') inside an open section");
+  }
+  if (next_section_ >= sections_.size()) {
+    raise(label_, expected_name, bytes_.size(),
+          "expected section is missing (checkpoint ends after " +
+              std::to_string(sections_.size()) + " section(s))");
+  }
+  const Section& s = sections_[next_section_];
+  if (s.name != expected_name) {
+    raise(label_, s.name, s.begin,
+          "expected section '" + expected_name + "' here (layout mismatch)");
+  }
+  in_section_ = true;
+  cursor_ = s.begin;
+  end_ = s.begin + s.size;
+  next_section_++;
+}
+
+void CkptReader::leave_section() {
+  if (!in_section_) {
+    raise(label_, "<container>", cursor_, "leave_section without enter");
+  }
+  if (cursor_ != end_) {
+    raise(label_, sections_[next_section_ - 1].name, cursor_,
+          std::to_string(end_ - cursor_) + " unconsumed byte(s) at section end");
+  }
+  in_section_ = false;
+}
+
+void CkptReader::finish() const {
+  if (in_section_) {
+    raise(label_, sections_[next_section_ - 1].name, cursor_,
+          "finish with a section still open");
+  }
+  if (next_section_ != sections_.size()) {
+    raise(label_, sections_[next_section_].name, sections_[next_section_].begin,
+          "unread section at end of load");
+  }
+}
+
+void CkptReader::get_bytes(void* dst, std::size_t n) {
+  if (!in_section_) {
+    raise(label_, "<container>", cursor_, "read outside a section");
+  }
+  if (end_ - cursor_ < n) {
+    raise(label_, sections_[next_section_ - 1].name, cursor_,
+          "read of " + std::to_string(n) + " byte(s) overruns section payload");
+  }
+  if (n) std::memcpy(dst, bytes_.data() + cursor_, n);
+  cursor_ += n;
+}
+
+bool CkptReader::get_bool() {
+  const u8 v = get_u8();
+  if (v > 1) fail("boolean byte holds " + std::to_string(v));
+  return v != 0;
+}
+
+std::string CkptReader::get_str() {
+  const u64 n = get_u64();
+  if (n > remaining()) {
+    fail("string length " + std::to_string(n) + " exceeds section payload");
+  }
+  std::string s(n, '\0');
+  get_bytes(s.data(), n);
+  return s;
+}
+
+void CkptReader::get_bool_vec(std::vector<bool>& v) {
+  const u64 n = get_u64();
+  if (n != v.size()) {
+    fail("bool-vector length " + std::to_string(n) +
+         " does not match live size " + std::to_string(v.size()));
+  }
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = get_bool();
+}
+
+std::size_t CkptReader::remaining() const {
+  return in_section_ ? end_ - cursor_ : 0;
+}
+
+void CkptReader::fail(const std::string& what) const {
+  raise(label_,
+        in_section_ ? sections_[next_section_ - 1].name : "<container>",
+        cursor_, what);
+}
+
+// --------------------------------------------------------------------------
+// Durability helpers
+
+bool fsync_stream(std::FILE* f) {
+  if (std::fflush(f) != 0) return false;
+  const int fd = fileno(f);
+  if (fd < 0) return false;
+  return ::fsync(fd) == 0;
+}
+
+void write_file_atomic(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) {
+    throw CheckpointError("checkpoint write failed: cannot open " + tmp + ": " +
+                          std::strerror(errno));
+  }
+  const bool wrote =
+      bytes.empty() || std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  const bool synced = wrote && fsync_stream(f);
+  const int err = errno;
+  std::fclose(f);
+  if (!wrote || !synced) {
+    std::remove(tmp.c_str());
+    throw CheckpointError("checkpoint write failed: " + tmp + ": " +
+                          std::strerror(err));
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int rerr = errno;
+    std::remove(tmp.c_str());
+    throw CheckpointError("checkpoint publish failed: rename " + tmp + " -> " +
+                          path + ": " + std::strerror(rerr));
+  }
+}
+
+std::string read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) {
+    throw CheckpointError("cannot open checkpoint " + path + ": " +
+                          std::strerror(errno));
+  }
+  std::string out;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  const bool bad = std::ferror(f) != 0;
+  std::fclose(f);
+  if (bad) {
+    throw CheckpointError("read error on checkpoint " + path);
+  }
+  return out;
+}
+
+}  // namespace h2::ckpt

@@ -1,0 +1,199 @@
+// Checkpoint byte-stream plumbing: a primitive writer/reader over named,
+// checksummed sections, plus the durability helpers (fsync, atomic
+// tmp+rename publication) shared by the checkpoint driver and the sweep
+// journal.
+//
+// Container layout (version 1), all integers little-endian native:
+//
+//   8-byte magic "H2CKPT\r\n" | u32 format version | u32 section count
+//   then, per section:
+//     u32 name length | name bytes
+//     u64 payload length | payload bytes
+//     u64 FNV-1a(payload)
+//
+// The reader parses and validates the whole container up front: magic,
+// version, every section bound and every section checksum, and finally that
+// no bytes trail the last section. Every load-side primitive is
+// bounds-checked against its section payload and leave_section() requires
+// the payload to be consumed exactly. FNV-1a over a fixed-length suffix is
+// injective in any single byte (xor-then-multiply-by-odd-prime steps are
+// bijections of the accumulator), so a one-byte mutation of a payload is
+// *guaranteed* to fail its checksum; mutations of the framing fail the
+// magic/version/bounds/name checks instead. test_checkpoint fuzzes this.
+//
+// The magic deliberately embeds "\r\n" so a file that went through any
+// text-mode translation fails loudly at the first eight bytes.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/types.h"
+
+namespace h2::ckpt {
+
+inline constexpr u32 kFormatVersion = 1;
+
+/// FNV-1a 64-bit over a byte range.
+u64 fnv1a(const void* data, std::size_t n);
+
+/// Raised by every load-side validation failure. The message always names
+/// the file, the section (or "<container>" for framing errors) and the
+/// absolute byte offset at which the problem was detected.
+class CheckpointError : public std::runtime_error {
+ public:
+  explicit CheckpointError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Accumulates named sections of primitive values and assembles the final
+/// container bytes. Purely in-memory; publication is the caller's problem
+/// (see write_file_atomic below).
+class CkptWriter {
+ public:
+  void begin_section(const std::string& name);
+  void end_section();
+
+  void put_bytes(const void* p, std::size_t n);
+  void put_u8(u8 v) { put_bytes(&v, sizeof v); }
+  void put_u16(u16 v) { put_bytes(&v, sizeof v); }
+  void put_u32(u32 v) { put_bytes(&v, sizeof v); }
+  void put_u64(u64 v) { put_bytes(&v, sizeof v); }
+  void put_i32(i32 v) { put_bytes(&v, sizeof v); }
+  void put_i64(i64 v) { put_bytes(&v, sizeof v); }
+  void put_bool(bool v) { put_u8(v ? 1 : 0); }
+  /// Bit-exact: the double's object representation, not a decimal render.
+  void put_f64(double v) {
+    u64 bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    put_u64(bits);
+  }
+  void put_str(const std::string& s) {
+    put_u64(s.size());
+    put_bytes(s.data(), s.size());
+  }
+  template <class T>
+  void put_pod_vec(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    put_u64(v.size());
+    put_bytes(v.data(), v.size() * sizeof(T));
+  }
+  /// vector<bool> has no contiguous storage; stored one byte per element.
+  void put_bool_vec(const std::vector<bool>& v);
+
+  /// Assembles magic + version + all sections. The writer is spent after.
+  std::string finish();
+
+ private:
+  struct Section {
+    std::string name;
+    std::string payload;
+  };
+  std::vector<Section> sections_;
+  bool in_section_ = false;
+};
+
+/// Validating reader over container bytes. The constructor verifies the
+/// whole frame (magic, version, bounds, per-section checksums, no trailing
+/// bytes); enter_section() then hands out sections strictly in stored order,
+/// refusing a name mismatch.
+class CkptReader {
+ public:
+  /// `label` names the source in errors (a file path, or e.g. "<memory>").
+  CkptReader(std::string bytes, std::string label);
+
+  void enter_section(const std::string& expected_name);
+  /// Requires the current section's payload to be consumed exactly.
+  void leave_section();
+  /// Requires every stored section to have been entered and left.
+  void finish() const;
+
+  void get_bytes(void* dst, std::size_t n);
+  u8 get_u8() { return get_pod<u8>(); }
+  u16 get_u16() { return get_pod<u16>(); }
+  u32 get_u32() { return get_pod<u32>(); }
+  u64 get_u64() { return get_pod<u64>(); }
+  i32 get_i32() { return get_pod<i32>(); }
+  i64 get_i64() { return get_pod<i64>(); }
+  bool get_bool();
+  double get_f64() {
+    const u64 bits = get_u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  std::string get_str();
+  /// Restores into a vector whose size is fixed by the live geometry: the
+  /// stored element count must match v.size() exactly.
+  template <class T>
+  void get_pod_vec_exact(std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const u64 n = get_u64();
+    if (n != v.size()) {
+      fail("vector length " + std::to_string(n) + " does not match live size " +
+           std::to_string(v.size()));
+    }
+    get_bytes(v.data(), v.size() * sizeof(T));
+  }
+  /// Restores into a vector sized by the checkpoint (bounded sanity cap).
+  template <class T>
+  void get_pod_vec(std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const u64 n = get_u64();
+    if (n > remaining() / sizeof(T)) {
+      fail("vector length " + std::to_string(n) + " exceeds section payload");
+    }
+    v.resize(n);
+    get_bytes(v.data(), v.size() * sizeof(T));
+  }
+  void get_bool_vec(std::vector<bool>& v);
+
+  const std::string& label() const { return label_; }
+  /// Bytes left in the current section payload.
+  std::size_t remaining() const;
+  /// Reports a semantic validation failure with file/section/offset context.
+  [[noreturn]] void fail(const std::string& what) const;
+
+ private:
+  template <class T>
+  T get_pod() {
+    T v;
+    get_bytes(&v, sizeof v);
+    return v;
+  }
+
+  struct Section {
+    std::string name;
+    std::size_t begin = 0;  ///< absolute offset of the payload's first byte
+    std::size_t size = 0;
+  };
+
+  std::string bytes_;
+  std::string label_;
+  std::vector<Section> sections_;
+  std::size_t next_section_ = 0;
+  bool in_section_ = false;
+  std::size_t cursor_ = 0;  ///< absolute offset within the current payload
+  std::size_t end_ = 0;     ///< absolute end of the current payload
+};
+
+// ---------------------------------------------------------------------------
+// Durability helpers (also used by the sweep journal's opt-in fsync mode).
+
+/// Flushes stdio buffers and forces the kernel to push the file to stable
+/// storage. Returns false (with errno set) on failure.
+bool fsync_stream(std::FILE* f);
+
+/// Publishes `bytes` at `path` atomically: writes `path + ".tmp"`, fsyncs
+/// it, then rename(2)s over the destination, so a crash at any instant
+/// leaves either the old file or the new one — never a torn mix. Throws
+/// CheckpointError on any I/O failure.
+void write_file_atomic(const std::string& path, const std::string& bytes);
+
+/// Reads a whole file; throws CheckpointError (naming the path) on failure.
+std::string read_file(const std::string& path);
+
+}  // namespace h2::ckpt

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/assert.h"
+#include "common/ckpt_io.h"
 
 namespace h2 {
 
@@ -49,6 +50,17 @@ u64 Rng::next_gap(double mean, u64 min_value) {
   const double u = 1.0 - next_double();  // avoid log(0)
   const double e = -residual * std::log(u);
   return min_value + static_cast<u64>(e);
+}
+
+void Rng::save(ckpt::CkptWriter& w) const {
+  for (const u64 word : s_) w.put_u64(word);
+}
+
+void Rng::load(ckpt::CkptReader& r) {
+  for (u64& word : s_) word = r.get_u64();
+  if (s_[0] == 0 && s_[1] == 0 && s_[2] == 0 && s_[3] == 0) {
+    r.fail("all-zero xoshiro state is unreachable");
+  }
 }
 
 u64 Rng::next_zipf(u64 n, double s) {

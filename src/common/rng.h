@@ -8,6 +8,7 @@
 
 #include <array>
 
+#include "common/ckpt_fwd.h"
 #include "common/types.h"
 
 namespace h2 {
@@ -52,6 +53,11 @@ class Rng {
   /// Zipf-distributed rank in [0, n) with skew `s` (approximate, via
   /// rejection-inversion-lite; adequate for workload hot-set modelling).
   u64 next_zipf(u64 n, double s);
+
+  /// Checkpoint support: only the xoshiro state words travel — the Zipf
+  /// memo is a pure cache of (n, s) and refills bit-identically on demand.
+  void save(ckpt::CkptWriter& w) const;
+  void load(ckpt::CkptReader& r);
 
  private:
   std::array<u64, 4> s_{};

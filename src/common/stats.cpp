@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/assert.h"
+#include "common/ckpt_io.h"
 
 namespace h2 {
 
@@ -30,6 +31,20 @@ u64 Histogram::percentile(double p) const {
 void Histogram::reset() {
   for (auto& b : buckets_) b = 0;
   count_ = sum_ = max_ = 0;
+}
+
+void Histogram::save(ckpt::CkptWriter& w) const {
+  for (const u64 b : buckets_) w.put_u64(b);
+  w.put_u64(count_);
+  w.put_u64(sum_);
+  w.put_u64(max_);
+}
+
+void Histogram::load(ckpt::CkptReader& r) {
+  for (u64& b : buckets_) b = r.get_u64();
+  count_ = r.get_u64();
+  sum_ = r.get_u64();
+  max_ = r.get_u64();
 }
 
 Counter& StatGroup::counter(const std::string& key) { return counters_[key]; }

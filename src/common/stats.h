@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/ckpt_fwd.h"
 #include "common/types.h"
 
 namespace h2 {
@@ -39,6 +40,9 @@ class Histogram {
   u64 percentile(double p) const;
   u64 bucket(u32 i) const { return buckets_[i]; }
   void reset();
+
+  void save(ckpt::CkptWriter& w) const;
+  void load(ckpt::CkptReader& r);
 
  private:
   u64 buckets_[kBuckets] = {};

@@ -1,0 +1,62 @@
+#include "harness/checkpoint.h"
+
+#include "check/fault.h"
+#include "common/ckpt_io.h"
+#include "harness/journal.h"
+#include "harness/sim_system.h"
+
+namespace h2 {
+
+namespace {
+// The header rides in its own leading section so peek_checkpoint() can read
+// the identity without touching the (much larger) state sections.
+constexpr const char* kHeaderSection = "h2-checkpoint";
+}  // namespace
+
+void save_checkpoint(SimSystem& sys, const std::string& path) {
+  ckpt::CkptWriter w;
+  w.begin_section(kHeaderSection);
+  w.put_str(config_key(sys.config()));
+  w.put_u64(sys.total_epochs());
+  w.put_u64(sys.engine().now());
+  w.end_section();
+  sys.save(w);
+
+  std::string bytes = w.finish();
+  fault::perturb_checkpoint_bytes(bytes);
+  ckpt::write_file_atomic(path, bytes);
+}
+
+void load_checkpoint(SimSystem& sys, const std::string& path) {
+  ckpt::CkptReader r(ckpt::read_file(path), path);
+  r.enter_section(kHeaderSection);
+  const std::string stored_key = r.get_str();
+  const std::string live_key = config_key(sys.config());
+  if (stored_key != live_key) {
+    r.fail("config mismatch: checkpoint was written by config " + stored_key +
+           ", this run is " + live_key +
+           " — restoring across configs would silently produce wrong results");
+  }
+  r.get_u64();  // epoch: informational, re-derived from the lifecycle section
+  r.get_u64();  // cycle: restored with the engine state
+  r.leave_section();
+  sys.load(r);
+  r.finish();
+}
+
+std::optional<CheckpointInfo> peek_checkpoint(const std::string& path) {
+  try {
+    ckpt::CkptReader r(ckpt::read_file(path), path);
+    r.enter_section(kHeaderSection);
+    CheckpointInfo info;
+    info.config_key = r.get_str();
+    info.epoch = r.get_u64();
+    info.cycle = r.get_u64();
+    r.leave_section();
+    return info;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace h2

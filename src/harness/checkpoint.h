@@ -1,0 +1,55 @@
+// Epoch-boundary checkpoint/restore of a complete simulation.
+//
+// A checkpoint is a versioned, checksummed container (common/ckpt_io.h)
+// holding every stateful layer of a SimSystem — lifecycle cursors, the
+// engine's event heap, generator RNG streams, cores, caches, the remap
+// table + SRAM remap cache, policy adaptation state and both channel
+// backends — prefixed by a header naming the producing configuration via
+// config_key(). Snapshots are taken between engine events at epoch
+// boundaries, so the saved state is exactly the state an uninterrupted run
+// passes through: a killed run restored from its last checkpoint produces
+// byte-identical CSV and --timeline output (bench/ckpt_restore_compare.cmake
+// proves this for every design on both channel backends).
+//
+// Files are published atomically (tmp + fsync + rename): a crash mid-write
+// leaves the previous checkpoint intact, never a torn file. Restore refuses
+// — with a CheckpointError naming file, section and offset — anything
+// corrupt, truncated, version-skewed, or written by a different config.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/types.h"
+
+namespace h2 {
+
+class SimSystem;
+
+/// Cheap identity peek at a checkpoint file's header (used by the sweep
+/// watchdog capture to report "resumable from epoch K").
+struct CheckpointInfo {
+  std::string config_key;  ///< config_key() of the producing run
+  u64 epoch = 0;           ///< epoch boundaries completed at the snapshot
+  Cycle cycle = 0;         ///< engine cycle at the snapshot
+};
+
+/// Serializes the full state of `sys` (which must be paused between engine
+/// events — the checkpoint observer guarantees this) and publishes it
+/// atomically at `path`. The armed ckpt-corrupt / ckpt-truncate faults
+/// perturb the composed bytes just before publication, exercising the
+/// load-side rejection paths.
+void save_checkpoint(SimSystem& sys, const std::string& path);
+
+/// Restores `path` into a freshly build()-ed `sys` of the same
+/// configuration; follow with sys.resume(). Throws ckpt::CheckpointError on
+/// a bad magic/version/checksum, on truncation, and on a config_key header
+/// that does not match sys.config().
+void load_checkpoint(SimSystem& sys, const std::string& path);
+
+/// Reads just the identity header. Returns nullopt instead of throwing when
+/// the file is missing, torn or unreadable — callers use this to decide
+/// whether a failed run left anything worth resuming.
+std::optional<CheckpointInfo> peek_checkpoint(const std::string& path);
+
+}  // namespace h2

@@ -1,6 +1,7 @@
 #include "harness/experiment.h"
 
 #include "common/assert.h"
+#include "harness/checkpoint.h"
 #include "harness/sim_system.h"
 
 namespace h2 {
@@ -75,8 +76,15 @@ DesignSpec DesignSpec::hydrogen_setpart() {
 ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   SimSystem sys(cfg);
   sys.build();
-  sys.warmup(cfg.warmup_epochs);
-  sys.measure();
+  if (!cfg.restore_path.empty()) {
+    // Resume a checkpointed run: the snapshot replaces the warmup/measure
+    // prologue entirely and the run continues from the saved epoch boundary.
+    load_checkpoint(sys, cfg.restore_path);
+    sys.resume();
+  } else {
+    sys.warmup(cfg.warmup_epochs);
+    sys.measure();
+  }
   return sys.drain();
 }
 

@@ -104,6 +104,22 @@ struct ExperimentConfig {
   /// `<trace_dir>/<workload>.trace` (written by tools/h2trace) instead of
   /// running the synthetic generators — the artifact's T1 -> T2 pipeline.
   std::string trace_dir;
+
+  // --- checkpoint/restore (harness/checkpoint.h) -------------------------
+  // None of these fields participates in config_key(): a checkpointed run
+  // and an uninterrupted one are the same experiment (checkpoint writes are
+  // pure reads at a paused engine), and a restore must land in the same
+  // journal slot as the run it resumes.
+
+  /// If non-empty, write a full-state checkpoint here at every
+  /// checkpoint_every-th epoch boundary (atomic tmp + rename; the previous
+  /// file is only ever replaced by a complete new one).
+  std::string checkpoint_path;
+  u32 checkpoint_every = 1;
+  /// If non-empty, load simulator state from this checkpoint after build()
+  /// and continue — refusing mismatched config_key headers — instead of
+  /// starting from cycle 0.
+  std::string restore_path;
 };
 
 struct ExperimentResult {

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/assert.h"
+#include "common/ckpt_io.h"
 #include "harness/sweep.h"
 
 namespace h2 {
@@ -410,7 +411,11 @@ std::map<std::string, JournalEntry> load_journal(const std::string& path) {
   return out;
 }
 
-Journal::Journal(const std::string& path) : path_(path) {
+Journal::Journal(const std::string& path, bool fsync_each_record)
+    : path_(path), fsync_(fsync_each_record) {
+  if (const char* env = std::getenv("H2_JOURNAL_FSYNC")) {
+    if (env[0] != '\0' && std::strcmp(env, "0") != 0) fsync_ = true;
+  }
   f_ = std::fopen(path.c_str(), "ab");
   H2_ASSERT(f_ != nullptr, "cannot open sweep journal '%s' for append",
             path.c_str());
@@ -426,6 +431,10 @@ void Journal::append(const JournalEntry& e) {
   std::fwrite(line.data(), 1, line.size(), f_);
   std::fputc('\n', f_);
   std::fflush(f_);
+  if (fsync_) {
+    H2_ASSERT(ckpt::fsync_stream(f_),
+              "fsync of sweep journal '%s' failed", path_.c_str());
+  }
 }
 
 }  // namespace h2

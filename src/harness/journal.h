@@ -68,20 +68,27 @@ class Journal {
  public:
   /// Opens (creating if needed) `path` for append. H2_ASSERTs on I/O failure
   /// — an unwritable journal would silently disable crash-safety.
-  explicit Journal(const std::string& path);
+  /// `fsync_each_record` additionally fsyncs after every append, hardening
+  /// the journal against power loss (not just process death) at the cost of
+  /// one disk round-trip per record. The H2_JOURNAL_FSYNC environment
+  /// variable (any non-empty value except "0") forces it on.
+  explicit Journal(const std::string& path, bool fsync_each_record = false);
   ~Journal();
   Journal(const Journal&) = delete;
   Journal& operator=(const Journal&) = delete;
 
-  /// Thread-safe: serialises, appends one line, flushes.
+  /// Thread-safe: serialises, appends one line, flushes (and fsyncs when
+  /// durability was requested).
   void append(const JournalEntry& e);
 
   const std::string& path() const { return path_; }
+  bool fsync_enabled() const { return fsync_; }
 
  private:
   std::string path_;
   std::mutex mu_;
   std::FILE* f_ = nullptr;
+  bool fsync_ = false;
 };
 
 }  // namespace h2

@@ -10,6 +10,8 @@
 #include "check/epoch_schedule.h"
 #include "check/fault.h"
 #include "common/assert.h"
+#include "common/ckpt_io.h"
+#include "harness/checkpoint.h"
 #include "hydrogen/setpart_policy.h"
 #include "policies/baseline.h"
 #include "policies/hashcache.h"
@@ -64,6 +66,10 @@ class FaultSiteObserver final : public EpochObserver {
     if (fault::at(fault::Kind::Throw)) fault::throw_synthetic(false);
     if (fault::at(fault::Kind::ThrowTransient)) fault::throw_synthetic(true);
     if (fault::at(fault::Kind::Stall)) fault::stall();
+    // Hard kill, as from the OOM killer or a pulled plug: the process dies
+    // at this epoch boundary without unwinding — the scenario the
+    // checkpoint/restore seam exists for.
+    if (fault::at(fault::Kind::KillAtEpoch)) fault::kill_process();
   }
 };
 
@@ -105,6 +111,9 @@ class ScheduleObserver final : public EpochObserver {
     sys.hybrid().flush_stale_sets(fb.now);
   }
 
+  void save_state(ckpt::CkptWriter& w) const override { w.put_u64(idx_); }
+  void load_state(ckpt::CkptReader& r) override { idx_ = r.get_u64(); }
+
  private:
   EpochSchedule schedule_;
   u64 idx_ = 0;
@@ -133,13 +142,14 @@ class CheckAuditObserver final : public EpochObserver {
 /// file.
 class TimelineObserver final : public EpochObserver {
  public:
-  explicit TimelineObserver(const std::string& path) : out_(path) {
+  explicit TimelineObserver(const std::string& path) : path_(path), out_(path) {
     if (!out_.is_open()) {
       throw std::runtime_error("cannot open timeline CSV '" + path + "'");
     }
-    out_ << "epoch,phase,cycle,cpu_instructions,gpu_instructions,weighted_ipc,"
-            "cpu_misses,gpu_misses,gpu_migrations,slow_backlog,"
-            "reconfigurations,cap,bw,tok\n";
+    emit(
+        "epoch,phase,cycle,cpu_instructions,gpu_instructions,weighted_ipc,"
+        "cpu_misses,gpu_misses,gpu_migrations,slow_backlog,"
+        "reconfigurations,cap,bw,tok\n");
   }
 
   const char* name() const override { return "timeline"; }
@@ -154,15 +164,25 @@ class TimelineObserver final : public EpochObserver {
       bw = p.bw;
       tok = p.tok;
     }
-    char ipc[32];
-    std::snprintf(ipc, sizeof(ipc), "%.6f", fb.weighted_ipc);
-    out_ << sys.total_epochs() << ','
-         << (sys.phase() == SimSystem::Phase::Warmup ? "warmup" : "measure")
-         << ',' << fb.now << ',' << fb.cpu_instructions << ','
-         << fb.gpu_instructions << ',' << ipc << ',' << fb.cpu_misses << ','
-         << fb.gpu_misses << ',' << fb.gpu_migrations << ',' << fb.slow_backlog
-         << ',' << reconfigurations << ',' << cap << ',' << bw << ',' << tok
-         << '\n';
+    char row[320];
+    std::snprintf(row, sizeof(row),
+                  "%llu,%s,%llu,%llu,%llu,%.6f,%llu,%llu,%llu,%llu,%llu,%llu,"
+                  "%llu,%llu\n",
+                  static_cast<unsigned long long>(sys.total_epochs()),
+                  sys.phase() == SimSystem::Phase::Warmup ? "warmup" : "measure",
+                  static_cast<unsigned long long>(fb.now),
+                  static_cast<unsigned long long>(fb.cpu_instructions),
+                  static_cast<unsigned long long>(fb.gpu_instructions),
+                  fb.weighted_ipc,
+                  static_cast<unsigned long long>(fb.cpu_misses),
+                  static_cast<unsigned long long>(fb.gpu_misses),
+                  static_cast<unsigned long long>(fb.gpu_migrations),
+                  static_cast<unsigned long long>(fb.slow_backlog),
+                  static_cast<unsigned long long>(reconfigurations),
+                  static_cast<unsigned long long>(cap),
+                  static_cast<unsigned long long>(bw),
+                  static_cast<unsigned long long>(tok));
+    emit(row);
   }
 
   void on_drain(SimSystem& sys, Cycle end) override {
@@ -171,8 +191,48 @@ class TimelineObserver final : public EpochObserver {
     out_.flush();
   }
 
+  // The byte history rides in the checkpoint so a restored run rewrites the
+  // timeline file from scratch — byte-identical to an uninterrupted run even
+  // though the killed process lost whatever it had already flushed.
+  void save_state(ckpt::CkptWriter& w) const override { w.put_str(history_); }
+  void load_state(ckpt::CkptReader& r) override {
+    history_ = r.get_str();
+    out_.close();
+    out_.open(path_, std::ios::trunc);
+    if (!out_.is_open()) {
+      throw std::runtime_error("cannot reopen timeline CSV '" + path_ + "'");
+    }
+    out_ << history_;
+  }
+
  private:
+  void emit(const char* text) {
+    history_ += text;
+    out_ << text;
+  }
+
+  std::string path_;
+  std::string history_;
   std::ofstream out_;
+};
+
+/// Requests an engine pause at every `every`-th epoch boundary; the phase
+/// run loop then snapshots the paused system to cfg.checkpoint_path and
+/// continues. Stateless: the cadence is derived from the (serialized) epoch
+/// counter, so a restored run checkpoints on the same boundaries.
+class CheckpointObserver final : public EpochObserver {
+ public:
+  explicit CheckpointObserver(u32 every) : every_(every == 0 ? 1 : every) {}
+
+  const char* name() const override { return "checkpoint"; }
+
+  void on_epoch(SimSystem& sys, const EpochFeedback& fb) override {
+    (void)fb;
+    if (sys.total_epochs() % every_ == 0) sys.request_checkpoint();
+  }
+
+ private:
+  u32 every_;
 };
 
 }  // namespace
@@ -342,6 +402,11 @@ void SimSystem::build() {
   if (!cfg_.timeline_path.empty()) {
     observers_.push_back(std::make_unique<TimelineObserver>(cfg_.timeline_path));
   }
+  // Last, so a snapshot taken at its request has seen every other observer's
+  // boundary side effects for that epoch.
+  if (!cfg_.checkpoint_path.empty()) {
+    observers_.push_back(std::make_unique<CheckpointObserver>(cfg_.checkpoint_every));
+  }
 
   phase_ = Phase::Built;
 }
@@ -423,13 +488,46 @@ void SimSystem::reset_measurement() {
   all_cores_finished_ = false;
 }
 
+bool SimSystem::phase_done() const {
+  if (phase_ == Phase::Warmup) return epochs_this_phase_ >= warmup_target_;
+  return all_cores_finished_;
+}
+
+void SimSystem::run_phase() {
+  // The engine pauses for two distinct reasons: the phase terminated at an
+  // epoch boundary, or the checkpoint observer asked for a snapshot. Handle
+  // snapshots and keep running; with no checkpointing configured this
+  // degenerates to a single engine_.run() call, bit-identical to the
+  // historical phase loop. The checkpoint is taken *before* the termination
+  // test so a snapshot requested at the final boundary still lands on disk
+  // (and a restore from it resumes straight into drain()).
+  for (;;) {
+    if (phase_done()) {
+      end_cycle_ = engine_.now();
+      return;
+    }
+    const Cycle end = engine_.run(cfg_.max_cycles);
+    if (ckpt_requested_) {
+      ckpt_requested_ = false;
+      do_checkpoint();
+    } else if (!phase_done()) {
+      // Horizon reached or event heap empty: the phase ends without its
+      // boundary condition (max_cycles cap, or a workload that ran dry).
+      end_cycle_ = end;
+      return;
+    }
+  }
+}
+
+void SimSystem::do_checkpoint() { save_checkpoint(*this, cfg_.checkpoint_path); }
+
 void SimSystem::warmup(u32 epochs) {
   H2_ASSERT(phase_ == Phase::Built, "warmup() must directly follow build()");
   if (epochs > 0) {
     phase_ = Phase::Warmup;
     warmup_target_ = epochs;
     epochs_this_phase_ = 0;
-    engine_.run(cfg_.max_cycles);
+    run_phase();
     reset_measurement();
   }
   phase_ = Phase::Measure;
@@ -441,7 +539,131 @@ void SimSystem::measure() {
   H2_ASSERT(phase_ == Phase::Measure && !measured_,
             "measure() must follow warmup() — call warmup(0) for a cold start");
   measured_ = true;
-  end_cycle_ = engine_.run(cfg_.max_cycles);
+  run_phase();
+}
+
+void SimSystem::resume() {
+  H2_ASSERT(phase_ == Phase::Warmup || phase_ == Phase::Measure,
+            "resume() requires a load()ed checkpoint (phase warmup or measure)");
+  if (phase_ == Phase::Warmup) {
+    run_phase();
+    reset_measurement();
+    phase_ = Phase::Measure;
+    epochs_this_phase_ = 0;
+    measure_start_ = engine_.now();
+  }
+  measured_ = true;
+  run_phase();
+}
+
+void SimSystem::save(ckpt::CkptWriter& w) const {
+  w.begin_section("lifecycle");
+  w.put_u8(static_cast<u8>(phase_));
+  w.put_u64(prev_cpu_instr_);
+  w.put_u64(prev_gpu_instr_);
+  w.put_u64(prev_cpu_miss_);
+  w.put_u64(prev_gpu_miss_);
+  w.put_u64(prev_gpu_migr_);
+  w.put_bool(all_cores_finished_);
+  w.put_u32(warmup_target_);
+  w.put_u64(epochs_this_phase_);
+  w.put_u64(total_epochs_);
+  w.put_u64(measure_start_);
+  w.put_u64(end_cycle_);
+  w.end_section();
+
+  w.begin_section("engine");
+  engine_.save(w);
+  w.end_section();
+
+  w.begin_section("generators");
+  for (const auto& g : gens_) {
+    if (g) g->save_state(w);  // solo runs skip the idle side, both ways
+  }
+  w.end_section();
+
+  w.begin_section("cores");
+  for (const auto& c : cores_) c->save(w);
+  w.end_section();
+
+  w.begin_section("cache-hierarchy");
+  hierarchy_->save(w);
+  w.end_section();
+
+  w.begin_section("memory-system");
+  mem_->save(w);
+  w.end_section();
+
+  w.begin_section("hybrid-memory");
+  hm_->save(w);
+  w.end_section();
+
+  w.begin_section("policy");
+  policy_->save_state(w);
+  w.end_section();
+
+  w.begin_section("observers");
+  for (const auto& obs : observers_) obs->save_state(w);
+  w.end_section();
+}
+
+void SimSystem::load(ckpt::CkptReader& r) {
+  H2_ASSERT(phase_ == Phase::Built, "load() requires a freshly built system");
+
+  r.enter_section("lifecycle");
+  const u8 phase_tag = r.get_u8();
+  if (phase_tag != static_cast<u8>(Phase::Warmup) &&
+      phase_tag != static_cast<u8>(Phase::Measure)) {
+    r.fail("checkpoint phase tag " + std::to_string(phase_tag) +
+           " is not an epoch-boundary phase (warmup/measure)");
+  }
+  phase_ = static_cast<Phase>(phase_tag);
+  prev_cpu_instr_ = r.get_u64();
+  prev_gpu_instr_ = r.get_u64();
+  prev_cpu_miss_ = r.get_u64();
+  prev_gpu_miss_ = r.get_u64();
+  prev_gpu_migr_ = r.get_u64();
+  all_cores_finished_ = r.get_bool();
+  warmup_target_ = r.get_u32();
+  epochs_this_phase_ = r.get_u64();
+  total_epochs_ = r.get_u64();
+  measure_start_ = r.get_u64();
+  end_cycle_ = r.get_u64();
+  r.leave_section();
+
+  r.enter_section("engine");
+  engine_.load(r);
+  r.leave_section();
+
+  r.enter_section("generators");
+  for (auto& g : gens_) {
+    if (g) g->load_state(r);
+  }
+  r.leave_section();
+
+  r.enter_section("cores");
+  for (auto& c : cores_) c->load(r);
+  r.leave_section();
+
+  r.enter_section("cache-hierarchy");
+  hierarchy_->load(r);
+  r.leave_section();
+
+  r.enter_section("memory-system");
+  mem_->load(r);
+  r.leave_section();
+
+  r.enter_section("hybrid-memory");
+  hm_->load(r);
+  r.leave_section();
+
+  r.enter_section("policy");
+  policy_->restore_state(r);
+  r.leave_section();
+
+  r.enter_section("observers");
+  for (auto& obs : observers_) obs->load_state(r);
+  r.leave_section();
 }
 
 ExperimentResult SimSystem::drain() {

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "cache/hierarchy.h"
+#include "common/ckpt_fwd.h"
 #include "harness/experiment.h"
 #include "hybridmem/hybrid_memory.h"
 #include "mem/memory_system.h"
@@ -66,6 +67,12 @@ class EpochObserver {
     (void)sys;
     (void)end;
   }
+  /// Checkpoint hooks: observers with run state of their own (the schedule
+  /// cursor, the timeline history) serialize it here; stateless observers
+  /// inherit the no-ops. Called in registration order, which build() makes
+  /// deterministic for a given config.
+  virtual void save_state(ckpt::CkptWriter& w) const { (void)w; }
+  virtual void load_state(ckpt::CkptReader& r) { (void)r; }
 };
 
 class SimSystem final : public MemoryPort {
@@ -102,6 +109,29 @@ class SimSystem final : public MemoryPort {
   /// energies in the result are measurement-window-relative.
   ExperimentResult drain();
 
+  // --- checkpoint/restore (harness/checkpoint.h drives these) ------------
+
+  /// Serializes the complete run state — lifecycle cursors, engine event
+  /// heap, generators, cores, caches, hybrid memory, channels, policy and
+  /// stateful observers — as named sections of `w`. Pure reads at a paused
+  /// engine: a run that checkpoints is bit-identical to one that doesn't.
+  void save(ckpt::CkptWriter& w) const;
+  /// Restores state saved by save() into a freshly build()-ed system of the
+  /// same configuration. Follow with resume().
+  void load(ckpt::CkptReader& r);
+  /// Continues an interrupted run after load(): finishes the phase the
+  /// checkpoint paused (warmup included, with the measurement window opening
+  /// exactly as in an uninterrupted run), leaving the system ready to
+  /// drain(). Replaces the warmup()+measure() calls of a cold start.
+  void resume();
+  /// Called by the checkpoint observer at a qualifying epoch boundary:
+  /// pauses the engine between events so the run loop can take a snapshot,
+  /// then continue.
+  void request_checkpoint() {
+    ckpt_requested_ = true;
+    engine_.stop();
+  }
+
   /// The cross-layer stats reset behind the warmup -> measure transition;
   /// public so tests can assert exactly what it clears and what survives.
   void reset_measurement();
@@ -130,6 +160,13 @@ class SimSystem final : public MemoryPort {
 
  private:
   void on_epoch_boundary(Cycle now);
+  /// Runs the engine until the current phase terminates, pausing to write a
+  /// checkpoint whenever the checkpoint observer requests one.
+  void run_phase();
+  /// Whether the current phase's termination condition (sampled at the last
+  /// epoch boundary) already holds.
+  bool phase_done() const;
+  void do_checkpoint();
 
   ExperimentConfig cfg_;
   DesignSpec design_;
@@ -157,6 +194,7 @@ class SimSystem final : public MemoryPort {
   u64 total_epochs_ = 0;
   Cycle measure_start_ = 0;
   Cycle end_cycle_ = 0;
+  bool ckpt_requested_ = false;
 };
 
 }  // namespace h2

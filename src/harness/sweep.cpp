@@ -14,6 +14,7 @@
 #include "common/assert.h"
 #include "common/cancel.h"
 #include "common/rng.h"
+#include "harness/checkpoint.h"
 #include "harness/journal.h"
 #include "harness/report.h"
 
@@ -112,6 +113,17 @@ std::vector<SweepRun> run_sweep(const std::vector<ExperimentConfig>& configs,
     runs[i].combo = cfg.combo;
     runs[i].design = cfg.design.label;
     runs[i].seed = cfg.seed;
+    if (!opts.checkpoint_dir.empty()) {
+      // Keyed like the journal (post seed derivation): the file can only ever
+      // be restored into the exact config that wrote it, and load_checkpoint
+      // double-checks the key stored in the header anyway.
+      cfg.checkpoint_path =
+          opts.checkpoint_dir + "/" + config_key(cfg) + ".ckpt";
+      cfg.checkpoint_every = opts.checkpoint_every;
+      if (opts.restore_checkpoints && peek_checkpoint(cfg.checkpoint_path)) {
+        cfg.restore_path = cfg.checkpoint_path;
+      }
+    }
   }
 
   // Resolve and pre-validate the fault spec so a typo aborts the sweep up
@@ -149,7 +161,9 @@ std::vector<SweepRun> run_sweep(const std::vector<ExperimentConfig>& configs,
     }
   }
   std::unique_ptr<Journal> journal;
-  if (!opts.journal_path.empty()) journal = std::make_unique<Journal>(opts.journal_path);
+  if (!opts.journal_path.empty()) {
+    journal = std::make_unique<Journal>(opts.journal_path, opts.journal_fsync);
+  }
 
   const size_t pool =
       std::min<size_t>(resolve_jobs(opts.jobs), std::max<size_t>(prepared.size(), 1));
@@ -237,6 +251,15 @@ std::vector<SweepRun> run_sweep(const std::vector<ExperimentConfig>& configs,
       slot.wall_seconds =
           std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
               .count();
+      if (!slot.ok && !prepared[i].checkpoint_path.empty()) {
+        // Tell h2report "resumable from epoch K" apart from "lost everything".
+        if (const auto info = peek_checkpoint(prepared[i].checkpoint_path)) {
+          slot.error += "; last checkpoint: " + prepared[i].checkpoint_path +
+                        " (epoch " + std::to_string(info->epoch) + ")";
+        } else {
+          slot.error += "; no checkpoint recovered";
+        }
+      }
       if (journal) journal->append(make_entry(slot, keys[i]));
       const size_t done_count = completed.fetch_add(1, std::memory_order_relaxed) + 1;
       if (opts.verbose) {

@@ -63,6 +63,20 @@ struct SweepOptions {
   /// Restore status=ok journal entries instead of re-running them (requires
   /// journal_path). Failed/timed-out entries are re-run.
   bool resume = false;
+  /// fsync the journal after every appended record (harness/journal.h). Off,
+  /// records survive a process crash but not a power loss.
+  bool journal_fsync = false;
+
+  /// Directory for per-run epoch-boundary checkpoints ("" = none). Each slot
+  /// writes <dir>/<config_key>.ckpt, keyed exactly like its journal entry,
+  /// so a checkpoint can never feed a slot with a different effective config.
+  std::string checkpoint_dir;
+  /// Snapshot every Nth epoch boundary (harness/checkpoint.h).
+  u32 checkpoint_every = 1;
+  /// Restore slots whose checkpoint file exists (with a readable header)
+  /// instead of starting them from scratch. Unlike journal --resume, which
+  /// skips *finished* runs, this resumes *interrupted* ones mid-flight.
+  bool restore_checkpoints = false;
 };
 
 /// Terminal classification of one sweep slot.

@@ -8,6 +8,7 @@
 #include "check/check.h"
 #include "check/fault.h"
 #include "common/assert.h"
+#include "common/ckpt_io.h"
 
 namespace h2 {
 
@@ -585,6 +586,90 @@ void HybridMemory::run_instant_reconfig() {
       rw.channel = static_cast<u8>(policy_->channel_of_way(set, w));
     }
   }
+}
+
+void RemapTable::save(ckpt::CkptWriter& w) const {
+  w.put_pod_vec(tag_);
+  w.put_pod_vec(lru_);
+  w.put_pod_vec(present_);
+  w.put_pod_vec(hits_);
+  w.put_pod_vec(channel_);
+  w.put_pod_vec(valid_);
+  w.put_pod_vec(dirty_);
+  w.put_pod_vec(owner_cpu_);
+  w.put_u64(stamp_);
+}
+
+void RemapTable::load(ckpt::CkptReader& r) {
+  r.get_pod_vec_exact(tag_);
+  r.get_pod_vec_exact(lru_);
+  r.get_pod_vec_exact(present_);
+  r.get_pod_vec_exact(hits_);
+  r.get_pod_vec_exact(channel_);
+  r.get_pod_vec_exact(valid_);
+  r.get_pod_vec_exact(dirty_);
+  r.get_pod_vec_exact(owner_cpu_);
+  stamp_ = r.get_u64();
+  const size_t n = static_cast<size_t>(num_sets_) * assoc_;
+  for (size_t i = 0; i < n; ++i) {
+    if (valid_[i] > 1 || dirty_[i] > 1 || owner_cpu_[i] > 1)
+      r.fail("remap table boolean column holds a non-0/1 value");
+    if (lru_[i] > stamp_) r.fail("remap table lru stamp exceeds the global stamp");
+  }
+}
+
+namespace {
+void save_stats(ckpt::CkptWriter& w, const HybridStats& s) {
+  w.put_u64(s.demand);
+  w.put_u64(s.fast_hits);
+  w.put_u64(s.chain_hits);
+  w.put_u64(s.misses);
+  w.put_u64(s.migrations);
+  w.put_u64(s.bypasses);
+  w.put_u64(s.first_touches);
+  w.put_u64(s.dirty_writebacks);
+  w.put_u64(s.fast_swaps);
+  w.put_u64(s.lazy_invalidations);
+  w.put_u64(s.lazy_moves);
+  w.put_u64(s.flush_invalidations);
+  w.put_u64(s.llc_writebacks);
+  w.put_u64(s.meta_misses);
+  w.put_u64(s.meta_wait_cycles);
+  w.put_u64(s.subfills);
+}
+
+void load_stats(ckpt::CkptReader& r, HybridStats& s) {
+  s.demand = r.get_u64();
+  s.fast_hits = r.get_u64();
+  s.chain_hits = r.get_u64();
+  s.misses = r.get_u64();
+  s.migrations = r.get_u64();
+  s.bypasses = r.get_u64();
+  s.first_touches = r.get_u64();
+  s.dirty_writebacks = r.get_u64();
+  s.fast_swaps = r.get_u64();
+  s.lazy_invalidations = r.get_u64();
+  s.lazy_moves = r.get_u64();
+  s.flush_invalidations = r.get_u64();
+  s.llc_writebacks = r.get_u64();
+  s.meta_misses = r.get_u64();
+  s.meta_wait_cycles = r.get_u64();
+  s.subfills = r.get_u64();
+}
+}  // namespace
+
+void HybridMemory::save(ckpt::CkptWriter& w) const {
+  table_.save(w);
+  remap_cache_.save(w);
+  save_stats(w, stats_[0]);
+  save_stats(w, stats_[1]);
+}
+
+void HybridMemory::load(ckpt::CkptReader& r) {
+  table_.load(r);
+  remap_cache_.load(r);
+  load_stats(r, stats_[0]);
+  load_stats(r, stats_[1]);
 }
 
 }  // namespace h2

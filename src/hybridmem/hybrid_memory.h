@@ -151,6 +151,11 @@ class HybridMemory {
   /// walk of the virtual policy interface.
   i32 pick_victim(u32 set, Requestor cls) const;
 
+  /// Checkpoint support: remap table, remap cache and both stat blocks.
+  /// The attached policy serializes separately (the harness owns it).
+  void save(ckpt::CkptWriter& w) const;
+  void load(ckpt::CkptReader& r);
+
  private:
   struct Lookup {
     Cycle ready;   ///< when metadata resolution completed

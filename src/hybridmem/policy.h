@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/assert.h"
+#include "common/ckpt_fwd.h"
 #include "common/types.h"
 #include "hybridmem/remap_table.h"
 
@@ -118,6 +119,19 @@ class PartitionPolicy {
   /// inherit the no-op. Part of the SimSystem warmup -> measure transition.
   virtual void reset_measurement() {}
 
+  /// Checkpoint support. save_state writes the policy's adaptive state
+  /// (active partition, token-bucket fill, climber cursor, smoothed
+  /// signals); stateless policies inherit the no-op. restore_state wraps
+  /// load_state and then invalidates the flat-mapping cache — flat_rows_ /
+  /// flat_channel_ / map_gen_ are lazily refreshed pure caches of the
+  /// virtual mapping functions, so they rebuild bit-identically on demand
+  /// and are never serialized.
+  virtual void save_state(ckpt::CkptWriter& w) const { (void)w; }
+  void restore_state(ckpt::CkptReader& r) {
+    load_state(r);
+    invalidate_mapping();
+  }
+
   u32 num_channels() const { return num_channels_; }
   u32 assoc() const { return assoc_; }
   u32 num_sets() const { return num_sets_; }
@@ -158,6 +172,8 @@ class PartitionPolicy {
   void invalidate_mapping() { map_gen_++; }
 
  protected:
+  virtual void load_state(ckpt::CkptReader& r) { (void)r; }
+
   struct FlatRow {
     u32 gen = 0;  ///< generation this row was refreshed at (0 = never)
     u32 owner_cpu_mask = 0;

@@ -31,6 +31,10 @@ class RemapCache {
   double hit_rate() const { return cache_.hit_rate(); }
   void reset_stats() { cache_.reset_stats(); }
 
+  /// Checkpoint support: the SRAM array is the only state.
+  void save(ckpt::CkptWriter& w) const { cache_.save(w); }
+  void load(ckpt::CkptReader& r) { cache_.load(r); }
+
  private:
   Addr set_addr(u32 set) const { return static_cast<Addr>(set) * bytes_per_set_; }
 

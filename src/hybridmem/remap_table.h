@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/assert.h"
+#include "common/ckpt_fwd.h"
 #include "common/types.h"
 
 namespace h2 {
@@ -134,6 +135,11 @@ class RemapTable {
     // the alloc bit is Hydrogen-specific.
     return 1.0 / (8.0 * static_cast<double>(block_bytes));
   }
+
+  /// Checkpoint support: all eight SoA columns plus the LRU stamp
+  /// (geometry is rebuilt from config; sizes are cross-checked on load).
+  void save(ckpt::CkptWriter& w) const;
+  void load(ckpt::CkptReader& r);
 
  private:
   size_t index(u32 set, u32 w) const {

@@ -1,6 +1,7 @@
 #include "hydrogen/hill_climb.h"
 
 #include "common/assert.h"
+#include "common/ckpt_io.h"
 
 namespace h2 {
 
@@ -103,6 +104,47 @@ ParamPoint HillClimber::observe(double objective) {
   }
   current_ = propose_next();
   return current_;
+}
+
+namespace {
+void save_point(ckpt::CkptWriter& w, const ParamPoint& p) {
+  w.put_u32(p.cap);
+  w.put_u32(p.bw);
+  w.put_u32(p.tok);
+}
+ParamPoint load_point(ckpt::CkptReader& r) {
+  ParamPoint p;
+  p.cap = r.get_u32();
+  p.bw = r.get_u32();
+  p.tok = r.get_u32();
+  return p;
+}
+}  // namespace
+
+void HillClimber::save(ckpt::CkptWriter& w) const {
+  save_point(w, best_);
+  save_point(w, current_);
+  w.put_f64(best_score_);
+  w.put_bool(have_baseline_);
+  w.put_bool(converged_);
+  w.put_u32(dim_);
+  w.put_i32(dir_);
+  w.put_u32(failures_);
+  w.put_u32(steps_);
+}
+
+void HillClimber::load(ckpt::CkptReader& r) {
+  best_ = load_point(r);
+  current_ = load_point(r);
+  best_score_ = r.get_f64();
+  have_baseline_ = r.get_bool();
+  converged_ = r.get_bool();
+  dim_ = r.get_u32();
+  dir_ = r.get_i32();
+  failures_ = r.get_u32();
+  steps_ = r.get_u32();
+  if (dim_ >= kDims) r.fail("hill-climb search dimension out of range");
+  if (dir_ != 1 && dir_ != -1) r.fail("hill-climb step direction must be +/-1");
 }
 
 void HillClimber::restart() {

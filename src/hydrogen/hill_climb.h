@@ -8,6 +8,7 @@
 // program behaviour changes.
 #pragma once
 
+#include "common/ckpt_fwd.h"
 #include "common/types.h"
 
 namespace h2 {
@@ -44,6 +45,11 @@ class HillClimber {
 
   /// Begins a new exploration phase from the incumbent best point.
   void restart();
+
+  /// Checkpoint support: the search cursor and incumbent (ranges and eps are
+  /// configuration, rebuilt by the constructor).
+  void save(ckpt::CkptWriter& w) const;
+  void load(ckpt::CkptReader& r);
 
  private:
   /// Advances (dim_, dir_) to the next untried neighbour and returns it;

@@ -6,6 +6,7 @@
 
 #include "check/check.h"
 #include "common/assert.h"
+#include "common/ckpt_io.h"
 
 namespace h2 {
 
@@ -148,6 +149,59 @@ bool HydrogenPolicy::apply_point(const ParamPoint& p) {
     }
   }
   return changed;
+}
+
+void HydrogenPolicy::save_state(ckpt::CkptWriter& w) const {
+  // The partition's rings/memos are deterministic functions of (cap, bw);
+  // set_config() on load rebuilds them bit-identically.
+  w.put_u32(partition_.cap());
+  w.put_u32(partition_.bw());
+  tokens_.save(w);
+  w.put_u32(static_cast<u32>(channel_tokens_.size()));
+  for (const TokenBucket& tb : channel_tokens_) tb.save(w);
+  w.put_bool(climber_ != nullptr);
+  if (climber_) climber_->save(w);
+  rng_.save(w);
+  w.put_u32(active_.cap);
+  w.put_u32(active_.bw);
+  w.put_u32(active_.tok);
+  w.put_f64(gpu_miss_rate_);
+  w.put_u64(next_phase_);
+  w.put_bool(settling_);
+  w.put_u64(reconfigurations_);
+  w.put_u64(last_epoch_now_);
+}
+
+void HydrogenPolicy::load_state(ckpt::CkptReader& r) {
+  const u32 cap = r.get_u32();
+  const u32 bw = r.get_u32();
+  if (cap < partition_.cap_min() || cap > partition_.cap_max() ||
+      bw < partition_.bw_min() || bw > partition_.bw_max())
+    r.fail("hydrogen partition (cap, bw) outside the geometry's legal ranges");
+  partition_.set_config(cap, bw);
+  tokens_.load(r);
+  const u32 n_channel_buckets = r.get_u32();
+  if (n_channel_buckets > 4096) r.fail("implausible per-channel token bucket count");
+  channel_tokens_.clear();
+  for (u32 i = 0; i < n_channel_buckets; ++i) {
+    channel_tokens_.emplace_back(0, cfg_.faucet_period);
+    channel_tokens_.back().load(r);
+  }
+  const bool have_climber = r.get_bool();
+  if (have_climber != (climber_ != nullptr))
+    r.fail("checkpoint and configuration disagree on the search climber");
+  if (climber_) climber_->load(r);
+  rng_.load(r);
+  active_.cap = r.get_u32();
+  active_.bw = r.get_u32();
+  active_.tok = r.get_u32();
+  if (active_.tok >= cfg_.tok_levels.size())
+    r.fail("hydrogen active token level out of range");
+  gpu_miss_rate_ = r.get_f64();
+  next_phase_ = r.get_u64();
+  settling_ = r.get_bool();
+  reconfigurations_ = r.get_u64();
+  last_epoch_now_ = r.get_u64();
 }
 
 bool HydrogenPolicy::on_epoch(const EpochFeedback& fb) {

@@ -90,6 +90,11 @@ class HydrogenPolicy final : public PartitionPolicy {
   /// bench of Fig. 8 and by tests). Returns true if anything changed.
   bool apply_point(const ParamPoint& p);
 
+  void save_state(ckpt::CkptWriter& w) const override;
+
+ protected:
+  void load_state(ckpt::CkptReader& r) override;
+
  private:
   u64 token_budget_for(double frac) const;
 

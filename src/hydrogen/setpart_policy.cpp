@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/assert.h"
+#include "common/ckpt_io.h"
 #include "common/rng.h"
 #include "hydrogen/consistent_hash.h"
 
@@ -107,6 +108,24 @@ bool SetPartPolicy::on_epoch(const EpochFeedback& fb) {
   const double per_period = gpu_miss_rate_ * static_cast<double>(cfg_.faucet_period);
   tokens_.set_budget(std::max<u64>(1, static_cast<u64>(cfg_.tok_frac * per_period)));
   return false;
+}
+
+void SetPartPolicy::save_state(ckpt::CkptWriter& w) const {
+  // The side lists are a deterministic function of (threshold, geometry);
+  // rebuild_side_lists() on load reproduces them bit-identically.
+  w.put_f64(cfg_.cpu_set_frac);
+  w.put_u32(threshold_);
+  tokens_.save(w);
+  w.put_f64(gpu_miss_rate_);
+}
+
+void SetPartPolicy::load_state(ckpt::CkptReader& r) {
+  cfg_.cpu_set_frac = r.get_f64();
+  threshold_ = r.get_u32();
+  if (threshold_ > kHashSpace) r.fail("set-partition threshold beyond the hash space");
+  tokens_.load(r);
+  gpu_miss_rate_ = r.get_f64();
+  rebuild_side_lists();
 }
 
 }  // namespace h2

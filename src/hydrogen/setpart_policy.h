@@ -56,6 +56,11 @@ class SetPartPolicy final : public PartitionPolicy {
   /// it relative to this value).
   double cpu_set_frac() const { return cfg_.cpu_set_frac; }
 
+  void save_state(ckpt::CkptWriter& w) const override;
+
+ protected:
+  void load_state(ckpt::CkptReader& r) override;
+
  private:
   bool channel_dedicated(u32 ch) const;
   void rebuild_side_lists();

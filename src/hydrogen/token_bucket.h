@@ -11,6 +11,7 @@
 #pragma once
 
 #include "check/check.h"
+#include "common/ckpt_io.h"
 #include "common/types.h"
 
 namespace h2 {
@@ -66,6 +67,31 @@ class TokenBucket {
   u64 consumed() const { return consumed_; }
   u64 suppressed() const { return suppressed_; }
   u64 refills() const { return refills_; }
+
+  /// Checkpoint support: the full faucet state (budget included — it may
+  /// have been retuned since construction).
+  void save(ckpt::CkptWriter& w) const {
+    w.put_u64(budget_);
+    w.put_u64(period_);
+    w.put_u64(tokens_);
+    w.put_u64(burst_);
+    w.put_u64(next_refill_);
+    w.put_u64(consumed_);
+    w.put_u64(suppressed_);
+    w.put_u64(refills_);
+  }
+  void load(ckpt::CkptReader& r) {
+    budget_ = r.get_u64();
+    period_ = r.get_u64();
+    tokens_ = r.get_u64();
+    burst_ = r.get_u64();
+    next_refill_ = r.get_u64();
+    consumed_ = r.get_u64();
+    suppressed_ = r.get_u64();
+    refills_ = r.get_u64();
+    if (period_ == 0) r.fail("token bucket period must be > 0");
+    if (tokens_ > burst_) r.fail("token bucket tokens exceed the burst bound");
+  }
 
  private:
   u64 budget_;

@@ -7,6 +7,7 @@
 #include "check/check.h"
 #include "check/fault.h"
 #include "common/assert.h"
+#include "common/ckpt_io.h"
 #include "mem/ddr_backend.h"
 
 namespace h2 {
@@ -231,6 +232,30 @@ ChannelBackend::Outcome FastBackend::drain(Cycle now) {
   return o;
 }
 
+void FastBackend::save(ckpt::CkptWriter& w) const {
+  w.put_bool(priority_enabled_);
+  w.put_pod_vec(banks_);
+  w.put_u64(read_busy_until_);
+  w.put_u64(write_busy_until_);
+  w.put_u64(next_refresh_);
+  w.put_u64(refresh_windows_);
+  w.put_u64(activations_);
+  w.put_u64(precharges_);
+  w.put_u32(open_banks_);
+}
+
+void FastBackend::load(ckpt::CkptReader& r) {
+  priority_enabled_ = r.get_bool();
+  r.get_pod_vec_exact(banks_);
+  read_busy_until_ = r.get_u64();
+  write_busy_until_ = r.get_u64();
+  next_refresh_ = r.get_u64();
+  refresh_windows_ = r.get_u64();
+  activations_ = r.get_u64();
+  precharges_ = r.get_u64();
+  open_banks_ = r.get_u32();
+}
+
 // --- Channel facade ------------------------------------------------------
 
 Channel::Channel(const DramTiming& timing, double core_ghz, u32 id,
@@ -309,6 +334,34 @@ void Channel::reset_stats() {
   row_hits_ = row_misses_ = requests_ = refreshes_ = 0;
   reset_credit_ = backend_->pending();
   dynamic_energy_pj_ = 0.0;
+}
+
+void Channel::save(ckpt::CkptWriter& w) const {
+  w.put_u8(static_cast<u8>(current_requestor_));
+  w.put_u64(class_bytes_[0]);
+  w.put_u64(class_bytes_[1]);
+  w.put_u64(row_hits_);
+  w.put_u64(row_misses_);
+  w.put_u64(requests_);
+  w.put_u64(refreshes_);
+  w.put_u64(reset_credit_);
+  w.put_f64(dynamic_energy_pj_);
+  backend_->save(w);
+}
+
+void Channel::load(ckpt::CkptReader& r) {
+  const u8 req = r.get_u8();
+  if (req > 1) r.fail("channel requestor tag out of range");
+  current_requestor_ = static_cast<Requestor>(req);
+  class_bytes_[0] = r.get_u64();
+  class_bytes_[1] = r.get_u64();
+  row_hits_ = r.get_u64();
+  row_misses_ = r.get_u64();
+  requests_ = r.get_u64();
+  refreshes_ = r.get_u64();
+  reset_credit_ = r.get_u64();
+  dynamic_energy_pj_ = r.get_f64();
+  backend_->load(r);
 }
 
 }  // namespace h2

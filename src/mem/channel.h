@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "common/ckpt_fwd.h"
 #include "common/stats.h"
 #include "common/types.h"
 #include "mem/dram_timing.h"
@@ -123,6 +124,12 @@ class ChannelBackend {
   /// activations() == precharges() + open_banks().
   virtual u32 open_banks() const = 0;
 
+  /// Checkpoint support: every backend must round-trip its full timing
+  /// state — cursors, per-bank timers, refresh debt, posted-write queue —
+  /// so a restored run issues the exact same command stream.
+  virtual void save(ckpt::CkptWriter& w) const = 0;
+  virtual void load(ckpt::CkptReader& r) = 0;
+
  protected:
   /// Transfer cycles for a request of `bytes`: max(1, ceil(bytes / bus
   /// bytes-per-core-cycle)). Small request sizes recur millions of times, so
@@ -162,6 +169,9 @@ class FastBackend final : public ChannelBackend {
   u64 activations() const override { return activations_; }
   u64 precharges() const override { return precharges_; }
   u32 open_banks() const override { return open_banks_; }
+
+  void save(ckpt::CkptWriter& w) const override;
+  void load(ckpt::CkptReader& r) override;
 
  private:
   struct Bank {
@@ -243,6 +253,11 @@ class Channel {
   /// Static (background) energy accumulated up to `now`.
   double static_energy_pj(Cycle now) const;
   void reset_stats();
+
+  /// Checkpoint support: facade counters (energy as raw double bits) plus
+  /// the backend's timing state.
+  void save(ckpt::CkptWriter& w) const;
+  void load(ckpt::CkptReader& r);
 
   // --- conserved command quantities (forwarded from the backend) --------
   u64 refresh_windows() const { return backend_->refresh_windows(); }

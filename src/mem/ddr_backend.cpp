@@ -5,6 +5,7 @@
 #include "check/check.h"
 #include "check/fault.h"
 #include "common/assert.h"
+#include "common/ckpt_io.h"
 
 namespace h2 {
 
@@ -237,6 +238,61 @@ ChannelBackend::Outcome DdrBackend::drain(Cycle now) {
   o.refreshes = catch_up_refresh(now);
   drain_writes(now, 0, &o);
   return o;
+}
+
+void DdrBackend::save(ckpt::CkptWriter& w) const {
+  w.put_bool(priority_enabled_);
+  w.put_pod_vec(banks_);
+  w.put_u64(write_queue_.size());
+  for (const PendingWrite& pw : write_queue_) {
+    w.put_u64(pw.addr);
+    w.put_u32(pw.bytes);
+  }
+  w.put_u64(bus_busy_until_);
+  w.put_u64(next_refresh_);
+  w.put_u64(last_col_at_);
+  w.put_u32(last_col_rank_);
+  w.put_u32(last_col_group_);
+  w.put_bool(have_last_col_);
+  w.put_u64(consecutive_bypasses_);
+  w.put_u64(max_bypass_run_);
+  w.put_u64(frfcfs_bypasses_);
+  w.put_u64(write_drains_);
+  w.put_u64(refresh_windows_);
+  w.put_u64(activations_);
+  w.put_u64(precharges_);
+  w.put_u32(open_banks_);
+}
+
+void DdrBackend::load(ckpt::CkptReader& r) {
+  priority_enabled_ = r.get_bool();
+  r.get_pod_vec_exact(banks_);
+  const u64 wq = r.get_u64();
+  if (wq > params_.wq_depth) {
+    r.fail("posted-write queue length " + std::to_string(wq) +
+           " exceeds configured depth " + std::to_string(params_.wq_depth));
+  }
+  write_queue_.clear();
+  for (u64 i = 0; i < wq; ++i) {
+    PendingWrite pw;
+    pw.addr = r.get_u64();
+    pw.bytes = r.get_u32();
+    write_queue_.push_back(pw);
+  }
+  bus_busy_until_ = r.get_u64();
+  next_refresh_ = r.get_u64();
+  last_col_at_ = r.get_u64();
+  last_col_rank_ = r.get_u32();
+  last_col_group_ = r.get_u32();
+  have_last_col_ = r.get_bool();
+  consecutive_bypasses_ = r.get_u64();
+  max_bypass_run_ = r.get_u64();
+  frfcfs_bypasses_ = r.get_u64();
+  write_drains_ = r.get_u64();
+  refresh_windows_ = r.get_u64();
+  activations_ = r.get_u64();
+  precharges_ = r.get_u64();
+  open_banks_ = r.get_u32();
 }
 
 }  // namespace h2

@@ -77,6 +77,9 @@ class DdrBackend final : public ChannelBackend {
   /// Watermark-triggered drain bursts (excludes the final drain()).
   u64 write_drains() const { return write_drains_; }
 
+  void save(ckpt::CkptWriter& w) const override;
+  void load(ckpt::CkptReader& r) override;
+
  private:
   struct Bank {
     i64 open_row = -1;

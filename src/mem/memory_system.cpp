@@ -2,6 +2,7 @@
 
 #include "check/check.h"
 #include "common/assert.h"
+#include "common/ckpt_io.h"
 
 namespace h2 {
 
@@ -161,6 +162,20 @@ double MemorySystem::slow_peak_gbps() const {
   double total = 0;
   for (const auto& ch : slow_) total += ch->timing().peak_gbps();
   return total;
+}
+
+void MemorySystem::save(ckpt::CkptWriter& w) const {
+  w.put_pod_vec(issued_fast_);
+  w.put_pod_vec(issued_slow_);
+  for (const auto& ch : fast_) ch->save(w);
+  for (const auto& ch : slow_) ch->save(w);
+}
+
+void MemorySystem::load(ckpt::CkptReader& r) {
+  r.get_pod_vec_exact(issued_fast_);
+  r.get_pod_vec_exact(issued_slow_);
+  for (auto& ch : fast_) ch->load(r);
+  for (auto& ch : slow_) ch->load(r);
 }
 
 }  // namespace h2

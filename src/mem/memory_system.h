@@ -92,6 +92,11 @@ class MemorySystem {
   double fast_peak_gbps() const;
   double slow_peak_gbps() const;
 
+  /// Checkpoint support: issued counters plus every channel (facade and
+  /// timing backend).
+  void save(ckpt::CkptWriter& w) const;
+  void load(ckpt::CkptReader& r);
+
  private:
   MemSystemConfig cfg_;
   std::vector<std::unique_ptr<Channel>> fast_;  ///< one per superchannel

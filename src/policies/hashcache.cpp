@@ -1,5 +1,6 @@
 #include "policies/hashcache.h"
 
+#include "common/ckpt_io.h"
 #include "common/rng.h"
 
 namespace h2 {
@@ -17,6 +18,16 @@ bool HAShCachePolicy::allow_migration(const PolicyContext& ctx, bool victim_dirt
   }
   filter_[slot] = ctx.tag;
   return false;
+}
+
+void HAShCachePolicy::save_state(ckpt::CkptWriter& w) const {
+  w.put_pod_vec(filter_);
+  w.put_u64(filter_hits_);
+}
+
+void HAShCachePolicy::load_state(ckpt::CkptReader& r) {
+  r.get_pod_vec_exact(filter_);
+  filter_hits_ = r.get_u64();
 }
 
 }  // namespace h2

@@ -43,6 +43,11 @@ class HAShCachePolicy final : public PartitionPolicy {
 
   u64 filter_hits() const { return filter_hits_; }
 
+  void save_state(ckpt::CkptWriter& w) const override;
+
+ protected:
+  void load_state(ckpt::CkptReader& r) override;
+
  private:
   std::vector<u64> filter_;  ///< recently-missed GPU block tags (direct-mapped)
   u64 filter_hits_ = 0;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/ckpt_io.h"
+
 namespace h2 {
 
 ProfessPolicy::ProfessPolicy(const ProfessConfig& cfg) : cfg_(cfg), rng_(cfg.seed) {
@@ -65,6 +67,26 @@ bool ProfessPolicy::on_epoch(const EpochFeedback& fb) {
     p_[winner] = std::clamp(p_[winner] - cfg_.step / 4, winner_floor, cfg_.p_max);
   }
   return false;  // mapping never changes; no reconfiguration needed
+}
+
+void ProfessPolicy::save_state(ckpt::CkptWriter& w) const {
+  rng_.save(w);
+  for (u32 i = 0; i < 2; ++i) {
+    w.put_f64(p_[i]);
+    w.put_u64(hits_[i]);
+    w.put_u64(accesses_[i]);
+    w.put_f64(prev_hit_rate_[i]);
+  }
+}
+
+void ProfessPolicy::load_state(ckpt::CkptReader& r) {
+  rng_.load(r);
+  for (u32 i = 0; i < 2; ++i) {
+    p_[i] = r.get_f64();
+    hits_[i] = r.get_u64();
+    accesses_[i] = r.get_u64();
+    prev_hit_rate_[i] = r.get_f64();
+  }
 }
 
 }  // namespace h2

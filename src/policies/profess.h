@@ -65,6 +65,11 @@ class ProfessPolicy final : public PartitionPolicy {
 
   double probability(Requestor r) const { return p_[static_cast<u32>(r)]; }
 
+  void save_state(ckpt::CkptWriter& w) const override;
+
+ protected:
+  void load_state(ckpt::CkptReader& r) override;
+
  private:
   ProfessConfig cfg_;
   Rng rng_;

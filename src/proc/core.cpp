@@ -5,6 +5,7 @@
 
 #include "check/check.h"
 #include "common/assert.h"
+#include "common/ckpt_io.h"
 
 namespace h2 {
 
@@ -39,6 +40,61 @@ void Core::reset_measurement() {
 void Core::drain(Cycle now) {
   reads_.drain(now);
   writes_.drain(now);
+}
+
+void Core::CompletionBuf::save(ckpt::CkptWriter& w) const {
+  w.put_u64(size());
+  for (size_t i = head_; i < buf_.size(); ++i) w.put_u64(buf_[i]);
+}
+
+void Core::CompletionBuf::load(ckpt::CkptReader& r) {
+  const u64 n = r.get_u64();
+  buf_.clear();
+  head_ = 0;
+  buf_.reserve(n);
+  Cycle prev = 0;
+  for (u64 i = 0; i < n; ++i) {
+    const Cycle c = r.get_u64();
+    if (c < prev) r.fail("completion buffer not ascending");
+    buf_.push_back(c);
+    prev = c;
+  }
+}
+
+void Core::save(ckpt::CkptWriter& w) const {
+  reads_.save(w);
+  writes_.save(w);
+  w.put_u64(last_read_done_);
+  w.put_bool(has_pending_);
+  w.put_u64(pending_.addr);
+  w.put_u32(pending_.gap);
+  w.put_bool(pending_.write);
+  w.put_bool(pending_.dependent);
+  w.put_u64(compute_done_);
+  w.put_u64(retired_);
+  w.put_u64(done_cycle_);
+  w.put_u64(reads_issued_);
+  w.put_u64(writes_issued_);
+  w.put_u64(stall_cycles_);
+  read_latency_.save(w);
+}
+
+void Core::load(ckpt::CkptReader& r) {
+  reads_.load(r);
+  writes_.load(r);
+  last_read_done_ = r.get_u64();
+  has_pending_ = r.get_bool();
+  pending_.addr = r.get_u64();
+  pending_.gap = r.get_u32();
+  pending_.write = r.get_bool();
+  pending_.dependent = r.get_bool();
+  compute_done_ = r.get_u64();
+  retired_ = r.get_u64();
+  done_cycle_ = r.get_u64();
+  reads_issued_ = r.get_u64();
+  writes_issued_ = r.get_u64();
+  stall_cycles_ = r.get_u64();
+  read_latency_.load(r);
 }
 
 Cycle Core::step(Engine& engine, Cycle now) {

@@ -75,6 +75,12 @@ class Core final : public Actor {
   /// SimSystem warmup -> measure transition (harness/sim_system.h).
   void reset_measurement();
 
+  /// Checkpoint support: in-flight completion times, the pending access and
+  /// every measurement counter. The generator serializes separately (the
+  /// harness owns it); the gap-cycles memo is ctor-derived.
+  void save(ckpt::CkptWriter& w) const;
+  void load(ckpt::CkptReader& r);
+
  private:
   void drain(Cycle now);
   Cycle gap_cycles(u32 gap) const;
@@ -119,6 +125,11 @@ class Core final : public Actor {
     bool empty() const { return head_ == buf_.size(); }
     size_t size() const { return buf_.size() - head_; }
     Cycle top() const { return buf_[head_]; }
+
+    /// Only the live entries travel; the drained prefix is dead weight and
+    /// restoring with head_ = 0 is an invisible layout change.
+    void save(ckpt::CkptWriter& w) const;
+    void load(ckpt::CkptReader& r);
 
    private:
     std::vector<Cycle> buf_;  ///< ascending from head_ (drained prefix before)

@@ -4,6 +4,7 @@
 
 #include "check/fault.h"
 #include "common/cancel.h"
+#include "common/ckpt_io.h"
 
 namespace h2 {
 
@@ -55,6 +56,7 @@ void Engine::add_actor(Actor* actor, Cycle start) {
 #if H2_CHECK_LEVEL >= 2
   registered_.insert(actor);
 #endif
+  actors_.push_back(actor);
   heap_push(Entry{start, seq_++, actor});
 }
 
@@ -77,6 +79,56 @@ void Engine::wake(Actor* actor, Cycle when) {
            static_cast<unsigned long long>(when));
 #endif
   heap_push(Entry{when, seq_++, actor});
+}
+
+void Engine::save(ckpt::CkptWriter& w) const {
+  w.put_u64(now_);
+  w.put_u64(seq_);
+  w.put_u64(steps_);
+  w.put_pod_vec(hook_next_);
+  w.put_u64(heap_.size());
+  for (const Entry& e : heap_) {
+    std::size_t ord = actors_.size();
+    for (std::size_t i = 0; i < actors_.size(); ++i) {
+      if (actors_[i] == e.actor) {
+        ord = i;
+        break;
+      }
+    }
+    H2_ASSERT(ord < actors_.size(), "heap entry references unregistered actor");
+    w.put_u64(e.when);
+    w.put_u64(e.seq);
+    w.put_u64(ord);
+  }
+}
+
+void Engine::load(ckpt::CkptReader& r) {
+  now_ = r.get_u64();
+  seq_ = r.get_u64();
+  steps_ = r.get_u64();
+  // The harness rebuilt this engine from the same config before calling
+  // load(), so the hook set and actor registration order already match; the
+  // exact-size restore below is the cross-check.
+  r.get_pod_vec_exact(hook_next_);
+  const u64 n = r.get_u64();
+  heap_.clear();
+  heap_.reserve(n);
+  for (u64 i = 0; i < n; ++i) {
+    Entry e;
+    e.when = r.get_u64();
+    e.seq = r.get_u64();
+    const u64 ord = r.get_u64();
+    if (ord >= actors_.size()) {
+      r.fail("event-heap actor ordinal " + std::to_string(ord) +
+             " out of range (engine has " + std::to_string(actors_.size()) +
+             " actors)");
+    }
+    e.actor = actors_[ord];
+    // Stored in heap-array order, so plain append reproduces the layout.
+    heap_.push_back(e);
+  }
+  stopped_ = false;
+  refresh_next_hook_due();
 }
 
 Cycle Engine::run(Cycle max_cycles) {

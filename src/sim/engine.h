@@ -17,6 +17,7 @@
 
 #include "check/check.h"
 #include "common/assert.h"
+#include "common/ckpt_fwd.h"
 #include "common/types.h"
 
 #if H2_CHECK_LEVEL >= 2
@@ -75,6 +76,16 @@ class Engine {
   Cycle now() const { return now_; }
   u64 steps_executed() const { return steps_; }
 
+  /// Checkpoint support: serializes the clock, the sequence counter, the
+  /// periodic-hook cursors and the event heap — each entry as a
+  /// (when, seq, actor-ordinal) triple in heap-array order, so load()
+  /// reproduces the exact internal layout and the pop sequence stays
+  /// bit-identical. Actor ordinals index the add_actor() registration
+  /// order, which the harness reproduces deterministically (same config,
+  /// same build path) before calling load().
+  void save(ckpt::CkptWriter& w) const;
+  void load(ckpt::CkptReader& r);
+
  private:
   struct Entry {
     Cycle when;
@@ -106,6 +117,7 @@ class Engine {
   void refresh_next_hook_due();
 
   std::vector<Entry> heap_;
+  std::vector<Actor*> actors_;  // registration order; checkpoint ordinals
   std::vector<PeriodicHook> hooks_;
   std::vector<Cycle> hook_next_;
   Cycle next_hook_due_ = kNever;

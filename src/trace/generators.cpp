@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.h"
+#include "common/ckpt_io.h"
 
 namespace h2 {
 
@@ -115,6 +116,27 @@ Access SyntheticGenerator::next() {
   return acc;
 }
 
+void SyntheticGenerator::save_state(ckpt::CkptWriter& w) const {
+  rng_.save(w);
+  w.put_u64(stream_pos_);
+  w.put_u64(stride_pos_);
+  w.put_u64(chase_pos_);
+  w.put_pod_vec(stencil_pos_);
+  w.put_u32(stencil_next_);
+}
+
+void SyntheticGenerator::load_state(ckpt::CkptReader& r) {
+  rng_.load(r);
+  stream_pos_ = r.get_u64();
+  stride_pos_ = r.get_u64();
+  chase_pos_ = r.get_u64();
+  r.get_pod_vec_exact(stencil_pos_);
+  stencil_next_ = r.get_u32();
+  if (stencil_next_ >= stencil_pos_.size()) {
+    r.fail("generator " + spec_.name + ": stencil cursor out of range");
+  }
+}
+
 PhasedGenerator::PhasedGenerator(std::string name, std::vector<Phase> phases, u64 seed)
     : name_(std::move(name)), phase_specs_(std::move(phases)) {
   H2_ASSERT(!phase_specs_.empty(), "phased workload %s needs phases", name_.c_str());
@@ -151,10 +173,38 @@ ReplayGenerator::ReplayGenerator(std::string name, std::vector<Access> accesses,
   H2_ASSERT(!accesses_.empty(), "empty replay trace %s", name_.c_str());
 }
 
+void PhasedGenerator::save_state(ckpt::CkptWriter& w) const {
+  for (const auto& g : gens_) g->save_state(w);
+  w.put_u32(current_);
+  w.put_u64(remaining_);
+  w.put_u32(switches_);
+}
+
+void PhasedGenerator::load_state(ckpt::CkptReader& r) {
+  for (auto& g : gens_) g->load_state(r);
+  current_ = r.get_u32();
+  remaining_ = r.get_u64();
+  switches_ = r.get_u32();
+  if (current_ >= gens_.size()) {
+    r.fail("phased workload " + name_ + ": phase cursor out of range");
+  }
+}
+
 Access ReplayGenerator::next() {
   const Access a = accesses_[pos_];
   pos_ = (pos_ + 1) % accesses_.size();
   return a;
+}
+
+void ReplayGenerator::save_state(ckpt::CkptWriter& w) const {
+  w.put_u64(pos_);
+}
+
+void ReplayGenerator::load_state(ckpt::CkptReader& r) {
+  pos_ = r.get_u64();
+  if (pos_ >= accesses_.size()) {
+    r.fail("replay trace " + name_ + ": position out of range");
+  }
 }
 
 }  // namespace h2

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/ckpt_fwd.h"
 #include "common/rng.h"
 #include "common/types.h"
 #include "trace/access.h"
@@ -51,6 +52,12 @@ class AccessGenerator {
   virtual u64 footprint_bytes() const = 0;
   virtual const std::string& name() const = 0;
   virtual void reset() = 0;
+
+  /// Checkpoint support: every generator must round-trip its replay
+  /// position (pure virtual on purpose — a generator that forgets its
+  /// cursor would silently replay the wrong stream after a restore).
+  virtual void save_state(ckpt::CkptWriter& w) const = 0;
+  virtual void load_state(ckpt::CkptReader& r) = 0;
 };
 
 /// Deterministic generator realising a WorkloadSpec. Two generators with the
@@ -64,6 +71,9 @@ class SyntheticGenerator final : public AccessGenerator {
   const std::string& name() const override { return spec_.name; }
   void reset() override;
   const WorkloadSpec& spec() const { return spec_; }
+
+  void save_state(ckpt::CkptWriter& w) const override;
+  void load_state(ckpt::CkptReader& r) override;
 
  private:
   enum class Pattern : u8 { Stream, Stride, Random, Chase, Stencil };
@@ -103,6 +113,9 @@ class PhasedGenerator final : public AccessGenerator {
   u32 current_phase() const { return current_; }
   u32 phase_switches() const { return switches_; }
 
+  void save_state(ckpt::CkptWriter& w) const override;
+  void load_state(ckpt::CkptReader& r) override;
+
  private:
   std::string name_;
   std::vector<Phase> phase_specs_;
@@ -123,6 +136,9 @@ class ReplayGenerator final : public AccessGenerator {
   const std::string& name() const override { return name_; }
   void reset() override { pos_ = 0; }
   size_t size() const { return accesses_.size(); }
+
+  void save_state(ckpt::CkptWriter& w) const override;
+  void load_state(ckpt::CkptReader& r) override;
 
  private:
   std::string name_;

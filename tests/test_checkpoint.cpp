@@ -1,0 +1,291 @@
+// The checkpoint bit-identity contract (harness/checkpoint.h):
+//   - writing checkpoints must not perturb a run at all;
+//   - a run restored from a mid-flight checkpoint finishes with exactly the
+//     results of the uninterrupted run;
+//   - every single-byte mutation and every truncation of a checkpoint file
+//     is detected at restore (the ckpt_io FNV-1a / framing guarantee);
+//   - a checkpoint never restores into a different configuration;
+// plus the journal-side crash regression: load_journal() tolerates a
+// crash-truncated trailing partial line.
+#include "harness/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/ckpt_io.h"
+#include "common/rng.h"
+#include "harness/experiment.h"
+#include "harness/journal.h"
+#include "harness/sim_system.h"
+
+namespace h2 {
+namespace {
+
+/// Small, fast experiment (mirrors test_experiment.cpp): crosses enough
+/// epoch boundaries for a genuinely mid-flight snapshot in well under a
+/// second.
+ExperimentConfig quick(DesignSpec design) {
+  ExperimentConfig cfg;
+  cfg.combo = "C1";
+  cfg.design = std::move(design);
+  cfg.sys = SystemConfig::table1(/*scale=*/16);
+  cfg.cpu_target_instructions = 150'000;
+  cfg.gpu_target_instructions = 120'000;
+  cfg.epoch_cycles = 50'000;
+  cfg.max_cycles = 60'000'000;
+  return cfg;
+}
+
+/// Lossless render of a full result via the journal serialiser (u64 decimal,
+/// doubles as hex-floats), so comparing two runs compares every field bit
+/// for bit.
+std::string dump(const ExperimentResult& r) {
+  JournalEntry e;
+  e.key = "k";
+  e.combo = r.combo;
+  e.design = r.design;
+  e.status = "ok";
+  e.result = r;
+  return serialize_entry(e);
+}
+
+struct TempPath {
+  explicit TempPath(const std::string& name)
+      : path(::testing::TempDir() + name) {
+    std::remove(path.c_str());
+  }
+  ~TempPath() { std::remove(path.c_str()); }
+  const std::string path;
+};
+
+TEST(CkptIo, PrimitivesRoundTrip) {
+  ckpt::CkptWriter w;
+  w.begin_section("prims");
+  w.put_u8(0xab);
+  w.put_u32(0xdeadbeefu);
+  w.put_u64(0x0123456789abcdefull);
+  w.put_i32(-42);
+  w.put_i64(-1234567890123ll);
+  w.put_bool(true);
+  w.put_f64(0x1.fffffffffffffp+1023);
+  w.put_str("hello\0world");
+  w.put_pod_vec(std::vector<u32>{1, 2, 3});
+  w.put_bool_vec(std::vector<bool>{true, false, true});
+  w.end_section();
+
+  ckpt::CkptReader r(w.finish(), "<memory>");
+  r.enter_section("prims");
+  EXPECT_EQ(r.get_u8(), 0xab);
+  EXPECT_EQ(r.get_u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.get_u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.get_i32(), -42);
+  EXPECT_EQ(r.get_i64(), -1234567890123ll);
+  EXPECT_TRUE(r.get_bool());
+  EXPECT_EQ(r.get_f64(), 0x1.fffffffffffffp+1023);
+  EXPECT_EQ(r.get_str(), std::string("hello\0world"));
+  std::vector<u32> v(3);
+  r.get_pod_vec_exact(v);
+  EXPECT_EQ(v, (std::vector<u32>{1, 2, 3}));
+  std::vector<bool> b(3);
+  r.get_bool_vec(b);
+  EXPECT_EQ(b, (std::vector<bool>{true, false, true}));
+  r.leave_section();
+  r.finish();
+}
+
+/// Exhaustive single-byte fuzz on a small container: flipping any one bit of
+/// any one byte must make the reader throw — payload flips fail the FNV-1a
+/// checksum (xor/odd-multiply steps are bijections, so a one-byte change can
+/// never collide), framing flips fail the magic/version/bounds/name checks.
+TEST(CkptIo, EverySingleByteFlipIsDetected) {
+  ckpt::CkptWriter w;
+  w.begin_section("alpha");
+  w.put_u64(0x1122334455667788ull);
+  w.put_str("payload bytes");
+  w.end_section();
+  w.begin_section("beta");
+  w.put_pod_vec(std::vector<u64>{5, 6, 7, 8});
+  w.end_section();
+  const std::string good = w.finish();
+
+  // The restore-path oracle: parse the frame AND enter every section by its
+  // expected name, exactly as load_checkpoint does. Section names are framing
+  // (not checksummed), so a name flip is caught here, not in the constructor.
+  const auto walk = [](const std::string& bytes) {
+    ckpt::CkptReader r(bytes, "<memory>");
+    for (const char* name : {"alpha", "beta"}) {
+      r.enter_section(name);
+      std::vector<char> sink(r.remaining());
+      r.get_bytes(sink.data(), sink.size());
+      r.leave_section();
+    }
+    r.finish();
+  };
+  EXPECT_NO_THROW(walk(good));
+
+  Rng rng(0xf022);
+  for (size_t pos = 0; pos < good.size(); ++pos) {
+    std::string bad = good;
+    const unsigned bit = static_cast<unsigned>(rng.next_below(8));
+    bad[pos] = static_cast<char>(static_cast<unsigned char>(bad[pos]) ^ (1u << bit));
+    EXPECT_THROW(walk(bad), ckpt::CheckpointError)
+        << "flip of bit " << bit << " at byte " << pos << " went undetected";
+  }
+}
+
+/// Every proper prefix of a container must be rejected (crash-truncated
+/// checkpoint file).
+TEST(CkptIo, EveryTruncationIsDetected) {
+  ckpt::CkptWriter w;
+  w.begin_section("only");
+  w.put_str("some payload so the file has framing, data and a checksum");
+  w.end_section();
+  const std::string good = w.finish();
+
+  for (size_t len = 0; len < good.size(); ++len) {
+    EXPECT_THROW(ckpt::CkptReader(good.substr(0, len), "<memory>"),
+                 ckpt::CheckpointError)
+        << "truncation to " << len << " of " << good.size() << " went undetected";
+  }
+}
+
+TEST(Checkpoint, WritingCheckpointsDoesNotPerturbTheRun) {
+  const ExperimentConfig base = quick(DesignSpec::hydrogen_full());
+  const ExperimentResult plain = run_experiment(base);
+
+  TempPath ckpt("test_checkpoint_pure.ckpt");
+  ExperimentConfig with = base;
+  with.checkpoint_path = ckpt.path;
+  EXPECT_EQ(dump(run_experiment(with)), dump(plain));
+}
+
+TEST(Checkpoint, MidRunRestoreIsBitIdentical) {
+  const ExperimentConfig base = quick(DesignSpec::hydrogen_full());
+  const ExperimentResult plain = run_experiment(base);
+  ASSERT_GE(plain.epochs, 4u) << "config too small to snapshot mid-run";
+
+  // Stride so exactly one snapshot lands strictly inside the run: the sole
+  // multiple of (epochs/2 + 1) below the epoch count.
+  TempPath ckpt("test_checkpoint_midrun.ckpt");
+  ExperimentConfig with = base;
+  with.checkpoint_path = ckpt.path;
+  with.checkpoint_every = static_cast<u32>(plain.epochs / 2 + 1);
+  EXPECT_EQ(dump(run_experiment(with)), dump(plain));
+
+  const auto info = peek_checkpoint(ckpt.path);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->epoch, with.checkpoint_every);
+  EXPECT_LT(info->epoch, plain.epochs);
+
+  ExperimentConfig resumed = base;
+  resumed.restore_path = ckpt.path;
+  EXPECT_EQ(dump(run_experiment(resumed)), dump(plain));
+}
+
+TEST(Checkpoint, EveryDesignRestoresBitIdentically) {
+  const DesignSpec designs[] = {
+      DesignSpec::baseline(),     DesignSpec::waypart(),
+      DesignSpec::hashcache(),    DesignSpec::profess(),
+      DesignSpec::hydrogen_full(), DesignSpec::hydrogen_setpart()};
+  for (const DesignSpec& d : designs) {
+    const ExperimentConfig base = quick(d);
+    const ExperimentResult plain = run_experiment(base);
+    ASSERT_GE(plain.epochs, 4u) << base.design.label;
+
+    TempPath ckpt("test_checkpoint_design.ckpt");
+    ExperimentConfig with = base;
+    with.checkpoint_path = ckpt.path;
+    with.checkpoint_every = static_cast<u32>(plain.epochs / 2 + 1);
+    (void)run_experiment(with);
+
+    ExperimentConfig resumed = base;
+    resumed.restore_path = ckpt.path;
+    EXPECT_EQ(dump(run_experiment(resumed)), dump(plain)) << base.design.label;
+  }
+}
+
+TEST(Checkpoint, RefusesARestoreIntoADifferentConfig) {
+  TempPath ckpt("test_checkpoint_mismatch.ckpt");
+  ExperimentConfig writer = quick(DesignSpec::hydrogen_full());
+  writer.checkpoint_path = ckpt.path;
+  (void)run_experiment(writer);
+
+  ExperimentConfig other = quick(DesignSpec::baseline());
+  other.restore_path = ckpt.path;
+  try {
+    (void)run_experiment(other);
+    FAIL() << "restore into a different config was accepted";
+  } catch (const ckpt::CheckpointError& e) {
+    EXPECT_NE(std::string(e.what()).find("config mismatch"), std::string::npos)
+        << e.what();
+  }
+}
+
+/// Seeded one-byte fuzz over a *real* full-simulator checkpoint: the file is
+/// two orders of magnitude larger than the unit-sized container above, so
+/// sample positions instead of sweeping all of them. Every sampled mutation
+/// must be rejected by the restore path.
+TEST(Checkpoint, FuzzedRealCheckpointNeverRestores) {
+  TempPath ckpt("test_checkpoint_fuzz.ckpt");
+  ExperimentConfig writer = quick(DesignSpec::hydrogen_full());
+  writer.checkpoint_path = ckpt.path;
+  (void)run_experiment(writer);
+  const std::string good = ckpt::read_file(ckpt.path);
+  ASSERT_GT(good.size(), 1000u);
+
+  TempPath badfile("test_checkpoint_fuzz_bad.ckpt");
+  Rng rng(0xc0ffee);
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string bad = good;
+    const size_t pos = static_cast<size_t>(rng.next_below(good.size()));
+    const unsigned bit = static_cast<unsigned>(rng.next_below(8));
+    bad[pos] = static_cast<char>(static_cast<unsigned char>(bad[pos]) ^ (1u << bit));
+    bool detected = false;
+    try {
+      ckpt::CkptReader probe(bad, ckpt.path);
+    } catch (const ckpt::CheckpointError&) {
+      detected = true;
+    }
+    if (detected) continue;
+    // The frame still parses (e.g. a section-name flip: names are framing,
+    // not checksummed) — the full restore must reject it instead when it
+    // enters sections by name.
+    ckpt::write_file_atomic(badfile.path, bad);
+    SimSystem sys(quick(DesignSpec::hydrogen_full()));
+    sys.build();
+    EXPECT_THROW(load_checkpoint(sys, badfile.path), ckpt::CheckpointError)
+        << "flip of bit " << bit << " at byte " << pos << " went undetected";
+  }
+}
+
+/// A crash can leave the journal with a half-written final line; load must
+/// drop exactly that line and keep everything before it.
+TEST(Journal, LoadToleratesACrashTruncatedTrailingLine) {
+  TempPath journal("test_checkpoint_journal.jsonl");
+  JournalEntry a;
+  a.key = "aaaa";
+  a.combo = "C1";
+  a.design = "hydrogen";
+  a.status = "ok";
+  JournalEntry b = a;
+  b.key = "bbbb";
+
+  const std::string line_a = serialize_entry(a);
+  const std::string line_b = serialize_entry(b);
+  {
+    std::ofstream f(journal.path, std::ios::binary);
+    f << line_a << "\n";
+    // Crash mid-append: no newline, record cut in half.
+    f << line_b.substr(0, line_b.size() / 2);
+  }
+  const auto loaded = load_journal(journal.path);
+  EXPECT_EQ(loaded.size(), 1u);
+  EXPECT_TRUE(loaded.count("aaaa"));
+  EXPECT_FALSE(loaded.count("bbbb"));
+}
+
+}  // namespace
+}  // namespace h2

@@ -3,15 +3,19 @@
 //   h2check [--workloads a,b,c] [--gpu <name>]
 //           [--designs baseline,waypart,hydrogen-setpart,hashcache,profess,hydrogen]
 //           [--design <name>] [--accesses <n>] [--seed <n>] [--check <level>]
-//           [--epochs <n>] [--schedule <ops>] [--quick]
-//           [--backend fast|ddr|both]
+//           [--epochs <n>] [--schedule <ops>] [--restore-at <epoch>]
+//           [--quick] [--backend fast|ddr|both]
 //
 // Replays each (backend, CPU workload, design) triple through the full
 // simulator and the independent reference model, and reports per-triple
 // conservation diffs. With --epochs N the replay is cut into N+1 slices and
 // a scripted reconfiguration schedule (--schedule, check/epoch_schedule.h
 // grammar; default "shrink,bw+,grow,bw-") is driven through both sides,
-// exercising the lazy-fixup machinery. --quick shrinks the replay for smoke
+// exercising the lazy-fixup machinery. --restore-at K checkpoints the full
+// side to memory at epoch boundary K, destroys it, rebuilds it from
+// configuration and loads the checkpoint back mid-replay — the reference
+// model never notices, so the remaining conserved quantities prove the
+// checkpoint/restore seam is lossless. --quick shrinks the replay for smoke
 // runs. --backend selects the channel timing model on the full side (the
 // reference model is timing-free, so every conserved count must agree under
 // either backend); "both" runs every pair under fast then ddr.
@@ -39,7 +43,8 @@ void usage() {
       "profess,hydrogen]\n"
       "               [--design <name>] [--accesses <n>] [--seed <n>]\n"
       "               [--check <level>] [--epochs <n>] [--schedule <ops>]\n"
-      "               [--quick] [--backend fast|ddr|both]\n");
+      "               [--restore-at <epoch>] [--quick]\n"
+      "               [--backend fast|ddr|both]\n");
 }
 
 std::vector<std::string> split_csv(const std::string& s) {
@@ -94,6 +99,8 @@ int main(int argc, char** argv) {
       base.epochs = std::strtoull(value(), nullptr, 10);
     } else if (arg == "--schedule") {
       base.schedule = value();
+    } else if (arg == "--restore-at") {
+      base.restore_at_epoch = std::strtoll(value(), nullptr, 10);
     } else if (arg == "--quick") {
       quick = true;
     } else if (arg == "--backend") {

@@ -25,9 +25,19 @@
 //   stall                                -> sweep watchdog timeout
 //   throw@epoch-observer                 -> capture of a throw fired from an
 //                                           epoch observer during warmup
+//   ckpt-corrupt, ckpt-truncate          -> checkpoint restore rejects the
+//                                           perturbed file with an error
+//                                           naming file, section and offset
+//                                           (any build)
+//   kill-at-epoch                        -> a self-re-exec child dies with
+//                                           status 137 mid-run; the restored
+//                                           run finishes with the counters of
+//                                           an uninterrupted one (any build)
 //
 // Each line reports PASS / FAIL / SKIP; exit status is 0 iff no class
 // FAILed, which makes this binary a ctest entry (see tools/CMakeLists.txt).
+#include <sys/wait.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -38,7 +48,9 @@
 #include "check/check.h"
 #include "check/fault.h"
 #include "check/oracle.h"
+#include "common/ckpt_io.h"
 #include "common/rng.h"
+#include "harness/checkpoint.h"
 #include "harness/experiment.h"
 #include "harness/sweep.h"
 #include "mem/ddr_backend.h"
@@ -180,6 +192,102 @@ void expect_engine_check_detects(const std::string& spec, u64 seed) {
                            : "fault site never fired");
 }
 
+/// ckpt-corrupt / ckpt-truncate: arm the fault so every checkpoint written
+/// during a tiny run is perturbed just before publication, then prove the
+/// restore path rejects the damaged file with a CheckpointError that names
+/// the file, a section, and an offset — never UB or a silent wrong-state
+/// resume.
+void expect_ckpt_rejected(const std::string& spec, const ExperimentConfig& base,
+                          const std::string& path) {
+  fault::Injector injector(spec);
+  ExperimentConfig cfg = base;
+  cfg.checkpoint_path = path;
+  try {
+    fault::Scope scope(injector);
+    (void)run_experiment(cfg);
+  } catch (const std::exception& e) {
+    report("FAIL", spec, std::string("checkpointed run itself failed: ") + e.what());
+    return;
+  }
+  if (injector.fired() == 0) {
+    report("FAIL", spec, "fault site never fired (seen " +
+                             std::to_string(injector.seen()) + " visits)");
+    return;
+  }
+  ExperimentConfig rcfg = base;
+  rcfg.restore_path = path;
+  try {
+    (void)run_experiment(rcfg);
+    report("FAIL", spec, "perturbed checkpoint restored without complaint");
+  } catch (const ckpt::CheckpointError& e) {
+    std::string what = e.what();
+    const bool names_file = what.find(path) != std::string::npos;
+    const bool names_offset = what.find("offset") != std::string::npos;
+    if (!names_file || !names_offset) {
+      report("FAIL", spec, "rejection does not name file+offset: " + what);
+      return;
+    }
+    std::string how = "rejected: " + what;
+    if (how.size() > 140) how = how.substr(0, 137) + "...";
+    report("PASS", spec, how);
+  } catch (const std::exception& e) {
+    report("FAIL", spec,
+           std::string("rejected, but not with a CheckpointError: ") + e.what());
+  }
+  std::remove(path.c_str());
+}
+
+/// kill-at-epoch: re-exec ourselves as a child that arms the fault around a
+/// checkpointed run and dies mid-flight with _Exit(137) — no unwinding, no
+/// flushes, exactly a SIGKILL. The parent then restores the child's last
+/// checkpoint and requires the resumed run to finish with the counters of an
+/// uninterrupted one.
+void expect_kill_restore(const char* self, const ExperimentConfig& base,
+                         const std::string& path) {
+  const std::string klass = "kill-at-epoch";
+  std::remove(path.c_str());
+  const std::string cmd = std::string(self) + " --kill-child " + path;
+  const int rc = std::system(cmd.c_str());
+  if (!WIFEXITED(rc) || WEXITSTATUS(rc) != 137) {
+    report("FAIL", klass,
+           "child was expected to die with status 137, got raw status " +
+               std::to_string(rc));
+    return;
+  }
+  ExperimentResult expect;
+  try {
+    expect = run_experiment(base);
+  } catch (const std::exception& e) {
+    report("FAIL", klass, std::string("uninterrupted reference failed: ") + e.what());
+    return;
+  }
+  ExperimentConfig rcfg = base;
+  rcfg.restore_path = path;
+  ExperimentResult got;
+  try {
+    got = run_experiment(rcfg);
+  } catch (const std::exception& e) {
+    report("FAIL", klass, std::string("restore of the killed run failed: ") + e.what());
+    return;
+  }
+  std::remove(path.c_str());
+  if (got.cpu_cycles != expect.cpu_cycles || got.gpu_cycles != expect.gpu_cycles ||
+      got.epochs != expect.epochs ||
+      got.hmstats[1].migrations != expect.hmstats[1].migrations ||
+      got.reconfigurations != expect.reconfigurations) {
+    report("FAIL", klass,
+           "restored run diverged: cycles " + std::to_string(got.cpu_cycles) + "/" +
+               std::to_string(got.gpu_cycles) + " vs " +
+               std::to_string(expect.cpu_cycles) + "/" +
+               std::to_string(expect.gpu_cycles));
+    return;
+  }
+  report("PASS", klass,
+         "child died 137 mid-run; restored run matches uninterrupted (" +
+             std::to_string(got.epochs) + " epochs, " +
+             std::to_string(got.cpu_cycles) + " cpu cycles)");
+}
+
 void expect_sweep_captures(const std::string& klass, const SweepOptions& opts,
                            RunStatus want_status, u32 want_attempts,
                            const ExperimentConfig& cfg) {
@@ -213,6 +321,24 @@ void expect_sweep_captures(const std::string& klass, const SweepOptions& opts,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Hidden child mode for the kill-at-epoch row: run a checkpointed tiny
+  // experiment with the kill fault armed and die mid-flight. Reaching the
+  // return statements below means the fault never fired — the parent treats
+  // any status other than 137 as a FAIL.
+  if (argc == 3 && std::strcmp(argv[1], "--kill-child") == 0) {
+    fault::Injector injector("kill-at-epoch:after=3");
+    ExperimentConfig cfg = tiny_config(7);
+    cfg.checkpoint_path = argv[2];
+    try {
+      fault::Scope scope(injector);
+      (void)run_experiment(cfg);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "kill-child run failed: %s\n", e.what());
+      return 3;
+    }
+    return 0;
+  }
+
   OracleConfig ocfg;
   ocfg.design = "hydrogen";  // exercises fills, writebacks, swaps
   ocfg.accesses = 60'000;
@@ -315,6 +441,17 @@ int main(int argc, char** argv) {
     cfg.warmup_epochs = 2;
     expect_sweep_captures("throw@epoch-observer", opts, RunStatus::Failed, 1, cfg);
   }
+
+  // Checkpoint classes: a perturbed file must be rejected loudly, and a
+  // hard-killed run must resume to the same counters. count=0 perturbs every
+  // snapshot (each boundary overwrites the last), so the surviving file is
+  // guaranteed damaged; the corrupt seed lands the bit flip mid-payload
+  // rather than in the magic.
+  expect_ckpt_rejected("ckpt-corrupt:count=0,seed=70001", tiny_config(ocfg.seed),
+                       "h2fault-corrupt.ckpt");
+  expect_ckpt_rejected("ckpt-truncate:count=0", tiny_config(ocfg.seed),
+                       "h2fault-truncate.ckpt");
+  expect_kill_restore(argv[0], tiny_config(7), "h2fault-kill.ckpt");
 
   if (g_failures > 0) {
     std::fprintf(stderr, "h2fault: %d fault class(es) escaped detection\n", g_failures);

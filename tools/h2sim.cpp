@@ -4,8 +4,9 @@
 //   h2sim <config.cfg> [more.cfg ...] [--out results.csv] [--print-config]
 //         [--jobs <n>] [--check <n>] [--run-timeout <sec>] [--retries <n>]
 //         [--strict] [--fault <spec>] [--journal <path>] [--resume]
-//         [--warmup-epochs <n>] [--timeline <path>] [--compiled-check-level]
-//         [--backend fast|ddr]
+//         [--journal-fsync] [--checkpoint <path>] [--checkpoint-every <n>]
+//         [--restore <path>] [--warmup-epochs <n>] [--timeline <path>]
+//         [--compiled-check-level] [--backend fast|ddr]
 //
 // --backend overrides the mem.backend config key for every config on the
 // command line (per-channel timing model; see mem/ddr_backend.h).
@@ -15,6 +16,15 @@
 // runs never share a file. --compiled-check-level prints the H2_CHECK level
 // this binary was compiled with and exits — CI uses it to prove that
 // recorded-number binaries were built with checks off.
+//
+// --checkpoint <path> snapshots the complete simulator state at every
+// --checkpoint-every'th epoch boundary (harness/checkpoint.h); --restore
+// <path> resumes a run from such a snapshot, bit-identically to never having
+// been interrupted. With multiple configs both paths gain the same
+// `.<index>` suffix as --timeline. Note the distinction from --resume:
+// --resume skips *finished* runs recorded in the journal, --restore resumes
+// an *interrupted* run mid-flight. --journal-fsync (or H2_JOURNAL_FSYNC=1)
+// fsyncs the journal after every record, hardening it against power loss.
 //
 // Each config file describes one experiment (see configs/*.cfg and
 // harness/config_loader.h for the key reference). Multiple configs run in
@@ -44,6 +54,8 @@ void usage() {
                " [--print-config] [--jobs <n>] [--check <n>]"
                " [--run-timeout <sec>] [--retries <n>] [--strict]"
                " [--fault <spec>] [--journal <path>] [--resume]"
+               " [--journal-fsync] [--checkpoint <path>]"
+               " [--checkpoint-every <n>] [--restore <path>]"
                " [--warmup-epochs <n>] [--timeline <path>]"
                " [--compiled-check-level] [--backend fast|ddr]\n";
 }
@@ -61,6 +73,10 @@ int main(int argc, char** argv) {
   std::string fault_spec;
   std::string journal_path;
   bool resume = false;
+  bool journal_fsync = false;
+  std::string checkpoint_path;
+  u32 checkpoint_every = 1;
+  std::string restore_path;
   bool have_warmup = false;
   u32 warmup_epochs = 0;
   std::string timeline_path;
@@ -120,6 +136,21 @@ int main(int argc, char** argv) {
       journal_path = argv[++i];
     } else if (a == "--resume") {
       resume = true;
+    } else if (a == "--journal-fsync") {
+      journal_fsync = true;
+    } else if (a == "--checkpoint" && i + 1 < argc) {
+      checkpoint_path = argv[++i];
+    } else if (a == "--checkpoint-every" && i + 1 < argc) {
+      const std::string v = argv[++i];
+      char* end = nullptr;
+      const long n = std::strtol(v.c_str(), &end, 10);
+      if (!end || *end != '\0' || v.empty() || n <= 0) {
+        std::cerr << "--checkpoint-every expects a positive integer, got '" << v << "'\n";
+        return 2;
+      }
+      checkpoint_every = static_cast<u32>(n);
+    } else if (a == "--restore" && i + 1 < argc) {
+      restore_path = argv[++i];
     } else if (a == "--jobs" && i + 1 < argc) {
       const std::string v = argv[++i];
       char* end = nullptr;
@@ -162,6 +193,15 @@ int main(int argc, char** argv) {
               ? timeline_path
               : timeline_path + "." + std::to_string(cfgs.size() - 1);
     }
+    const std::string run_suffix =
+        config_paths.size() == 1 ? "" : "." + std::to_string(cfgs.size() - 1);
+    if (!checkpoint_path.empty()) {
+      cfgs.back().checkpoint_path = checkpoint_path + run_suffix;
+      cfgs.back().checkpoint_every = checkpoint_every;
+    }
+    if (!restore_path.empty()) {
+      cfgs.back().restore_path = restore_path + run_suffix;
+    }
     const ExperimentConfig& cfg = cfgs.back();
     if (print_config) {
       std::cout << "# " << path << ": combo=" << cfg.combo
@@ -186,6 +226,7 @@ int main(int argc, char** argv) {
     opts.journal_path = out_path + ".journal";  // journal rides with the CSV
   }
   opts.resume = resume;
+  opts.journal_fsync = journal_fsync;
   if (opts.resume && opts.journal_path.empty()) {
     std::cerr << "error: --resume needs --journal <path> or --out <path>\n";
     return 2;
