@@ -12,12 +12,21 @@
 //     silently mean "different".
 //
 // Usage: perfbench [--out <path>] [--jobs <n>] [--tiny] [--backend fast|ddr]
+//                  [--scaling]
 //   --out   output BENCH file (default BENCH.json)
 //   --jobs  sweep workers (default: H2_JOBS env, then all hardware threads)
 //   --tiny  reduced iteration counts and a 1-combo sweep slice (test use)
 //   --backend  channel timing model for the fig05 slice (micros are
 //           memory-model independent); compare ddr runs against the
 //           BENCH_ddr_* baselines, fast runs against BENCH_<n>
+//   --scaling  replaces the default slice with the sharded big-node scaling
+//           battery (configs/bignode.cfg shape): the monolithic machine,
+//           then --shards 4 at 1 and at 4 worker threads. The deterministic
+//           cross-check is that both sharded runs report identical summed
+//           engine steps and demand accesses (bit-identity at any thread
+//           count); wall-clock speedup additionally needs real hardware
+//           threads — the report's hardware_threads meta says which case a
+//           baseline measured. Compare against the BENCH_2 baseline.
 
 #include <sys/utsname.h>
 
@@ -33,6 +42,7 @@
 #include "cache/cache.h"
 #include "check/check.h"
 #include "common/rng.h"
+#include "harness/experiment.h"
 #include "harness/perfbench.h"
 #include "harness/sweep.h"
 #include "hybridmem/remap_table.h"
@@ -232,10 +242,71 @@ PerfEntry run_fig05_slice(u32 jobs, bool tiny, ChannelBackendKind backend) {
   return e;
 }
 
+/// One big-node run for the scaling battery. The shape mirrors
+/// configs/bignode.cfg: a 32-core, 32-fast-channel Table I scale-up — large
+/// enough that the event loop dominates and sharding has something to win.
+PerfEntry run_scaling_point(const std::string& name, u32 shards,
+                            u32 shard_threads, bool tiny,
+                            ChannelBackendKind backend) {
+  ExperimentConfig cfg;
+  cfg.combo = "C1";
+  cfg.design = DesignSpec::hydrogen_full();
+  cfg.sys = SystemConfig::table1(/*scale=*/8);
+  cfg.sys.cpu_cores = 32;
+  cfg.fast_channels = 32;
+  cfg.slow_channels = 8;
+  cfg.cpu_target_instructions = tiny ? 30'000 : 120'000;
+  cfg.gpu_target_instructions = tiny ? 300'000 : 1'200'000;
+  cfg.epoch_cycles = 40'000;
+  cfg.backend = backend;
+  cfg.shards = shards;
+  cfg.shard_threads = shard_threads;
+
+  const double t0 = now_seconds();
+  const ExperimentResult r = run_experiment(cfg);
+  const double wall = now_seconds() - t0;
+
+  PerfEntry e;
+  e.name = name;
+  e.kind = "sweep";
+  e.iters = 1;
+  e.wall_seconds = wall;
+  e.events = r.engine_steps;
+  e.accesses = r.hmstats[0].demand + r.hmstats[1].demand;
+  e.rate = wall > 0.0 ? static_cast<double>(e.events) / wall : 0.0;
+  e.accesses_per_sec =
+      wall > 0.0 ? static_cast<double>(e.accesses) / wall : 0.0;
+  return e;
+}
+
+std::vector<PerfEntry> run_scaling(bool tiny, ChannelBackendKind backend) {
+  std::vector<PerfEntry> out;
+  out.push_back(run_scaling_point("scaling/bignode_mono", 1, 1, tiny, backend));
+  out.push_back(
+      run_scaling_point("scaling/bignode_shard4_seq", 4, 1, tiny, backend));
+  out.push_back(
+      run_scaling_point("scaling/bignode_shard4_t4", 4, 4, tiny, backend));
+  // The determinism tripwire: the two sharded runs differ only in worker
+  // count, so their summed engine steps and demand accesses must be
+  // identical — a drift here means the barrier protocol leaked thread
+  // scheduling into results, which no speedup excuses.
+  const PerfEntry& seq = out[1];
+  const PerfEntry& par = out[2];
+  if (seq.events != par.events || seq.accesses != par.accesses) {
+    std::cerr << "perfbench: sharded runs diverged across thread counts: "
+              << "events " << seq.events << " vs " << par.events
+              << ", accesses " << seq.accesses << " vs " << par.accesses
+              << "\n";
+    std::exit(1);
+  }
+  return out;
+}
+
 int run(int argc, char** argv) {
   std::string out_path = "BENCH.json";
   u32 jobs = 0;
   bool tiny = false;
+  bool scaling = false;
   ChannelBackendKind backend = ChannelBackendKind::Fast;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -250,6 +321,8 @@ int run(int argc, char** argv) {
       jobs = static_cast<u32>(n);
     } else if (a == "--tiny") {
       tiny = true;
+    } else if (a == "--scaling") {
+      scaling = true;
     } else if (a == "--backend" && i + 1 < argc) {
       const std::string v = argv[++i];
       if (!parse_backend_kind(v, &backend)) {
@@ -259,7 +332,7 @@ int run(int argc, char** argv) {
     } else {
       std::cerr << "unknown argument: " << a
                 << " (supported: --out <path> --jobs <n> --tiny"
-                   " --backend fast|ddr)\n";
+                   " --backend fast|ddr --scaling)\n";
       return 2;
     }
   }
@@ -281,11 +354,18 @@ int run(int argc, char** argv) {
   report.set_meta("jobs", std::to_string(resolve_jobs(jobs)));
   report.set_meta("hardware_threads",
                   std::to_string(std::thread::hardware_concurrency()));
-  report.set_meta("slice", tiny ? "tiny" : "fig05-quick");
+  report.set_meta("slice", scaling ? (tiny ? "scaling-tiny" : "scaling")
+                                   : (tiny ? "tiny" : "fig05-quick"));
   report.set_meta("backend", to_string(backend));
 
-  for (PerfEntry& e : run_micros(tiny)) report.entries.push_back(std::move(e));
-  report.entries.push_back(run_fig05_slice(jobs, tiny, backend));
+  if (scaling) {
+    for (PerfEntry& e : run_scaling(tiny, backend)) {
+      report.entries.push_back(std::move(e));
+    }
+  } else {
+    for (PerfEntry& e : run_micros(tiny)) report.entries.push_back(std::move(e));
+    report.entries.push_back(run_fig05_slice(jobs, tiny, backend));
+  }
 
   if (!save_report(report, out_path)) {
     std::cerr << "perfbench: cannot write '" << out_path << "'\n";

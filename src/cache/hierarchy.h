@@ -50,6 +50,11 @@ class CacheHierarchy {
 
   /// Aggregate LLC hit rate split by requestor.
   double llc_hit_rate(Requestor r) const;
+  /// Raw LLC counters behind llc_hit_rate(): shard groups merge members'
+  /// counts before forming the global rate (a mean of per-shard rates would
+  /// weight shards equally regardless of traffic).
+  u64 llc_hits(Requestor r) const { return llc_hits_[static_cast<u32>(r)]; }
+  u64 llc_accesses(Requestor r) const { return llc_accesses_[static_cast<u32>(r)]; }
   void reset_stats();
 
   void save(ckpt::CkptWriter& w) const;

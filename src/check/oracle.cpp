@@ -1,5 +1,6 @@
 #include "check/oracle.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <map>
 #include <memory>
@@ -11,6 +12,7 @@
 #include "common/ckpt_io.h"
 #include "common/rng.h"
 #include "harness/config_loader.h"
+#include "harness/shard_router.h"
 #include "harness/sim_system.h"
 #include "hybridmem/hybrid_memory.h"
 #include "hybridmem/remap_cache.h"
@@ -371,21 +373,18 @@ u64 first_duplicate_tag(const RemapTable& t) {
   return kInvalidTag;
 }
 
-}  // namespace
-
-OracleReport run_oracle(const OracleConfig& ocfg) {
-  OracleReport report;
-  report.cpu_workload = ocfg.cpu_workload;
-  report.design = ocfg.design;
-  report.backend = ocfg.backend;
-  report.accesses = ocfg.accesses;
-
-  auto diff_u64 = [&report](const std::string& what, u64 sim, u64 oracle) {
+/// Replays one pre-materialised access stream through a fresh (full stack,
+/// reference model) pair and diffs every conserved quantity into `report`,
+/// labels prefixed with `prefix` ("s<i> " for shard substreams, "" for the
+/// monolithic replay). Returns the number of epoch boundaries driven.
+u64 replay_pair(const OracleConfig& ocfg, const std::vector<Step>& steps,
+                const std::string& prefix, OracleReport& report) {
+  auto diff_u64 = [&report, &prefix](const std::string& what, u64 sim, u64 oracle) {
     report.quantities++;
     if (sim != oracle) {
       char buf[256];
       std::snprintf(buf, sizeof(buf), "%s: simulator=%llu oracle=%llu",
-                    what.c_str(), static_cast<unsigned long long>(sim),
+                    (prefix + what).c_str(), static_cast<unsigned long long>(sim),
                     static_cast<unsigned long long>(oracle));
       report.diffs.push_back(buf);
     }
@@ -418,31 +417,13 @@ OracleReport run_oracle(const OracleConfig& ocfg) {
   // schedule fails fast, before any simulation work).
   const EpochSchedule schedule = parse_schedule(
       ocfg.schedule.empty() ? kDefaultSchedule : ocfg.schedule);
+  // Epoch boundaries slice *this* stream; for a shard substream the slices
+  // are proportionally shorter, and both sides of the pair see the same cuts.
   const u64 epoch_steps =
-      ocfg.epochs > 0 ? std::max<u64>(1, ocfg.accesses / (ocfg.epochs + 1)) : 0;
-
-  // Materialise one interleaved access sequence and feed it, bit-identically,
-  // to both sides. The GPU side is twice as intense as the CPU side, matching
-  // the bandwidth asymmetry the designs exist to manage.
-  const WorkloadSpec cpu_spec = with_scaled_footprint(
-      cpu_workload_spec(ocfg.cpu_workload), 1, ocfg.footprint_div);
-  const WorkloadSpec gpu_spec = with_scaled_footprint(
-      gpu_workload_spec(ocfg.gpu_workload), 1, ocfg.footprint_div);
-  SyntheticGenerator cpu_gen(cpu_spec, mix_hash(ocfg.seed, 1));
-  SyntheticGenerator gpu_gen(gpu_spec, mix_hash(ocfg.seed, 2));
-  const Addr gpu_base = ((cpu_spec.footprint_bytes / hm_cfg.block_bytes) + 1) *
-                        hm_cfg.block_bytes;
-
-  std::vector<Step> steps;
-  steps.reserve(ocfg.accesses);
-  Cycle now = 0;
-  for (u64 i = 0; i < ocfg.accesses; ++i) {
-    const bool cpu = (i % 3) == 0;
-    const Access a = cpu ? cpu_gen.next() : gpu_gen.next();
-    now += ocfg.cycle_gap;
-    steps.push_back(Step{now, (cpu ? 0 : gpu_base) + a.addr,
-                         cpu ? Requestor::Cpu : Requestor::Gpu, a.write});
-  }
+      ocfg.epochs > 0 ? std::max<u64>(1, steps.size() / (ocfg.epochs + 1)) : 0;
+  // The substream carries the original flat clock; drain and the refresh
+  // expectation run against its final value.
+  const Cycle end_clock = steps.empty() ? 0 : steps.back().now;
 
   // Cumulative-counter snapshots differenced into the synthesized
   // EpochFeedback (mirrors SimSystem::on_epoch_boundary's delta logic; the
@@ -519,7 +500,7 @@ OracleReport run_oracle(const OracleConfig& ocfg) {
       ref.on_epoch(fb, op);
 
       const std::string tagp =
-          "epoch " + std::to_string(epoch_idx) + " (" + to_string(op) + ") ";
+          prefix + "epoch " + std::to_string(epoch_idx) + " (" + to_string(op) + ") ";
 
       // Reconfiguration is lazy: the boundary itself moves no data, so the
       // residency snapshots must still agree — and each table must remain a
@@ -596,7 +577,6 @@ OracleReport run_oracle(const OracleConfig& ocfg) {
       epoch_idx++;
     }
   }
-  report.epochs = epoch_idx;
 
   for (u32 i = 0; i < 2; ++i) {
     const Requestor r = static_cast<Requestor>(i);
@@ -618,11 +598,13 @@ OracleReport run_oracle(const OracleConfig& ocfg) {
     diff_u64(who + " flush_invalidations", s.flush_invalidations,
              o.flush_invalidations);
   }
+  report.cpu_demand += hm->stats(Requestor::Cpu).demand;
+  report.gpu_demand += hm->stats(Requestor::Gpu).demand;
 
   // Drain the backends (posted writes completed, refresh caught up to the
   // final clock) so the command-conservation laws below are exact. The
   // reference model has no timing state, so this moves nothing on its side.
-  mem->drain_backends(now);
+  mem->drain_backends(end_clock);
 
   for (u32 ch = 0; ch < mem->num_fast_superchannels(); ++ch) {
     diff_u64("fast channel " + std::to_string(ch) + " requests",
@@ -655,7 +637,7 @@ OracleReport run_oracle(const OracleConfig& ocfg) {
     diff_u64(tagc + "act/pre pairing", ch.activations(),
              ch.precharges() + ch.open_banks());
     diff_u64(tagc + "refresh windows", ch.refresh_windows(),
-             ch.expected_refresh_windows(now));
+             ch.expected_refresh_windows(end_clock));
   };
   for (u32 ch = 0; ch < mem->num_fast_superchannels(); ++ch) {
     diff_channel("fast", ch, mem->fast_channel(ch), mem->issued_fast(ch));
@@ -672,9 +654,9 @@ OracleReport run_oracle(const OracleConfig& ocfg) {
   if (sim_res != ref_res) {
     char buf[256];
     std::snprintf(buf, sizeof(buf),
-                  "final residency differs: simulator holds %zu blocks, "
+                  "%sfinal residency differs: simulator holds %zu blocks, "
                   "oracle holds %zu",
-                  sim_res.size(), ref_res.size());
+                  prefix.c_str(), sim_res.size(), ref_res.size());
     report.diffs.push_back(buf);
     u32 shown = 0;
     for (const auto& [key, val] : sim_res) {
@@ -691,9 +673,86 @@ OracleReport run_oracle(const OracleConfig& ocfg) {
   }
 
   // End-of-replay invariant audits on the full side (active at check >= 2).
-  hm->audit(now, "oracle replay");
-  mem->audit(now);
+  hm->audit(end_clock, "oracle replay");
+  mem->audit(end_clock);
 
+  return epoch_idx;
+}
+
+}  // namespace
+
+OracleReport run_oracle(const OracleConfig& ocfg) {
+  OracleReport report;
+  report.cpu_workload = ocfg.cpu_workload;
+  report.design = ocfg.design;
+  report.backend = ocfg.backend;
+  report.accesses = ocfg.accesses;
+  report.shards = ocfg.shards == 0 ? 1 : ocfg.shards;
+
+  // Materialise one interleaved access sequence — identical for EVERY shard
+  // count — and feed it, bit-identically, to both sides of each replay pair.
+  // The GPU side is twice as intense as the CPU side, matching the bandwidth
+  // asymmetry the designs exist to manage.
+  const WorkloadSpec cpu_spec = with_scaled_footprint(
+      cpu_workload_spec(ocfg.cpu_workload), 1, ocfg.footprint_div);
+  const WorkloadSpec gpu_spec = with_scaled_footprint(
+      gpu_workload_spec(ocfg.gpu_workload), 1, ocfg.footprint_div);
+  SyntheticGenerator cpu_gen(cpu_spec, mix_hash(ocfg.seed, 1));
+  SyntheticGenerator gpu_gen(gpu_spec, mix_hash(ocfg.seed, 2));
+  constexpr u64 kBlockBytes = 256;  // HybridMemConfig default, as in replay_pair
+  const Addr gpu_base =
+      ((cpu_spec.footprint_bytes / kBlockBytes) + 1) * kBlockBytes;
+
+  std::vector<Step> steps;
+  steps.reserve(ocfg.accesses);
+  Cycle now = 0;
+  u64 expected_cpu = 0, expected_gpu = 0;
+  for (u64 i = 0; i < ocfg.accesses; ++i) {
+    const bool cpu = (i % 3) == 0;
+    const Access a = cpu ? cpu_gen.next() : gpu_gen.next();
+    now += ocfg.cycle_gap;
+    steps.push_back(Step{now, (cpu ? 0 : gpu_base) + a.addr,
+                         cpu ? Requestor::Cpu : Requestor::Gpu, a.write});
+    (cpu ? expected_cpu : expected_gpu)++;
+  }
+
+  if (report.shards == 1) {
+    report.epochs = replay_pair(ocfg, steps, "", report);
+    return report;
+  }
+
+  // Sharded replay: split the stream page-granularly with the same
+  // rendezvous router the ShardGroup harness partitions addresses with, and
+  // run one fully independent (full stack, reference model) pair per shard.
+  ShardRouter router(report.shards, report.shards * 8,
+                     mix_hash(ocfg.seed, 0x4F524143ull));  // "ORAC"
+  router.bind_span(gpu_base + gpu_spec.footprint_bytes);
+  std::vector<std::vector<Step>> parts(report.shards);
+  for (const Step& s : steps) {
+    parts[router.shard_of_addr(s.addr)].push_back(s);
+  }
+  for (u32 i = 0; i < report.shards; ++i) {
+    report.epochs = std::max(
+        report.epochs,
+        replay_pair(ocfg, parts[i], "s" + std::to_string(i) + " ", report));
+  }
+
+  // Global conservation across the partition: the per-class demand totals
+  // must re-sum to the stream composition, which is a pure function of the
+  // access sequence — independent of the shard count. CI diffs exactly this
+  // summary between --shards N and --shards 1.
+  report.quantities += 2;
+  auto conserve = [&report](const char* what, u64 got, u64 expected) {
+    if (got != expected) {
+      char buf[192];
+      std::snprintf(buf, sizeof(buf), "global %s demand conservation: %llu != %llu",
+                    what, static_cast<unsigned long long>(got),
+                    static_cast<unsigned long long>(expected));
+      report.diffs.push_back(buf);
+    }
+  };
+  conserve("cpu", report.cpu_demand, expected_cpu);
+  conserve("gpu", report.gpu_demand, expected_gpu);
   return report;
 }
 

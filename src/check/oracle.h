@@ -87,6 +87,15 @@ struct OracleConfig {
   /// quantities prove the checkpoint/restore seam loses nothing. -1 = never;
   /// must be < epochs to actually fire.
   i64 restore_at_epoch = -1;
+  /// Shard the replay (h2check --shards): the SAME materialised access
+  /// stream is split page-granularly across `shards` independent
+  /// (full stack, reference model) pairs by a ShardRouter, mirroring how the
+  /// ShardGroup harness partitions the address space. Per-shard conserved
+  /// quantities are diffed with an "s<i> " label prefix, and the per-class
+  /// demand totals must re-sum to the stream composition — a quantity that
+  /// is independent of the shard count, which is exactly what CI diffs
+  /// between --shards N and --shards 1.
+  u32 shards = 1;
 };
 
 struct OracleReport {
@@ -94,8 +103,14 @@ struct OracleReport {
   std::string design;
   ChannelBackendKind backend = ChannelBackendKind::Fast;
   u64 accesses = 0;
-  u64 epochs = 0;                   ///< epoch boundaries actually driven
+  u32 shards = 1;                   ///< replay pairs the stream was split across
+  u64 epochs = 0;                   ///< epoch boundaries actually driven (max over shards)
   u64 quantities = 0;               ///< conserved quantities compared
+  /// Global per-class demand, summed over every shard's full side. Equals
+  /// the stream composition whatever the shard count — the conserved summary
+  /// h2check prints and CI compares across --shards values.
+  u64 cpu_demand = 0;
+  u64 gpu_demand = 0;
   std::vector<std::string> diffs;   ///< human-readable mismatches (empty = ok)
   bool ok() const { return diffs.empty(); }
 };

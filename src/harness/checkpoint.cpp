@@ -3,6 +3,7 @@
 #include "check/fault.h"
 #include "common/ckpt_io.h"
 #include "harness/journal.h"
+#include "harness/shard_group.h"
 #include "harness/sim_system.h"
 
 namespace h2 {
@@ -41,6 +42,37 @@ void load_checkpoint(SimSystem& sys, const std::string& path) {
   r.get_u64();  // cycle: restored with the engine state
   r.leave_section();
   sys.load(r);
+  r.finish();
+}
+
+void save_checkpoint(ShardGroup& group, const std::string& path) {
+  ckpt::CkptWriter w;
+  w.begin_section(kHeaderSection);
+  w.put_str(config_key(group.config()));
+  w.put_u64(group.total_epochs());
+  w.put_u64(group.now());
+  w.end_section();
+  group.save(w);
+
+  std::string bytes = w.finish();
+  fault::perturb_checkpoint_bytes(bytes);
+  ckpt::write_file_atomic(path, bytes);
+}
+
+void load_checkpoint(ShardGroup& group, const std::string& path) {
+  ckpt::CkptReader r(ckpt::read_file(path), path);
+  r.enter_section(kHeaderSection);
+  const std::string stored_key = r.get_str();
+  const std::string live_key = config_key(group.config());
+  if (stored_key != live_key) {
+    r.fail("config mismatch: checkpoint was written by config " + stored_key +
+           ", this run is " + live_key +
+           " — restoring across configs would silently produce wrong results");
+  }
+  r.get_u64();  // epoch: informational, re-derived from the group section
+  r.get_u64();  // cycle: restored with the member engine states
+  r.leave_section();
+  group.load(r);
   r.finish();
 }
 

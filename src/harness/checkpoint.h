@@ -25,6 +25,7 @@
 namespace h2 {
 
 class SimSystem;
+class ShardGroup;
 
 /// Cheap identity peek at a checkpoint file's header (used by the sweep
 /// watchdog capture to report "resumable from epoch K").
@@ -46,6 +47,13 @@ void save_checkpoint(SimSystem& sys, const std::string& path);
 /// a bad magic/version/checksum, on truncation, and on a config_key header
 /// that does not match sys.config().
 void load_checkpoint(SimSystem& sys, const std::string& path);
+
+/// Group overloads: the whole ShardGroup — group cursors plus every member's
+/// prefixed state sections — snapshots into ONE container with the same
+/// identity header (config_key() covers sim.shards, so a monolithic
+/// checkpoint can never restore into a sharded run or vice versa).
+void save_checkpoint(ShardGroup& group, const std::string& path);
+void load_checkpoint(ShardGroup& group, const std::string& path);
 
 /// Reads just the identity header. Returns nullopt instead of throwing when
 /// the file is missing, torn or unreadable — callers use this to decide

@@ -52,6 +52,10 @@ ExperimentConfig experiment_from_config(const ConfigFile& cfg) {
   ec.warmup_epochs = static_cast<u32>(cfg.get_int("sim.warmup_epochs", 0));
   ec.timeline_path = cfg.get_string("sim.timeline", "");
   ec.reconfig_schedule = cfg.get_string("sim.reconfig_schedule", "");
+  ec.shards = static_cast<u32>(cfg.get_int("sim.shards", 1));
+  ec.shard_threads = static_cast<u32>(cfg.get_int("sim.shard_threads", 0));
+  H2_ASSERT(ec.shards >= 1, "%s: sim.shards must be >= 1",
+            cfg.where("sim.shards").c_str());
 
   // --- hybrid memory geometry ----------------------------------------------
   ec.assoc = static_cast<u32>(cfg.get_int("hybrid.assoc", 4));

@@ -2,6 +2,7 @@
 
 #include "common/assert.h"
 #include "harness/checkpoint.h"
+#include "harness/shard_group.h"
 #include "harness/sim_system.h"
 
 namespace h2 {
@@ -74,6 +75,21 @@ DesignSpec DesignSpec::hydrogen_setpart() {
 }
 
 ExperimentResult run_experiment(const ExperimentConfig& cfg) {
+  if (cfg.shards > 1) {
+    // Sharded run: N member systems behind the ShardGroup facade, coupled
+    // only at epoch boundaries. The monolithic path below is untouched, so
+    // --shards 1 stays byte-identical to the pre-sharding harness.
+    ShardGroup group(cfg);
+    group.build();
+    if (!cfg.restore_path.empty()) {
+      load_checkpoint(group, cfg.restore_path);
+      group.resume();
+    } else {
+      group.warmup(cfg.warmup_epochs);
+      group.measure();
+    }
+    return group.drain();
+  }
   SimSystem sys(cfg);
   sys.build();
   if (!cfg.restore_path.empty()) {

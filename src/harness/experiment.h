@@ -100,6 +100,19 @@ struct ExperimentConfig {
   bool build_idle_generators = false;
   u64 seed = 42;
 
+  /// Number of address-space shards (sim.shards, --shards). 1 = the
+  /// monolithic single-engine system, byte-identical to the pre-sharding
+  /// harness. N > 1 partitions cores, channels and hybrid-memory capacity
+  /// across N member systems behind a ShardGroup facade
+  /// (harness/shard_group.h), coupled only at epoch boundaries. Part of
+  /// config_key — the partition changes every simulated address.
+  u32 shards = 1;
+  /// Worker threads driving the shards between barriers (--shard-threads).
+  /// 0 = one thread per shard. NOT part of config_key: like the checkpoint
+  /// fields, the thread count is an execution detail — results are
+  /// bit-identical for every value, which tests/test_shard_group.cpp gates.
+  u32 shard_threads = 0;
+
   /// If non-empty, cores replay recorded traces from
   /// `<trace_dir>/<workload>.trace` (written by tools/h2trace) instead of
   /// running the synthetic generators — the artifact's T1 -> T2 pipeline.

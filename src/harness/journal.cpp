@@ -268,6 +268,7 @@ std::string config_key(const ExperimentConfig& cfg) {
   u(sys.hybrid.chain_latency);
   u(sys.hybrid.subblock);
   u(sys.hybrid.subblock_fetch);
+  u(cfg.shards);
 
   char buf[24];
   std::snprintf(buf, sizeof buf, "%016" PRIx64, hash_str(c));

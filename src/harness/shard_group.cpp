@@ -1,0 +1,475 @@
+#include "harness/shard_group.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "check/fault.h"
+#include "common/assert.h"
+#include "common/cancel.h"
+#include "common/ckpt_io.h"
+#include "common/rng.h"
+#include "harness/checkpoint.h"
+#include "harness/shard_router.h"
+
+namespace h2 {
+
+namespace {
+
+constexpr const char* kTimelineHeader =
+    "epoch,phase,cycle,cpu_instructions,gpu_instructions,weighted_ipc,"
+    "cpu_misses,gpu_misses,gpu_migrations,slow_backlog,"
+    "reconfigurations,cap,bw,tok\n";
+
+void add_stats(HybridStats& into, const HybridStats& from) {
+  into.demand += from.demand;
+  into.fast_hits += from.fast_hits;
+  into.chain_hits += from.chain_hits;
+  into.misses += from.misses;
+  into.migrations += from.migrations;
+  into.bypasses += from.bypasses;
+  into.first_touches += from.first_touches;
+  into.dirty_writebacks += from.dirty_writebacks;
+  into.fast_swaps += from.fast_swaps;
+  into.lazy_invalidations += from.lazy_invalidations;
+  into.lazy_moves += from.lazy_moves;
+  into.flush_invalidations += from.flush_invalidations;
+  into.llc_writebacks += from.llc_writebacks;
+  into.meta_misses += from.meta_misses;
+  into.meta_wait_cycles += from.meta_wait_cycles;
+  into.subfills += from.subfills;
+}
+
+}  // namespace
+
+ShardGroup::ShardGroup(const ExperimentConfig& cfg) : cfg_(cfg) {}
+
+ShardGroup::~ShardGroup() = default;
+
+std::vector<ShardSlice> ShardGroup::plan_slices(const ExperimentConfig& cfg) {
+  const u32 n = cfg.shards;
+  H2_ASSERT(n >= 1, "plan_slices() needs at least one shard");
+  const u32 n_cpu = cfg.sys.cpu_cores;
+  const u32 n_gpu = cfg.sys.gpu_clusters();
+  const u32 fast_ch = cfg.fast_channels ? cfg.fast_channels : cfg.sys.mem.fast_channels;
+  const u32 slow_ch = cfg.slow_channels ? cfg.slow_channels : cfg.sys.mem.slow_channels;
+  const u32 group = cfg.sys.mem.fast_group;
+  H2_ASSERT(group > 0 && fast_ch % group == 0,
+            "fast channels (%u) must be whole superchannels of %u", fast_ch, group);
+  const u32 supers = fast_ch / group;
+  // Every shard needs at least one active core per simulated side and one
+  // channel per tier; configs that shard finer than the machine are rejected
+  // up front rather than producing degenerate members.
+  if (!cfg.gpu_only) {
+    H2_ASSERT(n_cpu >= n, "sim.shards=%u exceeds the %u CPU cores", n, n_cpu);
+  }
+  if (!cfg.cpu_only) {
+    H2_ASSERT(n_gpu >= n, "sim.shards=%u exceeds the %u GPU clusters", n, n_gpu);
+  }
+  H2_ASSERT(supers >= n, "sim.shards=%u exceeds the %u fast superchannels", n, supers);
+  H2_ASSERT(slow_ch >= n, "sim.shards=%u exceeds the %u slow channels", n, slow_ch);
+
+  std::vector<ShardSlice> slices(n);
+  for (u32 i = 0; i < n; ++i) {
+    slices[i].shard = i;
+    slices[i].num_shards = n;
+  }
+  // Rendezvous-routed unit assignment: per-shard core counts differ by at
+  // most one, and the mapping is a pure function of (seed, machine, N) —
+  // resharding moves units consistently instead of reshuffling everything.
+  ShardRouter cpu_router(n, n_cpu, mix_hash(cfg.seed, 0x53435055ull));  // "SCPU"
+  for (u32 g = 0; g < n_cpu; ++g) {
+    slices[cpu_router.shard_of_region(g)].cpu_cores.push_back(g);
+  }
+  ShardRouter gpu_router(n, n_gpu, mix_hash(cfg.seed, 0x53475055ull));  // "SGPU"
+  for (u32 g = 0; g < n_gpu; ++g) {
+    slices[gpu_router.shard_of_region(g)].gpu_clusters.push_back(g);
+  }
+  // Channels split contiguously in whole fast superchannels (interleaving
+  // happens inside a member's MemorySystem, never across members).
+  for (u32 i = 0; i < n; ++i) {
+    slices[i].fast_channels = (supers / n + (i < supers % n ? 1 : 0)) * group;
+    slices[i].slow_channels = slow_ch / n + (i < slow_ch % n ? 1 : 0);
+  }
+  return slices;
+}
+
+void ShardGroup::build() {
+  H2_ASSERT(phase_ == Phase::Unbuilt, "build() must be called exactly once");
+  H2_ASSERT(cfg_.shards >= 2,
+            "ShardGroup needs sim.shards >= 2 (one shard is just a SimSystem)");
+  const std::vector<ShardSlice> slices = plan_slices(cfg_);
+  members_.reserve(slices.size());
+  for (const ShardSlice& slice : slices) {
+    members_.push_back(std::make_unique<SimSystem>(cfg_));
+    members_.back()->build(slice);
+  }
+  if (!cfg_.timeline_path.empty()) {
+    timeline_out_.open(cfg_.timeline_path, std::ios::trunc);
+    if (!timeline_out_.is_open()) {
+      throw std::runtime_error("cannot open timeline CSV '" + cfg_.timeline_path + "'");
+    }
+    emit_timeline(kTimelineHeader);
+  }
+  phase_ = Phase::Built;
+}
+
+Cycle ShardGroup::now() const { return members_[0]->engine().now(); }
+
+bool ShardGroup::phase_done() const {
+  if (phase_ == Phase::Warmup) return epochs_this_phase_ >= warmup_target_;
+  for (const auto& m : members_) {
+    if (!m->all_cores_finished()) return false;
+  }
+  return true;
+}
+
+bool ShardGroup::run_members_to_boundary() {
+  const u32 n = num_shards();
+  const u32 threads = cfg_.shard_threads == 0 ? n : std::min(cfg_.shard_threads, n);
+  std::vector<u8> at_boundary(n, 0);
+  std::vector<std::exception_ptr> errors(n);
+  auto run_one = [&](u32 i) {
+    try {
+      at_boundary[i] = members_[i]->run_to_boundary() ? 1 : 0;
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+  };
+  if (threads <= 1) {
+    for (u32 i = 0; i < n; ++i) run_one(i);
+  } else {
+    std::atomic<u32> next{0};
+    cancel::Token* token = cancel::current();
+    auto worker = [&] {
+      // Re-arm the coordinator's cancellation token so the sweep watchdog
+      // can cut member engines short. Fault injectors stay deliberately
+      // unarmed here: every fault site is group-level or coordinator-driven,
+      // so firing order never depends on thread scheduling.
+      std::optional<cancel::Scope> scope;
+      if (token != nullptr) scope.emplace(*token);
+      for (;;) {
+        const u32 i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        run_one(i);
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (u32 t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+  }
+  // Rethrow the lowest shard's failure — a deterministic pick when several
+  // members fail in the same round, whatever the thread interleaving was.
+  for (u32 i = 0; i < n; ++i) {
+    if (errors[i]) std::rethrow_exception(errors[i]);
+  }
+  for (const u8 b : at_boundary) {
+    if (!b) return false;
+  }
+  return true;
+}
+
+EpochFeedback ShardGroup::merge_feedback() const {
+  EpochFeedback merged;
+  merged.now = members_[0]->pending_feedback().now;
+  merged.epoch_cycles = cfg_.epoch_cycles;
+  for (const auto& m : members_) {
+    const EpochFeedback& fb = m->pending_feedback();
+    H2_ASSERT(fb.now == merged.now,
+              "shard barrier skew: boundary at cycle %llu vs %llu",
+              static_cast<unsigned long long>(fb.now),
+              static_cast<unsigned long long>(merged.now));
+    merged.cpu_instructions += fb.cpu_instructions;
+    merged.gpu_instructions += fb.gpu_instructions;
+    merged.cpu_misses += fb.cpu_misses;
+    merged.gpu_misses += fb.gpu_misses;
+    merged.gpu_migrations += fb.gpu_migrations;
+    merged.slow_backlog += fb.slow_backlog;
+  }
+  merged.weighted_ipc =
+      (cfg_.weight_cpu * static_cast<double>(merged.cpu_instructions) +
+       cfg_.weight_gpu * static_cast<double>(merged.gpu_instructions)) /
+      static_cast<double>(cfg_.epoch_cycles);
+  return merged;
+}
+
+void ShardGroup::run_phase() {
+  // One group round per epoch: run all members to the barrier, merge their
+  // local snapshots, and apply the merged global view in shard order. The
+  // ordering below mirrors the monolithic observer list exactly — fault
+  // sites first, then policy/schedule/audits (inside apply_epoch), then the
+  // timeline row, then the checkpoint — so a sharded boundary has the same
+  // externally visible side-effect sequence as a monolithic one. As in the
+  // monolithic run loop, the checkpoint is written *before* the termination
+  // test so a snapshot at the final boundary still lands on disk.
+  for (;;) {
+    if (phase_done()) {
+      end_phase();
+      return;
+    }
+    if (!run_members_to_boundary()) {
+      // Horizon reached or a workload ran dry inside some member: the phase
+      // ends without a group boundary.
+      end_phase();
+      return;
+    }
+    epochs_this_phase_++;
+    total_epochs_++;
+    const EpochFeedback merged = merge_feedback();
+    if (fault::at(fault::Kind::Throw)) fault::throw_synthetic(false);
+    if (fault::at(fault::Kind::ThrowTransient)) fault::throw_synthetic(true);
+    if (fault::at(fault::Kind::Stall)) fault::stall();
+    if (fault::at(fault::Kind::KillAtEpoch)) fault::kill_process();
+    for (auto& m : members_) m->apply_epoch(merged);
+    if (timeline_out_.is_open()) write_timeline_row(merged);
+    if (!cfg_.checkpoint_path.empty()) {
+      const u32 every = cfg_.checkpoint_every == 0 ? 1 : cfg_.checkpoint_every;
+      if (total_epochs_ % every == 0) do_checkpoint();
+    }
+  }
+}
+
+void ShardGroup::end_phase() {
+  end_cycle_ = 0;
+  for (auto& m : members_) {
+    m->member_end_phase();
+    end_cycle_ = std::max(end_cycle_, m->engine().now());
+  }
+}
+
+void ShardGroup::begin_measure() {
+  phase_ = Phase::Measure;
+  epochs_this_phase_ = 0;
+  for (auto& m : members_) m->member_begin_measure();
+  measure_start_ = now();
+}
+
+void ShardGroup::warmup(u32 epochs) {
+  H2_ASSERT(phase_ == Phase::Built, "warmup() must directly follow build()");
+  if (epochs > 0) {
+    phase_ = Phase::Warmup;
+    warmup_target_ = epochs;
+    epochs_this_phase_ = 0;
+    for (auto& m : members_) m->member_begin_warmup(epochs);
+    run_phase();
+  }
+  begin_measure();
+}
+
+void ShardGroup::measure() {
+  H2_ASSERT(phase_ == Phase::Measure && !measured_,
+            "measure() must follow warmup() — call warmup(0) for a cold start");
+  measured_ = true;
+  run_phase();
+}
+
+void ShardGroup::resume() {
+  H2_ASSERT(phase_ == Phase::Warmup || phase_ == Phase::Measure,
+            "resume() requires a load()ed checkpoint (phase warmup or measure)");
+  if (phase_ == Phase::Warmup) {
+    run_phase();
+    begin_measure();
+  }
+  measured_ = true;
+  run_phase();
+}
+
+ExperimentResult ShardGroup::drain() {
+  H2_ASSERT(phase_ == Phase::Measure && measured_, "drain() must follow measure()");
+  phase_ = Phase::Drained;
+
+  std::vector<ExperimentResult> parts;
+  parts.reserve(members_.size());
+  for (auto& m : members_) parts.push_back(m->drain());
+  if (timeline_out_.is_open()) timeline_out_.flush();
+
+  // Merge the per-member results the way the quantities compose physically:
+  // extensive counters (instructions, energy, tier traffic, hybrid stats,
+  // engine steps) sum; cycle counts take the max over members (the group
+  // finishes when its slowest shard does); rates are recomputed from the
+  // merged raw counters rather than averaged — a mean of per-shard rates
+  // would weight shards equally regardless of traffic.
+  ExperimentResult res;
+  res.combo = cfg_.combo;
+  res.design = parts[0].design;
+  res.epochs = epochs_this_phase_;
+  res.cpu_finished = true;
+  res.gpu_finished = true;
+  for (const ExperimentResult& p : parts) {
+    res.end_cycle = std::max(res.end_cycle, p.end_cycle);
+    res.cpu_cycles = std::max(res.cpu_cycles, p.cpu_cycles);
+    res.gpu_cycles = std::max(res.gpu_cycles, p.gpu_cycles);
+    res.cpu_finished = res.cpu_finished && p.cpu_finished;
+    res.gpu_finished = res.gpu_finished && p.gpu_finished;
+    res.cpu_instructions += p.cpu_instructions;
+    res.gpu_instructions += p.gpu_instructions;
+    res.energy_pj += p.energy_pj;
+    res.fast_bytes += p.fast_bytes;
+    res.slow_bytes += p.slow_bytes;
+    res.engine_steps += p.engine_steps;
+    for (u32 s = 0; s < 2; ++s) add_stats(res.hmstats[s], p.hmstats[s]);
+  }
+  if (res.cpu_cycles > 0) {
+    res.cpu_ipc = static_cast<double>(res.cpu_instructions) /
+                  static_cast<double>(res.cpu_cycles);
+  }
+  if (res.gpu_cycles > 0) {
+    res.gpu_ipc = static_cast<double>(res.gpu_instructions) /
+                  static_cast<double>(res.gpu_cycles);
+  }
+  res.weighted_ipc = cfg_.weight_cpu * res.cpu_ipc + cfg_.weight_gpu * res.gpu_ipc;
+  for (u32 s = 0; s < 2; ++s) {
+    res.fast_hit_rate[s] =
+        res.hmstats[s].demand
+            ? static_cast<double>(res.hmstats[s].fast_hits) /
+                  static_cast<double>(res.hmstats[s].demand)
+            : 0.0;
+  }
+  {
+    u64 hits[2] = {0, 0}, accesses[2] = {0, 0};
+    u64 rc_hits = 0, rc_misses = 0;
+    for (auto& m : members_) {
+      for (u32 s = 0; s < 2; ++s) {
+        const Requestor r = static_cast<Requestor>(s);
+        hits[s] += m->hierarchy().llc_hits(r);
+        accesses[s] += m->hierarchy().llc_accesses(r);
+      }
+      rc_hits += m->hybrid().remap_cache().hits();
+      rc_misses += m->hybrid().remap_cache().misses();
+    }
+    for (u32 s = 0; s < 2; ++s) {
+      res.llc_hit_rate[s] =
+          accesses[s] ? static_cast<double>(hits[s]) / static_cast<double>(accesses[s])
+                      : 0.0;
+    }
+    res.remap_cache_hit_rate =
+        rc_hits + rc_misses
+            ? static_cast<double>(rc_hits) / static_cast<double>(rc_hits + rc_misses)
+            : 0.0;
+  }
+  {
+    u64 n[2] = {0, 0}, sum[2] = {0, 0}, p99[2] = {0, 0};
+    for (auto& m : members_) {
+      for (const auto& c : m->cores()) {
+        const u32 i = static_cast<u32>(c->cls());
+        n[i] += c->read_latency().count();
+        sum[i] += c->read_latency().total();
+        p99[i] = std::max(p99[i], c->read_latency().percentile(99));
+      }
+    }
+    for (u32 i = 0; i < 2; ++i) {
+      res.read_latency_mean[i] = n[i] ? static_cast<double>(sum[i]) / n[i] : 0.0;
+      res.read_latency_p99[i] = p99[i];
+    }
+  }
+  const u64 demand = res.hmstats[0].demand + res.hmstats[1].demand;
+  if (demand > 0) {
+    res.slow_amplification =
+        static_cast<double>(res.slow_bytes) / (static_cast<double>(demand) * 64.0);
+  }
+  // Every member feeds the identical merged snapshot to an identical policy
+  // replica, so the replicas cannot diverge — a cheap tripwire for the whole
+  // determinism argument. Report shard 0's adaptation state.
+  for (const ExperimentResult& p : parts) {
+    H2_ASSERT(p.reconfigurations == parts[0].reconfigurations,
+              "policy replicas diverged (%llu vs %llu reconfigurations)",
+              static_cast<unsigned long long>(p.reconfigurations),
+              static_cast<unsigned long long>(parts[0].reconfigurations));
+  }
+  res.final_point = parts[0].final_point;
+  res.reconfigurations = parts[0].reconfigurations;
+  return res;
+}
+
+void ShardGroup::write_timeline_row(const EpochFeedback& fb) {
+  u64 reconfigurations = 0, cap = 0, bw = 0, tok = 0;
+  if (members_[0]->design().kind == DesignSpec::Kind::Hydrogen) {
+    const auto& hp = static_cast<const HydrogenPolicy&>(members_[0]->policy());
+    reconfigurations = hp.reconfigurations();
+    const ParamPoint p = hp.active_point();
+    cap = p.cap;
+    bw = p.bw;
+    tok = p.tok;
+  }
+  char row[320];
+  std::snprintf(row, sizeof(row),
+                "%llu,%s,%llu,%llu,%llu,%.6f,%llu,%llu,%llu,%llu,%llu,%llu,"
+                "%llu,%llu\n",
+                static_cast<unsigned long long>(total_epochs_),
+                phase_ == Phase::Warmup ? "warmup" : "measure",
+                static_cast<unsigned long long>(fb.now),
+                static_cast<unsigned long long>(fb.cpu_instructions),
+                static_cast<unsigned long long>(fb.gpu_instructions),
+                fb.weighted_ipc,
+                static_cast<unsigned long long>(fb.cpu_misses),
+                static_cast<unsigned long long>(fb.gpu_misses),
+                static_cast<unsigned long long>(fb.gpu_migrations),
+                static_cast<unsigned long long>(fb.slow_backlog),
+                static_cast<unsigned long long>(reconfigurations),
+                static_cast<unsigned long long>(cap),
+                static_cast<unsigned long long>(bw),
+                static_cast<unsigned long long>(tok));
+  emit_timeline(row);
+}
+
+void ShardGroup::emit_timeline(const char* text) {
+  timeline_history_ += text;
+  timeline_out_ << text;
+}
+
+void ShardGroup::do_checkpoint() { save_checkpoint(*this, cfg_.checkpoint_path); }
+
+void ShardGroup::save(ckpt::CkptWriter& w) const {
+  w.begin_section("shard-group");
+  w.put_u8(static_cast<u8>(phase_));
+  w.put_u32(warmup_target_);
+  w.put_u64(epochs_this_phase_);
+  w.put_u64(total_epochs_);
+  w.put_u64(measure_start_);
+  w.put_u64(end_cycle_);
+  w.put_str(timeline_history_);
+  w.end_section();
+  for (u32 i = 0; i < members_.size(); ++i) {
+    members_[i]->save(w, "s" + std::to_string(i) + "/");
+  }
+}
+
+void ShardGroup::load(ckpt::CkptReader& r) {
+  H2_ASSERT(phase_ == Phase::Built, "load() requires a freshly built group");
+  r.enter_section("shard-group");
+  const u8 phase_tag = r.get_u8();
+  if (phase_tag != static_cast<u8>(Phase::Warmup) &&
+      phase_tag != static_cast<u8>(Phase::Measure)) {
+    r.fail("checkpoint phase tag " + std::to_string(phase_tag) +
+           " is not an epoch-boundary phase (warmup/measure)");
+  }
+  phase_ = static_cast<Phase>(phase_tag);
+  warmup_target_ = r.get_u32();
+  epochs_this_phase_ = r.get_u64();
+  total_epochs_ = r.get_u64();
+  measure_start_ = r.get_u64();
+  end_cycle_ = r.get_u64();
+  const std::string history = r.get_str();
+  r.leave_section();
+  if (timeline_out_.is_open()) {
+    // Rewrite the file from the checkpointed history: byte-identical to an
+    // uninterrupted run even though the killed process lost its tail.
+    timeline_history_ = history;
+    timeline_out_.close();
+    timeline_out_.open(cfg_.timeline_path, std::ios::trunc);
+    if (!timeline_out_.is_open()) {
+      throw std::runtime_error("cannot reopen timeline CSV '" + cfg_.timeline_path + "'");
+    }
+    timeline_out_ << timeline_history_;
+  }
+  for (u32 i = 0; i < members_.size(); ++i) {
+    members_[i]->load(r, "s" + std::to_string(i) + "/");
+  }
+}
+
+}  // namespace h2

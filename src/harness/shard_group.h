@@ -1,0 +1,122 @@
+// ShardGroup: N hybrid-memory shards behind one facade, bit-reproducible at
+// any worker-thread count.
+//
+// plan_slices() partitions the simulated machine deterministically: CPU cores
+// and GPU clusters are routed to shards by two ShardRouters (rendezvous
+// hashing with exact load headroom, so unit counts per shard differ by at
+// most one), fast superchannels and slow channels are split contiguously, and
+// each member SimSystem packs its cores' footprints into a private address
+// space with a proportional LLC and hybrid-memory capacity slice. Cores keep
+// their *global* identities — workload pick, RNG seed, engine stagger — so
+// the union of the members' access streams partitions exactly the workload
+// set the monolithic system would run.
+//
+// Between epoch boundaries the members are completely independent discrete
+// event simulations; the group runs them on up to `shard_threads` worker
+// threads. At each boundary every member pauses with a local EpochFeedback
+// snapshot (SimSystem member protocol); the group then, single-threaded and
+// in shard order:
+//   1. merges the snapshots into one global EpochFeedback (sums of the
+//      per-shard deltas; the weighted-IPC objective recomputed from the
+//      summed instruction counts),
+//   2. visits the group-level fault sites (throw/stall/kill — exactly the
+//      sites FaultSiteObserver owns in the monolithic system),
+//   3. broadcasts the merged snapshot to every member's observers (policy
+//      adaptation, scripted schedule, audits) via apply_epoch(),
+//   4. appends the group timeline row and, on the checkpoint cadence,
+//      snapshots the whole group into one container.
+// Thread assignment only decides *when* a member reaches its barrier, never
+// what it computes or observes: merge order, observer order and all policy
+// inputs are functions of shard index alone. Hence the contract gated by
+// tests/test_shard_group.cpp — results are bit-identical for every
+// --shard-threads value, including 1.
+#pragma once
+
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/ckpt_fwd.h"
+#include "harness/sim_system.h"
+
+namespace h2 {
+
+class ShardGroup {
+ public:
+  using Phase = SimSystem::Phase;
+
+  explicit ShardGroup(const ExperimentConfig& cfg);
+  ~ShardGroup();
+  ShardGroup(const ShardGroup&) = delete;
+  ShardGroup& operator=(const ShardGroup&) = delete;
+
+  /// The deterministic machine partition for `cfg` (cfg.shards slices).
+  /// Exposed so tests can pin the unit-balance and channel-split properties
+  /// without building the systems.
+  static std::vector<ShardSlice> plan_slices(const ExperimentConfig& cfg);
+
+  /// Builds every member (cfg.shards >= 2; one shard is just a SimSystem).
+  void build();
+
+  /// The monolithic lifecycle, group-sequenced: warmup() runs `epochs`
+  /// group boundaries with adaptation live, then resets every member's
+  /// measurement counters and opens the window; measure() runs it to
+  /// completion; drain() merges the members' results into the one
+  /// ExperimentResult run_experiment reports.
+  void warmup(u32 epochs);
+  void measure();
+  ExperimentResult drain();
+
+  // --- checkpoint/restore (harness/checkpoint.h group overloads) ----------
+
+  /// Serializes the group cursors plus every member (sections "s<i>/...")
+  /// into one container. Taken at a group boundary with all engines paused.
+  void save(ckpt::CkptWriter& w) const;
+  /// Restores a save() into a freshly build()-ed group; follow with resume().
+  void load(ckpt::CkptReader& r);
+  /// Continues an interrupted run after load(), finishing the paused phase.
+  void resume();
+
+  const ExperimentConfig& config() const { return cfg_; }
+  Phase phase() const { return phase_; }
+  u32 num_shards() const { return static_cast<u32>(members_.size()); }
+  SimSystem& member(u32 i) { return *members_[i]; }
+  u64 total_epochs() const { return total_epochs_; }
+  u64 epochs_this_phase() const { return epochs_this_phase_; }
+  /// Engine cycle of the group (member engines agree at every barrier).
+  Cycle now() const;
+
+ private:
+  void begin_measure();
+  void run_phase();
+  void end_phase();
+  bool phase_done() const;
+  /// Runs every member to its next epoch boundary, on up to
+  /// cfg.shard_threads workers. Returns true when *all* members paused at
+  /// the boundary; false when any ran past the horizon or out of events.
+  bool run_members_to_boundary();
+  EpochFeedback merge_feedback() const;
+  void write_timeline_row(const EpochFeedback& fb);
+  void emit_timeline(const char* text);
+  void do_checkpoint();
+
+  ExperimentConfig cfg_;
+  Phase phase_ = Phase::Unbuilt;
+  bool measured_ = false;
+  std::vector<std::unique_ptr<SimSystem>> members_;
+
+  u32 warmup_target_ = 0;
+  u64 epochs_this_phase_ = 0;
+  u64 total_epochs_ = 0;
+  Cycle measure_start_ = 0;
+  Cycle end_cycle_ = 0;
+
+  // Group timeline (one row per *group* boundary; members write none). The
+  // byte history rides in the checkpoint so a restored run rewrites the file
+  // byte-identically, mirroring the monolithic TimelineObserver.
+  std::string timeline_history_;
+  std::ofstream timeline_out_;
+};
+
+}  // namespace h2

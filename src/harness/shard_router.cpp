@@ -1,0 +1,89 @@
+#include "harness/shard_router.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace h2 {
+
+ShardRouter::ShardRouter(u32 num_shards, u32 num_regions, u64 salt)
+    : num_shards_(num_shards), num_regions_(num_regions) {
+  H2_ASSERT(num_shards >= 1, "ShardRouter needs at least one shard");
+  H2_ASSERT(num_regions >= 1, "ShardRouter needs at least one region");
+  ranks_.configure(salt, num_shards);
+}
+
+void ShardRouter::invalidate() {
+  ranks_.invalidate();
+  region_shard_.clear();
+}
+
+void ShardRouter::ensure_assigned() const {
+  if (!region_shard_.empty()) return;
+  // Exact-headroom greedy walk: every shard takes floor(R/N) regions; the
+  // first `extra` shards to run out of floor-headroom get one promotion
+  // each, so final loads are floor(R/N) or floor(R/N)+1. Regions go in index
+  // order and each picks the highest-HRW-preference shard with headroom —
+  // consistent (pure function of salt/R/N) and deterministic.
+  const u32 lo = num_regions_ / num_shards_;
+  u32 promotions = num_regions_ % num_shards_;
+  std::vector<u32> load(num_shards_, 0);
+  region_shard_.assign(num_regions_, 0);
+  for (u32 region = 0; region < num_regions_; ++region) {
+    const std::vector<u32>& rank = ranks_.ranks(region);
+    // rank[shard] = preference position; invert to walk shards by preference.
+    std::vector<u32> pref(num_shards_);
+    for (u32 s = 0; s < num_shards_; ++s) pref[rank[s]] = s;
+    u32 chosen = num_shards_;
+    for (const u32 s : pref) {
+      if (load[s] < lo) {
+        chosen = s;
+        break;
+      }
+    }
+    if (chosen == num_shards_) {
+      // All shards at floor capacity: promote the most-preferred shard still
+      // at exactly floor (one exists while promotions remain — see header).
+      H2_ASSERT(promotions > 0, "shard assignment overflow");
+      for (const u32 s : pref) {
+        if (load[s] == lo) {
+          chosen = s;
+          break;
+        }
+      }
+      H2_ASSERT(chosen < num_shards_, "no promotable shard found");
+      promotions--;
+    }
+    load[chosen]++;
+    region_shard_[region] = chosen;
+  }
+}
+
+u32 ShardRouter::shard_of_region(u32 region) const {
+  H2_ASSERT(region < num_regions_, "region %u out of %u", region, num_regions_);
+  ensure_assigned();
+  return region_shard_[region];
+}
+
+void ShardRouter::bind_span(u64 span_bytes) {
+  H2_ASSERT(span_bytes > 0, "bind_span() needs a non-empty span");
+  const u64 pages = (span_bytes + kPageBytes - 1) / kPageBytes;
+  const u64 pages_per_region = std::max<u64>(1, (pages + num_regions_ - 1) / num_regions_);
+  region_bytes_ = pages_per_region * kPageBytes;
+}
+
+u32 ShardRouter::shard_of_page(u64 page) const {
+  H2_ASSERT(region_bytes_ > 0, "shard_of_page() before bind_span()");
+  const u64 region = page * kPageBytes / region_bytes_;
+  return shard_of_region(
+      static_cast<u32>(std::min<u64>(region, num_regions_ - 1)));
+}
+
+std::vector<u32> ShardRouter::region_loads() const {
+  ensure_assigned();
+  std::vector<u32> load(num_shards_, 0);
+  for (const u32 s : region_shard_) load[s]++;
+  return load;
+}
+
+}  // namespace h2

@@ -1,0 +1,73 @@
+// ShardRouter: deterministic, balanced partition of an address space (or any
+// indexed region set) across N shards, built on the same rendezvous hashing
+// as Hydrogen's way/channel selection (hydrogen/consistent_hash.h).
+//
+// Each region ranks the shards by HRW score; the assignment pass walks the
+// regions in index order and gives each to its highest-preference shard that
+// still has headroom. Headroom is exact: with R regions and N shards every
+// shard ends with floor(R/N) or floor(R/N)+1 regions, so the max/min load
+// ratio is bounded by 2.0 whenever R >= N — the bound the routing property
+// test pins. Because preference comes from per-region HRW rank rows, the
+// assignment inherits HRW's consistency (it is a pure function of
+// (salt, R, N)) and the rank rows are served by the memoised HrwRankTable,
+// so reconfigure bursts do not re-hash per lookup; invalidate() drops the
+// cached rows and the next lookup rebuilds assignment lazily.
+//
+// Two consumers:
+//   - ShardGroup routes *unit* regions (one region per CPU core / GPU
+//     cluster) to pick which member simulates which core;
+//   - the differential oracle and tests route page-granular address regions
+//     via bind_span() + shard_of_addr() to split a recorded access stream.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "hydrogen/consistent_hash.h"
+
+namespace h2 {
+
+class ShardRouter {
+ public:
+  /// Page granularity of address routing (bind_span rounds regions up to it).
+  static constexpr u64 kPageBytes = 4096;
+
+  /// Partitions `num_regions` regions across `num_shards` shards.
+  ShardRouter(u32 num_shards, u32 num_regions, u64 salt = 0x53485244ull);
+
+  u32 num_shards() const { return num_shards_; }
+  u32 num_regions() const { return num_regions_; }
+
+  /// The shard owning `region` (assignment built lazily after invalidate()).
+  u32 shard_of_region(u32 region) const;
+
+  /// Binds an address span: the span is cut into num_regions page-aligned
+  /// regions of equal size (the last one absorbs the page-rounding tail).
+  /// Required before shard_of_addr()/shard_of_page().
+  void bind_span(u64 span_bytes);
+  u64 region_bytes() const { return region_bytes_; }
+
+  /// The shard owning the page/address (bind_span() must have been called).
+  u32 shard_of_page(u64 page) const;
+  u32 shard_of_addr(Addr addr) const { return shard_of_page(addr / kPageBytes); }
+
+  /// Regions per shard under the current assignment.
+  std::vector<u32> region_loads() const;
+
+  /// Drops the cached HRW rank rows and the assignment; both rebuild lazily
+  /// on the next lookup. The hook the sharded reconfigure paths call instead
+  /// of reconstructing the router (satellite fix: rank tables used to be
+  /// rebuilt per lookup burst).
+  void invalidate();
+
+ private:
+  void ensure_assigned() const;
+
+  u32 num_shards_;
+  u32 num_regions_;
+  u64 region_bytes_ = 0;  ///< 0 until bind_span()
+  HrwRankTable ranks_;    ///< per-region shard rank rows, memoised
+  mutable std::vector<u32> region_shard_;  ///< empty until first lookup
+};
+
+}  // namespace h2

@@ -411,6 +411,176 @@ void SimSystem::build() {
   phase_ = Phase::Built;
 }
 
+void SimSystem::build(const ShardSlice& slice) {
+  H2_ASSERT(phase_ == Phase::Unbuilt, "build() must be called exactly once");
+  H2_ASSERT(!(cfg_.cpu_only && cfg_.gpu_only), "cpu_only and gpu_only are exclusive");
+  H2_ASSERT(slice.num_shards >= 1 && slice.shard < slice.num_shards,
+            "bad shard slice: shard %u of %u", slice.shard, slice.num_shards);
+  member_ = true;
+  slice_ = slice;
+  const ComboSpec& cb = combo(cfg_.combo);
+
+  // ---- workload layout: the member's cores keep their *global* identities
+  // (workload pick, RNG seed, stagger offset) but pack their footprints into
+  // a private local address space — shards are closed sub-simulations whose
+  // only coupling is the merged epoch feedback. --------------------------
+  sys_ = cfg_.sys;
+  const u32 n_cpu_local =
+      cfg_.gpu_only ? 0 : static_cast<u32>(slice.cpu_cores.size());
+  const u32 n_gpu_local =
+      cfg_.cpu_only ? 0 : static_cast<u32>(slice.gpu_clusters.size());
+  // Private-cache arrays are sized by what this member actually runs.
+  sys_.hierarchy.cpu_cores = std::max<u32>(1, static_cast<u32>(slice.cpu_cores.size()));
+  sys_.hierarchy.gpu_clusters =
+      std::max<u32>(1, static_cast<u32>(slice.gpu_clusters.size()));
+  // The shared LLC is sliced with the address space: each member gets a
+  // proportional share (never below one line per way).
+  sys_.hierarchy.llc.size_bytes = std::max<u64>(
+      sys_.hierarchy.llc.size_bytes / slice.num_shards,
+      static_cast<u64>(sys_.hierarchy.llc.ways) * sys_.hierarchy.llc.line_bytes);
+
+  auto make_generator = [&](const WorkloadSpec& spec, u64 seed, bool active,
+                            u64* footprint) -> std::unique_ptr<AccessGenerator> {
+    if (!cfg_.trace_dir.empty()) {
+      const std::string path = cfg_.trace_dir + "/" + spec.name + ".trace";
+      auto replay = std::make_unique<ReplayGenerator>(replay_from_file(spec.name, path));
+      *footprint = replay->footprint_bytes();
+      return replay;
+    }
+    *footprint = spec.footprint_bytes;
+    if (!active && !cfg_.build_idle_generators) return nullptr;
+    return std::make_unique<SyntheticGenerator>(spec, seed);
+  };
+
+  std::vector<Addr> bases;
+  std::vector<Addr> gpu_bases;
+  Addr cursor = 0;
+  for (const u32 g : slice.cpu_cores) {
+    const WorkloadSpec& spec = cpu_workload_spec(cb.cpu[(g / 2) % cb.cpu.size()]);
+    const WorkloadSpec scaled = with_scaled_footprint(spec, 1, sys_.scale);
+    u64 footprint = 0;
+    gens_.push_back(make_generator(scaled, mix_hash(cfg_.seed, 0x1000 + g),
+                                   n_cpu_local != 0, &footprint));
+    bases.push_back(cursor);
+    cursor += round_up(footprint, cfg_.block_bytes);
+  }
+  {
+    // Per-cluster GPU slices are divided by the *global* cluster count: a
+    // cluster streams the same tile here as it would in the monolithic
+    // system, whichever shard it lands on.
+    const WorkloadSpec scaled =
+        with_scaled_footprint(gpu_workload_spec(cb.gpu), 1, sys_.scale);
+    WorkloadSpec slice_spec = scaled;
+    slice_spec.footprint_bytes = std::max<u64>(
+        256 * 1024, scaled.footprint_bytes / cfg_.sys.gpu_clusters());
+    for (const u32 g : slice.gpu_clusters) {
+      u64 footprint = 0;
+      gens_.push_back(make_generator(slice_spec, mix_hash(cfg_.seed, 0x2000 + g),
+                                     n_gpu_local != 0, &footprint));
+      gpu_bases.push_back(cursor);
+      cursor += round_up(footprint, cfg_.block_bytes);
+    }
+  }
+
+  // ---- memory geometry: capacity follows the member's own footprint, so
+  // the fast:slow ratio every design reasons about is preserved per shard. --
+  const u64 slow_capacity = round_up(std::max<Addr>(cursor, cfg_.block_bytes),
+                                     cfg_.block_bytes);
+  u64 fast_capacity =
+      cfg_.fast_capacity_override
+          ? cfg_.fast_capacity_override / slice.num_shards
+          : static_cast<u64>(cfg_.fast_capacity_frac *
+                             static_cast<double>(slow_capacity));
+  const u64 set_bytes = static_cast<u64>(cfg_.assoc) * cfg_.block_bytes;
+  fast_capacity = std::max(set_bytes * 16, round_up(fast_capacity, set_bytes));
+
+  MemSystemConfig mem_cfg = sys_.mem;
+  H2_ASSERT(slice.fast_channels > 0 && slice.slow_channels > 0,
+            "shard slice with no channels (fast=%u slow=%u)",
+            slice.fast_channels, slice.slow_channels);
+  mem_cfg.fast_channels = slice.fast_channels;
+  mem_cfg.slow_channels = slice.slow_channels;
+  mem_cfg.block_bytes = cfg_.block_bytes;
+  mem_cfg.core_ghz = sys_.core_ghz;
+  mem_cfg.backend = cfg_.backend;
+  mem_cfg.ddr = cfg_.ddr;
+
+  HybridMemConfig hm_cfg = sys_.hybrid;
+  hm_cfg.mode = cfg_.mode;
+  hm_cfg.block_bytes = cfg_.block_bytes;
+  hm_cfg.assoc = cfg_.assoc;
+  hm_cfg.fast_capacity_bytes = fast_capacity;
+  hm_cfg.slow_capacity_bytes = slow_capacity;
+  hm_cfg.ideal_swap = cfg_.design.ideal_swap;
+  hm_cfg.instant_reconfig = cfg_.design.instant_reconfig;
+
+  design_ = cfg_.design;
+  if (design_.kind == DesignSpec::Kind::HAShCache) {
+    mem_cfg.cpu_priority = true;
+    if (design_.hashcache_native_geometry) {
+      hm_cfg.assoc = 1;
+      hm_cfg.chaining = true;
+    } else if (hm_cfg.assoc == 1) {
+      hm_cfg.chaining = true;
+    } else {
+      hm_cfg.chaining = false;
+      hm_cfg.mc_overhead += 8;
+    }
+  }
+  if (design_.kind == DesignSpec::Kind::Hydrogen) {
+    design_.hydrogen.phase_length = cfg_.phase_cycles;
+  }
+
+  hierarchy_ = std::make_unique<CacheHierarchy>(sys_.hierarchy);
+  mem_ = std::make_unique<MemorySystem>(mem_cfg);
+  policy_ = make_policy(design_);
+  hm_ = std::make_unique<HybridMemory>(hm_cfg, mem_.get(), policy_.get());
+
+  // ---- cores: local unit index (hierarchy arrays), global stagger start ---
+  auto add_core = [&](Requestor cls, u32 local, u32 global, Addr base,
+                      AccessGenerator* gen, u64 target) {
+    CoreParams p;
+    p.cls = cls;
+    p.unit = local;
+    p.addr_base = base;
+    p.base_ipc = cls == Requestor::Cpu ? sys_.cpu_base_ipc : sys_.gpu_base_ipc;
+    p.mlp = cls == Requestor::Cpu ? sys_.cpu_mlp : sys_.gpu_mlp;
+    p.write_buffer = cls == Requestor::Cpu ? sys_.cpu_write_buffer : sys_.gpu_write_buffer;
+    p.target_instructions = target;
+    cores_.push_back(std::make_unique<Core>(p, gen, this));
+    engine_.add_actor(cores_.back().get(), /*start=*/global);
+  };
+
+  if (n_cpu_local) {
+    for (u32 i = 0; i < slice.cpu_cores.size(); ++i) {
+      add_core(Requestor::Cpu, i, slice.cpu_cores[i], bases[i], gens_[i].get(),
+               cfg_.cpu_target_instructions);
+    }
+  }
+  if (n_gpu_local) {
+    for (u32 i = 0; i < slice.gpu_clusters.size(); ++i) {
+      add_core(Requestor::Gpu, i, slice.gpu_clusters[i], gpu_bases[i],
+               gens_[slice.cpu_cores.size() + i].get(),
+               cfg_.gpu_target_instructions);
+    }
+  }
+  H2_ASSERT(!cores_.empty(), "shard %u has no cores to run", slice.shard);
+
+  engine_.add_periodic(cfg_.epoch_cycles,
+                       [this](Cycle now) { on_epoch_boundary(now); });
+
+  // Member observers only: fault sites, timeline and checkpointing are
+  // group-level concerns (harness/shard_group.cpp) so they fire exactly once
+  // per *group* boundary, in shard-independent order.
+  observers_.push_back(std::make_unique<PolicyAdaptObserver>());
+  if (!cfg_.reconfig_schedule.empty()) {
+    observers_.push_back(std::make_unique<ScheduleObserver>(cfg_.reconfig_schedule));
+  }
+  observers_.push_back(std::make_unique<CheckAuditObserver>());
+
+  phase_ = Phase::Built;
+}
+
 void SimSystem::add_observer(std::unique_ptr<EpochObserver> obs) {
   H2_ASSERT(phase_ != Phase::Unbuilt && phase_ != Phase::Drained,
             "add_observer() needs a built, undrained system");
@@ -465,6 +635,17 @@ void SimSystem::on_epoch_boundary(Cycle now) {
   prev_cpu_miss_ = sc.misses;
   prev_gpu_miss_ = sg.misses;
   prev_gpu_migr_ = sg.migrations;
+
+  if (member_) {
+    // Barrier point: park with the local snapshot pending. The group merges
+    // all members' snapshots and feeds the observers via apply_epoch(); the
+    // engine's stop-inside-hook semantics make the later resume
+    // bit-identical to never having paused.
+    pending_fb_ = fb;
+    boundary_pause_ = true;
+    engine_.stop();
+    return;
+  }
 
   for (auto& obs : observers_) obs->on_epoch(*this, fb);
 
@@ -521,6 +702,47 @@ void SimSystem::run_phase() {
 
 void SimSystem::do_checkpoint() { save_checkpoint(*this, cfg_.checkpoint_path); }
 
+bool SimSystem::run_to_boundary() {
+  H2_ASSERT(member_, "run_to_boundary() is a shard-member protocol call");
+  H2_ASSERT(phase_ == Phase::Warmup || phase_ == Phase::Measure,
+            "run_to_boundary() needs an open phase");
+  boundary_pause_ = false;
+  engine_.run(cfg_.max_cycles);
+  return boundary_pause_;
+}
+
+void SimSystem::apply_epoch(const EpochFeedback& merged) {
+  H2_ASSERT(member_ && boundary_pause_,
+            "apply_epoch() needs a member paused at an epoch boundary");
+  for (auto& obs : observers_) obs->on_epoch(*this, merged);
+}
+
+void SimSystem::member_begin_warmup(u32 epochs) {
+  H2_ASSERT(member_ && phase_ == Phase::Built,
+            "member_begin_warmup() must directly follow build(slice)");
+  H2_ASSERT(epochs > 0, "member_begin_warmup() needs a warmup target");
+  phase_ = Phase::Warmup;
+  warmup_target_ = epochs;
+  epochs_this_phase_ = 0;
+}
+
+void SimSystem::member_begin_measure() {
+  H2_ASSERT(member_ && (phase_ == Phase::Built || phase_ == Phase::Warmup),
+            "member_begin_measure() needs a built or warmed member");
+  if (phase_ == Phase::Warmup) reset_measurement();
+  phase_ = Phase::Measure;
+  epochs_this_phase_ = 0;
+  measure_start_ = engine_.now();
+  measured_ = true;
+  boundary_pause_ = false;
+}
+
+void SimSystem::member_end_phase() {
+  H2_ASSERT(member_, "member_end_phase() is a shard-member protocol call");
+  end_cycle_ = engine_.now();
+  boundary_pause_ = false;
+}
+
 void SimSystem::warmup(u32 epochs) {
   H2_ASSERT(phase_ == Phase::Built, "warmup() must directly follow build()");
   if (epochs > 0) {
@@ -556,8 +778,8 @@ void SimSystem::resume() {
   run_phase();
 }
 
-void SimSystem::save(ckpt::CkptWriter& w) const {
-  w.begin_section("lifecycle");
+void SimSystem::save(ckpt::CkptWriter& w, const std::string& section_prefix) const {
+  w.begin_section(section_prefix + "lifecycle");
   w.put_u8(static_cast<u8>(phase_));
   w.put_u64(prev_cpu_instr_);
   w.put_u64(prev_gpu_instr_);
@@ -572,45 +794,45 @@ void SimSystem::save(ckpt::CkptWriter& w) const {
   w.put_u64(end_cycle_);
   w.end_section();
 
-  w.begin_section("engine");
+  w.begin_section(section_prefix + "engine");
   engine_.save(w);
   w.end_section();
 
-  w.begin_section("generators");
+  w.begin_section(section_prefix + "generators");
   for (const auto& g : gens_) {
     if (g) g->save_state(w);  // solo runs skip the idle side, both ways
   }
   w.end_section();
 
-  w.begin_section("cores");
+  w.begin_section(section_prefix + "cores");
   for (const auto& c : cores_) c->save(w);
   w.end_section();
 
-  w.begin_section("cache-hierarchy");
+  w.begin_section(section_prefix + "cache-hierarchy");
   hierarchy_->save(w);
   w.end_section();
 
-  w.begin_section("memory-system");
+  w.begin_section(section_prefix + "memory-system");
   mem_->save(w);
   w.end_section();
 
-  w.begin_section("hybrid-memory");
+  w.begin_section(section_prefix + "hybrid-memory");
   hm_->save(w);
   w.end_section();
 
-  w.begin_section("policy");
+  w.begin_section(section_prefix + "policy");
   policy_->save_state(w);
   w.end_section();
 
-  w.begin_section("observers");
+  w.begin_section(section_prefix + "observers");
   for (const auto& obs : observers_) obs->save_state(w);
   w.end_section();
 }
 
-void SimSystem::load(ckpt::CkptReader& r) {
+void SimSystem::load(ckpt::CkptReader& r, const std::string& section_prefix) {
   H2_ASSERT(phase_ == Phase::Built, "load() requires a freshly built system");
 
-  r.enter_section("lifecycle");
+  r.enter_section(section_prefix + "lifecycle");
   const u8 phase_tag = r.get_u8();
   if (phase_tag != static_cast<u8>(Phase::Warmup) &&
       phase_tag != static_cast<u8>(Phase::Measure)) {
@@ -618,6 +840,9 @@ void SimSystem::load(ckpt::CkptReader& r) {
            " is not an epoch-boundary phase (warmup/measure)");
   }
   phase_ = static_cast<Phase>(phase_tag);
+  // Members have no resume() — the group re-enters its barrier loop directly
+  // — so a member restored mid-measurement is marked measured here.
+  if (member_ && phase_ == Phase::Measure) measured_ = true;
   prev_cpu_instr_ = r.get_u64();
   prev_gpu_instr_ = r.get_u64();
   prev_cpu_miss_ = r.get_u64();
@@ -631,37 +856,37 @@ void SimSystem::load(ckpt::CkptReader& r) {
   end_cycle_ = r.get_u64();
   r.leave_section();
 
-  r.enter_section("engine");
+  r.enter_section(section_prefix + "engine");
   engine_.load(r);
   r.leave_section();
 
-  r.enter_section("generators");
+  r.enter_section(section_prefix + "generators");
   for (auto& g : gens_) {
     if (g) g->load_state(r);
   }
   r.leave_section();
 
-  r.enter_section("cores");
+  r.enter_section(section_prefix + "cores");
   for (auto& c : cores_) c->load(r);
   r.leave_section();
 
-  r.enter_section("cache-hierarchy");
+  r.enter_section(section_prefix + "cache-hierarchy");
   hierarchy_->load(r);
   r.leave_section();
 
-  r.enter_section("memory-system");
+  r.enter_section(section_prefix + "memory-system");
   mem_->load(r);
   r.leave_section();
 
-  r.enter_section("hybrid-memory");
+  r.enter_section(section_prefix + "hybrid-memory");
   hm_->load(r);
   r.leave_section();
 
-  r.enter_section("policy");
+  r.enter_section(section_prefix + "policy");
   policy_->restore_state(r);
   r.leave_section();
 
-  r.enter_section("observers");
+  r.enter_section(section_prefix + "observers");
   for (auto& obs : observers_) obs->load_state(r);
   r.leave_section();
 }

@@ -53,6 +53,21 @@ std::unique_ptr<PartitionPolicy> make_policy(const DesignSpec& design);
 
 class SimSystem;
 
+/// The slice of a sharded system one member SimSystem owns
+/// (harness/shard_group.h). Unit lists carry *global* identities: workload
+/// selection, generator RNG seeds and engine stagger offsets are functions
+/// of the global core/cluster index, so the union of every member's streams
+/// partitions exactly the workload set the monolithic system would run —
+/// no stream is duplicated or invented by resharding.
+struct ShardSlice {
+  u32 shard = 0;       ///< this member's index in the group
+  u32 num_shards = 1;  ///< group size
+  std::vector<u32> cpu_cores;     ///< global CPU core ids owned here
+  std::vector<u32> gpu_clusters;  ///< global GPU cluster ids owned here
+  u32 fast_channels = 0;  ///< physical fast channels of this member
+  u32 slow_channels = 0;  ///< slow channels of this member
+};
+
 /// Observes epoch boundaries. on_epoch fires at every boundary — warmup and
 /// measure phases alike, after the feedback snapshot is taken and before the
 /// phase-termination decision — strictly in registration order, which makes
@@ -92,6 +107,15 @@ class SimSystem final : public MemoryPort {
   /// observers. Must be called exactly once.
   void build();
 
+  /// Member-mode build: assembles the slice of a sharded system this member
+  /// owns — its cores (with global workload identities), a proportional LLC
+  /// slice, its own channel subset and hybrid-memory capacity — and registers
+  /// only the member observers (policy adaptation, schedule, audits). Fault
+  /// sites, timeline and checkpointing live at the ShardGroup, which also
+  /// drives the lifecycle through the member_* protocol below instead of
+  /// warmup()/measure().
+  void build(const ShardSlice& slice);
+
   /// Registers an additional observer behind the defaults. Valid any time
   /// after build() and before drain().
   void add_observer(std::unique_ptr<EpochObserver> obs);
@@ -115,10 +139,12 @@ class SimSystem final : public MemoryPort {
   /// heap, generators, cores, caches, hybrid memory, channels, policy and
   /// stateful observers — as named sections of `w`. Pure reads at a paused
   /// engine: a run that checkpoints is bit-identical to one that doesn't.
-  void save(ckpt::CkptWriter& w) const;
+  /// `section_prefix` namespaces the sections ("s<i>/" for shard members, so
+  /// a whole ShardGroup checkpoints into one container).
+  void save(ckpt::CkptWriter& w, const std::string& section_prefix = "") const;
   /// Restores state saved by save() into a freshly build()-ed system of the
   /// same configuration. Follow with resume().
-  void load(ckpt::CkptReader& r);
+  void load(ckpt::CkptReader& r, const std::string& section_prefix = "");
   /// Continues an interrupted run after load(): finishes the phase the
   /// checkpoint paused (warmup included, with the measurement window opening
   /// exactly as in an uninterrupted run), leaving the system ready to
@@ -150,6 +176,32 @@ class SimSystem final : public MemoryPort {
   PartitionPolicy& policy() { return *policy_; }
   const std::vector<std::unique_ptr<Core>>& cores() const { return cores_; }
 
+  // --- shard-member barrier protocol (driven by ShardGroup) ---------------
+  // Between barriers a member advances its own engine with zero cross-shard
+  // interaction; at each epoch boundary it pauses with a pending local
+  // EpochFeedback. The group merges all members' feedback deterministically
+  // in shard order and broadcasts the merged snapshot back via apply_epoch,
+  // so every member's policy replica sees the identical global view at the
+  // identical boundary — the whole run is a pure function of the config,
+  // independent of how many worker threads drive the members.
+
+  bool is_member() const { return member_; }
+  const ShardSlice& slice() const { return slice_; }
+  /// Runs the engine to the next epoch boundary. Returns true when paused at
+  /// the boundary with feedback pending; false when the member ran past the
+  /// horizon or out of events (the phase ends without a boundary).
+  bool run_to_boundary();
+  bool paused_at_boundary() const { return boundary_pause_; }
+  /// The local feedback snapshot taken at the pausing boundary.
+  const EpochFeedback& pending_feedback() const { return pending_fb_; }
+  /// Delivers the group-merged feedback to this member's observers (policy
+  /// adaptation, scripted schedule, audits) in registration order.
+  void apply_epoch(const EpochFeedback& merged);
+  /// Lifecycle transitions, group-sequenced instead of warmup()/measure().
+  void member_begin_warmup(u32 epochs);
+  void member_begin_measure();
+  void member_end_phase();
+
   /// First cycle of the measurement window (0 when warmup_epochs == 0).
   Cycle measure_start() const { return measure_start_; }
   /// Epoch boundaries seen in the current phase / since build().
@@ -173,6 +225,10 @@ class SimSystem final : public MemoryPort {
   SystemConfig sys_;
   Phase phase_ = Phase::Unbuilt;
   bool measured_ = false;
+  bool member_ = false;  ///< built via build(ShardSlice)
+  ShardSlice slice_;
+  bool boundary_pause_ = false;
+  EpochFeedback pending_fb_;
 
   Engine engine_;
   std::vector<std::unique_ptr<AccessGenerator>> gens_;

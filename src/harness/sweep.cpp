@@ -253,11 +253,16 @@ std::vector<SweepRun> run_sweep(const std::vector<ExperimentConfig>& configs,
               .count();
       if (!slot.ok && !prepared[i].checkpoint_path.empty()) {
         // Tell h2report "resumable from epoch K" apart from "lost everything".
+        // Label the slot by design/combo, not just the raw config_key-named
+        // path: a sharded sweep emits many near-identical paths, and the
+        // resumable-vs-lost listing has to stay readable by eye.
         if (const auto info = peek_checkpoint(prepared[i].checkpoint_path)) {
-          slot.error += "; last checkpoint: " + prepared[i].checkpoint_path +
-                        " (epoch " + std::to_string(info->epoch) + ")";
+          slot.error += "; last checkpoint [" + slot.combo + " / " + slot.design +
+                        "]: " + prepared[i].checkpoint_path + " (epoch " +
+                        std::to_string(info->epoch) + ")";
         } else {
-          slot.error += "; no checkpoint recovered";
+          slot.error += "; no checkpoint recovered [" + slot.combo + " / " +
+                        slot.design + "]";
         }
       }
       if (journal) journal->append(make_entry(slot, keys[i]));

@@ -40,4 +40,36 @@ bool hrw_selected(u64 salt, u32 set, u32 item, u32 k, u32 n) {
   return hrw_rank(salt, set, item, n) < k;
 }
 
+std::vector<u32> hrw_rank_all(u64 salt, u32 set, u32 n) {
+  // Sorting by (score desc, index asc) places item i at position
+  // hrw_rank(salt, set, i, n): the pairwise tie-break in hrw_rank
+  // (s > mine || (s == mine && i < item)) is exactly this ordering.
+  std::vector<u32> order(n);
+  for (u32 i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](u32 a, u32 b) {
+    const u64 sa = hrw_score(salt, set, a);
+    const u64 sb = hrw_score(salt, set, b);
+    return sa != sb ? sa > sb : a < b;
+  });
+  std::vector<u32> rank(n);
+  for (u32 pos = 0; pos < n; ++pos) rank[order[pos]] = pos;
+  return rank;
+}
+
+void HrwRankTable::configure(u64 salt, u32 n) {
+  salt_ = salt;
+  n_ = n;
+  rows_.clear();
+}
+
+void HrwRankTable::invalidate() { rows_.clear(); }
+
+const std::vector<u32>& HrwRankTable::ranks(u32 set) const {
+  H2_ASSERT(n_ > 0, "HrwRankTable: ranks() before configure()");
+  for (const auto& row : rows_)
+    if (row.first == set) return row.second;
+  rows_.emplace_back(set, hrw_rank_all(salt_, set, n_));
+  return rows_.back().second;
+}
+
 }  // namespace h2

@@ -29,4 +29,41 @@ bool hrw_selected(u64 salt, u32 set, u32 item, u32 k, u32 n);
 /// Rank of `item` by descending score among all n items (0 = highest).
 u32 hrw_rank(u64 salt, u32 set, u32 item, u32 n);
 
+/// Ranks of all n items at once: `result[item] == hrw_rank(salt, set, item, n)`
+/// for every item. One sort instead of n pairwise passes.
+std::vector<u32> hrw_rank_all(u64 salt, u32 set, u32 n);
+
+/// Memoised per-set rank rows. Reconfigure paths (channel rings, dedicated
+/// channel masks, the shard router) consult the same (salt, set) ranks in
+/// bursts; this caches each row on first use instead of rebuilding it per
+/// lookup. Rows are built lazily, so `invalidate()` is cheap and callers can
+/// drop everything whenever the backing membership changes.
+class HrwRankTable {
+ public:
+  HrwRankTable() = default;
+
+  /// (Re)binds the table to a (salt, n) universe and drops every cached row.
+  void configure(u64 salt, u32 n);
+
+  /// Drops all cached rows; they rebuild lazily on the next `ranks()` call.
+  void invalidate();
+
+  /// Rank row for `set` (result[item] == hrw_rank(salt, set, item, n)),
+  /// built on first use and cached until invalidated.
+  const std::vector<u32>& ranks(u32 set) const;
+
+  /// Convenience: cached equivalent of hrw_rank(salt, set, item, n).
+  u32 rank(u32 set, u32 item) const { return ranks(set)[item]; }
+
+  u32 items() const { return n_; }
+  u64 salt() const { return salt_; }
+
+ private:
+  u64 salt_ = 0;
+  u32 n_ = 0;
+  // Sparse row store: (set, row) pairs, linearly scanned. Reconfigure bursts
+  // touch a handful of distinct sets, so a flat store beats a hash map.
+  mutable std::vector<std::pair<u32, std::vector<u32>>> rows_;
+};
+
 }  // namespace h2

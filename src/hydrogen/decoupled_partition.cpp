@@ -17,6 +17,7 @@ constexpr u32 kChannelKey = 0xC0FFEEu;
 DecoupledPartition::DecoupledPartition(u32 num_channels, u32 assoc, u64 salt)
     : channels_(num_channels), assoc_(assoc), salt_(salt) {
   H2_ASSERT(num_channels >= 1 && assoc >= 1, "bad partition geometry");
+  channel_ranks_.configure(salt_ ^ 1, channels_);
   memo_set_.assign(kRankMemoSlots, ~0u);
   memo_rank_.resize(static_cast<size_t>(kRankMemoSlots) * assoc_);
   set_config(assoc >= 2 ? assoc - 1 : assoc, 1);
@@ -33,9 +34,9 @@ void DecoupledPartition::rebuild_channel_ring() {
   ded_flag_.assign(channels_, 0);
   ded_list_.clear();
   shared_list_.clear();
+  const std::vector<u32>& ranks = channel_ranks_.ranks(kChannelKey);
   for (u32 ch = 0; ch < channels_; ++ch) {
-    const bool ded =
-        channels_ < 2 || hrw_rank(salt_ ^ 1, kChannelKey, ch, channels_) < bw_;
+    const bool ded = channels_ < 2 || ranks[ch] < bw_;
     ded_flag_[ch] = ded ? 1 : 0;
     (ded ? ded_list_ : shared_list_).push_back(ch);
   }

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "hydrogen/consistent_hash.h"
 
 namespace h2 {
 
@@ -81,6 +82,12 @@ class DecoupledPartition {
   u64 salt_;
   u32 cap_ = 1;
   u32 bw_ = 1;
+
+  // Channel rank row, hoisted out of rebuild_channel_ring(): the HRW ranks
+  // depend only on (salt, channels), both fixed at construction, so the ring
+  // rebuild on every set_config() — the hill climber calls it per epoch —
+  // reuses one cached row instead of re-hashing O(channels^2).
+  HrwRankTable channel_ranks_;
 
   // Channel ring caches, rebuilt on every set_config (bw-dependent).
   std::vector<u8> ded_flag_;       ///< per channel: CPU-dedicated?

@@ -19,14 +19,21 @@ SetPartPolicy::SetPartPolicy(const SetPartConfig& cfg)
 
 bool SetPartPolicy::channel_dedicated(u32 ch) const {
   if (num_channels_ < 2) return true;
-  const u32 ded = std::clamp<u32>(
-      static_cast<u32>(std::lround(cfg_.cpu_bw_frac * num_channels_)), 1,
-      num_channels_ - 1);
-  return hrw_rank(cfg_.seed ^ 1, 0xC01u, ch, num_channels_) < ded;
+  return ded_flag_[ch] != 0;
 }
 
 void SetPartPolicy::bind(u32 num_channels, u32 assoc, u32 num_sets) {
   PartitionPolicy::bind(num_channels, assoc, num_sets);
+  // Hoisted HRW selection: one rank pass at bind instead of a rank scan per
+  // channel_dedicated() call (which set_owner() makes on every access).
+  ded_flag_.assign(num_channels_, 1);
+  if (num_channels_ >= 2) {
+    const u32 ded = std::clamp<u32>(
+        static_cast<u32>(std::lround(cfg_.cpu_bw_frac * num_channels_)), 1,
+        num_channels_ - 1);
+    const std::vector<u32> ranks = hrw_rank_all(cfg_.seed ^ 1, 0xC01u, num_channels_);
+    for (u32 ch = 0; ch < num_channels_; ++ch) ded_flag_[ch] = ranks[ch] < ded ? 1 : 0;
+  }
   set_partition(cfg_.cpu_set_frac);
   tokens_.set_budget(cfg_.token ? ~0ull : ~0ull);
 }

@@ -70,6 +70,12 @@ class SetPartPolicy final : public PartitionPolicy {
   u32 threshold_ = 0;  ///< shared-channel sets with hash < threshold are CPU
   std::vector<u32> cpu_sets_;
   std::vector<u32> gpu_sets_;
+  // Dedicated-channel flags, precomputed at bind(): set_owner() consults
+  // channel_dedicated() on every access and rebuild_side_lists() on every
+  // set, so the per-call HRW rank scan is hoisted into one hrw_rank_all()
+  // pass (the membership depends only on seed/bw_frac/geometry, all fixed
+  // after bind).
+  std::vector<u8> ded_flag_;
   double gpu_miss_rate_ = 0.0;
 };
 

@@ -140,6 +140,50 @@ TEST(ConsistentHashProperty, LoadRatioBounded) {
   }
 }
 
+// ---- rank-table hoist (satellite: memoised per-set rank rows) --------------
+
+TEST(ConsistentHashRankAll, MatchesPairwiseRankForEveryItem) {
+  Rng rng(0x5a17);
+  for (int trial = 0; trial < 30; ++trial) {
+    const u64 salt = rng.next();
+    const u32 n = 1 + static_cast<u32>(rng.next_below(12));
+    for (u32 set = 0; set < 64; ++set) {
+      const auto all = hrw_rank_all(salt, set, n);
+      ASSERT_EQ(all.size(), n);
+      for (u32 item = 0; item < n; ++item) {
+        ASSERT_EQ(all[item], hrw_rank(salt, set, item, n))
+            << "salt=" << salt << " set=" << set << " item=" << item;
+      }
+    }
+  }
+}
+
+TEST(ConsistentHashRankTable, CachedRowsMatchAndSurviveInvalidate) {
+  HrwRankTable table;
+  table.configure(kSalt, 8);
+  EXPECT_EQ(table.items(), 8u);
+  EXPECT_EQ(table.salt(), kSalt);
+  for (u32 set = 0; set < 32; ++set) {
+    const std::vector<u32> expected = hrw_rank_all(kSalt, set, 8);
+    // First call builds the row, second serves the cached copy; both must
+    // equal the uncached computation.
+    EXPECT_EQ(table.ranks(set), expected) << "set=" << set;
+    EXPECT_EQ(table.ranks(set), expected) << "set=" << set;
+    for (u32 item = 0; item < 8; ++item) {
+      EXPECT_EQ(table.rank(set, item), expected[item]);
+    }
+  }
+  // invalidate() drops every row; lazy rebuild reproduces them bit for bit.
+  table.invalidate();
+  for (u32 set = 0; set < 32; ++set) {
+    EXPECT_EQ(table.ranks(set), hrw_rank_all(kSalt, set, 8)) << "set=" << set;
+  }
+  // Reconfiguring to a new universe serves the new universe's rows.
+  table.configure(kSalt + 1, 5);
+  EXPECT_EQ(table.items(), 5u);
+  EXPECT_EQ(table.ranks(7), hrw_rank_all(kSalt + 1, 7, 5));
+}
+
 TEST(ConsistentHashProperty, RegressionPinnedAssignment) {
   // Pins the concrete top-2-of-8 assignment for the first 16 sets under a
   // fixed salt. hrw_score feeds the remap tables of every recorded result:

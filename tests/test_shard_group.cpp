@@ -1,0 +1,199 @@
+// The sharded-harness contract (harness/shard_group.h):
+//   - plan_slices() partitions every CPU core, GPU cluster and channel across
+//     the shards exactly once, with unit counts per shard within one of each
+//     other and fast channels in whole superchannel groups;
+//   - results are bit-identical for every --shard-threads value (0 = one
+//     thread per shard, 1 = sequential, any in between) — thread assignment
+//     decides when a member reaches its barrier, never what it computes;
+//   - cfg.shards is part of config_key (the partition changes every simulated
+//     address) while cfg.shard_threads is not (pure execution detail);
+//   - a sharded run checkpointed mid-flight restores bit-identically, and a
+//     sharded checkpoint never restores into a different shard count.
+#include "harness/shard_group.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "common/ckpt_io.h"
+#include "harness/checkpoint.h"
+#include "harness/experiment.h"
+#include "harness/journal.h"
+
+namespace h2 {
+namespace {
+
+/// Small, fast sharded experiment (mirrors test_experiment.cpp's quick()).
+/// Table I at scale 16 has 8 CPU cores, 6 GPU clusters, 16 fast channels in
+/// groups of 4 and 4 slow channels, so it splits cleanly up to 4 shards.
+ExperimentConfig quick(u32 shards, DesignSpec design = DesignSpec::hydrogen_full()) {
+  ExperimentConfig cfg;
+  cfg.combo = "C1";
+  cfg.design = std::move(design);
+  cfg.sys = SystemConfig::table1(/*scale=*/16);
+  cfg.cpu_target_instructions = 150'000;
+  cfg.gpu_target_instructions = 120'000;
+  cfg.epoch_cycles = 50'000;
+  cfg.max_cycles = 60'000'000;
+  cfg.shards = shards;
+  return cfg;
+}
+
+/// Lossless render via the journal serialiser (u64 decimal, doubles as
+/// hex-floats): comparing two dumps compares every result field bit for bit.
+std::string dump(const ExperimentResult& r) {
+  JournalEntry e;
+  e.key = "k";
+  e.combo = r.combo;
+  e.design = r.design;
+  e.status = "ok";
+  e.result = r;
+  return serialize_entry(e);
+}
+
+struct TempPath {
+  explicit TempPath(const std::string& name)
+      : path(::testing::TempDir() + name) {
+    std::remove(path.c_str());
+  }
+  ~TempPath() { std::remove(path.c_str()); }
+  const std::string path;
+};
+
+TEST(ShardGroupPlan, SlicesPartitionEveryUnitExactlyOnce) {
+  for (u32 n : {2u, 3u, 4u}) {
+    const ExperimentConfig cfg = quick(n);
+    const auto slices = ShardGroup::plan_slices(cfg);
+    ASSERT_EQ(slices.size(), n);
+
+    std::set<u32> cpus, gpus;
+    u32 fast = 0, slow = 0;
+    for (u32 i = 0; i < n; ++i) {
+      EXPECT_EQ(slices[i].shard, i);
+      EXPECT_EQ(slices[i].num_shards, n);
+      for (u32 c : slices[i].cpu_cores) {
+        EXPECT_TRUE(cpus.insert(c).second) << "core " << c << " owned twice";
+        EXPECT_LT(c, cfg.sys.cpu_cores);
+      }
+      for (u32 g : slices[i].gpu_clusters) {
+        EXPECT_TRUE(gpus.insert(g).second) << "cluster " << g << " owned twice";
+        EXPECT_LT(g, cfg.sys.gpu_clusters());
+      }
+      fast += slices[i].fast_channels;
+      slow += slices[i].slow_channels;
+      // Whole superchannel groups only: the decoupled partition's channel
+      // ring is built per member in group units.
+      EXPECT_EQ(slices[i].fast_channels % cfg.sys.mem.fast_group, 0u) << i;
+      EXPECT_GT(slices[i].fast_channels, 0u) << i;
+      EXPECT_GT(slices[i].slow_channels, 0u) << i;
+    }
+    EXPECT_EQ(cpus.size(), cfg.sys.cpu_cores) << "n=" << n;
+    EXPECT_EQ(gpus.size(), cfg.sys.gpu_clusters()) << "n=" << n;
+    EXPECT_EQ(fast, cfg.sys.mem.fast_channels) << "n=" << n;
+    EXPECT_EQ(slow, cfg.sys.mem.slow_channels) << "n=" << n;
+  }
+}
+
+TEST(ShardGroupPlan, UnitCountsBalancedWithinOne) {
+  for (u32 n : {2u, 3u, 4u}) {
+    const auto slices = ShardGroup::plan_slices(quick(n));
+    u32 cpu_min = ~0u, cpu_max = 0, gpu_min = ~0u, gpu_max = 0;
+    for (const auto& s : slices) {
+      cpu_min = std::min(cpu_min, static_cast<u32>(s.cpu_cores.size()));
+      cpu_max = std::max(cpu_max, static_cast<u32>(s.cpu_cores.size()));
+      gpu_min = std::min(gpu_min, static_cast<u32>(s.gpu_clusters.size()));
+      gpu_max = std::max(gpu_max, static_cast<u32>(s.gpu_clusters.size()));
+    }
+    EXPECT_LE(cpu_max, cpu_min + 1) << "n=" << n;
+    EXPECT_LE(gpu_max, gpu_min + 1) << "n=" << n;
+  }
+}
+
+TEST(ShardGroup, BitIdenticalAtEveryThreadCount) {
+  // The headline contract: one group barrier protocol, any worker count.
+  // T=1 runs members inline and sequentially; T=2 interleaves; T=0 gives
+  // every member its own thread. All must produce the same bytes.
+  ExperimentConfig cfg = quick(/*shards=*/2);
+  cfg.shard_threads = 1;
+  const std::string sequential = dump(run_experiment(cfg));
+
+  for (u32 threads : {2u, 0u}) {
+    cfg.shard_threads = threads;
+    EXPECT_EQ(dump(run_experiment(cfg)), sequential)
+        << "shard_threads=" << threads;
+  }
+}
+
+TEST(ShardGroup, ShardsInConfigKeyButThreadsNot) {
+  const ExperimentConfig one = quick(1);
+  ExperimentConfig two = quick(2);
+  EXPECT_NE(config_key(one), config_key(two));
+
+  ExperimentConfig threaded = two;
+  threaded.shard_threads = 4;
+  EXPECT_EQ(config_key(two), config_key(threaded));
+}
+
+TEST(ShardGroup, MidRunRestoreIsBitIdentical) {
+  const ExperimentConfig base = quick(/*shards=*/2);
+  const ExperimentResult plain = run_experiment(base);
+  ASSERT_GE(plain.epochs, 4u) << "config too small to snapshot mid-run";
+
+  // Stride so exactly one snapshot lands strictly inside the run (the sole
+  // multiple of (epochs/2 + 1) below the group epoch count).
+  TempPath ckpt("test_shard_group_midrun.ckpt");
+  ExperimentConfig with = base;
+  with.checkpoint_path = ckpt.path;
+  with.checkpoint_every = static_cast<u32>(plain.epochs / 2 + 1);
+  EXPECT_EQ(dump(run_experiment(with)), dump(plain))
+      << "writing group checkpoints perturbed the run";
+
+  const auto info = peek_checkpoint(ckpt.path);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_LT(info->epoch, plain.epochs);
+
+  ExperimentConfig resumed = base;
+  resumed.restore_path = ckpt.path;
+  EXPECT_EQ(dump(run_experiment(resumed)), dump(plain));
+}
+
+TEST(ShardGroup, RefusesARestoreIntoADifferentShardCount) {
+  // cfg.shards rides in config_key, so a monolithic checkpoint can never be
+  // resumed sharded (or vice versa) — the partition changes every address.
+  TempPath ckpt("test_shard_group_mismatch.ckpt");
+  ExperimentConfig writer = quick(/*shards=*/2);
+  writer.checkpoint_path = ckpt.path;
+  (void)run_experiment(writer);
+
+  ExperimentConfig other = quick(/*shards=*/1);
+  other.restore_path = ckpt.path;
+  try {
+    (void)run_experiment(other);
+    FAIL() << "sharded checkpoint restored into a monolithic config";
+  } catch (const ckpt::CheckpointError& e) {
+    EXPECT_NE(std::string(e.what()).find("config mismatch"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ShardGroup, EveryDesignRunsSharded) {
+  // Smoke across the design matrix: the member build path must support every
+  // policy the monolithic system does, and both sides must finish.
+  const DesignSpec designs[] = {
+      DesignSpec::baseline(), DesignSpec::waypart(), DesignSpec::hashcache(),
+      DesignSpec::profess(),  DesignSpec::hydrogen_full()};
+  for (const DesignSpec& d : designs) {
+    const ExperimentResult r = run_experiment(quick(/*shards=*/2, d));
+    EXPECT_TRUE(r.cpu_finished) << r.design;
+    EXPECT_TRUE(r.gpu_finished) << r.design;
+    EXPECT_GT(r.cpu_instructions, 0u) << r.design;
+    EXPECT_GT(r.gpu_instructions, 0u) << r.design;
+    EXPECT_GT(r.epochs, 0u) << r.design;
+  }
+}
+
+}  // namespace
+}  // namespace h2

@@ -4,7 +4,7 @@
 //           [--designs baseline,waypart,hydrogen-setpart,hashcache,profess,hydrogen]
 //           [--design <name>] [--accesses <n>] [--seed <n>] [--check <level>]
 //           [--epochs <n>] [--schedule <ops>] [--restore-at <epoch>]
-//           [--quick] [--backend fast|ddr|both]
+//           [--quick] [--backend fast|ddr|both] [--shards <n>]
 //
 // Replays each (backend, CPU workload, design) triple through the full
 // simulator and the independent reference model, and reports per-triple
@@ -18,7 +18,11 @@
 // checkpoint/restore seam is lossless. --quick shrinks the replay for smoke
 // runs. --backend selects the channel timing model on the full side (the
 // reference model is timing-free, so every conserved count must agree under
-// either backend); "both" runs every pair under fast then ddr.
+// either backend); "both" runs every pair under fast then ddr. --shards N
+// splits the SAME materialised stream page-granularly across N independent
+// replay pairs (mirroring the ShardGroup harness partition) and additionally
+// prints a per-triple "demand cpu=<n> gpu=<n>" summary — a conserved global
+// quantity CI diffs between --shards N and --shards 1 runs.
 // Exit status is 0 iff every pair matches on every conserved quantity, which
 // makes this binary a ctest entry (see tools/CMakeLists.txt).
 #include <cstdio>
@@ -44,7 +48,7 @@ void usage() {
       "               [--design <name>] [--accesses <n>] [--seed <n>]\n"
       "               [--check <level>] [--epochs <n>] [--schedule <ops>]\n"
       "               [--restore-at <epoch>] [--quick]\n"
-      "               [--backend fast|ddr|both]\n");
+      "               [--backend fast|ddr|both] [--shards <n>]\n");
 }
 
 std::vector<std::string> split_csv(const std::string& s) {
@@ -101,6 +105,12 @@ int main(int argc, char** argv) {
       base.schedule = value();
     } else if (arg == "--restore-at") {
       base.restore_at_epoch = std::strtoll(value(), nullptr, 10);
+    } else if (arg == "--shards") {
+      base.shards = static_cast<u32>(std::strtoul(value(), nullptr, 10));
+      if (base.shards == 0) {
+        std::fprintf(stderr, "--shards expects a positive count\n");
+        return 2;
+      }
     } else if (arg == "--quick") {
       quick = true;
     } else if (arg == "--backend") {
@@ -151,6 +161,12 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(rep.accesses),
               static_cast<unsigned long long>(rep.epochs),
               static_cast<unsigned long long>(rep.quantities));
+          // Shard-count-invariant conserved summary (grep-stable format:
+          // CI diffs these lines between --shards N and --shards 1 runs).
+          std::printf("  demand %-4s %-16s %-18s cpu=%llu gpu=%llu\n",
+                      to_string(backend), design.c_str(), wl.c_str(),
+                      static_cast<unsigned long long>(rep.cpu_demand),
+                      static_cast<unsigned long long>(rep.gpu_demand));
         } else {
           failures++;
           std::printf("FAIL %-4s %-16s %-18s %zu of %llu quantities differ:\n",

@@ -7,9 +7,15 @@
 //         [--journal-fsync] [--checkpoint <path>] [--checkpoint-every <n>]
 //         [--restore <path>] [--warmup-epochs <n>] [--timeline <path>]
 //         [--compiled-check-level] [--backend fast|ddr]
+//         [--shards <n>] [--shard-threads <n>]
 //
 // --backend overrides the mem.backend config key for every config on the
 // command line (per-channel timing model; see mem/ddr_backend.h).
+// --shards / --shard-threads override sim.shards / sim.shard_threads for
+// every config: N > 1 partitions each simulated system into N address-space
+// shards behind a ShardGroup (harness/shard_group.h), driven by the given
+// number of worker threads (0 = one per shard). Results are bit-identical
+// for every thread count.
 // --warmup-epochs and --timeline override the corresponding config keys for
 // every config on the command line (sim.warmup_epochs / sim.timeline); with
 // multiple configs, each run's timeline lands at `<path>.<index>` so parallel
@@ -57,7 +63,8 @@ void usage() {
                " [--journal-fsync] [--checkpoint <path>]"
                " [--checkpoint-every <n>] [--restore <path>]"
                " [--warmup-epochs <n>] [--timeline <path>]"
-               " [--compiled-check-level] [--backend fast|ddr]\n";
+               " [--compiled-check-level] [--backend fast|ddr]"
+               " [--shards <n>] [--shard-threads <n>]\n";
 }
 
 }  // namespace
@@ -82,6 +89,10 @@ int main(int argc, char** argv) {
   std::string timeline_path;
   bool have_backend = false;
   ChannelBackendKind backend = ChannelBackendKind::Fast;
+  bool have_shards = false;
+  u32 shards = 1;
+  bool have_shard_threads = false;
+  u32 shard_threads = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--out" && i + 1 < argc) {
@@ -110,6 +121,26 @@ int main(int argc, char** argv) {
         return 2;
       }
       have_backend = true;
+    } else if (a == "--shards" && i + 1 < argc) {
+      const std::string v = argv[++i];
+      char* end = nullptr;
+      const long n = std::strtol(v.c_str(), &end, 10);
+      if (!end || *end != '\0' || v.empty() || n < 1) {
+        std::cerr << "--shards expects a positive integer, got '" << v << "'\n";
+        return 2;
+      }
+      have_shards = true;
+      shards = static_cast<u32>(n);
+    } else if (a == "--shard-threads" && i + 1 < argc) {
+      const std::string v = argv[++i];
+      char* end = nullptr;
+      const long n = std::strtol(v.c_str(), &end, 10);
+      if (!end || *end != '\0' || v.empty() || n < 0) {
+        std::cerr << "--shard-threads expects a non-negative integer, got '" << v << "'\n";
+        return 2;
+      }
+      have_shard_threads = true;
+      shard_threads = static_cast<u32>(n);
     } else if (a == "--run-timeout" && i + 1 < argc) {
       const std::string v = argv[++i];
       char* end = nullptr;
@@ -187,6 +218,8 @@ int main(int argc, char** argv) {
     cfgs.push_back(experiment_from_file(path));
     if (have_warmup) cfgs.back().warmup_epochs = warmup_epochs;
     if (have_backend) cfgs.back().backend = backend;
+    if (have_shards) cfgs.back().shards = shards;
+    if (have_shard_threads) cfgs.back().shard_threads = shard_threads;
     if (!timeline_path.empty()) {
       cfgs.back().timeline_path =
           config_paths.size() == 1
