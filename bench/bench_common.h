@@ -17,6 +17,9 @@
 //                  (CI's recorded-number guard)
 //   --backend fast|ddr  per-channel timing model (default fast; see
 //                  mem/ddr_backend.h and TESTING.md's backend contract)
+//   --integrated   append the coherent-NUMA `integrated` design to figures
+//                  that take the Fig. 5 roster (off by default so the
+//                  historical goldens stay byte-identical)
 // and the crash-safety / fault flags (see src/harness/sweep.h):
 //   --run-timeout <sec>  per-run watchdog budget (0 = off)
 //   --retries <n>        retry transient failures up to n times
@@ -71,6 +74,8 @@ struct BenchArgs {
   /// --backend; the per-channel timing model every run uses (fast = the
   /// analytic model the recorded numbers pin, ddr = mem/ddr_backend.h).
   ChannelBackendKind backend = ChannelBackendKind::Fast;
+  /// --integrated; opt-in extra column for the Fig. 5 roster figures.
+  bool integrated = false;
 
   /// Parses argv without exiting: on success fills *out and returns true; on
   /// a bad flag returns false with a diagnostic in *error. The exiting
@@ -165,6 +170,8 @@ struct BenchArgs {
           *error = "--backend expects fast or ddr, got '" + v + "'";
           return false;
         }
+      } else if (a == "--integrated") {
+        args.integrated = true;
       } else {
         *error = "unknown argument: " + a +
                  " (supported: --quick --full --hbm3 --csv <path> --jobs <n>"
@@ -172,7 +179,7 @@ struct BenchArgs {
                  " --fault <spec> --journal <path> --resume --journal-fsync"
                  " --checkpoint <dir> --checkpoint-every <n> --restore"
                  " --warmup-epochs <n> --timeline <prefix>"
-                 " --compiled-check-level --backend fast|ddr)";
+                 " --compiled-check-level --backend fast|ddr --integrated)";
         return false;
       }
     }
@@ -225,11 +232,17 @@ inline std::vector<std::string> combo_names(const BenchArgs& args, bool subset_d
   return all;
 }
 
-/// The Fig. 5 design roster, in paper order.
-inline std::vector<DesignSpec> fig5_designs() {
-  return {DesignSpec::hashcache(),        DesignSpec::profess(),
-          DesignSpec::waypart(),          DesignSpec::hydrogen_dp(),
-          DesignSpec::hydrogen_dp_token(), DesignSpec::hydrogen_full()};
+/// The Fig. 5 design roster, in paper order. `with_integrated` appends the
+/// coherent-NUMA migration design as an extra rightmost column (the
+/// --integrated flag); the historical six-design roster is the default so
+/// the recorded goldens stay byte-identical.
+inline std::vector<DesignSpec> fig5_designs(bool with_integrated = false) {
+  std::vector<DesignSpec> designs = {
+      DesignSpec::hashcache(),        DesignSpec::profess(),
+      DesignSpec::waypart(),          DesignSpec::hydrogen_dp(),
+      DesignSpec::hydrogen_dp_token(), DesignSpec::hydrogen_full()};
+  if (with_integrated) designs.push_back(DesignSpec::integrated());
+  return designs;
 }
 
 /// Sweep results with per-slot failure state. Indexing mimics the old

@@ -3,6 +3,7 @@
 // over the non-partitioned baseline, for C1..C12.
 //   (a) HBM2E + DDR4   (default)
 //   (b) HBM3 + DDR4    (--hbm3)
+// --integrated appends the coherent-NUMA migration design as an extra column.
 #include <iostream>
 #include <map>
 
@@ -13,7 +14,7 @@ using namespace h2;
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
   const auto combos = bench::combo_names(args, /*subset_default=*/false);
-  const auto designs = bench::fig5_designs();
+  const auto designs = bench::fig5_designs(args.integrated);
 
   std::vector<std::string> cols = {"combo"};
   for (const auto& d : designs) cols.push_back(d.label);

@@ -1,6 +1,7 @@
 // Fig. 6: memory energy (dynamic + static, both tiers) of HAShCache, ProFess
 // and Hydrogen, normalised to HAShCache, for C1..C12. Energy follows the
 // Table I device parameters (RD/WR pJ/bit, ACT/PRE nJ, background power).
+// --integrated appends the coherent-NUMA migration design as an extra column.
 #include <iostream>
 
 #include "bench_common.h"
@@ -11,9 +12,11 @@ int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
   const auto combos = bench::combo_names(args, /*subset_default=*/false);
 
+  std::vector<std::string> cols = {"combo", "hashcache", "profess", "hydrogen"};
+  if (args.integrated) cols.push_back("integrated");
   TablePrinter table("Fig. 6: memory energy normalised to HAShCache",
-                     {"combo", "hashcache", "profess", "hydrogen"});
-  std::vector<double> profess_norm, hydrogen_norm;
+                     std::move(cols));
+  std::vector<double> profess_norm, hydrogen_norm, integrated_norm;
 
   // Energy must be compared over the same amount of work: all runs retire
   // the same instruction targets, so total energy per run is comparable.
@@ -22,6 +25,9 @@ int main(int argc, char** argv) {
     cfgs.push_back(bench::bench_config(combo, DesignSpec::hashcache(), args));
     cfgs.push_back(bench::bench_config(combo, DesignSpec::profess(), args));
     cfgs.push_back(bench::bench_config(combo, DesignSpec::hydrogen_full(), args));
+    if (args.integrated) {
+      cfgs.push_back(bench::bench_config(combo, DesignSpec::integrated(), args));
+    }
   }
   const auto results = bench::run_sweep(cfgs, args);
 
@@ -34,9 +40,19 @@ int main(int argc, char** argv) {
     const double y = ry.energy_pj / rh.energy_pj;
     profess_norm.push_back(p);
     hydrogen_norm.push_back(y);
-    table.row({combo, "1.00", fmt(p), fmt(y)});
+    std::vector<std::string> row = {combo, "1.00", fmt(p), fmt(y)};
+    if (args.integrated) {
+      const auto& ri = results[k++];
+      const double n = ri.energy_pj / rh.energy_pj;
+      integrated_norm.push_back(n);
+      row.push_back(fmt(n));
+    }
+    table.row(std::move(row));
   }
-  table.row({"geomean", "1.00", fmt(geomean(profess_norm)), fmt(geomean(hydrogen_norm))});
+  std::vector<std::string> gm_row = {"geomean", "1.00", fmt(geomean(profess_norm)),
+                                     fmt(geomean(hydrogen_norm))};
+  if (args.integrated) gm_row.push_back(fmt(geomean(integrated_norm)));
+  table.row(std::move(gm_row));
   table.print(std::cout);
   bench::maybe_csv(table, args);
 

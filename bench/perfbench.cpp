@@ -242,6 +242,55 @@ PerfEntry run_fig05_slice(u32 jobs, bool tiny, ChannelBackendKind backend) {
   return e;
 }
 
+/// The integrated-design slice: the same quick combos, baseline vs. the
+/// coherent-NUMA migration design. Its counters pin first-touch placement
+/// and threshold migration bit-exactly; the comparator treats the entry as
+/// benign when the baseline file predates it (only-in-current).
+PerfEntry run_fig05_integrated_slice(u32 jobs, bool tiny,
+                                     ChannelBackendKind backend) {
+  bench::BenchArgs bargs;
+  bargs.quick = true;
+  bargs.backend = backend;
+
+  std::vector<ExperimentConfig> cfgs;
+  const std::vector<std::string> combos =
+      tiny ? std::vector<std::string>{"C1"}
+           : std::vector<std::string>{"C1", "C5", "C11"};
+  for (const std::string& combo : combos) {
+    cfgs.push_back(bench::bench_config(combo, DesignSpec::baseline(), bargs));
+    cfgs.push_back(bench::bench_config(combo, DesignSpec::integrated(), bargs));
+  }
+
+  SweepOptions opts;
+  opts.jobs = jobs;
+
+  const double t0 = now_seconds();
+  const std::vector<SweepRun> runs = run_sweep(cfgs, opts);
+  const double wall = now_seconds() - t0;
+
+  u64 events = 0, accesses = 0;
+  for (const SweepRun& r : runs) {
+    if (!r.ok) {
+      std::cerr << "perfbench: sweep run [" << r.combo << " / " << r.design
+                << "] failed: " << r.error << "\n";
+      std::exit(1);
+    }
+    events += r.result.engine_steps;
+    accesses += r.result.hmstats[0].demand + r.result.hmstats[1].demand;
+  }
+
+  PerfEntry e;
+  e.name = tiny ? "fig05_integrated_tiny" : "fig05_integrated";
+  e.kind = "sweep";
+  e.iters = runs.size();
+  e.wall_seconds = wall;
+  e.events = events;
+  e.accesses = accesses;
+  e.rate = wall > 0.0 ? static_cast<double>(events) / wall : 0.0;
+  e.accesses_per_sec = wall > 0.0 ? static_cast<double>(accesses) / wall : 0.0;
+  return e;
+}
+
 /// One big-node run for the scaling battery. The shape mirrors
 /// configs/bignode.cfg: a 32-core, 32-fast-channel Table I scale-up — large
 /// enough that the event loop dominates and sharding has something to win.
@@ -365,6 +414,7 @@ int run(int argc, char** argv) {
   } else {
     for (PerfEntry& e : run_micros(tiny)) report.entries.push_back(std::move(e));
     report.entries.push_back(run_fig05_slice(jobs, tiny, backend));
+    report.entries.push_back(run_fig05_integrated_slice(jobs, tiny, backend));
   }
 
   if (!save_report(report, out_path)) {

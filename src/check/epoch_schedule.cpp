@@ -8,6 +8,7 @@
 #include "hybridmem/policy.h"
 #include "hydrogen/hydrogen_policy.h"
 #include "hydrogen/setpart_policy.h"
+#include "policies/integrated.h"
 #include "policies/waypart.h"
 
 namespace h2 {
@@ -136,6 +137,38 @@ bool apply_waypart(const ScheduleStep& step, WayPartPolicy& wp) {
   }
 }
 
+/// Integrated: no partition to move — the schedule steps the migration
+/// knobs instead. `grow`/`shrink` ease/tighten the hotness threshold
+/// (capacity role: a lower threshold admits more pages to the fast tier),
+/// `bw+`/`bw-` shorten/lengthen the cooldown by kCooldownStep cycles
+/// (bandwidth role: more or less migration traffic), `point=C/B/T` pins
+/// threshold=C and cooldown=B*kCooldownStep, `frac=F` scales the initial
+/// threshold. Token ops hold.
+bool apply_integrated(const ScheduleStep& step, IntegratedPolicy& ip) {
+  switch (step.op) {
+    case ScheduleOp::Grow:
+      return ip.set_threshold(ip.threshold() > 1 ? ip.threshold() - 1 : 1);
+    case ScheduleOp::Shrink:
+      return ip.set_threshold(ip.threshold() + 1);
+    case ScheduleOp::BwUp:
+      return ip.set_cooldown(ip.cooldown() >= IntegratedPolicy::kCooldownStep
+                                 ? ip.cooldown() - IntegratedPolicy::kCooldownStep
+                                 : 0);
+    case ScheduleOp::BwDown:
+      return ip.set_cooldown(ip.cooldown() + IntegratedPolicy::kCooldownStep);
+    case ScheduleOp::Point: {
+      const bool t = ip.set_threshold(std::max(1u, step.cap));
+      const bool c = ip.set_cooldown(step.bw * IntegratedPolicy::kCooldownStep);
+      return t || c;
+    }
+    case ScheduleOp::Frac:
+      return ip.set_threshold(std::max<u32>(
+          1, static_cast<u32>(std::lround(step.frac * ip.initial_threshold()))));
+    default:
+      return false;
+  }
+}
+
 /// SetPart: one fraction knob; grow/shrink move it by a whole 0.10 slice so
 /// a step flips a visible number of sets (set_partition clamps internally).
 bool apply_setpart(const ScheduleStep& step, SetPartPolicy& sp) {
@@ -218,6 +251,9 @@ bool apply_schedule_step(const ScheduleStep& step, PartitionPolicy& policy) {
   }
   if (auto* sp = dynamic_cast<SetPartPolicy*>(&policy)) {
     return apply_setpart(step, *sp);
+  }
+  if (auto* ip = dynamic_cast<IntegratedPolicy*>(&policy)) {
+    return apply_integrated(step, *ip);
   }
   return false;  // baseline / hashcache / profess: nothing to reconfigure
 }

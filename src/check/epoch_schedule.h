@@ -21,10 +21,14 @@
 //
 // Ops are design-relative: each step reads the policy's *current* state and
 // moves one knob, clamped to the design's legal range, so the same schedule
-// is meaningful for hydrogen (ParamPoint steps), waypart (cpu-way steps) and
-// hydrogen-setpart (set-fraction steps in 0.10 increments). Designs without
-// a reconfigurable partition (baseline, hashcache, profess) treat every op
-// as `hold`. Because the target is computed from the policy's own state, two
+// is meaningful for hydrogen (ParamPoint steps), waypart (cpu-way steps),
+// hydrogen-setpart (set-fraction steps in 0.10 increments) and integrated
+// (grow/shrink ease/tighten the migration threshold, bw+/bw- shorten/
+// lengthen the cooldown, point=C/B/T pins threshold=C and
+// cooldown=B*kCooldownStep, frac scales the initial threshold). Designs
+// without a reconfigurable partition (baseline, hashcache, profess) treat
+// every op as `hold`. Because the target is computed from the policy's own
+// state, two
 // policies with identical histories make bit-identical transitions — the
 // property the differential oracle relies on.
 #pragma once
@@ -76,9 +80,11 @@ std::string to_string(const EpochSchedule& sched);
 
 /// Applies one step to `policy`, dispatching on its concrete design:
 /// hydrogen steps its active ParamPoint, waypart its cpu-way count, setpart
-/// its set fraction (+-0.10 per grow/shrink); everything else holds. All
-/// targets are clamped to the design's legal range. Returns true iff the
-/// partition actually changed (i.e. lazy fixups are now due somewhere).
+/// its set fraction (+-0.10 per grow/shrink), integrated its migration
+/// threshold/cooldown; everything else holds. All targets are clamped to the
+/// design's legal range. Returns true iff the configuration actually changed
+/// (i.e. lazy fixups are now due somewhere — vacuously for integrated, whose
+/// mapping never moves).
 bool apply_schedule_step(const ScheduleStep& step, PartitionPolicy& policy);
 
 }  // namespace h2

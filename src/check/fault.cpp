@@ -15,7 +15,8 @@ constexpr const char* kKindNames[kNumKinds] = {
     "remap-flip", "dup-tag", "drop-writeback", "time-skew",
     "cursor-skew", "throw",   "throw-transient", "stall",
     "lazy-skip",  "alloc-stuck", "refresh-skip", "sched-starve",
-    "ckpt-corrupt", "ckpt-truncate", "kill-at-epoch",
+    "ckpt-corrupt", "ckpt-truncate", "kill-at-epoch", "migrate-lost",
+    "counter-stuck",
 };
 
 /// Strict base-10 u64 parse; throws on empty, non-digit, or overflow.

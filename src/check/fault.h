@@ -20,7 +20,7 @@
 //   kinds  remap-flip | dup-tag | drop-writeback | time-skew | cursor-skew
 //          | throw | throw-transient | stall | lazy-skip | alloc-stuck
 //          | refresh-skip | sched-starve | ckpt-corrupt | ckpt-truncate
-//          | kill-at-epoch
+//          | kill-at-epoch | migrate-lost | counter-stuck
 //   keys   after=N   skip the first N visits to matching sites (default 0)
 //          count=N   fire at most N times; 0 = unlimited     (default 1)
 //          seed=N    recorded for reproducibility bookkeeping (default 0)
@@ -50,6 +50,8 @@ namespace h2::fault {
 ///   CkptCorrupt    flip one byte of a checkpoint at write -> checksum reject
 ///   CkptTruncate   drop a checkpoint's trailing bytes     -> framing reject
 ///   KillAtEpoch    hard process kill at an epoch boundary -> checkpoint restore
+///   MigrateLost    migration charged but never installed   -> oracle migration law
+///   CounterStuck   page access counter stops incrementing  -> oracle counter table
 enum class Kind : std::uint8_t {
   RemapFlip,
   DupTag,
@@ -66,9 +68,11 @@ enum class Kind : std::uint8_t {
   CkptCorrupt,
   CkptTruncate,
   KillAtEpoch,
+  MigrateLost,
+  CounterStuck,
 };
 
-inline constexpr int kNumKinds = 15;
+inline constexpr int kNumKinds = 17;
 
 /// Spec-grammar name of a kind ("remap-flip", ...).
 const char* kind_name(Kind k);

@@ -19,6 +19,7 @@
 #include "hybridmem/remap_table.h"
 #include "hydrogen/hydrogen_policy.h"
 #include "hydrogen/setpart_policy.h"
+#include "policies/integrated.h"
 #include "trace/workloads.h"
 
 namespace h2 {
@@ -50,11 +51,11 @@ struct Step {
 std::unique_ptr<PartitionPolicy> oracle_policy(const std::string& design, u64 seed) {
   if (design != "baseline" && design != "waypart" && design != "hashcache" &&
       design != "profess" && design != "hydrogen" &&
-      design != "hydrogen-setpart") {
+      design != "hydrogen-setpart" && design != "integrated") {
     throw std::invalid_argument(
         "oracle: unknown design '" + design +
-        "' (expected baseline, waypart, hashcache, profess, hydrogen or "
-        "hydrogen-setpart)");
+        "' (expected baseline, waypart, hashcache, profess, hydrogen, "
+        "hydrogen-setpart or integrated)");
   }
   DesignSpec spec = design_from_name(design);
   spec.hydrogen.seed = seed;
@@ -89,8 +90,9 @@ class RefModel {
 
   struct SideStats {
     u64 demand = 0, fast_hits = 0, chain_hits = 0, misses = 0, migrations = 0,
-        bypasses = 0, dirty_writebacks = 0, fast_swaps = 0, meta_misses = 0,
-        lazy_invalidations = 0, lazy_moves = 0, flush_invalidations = 0;
+        bypasses = 0, first_touches = 0, dirty_writebacks = 0, fast_swaps = 0,
+        meta_misses = 0, lazy_invalidations = 0, lazy_moves = 0,
+        flush_invalidations = 0;
   };
 
   void access(const Step& s) {
@@ -128,6 +130,10 @@ class RefModel {
     if (way >= 0) {
       ctx.set = eff_set;  // hits are served at the effective (chained) set
       serve_hit(ctx, static_cast<u32>(way), chained);
+      return;
+    }
+    if (cfg_.mode == HybridMode::Flat) {
+      serve_miss_flat(ctx);
       return;
     }
     serve_miss(ctx);
@@ -216,17 +222,22 @@ class RefModel {
     SideStats& st = stats_[static_cast<u32>(ctx.cls)];
     const bool want_cpu = policy_->way_owner(ctx.set, way) == Requestor::Cpu;
     if (rw.owner_cpu != want_cpu) {
-      if (rw.dirty) {
+      // Flat mode has no backing copy to fall back to, so a misplaced block
+      // only has its owner bit repaired — it is never invalidated and dirty
+      // data never moves (mirrors the mode gates in the full mechanism).
+      if (rw.dirty && cfg_.mode == HybridMode::Cache) {
         const Addr wb = rw.tag * cfg_.block_bytes;
         slow_reqs_[static_cast<u32>((wb / slow_block_) % slow_reqs_.size())]++;
         st.dirty_writebacks++;
       }
-      rw.valid = false;
-      rw.dirty = false;
-      rw.tag = kInvalidTag;
+      if (cfg_.mode == HybridMode::Cache) {
+        rw.valid = false;
+        rw.dirty = false;
+        rw.tag = kInvalidTag;
+      }
       rw.owner_cpu = want_cpu;
       st.lazy_invalidations++;
-      return true;
+      return cfg_.mode == HybridMode::Cache;
     }
     const u8 want_ch = static_cast<u8>(policy_->channel_of_way(ctx.set, way));
     if (rw.channel != want_ch && rw.valid) {
@@ -337,6 +348,48 @@ class RefModel {
     fill_way(fill_set, vway, ctx.tag, ctx.is_write);
   }
 
+  /// Mirrors HybridMemory::serve_miss_flat: first-touch placement while the
+  /// set still has invalid allowed ways, then a policy-gated block *swap*
+  /// with the fast-tier victim — one block up, one block down, all four
+  /// transfers charged to the channels they cross (paper Section IV-F).
+  void serve_miss_flat(const PolicyContext& ctx) {
+    SideStats& st = stats_[static_cast<u32>(ctx.cls)];
+    st.misses++;
+
+    const i32 victim = pick_victim(ctx.set, ctx.cls);
+    if (victim >= 0 && !table_.way(ctx.set, static_cast<u32>(victim)).valid) {
+      const u32 vway = static_cast<u32>(victim);
+      fill_way(ctx.set, vway, ctx.tag, false);
+      st.first_touches++;
+      policy_->note_miss(ctx, true);
+      fast_reqs_[table_.way(ctx.set, vway).channel]++;  // 64 B demand line
+      return;
+    }
+
+    // Resident in the slow tier: the demand line is served from there.
+    slow_reqs_[ctx.slow_channel]++;
+
+    const bool migrate =
+        victim >= 0 && policy_->allow_migration(ctx, /*victim_dirty=*/true);
+    policy_->note_miss(ctx, migrate);
+    if (!migrate) {
+      st.bypasses++;
+      return;
+    }
+
+    st.migrations++;
+    const u32 vway = static_cast<u32>(victim);
+    const auto rw = table_.way(ctx.set, vway);
+    const Addr in_addr = ctx.tag * cfg_.block_bytes;
+    const Addr out_addr = rw.tag * cfg_.block_bytes;
+    slow_reqs_[static_cast<u32>((in_addr / slow_block_) % slow_reqs_.size())]++;
+    fast_reqs_[rw.channel]++;
+    fast_reqs_[policy_->channel_of_way(ctx.set, vway)]++;
+    slow_reqs_[static_cast<u32>((out_addr / slow_block_) % slow_reqs_.size())]++;
+    st.dirty_writebacks++;  // the displaced block always transfers out
+    fill_way(ctx.set, vway, ctx.tag, false);
+  }
+
   HybridMemConfig cfg_;
   u32 n_super_;
   u64 slow_block_;
@@ -402,6 +455,14 @@ u64 replay_pair(const OracleConfig& ocfg, const std::vector<Step>& steps,
     // HAShCache's native organisation (see harness/sim_system.cpp).
     hm_cfg.assoc = 1;
     hm_cfg.chaining = true;
+  }
+  if (ocfg.design == "integrated") {
+    // Coherent-NUMA flat space: no cache organisation (see SimSystem::build).
+    // The fast tier is shrunk so it fills within even a --quick replay —
+    // otherwise every miss is a first touch and the migration conservation
+    // laws (and the migrate-lost fault site) are only exercised vacuously.
+    hm_cfg.mode = HybridMode::Flat;
+    hm_cfg.fast_capacity_bytes = 1ull << 20;
   }
 
   // The full side lives on the heap so the restore_at_epoch boundary can
@@ -535,6 +596,21 @@ u64 replay_pair(const OracleConfig& ocfg, const std::vector<Step>& steps,
           report.diffs.push_back(buf);
         }
       }
+      if (ocfg.design == "integrated") {
+        // The integrated design's schedule-steppable knobs and its counter
+        // table must track in lockstep — the per-epoch table-identity check
+        // is what catches a counter that sticks on only one side.
+        const std::string ep =
+            "epoch " + std::to_string(epoch_idx) + " (" + to_string(op) + ") ";
+        const auto& sp = static_cast<const IntegratedPolicy&>(*sim_policy);
+        const auto& rp = static_cast<const IntegratedPolicy&>(ref.policy());
+        diff_u64(ep + "threshold", sp.threshold(), rp.threshold());
+        diff_u64(ep + "cooldown", sp.cooldown(), rp.cooldown());
+        report.quantities++;
+        if (!(sp.stats() == rp.stats())) {
+          report.diffs.push_back(tagp + "page-stats counter table differs");
+        }
+      }
 
       // Checkpoint/restore boundary: serialise the full side to an in-memory
       // checkpoint, destroy it, rebuild it from configuration alone and load
@@ -589,6 +665,7 @@ u64 replay_pair(const OracleConfig& ocfg, const std::vector<Step>& steps,
     diff_u64(who + " misses", s.misses, o.misses);
     diff_u64(who + " migrations", s.migrations, o.migrations);
     diff_u64(who + " bypasses", s.bypasses, o.bypasses);
+    diff_u64(who + " first_touches", s.first_touches, o.first_touches);
     diff_u64(who + " dirty_writebacks", s.dirty_writebacks, o.dirty_writebacks);
     diff_u64(who + " fast_swaps", s.fast_swaps, o.fast_swaps);
     diff_u64(who + " meta_misses", s.meta_misses, o.meta_misses);
@@ -600,6 +677,43 @@ u64 replay_pair(const OracleConfig& ocfg, const std::vector<Step>& steps,
   }
   report.cpu_demand += hm->stats(Requestor::Cpu).demand;
   report.gpu_demand += hm->stats(Requestor::Gpu).demand;
+
+  if (ocfg.design == "integrated") {
+    // Migration-conservation laws for the counter-threshold design. The
+    // sim-vs-reference diffs catch one side losing a migration or a stuck
+    // counter; the within-simulator laws tie the policy's books to the
+    // mechanism's (every threshold migration is exactly one block swap, and
+    // the bytes charged are exactly pages-moved x page-size).
+    const auto& sp = static_cast<const IntegratedPolicy&>(*sim_policy);
+    const auto& rp = static_cast<const IntegratedPolicy&>(ref.policy());
+    diff_u64("integrated migrations_up", sp.migrations_up(), rp.migrations_up());
+    diff_u64("integrated migrations_down", sp.migrations_down(),
+             rp.migrations_down());
+    diff_u64("integrated migration_bytes", sp.migration_bytes(),
+             rp.migration_bytes());
+    diff_u64("integrated up/down symmetry", sp.migrations_up(),
+             sp.migrations_down());
+    diff_u64("integrated byte accounting", sp.migration_bytes(),
+             (sp.migrations_up() + sp.migrations_down()) * hm_cfg.block_bytes);
+    diff_u64("integrated mechanism/policy migrations",
+             hm->stats(Requestor::Cpu).migrations +
+                 hm->stats(Requestor::Gpu).migrations,
+             sp.migrations_up());
+    report.quantities++;
+    if (!(sp.stats() == rp.stats())) {
+      report.diffs.push_back(prefix + "final page-stats counter table differs");
+    }
+    report.quantities++;
+    if (!sp.stats().audit()) {
+      report.diffs.push_back(prefix +
+                             "simulator page-stats population identity violated");
+    }
+    report.quantities++;
+    if (!rp.stats().audit()) {
+      report.diffs.push_back(prefix +
+                             "oracle page-stats population identity violated");
+    }
+  }
 
   // Drain the backends (posted writes completed, refresh caught up to the
   // final clock) so the command-conservation laws below are exact. The

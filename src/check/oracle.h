@@ -43,12 +43,18 @@
 // "hydrogen-setpart" (page-coloured set partition), "hashcache" (chained
 // pseudo-associative lookup and insertion), "profess" (probabilistic
 // migration gating with a seeded RNG — both sides draw the identical
-// sequence) and "hydrogen" (dedicated-way partitioning, token-gated
-// migration, CPU-spill swaps). Between them they cover identity and
-// non-identity set remapping, chaining, swaps, stateful migration gating,
-// and — under an epoch schedule — every lazy-fixup flavour (hashcache's
-// constant owner function doubles as the control: its epochs must produce
-// no fixups at all).
+// sequence), "hydrogen" (dedicated-way partitioning, token-gated
+// migration, CPU-spill swaps) and "integrated" (coherent-NUMA flat mode:
+// first-touch placement, counter-threshold block swaps — the only design
+// exercising the flat-mode mechanism paths, with extra conserved quantities:
+// migrations_up/migrations_down/migration_bytes, the byte-accounting law
+// bytes == pages-moved x page-size, entry-by-entry equality of the two
+// policies' page-stats counter tables, and the table's population identity).
+// Between them they cover identity and non-identity set remapping, chaining,
+// swaps, stateful migration gating, flat-mode first touch and threshold
+// migration, and — under an epoch schedule — every lazy-fixup flavour
+// (hashcache's constant owner function doubles as the control: its epochs
+// must produce no fixups at all).
 #pragma once
 
 #include <string>
@@ -62,8 +68,8 @@ namespace h2 {
 struct OracleConfig {
   std::string cpu_workload = "gcc";
   std::string gpu_workload = "backprop";
-  /// "baseline", "waypart", "hydrogen-setpart", "hashcache", "profess" or
-  /// "hydrogen".
+  /// "baseline", "waypart", "hydrogen-setpart", "hashcache", "profess",
+  /// "hydrogen" or "integrated".
   std::string design = "baseline";
   /// Timing backend the full side's channels run. The reference model is
   /// timing-free, so every conserved count must agree under either backend.

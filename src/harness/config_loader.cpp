@@ -16,6 +16,7 @@ DesignSpec design_from_name(const std::string& name) {
   if (name == "hydrogen-dp") return DesignSpec::hydrogen_dp();
   if (name == "hydrogen-dp+token") return DesignSpec::hydrogen_dp_token();
   if (name == "hydrogen-setpart") return DesignSpec::hydrogen_setpart();
+  if (name == "integrated") return DesignSpec::integrated();
   H2_ASSERT(false, "unknown design '%s'", name.c_str());
   return DesignSpec::baseline();
 }
@@ -124,6 +125,23 @@ ExperimentConfig experiment_from_config(const ConfigFile& cfg) {
                 cfg.where("hydrogen.swap").c_str(), swap.c_str());
     }
   }
+
+  // --- Integrated (coherent-NUMA) knobs -------------------------------------
+  if (ec.design.kind == DesignSpec::Kind::Integrated) {
+    IntegratedConfig& ic = ec.design.integrated_cfg;
+    ic.threshold = static_cast<u32>(cfg.get_int("integrated.threshold", ic.threshold));
+    ic.cooldown = cfg.get_u64("integrated.cooldown", ic.cooldown);
+    ic.stats.coarse_slots =
+        static_cast<u32>(cfg.get_int("integrated.coarse_slots", ic.stats.coarse_slots));
+    ic.stats.hot_slots =
+        static_cast<u32>(cfg.get_int("integrated.hot_slots", ic.stats.hot_slots));
+    ic.stats.probe_window =
+        static_cast<u32>(cfg.get_int("integrated.probe_window", ic.stats.probe_window));
+    ic.stats.promote_threshold = static_cast<u32>(
+        cfg.get_int("integrated.promote_threshold", ic.stats.promote_threshold));
+    H2_ASSERT(ic.threshold >= 1, "%s: integrated.threshold must be >= 1",
+              cfg.where("integrated.threshold").c_str());
+  }
   return ec;
 }
 
@@ -136,7 +154,7 @@ ExperimentConfig experiment_from_file(const std::string& path, bool strict) {
     // An unknown section: every key under it is wrong for the same reason,
     // so it is diagnosed as a section (and excluded from the unused list).
     static const std::set<std::string> known_sections = {
-        "sim", "system", "hybrid", "hydrogen", "waypart", "mem", "ddr"};
+        "sim", "system", "hybrid", "hydrogen", "waypart", "integrated", "mem", "ddr"};
     size_t errors = 0;
     std::set<std::string> in_bad_section;
     for (const auto& k : cfg.keys()) {
@@ -147,11 +165,11 @@ ExperimentConfig experiment_from_file(const std::string& path, bool strict) {
       if (section.empty()) {
         std::cerr << "error: " << cfg.where(k) << ": key '" << k
                   << "' outside any section (known sections: sim, system,"
-                     " hybrid, hydrogen, waypart, mem, ddr)\n";
+                     " hybrid, hydrogen, waypart, integrated, mem, ddr)\n";
       } else {
         std::cerr << "error: " << cfg.where(k) << ": unknown section '[" << section
                   << "]' (known sections: sim, system, hybrid, hydrogen,"
-                     " waypart, mem, ddr)\n";
+                     " waypart, integrated, mem, ddr)\n";
       }
     }
     for (const auto& k : cfg.unused_keys()) {

@@ -74,6 +74,13 @@ DesignSpec DesignSpec::hydrogen_setpart() {
   return d;
 }
 
+DesignSpec DesignSpec::integrated() {
+  DesignSpec d;
+  d.label = "integrated";
+  d.kind = Kind::Integrated;
+  return d;
+}
+
 ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   if (cfg.shards > 1) {
     // Sharded run: N member systems behind the ShardGroup facade, coupled

@@ -9,6 +9,7 @@
 
 #include "hybridmem/hybrid_memory.h"
 #include "hydrogen/hydrogen_policy.h"
+#include "policies/integrated.h"
 #include "sysconfig/system_config.h"
 #include "trace/workloads.h"
 
@@ -17,10 +18,21 @@ namespace h2 {
 /// A named design under evaluation (one bar group of Fig. 5).
 struct DesignSpec {
   std::string label = "baseline";
-  enum class Kind : u8 { Baseline, WayPart, HAShCache, Profess, Hydrogen, SetPart } kind =
-      Kind::Baseline;
+  enum class Kind : u8 {
+    Baseline,
+    WayPart,
+    HAShCache,
+    Profess,
+    Hydrogen,
+    SetPart,
+    Integrated,
+  } kind = Kind::Baseline;
   HydrogenConfig hydrogen;  ///< used when kind == Hydrogen (and, via
                             ///< make_policy, the SetPart knob source)
+  /// Knobs for the coherent-NUMA `integrated` design (kind == Integrated).
+  /// SimSystem forces HybridMode::Flat for this design regardless of the
+  /// experiment's configured mode.
+  IntegratedConfig integrated_cfg;
   /// WayPart's own knob: the fraction of LLC-side fast-memory ways reserved
   /// for the CPU. Previously piggybacked on hydrogen.fixed_cpu_capacity_frac.
   double cpu_way_fraction = 0.75;
@@ -41,6 +53,9 @@ struct DesignSpec {
   static DesignSpec hydrogen_full();
   /// The decoupled set-partitioning alternative of Section IV-F.
   static DesignSpec hydrogen_setpart();
+  /// Coherent-NUMA integrated memory (Grace-Hopper mode): flat address
+  /// space, first-touch placement, counter-threshold migration.
+  static DesignSpec integrated();
 };
 
 struct ExperimentConfig {

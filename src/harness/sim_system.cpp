@@ -15,6 +15,7 @@
 #include "hydrogen/setpart_policy.h"
 #include "policies/baseline.h"
 #include "policies/hashcache.h"
+#include "policies/integrated.h"
 #include "policies/profess.h"
 #include "policies/waypart.h"
 #include "trace/trace_io.h"
@@ -43,6 +44,8 @@ std::unique_ptr<PartitionPolicy> make_policy(const DesignSpec& design) {
       cfg.seed = design.hydrogen.seed;
       return std::make_unique<SetPartPolicy>(cfg);
     }
+    case DesignSpec::Kind::Integrated:
+      return std::make_unique<IntegratedPolicy>(design.integrated_cfg);
   }
   H2_ASSERT(false, "unknown design kind");
   return nullptr;
@@ -354,6 +357,12 @@ void SimSystem::build() {
   if (design_.kind == DesignSpec::Kind::Hydrogen) {
     design_.hydrogen.phase_length = cfg_.phase_cycles;
   }
+  if (design_.kind == DesignSpec::Kind::Integrated) {
+    // Coherent-NUMA integrated memory has no cache organisation: both tiers
+    // form one flat space and pages move only by threshold migration.
+    hm_cfg.mode = HybridMode::Flat;
+    design_.integrated_cfg.block_bytes = static_cast<u32>(cfg_.block_bytes);
+  }
 
   hierarchy_ = std::make_unique<CacheHierarchy>(sys_.hierarchy);
   mem_ = std::make_unique<MemorySystem>(mem_cfg);
@@ -529,6 +538,10 @@ void SimSystem::build(const ShardSlice& slice) {
   }
   if (design_.kind == DesignSpec::Kind::Hydrogen) {
     design_.hydrogen.phase_length = cfg_.phase_cycles;
+  }
+  if (design_.kind == DesignSpec::Kind::Integrated) {
+    hm_cfg.mode = HybridMode::Flat;
+    design_.integrated_cfg.block_bytes = static_cast<u32>(cfg_.block_bytes);
   }
 
   hierarchy_ = std::make_unique<CacheHierarchy>(sys_.hierarchy);

@@ -375,7 +375,12 @@ Cycle HybridMemory::serve_miss_flat(const PolicyContext& ctx, const Lookup& lk, 
                       block_bytes, true, ctx.cls, /*earliest=*/lk.ready);
     mem_->slow_access(ctx.now, out_addr, block_bytes, true, ctx.cls, /*earliest=*/lk.ready);
     s.dirty_writebacks++;  // the displaced block always transfers out
-    fill_way(ctx.set, vway, ctx.tag, false, ctx.cls);
+    // Fault site: a lost migration charges all four transfers and evicts the
+    // victim's identity from the books, but the migrated block is never
+    // installed — the residency/migration conservation laws the oracle
+    // enforces for the integrated design are exactly what breaks.
+    if (!fault::at(fault::Kind::MigrateLost))
+      fill_way(ctx.set, vway, ctx.tag, false, ctx.cls);
   } else {
     s.bypasses++;
   }

@@ -1,0 +1,197 @@
+#include "hybridmem/page_stats.h"
+
+#include "common/assert.h"
+#include "common/ckpt_io.h"
+#include "common/rng.h"
+#include "check/fault.h"
+
+namespace h2 {
+
+namespace {
+constexpr bool is_pow2(u32 v) { return v != 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+PageStatsTable::PageStatsTable(const PageStatsConfig& cfg) : cfg_(cfg) {
+  H2_ASSERT(is_pow2(cfg_.coarse_slots), "page_stats: coarse_slots must be a power of two");
+  H2_ASSERT(is_pow2(cfg_.hot_slots), "page_stats: hot_slots must be a power of two");
+  H2_ASSERT(cfg_.probe_window >= 1 && cfg_.probe_window <= cfg_.hot_slots,
+            "page_stats: probe_window must be in [1, hot_slots]");
+  H2_ASSERT(cfg_.promote_threshold >= 1 && cfg_.promote_threshold <= cfg_.coarse_max,
+            "page_stats: promote_threshold must be in [1, coarse_max]");
+  coarse_.assign(cfg_.coarse_slots, 0);
+  hot_.assign(cfg_.hot_slots, HotSlot{});
+}
+
+u32 PageStatsTable::coarse_index(u64 tag) const {
+  return static_cast<u32>(mix_hash(tag, 0x9e3779b97f4a7c15ull) & (cfg_.coarse_slots - 1));
+}
+
+u32 PageStatsTable::hot_home(u64 tag) const {
+  return static_cast<u32>(mix_hash(tag, 0xc2b2ae3d27d4eb4full) & (cfg_.hot_slots - 1));
+}
+
+i64 PageStatsTable::find_hot(u64 tag) const {
+  const u32 home = hot_home(tag);
+  for (u32 p = 0; p < cfg_.probe_window; ++p) {
+    const u32 i = (home + p) & (cfg_.hot_slots - 1);
+    if (hot_[i].valid && hot_[i].tag == tag) return static_cast<i64>(i);
+  }
+  return -1;
+}
+
+u32 PageStatsTable::record(u64 tag, Cycle now) {
+  // Fault site: a stuck access counter silently stops incrementing. The
+  // observable state (counts, promotions) freezes while the access stream
+  // keeps flowing — exactly what the oracle's table-identity diff exists to
+  // catch when only one side's counter sticks.
+  if (fault::at(fault::Kind::CounterStuck)) return value(tag);
+
+  const i64 found = find_hot(tag);
+  if (found >= 0) {
+    HotSlot& s = hot_[static_cast<u32>(found)];
+    if (s.count < cfg_.hot_max) s.count++;
+    s.last_touch = now;
+    return s.count;
+  }
+
+  // Cold path: bump the coarse filter and check for promotion.
+  u8& c = coarse_[coarse_index(tag)];
+  if (c < cfg_.coarse_max) c++;
+  if (c < cfg_.promote_threshold) return 0;
+
+  // Promotion: claim an invalid slot in the window, else demote the coldest
+  // entry no hotter than the carried coarse count. Ties break to the lowest
+  // probe offset so the decision is a pure function of table state.
+  const u32 home = hot_home(tag);
+  i64 free_slot = -1;
+  i64 victim = -1;
+  u32 victim_count = 0;
+  u64 victim_touch = 0;
+  for (u32 p = 0; p < cfg_.probe_window; ++p) {
+    const u32 i = (home + p) & (cfg_.hot_slots - 1);
+    const HotSlot& s = hot_[i];
+    if (!s.valid) {
+      free_slot = static_cast<i64>(i);
+      break;
+    }
+    const bool colder =
+        victim < 0 || s.count < victim_count ||
+        (s.count == victim_count && s.last_touch < victim_touch);
+    if (colder) {
+      victim = static_cast<i64>(i);
+      victim_count = s.count;
+      victim_touch = s.last_touch;
+    }
+  }
+
+  const u32 carried = c;
+  i64 slot = free_slot;
+  if (slot < 0) {
+    if (victim_count > carried) return 0;  // window full of hotter pages
+    // Demote the victim: it falls back to the coarse level and must re-earn
+    // a slot (its exact count is forgotten by design — the filter is lossy).
+    slot = victim;
+    tracked_--;
+  }
+  HotSlot& s = hot_[static_cast<u32>(slot)];
+  s.tag = tag;
+  s.count = carried;
+  s.last_touch = now;
+  s.valid = 1;
+  tracked_++;
+  c = 0;  // the exact count now lives in the hot level
+  return s.count;
+}
+
+u32 PageStatsTable::value(u64 tag) const {
+  const i64 found = find_hot(tag);
+  return found >= 0 ? hot_[static_cast<u32>(found)].count : 0;
+}
+
+void PageStatsTable::clear(u64 tag) {
+  const i64 found = find_hot(tag);
+  if (found >= 0) {
+    hot_[static_cast<u32>(found)] = HotSlot{};
+    tracked_--;
+  }
+  coarse_[coarse_index(tag)] = 0;
+}
+
+u64 PageStatsTable::total_hot_count() const {
+  u64 sum = 0;
+  for (const HotSlot& s : hot_)
+    if (s.valid) sum += s.count;
+  return sum;
+}
+
+bool PageStatsTable::audit() const {
+  u64 valid_count = 0;
+  for (u32 i = 0; i < cfg_.hot_slots; ++i) {
+    const HotSlot& s = hot_[i];
+    if (!s.valid) continue;
+    valid_count++;
+    // Entry must sit inside its own probe window...
+    const u32 home = hot_home(s.tag);
+    const u32 offset = (i - home) & (cfg_.hot_slots - 1);
+    if (offset >= cfg_.probe_window) return false;
+    if (s.count > cfg_.hot_max) return false;
+    // ...and be the only slot holding its tag (scan the rest of the window).
+    for (u32 p = offset + 1; p < cfg_.probe_window; ++p) {
+      const u32 j = (home + p) & (cfg_.hot_slots - 1);
+      if (hot_[j].valid && hot_[j].tag == s.tag) return false;
+    }
+  }
+  return valid_count == tracked_;
+}
+
+bool PageStatsTable::operator==(const PageStatsTable& other) const {
+  if (cfg_.coarse_slots != other.cfg_.coarse_slots ||
+      cfg_.hot_slots != other.cfg_.hot_slots ||
+      cfg_.probe_window != other.cfg_.probe_window)
+    return false;
+  if (tracked_ != other.tracked_) return false;
+  if (coarse_ != other.coarse_) return false;
+  for (u32 i = 0; i < cfg_.hot_slots; ++i) {
+    const HotSlot& a = hot_[i];
+    const HotSlot& b = other.hot_[i];
+    if (a.valid != b.valid) return false;
+    if (a.valid && (a.tag != b.tag || a.count != b.count || a.last_touch != b.last_touch))
+      return false;
+  }
+  return true;
+}
+
+void PageStatsTable::save(ckpt::CkptWriter& w) const {
+  w.put_u32(cfg_.coarse_slots);
+  w.put_u32(cfg_.hot_slots);
+  w.put_u32(cfg_.probe_window);
+  w.put_u64(tracked_);
+  w.put_pod_vec(coarse_);
+  for (const HotSlot& s : hot_) {
+    w.put_u64(s.tag);
+    w.put_u64(s.last_touch);
+    w.put_u32(s.count);
+    w.put_u8(s.valid);
+  }
+}
+
+void PageStatsTable::load(ckpt::CkptReader& r) {
+  const u32 coarse_slots = r.get_u32();
+  const u32 hot_slots = r.get_u32();
+  const u32 probe_window = r.get_u32();
+  if (coarse_slots != cfg_.coarse_slots || hot_slots != cfg_.hot_slots ||
+      probe_window != cfg_.probe_window)
+    r.fail("page_stats geometry mismatch");
+  tracked_ = r.get_u64();
+  r.get_pod_vec_exact(coarse_);
+  for (HotSlot& s : hot_) {
+    s.tag = r.get_u64();
+    s.last_touch = r.get_u64();
+    s.count = r.get_u32();
+    s.valid = r.get_u8();
+    if (s.valid > 1) r.fail("page_stats slot valid flag out of range");
+  }
+  if (!audit()) r.fail("page_stats population identity violated after load");
+}
+
+}  // namespace h2

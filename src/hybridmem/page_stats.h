@@ -1,0 +1,107 @@
+// Multi-level per-page access-counter table for the `integrated`
+// coherent-NUMA design (policies/integrated.h).
+//
+// A single flat array of exact per-page counters over a large address space
+// would dwarf the structure it manages, and almost all of it would count
+// pages touched once. The table therefore filters through two levels, the
+// PageStatsTable idiom from page-granular hot-page trackers:
+//
+//   coarse level  a small power-of-two array of saturating u8 counters
+//                 indexed by hash(tag). Cold pages live (and alias) here;
+//                 the level is lossy by design — it only has to answer
+//                 "has this hash bucket seen enough traffic to be worth an
+//                 exact slot?".
+//   hot level     a bounded open-addressed slot array of exact
+//                 {tag, count, last_touch} entries with a fixed linear
+//                 probe window. A tag is *promoted* when its coarse bucket
+//                 reaches `promote_threshold`; on a full window the coldest
+//                 in-window entry is *demoted* (evicted) to make room, but
+//                 never an entry hotter than the candidate.
+//
+// Determinism contract: every operation is a pure function of the call
+// sequence — no randomness, no wall clock — so two tables fed identical
+// access streams hold bit-identical state. The differential oracle diffs
+// the simulator policy's table against the reference policy's entry by
+// entry, and the population audit (every tracked tag exactly once, inside
+// its probe window) backs the level-2 structural checks.
+//
+// The counter-stuck fault site (check/fault.h, Kind::CounterStuck) lives in
+// record(): an armed fault freezes the counters for that visit, which the
+// oracle's table-identity diff must catch.
+#pragma once
+
+#include <vector>
+
+#include "common/ckpt_fwd.h"
+#include "common/types.h"
+
+namespace h2 {
+
+struct PageStatsConfig {
+  u32 coarse_slots = 4096;   ///< power of two; u8 saturating filter counters
+  u32 hot_slots = 1024;      ///< power of two; exact open-addressed entries
+  u32 probe_window = 8;      ///< linear-probe window length in the hot level
+  u32 promote_threshold = 2; ///< coarse count at which a tag earns a hot slot
+  u32 coarse_max = 15;       ///< coarse saturation cap
+  u32 hot_max = 0xFFFF;      ///< hot-count saturation cap
+};
+
+class PageStatsTable {
+ public:
+  explicit PageStatsTable(const PageStatsConfig& cfg = {});
+
+  /// Records one access to `tag` at `now` and returns the tag's exact count
+  /// after recording, or 0 while the tag is still cold (coarse-only). Handles
+  /// promotion (coarse bucket reached the threshold) and demotion (coldest
+  /// in-window entry evicted for a hotter candidate) internally.
+  u32 record(u64 tag, Cycle now);
+
+  /// The tag's exact count, or 0 if it holds no hot slot. Never perturbs.
+  u32 value(u64 tag) const;
+
+  /// Forgets `tag` entirely: frees its hot slot and zeroes its coarse
+  /// bucket, so it must re-earn promotion from scratch. The integrated
+  /// policy's post-migration hysteresis.
+  void clear(u64 tag);
+
+  /// Number of live hot entries.
+  u64 tracked() const { return tracked_; }
+  /// Sum of all live hot counts (a cheap conserved quantity).
+  u64 total_hot_count() const;
+
+  const PageStatsConfig& config() const { return cfg_; }
+
+  /// Population identity: every valid entry sits inside its own probe
+  /// window, no tag occupies two slots, and tracked() matches the valid
+  /// count. Returns false (naming nothing — callers report) on violation.
+  bool audit() const;
+
+  /// Entry-by-entry equality (the oracle's table-identity diff).
+  bool operator==(const PageStatsTable& other) const;
+
+  /// Checkpoint round-trip. load() validates geometry against the live
+  /// config and re-checks the population identity, failing through
+  /// r.fail() on any mismatch.
+  void save(ckpt::CkptWriter& w) const;
+  void load(ckpt::CkptReader& r);
+
+ private:
+  struct HotSlot {
+    u64 tag = 0;
+    u64 last_touch = 0;
+    u32 count = 0;
+    u8 valid = 0;
+  };
+
+  u32 coarse_index(u64 tag) const;
+  u32 hot_home(u64 tag) const;
+  /// The slot holding `tag`, or -1. Probes the fixed window only.
+  i64 find_hot(u64 tag) const;
+
+  PageStatsConfig cfg_;
+  std::vector<u8> coarse_;
+  std::vector<HotSlot> hot_;
+  u64 tracked_ = 0;
+};
+
+}  // namespace h2

@@ -1,0 +1,95 @@
+#include "policies/integrated.h"
+
+#include <algorithm>
+
+#include "common/ckpt_io.h"
+
+namespace h2 {
+
+IntegratedPolicy::IntegratedPolicy(const IntegratedConfig& cfg)
+    : cfg_(cfg),
+      stats_(cfg.stats),
+      threshold_(std::max(1u, cfg.threshold)),
+      cooldown_(cfg.cooldown) {}
+
+bool IntegratedPolicy::allow_migration(const PolicyContext& ctx, bool victim_dirty) {
+  (void)victim_dirty;
+  // The page must have earned an exact (hot-level) count at or above the
+  // threshold; cold pages (value() == 0) never migrate.
+  if (stats_.value(ctx.tag) < threshold_) return false;
+  // Global cooldown: at most one migration per window. This is the
+  // hysteresis against ping-pong — after a swap, the displaced page cannot
+  // immediately bounce back even if it is still being hammered.
+  if (last_migration_ != kNever && ctx.now < last_migration_ + cooldown_) return false;
+  pending_gate_ = true;  // consumed by the note_miss that follows
+  return true;
+}
+
+void IntegratedPolicy::note_hit(const PolicyContext& ctx, u32 way) {
+  (void)way;
+  stats_.record(ctx.tag, ctx.now);
+}
+
+void IntegratedPolicy::note_miss(const PolicyContext& ctx, bool migrated) {
+  // The mechanism calls allow_migration and then note_miss for the same
+  // access, so the gate flag distinguishes a threshold migration (gate set)
+  // from a first-touch fill (migrated but never gated).
+  const bool was_gated = pending_gate_;
+  pending_gate_ = false;
+  if (migrated && was_gated) {
+    // Threshold swap: the hot page moves up, the victim moves down.
+    migrations_up_++;
+    migrations_down_++;
+    migration_bytes_ += 2ull * cfg_.block_bytes;
+    last_migration_ = ctx.now;
+    // The migrated page re-earns hotness from scratch: without this a page
+    // at saturation would re-qualify on its very next miss and ping-pong.
+    stats_.clear(ctx.tag);
+    return;
+  }
+  stats_.record(ctx.tag, ctx.now);
+}
+
+bool IntegratedPolicy::set_threshold(u32 t) {
+  t = std::max(1u, t);
+  if (t == threshold_) return false;
+  threshold_ = t;
+  return true;
+}
+
+bool IntegratedPolicy::set_cooldown(u64 c) {
+  if (c == cooldown_) return false;
+  cooldown_ = c;
+  return true;
+}
+
+void IntegratedPolicy::reset_measurement() {
+  migrations_up_ = 0;
+  migrations_down_ = 0;
+  migration_bytes_ = 0;
+}
+
+void IntegratedPolicy::save_state(ckpt::CkptWriter& w) const {
+  w.put_u32(threshold_);
+  w.put_u64(cooldown_);
+  w.put_u64(last_migration_);
+  w.put_bool(pending_gate_);
+  w.put_u64(migrations_up_);
+  w.put_u64(migrations_down_);
+  w.put_u64(migration_bytes_);
+  stats_.save(w);
+}
+
+void IntegratedPolicy::load_state(ckpt::CkptReader& r) {
+  threshold_ = r.get_u32();
+  if (threshold_ == 0) r.fail("integrated threshold must be >= 1");
+  cooldown_ = r.get_u64();
+  last_migration_ = r.get_u64();
+  pending_gate_ = r.get_bool();
+  migrations_up_ = r.get_u64();
+  migrations_down_ = r.get_u64();
+  migration_bytes_ = r.get_u64();
+  stats_.load(r);
+}
+
+}  // namespace h2

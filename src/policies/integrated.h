@@ -1,0 +1,106 @@
+// Integrated coherent-NUMA design (Grace-Hopper mode; ROADMAP scenario
+// family, PAPERS.md Grace Hopper + NUMA-emulation entries).
+//
+// The successor regime to remap-based hybrid memory: both tiers form one
+// cache-coherent flat address space (HybridMode::Flat — SimSystem and the
+// oracle force it for this design), pages are placed on first touch, and a
+// page earns a migration into the fast tier only once its access counter
+// crosses a threshold. There is no remap-table indirection and no
+// way-partitioning: every way is open to both requestors, the way->channel
+// map is statically interleaved, and contention management happens entirely
+// through *which pages are allowed to move*.
+//
+// Migration state machine (DESIGN.md "Integrated design"):
+//   cold --record()--> counted (coarse) --promote--> hot (exact count)
+//   hot & count >= threshold & cooldown elapsed --miss--> MIGRATE
+//   MIGRATE: the missed page swaps with the fast-tier victim (one page up,
+//   one page down, 2 x block_bytes of migration traffic charged by the
+//   mechanism to the fast and slow channels crossed), the page's counter is
+//   cleared, and the global cooldown clock rearms — the hysteresis that
+//   prevents two pages ping-ponging through the same set.
+//
+// The policy's conserved quantities (migrations_up/down/bytes and the
+// counter table itself) are diffed sim-vs-reference by the oracle, the same
+// way HydrogenPolicy's active point is.
+#pragma once
+
+#include "hybridmem/page_stats.h"
+#include "hybridmem/policy.h"
+
+namespace h2 {
+
+struct IntegratedConfig {
+  u32 threshold = 4;     ///< hot-count a page needs before it may migrate
+  u64 cooldown = 512;    ///< cycles between migrations (anti-ping-pong)
+  u32 block_bytes = 256; ///< page size for migration-byte accounting
+  PageStatsConfig stats;
+};
+
+class IntegratedPolicy final : public PartitionPolicy {
+ public:
+  /// One `bw+`/`bw-` schedule step moves the cooldown by this many cycles.
+  static constexpr u64 kCooldownStep = 256;
+
+  explicit IntegratedPolicy(const IntegratedConfig& cfg = {});
+
+  const char* name() const override { return "integrated"; }
+
+  u32 channel_of_way(u32 set, u32 way) const override {
+    return (set + way) % num_channels_;
+  }
+
+  bool way_allowed(u32 set, u32 way, Requestor cls) const override {
+    (void)set; (void)way; (void)cls;
+    return true;
+  }
+
+  Requestor way_owner(u32 set, u32 way) const override {
+    (void)set; (void)way;
+    return Requestor::Cpu;
+  }
+
+  bool allow_migration(const PolicyContext& ctx, bool victim_dirty) override;
+  void note_hit(const PolicyContext& ctx, u32 way) override;
+  void note_miss(const PolicyContext& ctx, bool migrated) override;
+
+  /// Schedule-steppable knobs (epoch_schedule.cpp): the threshold plays the
+  /// capacity role (grow = easier to migrate), the cooldown the bandwidth
+  /// role (bw+ = more migration bandwidth). Both return true iff the value
+  /// moved, the WayPart setter contract.
+  bool set_threshold(u32 t);
+  bool set_cooldown(u64 c);
+
+  u32 threshold() const { return threshold_; }
+  u32 initial_threshold() const { return cfg_.threshold; }
+  u64 cooldown() const { return cooldown_; }
+
+  /// Conserved quantities the oracle diffs sim-vs-reference. Every
+  /// threshold migration swaps exactly one page up and one page down, so
+  /// migrations_up == migrations_down and
+  /// migration_bytes == (up + down) * block_bytes hold by construction —
+  /// unless a fault (migrate-lost) breaks the mechanism underneath.
+  u64 migrations_up() const { return migrations_up_; }
+  u64 migrations_down() const { return migrations_down_; }
+  u64 migration_bytes() const { return migration_bytes_; }
+
+  const PageStatsTable& stats() const { return stats_; }
+
+  void reset_measurement() override;
+  void save_state(ckpt::CkptWriter& w) const override;
+
+ protected:
+  void load_state(ckpt::CkptReader& r) override;
+
+ private:
+  IntegratedConfig cfg_;
+  PageStatsTable stats_;
+  u32 threshold_;
+  u64 cooldown_;
+  Cycle last_migration_ = kNever;  ///< kNever = no migration yet
+  bool pending_gate_ = false;      ///< allow_migration said yes; consumed by note_miss
+  u64 migrations_up_ = 0;
+  u64 migrations_down_ = 0;
+  u64 migration_bytes_ = 0;
+};
+
+}  // namespace h2

@@ -1,0 +1,198 @@
+// PageStatsTable (hybridmem/page_stats.h): the two-level per-page access
+// counter behind the integrated design's migration threshold. Pins the
+// promotion/demotion rules, saturation caps, the population identity, and
+// the checkpoint round-trip (including single-bit-flip rejection).
+#include "hybridmem/page_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "common/ckpt_io.h"
+#include "common/rng.h"
+
+namespace h2 {
+namespace {
+
+/// One hot slot, one coarse bucket: every tag shares both, so promotion and
+/// demotion decisions are a pure function of counts — no hash placement can
+/// perturb the expectations.
+PageStatsConfig tiny_cfg() {
+  PageStatsConfig cfg;
+  cfg.coarse_slots = 1;
+  cfg.hot_slots = 1;
+  cfg.probe_window = 1;
+  cfg.promote_threshold = 1;
+  return cfg;
+}
+
+TEST(PageStats, ColdTagsReadZero) {
+  PageStatsTable t;
+  EXPECT_EQ(t.value(42), 0u);
+  EXPECT_EQ(t.tracked(), 0u);
+  EXPECT_TRUE(t.audit());
+}
+
+TEST(PageStats, PromotionCarriesTheCoarseCount) {
+  PageStatsConfig cfg;
+  cfg.promote_threshold = 2;
+  PageStatsTable t(cfg);
+  // First record: coarse only — still cold.
+  EXPECT_EQ(t.record(7, 10), 0u);
+  EXPECT_EQ(t.value(7), 0u);
+  // Second record reaches the threshold: the tag earns a hot slot seeded
+  // with the carried count.
+  EXPECT_EQ(t.record(7, 11), 2u);
+  EXPECT_EQ(t.value(7), 2u);
+  EXPECT_EQ(t.tracked(), 1u);
+  // Hot records are exact from here on.
+  EXPECT_EQ(t.record(7, 12), 3u);
+  EXPECT_TRUE(t.audit());
+}
+
+TEST(PageStats, HotCountSaturatesAtCap) {
+  PageStatsConfig cfg = tiny_cfg();
+  cfg.hot_max = 5;
+  PageStatsTable t(cfg);
+  for (u32 i = 0; i < 20; ++i) t.record(9, i);
+  EXPECT_EQ(t.value(9), 5u);
+  EXPECT_EQ(t.total_hot_count(), 5u);
+  EXPECT_TRUE(t.audit());
+}
+
+TEST(PageStats, DemotionNeverEvictsAHotterPage) {
+  PageStatsTable t(tiny_cfg());
+  // A claims the single slot and heats up to 2.
+  EXPECT_EQ(t.record(1, 1), 1u);
+  EXPECT_EQ(t.record(1, 2), 2u);
+  // B's first promotion attempt carries count 1 < A's 2: refused, and B
+  // stays cold (the coarse bucket keeps its progress).
+  EXPECT_EQ(t.record(2, 3), 0u);
+  EXPECT_EQ(t.value(2), 0u);
+  EXPECT_EQ(t.value(1), 2u);
+  // B's next record carries 2 == A's 2: now A (no hotter) is demoted.
+  EXPECT_EQ(t.record(2, 4), 2u);
+  EXPECT_EQ(t.value(2), 2u);
+  EXPECT_EQ(t.value(1), 0u);
+  EXPECT_EQ(t.tracked(), 1u);
+  EXPECT_TRUE(t.audit());
+}
+
+TEST(PageStats, ClearForcesRePromotion) {
+  PageStatsTable t(tiny_cfg());
+  t.record(5, 1);
+  t.record(5, 2);
+  ASSERT_EQ(t.value(5), 2u);
+  t.clear(5);
+  EXPECT_EQ(t.value(5), 0u);
+  EXPECT_EQ(t.tracked(), 0u);
+  // The coarse bucket was zeroed too: the next record starts from scratch
+  // (promote_threshold=1 here, so one record re-promotes with count 1, not
+  // a stale carried count).
+  EXPECT_EQ(t.record(5, 3), 1u);
+  EXPECT_TRUE(t.audit());
+}
+
+TEST(PageStats, IdenticalStreamsBuildIdenticalTables) {
+  PageStatsConfig cfg;
+  cfg.coarse_slots = 64;
+  cfg.hot_slots = 16;
+  cfg.probe_window = 4;
+  PageStatsTable a(cfg), b(cfg);
+  Rng rng(99);
+  for (u32 i = 0; i < 5000; ++i) {
+    const u64 tag = rng.next_below(200);
+    a.record(tag, i);
+    b.record(tag, i);
+    if ((i % 97) == 0) {
+      a.clear(tag);
+      b.clear(tag);
+    }
+  }
+  EXPECT_TRUE(a == b);
+  EXPECT_TRUE(a.audit());
+  EXPECT_EQ(a.tracked(), b.tracked());
+  EXPECT_EQ(a.total_hot_count(), b.total_hot_count());
+}
+
+TEST(PageStats, PopulationIdentityHoldsUnderChurn) {
+  PageStatsConfig cfg;
+  cfg.coarse_slots = 32;
+  cfg.hot_slots = 8;
+  cfg.probe_window = 8;  // whole-table window: maximum demotion pressure
+  PageStatsTable t(cfg);
+  Rng rng(7);
+  for (u32 i = 0; i < 20'000; ++i) {
+    const u64 tag = rng.next_below(500);
+    t.record(tag, i);
+    if ((i & 63) == 0) t.clear(rng.next_below(500));
+    if ((i & 1023) == 0) ASSERT_TRUE(t.audit()) << "at step " << i;
+  }
+  EXPECT_TRUE(t.audit());
+  EXPECT_LE(t.tracked(), 8u);
+}
+
+std::string save_to_bytes(const PageStatsTable& t) {
+  ckpt::CkptWriter w;
+  w.begin_section("page-stats");
+  t.save(w);
+  w.end_section();
+  return w.finish();
+}
+
+void load_from_bytes(PageStatsTable& t, const std::string& bytes) {
+  ckpt::CkptReader r(bytes, "<memory>");
+  r.enter_section("page-stats");
+  t.load(r);
+  r.leave_section();
+  r.finish();
+}
+
+TEST(PageStats, CheckpointRoundTripIsBitIdentical) {
+  PageStatsConfig cfg;
+  cfg.coarse_slots = 64;
+  cfg.hot_slots = 16;
+  cfg.probe_window = 4;
+  PageStatsTable t(cfg);
+  Rng rng(3);
+  for (u32 i = 0; i < 4000; ++i) t.record(rng.next_below(300), i);
+
+  PageStatsTable restored(cfg);
+  load_from_bytes(restored, save_to_bytes(t));
+  EXPECT_TRUE(t == restored);
+  EXPECT_TRUE(restored.audit());
+
+  // The restored table keeps evolving identically to the original.
+  for (u32 i = 0; i < 500; ++i) {
+    const u64 tag = rng.next_below(300);
+    t.record(tag, 4000 + i);
+    restored.record(tag, 4000 + i);
+  }
+  EXPECT_TRUE(t == restored);
+}
+
+TEST(PageStats, SingleBitFlipIsRejected) {
+  PageStatsTable t(tiny_cfg());
+  t.record(1, 1);
+  t.record(2, 2);
+  const std::string bytes = save_to_bytes(t);
+  // Flip one bit in the middle of the payload: the section checksum must
+  // reject the container before any field is parsed.
+  std::string corrupt = bytes;
+  corrupt[bytes.size() / 2] ^= 0x10;
+  EXPECT_THROW(
+      { ckpt::CkptReader r(corrupt, "<memory>"); }, ckpt::CheckpointError);
+}
+
+TEST(PageStats, GeometryMismatchIsRejected) {
+  PageStatsConfig big;
+  big.coarse_slots = 64;
+  big.hot_slots = 16;
+  big.probe_window = 4;
+  PageStatsTable t(big);
+  t.record(1, 1);
+  const std::string bytes = save_to_bytes(t);
+  PageStatsTable other(tiny_cfg());
+  EXPECT_THROW(load_from_bytes(other, bytes), ckpt::CheckpointError);
+}
+
+}  // namespace
+}  // namespace h2

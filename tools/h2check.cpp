@@ -1,7 +1,8 @@
 // h2check — the differential-oracle front end (see src/check/oracle.h).
 //
 //   h2check [--workloads a,b,c] [--gpu <name>]
-//           [--designs baseline,waypart,hydrogen-setpart,hashcache,profess,hydrogen]
+//           [--designs baseline,waypart,hydrogen-setpart,hashcache,profess,
+//            hydrogen,integrated]
 //           [--design <name>] [--accesses <n>] [--seed <n>] [--check <level>]
 //           [--epochs <n>] [--schedule <ops>] [--restore-at <epoch>]
 //           [--quick] [--backend fast|ddr|both] [--shards <n>]
@@ -44,7 +45,7 @@ void usage() {
       stderr,
       "usage: h2check [--workloads a,b,c] [--gpu <name>]\n"
       "               [--designs baseline,waypart,hydrogen-setpart,hashcache,"
-      "profess,hydrogen]\n"
+      "profess,hydrogen,integrated]\n"
       "               [--design <name>] [--accesses <n>] [--seed <n>]\n"
       "               [--check <level>] [--epochs <n>] [--schedule <ops>]\n"
       "               [--restore-at <epoch>] [--quick]\n"
@@ -68,8 +69,9 @@ std::vector<std::string> split_csv(const std::string& s) {
 
 int main(int argc, char** argv) {
   std::vector<std::string> workloads = {"gcc", "mcf", "lbm"};
-  std::vector<std::string> designs = {"baseline", "waypart", "hydrogen-setpart",
-                                      "hashcache", "profess", "hydrogen"};
+  std::vector<std::string> designs = {"baseline",  "waypart", "hydrogen-setpart",
+                                      "hashcache", "profess", "hydrogen",
+                                      "integrated"};
   std::vector<ChannelBackendKind> backends = {ChannelBackendKind::Fast};
   OracleConfig base;
   bool accesses_set = false;

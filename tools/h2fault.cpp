@@ -14,6 +14,10 @@
 //   refresh-skip                         -> oracle refresh-window law
 //                                           (any build; proven against BOTH
 //                                           channel backends)
+//   migrate-lost, counter-stuck          -> integrated-design oracle laws
+//                                           (residency/migration conservation
+//                                           and the counter-table identity;
+//                                           proven against BOTH backends)
 //   sched-starve                         -> DDR FR-FCFS max_bypass_run()
 //                                           property on a direct backend
 //                                           drive (any build; H2_CHECK >= 1
@@ -394,6 +398,25 @@ int main(int argc, char** argv) {
     expect_oracle_detects("refresh-skip:count=0", dcfg, "@ddr");
   }
   expect_ddr_starve_detected("sched-starve");
+
+  // Integrated-design migration classes. migrate-lost charges a migration's
+  // four transfers and evicts the victim's identity but never installs the
+  // migrated block (sim-only site in serve_miss_flat) — the residency and
+  // migration-conservation laws diverge. counter-stuck freezes a
+  // PageStatsTable::record() call; the site is shared code, but count=1
+  // fires exactly once, on the sim side's first record (the sim model is
+  // always stepped before the reference), so the counter-table identity
+  // catches the one-sided freeze. Both proven against both backends.
+  {
+    OracleConfig icfg = ocfg;
+    icfg.design = "integrated";
+    expect_oracle_detects("migrate-lost:count=0", icfg, "@fast");
+    expect_oracle_detects("counter-stuck:count=1", icfg, "@fast");
+    OracleConfig idcfg = icfg;
+    idcfg.backend = ChannelBackendKind::Ddr;
+    expect_oracle_detects("migrate-lost:count=0", idcfg, "@ddr");
+    expect_oracle_detects("counter-stuck:count=1", idcfg, "@ddr");
+  }
 
   // Timing-corruption classes: only an H2_CHECK level can see these (the
   // oracle deliberately ignores timing), so they skip below their level.
